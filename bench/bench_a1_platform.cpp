@@ -1,0 +1,64 @@
+/// Ablation A1 (paper Section III.E): business execution of heterogeneity —
+/// custom per-silicon boards vs an OCP-like standard module.
+///
+/// "The silicon ecosystem is blooming but the ever more expensive system
+/// development process can really sustain fewer and fewer options ... the
+/// industry should drive towards a standard for motherboards."  Expected
+/// shape: under a fixed enablement budget the standard module fields several
+/// times more silicon options at low volume; custom boards only pay off at
+/// volumes early accelerators never reach.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "hw/platform.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_experiment() {
+  hpc::bench::banner(
+      "A1", "Board standardization economics (Section III.E)",
+      "a standard system-board module lowers the enablement hurdle and "
+      "sustains a diverse silicon ecosystem that custom boards cannot");
+
+  const hw::PlatformModel custom = hw::custom_board_model();
+  const hw::PlatformModel standard = hw::standard_module_model();
+
+  hpc::bench::section("silicon options affordable under a $12M enablement budget");
+  sim::Table t({"units per silicon", "custom boards", "standard modules", "ratio"});
+  for (const double units : {200.0, 1'000.0, 5'000.0, 20'000.0}) {
+    const int nc = hw::affordable_device_kinds(custom, 12e6, units);
+    const int ns = hw::affordable_device_kinds(standard, 12e6, units);
+    t.add_row({sim::fmt(units, 0), std::to_string(nc), std::to_string(ns),
+               nc > 0 ? sim::fmt(static_cast<double>(ns) / nc, 1) + "x" : "inf"});
+  }
+  t.print();
+
+  std::printf("\nbreak-even volume (custom NRE amortized): %.0f units per silicon\n",
+              hw::breakeven_units(custom, standard));
+  std::printf("integration time: %.0f weeks custom vs %.0f weeks standard\n\n",
+              custom.integration_weeks, standard.integration_weeks);
+
+  hpc::bench::section("total enablement cost of fielding 8 silicon options");
+  sim::Table c({"units per silicon", "custom total-M$", "standard total-M$"});
+  for (const double units : {500.0, 2'000.0, 10'000.0}) {
+    c.add_row({sim::fmt(units, 0),
+               sim::fmt(hw::enablement_cost_usd(custom, 8, units) / 1e6, 2),
+               sim::fmt(hw::enablement_cost_usd(standard, 8, units) / 1e6, 2)});
+  }
+  c.print();
+  std::printf("\n");
+}
+
+void BM_EnablementCost(benchmark::State& state) {
+  const hw::PlatformModel m = hw::standard_module_model();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hw::enablement_cost_usd(m, 8, 1'000.0));
+}
+BENCHMARK(BM_EnablementCost);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,68 @@
+/// Ablation A2 (paper Section II.C): the exascale facility — "a 30-40 MW
+/// datacenter with aggressive liquid cooling and very high-density racks,
+/// up to 400 kW per rack".
+///
+/// Packs GPU- and wafer-scale-class silicon into a 35 MW facility under each
+/// cooling technology.  Expected shape: air cooling wastes the budget on PUE
+/// and rack count; direct liquid at 400 kW/rack hosts several times more
+/// silicon per MW and per dollar — the paper's cooling argument made
+/// quantitative.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "hw/catalog.hpp"
+#include "hw/facility.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_experiment() {
+  hpc::bench::banner(
+      "A2", "Power and cooling at exascale (Section II.C)",
+      "high-density liquid-cooled racks are what make a 30-40 MW exascale "
+      "machine room feasible");
+
+  const double budget_mw = 35.0;
+  for (const hw::DeviceSpec& device : {hw::gpu_hpc_spec(), hw::wafer_scale_spec()}) {
+    std::printf("device family: %s (%.0f W TDP)\n", device.name.c_str(), device.tdp_w);
+    sim::Table t({"cooling", "kW/rack", "PUE", "devices/rack", "racks", "devices",
+                  "capex-M$", "energy-M$/yr"});
+    for (const hw::Cooling cooling :
+         {hw::Cooling::kAirCooled, hw::Cooling::kRearDoor, hw::Cooling::kDirectLiquid,
+          hw::Cooling::kImmersion}) {
+      const hw::CoolingSpec spec = hw::cooling_spec(cooling);
+      const hw::RackPlan rack = hw::pack_rack(device, spec);
+      const hw::FacilityPlan plan = hw::plan_facility(rack, budget_mw);
+      t.add_row({std::string(hw::name_of(cooling)), sim::fmt(spec.max_rack_kw, 0),
+                 sim::fmt(spec.pue, 2), std::to_string(rack.devices_per_rack),
+                 std::to_string(plan.racks), sim::fmt(plan.devices, 0),
+                 sim::fmt(plan.capex_usd / 1e6, 1),
+                 sim::fmt(plan.annual_energy_cost_usd / 1e6, 1)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+
+  // Useful-compute view: GPUs hosted per facility MW.
+  const hw::FacilityPlan air = hw::plan_facility(
+      hw::pack_rack(hw::gpu_hpc_spec(), hw::cooling_spec(hw::Cooling::kAirCooled)),
+      budget_mw);
+  const hw::FacilityPlan liquid = hw::plan_facility(
+      hw::pack_rack(hw::gpu_hpc_spec(), hw::cooling_spec(hw::Cooling::kDirectLiquid)),
+      budget_mw);
+  std::printf("liquid vs air at %.0f MW: %.2fx more accelerators in the same envelope\n\n",
+              budget_mw, liquid.devices / air.devices);
+}
+
+void BM_FacilityPlanning(benchmark::State& state) {
+  const hw::RackPlan rack =
+      hw::pack_rack(hw::gpu_hpc_spec(), hw::cooling_spec(hw::Cooling::kDirectLiquid));
+  for (auto _ : state) benchmark::DoNotOptimize(hw::plan_facility(rack, 35.0));
+}
+BENCHMARK(BM_FacilityPlanning);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,62 @@
+/// Ablation A5 (paper Section II.B, last paragraph): the switch-silicon wall
+/// and the silicon-photonics escape.
+///
+/// "State of the art switches (12.8 Tbps) ... one more natural step (to
+/// 25.6 Tbps with 64 ports at 400 Gbps).  These designs have a very high
+/// wire density, much of their area is taken up by SerDes ... Radical change
+/// is required beyond this point."  The model quantifies both roadmaps:
+/// the electrical path drowns in SerDes area and loses copper reach; the
+/// co-packaged-photonics path (the HPE Labs IP the paper describes) keeps
+/// logic share and reach flat while bandwidth and radix keep scaling.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "net/switchgen.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_roadmap(const char* title, const std::vector<net::SwitchGen>& roadmap) {
+  hpc::bench::section(title);
+  sim::Table t({"generation", "year", "Tbps", "radix x Gbps", "SerDes area",
+                "logic area", "reach", "W/Tbps"});
+  for (const net::SwitchGen& g : roadmap) {
+    t.add_row({g.name, std::to_string(g.year), sim::fmt(g.aggregate_tbps, 1),
+               std::to_string(g.radix) + " x " + sim::fmt(g.port_gbps, 0),
+               sim::fmt(100.0 * g.serdes_area_share, 0) + " %",
+               sim::fmt(100.0 * g.logic_area_share(), 0) + " %",
+               g.electrical_reach_m >= 100.0 ? sim::fmt(g.electrical_reach_m, 0) + " m (optical)"
+                                             : sim::fmt(g.electrical_reach_m, 1) + " m (copper)",
+               sim::fmt(g.power_per_tbps(), 1)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "A5", "The switch-silicon wall and the photonics escape (Section II.B)",
+      "beyond 25.6 Tbps, SerDes area and collapsing copper reach end the "
+      "electrical roadmap; co-packaged silicon photonics continues it");
+
+  print_roadmap("electrical roadmap", net::electrical_roadmap());
+  print_roadmap("co-packaged silicon-photonics roadmap", net::copackaged_roadmap());
+
+  const int wall = net::radical_change_generation(net::electrical_roadmap());
+  std::printf("radical-change point: electrical generation %d (%s) crosses 50%% "
+              "SerDes area; the photonic roadmap never does\n\n",
+              wall,
+              net::electrical_roadmap()[static_cast<std::size_t>(wall)].name.c_str());
+}
+
+void BM_RoadmapScan(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::radical_change_generation(net::electrical_roadmap()));
+}
+BENCHMARK(BM_RoadmapScan);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,130 @@
+/// Ablation A6 (paper Section III.D): software and programming environments.
+///
+/// (a) Message passing vs PGAS: the phase time of a fixed communication
+///     volume as access granularity shrinks, on an Ethernet cluster fabric vs
+///     a CXL-class load/store fabric — quantifying when each of the paper's
+///     "two programming models" wins and how coherent fabrics move the line.
+/// (b) A Legion-like data-centric runtime: tasks declare region accesses, the
+///     runtime extracts the parallelism implicitly and maps regions onto a
+///     multi-level memory hierarchy — the paper's case for data-centric
+///     runtimes on heterogeneous machines.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/datart.hpp"
+#include "net/progmodel.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_progmodels() {
+  hpc::bench::section("(a) message passing vs PGAS: 8 MB of communication");
+  sim::Table t({"granularity", "accesses", "eth200: MP", "eth200: PGAS",
+                "cxl: MP", "cxl: PGAS", "winner on cxl"});
+  const double total = 8e6;
+  for (const double gran : {8.0, 64.0, 4'096.0, 1e6, 8e6}) {
+    net::CommPhase phase;
+    phase.granularity_bytes = gran;
+    phase.accesses = static_cast<std::int64_t>(total / gran);
+    const double eth_mp =
+        net::phase_time_ns(net::ProgModel::kMessagePassing, phase, net::LinkClass::kEth200);
+    const double eth_pg =
+        net::phase_time_ns(net::ProgModel::kPgas, phase, net::LinkClass::kEth200);
+    const double cxl_mp =
+        net::phase_time_ns(net::ProgModel::kMessagePassing, phase, net::LinkClass::kCxl);
+    const double cxl_pg =
+        net::phase_time_ns(net::ProgModel::kPgas, phase, net::LinkClass::kCxl);
+    t.add_row({sim::fmt_bytes(gran), std::to_string(phase.accesses),
+               sim::fmt_time_ns(eth_mp), sim::fmt_time_ns(eth_pg),
+               sim::fmt_time_ns(cxl_mp), sim::fmt_time_ns(cxl_pg),
+               cxl_pg < cxl_mp ? "pgas" : "message-passing"});
+  }
+  t.print();
+  const double eth_cross = net::pgas_win_granularity_bytes(net::LinkClass::kEth200, total);
+  const double cxl_cross = net::pgas_win_granularity_bytes(net::LinkClass::kCxl, total);
+  std::printf("finest granularity where PGAS still wins: eth200 %s, cxl %s\n\n",
+              std::isinf(eth_cross) ? "never" : sim::fmt_bytes(eth_cross).c_str(),
+              cxl_cross <= 8.0 ? "8 B (word grain — always)"
+                               : sim::fmt_bytes(cxl_cross).c_str());
+}
+
+/// Blocked 2-phase stencil campaign: per-block compute tasks (disjoint
+/// regions, parallel) followed by a reduction that reads every block.
+core::DataRuntime make_stencil_graph(int blocks, int sweeps) {
+  core::DataRuntime rt;
+  std::vector<int> regions;
+  for (int b = 0; b < blocks; ++b)
+    regions.push_back(rt.add_region("block" + std::to_string(b), 4.0));
+  const int stats = rt.add_region("stats", 0.1);
+  for (int s = 0; s < sweeps; ++s) {
+    for (int b = 0; b < blocks; ++b)
+      rt.add_task("sweep" + std::to_string(s) + "_b" + std::to_string(b),
+                  {{regions[static_cast<std::size_t>(b)], core::Access::kReadWrite}},
+                  1'000.0);
+    std::vector<core::RegionRequirement> reduce_reqs;
+    for (const int r : regions) reduce_reqs.push_back({r, core::Access::kRead});
+    reduce_reqs.push_back({stats, core::Access::kReadWrite});
+    rt.add_task("reduce" + std::to_string(s), std::move(reduce_reqs), 400.0);
+  }
+  return rt;
+}
+
+void print_datart() {
+  hpc::bench::section("(b) data-centric runtime: implicit parallelism from region accesses");
+  const core::DataRuntime rt = make_stencil_graph(16, 6);
+  std::printf("task graph: 16 blocks x 6 sweeps + per-sweep reductions = %zu tasks, "
+              "critical path %s, serial %s\n",
+              rt.task_count(), sim::fmt_time_ns(rt.critical_path_ns()).c_str(),
+              sim::fmt_time_ns(rt.serial_ns()).c_str());
+  sim::Table t({"workers", "makespan", "speedup", "efficiency"});
+  for (const int workers : {1, 2, 4, 8, 16, 32}) {
+    const core::RuntimeSchedule s = rt.schedule(workers);
+    t.add_row({std::to_string(workers), sim::fmt_time_ns(s.makespan_ns),
+               sim::fmt(s.speedup, 2) + "x",
+               sim::fmt(100.0 * s.parallel_efficiency, 1) + " %"});
+  }
+  t.print();
+
+  // Region mapping onto the hierarchy.
+  mem::MemoryTier hbm = mem::hbm_tier();
+  hbm.capacity_gb = 24.0;  // room for 6 hot blocks
+  const mem::Hierarchy hierarchy({hbm, mem::dram_tier(), mem::pmem_tier()});
+  const std::vector<std::size_t> placement = rt.map_regions(hierarchy);
+  std::vector<int> per_tier(hierarchy.tiers().size(), 0);
+  for (const std::size_t tier : placement) ++per_tier[tier];
+  std::printf("\nregion mapping onto {hbm 24GB, dram, pmem}: %d regions in HBM, "
+              "%d in DRAM, %d in PMEM (hottest first, capacity-respecting)\n\n",
+              per_tier[0], per_tier[1], per_tier[2]);
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "A6", "Programming environments for heterogeneous HPC (Section III.D)",
+      "CXL-class fabrics move the MPI/PGAS crossover to fine granularity, and "
+      "data-centric runtimes extract task/data parallelism implicitly");
+  print_progmodels();
+  print_datart();
+}
+
+void BM_DependencyExtraction(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::DataRuntime rt = make_stencil_graph(16, 6);
+    benchmark::DoNotOptimize(rt.task_count());
+  }
+}
+BENCHMARK(BM_DependencyExtraction);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const core::DataRuntime rt = make_stencil_graph(16, 6);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rt.schedule(static_cast<int>(state.range(0))).makespan_ns);
+}
+BENCHMARK(BM_ListSchedule)->Arg(4)->Arg(16);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

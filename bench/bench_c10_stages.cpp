@@ -1,0 +1,103 @@
+/// Experiment C10 (paper Section III.G): the staged path to democratized
+/// compute — local-only -> bursting -> fluid workloads -> grid -> exchange.
+///
+/// The same bursty workload (demand peaks exceeding home capacity) runs at
+/// every federation maturity stage.  Expected shape: each stage strictly
+/// improves peak-demand absorption (p95 completion) — bursting buys relief at
+/// cloud prices, fluid/grid spread load across the federation, and the
+/// exchange stage trades a little completion time for the lowest cost.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "fed/federation.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace hpc;
+
+std::vector<fed::Site> staged_sites() {
+  fed::Site campus = fed::make_onprem_site(0, "campus", 8, 4);
+  fed::Site partner = fed::make_onprem_site(1, "partner-campus", 8, 4);
+  partner.admin_domain = 0;  // same domain: reachable from the "fluid" stage on
+  fed::Site center = fed::make_supercomputer_site(2, "national-center", 48);
+  center.admin_domain = 0;   // national allocation: also inside the domain
+  fed::Site cloud = fed::make_cloud_site(3, "cloud", 48, 0.15);  // foreign domain
+  return {campus, partner, center, cloud};
+}
+
+fed::FederationResult run_stage(fed::FederationStage stage) {
+  fed::FederationConfig cfg;
+  cfg.stage = stage;
+  cfg.policy = stage == fed::FederationStage::kExchange ? fed::MetaPolicy::kCheapest
+                                                        : fed::MetaPolicy::kDataGravity;
+  if (stage == fed::FederationStage::kLocalOnly) cfg.policy = fed::MetaPolicy::kHomeOnly;
+  cfg.burst_site = 3;
+  cfg.burst_queue_threshold_s = 120.0;
+  cfg.seed = 31;
+
+  fed::FederationSim fsim(staged_sites(), cfg);
+  sim::Rng rng(32);
+  // Bursty demand: a steady trickle plus a storm in the middle.
+  sched::WorkloadConfig steady;
+  steady.jobs = 120;
+  steady.mean_interarrival_s = 60.0;
+  steady.max_nodes = 4;
+  std::vector<sched::Job> jobs = sched::generate_workload(steady, rng);
+  sched::WorkloadConfig storm;
+  storm.jobs = 120;
+  storm.mean_interarrival_s = 3.0;
+  storm.max_nodes = 8;
+  std::vector<sched::Job> burst = sched::generate_workload(storm, rng);
+  for (sched::Job& j : burst) {
+    j.id += 1'000;
+    j.arrival += sim::from_seconds(1'800.0);  // the storm hits at t = 30 min
+  }
+  jobs.insert(jobs.end(), burst.begin(), burst.end());
+  fsim.submit_all(jobs, 0);
+  return fsim.run();
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C10", "Stages toward democratized compute (Section III.G)",
+      "bursting -> fluid workloads -> grid -> exchange: each step absorbs "
+      "demand peaks better; the exchange adds cost discipline");
+
+  sim::Table t({"stage", "mean completion", "p95 completion", "cost-$",
+                "wan moved", "jobs off-site"});
+  for (const auto stage :
+       {fed::FederationStage::kLocalOnly, fed::FederationStage::kBursting,
+        fed::FederationStage::kFluid, fed::FederationStage::kGrid,
+        fed::FederationStage::kExchange}) {
+    const fed::FederationResult r = run_stage(stage);
+    int off_site = 0;
+    for (const fed::FedPlacement& p : r.placements)
+      if (p.site > 0) ++off_site;
+    t.add_row({std::string(fed::name_of(stage)), sim::fmt(r.mean_completion_s, 1) + " s",
+               sim::fmt(r.p95_completion_s, 1) + " s", sim::fmt(r.total_cost_usd, 0),
+               sim::fmt_bytes(r.wan_gb_moved * 1e9), std::to_string(off_site)});
+  }
+  t.print();
+
+  const fed::FederationResult local = run_stage(fed::FederationStage::kLocalOnly);
+  const fed::FederationResult grid = run_stage(fed::FederationStage::kGrid);
+  std::printf("\ngrid vs local-only: p95 completion improves %.1fx during the demand storm\n\n",
+              local.p95_completion_s / std::max(1e-9, grid.p95_completion_s));
+}
+
+void BM_StageLocalOnly(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(run_stage(fed::FederationStage::kLocalOnly));
+}
+BENCHMARK(BM_StageLocalOnly);
+
+void BM_StageGrid(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(run_stage(fed::FederationStage::kGrid));
+}
+BENCHMARK(BM_StageGrid);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,92 @@
+/// Experiment C11 (paper Section III.B): accelerators "enable closed-loop
+/// combinations of classical simulation and deep-learning inference (to
+/// accelerate some simulation steps)".
+///
+/// A parameter-sweep campaign over an expensive physics step (damped
+/// oscillator response, 1 ms per exact evaluation) is run with an MLP
+/// surrogate trained on sampled data, re-anchored by exact evaluations every
+/// k steps.  Expected shape: order-of-magnitude speedups at modest trajectory
+/// error; more training data buys lower error, sparser anchoring buys more
+/// speed — the classic fidelity/throughput frontier.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ai/surrogate.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C11", "AI surrogates accelerating simulation steps (Section III.B)",
+      "closed-loop simulation + surrogate inference trades bounded error for "
+      "order-of-magnitude campaign speedup");
+
+  const ai::GroundTruth truth = ai::oscillator_truth(1e6);  // 1 ms per exact step
+  const std::int64_t campaign_steps = 200'000;
+
+  hpc::bench::section("(a) training-set size vs fidelity (surrogate: 3-48-48-1 tanh MLP)");
+  sim::Table f({"training samples", "train RMSE", "test RMSE", "collection cost"});
+  std::vector<ai::Surrogate> surrogates;
+  for (const std::int64_t samples : {250, 1'000, 4'000}) {
+    sim::Rng rng(41);
+    surrogates.push_back(ai::train_surrogate(truth, samples, 1e3, rng));
+    const ai::Surrogate& s = surrogates.back();
+    f.add_row({std::to_string(samples), sim::fmt(s.train_rmse, 4),
+               sim::fmt(s.test_rmse, 4), sim::fmt_time_ns(s.train_cost_ns)});
+  }
+  f.print();
+
+  hpc::bench::section("\n(b) campaign of 200k steps: anchoring cadence vs speedup/error");
+  sim::Table t({"surrogate", "anchor every", "campaign time", "speedup",
+                "mean |error|"});
+  const ai::Surrogate& good = surrogates.back();  // 4k samples
+  for (const std::int64_t anchor : {5, 20, 100, 0}) {
+    sim::Rng rng(42);
+    const ai::LoopResult r = ai::run_campaign(truth, good, campaign_steps, anchor, rng);
+    t.add_row({"4k-sample", anchor == 0 ? "never" : "1/" + std::to_string(anchor),
+               sim::fmt_time_ns(r.time_hybrid_ns), sim::fmt(r.speedup, 1) + "x",
+               sim::fmt(r.mean_abs_error, 4)});
+  }
+  {
+    sim::Rng rng(43);
+    const ai::LoopResult r = ai::run_campaign(truth, surrogates.front(), campaign_steps, 20, rng);
+    t.add_row({"250-sample", "1/20", sim::fmt_time_ns(r.time_hybrid_ns),
+               sim::fmt(r.speedup, 1) + "x", sim::fmt(r.mean_abs_error, 4)});
+  }
+  {
+    sim::Rng rng(44);
+    const ai::LoopResult r = ai::run_campaign(truth, good, campaign_steps, 20, rng);
+    std::printf("\nreference row (all-exact campaign): %s; hybrid (4k, 1/20): %s "
+                "=> %.1fx speedup at %.4f mean error\n",
+                sim::fmt_time_ns(r.time_full_ns).c_str(),
+                sim::fmt_time_ns(r.time_hybrid_ns).c_str(), r.speedup, r.mean_abs_error);
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void BM_SurrogateTraining(benchmark::State& state) {
+  const ai::GroundTruth truth = ai::oscillator_truth(1e6);
+  for (auto _ : state) {
+    sim::Rng rng(45);
+    benchmark::DoNotOptimize(ai::train_surrogate(truth, state.range(0), 1e3, rng));
+  }
+}
+BENCHMARK(BM_SurrogateTraining)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_SurrogateInference(benchmark::State& state) {
+  sim::Rng rng(46);
+  const ai::GroundTruth truth = ai::oscillator_truth(1e6);
+  const ai::Surrogate s = ai::train_surrogate(truth, 500, 1e3, rng);
+  const std::vector<float> x{0.3f, 0.4f, 0.5f};
+  for (auto _ : state) benchmark::DoNotOptimize(s.model.forward(x));
+}
+BENCHMARK(BM_SurrogateInference);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

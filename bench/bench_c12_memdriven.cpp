@@ -1,0 +1,112 @@
+/// Experiment C12 (paper Section III.D): memory-driven computing.
+///
+/// "Due to the high cost of data movement, computing in memory has been
+/// revisited and approaches to memory driven computing have been explored
+/// [24][25][26]."  A multi-stage analytics pipeline over fabric-attached
+/// persistent memory is executed copy-style (fetch, process, write back every
+/// stage) and memory-driven (operate in place, pass by reference).  Expected
+/// shape: memory-driven wins time and bytes-moved, and the win grows with
+/// pipeline depth and shrinking selectivity; with compute-dominated stages
+/// the two designs converge (data movement is the differentiator).
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mem/datamove.hpp"
+#include "mem/tiering.hpp"
+
+namespace {
+
+using namespace hpc;
+
+std::vector<mem::PipelineStage> make_stages(int depth, double selectivity,
+                                            double compute_ns_per_gb) {
+  return std::vector<mem::PipelineStage>(static_cast<std::size_t>(depth),
+                                         {compute_ns_per_gb, selectivity});
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C12", "Memory-driven computing (Section III.D)",
+      "operating on data in place in fabric-attached memory beats copy-based "
+      "pipelines; the advantage is the data movement itself");
+
+  const mem::FabricPool pool{mem::pmem_tier(), net::LinkClass::kCxl, 1};
+  const double input_gb = 100.0;
+
+  hpc::bench::section("pipeline depth sweep (50% selectivity, movement-bound stages)");
+  sim::Table t({"stages", "copy time", "mdc time", "speedup", "copy bytes", "mdc bytes"});
+  for (const int depth : {1, 2, 4, 8}) {
+    const auto stages = make_stages(depth, 0.5, 1e5);
+    const double tc = mem::copy_pipeline_ns(pool, input_gb, stages);
+    const double tm = mem::memory_driven_pipeline_ns(pool, input_gb, stages);
+    t.add_row({std::to_string(depth), sim::fmt_time_ns(tc), sim::fmt_time_ns(tm),
+               sim::fmt(tc / tm, 2) + "x",
+               sim::fmt_bytes(mem::copy_pipeline_bytes(input_gb, stages)),
+               sim::fmt_bytes(mem::memory_driven_pipeline_bytes(input_gb, stages))});
+  }
+  t.print();
+
+  hpc::bench::section("\nstage character sweep (4 stages)");
+  sim::Table c({"stage compute ns/GB", "selectivity", "copy time", "mdc time", "speedup"});
+  for (const double compute : {1e4, 1e6, 1e8}) {
+    for (const double sel : {0.1, 1.0}) {
+      const auto stages = make_stages(4, sel, compute);
+      const double tc = mem::copy_pipeline_ns(pool, input_gb, stages);
+      const double tm = mem::memory_driven_pipeline_ns(pool, input_gb, stages);
+      c.add_row({sim::fmt(compute, 0), sim::fmt(sel, 1), sim::fmt_time_ns(tc),
+                 sim::fmt_time_ns(tm), sim::fmt(tc / tm, 2) + "x"});
+    }
+  }
+  c.print();
+
+  hpc::bench::section("\nlatency substrate: the same pipelines behind PCIe instead of CXL");
+  const mem::FabricPool pcie{mem::pmem_tier(), net::LinkClass::kPcie4, 1};
+  const auto stages = make_stages(4, 0.5, 1e5);
+  sim::Table l({"fabric", "load latency", "mdc time", "copy time"});
+  for (const auto& [name, p] : {std::pair{"cxl", pool}, std::pair{"pcie4", pcie}}) {
+    l.add_row({name, sim::fmt_time_ns(mem::load_latency_ns(p)),
+               sim::fmt_time_ns(mem::memory_driven_pipeline_ns(p, input_gb, stages)),
+               sim::fmt_time_ns(mem::copy_pipeline_ns(p, input_gb, stages))});
+  }
+  l.print();
+
+  hpc::bench::section(
+      "\nmulti-level hierarchy: DRAM-in-front-of-PMEM tier placement "
+      "(Section III.D 'complex, multi-level, memory hierarchies')");
+  sim::Table tt({"fast-tier size", "policy", "fast hit rate", "mean access",
+                 "slowdown vs all-DRAM"});
+  for (const double cap : {10.0, 25.0, 50.0}) {
+    for (const auto policy : {mem::TieringPolicy::kStatic, mem::TieringPolicy::kHotCold}) {
+      const mem::TieringOutcome o = mem::evaluate_tiering(
+          mem::dram_tier(), mem::pmem_tier(), 100.0, cap, 1.0, policy);
+      tt.add_row({sim::fmt(cap, 0) + " GB / 100 GB", std::string(mem::name_of(policy)),
+                  sim::fmt(100.0 * o.fast_hit_rate, 1) + " %",
+                  sim::fmt_time_ns(o.mean_access_ns),
+                  sim::fmt(o.slowdown_vs_all_fast, 2) + "x"});
+    }
+  }
+  tt.print();
+  std::printf("\n");
+}
+
+void BM_CopyPipeline(benchmark::State& state) {
+  const mem::FabricPool pool{mem::pmem_tier(), net::LinkClass::kCxl, 1};
+  const auto stages = make_stages(static_cast<int>(state.range(0)), 0.5, 1e5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mem::copy_pipeline_ns(pool, 100.0, stages));
+}
+BENCHMARK(BM_CopyPipeline)->Arg(4)->Arg(16);
+
+void BM_MemoryDrivenPipeline(benchmark::State& state) {
+  const mem::FabricPool pool{mem::pmem_tier(), net::LinkClass::kCxl, 1};
+  const auto stages = make_stages(static_cast<int>(state.range(0)), 0.5, 1e5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mem::memory_driven_pipeline_ns(pool, 100.0, stages));
+}
+BENCHMARK(BM_MemoryDrivenPipeline)->Arg(4)->Arg(16);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

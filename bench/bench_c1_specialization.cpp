@@ -1,0 +1,120 @@
+/// Experiment C1 (paper Sections I, II.A): the end of Dennard scaling makes
+/// specialization the only lever left inside a fixed power envelope.
+///
+/// Part (a): the technology model — general-purpose perf/W by generation,
+/// showing the Dennard-era compounding and the post-2005 plateau, against
+/// one-off specialization gains (Amdahl-limited by workload coverage).
+/// Part (b): a 100 kW power envelope spent on different cluster mixes,
+/// measured by aggregate domain throughput.  Expected shape: homogeneous
+/// general-purpose saturates; the diversified mix wins every AI-heavy mix
+/// and never collapses.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hw/catalog.hpp"
+#include "hw/scaling.hpp"
+#include "sched/cluster.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_scaling_curve() {
+  hpc::bench::section("(a) general-purpose perf/W by process generation (gen 0 ~ 1990)");
+  const hw::TechnologyModel tech;
+  const hw::SpecializationModel spec;
+  sim::Table t({"generation", "~year", "gen-gain", "cum perf/W", "with ASIC (30x, 70% cov)",
+                "with analog (300x, 70% cov)"});
+  for (int gen = 0; gen <= 18; gen += 2) {
+    const double ppw = tech.perf_per_watt(gen);
+    t.add_row({std::to_string(gen), std::to_string(1990 + 2 * gen),
+               sim::fmt(tech.generation_gain(gen), 2), sim::fmt(ppw, 1),
+               sim::fmt(ppw * spec.effective_speedup(spec.asic_gain), 1),
+               sim::fmt(ppw * spec.effective_speedup(spec.analog_gain), 1)});
+  }
+  t.print();
+  std::printf("(post-Dennard rows: the cumulative curve flattens; the remaining "
+              "gap is exactly the specialization multiplier)\n\n");
+}
+
+/// Aggregate throughput (Tflop/s) of a cluster on a domain mix, power-capped.
+double domain_throughput_tflops(const sched::Cluster& cluster, sched::JobKind kind) {
+  double total = 0.0;
+  for (const sched::Partition& p : cluster.partitions) {
+    sched::Job probe;
+    probe.total_gflop = 1e5;
+    probe.mix = sched::mix_of(kind);
+    probe.precision = sched::precision_of(kind);
+    probe.nodes = 1;
+    const double t_ns = sched::job_runtime_ns(probe, p.device, 1);
+    if (t_ns >= 1e17) continue;
+    total += probe.total_gflop / (t_ns * 1e-9) * p.nodes / 1e3;
+  }
+  return total;
+}
+
+/// Scales node counts so each cluster draws as close to the cap as possible.
+sched::Cluster cap_power(sched::Cluster c, double cap_w) {
+  const double draw = c.total_power_w();
+  if (draw <= 0.0) return c;
+  const double scale = cap_w / draw;
+  for (sched::Partition& p : c.partitions)
+    p.nodes = std::max(1, static_cast<int>(p.nodes * scale));
+  return c;
+}
+
+void print_power_envelope() {
+  hpc::bench::section("(b) 100 kW envelope: cluster mix vs domain throughput (Tflop/s)");
+  const double cap = 100'000.0;
+  struct Mix {
+    std::string name;
+    sched::Cluster cluster;
+  };
+  std::vector<Mix> mixes;
+  mixes.push_back({"all-CPU", cap_power(sched::make_homogeneous_cpu_cluster(360), cap)});
+  mixes.push_back({"CPU+GPU", cap_power(sched::make_cpu_gpu_cluster(150, 140), cap)});
+  mixes.push_back(
+      {"diversified", cap_power(sched::make_diversified_cluster(80, 80, 60, 40, 200), cap)});
+
+  sim::Table t({"cluster mix", "power kW", "hpc-sim", "ai-train", "ai-infer",
+                "analytics", "capex-M$"});
+  for (const Mix& m : mixes) {
+    t.add_row({m.name, sim::fmt(m.cluster.total_power_w() / 1e3, 1),
+               sim::fmt(domain_throughput_tflops(m.cluster, sched::JobKind::kHpcSimulation), 1),
+               sim::fmt(domain_throughput_tflops(m.cluster, sched::JobKind::kAiTraining), 1),
+               sim::fmt(domain_throughput_tflops(m.cluster, sched::JobKind::kAiInference), 1),
+               sim::fmt(domain_throughput_tflops(m.cluster, sched::JobKind::kAnalytics), 1),
+               sim::fmt(m.cluster.total_cost_usd() / 1e6, 2)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C1", "Specialization under a fixed power envelope (Sections I, II.A)",
+      "after Dennard, general-purpose perf/W stalls; specialized accelerators "
+      "are the remaining scaling lever, at the cost of narrow applicability");
+  print_scaling_curve();
+  print_power_envelope();
+}
+
+void BM_TechnologyCurve(benchmark::State& state) {
+  const hw::TechnologyModel tech;
+  for (auto _ : state) benchmark::DoNotOptimize(tech.perf_per_watt(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TechnologyCurve)->Arg(8)->Arg(20);
+
+void BM_DomainThroughput(benchmark::State& state) {
+  const sched::Cluster c = sched::make_diversified_cluster(80, 80, 60, 40, 200);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(domain_throughput_tflops(c, sched::JobKind::kAiTraining));
+}
+BENCHMARK(BM_DomainThroughput);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,123 @@
+/// Experiment C4 (paper Section III.B): analog "neuromorphic" engines turn
+/// the O(N^2) mat-vec into an O(N) problem.
+///
+/// Part (a): latency and energy of an NxN mat-vec on a digital systolic
+/// accelerator (roofline) vs the memristor dot-product engine [19] vs the
+/// coherent-photonics engine [20], sweeping N.  Expected shape: digital time
+/// grows ~N^2, analog grows ~N (tile waves), with a crossover at modest N;
+/// analog energy per op is orders of magnitude lower.
+/// Part (b): the cost of analog — classifier accuracy vs read-noise level,
+/// using the real trained MLP through the noisy crossbar model.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "ai/datasets.hpp"
+#include "ai/exec.hpp"
+#include "hw/analog.hpp"
+#include "hw/catalog.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_scaling() {
+  hpc::bench::section("(a) NxN mat-vec: digital vs analog, latency and energy");
+  const hw::Device systolic(hw::systolic_spec());
+  const hw::AnalogEngine dpe(hw::dpe_spec());
+  const hw::AnalogEngine photonic(hw::photonic_spec());
+
+  sim::Table t({"N", "systolic time", "dpe time", "photonic time", "systolic uJ",
+                "dpe uJ", "photonic uJ"});
+  for (const std::int64_t n : {256, 512, 1024, 2048, 4096, 8192, 16384}) {
+    const hw::Kernel k = hw::make_matvec(n, hw::Precision::INT8);
+    const hw::ExecutionEstimate dig = systolic.execute(k);
+    t.add_row({std::to_string(n), sim::fmt_time_ns(dig.time_ns),
+               sim::fmt_time_ns(dpe.matvec_time_ns(n, n)),
+               sim::fmt_time_ns(photonic.matvec_time_ns(n, n)),
+               sim::fmt(dig.energy_j * 1e6, 2), sim::fmt(dpe.matvec_energy_j(n, n) * 1e6, 2),
+               sim::fmt(photonic.matvec_energy_j(n, n) * 1e6, 2)});
+  }
+  t.print();
+
+  // Complexity check: time growth factor when N doubles at large N.
+  const double t8k = dpe.matvec_time_ns(8192, 8192);
+  const double t16k = dpe.matvec_time_ns(16384, 16384);
+  const hw::Kernel k8 = hw::make_matvec(8192, hw::Precision::INT8);
+  const hw::Kernel k16 = hw::make_matvec(16384, hw::Precision::INT8);
+  std::printf("\nN 8192 -> 16384: digital time x%.1f (O(N^2)-ish), "
+              "analog tile-waves x%.1f (O(N^2) tiles / fixed pool but constant "
+              "per-tile latency; per-MAC time -> 0)\n",
+              hw::Device(hw::systolic_spec()).exec_time_ns(k16) /
+                  hw::Device(hw::systolic_spec()).exec_time_ns(k8),
+              t16k / t8k);
+  std::printf("programming cost amortization: dpe program(4096x4096) = %s\n\n",
+              sim::fmt_time_ns(dpe.program_time_ns(4096, 4096)).c_str());
+}
+
+void print_accuracy() {
+  hpc::bench::section("(b) accuracy cost of analog inference (trained 2-32-32-4 classifier)");
+  sim::Rng rng(77);
+  const ai::Dataset all = ai::make_blobs(1'500, 4, 2, 0.5, rng);
+  auto [train, test] = ai::split(all, 0.8);
+  ai::Mlp model({2, 32, 32, 4}, ai::Activation::kReLU, ai::Loss::kSoftmaxCrossEntropy, rng);
+  ai::TrainConfig cfg;
+  cfg.epochs = 60;
+  model.train(train, cfg, rng);
+
+  ai::ExactExecutor exact;
+  const double base = ai::accuracy_with(model, test, exact);
+
+  sim::Table t({"engine / noise sigma", "weight bits", "accuracy", "loss vs fp32"});
+  t.add_row({"digital fp32", "32", sim::fmt(100.0 * base, 1) + " %", "-"});
+  for (const double sigma : {0.01, 0.03, 0.05, 0.10, 0.20, 0.40}) {
+    hw::AnalogSpec spec = hw::dpe_spec();
+    spec.read_noise_sigma = sigma;
+    const hw::AnalogEngine engine(spec);
+    sim::Rng arng(78);
+    ai::AnalogExecutor analog(engine, arng);
+    const double acc = ai::accuracy_with(model, test, analog);
+    t.add_row({"dpe sigma=" + sim::fmt(sigma, 2), std::to_string(spec.weight_bits),
+               sim::fmt(100.0 * acc, 1) + " %", sim::fmt(100.0 * (base - acc), 1) + " pp"});
+  }
+  {
+    const hw::AnalogEngine photonic{hw::photonic_spec()};
+    sim::Rng arng(79);
+    ai::AnalogExecutor analog(photonic, arng);
+    const double acc = ai::accuracy_with(model, test, analog);
+    t.add_row({"photonic (sigma=0.05)", std::to_string(hw::photonic_spec().weight_bits),
+               sim::fmt(100.0 * acc, 1) + " %", sim::fmt(100.0 * (base - acc), 1) + " pp"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C4", "Analog dot-product engines: O(N^2) -> O(N) (Section III.B)",
+      "analog and photonic matrix engines execute mat-vec in linear time and "
+      "energy, at the price of noise-limited accuracy");
+  print_scaling();
+  print_accuracy();
+}
+
+void BM_DigitalMatvec4096(benchmark::State& state) {
+  const hw::Device systolic(hw::systolic_spec());
+  const hw::Kernel k = hw::make_matvec(4096, hw::Precision::INT8);
+  for (auto _ : state) benchmark::DoNotOptimize(systolic.execute(k));
+}
+BENCHMARK(BM_DigitalMatvec4096);
+
+void BM_AnalogNoisyMatvec(benchmark::State& state) {
+  const hw::AnalogEngine dpe(hw::dpe_spec());
+  const std::int64_t n = state.range(0);
+  std::vector<float> w(static_cast<std::size_t>(n * n), 0.5f);
+  std::vector<float> x(static_cast<std::size_t>(n), 1.0f);
+  sim::Rng rng(5);
+  for (auto _ : state) benchmark::DoNotOptimize(dpe.matvec(w, n, n, x, rng));
+}
+BENCHMARK(BM_AnalogNoisyMatvec)->Arg(64)->Arg(256);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

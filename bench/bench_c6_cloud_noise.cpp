@@ -1,0 +1,99 @@
+/// Experiment C6 (paper Section II.C): multi-tenant cloud interference makes
+/// "barrier-based synchronizations ineffective (the slowest component
+/// dictates performance)".
+///
+/// A bulk-synchronous application is strong-scaled from 4 to 1024 ranks on
+/// three infrastructures: a dedicated partition, an HPC-optimized cloud
+/// partition, and a general shared cloud.  Expected shape: the dedicated
+/// machine holds near-ideal efficiency; the shared cloud's efficiency decays
+/// with rank count because each barrier waits for the max of n noisy ranks —
+/// exactly the paper's argument for why only embarrassingly parallel work
+/// thrived in the cloud.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "fed/noise.hpp"
+#include "net/collectives.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C6", "Cloud interference vs barrier synchronization (Section II.C)",
+      "interference noise makes the slowest of n ranks dictate BSP step time; "
+      "efficiency collapses with scale on shared infrastructure");
+
+  const double total_work_ns = 4e9;  // fixed problem, strong scaling
+  const int steps = 200;
+
+  hpc::bench::section("strong-scaling BSP efficiency (fixed problem, 200 steps)");
+  sim::Table t({"ranks", "compute/step", "dedicated eff", "hpc-cloud eff",
+                "shared-cloud eff", "shared p99/mean step"});
+  for (const int ranks : {4, 16, 64, 256, 1024}) {
+    const double compute_ns = total_work_ns / ranks;
+    const double barrier = 20e3 + 2e3 * std::log2(static_cast<double>(ranks));
+    sim::Rng r1(61);
+    sim::Rng r2(61);
+    sim::Rng r3(61);
+    const fed::BspResult ded = fed::run_bsp(ranks, steps, compute_ns, barrier,
+                                            fed::dedicated_noise(), r1);
+    const fed::BspResult hpc = fed::run_bsp(ranks, steps, compute_ns, barrier,
+                                            fed::hpc_cloud_noise(), r2);
+    const fed::BspResult shared = fed::run_bsp(ranks, steps, compute_ns, barrier,
+                                               fed::shared_cloud_noise(), r3);
+    t.add_row({std::to_string(ranks), sim::fmt_time_ns(compute_ns),
+               sim::fmt(100.0 * ded.efficiency, 1) + " %",
+               sim::fmt(100.0 * hpc.efficiency, 1) + " %",
+               sim::fmt(100.0 * shared.efficiency, 1) + " %",
+               sim::fmt(shared.p99_step_ns / shared.mean_step_ns, 2) + "x"});
+  }
+  t.print();
+
+  hpc::bench::section("\nresulting speedup over 4 ranks (ideal = ranks/4)");
+  sim::Table sp({"ranks", "ideal", "dedicated", "shared-cloud"});
+  double base_ded = 0.0;
+  double base_shared = 0.0;
+  for (const int ranks : {4, 16, 64, 256, 1024}) {
+    const double compute_ns = total_work_ns / ranks;
+    const double barrier = 20e3 + 2e3 * std::log2(static_cast<double>(ranks));
+    sim::Rng r1(62);
+    sim::Rng r2(62);
+    const double t_ded =
+        fed::run_bsp(ranks, steps, compute_ns, barrier, fed::dedicated_noise(), r1).total_ns;
+    const double t_shared =
+        fed::run_bsp(ranks, steps, compute_ns, barrier, fed::shared_cloud_noise(), r2).total_ns;
+    if (ranks == 4) {
+      base_ded = t_ded;
+      base_shared = t_shared;
+    }
+    sp.add_row({std::to_string(ranks), sim::fmt(ranks / 4.0, 0) + "x",
+                sim::fmt(base_ded / t_ded, 1) + "x",
+                sim::fmt(base_shared / t_shared, 1) + "x"});
+  }
+  sp.print();
+  std::printf("\n");
+}
+
+void BM_BspSharedCloud(benchmark::State& state) {
+  sim::Rng rng(63);
+  const fed::NoiseModel m = fed::shared_cloud_noise();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        fed::run_bsp(static_cast<int>(state.range(0)), 100, 1e6, 1e4, m, rng));
+}
+BENCHMARK(BM_BspSharedCloud)->Arg(64)->Arg(1024);
+
+void BM_NoiseSample(benchmark::State& state) {
+  sim::Rng rng(64);
+  const fed::NoiseModel m = fed::shared_cloud_noise();
+  for (auto _ : state) benchmark::DoNotOptimize(m.sample_slowdown(rng));
+}
+BENCHMARK(BM_NoiseSample);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,178 @@
+/// Experiment C8 (paper Sections III.F/G): the Open Compute Exchange.
+///
+/// The paper asserts the exchange economy is "a non-cooperative, zero-summed
+/// game, that eventually reaches equilibrium" and that market allocation is
+/// "a lot more liquid" than static provisioning.  We test all three claims:
+///  (a) zero-sum: the cash imbalance across all agents after a session;
+///  (b) equilibrium: |price - p*| by round bucket, converging to ~0;
+///  (c) liquidity/efficiency: gains-from-trade captured by the market vs a
+///      static random pairing of users to providers, and the effect of
+///      brokers and speculators on convergence.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "market/exchange.hpp"
+#include "market/forwards.hpp"
+
+namespace {
+
+using namespace hpc;
+
+struct MarketSetup {
+  market::Exchange ex{17};
+  std::vector<double> costs;
+  std::vector<double> values;
+  market::EquilibriumPoint eq;
+};
+
+MarketSetup make_market(int providers, int consumers, bool with_traders,
+                        std::uint64_t seed) {
+  MarketSetup m;
+  m.ex = market::Exchange(seed);
+  sim::Rng rng(seed + 1);
+  for (int i = 0; i < providers; ++i) {
+    const double cost = rng.uniform(0.5, 1.5);
+    m.costs.push_back(cost);
+    m.ex.add_agent(std::make_unique<market::ProviderAgent>("prov" + std::to_string(i),
+                                                           cost, 1.0));
+  }
+  for (int i = 0; i < consumers; ++i) {
+    const double value = rng.uniform(0.8, 2.5);
+    m.values.push_back(value);
+    m.ex.add_agent(std::make_unique<market::ConsumerAgent>("cons" + std::to_string(i),
+                                                           value, 1.0));
+  }
+  if (with_traders) {
+    m.ex.add_agent(std::make_unique<market::BrokerAgent>("broker1"));
+    m.ex.add_agent(std::make_unique<market::BrokerAgent>("broker2"));
+    m.ex.add_agent(std::make_unique<market::SpeculatorAgent>("spec1"));
+    m.ex.add_agent(std::make_unique<market::SpeculatorAgent>("spec2"));
+  }
+  m.eq = market::competitive_equilibrium(m.costs, m.values);
+  return m;
+}
+
+double bucket_deviation(const std::vector<double>& prices, double p_star,
+                        std::size_t from, std::size_t to) {
+  double acc = 0.0;
+  int n = 0;
+  for (std::size_t i = from; i < to && i < prices.size(); ++i) {
+    if (prices[i] <= 0.0) continue;
+    acc += std::abs(prices[i] - p_star);
+    ++n;
+  }
+  return n ? acc / n : 0.0;
+}
+
+/// Static allocation baseline: users randomly paired 1:1 with providers at a
+/// posted price; the pair trades only if it is individually rational.
+double static_pairing_surplus(const std::vector<double>& costs,
+                              const std::vector<double>& values, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> shuffled_costs = costs;
+  std::shuffle(shuffled_costs.begin(), shuffled_costs.end(), rng.engine());
+  double surplus = 0.0;
+  const std::size_t n = std::min(costs.size(), values.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (values[i] >= shuffled_costs[i]) surplus += values[i] - shuffled_costs[i];
+  return surplus;
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C8", "Open Compute Exchange (Sections III.F/G)",
+      "the exchange is a zero-sum game that reaches equilibrium, and market "
+      "allocation captures more gains from trade than static provisioning");
+
+  hpc::bench::section("(a)+(b) convergence to competitive equilibrium, 300 rounds");
+  sim::Table t({"agents", "p*", "|p-p*| r1-50", "r51-150", "r151-300",
+                "cash imbalance"});
+  for (const bool traders : {false, true}) {
+    MarketSetup m = make_market(40, 60, traders, 21);
+    m.ex.run_rounds(300);
+    const auto& prices = m.ex.round_prices();
+    t.add_row({traders ? "40p+60c+brokers+specs" : "40p+60c",
+               sim::fmt(m.eq.price, 3), sim::fmt(bucket_deviation(prices, m.eq.price, 0, 50), 3),
+               sim::fmt(bucket_deviation(prices, m.eq.price, 50, 150), 3),
+               sim::fmt(bucket_deviation(prices, m.eq.price, 150, 300), 3),
+               sim::fmt(m.ex.cash_imbalance(), 9)});
+  }
+  t.print();
+
+  hpc::bench::section("\n(c) allocative efficiency: market vs static pairing");
+  sim::Table e({"allocation", "gains from trade ($/round equiv)", "% of optimum"});
+  MarketSetup m = make_market(40, 60, false, 23);
+  // Realized surplus per round: every trade between a consumer (value v) and
+  // provider (cost c) realizes v - c regardless of price.  Measure it in the
+  // converged regime: snapshot agent totals after a 200-round warm-up, then
+  // meter 100 more rounds.
+  auto total_surplus = [&] {
+    double s = 0.0;
+    for (std::size_t a = 0; a < m.ex.agent_count(); ++a) {
+      const auto* prov =
+          dynamic_cast<const market::ProviderAgent*>(&m.ex.agent(static_cast<int>(a)));
+      if (prov) s -= prov->marginal_cost() * prov->sold_total();
+      const auto* cons =
+          dynamic_cast<const market::ConsumerAgent*>(&m.ex.agent(static_cast<int>(a)));
+      if (cons) s += cons->valuation() * cons->bought_total();
+    }
+    return s;
+  };
+  m.ex.run_rounds(200);
+  const double warmup = total_surplus();
+  m.ex.run_rounds(100);
+  const double market_surplus = (total_surplus() - warmup) / 100.0;
+  const double static_surplus = static_pairing_surplus(m.costs, m.values, 24);
+  e.add_row({"open exchange", sim::fmt(market_surplus, 2),
+             sim::fmt(100.0 * market_surplus / m.eq.max_surplus, 1) + " %"});
+  e.add_row({"static random pairing", sim::fmt(static_surplus, 2),
+             sim::fmt(100.0 * static_surplus / m.eq.max_surplus, 1) + " %"});
+  e.add_row({"competitive optimum", sim::fmt(m.eq.max_surplus, 2), "100.0 %"});
+  e.print();
+
+  hpc::bench::section(
+      "\n(d) risk hedging with forwards (the paper's 'future HPC architectures "
+      "risk hedging')");
+  sim::Table hdg({"spot volatility/round", "unhedged cost (mean +- sd)",
+                  "hedged cost (mean +- sd)"});
+  for (const double sigma : {0.02, 0.05, 0.10}) {
+    sim::Rng rng(29);
+    const market::HedgeOutcome h = market::evaluate_hedge(1.45, sigma, 20, 1'000.0, 400, rng);
+    hdg.add_row({sim::fmt(100.0 * sigma, 0) + " %",
+                 "$" + sim::fmt(h.mean_unhedged, 0) + " +- " + sim::fmt(h.stdev_unhedged, 0),
+                 "$" + sim::fmt(h.mean_hedged, 0) + " +- " + sim::fmt(h.stdev_hedged, 2)});
+  }
+  hdg.print();
+  std::printf("(a cash-settled forward at today's fair strike removes the price "
+              "risk entirely; settlement stays zero-sum)\n\n");
+}
+
+void BM_MarketSession(benchmark::State& state) {
+  for (auto _ : state) {
+    MarketSetup m = make_market(40, 60, true, 25);
+    m.ex.run_rounds(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(m.ex.total_volume());
+  }
+}
+BENCHMARK(BM_MarketSession)->Arg(50)->Arg(300);
+
+void BM_OrderBookSubmit(benchmark::State& state) {
+  market::OrderBook book;
+  sim::Rng rng(26);
+  int agent = 0;
+  for (auto _ : state) {
+    book.submit(agent++ % 100, rng.bernoulli(0.5) ? market::Side::kBid : market::Side::kAsk,
+                rng.uniform(0.9, 1.1), 1.0);
+    benchmark::DoNotOptimize(book.open_orders());
+  }
+}
+BENCHMARK(BM_OrderBookSubmit);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,124 @@
+/// Experiment C9 (paper Sections III.A/B): inference at the instrumentation
+/// edge.
+///
+/// "All the instrumentation data goes back to the HPC core, but that has
+/// become a critical bottleneck, which is expected to get even worse with new
+/// generations of faster and more detailed experimental facilities."
+/// Part (a): three instrument generations under backhaul-everything vs
+/// edge-NPU triage — WAN demand, frame loss, decision latency, energy.
+/// Part (b): the real-time control consequence — regulating an instrument
+/// plant with the controller at the edge vs across the WAN.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "edge/control.hpp"
+#include "edge/instrument.hpp"
+#include "edge/pipeline.hpp"
+#include "edge/stream_sim.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_pipelines() {
+  hpc::bench::section("(a) instrument generations: backhaul vs edge triage (1.25 GB/s uplink)");
+  const edge::Deployment dep;
+  sim::Table t({"instrument", "raw rate", "design", "wan demand", "util", "frames lost",
+                "decision latency", "mJ/frame"});
+  for (const edge::InstrumentSpec& inst :
+       {edge::light_source_spec(), edge::light_source_upgrade_spec(),
+        edge::particle_detector_spec()}) {
+    for (const bool triage : {false, true}) {
+      const edge::PipelineOutcome o =
+          triage ? edge::edge_triage(inst, dep) : edge::backhaul_all(inst, dep);
+      t.add_row({inst.name, sim::fmt(edge::mean_rate_gbs(inst), 2) + " GB/s",
+                 triage ? "edge-triage" : "backhaul",
+                 sim::fmt(o.wan_gbs_required, 3) + " GB/s",
+                 sim::fmt(100.0 * o.wan_utilization, 0) + " %",
+                 sim::fmt(100.0 * o.frames_lost_fraction, 1) + " %",
+                 sim::fmt_time_ns(o.mean_decision_latency_ns),
+                 sim::fmt(o.energy_per_frame_j * 1e3, 2)});
+    }
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void print_control() {
+  hpc::bench::section("(b) real-time control: controller placement vs regulation quality");
+  const edge::Plant plant;
+  const edge::PidGains gains;
+  sim::Table t({"controller placement", "loop delay", "rms error", "max error",
+                "time in 5% band"});
+  struct Case {
+    std::string name;
+    int delay_steps;  // of 1 ms control periods
+  };
+  for (const Case& c : {Case{"at the instrument (edge NPU)", 1},
+                        Case{"campus datacenter", 10},
+                        Case{"HPC core over WAN", 50},
+                        Case{"remote cloud", 150}}) {
+    sim::Rng rng(91);
+    const edge::ControlResult r =
+        edge::run_control_loop(plant, gains, 1e-3, c.delay_steps, 30.0, rng);
+    t.add_row({c.name, std::to_string(c.delay_steps) + " ms", sim::fmt(r.rms_error, 3),
+               sim::fmt(r.max_error, 2), sim::fmt(100.0 * r.settled_fraction, 1) + " %"});
+  }
+  t.print();
+  std::printf("(the high-gain loop a fast instrument needs is exactly the loop "
+              "that falls apart across the WAN — control must move to the edge)\n\n");
+}
+
+void print_provisioning() {
+  hpc::bench::section(
+      "(c) provisioning the edge station (event-driven queueing, 5 s of frames)");
+  const edge::InstrumentSpec inst = edge::light_source_spec();  // 800 fr/s offered
+  sim::Table t({"NPU engines", "capacity fr/s", "drop rate", "mean latency",
+                "p99 latency", "utilization"});
+  for (const int engines : {1, 2, 4}) {
+    edge::StationConfig station;
+    station.engines = engines;
+    station.service_ns = 2e6;  // 2 ms per frame -> 500 fr/s per engine
+    sim::Rng rng(97);
+    const edge::StreamResult r = edge::run_stream(inst, station, 5.0, rng);
+    t.add_row({std::to_string(engines), sim::fmt(engines * 500.0, 0),
+               sim::fmt(100.0 * r.drop_fraction, 1) + " %",
+               sim::fmt_time_ns(r.mean_latency_ns), sim::fmt_time_ns(r.p99_latency_ns),
+               sim::fmt(100.0 * r.utilization, 0) + " %"});
+  }
+  t.print();
+  std::printf("(the burst structure matters: at 80%% duty the station needs "
+              "headroom for the 1000 fr/s burst rate, not the 800 fr/s mean)\n\n");
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "C9", "Edge inference and control at the facility (Sections III.A/B)",
+      "next-generation instruments exceed any backhaul; triage and control "
+      "must move to power-optimized accelerators at the edge");
+  print_pipelines();
+  print_control();
+  print_provisioning();
+}
+
+void BM_ControlLoop(benchmark::State& state) {
+  const edge::Plant plant;
+  const edge::PidGains gains;
+  sim::Rng rng(92);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(edge::run_control_loop(
+        plant, gains, 1e-3, static_cast<int>(state.range(0)), 10.0, rng));
+}
+BENCHMARK(BM_ControlLoop)->Arg(1)->Arg(50);
+
+void BM_FrameSampling(benchmark::State& state) {
+  sim::Rng rng(93);
+  const edge::InstrumentSpec inst = edge::light_source_spec();
+  for (auto _ : state) benchmark::DoNotOptimize(edge::sample_frames(inst, 1.0, rng));
+}
+BENCHMARK(BM_FrameSampling);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

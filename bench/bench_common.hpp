@@ -1,0 +1,37 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/report.hpp"
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the experiment binaries.  Each binary first prints
+/// its paper-reproduction tables (the rows EXPERIMENTS.md records), then runs
+/// its google-benchmark microbenchmarks of the underlying simulation engines.
+
+namespace hpc::bench {
+
+/// Prints the experiment banner: id, title, and the paper claim under test.
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+inline void section(const char* name) { std::printf("--- %s ---\n", name); }
+
+}  // namespace hpc::bench
+
+/// Prints the experiment tables, then runs registered microbenchmarks.
+#define ARCHIPELAGO_BENCH_MAIN(print_experiment)                    \
+  int main(int argc, char** argv) {                                 \
+    print_experiment();                                             \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }

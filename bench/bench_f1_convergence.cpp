@@ -1,0 +1,137 @@
+/// Experiment F1 (paper Figure 1): the convergence of Big Data, HPC and AI.
+///
+/// A scientific campaign (ingest -> analyze -> simulate -> train -> infer)
+/// is executed twice over the same edge/supercomputer/cloud archipelago:
+/// once with each task kind pinned to its traditional silo (separate big-data
+/// cloud, HPC center, AI cloud), and once on the converged infrastructure
+/// with gravity-aware placement.  Expected shape: the converged run moves far
+/// fewer bytes over the WAN and finishes sooner — the quantitative content of
+/// the paper's "once in a generation opportunity" convergence argument.
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace hpc;
+
+core::System make_archipelago() {
+  fed::Site edge = fed::make_edge_site(0, "facility-edge", 8);
+  fed::Site super = fed::make_supercomputer_site(1, "hpc-center", 64);
+  super.admin_domain = 0;
+  fed::Site cloud = fed::make_cloud_site(2, "analytics-cloud", 64, 0.1);
+  return core::System({edge, super, cloud});
+}
+
+core::Workflow make_campaign(core::System& sys, int rounds) {
+  core::Workflow wf;
+  const int raw = sys.catalog().add("instrument-frames", 300.0, 0, 0,
+                                    data::Sensitivity::kPublic, "frames");
+  int prev = -1;
+  for (int r = 0; r < rounds; ++r) {
+    core::Task analyze;
+    analyze.name = "analyze-" + std::to_string(r);
+    analyze.kind = core::TaskKind::kAnalyze;
+    analyze.input_datasets = {raw};
+    if (prev >= 0) analyze.deps = {prev};
+    analyze.output_sensitivity = data::Sensitivity::kPublic;
+    analyze.output_gb = 150.0;
+    analyze.job.nodes = 2;
+    analyze.job.total_gflop = 5e4;
+    const int a = wf.add(analyze);
+
+    core::Task simulate;
+    simulate.name = "simulate-" + std::to_string(r);
+    simulate.kind = core::TaskKind::kSimulate;
+    simulate.deps = {a};
+    simulate.input_tasks = {a};  // consumes the analysis product
+    simulate.output_sensitivity = data::Sensitivity::kPublic;
+    simulate.output_gb = 100.0;
+    simulate.job.nodes = 8;
+    simulate.job.total_gflop = 4e5;
+    const int s = wf.add(simulate);
+
+    core::Task train;
+    train.name = "train-" + std::to_string(r);
+    train.kind = core::TaskKind::kTrain;
+    train.deps = {s};
+    train.input_tasks = {a, s};  // learns from analysis + simulation outputs
+    train.output_sensitivity = data::Sensitivity::kPublic;
+    train.output_gb = 2.0;
+    train.job.nodes = 4;
+    train.job.total_gflop = 8e5;
+    const int t = wf.add(train);
+
+    core::Task infer;
+    infer.name = "infer-" + std::to_string(r);
+    infer.kind = core::TaskKind::kInfer;
+    infer.deps = {t};
+    infer.input_tasks = {t};  // deploys the trained model
+    infer.output_sensitivity = data::Sensitivity::kPublic;
+    infer.output_gb = 0.1;
+    infer.job.nodes = 1;
+    infer.job.total_gflop = 1e3;
+    prev = wf.add(infer);
+  }
+  return wf;
+}
+
+core::WorkflowResult run_mode(bool siloed, int rounds) {
+  core::System sys = make_archipelago();
+  if (siloed) {
+    sys.pin_silo(core::TaskKind::kIngest, 0);
+    sys.pin_silo(core::TaskKind::kAnalyze, 2);   // big-data silo: cloud
+    sys.pin_silo(core::TaskKind::kSimulate, 1);  // HPC silo: center
+    sys.pin_silo(core::TaskKind::kTrain, 2);     // AI silo: cloud
+    sys.pin_silo(core::TaskKind::kInfer, 0);     // inference back at the edge
+  }
+  core::Workflow wf = make_campaign(sys, rounds);
+  return sys.run(wf, siloed ? core::PlacementPolicy::kSiloed
+                            : core::PlacementPolicy::kGravityAware);
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "F1", "Convergence of Big Data, HPC and AI (paper Figure 1)",
+      "converged HPC+analytics+ML infrastructure beats siloed systems on "
+      "end-to-end time and data movement");
+
+  sim::Table table({"campaign-rounds", "mode", "makespan", "wan-moved", "cost-$",
+                    "energy-MJ"});
+  for (const int rounds : {1, 3, 6}) {
+    for (const bool siloed : {true, false}) {
+      const core::WorkflowResult r = run_mode(siloed, rounds);
+      table.add_row({std::to_string(rounds), siloed ? "siloed" : "converged",
+                     sim::fmt_time_ns(static_cast<double>(r.makespan)),
+                     sim::fmt_bytes(r.wan_gb_moved * 1e9), sim::fmt(r.total_cost_usd, 2),
+                     sim::fmt(r.total_energy_j / 1e6, 3)});
+    }
+  }
+  table.print();
+
+  const core::WorkflowResult silo = run_mode(true, 3);
+  const core::WorkflowResult conv = run_mode(false, 3);
+  std::printf("\nconverged vs siloed (3 rounds): %.2fx less WAN traffic, %.2fx faster\n\n",
+              silo.wan_gb_moved / std::max(1e-9, conv.wan_gb_moved),
+              static_cast<double>(silo.makespan) / std::max<double>(1.0, static_cast<double>(conv.makespan)));
+}
+
+void BM_ConvergedCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::WorkflowResult r = run_mode(false, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_ConvergedCampaign)->Arg(1)->Arg(4);
+
+void BM_SiloedCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    const core::WorkflowResult r = run_mode(true, 4);
+    benchmark::DoNotOptimize(r.makespan);
+  }
+}
+BENCHMARK(BM_SiloedCampaign);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

@@ -1,0 +1,113 @@
+/// Experiment F2 (paper Figure 2): interconnect at the device, rack and
+/// system scale.
+///
+/// Two quantifications of the figure's argument:
+///  (a) Device scale — "PCIe latencies are far too high for memory access":
+///      dependent-load latency and pointer-chase slowdown of fabric-attached
+///      memory behind PCIe vs CXL-class links.
+///  (b) "Provide bandwidth in a way that it can be divided between local,
+///      rack-scale and system-wide connectivity": fixed per-scale bandwidth
+///      partitioning vs flexible division, across traffic patterns.
+/// Expected shape: CXL keeps remote memory in the sub-microsecond regime and
+/// flexible partitioning matches every pattern while any fixed split loses
+/// badly off its design point.
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mem/datamove.hpp"
+#include "mem/fabric.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_device_scale() {
+  hpc::bench::section("(a) device scale: fabric-attached memory behind each link class");
+  sim::Table t({"link", "load-latency", "stream-bw", "ptr-chase-slowdown",
+                "1GB-read"});
+  for (const net::LinkClass cls :
+       {net::LinkClass::kOnBoard, net::LinkClass::kCxl, net::LinkClass::kNvlinkish,
+        net::LinkClass::kPcie5, net::LinkClass::kPcie4, net::LinkClass::kEth200}) {
+    mem::FabricPool pool{mem::pmem_tier(), cls, 1};
+    t.add_row({std::string(net::link_type(cls).name),
+               sim::fmt_time_ns(mem::load_latency_ns(pool)),
+               sim::fmt(mem::stream_bandwidth_gbs(pool), 1) + " GB/s",
+               sim::fmt(mem::pointer_chase_slowdown(pool), 2) + "x",
+               sim::fmt_time_ns(mem::bulk_read_ns(pool, 1e9))});
+  }
+  t.print();
+  std::printf("(media is fabric-attached persistent memory throughout; the 'dram' "
+              "row is the direct-attached reference point)\n\n");
+}
+
+/// Traffic pattern: demanded bandwidth (GB/s) at each scale.
+struct Pattern {
+  std::string name;
+  double local;
+  double rack;
+  double system;
+};
+
+/// Fixed split: each scale gets a hard slice of the node's budget.
+double fixed_throughput(const Pattern& p, double budget,
+                        const std::array<double, 3>& split) {
+  return std::min(p.local, budget * split[0]) + std::min(p.rack, budget * split[1]) +
+         std::min(p.system, budget * split[2]);
+}
+
+/// Flexible division (the Figure 2 design): one budget, shared by demand.
+double flexible_throughput(const Pattern& p, double budget) {
+  const double total_demand = p.local + p.rack + p.system;
+  return std::min(total_demand, budget);
+}
+
+void print_partitioning() {
+  hpc::bench::section("(b) rack/system scale: fixed vs flexible bandwidth division");
+  const double budget = 200.0;  // GB/s of total node connectivity
+  const std::array<double, 3> even_split{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const std::vector<Pattern> patterns{
+      {"local-heavy (accelerator peering)", 170.0, 20.0, 10.0},
+      {"rack-heavy (memory pooling)", 30.0, 150.0, 20.0},
+      {"system-heavy (all-reduce)", 10.0, 30.0, 160.0},
+      {"balanced", 66.0, 66.0, 66.0},
+  };
+  sim::Table t({"traffic pattern", "fixed-split GB/s", "flexible GB/s", "gain"});
+  for (const Pattern& p : patterns) {
+    const double fixed = fixed_throughput(p, budget, even_split);
+    const double flex = flexible_throughput(p, budget);
+    t.add_row({p.name, sim::fmt(fixed, 1), sim::fmt(flex, 1),
+               sim::fmt(flex / fixed, 2) + "x"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "F2", "Interconnect at device, rack and system scale (paper Figure 2)",
+      "CXL-class links make disaggregated memory viable where PCIe cannot; "
+      "flexibly divisible bandwidth beats fixed per-scale partitioning");
+  print_device_scale();
+  print_partitioning();
+}
+
+void BM_FabricLoadLatency(benchmark::State& state) {
+  const mem::FabricPool pool{mem::pmem_tier(), net::LinkClass::kCxl,
+                             static_cast<int>(state.range(0))};
+  for (auto _ : state) benchmark::DoNotOptimize(mem::load_latency_ns(pool));
+}
+BENCHMARK(BM_FabricLoadLatency)->Arg(1)->Arg(4);
+
+void BM_FlexibleWaterfill(benchmark::State& state) {
+  const Pattern p{"x", 30.0, 150.0, 20.0};
+  for (auto _ : state) benchmark::DoNotOptimize(flexible_throughput(p, 200.0));
+}
+BENCHMARK(BM_FlexibleWaterfill);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

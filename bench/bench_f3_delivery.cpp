@@ -1,0 +1,126 @@
+/// Experiment F3 (paper Figure 3): heterogeneous hardware architectures x
+/// heterogeneous delivery models.
+///
+/// Top half of the figure — hardware heterogeneity: every device family's
+/// sustained efficiency (Gflop/s per watt) per application domain, showing
+/// why no single architecture dominates the matrix.
+/// Bottom half — delivery models: the same workload stream delivered on-prem
+/// only, cloud only, federated grid, and exchange-priced federation.
+/// Expected shape: each silicon family wins somewhere; federated delivery
+/// dominates single-site delivery on completion time, at a price.
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "fed/federation.hpp"
+#include "hw/catalog.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace hpc;
+
+void print_hardware_matrix() {
+  hpc::bench::section("hardware heterogeneity: sustained Gflop/s per watt by domain");
+  sim::Table t({"device", "hpc-sim", "ai-train", "ai-infer", "analytics"});
+  for (const hw::DeviceSpec& spec : hw::default_catalog()) {
+    std::vector<std::string> row{spec.name};
+    for (const sched::JobKind kind :
+         {sched::JobKind::kHpcSimulation, sched::JobKind::kAiTraining,
+          sched::JobKind::kAiInference, sched::JobKind::kAnalytics}) {
+      sched::Job probe;
+      probe.total_gflop = 1e5;
+      probe.mix = sched::mix_of(kind);
+      probe.precision = sched::precision_of(kind);
+      probe.nodes = 1;
+      const double t_ns = sched::job_runtime_ns(probe, spec, 1);
+      const double gflops = t_ns < 1e17 ? probe.total_gflop / (t_ns * 1e-9) : 0.0;
+      row.push_back(sim::fmt(gflops / spec.tdp_w, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("(read row-wise: every family has a domain where it wins "
+              "per watt and domains where it is useless)\n\n");
+}
+
+fed::FederationResult run_delivery(const std::string& model) {
+  std::vector<fed::Site> sites;
+  fed::FederationConfig cfg;
+  cfg.seed = 11;
+  sites.push_back(fed::make_onprem_site(0, "campus", 12, 6));
+  fed::Site super = fed::make_supercomputer_site(1, "center", 48);
+  super.admin_domain = 0;
+  sites.push_back(super);
+  sites.push_back(fed::make_cloud_site(2, "cloud", 48, 0.15));
+
+  if (model == "on-prem") {
+    cfg.stage = fed::FederationStage::kLocalOnly;
+    cfg.policy = fed::MetaPolicy::kHomeOnly;
+  } else if (model == "cloud-only") {
+    cfg.stage = fed::FederationStage::kLocalOnly;
+    cfg.policy = fed::MetaPolicy::kHomeOnly;
+  } else if (model == "grid") {
+    cfg.stage = fed::FederationStage::kGrid;
+    cfg.policy = fed::MetaPolicy::kDataGravity;
+  } else {  // exchange
+    cfg.stage = fed::FederationStage::kExchange;
+    cfg.policy = fed::MetaPolicy::kCheapest;
+  }
+
+  fed::FederationSim sim(sites, cfg);
+  sim::Rng rng(12);
+  sched::WorkloadConfig wcfg;
+  wcfg.jobs = 250;
+  wcfg.mean_interarrival_s = 20.0;
+  wcfg.max_nodes = 8;
+  const int home = model == "cloud-only" ? 2 : 0;
+  sim.submit_all(sched::generate_workload(wcfg, rng), home);
+  return sim.run();
+}
+
+void print_delivery_models() {
+  hpc::bench::section("delivery models: same workload, four delivery shapes");
+  sim::Table t({"delivery model", "mean-completion", "p95-completion", "cost-$",
+                "wan-moved", "completed"});
+  for (const std::string model : {"on-prem", "cloud-only", "grid", "exchange"}) {
+    const fed::FederationResult r = run_delivery(model);
+    t.add_row({model, sim::fmt(r.mean_completion_s, 1) + " s",
+               sim::fmt(r.p95_completion_s, 1) + " s", sim::fmt(r.total_cost_usd, 2),
+               sim::fmt_bytes(r.wan_gb_moved * 1e9),
+               std::to_string(r.jobs_completed)});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void print_experiment() {
+  hpc::bench::banner(
+      "F3", "Heterogeneous hardware x delivery models (paper Figure 3)",
+      "both the silicon menu and the delivery menu exhibit substantial "
+      "heterogeneity; federation exploits both");
+  print_hardware_matrix();
+  print_delivery_models();
+}
+
+void BM_FederatedDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    const fed::FederationResult r = run_delivery("grid");
+    benchmark::DoNotOptimize(r.mean_completion_s);
+  }
+}
+BENCHMARK(BM_FederatedDelivery);
+
+void BM_HardwareMatrixProbe(benchmark::State& state) {
+  const hw::DeviceSpec spec = hw::gpu_hpc_spec();
+  sched::Job probe;
+  probe.total_gflop = 1e5;
+  probe.mix = sched::mix_of(sched::JobKind::kAiTraining);
+  probe.precision = hw::Precision::BF16;
+  for (auto _ : state) benchmark::DoNotOptimize(sched::job_runtime_ns(probe, spec, 1));
+}
+BENCHMARK(BM_HardwareMatrixProbe);
+
+}  // namespace
+
+ARCHIPELAGO_BENCH_MAIN(print_experiment)

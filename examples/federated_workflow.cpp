@@ -1,0 +1,83 @@
+/// Horizontal federation with data gravity: a four-site federation (two
+/// campuses, a national center, a commercial cloud) absorbs a realistic
+/// mixed workload stream.  Shows per-policy outcomes, where jobs actually
+/// ran, and the inter-site accounting ledger the paper says "could lay the
+/// foundation to an Open Compute Exchange".
+///
+/// Run: ./build/examples/federated_workflow
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fed/federation.hpp"
+#include "sched/workload.hpp"
+#include "sim/report.hpp"
+
+int main() {
+  using namespace hpc;
+
+  auto make_sites = [] {
+    fed::Site campus_a = fed::make_onprem_site(0, "campus-a", 12, 4);
+    fed::Site campus_b = fed::make_onprem_site(1, "campus-b", 8, 8);
+    campus_b.admin_domain = 0;
+    fed::Site center = fed::make_supercomputer_site(2, "national-center", 48);
+    center.admin_domain = 0;
+    fed::Site cloud = fed::make_cloud_site(3, "cloud", 48, 0.15);
+    return std::vector<fed::Site>{campus_a, campus_b, center, cloud};
+  };
+
+  auto make_jobs = [] {
+    sim::Rng rng(11);
+    sched::WorkloadConfig cfg;
+    cfg.jobs = 180;
+    cfg.mean_interarrival_s = 20.0;
+    cfg.max_nodes = 8;
+    cfg.dataset_gb_per_tflop = 25.0;  // data-heavy science
+    return sched::generate_workload(cfg, rng);
+  };
+
+  std::printf("Federated workflow: 180 mixed jobs submitted at campus-a\n\n");
+
+  sim::Table policy_table({"placement policy", "mean completion", "p95", "WAN moved",
+                           "cost-$"});
+  fed::FederationResult gravity_result;
+  for (const auto policy : {fed::MetaPolicy::kHomeOnly, fed::MetaPolicy::kComputeOnly,
+                            fed::MetaPolicy::kDataGravity, fed::MetaPolicy::kCheapest}) {
+    fed::FederationConfig cfg;
+    cfg.stage = fed::FederationStage::kGrid;
+    cfg.policy = policy;
+    cfg.seed = 13;
+    fed::FederationSim fsim(make_sites(), cfg);
+    fsim.submit_all(make_jobs(), 0);
+    fed::FederationResult r = fsim.run();
+    policy_table.add_row({std::string(fed::name_of(policy)),
+                          sim::fmt(r.mean_completion_s, 1) + " s",
+                          sim::fmt(r.p95_completion_s, 1) + " s",
+                          sim::fmt_bytes(r.wan_gb_moved * 1e9),
+                          sim::fmt(r.total_cost_usd, 0)});
+    if (policy == fed::MetaPolicy::kDataGravity) gravity_result = std::move(r);
+  }
+  policy_table.print();
+
+  // Where did gravity-aware placement actually run things?
+  const std::vector<fed::Site> sites = make_sites();
+  std::vector<int> per_site(sites.size(), 0);
+  for (const fed::FedPlacement& p : gravity_result.placements)
+    if (p.site >= 0) ++per_site[static_cast<std::size_t>(p.site)];
+  std::printf("\ngravity-aware placement by site:\n");
+  sim::Table sites_table({"site", "kind", "jobs run", "earned-$", "spent-$", "net-$"});
+  for (const fed::Site& s : sites) {
+    sites_table.add_row({s.name, std::string(fed::name_of(s.kind)),
+                         std::to_string(per_site[static_cast<std::size_t>(s.id)]),
+                         sim::fmt(gravity_result.ledger.earned_usd(s.id), 2),
+                         sim::fmt(gravity_result.ledger.spent_usd(s.id), 2),
+                         sim::fmt(gravity_result.ledger.net_usd(s.id), 2)});
+  }
+  sites_table.print();
+
+  std::printf("\nledger: %.1f node-hours exchanged, %.1f GB over the WAN, %d/%zu jobs completed\n",
+              gravity_result.ledger.total_node_hours(), gravity_result.wan_gb_moved,
+              gravity_result.jobs_completed, gravity_result.placements.size());
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "ai/anomaly.hpp"
+
+#include <cmath>
+
+namespace hpc::ai {
+
+StreamingDetector::StreamingDetector(double alpha, double threshold_sigma,
+                                     std::int64_t warmup)
+    : alpha_(alpha), threshold_(threshold_sigma), warmup_(warmup) {}
+
+double StreamingDetector::stddev() const noexcept { return std::sqrt(var_); }
+
+bool StreamingDetector::observe(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    var_ = 0.0;
+    return false;
+  }
+  const double sd = stddev();
+  const bool anomalous = n_ > warmup_ && sd > 1e-12 && std::abs(x - mean_) > threshold_ * sd;
+  if (anomalous) {
+    ++alarms_;
+    // Do not absorb outliers into the baseline.
+    return true;
+  }
+  const double delta = x - mean_;
+  mean_ += alpha_ * delta;
+  var_ = (1.0 - alpha_) * (var_ + alpha_ * delta * delta);
+  return false;
+}
+
+}  // namespace hpc::ai

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file anomaly.hpp
+/// Streaming anomaly detection for the paper's "AI-enhanced cybersecurity
+/// algorithms ... detecting and diagnosing attacks in real-time"
+/// (Section III.A) and for instrument-health monitoring at the facility edge.
+
+namespace hpc::ai {
+
+/// EWMA + z-score detector over a scalar telemetry stream.  O(1) per sample,
+/// suitable for edge deployment; flags samples more than \p threshold_sigma
+/// standard deviations from the running mean.
+class StreamingDetector {
+ public:
+  /// \param alpha            EWMA smoothing factor in (0, 1]
+  /// \param threshold_sigma  alarm threshold in standard deviations
+  /// \param warmup           samples to observe before raising alarms
+  StreamingDetector(double alpha = 0.02, double threshold_sigma = 4.0,
+                    std::int64_t warmup = 50);
+
+  /// Feeds one sample; returns true if it is anomalous.
+  bool observe(double x);
+
+  double mean() const noexcept { return mean_; }
+  double stddev() const noexcept;
+  std::int64_t samples() const noexcept { return n_; }
+  std::int64_t alarms() const noexcept { return alarms_; }
+
+ private:
+  double alpha_;
+  double threshold_;
+  std::int64_t warmup_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::int64_t n_ = 0;
+  std::int64_t alarms_ = 0;
+};
+
+/// Detection-quality counters for labelled streams.
+struct DetectionQuality {
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t false_negatives = 0;
+  std::int64_t true_negatives = 0;
+
+  double precision() const noexcept {
+    const double d = static_cast<double>(true_positives + false_positives);
+    return d > 0.0 ? static_cast<double>(true_positives) / d : 0.0;
+  }
+  double recall() const noexcept {
+    const double d = static_cast<double>(true_positives + false_negatives);
+    return d > 0.0 ? static_cast<double>(true_positives) / d : 0.0;
+  }
+};
+
+}  // namespace hpc::ai

@@ -1,0 +1,104 @@
+#include "ai/datasets.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hpc::ai {
+
+Dataset make_blobs(std::int64_t n, int classes, std::int64_t dim, double spread,
+                   sim::Rng& rng) {
+  Dataset d;
+  d.n = n;
+  d.dim = dim;
+  d.targets = classes;
+  d.x.resize(static_cast<std::size_t>(n * dim));
+  d.label.resize(static_cast<std::size_t>(n));
+
+  // Class centers on a circle in the first two dims, random in the rest.
+  std::vector<std::vector<double>> centers(static_cast<std::size_t>(classes),
+                                           std::vector<double>(static_cast<std::size_t>(dim)));
+  for (int c = 0; c < classes; ++c) {
+    const double angle = 2.0 * std::numbers::pi * c / classes;
+    centers[static_cast<std::size_t>(c)][0] = 3.0 * std::cos(angle);
+    if (dim > 1) centers[static_cast<std::size_t>(c)][1] = 3.0 * std::sin(angle);
+    for (std::int64_t k = 2; k < dim; ++k)
+      centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] = rng.uniform(-1.0, 1.0);
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.index(static_cast<std::size_t>(classes)));
+    d.label[static_cast<std::size_t>(i)] = c;
+    for (std::int64_t k = 0; k < dim; ++k)
+      d.x[static_cast<std::size_t>(i * dim + k)] = static_cast<float>(
+          centers[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] +
+          rng.normal(0.0, spread));
+  }
+  return d;
+}
+
+Dataset make_two_spirals(std::int64_t n, double noise, sim::Rng& rng) {
+  Dataset d;
+  d.n = n;
+  d.dim = 2;
+  d.targets = 2;
+  d.x.resize(static_cast<std::size_t>(n * 2));
+  d.label.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    const double t = rng.uniform(0.25, 3.0);  // spiral parameter (radians / pi)
+    const double angle = t * std::numbers::pi + (cls == 1 ? std::numbers::pi : 0.0);
+    const double r = t;
+    d.x[static_cast<std::size_t>(i * 2)] =
+        static_cast<float>(r * std::cos(angle) + rng.normal(0.0, noise));
+    d.x[static_cast<std::size_t>(i * 2 + 1)] =
+        static_cast<float>(r * std::sin(angle) + rng.normal(0.0, noise));
+    d.label[static_cast<std::size_t>(i)] = cls;
+  }
+  return d;
+}
+
+double oscillator_response(double omega01, double zeta01, double t01) noexcept {
+  const double omega = 1.0 + 4.0 * omega01;   // natural frequency 1..5
+  const double zeta = 0.05 + 0.6 * zeta01;    // damping ratio
+  const double t = 2.0 * t01;                 // time window
+  const double wd = omega * std::sqrt(std::max(0.0, 1.0 - zeta * zeta));
+  return std::exp(-zeta * omega * t) * std::cos(wd * t);
+}
+
+Dataset make_oscillator(std::int64_t n, sim::Rng& rng) {
+  Dataset d;
+  d.n = n;
+  d.dim = 3;
+  d.targets = 1;
+  d.x.resize(static_cast<std::size_t>(n * 3));
+  d.y.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    const double c = rng.uniform();
+    d.x[static_cast<std::size_t>(i * 3)] = static_cast<float>(a);
+    d.x[static_cast<std::size_t>(i * 3 + 1)] = static_cast<float>(b);
+    d.x[static_cast<std::size_t>(i * 3 + 2)] = static_cast<float>(c);
+    d.y[static_cast<std::size_t>(i)] = static_cast<float>(oscillator_response(a, b, c));
+  }
+  return d;
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& data, double train_fraction) {
+  const std::int64_t ntrain =
+      static_cast<std::int64_t>(train_fraction * static_cast<double>(data.n));
+  auto slice = [&](std::int64_t from, std::int64_t to) {
+    Dataset out;
+    out.n = to - from;
+    out.dim = data.dim;
+    out.targets = data.targets;
+    out.x.assign(data.x.begin() + from * data.dim, data.x.begin() + to * data.dim);
+    if (!data.label.empty())
+      out.label.assign(data.label.begin() + from, data.label.begin() + to);
+    if (!data.y.empty())
+      out.y.assign(data.y.begin() + from * data.targets, data.y.begin() + to * data.targets);
+    return out;
+  };
+  return {slice(0, ntrain), slice(ntrain, data.n)};
+}
+
+}  // namespace hpc::ai

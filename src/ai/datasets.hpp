@@ -1,0 +1,35 @@
+#pragma once
+
+#include "ai/mlp.hpp"
+#include "sim/rng.hpp"
+
+/// \file datasets.hpp
+/// Synthetic datasets shaped like the paper's HPC data characterization
+/// (Section III.A: "sparse, bit-rich and information-poor, tightly
+/// constrained by the laws of the physical world"): physics-flavoured
+/// regression targets and low-dimensional classification manifolds.
+
+namespace hpc::ai {
+
+/// Gaussian blobs: \p classes clusters in \p dim dimensions.
+Dataset make_blobs(std::int64_t n, int classes, std::int64_t dim, double spread,
+                   sim::Rng& rng);
+
+/// Two interleaved spirals (binary classification, 2-D, non-linearly
+/// separable — exercises real training rather than a linear shortcut).
+Dataset make_two_spirals(std::int64_t n, double noise, sim::Rng& rng);
+
+/// Damped-oscillator response regression: inputs (omega, zeta, t) in [0,1]^3,
+/// target the normalized displacement — a stand-in for an expensive
+/// simulation step the surrogate experiment learns (C11).
+Dataset make_oscillator(std::int64_t n, sim::Rng& rng);
+
+/// The ground-truth oscillator response used by make_oscillator (normalized
+/// inputs), exposed so surrogates can be compared against the true function.
+double oscillator_response(double omega01, double zeta01, double t01) noexcept;
+
+/// Splits a dataset deterministically: the first \p train_fraction goes to
+/// train, the rest to test (datasets above are generated pre-shuffled).
+std::pair<Dataset, Dataset> split(const Dataset& data, double train_fraction);
+
+}  // namespace hpc::ai

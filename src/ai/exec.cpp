@@ -1,0 +1,98 @@
+#include "ai/exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ai/linalg.hpp"
+
+namespace hpc::ai {
+
+std::vector<float> ExactExecutor::matvec(std::span<const float> w, std::int64_t rows,
+                                         std::int64_t cols, std::span<const float> x) {
+  std::vector<float> y(static_cast<std::size_t>(rows));
+  ai::matvec(w, rows, cols, x, y);
+  return y;
+}
+
+std::vector<float> QuantizedExecutor::matvec(std::span<const float> w, std::int64_t rows,
+                                             std::int64_t cols, std::span<const float> x) {
+  // Per-tensor symmetric scales for the integer formats.
+  float wmax = 0.0f;
+  for (float v : w) wmax = std::max(wmax, std::abs(v));
+  float xmax = 0.0f;
+  for (float v : x) xmax = std::max(xmax, std::abs(v));
+  const float levels = precision_ == hw::Precision::INT4 ? 7.0f : 127.0f;
+  const float wscale = wmax > 0.0f ? wmax / levels : 1.0f;
+  const float xscale = xmax > 0.0f ? xmax / levels : 1.0f;
+
+  std::vector<float> wq(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) wq[i] = hw::apply_precision(w[i], precision_, wscale);
+  std::vector<float> xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xq[i] = hw::apply_precision(x[i], precision_, xscale);
+
+  std::vector<float> y(static_cast<std::size_t>(rows));
+  ai::matvec(wq, rows, cols, xq, y);
+  // Accumulation in fp32 (tensor-core style); round the result too for the
+  // floating formats to model the output datapath.
+  if (precision_ != hw::Precision::INT8 && precision_ != hw::Precision::INT4)
+    for (float& v : y) v = hw::apply_precision(v, precision_);
+  return y;
+}
+
+std::vector<float> AnalogExecutor::matvec(std::span<const float> w, std::int64_t rows,
+                                          std::int64_t cols, std::span<const float> x) {
+  return engine_.matvec(w, rows, cols, x, rng_);
+}
+
+std::vector<float> forward_with(const Mlp& mlp, std::span<const float> x,
+                                MatvecExecutor& exec) {
+  std::vector<float> cur(x.begin(), x.end());
+  const auto& layers = mlp.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const DenseLayer& l = layers[i];
+    std::vector<float> next = exec.matvec(l.w, l.out, l.in, cur);
+    for (std::int64_t r = 0; r < l.out; ++r)
+      next[static_cast<std::size_t>(r)] += l.b[static_cast<std::size_t>(r)];
+    if (i + 1 < layers.size()) {
+      switch (mlp.hidden_activation()) {
+        case Activation::kReLU:
+          for (float& v : next) v = std::max(0.0f, v);
+          break;
+        case Activation::kTanh:
+          for (float& v : next) v = std::tanh(v);
+          break;
+        case Activation::kIdentity:
+          break;
+      }
+    }
+    cur = std::move(next);
+  }
+  if (mlp.loss() == Loss::kSoftmaxCrossEntropy) softmax(cur);
+  return cur;
+}
+
+double accuracy_with(const Mlp& mlp, const Dataset& data, MatvecExecutor& exec) {
+  if (data.n == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < data.n; ++i) {
+    const std::vector<float> out = forward_with(mlp, data.input(i), exec);
+    if (static_cast<int>(argmax(out)) == data.label[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.n);
+}
+
+double rmse_with(const Mlp& mlp, const Dataset& data, MatvecExecutor& exec) {
+  if (data.n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < data.n; ++i) {
+    const std::vector<float> out = forward_with(mlp, data.input(i), exec);
+    const auto target = data.target(i);
+    for (std::int64_t t = 0; t < data.targets; ++t) {
+      const double d = out[static_cast<std::size_t>(t)] - target[static_cast<std::size_t>(t)];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(data.n * data.targets));
+}
+
+}  // namespace hpc::ai

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ai/mlp.hpp"
+#include "hw/analog.hpp"
+#include "hw/precision.hpp"
+#include "sim/rng.hpp"
+
+/// \file exec.hpp
+/// Alternative inference executors for a trained Mlp: exact float, reduced
+/// precision (bf16/fp16/int8/int4 — the formats Section III.B says are
+/// "becoming mainstream"), and analog/photonic execution with real crossbar
+/// quantization and read noise.  Experiments C4 and C5 run the same trained
+/// weights through these executors and compare accuracy.
+
+namespace hpc::ai {
+
+/// Strategy for computing the W·x inner loop of a dense layer.
+class MatvecExecutor {
+ public:
+  virtual ~MatvecExecutor() = default;
+  /// y = W x (row-major rows x cols).
+  virtual std::vector<float> matvec(std::span<const float> w, std::int64_t rows,
+                                    std::int64_t cols, std::span<const float> x) = 0;
+};
+
+/// Bit-exact float32 reference.
+class ExactExecutor final : public MatvecExecutor {
+ public:
+  std::vector<float> matvec(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+                            std::span<const float> x) override;
+};
+
+/// Quantizes weights and activations to \p precision before each MAC stream.
+/// Int formats use per-tensor symmetric scales derived from the max-abs.
+class QuantizedExecutor final : public MatvecExecutor {
+ public:
+  explicit QuantizedExecutor(hw::Precision precision) : precision_(precision) {}
+  std::vector<float> matvec(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+                            std::span<const float> x) override;
+
+ private:
+  hw::Precision precision_;
+};
+
+/// Runs each layer's mat-vec on an analog crossbar engine (noise + quantized
+/// conductances), per Section III.B's neuromorphic accelerators.
+class AnalogExecutor final : public MatvecExecutor {
+ public:
+  AnalogExecutor(const hw::AnalogEngine& engine, sim::Rng& rng)
+      : engine_(engine), rng_(rng) {}
+  std::vector<float> matvec(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+                            std::span<const float> x) override;
+
+ private:
+  const hw::AnalogEngine& engine_;
+  sim::Rng& rng_;
+};
+
+/// Forward pass of \p mlp where every dense mat-vec goes through \p exec
+/// (bias add and activations stay in float, as real mixed-precision
+/// deployments do).
+std::vector<float> forward_with(const Mlp& mlp, std::span<const float> x,
+                                MatvecExecutor& exec);
+
+/// Classification accuracy of \p mlp over \p data using \p exec.
+double accuracy_with(const Mlp& mlp, const Dataset& data, MatvecExecutor& exec);
+
+/// Regression RMSE of \p mlp over \p data using \p exec.
+double rmse_with(const Mlp& mlp, const Dataset& data, MatvecExecutor& exec);
+
+}  // namespace hpc::ai

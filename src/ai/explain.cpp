@@ -1,0 +1,72 @@
+#include "ai/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ai/linalg.hpp"
+
+namespace hpc::ai {
+
+namespace {
+
+/// The scalar this model "predicts" for explanation purposes.
+double predicted_scalar(const Mlp& model, std::span<const float> x, std::size_t cls) {
+  const std::vector<float> out = model.forward(x);
+  if (model.loss() == Loss::kSoftmaxCrossEntropy)
+    return out[cls];
+  return out[0];
+}
+
+double score(const Mlp& model, const Dataset& data) {
+  return model.loss() == Loss::kSoftmaxCrossEntropy ? model.accuracy(data)
+                                                    : -model.rmse(data);
+}
+
+}  // namespace
+
+std::vector<double> saliency(const Mlp& model, std::span<const float> x, double epsilon) {
+  const std::vector<float> base_out = model.forward(x);
+  const std::size_t cls =
+      model.loss() == Loss::kSoftmaxCrossEntropy ? argmax(base_out) : 0;
+
+  std::vector<double> attribution(x.size(), 0.0);
+  std::vector<float> probe(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float original = probe[i];
+    probe[i] = original + static_cast<float>(epsilon);
+    const double up = predicted_scalar(model, probe, cls);
+    probe[i] = original - static_cast<float>(epsilon);
+    const double down = predicted_scalar(model, probe, cls);
+    probe[i] = original;
+    const double gradient = (up - down) / (2.0 * epsilon);
+    attribution[i] = gradient * static_cast<double>(original);
+  }
+  return attribution;
+}
+
+FeatureImportance permutation_importance(const Mlp& model, const Dataset& data,
+                                         sim::Rng& rng, int repeats) {
+  FeatureImportance result;
+  result.baseline_score = score(model, data);
+  result.importance.assign(static_cast<std::size_t>(data.dim), 0.0);
+
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(data.n));
+  for (std::int64_t feature = 0; feature < data.dim; ++feature) {
+    double drop = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      std::iota(perm.begin(), perm.end(), 0);
+      std::shuffle(perm.begin(), perm.end(), rng.engine());
+      Dataset shuffled = data;
+      for (std::int64_t i = 0; i < data.n; ++i)
+        shuffled.x[static_cast<std::size_t>(i * data.dim + feature)] =
+            data.x[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)] * data.dim +
+                                            feature)];
+      drop += result.baseline_score - score(model, shuffled);
+    }
+    result.importance[static_cast<std::size_t>(feature)] = drop / repeats;
+  }
+  return result;
+}
+
+}  // namespace hpc::ai

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ai/mlp.hpp"
+#include "sim/rng.hpp"
+
+/// \file explain.hpp
+/// Model explainability (paper Section III.D: "explainability is crucial for
+/// any behavior analysis and auditing.  As the AI-HPC integration progresses,
+/// explainability will increase in relevance"; Section III.A: mission-critical
+/// AI "must have a much stronger explainability basis").
+///
+/// Two standard post-hoc methods for the MLP substrate: per-sample saliency
+/// (finite-difference gradient x input) and global permutation importance.
+
+namespace hpc::ai {
+
+/// Per-feature attribution for one prediction: the change in the predicted
+/// output (selected class probability, or the regression output) per unit of
+/// feature movement, times the feature value (gradient x input, central
+/// differences).
+std::vector<double> saliency(const Mlp& model, std::span<const float> x,
+                             double epsilon = 1e-3);
+
+/// Global permutation importance: accuracy (or negative RMSE) drop when one
+/// feature column is shuffled across the dataset.  Larger = more important.
+struct FeatureImportance {
+  std::vector<double> importance;  ///< per input feature
+  double baseline_score = 0.0;     ///< accuracy (CE head) or -RMSE (MSE head)
+};
+
+FeatureImportance permutation_importance(const Mlp& model, const Dataset& data,
+                                         sim::Rng& rng, int repeats = 3);
+
+}  // namespace hpc::ai

@@ -1,0 +1,77 @@
+#include "ai/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::ai {
+
+void matvec(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+            std::span<const float> x, std::span<float> y) noexcept {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* row = w.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) acc += static_cast<double>(row[c]) * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = static_cast<float>(acc);
+  }
+}
+
+void matvec_transposed(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+                       std::span<const float> x, std::span<float> y) noexcept {
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float xr = x[static_cast<std::size_t>(r)];
+    const float* row = w.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) y[static_cast<std::size_t>(c)] += row[c] * xr;
+  }
+}
+
+void add_outer(std::span<float> w, std::int64_t rows, std::int64_t cols,
+               std::span<const float> a, std::span<const float> b, float scale) noexcept {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float ar = a[static_cast<std::size_t>(r)] * scale;
+    float* row = w.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += ar * b[static_cast<std::size_t>(c)];
+  }
+}
+
+void axpy(std::span<float> dst, std::span<const float> src, float scale) noexcept {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += scale * src[i];
+}
+
+float norm2(std::span<const float> v) noexcept {
+  double acc = 0.0;
+  for (float x : v) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float rms_error(std::span<const float> a, std::span<const float> b) noexcept {
+  if (a.empty()) return 0.0f;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc / static_cast<double>(a.size())));
+}
+
+std::size_t argmax(std::span<const float> v) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+void softmax(std::span<float> v) noexcept {
+  if (v.empty()) return;
+  float mx = v[0];
+  for (float x : v) mx = std::max(mx, x);
+  double sum = 0.0;
+  for (float& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (float& x : v) x *= inv;
+}
+
+}  // namespace hpc::ai

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// \file linalg.hpp
+/// Span-based dense kernels backing the MLP substrate.  Row-major throughout:
+/// a rows x cols matrix stores element (r, c) at w[r * cols + c].
+
+namespace hpc::ai {
+
+/// y = W x  (W: rows x cols, x: cols, y: rows).
+void matvec(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+            std::span<const float> x, std::span<float> y) noexcept;
+
+/// y = W^T x  (W: rows x cols, x: rows, y: cols).
+void matvec_transposed(std::span<const float> w, std::int64_t rows, std::int64_t cols,
+                       std::span<const float> x, std::span<float> y) noexcept;
+
+/// W += scale * a b^T  (a: rows, b: cols) — gradient accumulation.
+void add_outer(std::span<float> w, std::int64_t rows, std::int64_t cols,
+               std::span<const float> a, std::span<const float> b, float scale) noexcept;
+
+/// dst += scale * src.
+void axpy(std::span<float> dst, std::span<const float> src, float scale) noexcept;
+
+/// Euclidean norm.
+float norm2(std::span<const float> v) noexcept;
+
+/// Root mean squared difference between two equal-length vectors.
+float rms_error(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Index of the maximum element (argmax); 0 for empty input.
+std::size_t argmax(std::span<const float> v) noexcept;
+
+/// Numerically stable in-place softmax.
+void softmax(std::span<float> v) noexcept;
+
+}  // namespace hpc::ai

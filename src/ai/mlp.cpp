@@ -1,0 +1,249 @@
+#include "ai/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ai/linalg.hpp"
+
+namespace hpc::ai {
+
+struct Mlp::Scratch {
+  // post[i] = activations after layer i (post-nonlinearity); pre-activation
+  // gradients reuse the same shapes.
+  std::vector<std::vector<float>> post;
+  std::vector<std::vector<float>> grad;
+};
+
+Mlp::Mlp(std::vector<std::int64_t> sizes, Activation hidden, Loss loss, sim::Rng& rng)
+    : hidden_(hidden), loss_(loss) {
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    DenseLayer layer;
+    layer.in = sizes[i];
+    layer.out = sizes[i + 1];
+    layer.w.resize(static_cast<std::size_t>(layer.in * layer.out));
+    layer.b.assign(static_cast<std::size_t>(layer.out), 0.0f);
+    // He initialization for ReLU-family, Xavier for tanh.
+    const double scale = hidden == Activation::kTanh
+                             ? std::sqrt(1.0 / static_cast<double>(layer.in))
+                             : std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (float& w : layer.w) w = static_cast<float>(rng.normal(0.0, scale));
+    layers_.push_back(std::move(layer));
+  }
+  velocity_ = layers_;
+  for (auto& v : velocity_) {
+    std::fill(v.w.begin(), v.w.end(), 0.0f);
+    std::fill(v.b.begin(), v.b.end(), 0.0f);
+  }
+}
+
+void Mlp::apply_activation(std::span<float> v) const noexcept {
+  switch (hidden_) {
+    case Activation::kReLU:
+      for (float& x : v) x = std::max(0.0f, x);
+      break;
+    case Activation::kTanh:
+      for (float& x : v) x = std::tanh(x);
+      break;
+    case Activation::kIdentity:
+      break;
+  }
+}
+
+void Mlp::activation_grad(std::span<const float> post, std::span<float> grad) const noexcept {
+  switch (hidden_) {
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        if (post[i] <= 0.0f) grad[i] = 0.0f;
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= 1.0f - post[i] * post[i];
+      break;
+    case Activation::kIdentity:
+      break;
+  }
+}
+
+std::vector<float> Mlp::forward(std::span<const float> x) const {
+  std::vector<float> cur(x.begin(), x.end());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const DenseLayer& l = layers_[i];
+    std::vector<float> next(static_cast<std::size_t>(l.out));
+    matvec(l.w, l.out, l.in, cur, next);
+    for (std::int64_t r = 0; r < l.out; ++r) next[static_cast<std::size_t>(r)] += l.b[static_cast<std::size_t>(r)];
+    if (i + 1 < layers_.size()) apply_activation(next);
+    cur = std::move(next);
+  }
+  if (loss_ == Loss::kSoftmaxCrossEntropy) softmax(cur);
+  return cur;
+}
+
+void Mlp::backward_one(std::span<const float> x, const float* target, int label,
+                       Scratch& s, std::vector<DenseLayer>& grads) const {
+  const std::size_t nl = layers_.size();
+  s.post.resize(nl);
+  s.grad.resize(nl);
+
+  // Forward with caching.
+  std::span<const float> cur = x;
+  for (std::size_t i = 0; i < nl; ++i) {
+    const DenseLayer& l = layers_[i];
+    s.post[i].assign(static_cast<std::size_t>(l.out), 0.0f);
+    matvec(l.w, l.out, l.in, cur, s.post[i]);
+    for (std::int64_t r = 0; r < l.out; ++r)
+      s.post[i][static_cast<std::size_t>(r)] += l.b[static_cast<std::size_t>(r)];
+    if (i + 1 < nl) apply_activation(s.post[i]);
+    cur = s.post[i];
+  }
+
+  // Output gradient (dL/d pre-activation of the last layer).
+  std::vector<float>& out_grad = s.grad[nl - 1];
+  out_grad = s.post[nl - 1];
+  if (loss_ == Loss::kSoftmaxCrossEntropy) {
+    softmax(out_grad);
+    out_grad[static_cast<std::size_t>(label)] -= 1.0f;
+  } else {
+    for (std::size_t i = 0; i < out_grad.size(); ++i) out_grad[i] -= target[i];
+  }
+
+  // Backpropagate.
+  for (std::size_t li = nl; li-- > 0;) {
+    const DenseLayer& l = layers_[li];
+    std::span<const float> input = li == 0 ? x : std::span<const float>(s.post[li - 1]);
+    DenseLayer& g = grads[li];
+    add_outer(g.w, l.out, l.in, s.grad[li], input, 1.0f);
+    axpy(g.b, s.grad[li], 1.0f);
+    if (li > 0) {
+      s.grad[li - 1].assign(static_cast<std::size_t>(l.in), 0.0f);
+      matvec_transposed(l.w, l.out, l.in, s.grad[li], s.grad[li - 1]);
+      activation_grad(s.post[li - 1], s.grad[li - 1]);
+    }
+  }
+}
+
+float Mlp::train_epoch(const Dataset& data, const TrainConfig& cfg, sim::Rng& rng) {
+  std::vector<std::int64_t> order(static_cast<std::size_t>(data.n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  std::vector<DenseLayer> grads = layers_;
+  Scratch scratch;
+  double epoch_loss = 0.0;
+
+  for (std::int64_t start = 0; start < data.n; start += cfg.batch_size) {
+    const std::int64_t end = std::min<std::int64_t>(start + cfg.batch_size, data.n);
+    const float inv_batch = 1.0f / static_cast<float>(end - start);
+    for (auto& g : grads) {
+      std::fill(g.w.begin(), g.w.end(), 0.0f);
+      std::fill(g.b.begin(), g.b.end(), 0.0f);
+    }
+    for (std::int64_t bi = start; bi < end; ++bi) {
+      const std::int64_t i = order[static_cast<std::size_t>(bi)];
+      const float* target = loss_ == Loss::kMse ? data.y.data() + i * data.targets : nullptr;
+      const int label = loss_ == Loss::kSoftmaxCrossEntropy
+                            ? data.label[static_cast<std::size_t>(i)]
+                            : 0;
+      backward_one(data.input(i), target, label, scratch, grads);
+
+      // Loss bookkeeping.
+      const std::vector<float> out = forward(data.input(i));
+      if (loss_ == Loss::kSoftmaxCrossEntropy) {
+        epoch_loss += -std::log(std::max(out[static_cast<std::size_t>(label)], 1e-12f));
+      } else {
+        double se = 0.0;
+        for (std::int64_t t = 0; t < data.targets; ++t) {
+          const double d = out[static_cast<std::size_t>(t)] - target[t];
+          se += d * d;
+        }
+        epoch_loss += 0.5 * se;
+      }
+    }
+    // SGD with momentum.
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      DenseLayer& l = layers_[li];
+      DenseLayer& v = velocity_[li];
+      DenseLayer& g = grads[li];
+      for (std::size_t k = 0; k < l.w.size(); ++k) {
+        v.w[k] = cfg.momentum * v.w[k] - cfg.learning_rate * g.w[k] * inv_batch;
+        l.w[k] += v.w[k];
+      }
+      for (std::size_t k = 0; k < l.b.size(); ++k) {
+        v.b[k] = cfg.momentum * v.b[k] - cfg.learning_rate * g.b[k] * inv_batch;
+        l.b[k] += v.b[k];
+      }
+    }
+  }
+  return static_cast<float>(epoch_loss / static_cast<double>(data.n));
+}
+
+float Mlp::train(const Dataset& data, const TrainConfig& cfg, sim::Rng& rng) {
+  float last = 0.0f;
+  for (int e = 0; e < cfg.epochs; ++e) last = train_epoch(data, cfg, rng);
+  return last;
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  if (data.n == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < data.n; ++i) {
+    const std::vector<float> out = forward(data.input(i));
+    if (static_cast<int>(argmax(out)) == data.label[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.n);
+}
+
+double Mlp::rmse(const Dataset& data) const {
+  if (data.n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < data.n; ++i) {
+    const std::vector<float> out = forward(data.input(i));
+    const auto target = data.target(i);
+    for (std::int64_t t = 0; t < data.targets; ++t) {
+      const double d = out[static_cast<std::size_t>(t)] - target[static_cast<std::size_t>(t)];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(data.n * data.targets));
+}
+
+double Mlp::prune(double fraction) {
+  std::vector<float> magnitudes;
+  for (const DenseLayer& l : layers_)
+    for (float w : l.w) magnitudes.push_back(std::abs(w));
+  if (magnitudes.empty()) return 0.0;
+  std::sort(magnitudes.begin(), magnitudes.end());
+  const auto cut = static_cast<std::size_t>(
+      std::clamp(fraction, 0.0, 1.0) * static_cast<double>(magnitudes.size()));
+  const float threshold = cut > 0 ? magnitudes[cut - 1] : -1.0f;
+  for (DenseLayer& l : layers_)
+    for (float& w : l.w)
+      if (std::abs(w) <= threshold) w = 0.0f;
+  return sparsity();
+}
+
+double Mlp::sparsity() const noexcept {
+  std::int64_t zeros = 0;
+  std::int64_t total = 0;
+  for (const DenseLayer& l : layers_) {
+    total += static_cast<std::int64_t>(l.w.size());
+    for (float w : l.w)
+      if (w == 0.0f) ++zeros;
+  }
+  return total ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+std::int64_t Mlp::parameter_count() const noexcept {
+  std::int64_t n = 0;
+  for (const DenseLayer& l : layers_)
+    n += static_cast<std::int64_t>(l.w.size() + l.b.size());
+  return n;
+}
+
+double Mlp::inference_flops() const noexcept {
+  double flops = 0.0;
+  for (const DenseLayer& l : layers_)
+    flops += 2.0 * static_cast<double>(l.in) * static_cast<double>(l.out);
+  return flops;
+}
+
+}  // namespace hpc::ai

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+/// \file mlp.hpp
+/// Multi-layer perceptron with SGD+momentum training.
+///
+/// This is a real (small) learning substrate, not a stub: the precision,
+/// analog-noise and sparsity experiments (C4/C5) quantize or perturb *these*
+/// trained weights and measure the genuine accuracy loss, and the surrogate
+/// experiment (C11) trains this network to replace simulation steps.
+
+namespace hpc::ai {
+
+/// Hidden-layer nonlinearity.
+enum class Activation : std::uint8_t { kReLU, kTanh, kIdentity };
+
+/// Output head / loss pairing.
+enum class Loss : std::uint8_t { kMse, kSoftmaxCrossEntropy };
+
+/// One dense layer, row-major weights (out x in).
+struct DenseLayer {
+  std::int64_t in = 0;
+  std::int64_t out = 0;
+  std::vector<float> w;
+  std::vector<float> b;
+};
+
+/// Training hyperparameters.
+struct TrainConfig {
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  int batch_size = 32;
+  int epochs = 50;
+};
+
+/// A labelled dataset: flattened row-major inputs plus either class labels or
+/// regression targets (one of the two is used depending on the loss).
+struct Dataset {
+  std::int64_t n = 0;
+  std::int64_t dim = 0;
+  std::int64_t targets = 1;  ///< classes (classification) or output dims
+  std::vector<float> x;      ///< n x dim
+  std::vector<int> label;    ///< n (classification)
+  std::vector<float> y;      ///< n x targets (regression)
+
+  std::span<const float> input(std::int64_t i) const {
+    return {x.data() + i * dim, static_cast<std::size_t>(dim)};
+  }
+  std::span<const float> target(std::int64_t i) const {
+    return {y.data() + i * targets, static_cast<std::size_t>(targets)};
+  }
+};
+
+/// Fully-connected network.
+class Mlp {
+ public:
+  /// \param sizes  layer widths including input and output,
+  ///               e.g. {2, 32, 32, 3} for 2-D input, 3 classes.
+  Mlp(std::vector<std::int64_t> sizes, Activation hidden, Loss loss, sim::Rng& rng);
+
+  std::int64_t input_size() const noexcept { return layers_.front().in; }
+  std::int64_t output_size() const noexcept { return layers_.back().out; }
+  Activation hidden_activation() const noexcept { return hidden_; }
+  Loss loss() const noexcept { return loss_; }
+  const std::vector<DenseLayer>& layers() const noexcept { return layers_; }
+  std::vector<DenseLayer>& mutable_layers() noexcept { return layers_; }
+
+  /// Forward pass (softmax applied for the CE head).
+  std::vector<float> forward(std::span<const float> x) const;
+
+  /// Trains one epoch over a shuffled dataset; returns the mean loss.
+  float train_epoch(const Dataset& data, const TrainConfig& cfg, sim::Rng& rng);
+
+  /// Trains for cfg.epochs; returns the final epoch's mean loss.
+  float train(const Dataset& data, const TrainConfig& cfg, sim::Rng& rng);
+
+  /// Classification accuracy in [0, 1] (CE head).
+  double accuracy(const Dataset& data) const;
+
+  /// Regression root-mean-square error (MSE head).
+  double rmse(const Dataset& data) const;
+
+  /// Magnitude-prunes the smallest \p fraction of weights in every layer
+  /// (biases kept).  Returns the overall fraction of zero weights after.
+  double prune(double fraction);
+
+  /// Fraction of exactly-zero weights across all layers.
+  double sparsity() const noexcept;
+
+  /// Total weight + bias parameter count.
+  std::int64_t parameter_count() const noexcept;
+
+  /// Total flops of one inference forward pass (2 per MAC).
+  double inference_flops() const noexcept;
+
+ private:
+  struct Scratch;  // per-layer activations/gradients for backprop
+  void backward_one(std::span<const float> x, const float* target, int label,
+                    Scratch& s, std::vector<DenseLayer>& grads) const;
+  void apply_activation(std::span<float> v) const noexcept;
+  void activation_grad(std::span<const float> post, std::span<float> grad) const noexcept;
+
+  std::vector<DenseLayer> layers_;
+  Activation hidden_;
+  Loss loss_;
+  // Momentum buffers parallel to layers_.
+  std::vector<DenseLayer> velocity_;
+};
+
+}  // namespace hpc::ai

@@ -1,0 +1,86 @@
+#include "ai/model_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hpc::ai {
+
+namespace {
+constexpr const char* kMagic = "archipelago-mlp";
+constexpr int kVersion = 1;
+}  // namespace
+
+void write_text(std::ostream& os, const Mlp& model) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << static_cast<int>(model.hidden_activation()) << ' '
+     << static_cast<int>(model.loss()) << '\n';
+  const auto& layers = model.layers();
+  os << layers.size() << '\n';
+  os.precision(9);
+  for (const DenseLayer& l : layers) {
+    os << l.in << ' ' << l.out << '\n';
+    for (std::size_t i = 0; i < l.w.size(); ++i)
+      os << l.w[i] << (i + 1 == l.w.size() ? '\n' : ' ');
+    for (std::size_t i = 0; i < l.b.size(); ++i)
+      os << l.b[i] << (i + 1 == l.b.size() ? '\n' : ' ');
+  }
+}
+
+std::string to_text(const Mlp& model) {
+  std::ostringstream os;
+  write_text(os, model);
+  return os.str();
+}
+
+Mlp read_text(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic)
+    throw std::runtime_error("model_io: not an archipelago-mlp stream");
+  if (version != kVersion)
+    throw std::runtime_error("model_io: unsupported version " + std::to_string(version));
+
+  int activation = 0;
+  int loss = 0;
+  std::size_t layer_count = 0;
+  if (!(is >> activation >> loss >> layer_count) || layer_count == 0)
+    throw std::runtime_error("model_io: malformed header");
+
+  // First pass: layer shapes, to construct the model, then weights.
+  std::vector<std::int64_t> ins(layer_count);
+  std::vector<std::int64_t> outs(layer_count);
+  std::vector<std::vector<float>> ws(layer_count);
+  std::vector<std::vector<float>> bs(layer_count);
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    if (!(is >> ins[l] >> outs[l]) || ins[l] <= 0 || outs[l] <= 0)
+      throw std::runtime_error("model_io: malformed layer shape");
+    ws[l].resize(static_cast<std::size_t>(ins[l] * outs[l]));
+    bs[l].resize(static_cast<std::size_t>(outs[l]));
+    for (float& v : ws[l])
+      if (!(is >> v)) throw std::runtime_error("model_io: truncated weights");
+    for (float& v : bs[l])
+      if (!(is >> v)) throw std::runtime_error("model_io: truncated biases");
+    if (l > 0 && ins[l] != outs[l - 1])
+      throw std::runtime_error("model_io: inconsistent layer chaining");
+  }
+
+  std::vector<std::int64_t> sizes;
+  sizes.push_back(ins.front());
+  for (std::size_t l = 0; l < layer_count; ++l) sizes.push_back(outs[l]);
+
+  sim::Rng scratch(0);  // initialization is immediately overwritten
+  Mlp model(sizes, static_cast<Activation>(activation), static_cast<Loss>(loss), scratch);
+  auto& layers = model.mutable_layers();
+  for (std::size_t l = 0; l < layer_count; ++l) {
+    layers[l].w = std::move(ws[l]);
+    layers[l].b = std::move(bs[l]);
+  }
+  return model;
+}
+
+Mlp from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace hpc::ai

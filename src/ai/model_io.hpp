@@ -1,0 +1,29 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ai/mlp.hpp"
+
+/// \file model_io.hpp
+/// Model interchange (paper Section III.D): "intermediate layers, such as
+/// ONNX, play an important interoperability role in hiding heterogeneity of
+/// both programming environments and the underlying hardware, for example by
+/// decoupling model training from model inference."
+///
+/// A small self-describing text format: a model trained at the
+/// supercomputing core can be shipped to an edge runtime (or a different
+/// executor — quantized, analog) without sharing any training code.
+
+namespace hpc::ai {
+
+/// Serializes a model (architecture + weights, full float precision).
+std::string to_text(const Mlp& model);
+void write_text(std::ostream& os, const Mlp& model);
+
+/// Reconstructs a model; throws std::runtime_error on malformed input or
+/// unsupported format version.
+Mlp from_text(const std::string& text);
+Mlp read_text(std::istream& is);
+
+}  // namespace hpc::ai

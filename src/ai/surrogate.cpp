@@ -1,0 +1,81 @@
+#include "ai/surrogate.hpp"
+
+#include <cmath>
+
+namespace hpc::ai {
+
+GroundTruth oscillator_truth(double cost_ns) {
+  GroundTruth g;
+  g.dim = 3;
+  g.cost_ns = cost_ns;
+  g.f = [](std::span<const double> x) {
+    return oscillator_response(x[0], x[1], x[2]);
+  };
+  return g;
+}
+
+Surrogate train_surrogate(const GroundTruth& truth, std::int64_t samples,
+                          double inference_ns, sim::Rng& rng) {
+  Dataset data;
+  data.n = samples;
+  data.dim = truth.dim;
+  data.targets = 1;
+  data.x.resize(static_cast<std::size_t>(samples * truth.dim));
+  data.y.resize(static_cast<std::size_t>(samples));
+  std::vector<double> point(static_cast<std::size_t>(truth.dim));
+  for (std::int64_t i = 0; i < samples; ++i) {
+    for (std::int64_t k = 0; k < truth.dim; ++k) {
+      point[static_cast<std::size_t>(k)] = rng.uniform();
+      data.x[static_cast<std::size_t>(i * truth.dim + k)] =
+          static_cast<float>(point[static_cast<std::size_t>(k)]);
+    }
+    data.y[static_cast<std::size_t>(i)] = static_cast<float>(truth.f(point));
+  }
+  auto [train, test] = split(data, 0.85);
+
+  Surrogate s{Mlp({truth.dim, 48, 48, 1}, Activation::kTanh, Loss::kMse, rng)};
+  TrainConfig cfg;
+  cfg.learning_rate = 0.05f;
+  cfg.momentum = 0.9f;
+  cfg.batch_size = 32;
+  cfg.epochs = 250;
+  s.model.train(train, cfg, rng);
+  s.train_rmse = s.model.rmse(train);
+  s.test_rmse = s.model.rmse(test);
+  s.train_cost_ns = static_cast<double>(samples) * truth.cost_ns;
+  s.inference_cost_ns = inference_ns;
+  return s;
+}
+
+LoopResult run_campaign(const GroundTruth& truth, const Surrogate& surrogate,
+                        std::int64_t steps, std::int64_t anchor_every, sim::Rng& rng) {
+  LoopResult r;
+  double err = 0.0;
+  std::vector<double> point(static_cast<std::size_t>(truth.dim));
+  std::vector<float> pointf(static_cast<std::size_t>(truth.dim));
+  for (std::int64_t i = 0; i < steps; ++i) {
+    for (std::int64_t k = 0; k < truth.dim; ++k) {
+      point[static_cast<std::size_t>(k)] = rng.uniform();
+      pointf[static_cast<std::size_t>(k)] = static_cast<float>(point[static_cast<std::size_t>(k)]);
+    }
+    const double exact = truth.f(point);
+    r.time_full_ns += truth.cost_ns;
+
+    const bool anchor = anchor_every > 0 && (i % anchor_every) == 0;
+    if (anchor) {
+      r.time_hybrid_ns += truth.cost_ns;
+      // Exact step contributes no surrogate error.
+    } else {
+      r.time_hybrid_ns += surrogate.inference_cost_ns;
+      const std::vector<float> out = surrogate.model.forward(pointf);
+      err += std::abs(static_cast<double>(out[0]) - exact);
+    }
+  }
+  // Amortize the surrogate's training-data collection over the campaign.
+  r.time_hybrid_ns += surrogate.train_cost_ns;
+  r.speedup = r.time_hybrid_ns > 0.0 ? r.time_full_ns / r.time_hybrid_ns : 0.0;
+  r.mean_abs_error = steps > 0 ? err / static_cast<double>(steps) : 0.0;
+  return r;
+}
+
+}  // namespace hpc::ai

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+
+#include "ai/datasets.hpp"
+#include "ai/mlp.hpp"
+#include "sim/rng.hpp"
+
+/// \file surrogate.hpp
+/// AI surrogate models for simulation steps (Section III.B: accelerators
+/// "enable closed-loop combinations of classical simulation and deep-learning
+/// inference (to accelerate some simulation steps)").  Experiment C11 runs
+/// the closed loop built here.
+
+namespace hpc::ai {
+
+/// An expensive, deterministic ground-truth model y = f(x), x in [0,1]^dim,
+/// with a declared simulated cost per evaluation.
+struct GroundTruth {
+  std::function<double(std::span<const double>)> f;
+  std::int64_t dim = 3;
+  double cost_ns = 1e6;  ///< simulated cost of one exact evaluation
+};
+
+/// The damped-oscillator ground truth (matches make_oscillator).
+GroundTruth oscillator_truth(double cost_ns = 1e6);
+
+/// Result of training a surrogate for a ground-truth model.
+struct Surrogate {
+  Mlp model;
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+  double train_cost_ns = 0.0;    ///< simulated cost of collecting samples
+  double inference_cost_ns = 0.0;///< simulated cost of one surrogate call
+};
+
+/// Samples \p truth, trains an MLP surrogate, reports fidelity.
+/// \param samples       number of ground-truth evaluations to learn from
+/// \param inference_ns  simulated cost of one surrogate inference
+Surrogate train_surrogate(const GroundTruth& truth, std::int64_t samples,
+                          double inference_ns, sim::Rng& rng);
+
+/// Closed-loop campaign outcome.
+struct LoopResult {
+  double time_full_ns = 0.0;     ///< all steps exact
+  double time_hybrid_ns = 0.0;   ///< surrogate + periodic exact re-anchor
+  double speedup = 0.0;
+  double mean_abs_error = 0.0;   ///< hybrid trajectory error vs exact
+};
+
+/// Runs a parameter-sweep campaign of \p steps evaluations where the hybrid
+/// policy calls the exact model every \p anchor_every steps (and for surrogate
+/// training, already amortized in Surrogate::train_cost_ns) and the surrogate
+/// otherwise.
+LoopResult run_campaign(const GroundTruth& truth, const Surrogate& surrogate,
+                        std::int64_t steps, std::int64_t anchor_every, sim::Rng& rng);
+
+}  // namespace hpc::ai

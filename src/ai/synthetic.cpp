@@ -1,0 +1,183 @@
+#include "ai/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace hpc::ai {
+
+namespace {
+constexpr double kMinVar = 1e-4;
+}
+
+GaussianMixture::GaussianMixture(int components, std::int64_t dim)
+    : k_(components),
+      dim_(dim),
+      weight_(static_cast<std::size_t>(components), 1.0 / components),
+      mean_(static_cast<std::size_t>(components * dim), 0.0),
+      var_(static_cast<std::size_t>(components * dim), 1.0) {}
+
+double GaussianMixture::log_density(const float* x, int component) const {
+  const double* mu = mean_.data() + component * dim_;
+  const double* v = var_.data() + component * dim_;
+  double ll = 0.0;
+  for (std::int64_t d = 0; d < dim_; ++d) {
+    const double diff = x[d] - mu[d];
+    ll += -0.5 * (std::log(2.0 * std::numbers::pi * v[d]) + diff * diff / v[d]);
+  }
+  return ll;
+}
+
+double GaussianMixture::fit(std::span<const float> x, std::int64_t n, int iterations,
+                            sim::Rng& rng) {
+  if (n == 0) return 0.0;
+  // Seed means from random distinct samples, variances from the data spread.
+  for (int c = 0; c < k_; ++c) {
+    const auto pick = static_cast<std::int64_t>(rng.index(static_cast<std::size_t>(n)));
+    for (std::int64_t d = 0; d < dim_; ++d)
+      mean_[static_cast<std::size_t>(c * dim_ + d)] =
+          x[static_cast<std::size_t>(pick * dim_ + d)];
+  }
+  for (std::int64_t d = 0; d < dim_; ++d) {
+    double m = 0.0;
+    double m2 = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = x[static_cast<std::size_t>(i * dim_ + d)];
+      m += v;
+      m2 += v * v;
+    }
+    m /= static_cast<double>(n);
+    const double var = std::max(kMinVar, m2 / static_cast<double>(n) - m * m);
+    for (int c = 0; c < k_; ++c) var_[static_cast<std::size_t>(c * dim_ + d)] = var;
+  }
+
+  std::vector<double> resp(static_cast<std::size_t>(n * k_));
+  double mean_ll = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    // E step.
+    mean_ll = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double mx = -1e300;
+      for (int c = 0; c < k_; ++c) {
+        const double l = std::log(std::max(weight_[static_cast<std::size_t>(c)], 1e-12)) +
+                         log_density(x.data() + i * dim_, c);
+        resp[static_cast<std::size_t>(i * k_ + c)] = l;
+        mx = std::max(mx, l);
+      }
+      double sum = 0.0;
+      for (int c = 0; c < k_; ++c)
+        sum += std::exp(resp[static_cast<std::size_t>(i * k_ + c)] - mx);
+      const double log_norm = mx + std::log(sum);
+      mean_ll += log_norm;
+      for (int c = 0; c < k_; ++c)
+        resp[static_cast<std::size_t>(i * k_ + c)] =
+            std::exp(resp[static_cast<std::size_t>(i * k_ + c)] - log_norm);
+    }
+    mean_ll /= static_cast<double>(n);
+
+    // M step.
+    for (int c = 0; c < k_; ++c) {
+      double nc = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) nc += resp[static_cast<std::size_t>(i * k_ + c)];
+      weight_[static_cast<std::size_t>(c)] = nc / static_cast<double>(n);
+      if (nc < 1e-9) continue;  // dead component: keep previous parameters
+      for (std::int64_t d = 0; d < dim_; ++d) {
+        double m = 0.0;
+        for (std::int64_t i = 0; i < n; ++i)
+          m += resp[static_cast<std::size_t>(i * k_ + c)] *
+               x[static_cast<std::size_t>(i * dim_ + d)];
+        m /= nc;
+        double v = 0.0;
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double diff = x[static_cast<std::size_t>(i * dim_ + d)] - m;
+          v += resp[static_cast<std::size_t>(i * k_ + c)] * diff * diff;
+        }
+        mean_[static_cast<std::size_t>(c * dim_ + d)] = m;
+        var_[static_cast<std::size_t>(c * dim_ + d)] = std::max(kMinVar, v / nc);
+      }
+    }
+  }
+  return mean_ll;
+}
+
+std::vector<float> GaussianMixture::sample(sim::Rng& rng) const {
+  // Pick a component by weight.
+  double u = rng.uniform();
+  int c = k_ - 1;
+  for (int i = 0; i < k_; ++i) {
+    u -= weight_[static_cast<std::size_t>(i)];
+    if (u <= 0.0) {
+      c = i;
+      break;
+    }
+  }
+  std::vector<float> out(static_cast<std::size_t>(dim_));
+  for (std::int64_t d = 0; d < dim_; ++d)
+    out[static_cast<std::size_t>(d)] = static_cast<float>(
+        rng.normal(mean_[static_cast<std::size_t>(c * dim_ + d)],
+                   std::sqrt(var_[static_cast<std::size_t>(c * dim_ + d)])));
+  return out;
+}
+
+double GaussianMixture::log_likelihood(std::span<const float> x, std::int64_t n) const {
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double mx = -1e300;
+    std::vector<double> ls(static_cast<std::size_t>(k_));
+    for (int c = 0; c < k_; ++c) {
+      ls[static_cast<std::size_t>(c)] =
+          std::log(std::max(weight_[static_cast<std::size_t>(c)], 1e-12)) +
+          log_density(x.data() + i * dim_, c);
+      mx = std::max(mx, ls[static_cast<std::size_t>(c)]);
+    }
+    double sum = 0.0;
+    for (int c = 0; c < k_; ++c) sum += std::exp(ls[static_cast<std::size_t>(c)] - mx);
+    total += mx + std::log(sum);
+  }
+  return total / static_cast<double>(n);
+}
+
+Dataset synthesize_like(const Dataset& real, std::int64_t n, int components,
+                        sim::Rng& rng, int em_iterations) {
+  // Split real data by class.
+  const int classes = static_cast<int>(real.targets);
+  std::vector<std::vector<float>> per_class(static_cast<std::size_t>(classes));
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(classes), 0);
+  for (std::int64_t i = 0; i < real.n; ++i) {
+    const int c = real.label[static_cast<std::size_t>(i)];
+    ++counts[static_cast<std::size_t>(c)];
+    const auto row = real.input(i);
+    per_class[static_cast<std::size_t>(c)].insert(per_class[static_cast<std::size_t>(c)].end(),
+                                                  row.begin(), row.end());
+  }
+
+  // Fit one generator per class.
+  std::vector<GaussianMixture> generators;
+  generators.reserve(static_cast<std::size_t>(classes));
+  for (int c = 0; c < classes; ++c) {
+    GaussianMixture gm(components, real.dim);
+    gm.fit(per_class[static_cast<std::size_t>(c)], counts[static_cast<std::size_t>(c)],
+           em_iterations, rng);
+    generators.push_back(std::move(gm));
+  }
+
+  // Sample preserving the class balance.
+  Dataset synth;
+  synth.n = n;
+  synth.dim = real.dim;
+  synth.targets = real.targets;
+  synth.x.resize(static_cast<std::size_t>(n * real.dim));
+  synth.label.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Class by empirical frequency.
+    std::int64_t pick = rng.uniform_int(0, real.n - 1);
+    const int c = real.label[static_cast<std::size_t>(pick)];
+    synth.label[static_cast<std::size_t>(i)] = c;
+    const std::vector<float> row = generators[static_cast<std::size_t>(c)].sample(rng);
+    std::copy(row.begin(), row.end(), synth.x.begin() + i * real.dim);
+  }
+  return synth;
+}
+
+}  // namespace hpc::ai

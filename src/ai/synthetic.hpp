@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "ai/mlp.hpp"
+#include "sim/rng.hpp"
+
+/// \file synthetic.hpp
+/// Generative synthetic data (paper Section V: "AI will ... enable use of
+/// GANs for synthetic data").  A per-class Gaussian-mixture density model is
+/// fit with EM on real data and sampled to produce privacy-safe synthetic
+/// training sets — the workflow where a site cannot export governed raw data
+/// (Section III.A data governance) but can export a generator.
+
+namespace hpc::ai {
+
+/// Diagonal-covariance Gaussian mixture fit with EM.
+class GaussianMixture {
+ public:
+  /// \param components  mixture size
+  /// \param dim         feature dimensionality
+  GaussianMixture(int components, std::int64_t dim);
+
+  /// Fits to row-major samples (n x dim) with \p iterations EM steps;
+  /// k-means++-style seeding from \p rng.  Returns the final mean
+  /// log-likelihood per sample.
+  double fit(std::span<const float> x, std::int64_t n, int iterations, sim::Rng& rng);
+
+  /// Samples one point.
+  std::vector<float> sample(sim::Rng& rng) const;
+
+  /// Mean log-likelihood per sample of held-out data.
+  double log_likelihood(std::span<const float> x, std::int64_t n) const;
+
+  int components() const noexcept { return k_; }
+  std::int64_t dim() const noexcept { return dim_; }
+
+ private:
+  double log_density(const float* x, int component) const;
+
+  int k_;
+  std::int64_t dim_;
+  std::vector<double> weight_;  ///< k
+  std::vector<double> mean_;    ///< k x dim
+  std::vector<double> var_;     ///< k x dim (diagonal)
+};
+
+/// Fits one mixture per class and samples a synthetic classification dataset
+/// of n points mirroring the class balance of \p real.
+Dataset synthesize_like(const Dataset& real, std::int64_t n, int components,
+                        sim::Rng& rng, int em_iterations = 40);
+
+}  // namespace hpc::ai

@@ -1,0 +1,152 @@
+#include "core/datart.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace hpc::core {
+
+int DataRuntime::add_region(std::string name, double size_gb) {
+  const int id = static_cast<int>(regions_.size());
+  regions_.push_back(LogicalRegion{id, std::move(name), size_gb});
+  last_writer_.push_back(-1);
+  readers_.emplace_back();
+  return id;
+}
+
+int DataRuntime::add_task(std::string name, std::vector<RegionRequirement> requirements,
+                          double cost_ns) {
+  const int id = static_cast<int>(tasks_.size());
+  std::vector<int> deps;
+  for (const RegionRequirement& req : requirements) {
+    auto& last_writer = last_writer_[static_cast<std::size_t>(req.region)];
+    auto& readers = readers_[static_cast<std::size_t>(req.region)];
+    const bool reads = req.access != Access::kWrite;
+    const bool writes = req.access != Access::kRead;
+    if (reads && last_writer >= 0) deps.push_back(last_writer);  // RAW
+    if (writes) {
+      if (last_writer >= 0) deps.push_back(last_writer);         // WAW
+      deps.insert(deps.end(), readers.begin(), readers.end());   // WAR
+      last_writer = id;
+      readers.clear();
+    }
+    if (reads && !writes) readers.push_back(id);
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  deps.erase(std::remove(deps.begin(), deps.end(), id), deps.end());
+
+  tasks_.push_back(RegionTask{id, std::move(name), std::move(requirements), cost_ns});
+  deps_.push_back(std::move(deps));
+  return id;
+}
+
+double DataRuntime::critical_path_ns() const {
+  std::vector<double> depth(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    double pre = 0.0;
+    for (const int d : deps_[t]) pre = std::max(pre, depth[static_cast<std::size_t>(d)]);
+    depth[t] = pre + tasks_[t].cost_ns;
+    best = std::max(best, depth[t]);
+  }
+  return best;
+}
+
+double DataRuntime::serial_ns() const {
+  double total = 0.0;
+  for (const RegionTask& t : tasks_) total += t.cost_ns;
+  return total;
+}
+
+RuntimeSchedule DataRuntime::schedule(int workers) const {
+  RuntimeSchedule out;
+  out.tasks.resize(tasks_.size());
+  out.serial_ns = serial_ns();
+  if (tasks_.empty() || workers <= 0) return out;
+
+  std::vector<double> worker_free(static_cast<std::size_t>(workers), 0.0);
+  std::vector<double> finish(tasks_.size(), -1.0);
+  std::vector<int> remaining_deps(tasks_.size(), 0);
+  for (std::size_t t = 0; t < tasks_.size(); ++t)
+    remaining_deps[t] = static_cast<int>(deps_[t].size());
+
+  // Ready tasks in submission order (stable, deterministic).
+  std::vector<int> ready;
+  for (std::size_t t = 0; t < tasks_.size(); ++t)
+    if (remaining_deps[t] == 0) ready.push_back(static_cast<int>(t));
+
+  std::size_t scheduled = 0;
+  while (scheduled < tasks_.size()) {
+    // Pick the ready task whose dependencies complete earliest.
+    int best = -1;
+    double best_ready_at = std::numeric_limits<double>::infinity();
+    for (const int t : ready) {
+      double at = 0.0;
+      for (const int d : deps_[static_cast<std::size_t>(t)])
+        at = std::max(at, finish[static_cast<std::size_t>(d)]);
+      if (at < best_ready_at) {
+        best_ready_at = at;
+        best = t;
+      }
+    }
+    // Earliest-free worker.
+    std::size_t w = 0;
+    for (std::size_t k = 1; k < worker_free.size(); ++k)
+      if (worker_free[k] < worker_free[w]) w = k;
+
+    const double start = std::max(best_ready_at, worker_free[w]);
+    const double end = start + tasks_[static_cast<std::size_t>(best)].cost_ns;
+    out.tasks[static_cast<std::size_t>(best)] =
+        ScheduledTask{best, static_cast<int>(w), start, end};
+    finish[static_cast<std::size_t>(best)] = end;
+    worker_free[w] = end;
+    out.makespan_ns = std::max(out.makespan_ns, end);
+    ++scheduled;
+    ready.erase(std::find(ready.begin(), ready.end(), best));
+
+    // Unlock dependents.
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      if (finish[t] >= 0.0 || remaining_deps[t] == 0) continue;
+      if (std::find(deps_[t].begin(), deps_[t].end(), best) != deps_[t].end()) {
+        if (--remaining_deps[t] == 0) ready.push_back(static_cast<int>(t));
+      }
+    }
+  }
+
+  out.speedup = out.makespan_ns > 0.0 ? out.serial_ns / out.makespan_ns : 1.0;
+  out.parallel_efficiency = out.speedup / workers;
+  return out;
+}
+
+std::vector<std::size_t> DataRuntime::map_regions(const mem::Hierarchy& hierarchy) const {
+  // Heat: sum of the costs of tasks touching each region.
+  std::vector<double> heat(regions_.size(), 0.0);
+  for (const RegionTask& t : tasks_)
+    for (const RegionRequirement& req : t.requirements)
+      heat[static_cast<std::size_t>(req.region)] += t.cost_ns;
+
+  std::vector<int> order(regions_.size());
+  for (std::size_t r = 0; r < regions_.size(); ++r) order[r] = static_cast<int>(r);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return heat[static_cast<std::size_t>(a)] >
+                                              heat[static_cast<std::size_t>(b)]; });
+
+  std::vector<double> tier_free;
+  for (const mem::MemoryTier& t : hierarchy.tiers()) tier_free.push_back(t.capacity_gb);
+
+  std::vector<std::size_t> placement(regions_.size(), hierarchy.tiers().size() - 1);
+  for (const int r : order) {
+    const double need = regions_[static_cast<std::size_t>(r)].size_gb;
+    for (std::size_t tier = 0; tier < tier_free.size(); ++tier) {
+      if (tier_free[tier] >= need) {
+        tier_free[tier] -= need;
+        placement[static_cast<std::size_t>(r)] = tier;
+        break;
+      }
+    }
+  }
+  return placement;
+}
+
+}  // namespace hpc::core

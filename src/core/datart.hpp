@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/tier.hpp"
+
+/// \file datart.hpp
+/// Data-centric task runtime (paper Section III.D): "especially well-suited
+/// for distributed heterogeneous architectures, data-centric runtime
+/// environments like Legion [21] are also rapidly emerging.  They enable the
+/// programmer to embed the data structure to facilitate the extraction of
+/// task and data parallelism, and to map more easily to complex, multi-level,
+/// memory hierarchies."
+///
+/// Tasks declare which logical regions they read and write; the runtime
+/// derives the dependency graph (RAW/WAR/WAW), extracts the available
+/// parallelism, list-schedules onto workers, and maps regions onto a memory
+/// hierarchy by access heat.
+
+namespace hpc::core {
+
+/// A named block of data the runtime manages.
+struct LogicalRegion {
+  int id = 0;
+  std::string name;
+  double size_gb = 0.0;
+};
+
+/// How a task touches a region.
+enum class Access : std::uint8_t { kRead, kWrite, kReadWrite };
+
+/// One region requirement of a task.
+struct RegionRequirement {
+  int region = 0;
+  Access access = Access::kRead;
+};
+
+/// A task with declared data usage and a cost.
+struct RegionTask {
+  int id = 0;
+  std::string name;
+  std::vector<RegionRequirement> requirements;
+  double cost_ns = 0.0;
+};
+
+/// One scheduled task instance.
+struct ScheduledTask {
+  int task = 0;
+  int worker = 0;
+  double start_ns = 0.0;
+  double finish_ns = 0.0;
+};
+
+/// Outcome of scheduling the task graph.
+struct RuntimeSchedule {
+  std::vector<ScheduledTask> tasks;
+  double makespan_ns = 0.0;
+  double serial_ns = 0.0;
+  double parallel_efficiency = 0.0;  ///< serial / (makespan x workers)
+  double speedup = 0.0;              ///< serial / makespan
+};
+
+/// The runtime: regions, tasks, implicit dependencies, scheduling, mapping.
+class DataRuntime {
+ public:
+  /// Registers a region; returns its id.
+  int add_region(std::string name, double size_gb);
+
+  /// Registers a task; dependencies are derived automatically from the
+  /// region access sets against previously submitted tasks (program order):
+  ///  - a reader depends on the region's last writer (RAW),
+  ///  - a writer depends on the last writer (WAW) and every reader since
+  ///    (WAR).
+  /// Returns the task id.
+  int add_task(std::string name, std::vector<RegionRequirement> requirements,
+               double cost_ns);
+
+  std::size_t region_count() const noexcept { return regions_.size(); }
+  std::size_t task_count() const noexcept { return tasks_.size(); }
+  const LogicalRegion& region(int id) const { return regions_[static_cast<std::size_t>(id)]; }
+  const RegionTask& task(int id) const { return tasks_[static_cast<std::size_t>(id)]; }
+
+  /// Derived dependencies of a task (deduplicated, ascending).
+  const std::vector<int>& dependencies(int task) const {
+    return deps_[static_cast<std::size_t>(task)];
+  }
+
+  /// Length of the longest dependency chain, weighted by cost.
+  double critical_path_ns() const;
+
+  /// Sum of all task costs (the serial execution time).
+  double serial_ns() const;
+
+  /// List-schedules the graph on \p workers identical workers (earliest
+  /// finish first among ready tasks).
+  RuntimeSchedule schedule(int workers) const;
+
+  /// Maps regions to tiers of \p hierarchy by access heat (touch count x
+  /// task cost), hottest first, respecting per-tier capacity.  Returns the
+  /// tier index per region.
+  std::vector<std::size_t> map_regions(const mem::Hierarchy& hierarchy) const;
+
+ private:
+  std::vector<LogicalRegion> regions_;
+  std::vector<RegionTask> tasks_;
+  std::vector<std::vector<int>> deps_;
+  // Per-region bookkeeping for dependency extraction.
+  std::vector<int> last_writer_;            // -1 if never written
+  std::vector<std::vector<int>> readers_;   // readers since the last write
+};
+
+}  // namespace hpc::core

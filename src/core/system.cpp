@@ -1,0 +1,209 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/job.hpp"
+
+namespace hpc::core {
+
+std::string_view name_of(PlacementPolicy p) noexcept {
+  switch (p) {
+    case PlacementPolicy::kSiloed: return "siloed";
+    case PlacementPolicy::kGravityAware: return "gravity-aware";
+    case PlacementPolicy::kCheapest: return "cheapest";
+  }
+  return "siloed";
+}
+
+/// Per-node availability times, indexed [site][partition][node].
+struct System::NodePool {
+  std::vector<std::vector<std::vector<sim::TimeNs>>> free_at;
+
+  explicit NodePool(const std::vector<fed::Site>& sites) {
+    free_at.resize(sites.size());
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      free_at[s].resize(sites[s].cluster.partitions.size());
+      for (std::size_t p = 0; p < free_at[s].size(); ++p)
+        free_at[s][p].assign(
+            static_cast<std::size_t>(sites[s].cluster.partitions[p].nodes), 0);
+    }
+  }
+
+  /// Earliest time \p nodes nodes of (site, partition) are simultaneously
+  /// free at or after \p not_before.
+  sim::TimeNs earliest(int site, int partition, int nodes, sim::TimeNs not_before) const {
+    const auto& pool = free_at[static_cast<std::size_t>(site)][static_cast<std::size_t>(partition)];
+    if (static_cast<int>(pool.size()) < nodes) return std::numeric_limits<sim::TimeNs>::max();
+    std::vector<sim::TimeNs> sorted = pool;
+    std::sort(sorted.begin(), sorted.end());
+    return std::max(not_before, sorted[static_cast<std::size_t>(nodes - 1)]);
+  }
+
+  /// Marks the \p nodes earliest-free nodes busy until \p until.
+  void acquire(int site, int partition, int nodes, sim::TimeNs until) {
+    auto& pool = free_at[static_cast<std::size_t>(site)][static_cast<std::size_t>(partition)];
+    // Select indices of the `nodes` smallest availability times.
+    std::vector<std::size_t> idx(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + nodes, idx.end(),
+                      [&](std::size_t a, std::size_t b) { return pool[a] < pool[b]; });
+    for (int k = 0; k < nodes; ++k) pool[idx[static_cast<std::size_t>(k)]] = until;
+  }
+};
+
+System::System(std::vector<fed::Site> sites, std::uint64_t seed)
+    : sites_(std::move(sites)), rng_(seed), silo_of_kind_(5, 0) {}
+
+void System::pin_silo(TaskKind kind, int site) {
+  silo_of_kind_[static_cast<std::size_t>(kind)] = site;
+}
+
+double System::transfer_ns(int from, int to, double gb) const {
+  return fed::wan_transfer_ns(sites_[static_cast<std::size_t>(from)],
+                              sites_[static_cast<std::size_t>(to)], gb);
+}
+
+WorkflowResult System::run(const Workflow& wf, PlacementPolicy policy) {
+  WorkflowResult result;
+  result.outcomes.resize(wf.size());
+  NodePool pool(sites_);
+
+  const data::TransferOracle oracle = [this](int from, int to, double gb) {
+    return transfer_ns(from, to, gb);
+  };
+
+  for (const int tid : wf.topological_order()) {
+    const Task& task = wf.task(tid);
+    TaskOutcome& out = result.outcomes[static_cast<std::size_t>(tid)];
+    out.task = tid;
+
+    // Ready when all dependencies have finished.
+    sim::TimeNs ready = task.job.arrival;
+    for (const int d : task.deps)
+      ready = std::max(ready, result.outcomes[static_cast<std::size_t>(d)].finish);
+    out.ready = ready;
+
+    // Inputs: explicit catalog ids plus the outputs of upstream tasks.
+    std::vector<int> inputs = task.input_datasets;
+    for (const int t : task.input_tasks) {
+      ready = std::max(ready, result.outcomes[static_cast<std::size_t>(t)].finish);
+      const int ds = result.outcomes[static_cast<std::size_t>(t)].output_dataset;
+      if (ds >= 0) inputs.push_back(ds);
+    }
+    out.ready = ready;
+
+    // Candidate sites per policy.
+    std::vector<int> candidates;
+    if (policy == PlacementPolicy::kSiloed) {
+      candidates.push_back(silo_of_kind_[static_cast<std::size_t>(task.kind)]);
+    } else {
+      for (const fed::Site& s : sites_) candidates.push_back(s.id);
+    }
+
+    struct Option {
+      int site = -1;
+      int partition = -1;
+      sim::TimeNs start = 0;
+      sim::TimeNs finish = 0;
+      double staged_gb = 0.0;
+      double staging_ns = 0.0;
+      double cost = 0.0;
+      double energy = 0.0;
+    };
+    Option best;
+    bool have = false;
+
+    for (const int sid : candidates) {
+      const fed::Site& site = sites_[static_cast<std::size_t>(sid)];
+
+      // Staging: every input must be at the site (replica) or movable to it.
+      double staging_ns = 0.0;
+      double staged_gb = 0.0;
+      bool feasible = true;
+      for (const int ds : inputs) {
+        const data::DatasetMeta& m = catalog_.get(ds);
+        if (std::find(m.replica_sites.begin(), m.replica_sites.end(), sid) !=
+            m.replica_sites.end())
+          continue;  // already local
+        const auto choice = catalog_.cheapest_replica(ds, sid, site.admin_domain, oracle);
+        if (!choice) {
+          feasible = false;  // governance pins this input elsewhere
+          break;
+        }
+        staging_ns += choice->transfer_ns;
+        staged_gb += m.size_gb;
+      }
+      if (!feasible) continue;
+
+      // Best partition at the site.
+      for (std::size_t p = 0; p < site.cluster.partitions.size(); ++p) {
+        const sched::Partition& part = site.cluster.partitions[p];
+        if (part.nodes < task.job.nodes) continue;
+        const double run_ns = sched::job_runtime_ns(task.job, part.device, task.job.nodes);
+        if (run_ns >= 1e17) continue;
+        const double noisy_ns = run_ns * (1.0 + site.noise_factor);
+        const auto data_ready = ready + static_cast<sim::TimeNs>(staging_ns);
+        const sim::TimeNs start =
+            pool.earliest(sid, static_cast<int>(p), task.job.nodes, data_ready);
+        if (start == std::numeric_limits<sim::TimeNs>::max()) continue;
+        const auto finish = start + static_cast<sim::TimeNs>(noisy_ns);
+        const double node_hours = noisy_ns * 1e-9 / 3600.0 * task.job.nodes;
+        const double cost = node_hours * site.price_per_node_hour;
+        const double energy =
+            sched::job_energy_j(task.job, part.device, task.job.nodes);
+
+        const bool better = [&] {
+          if (!have) return true;
+          if (policy == PlacementPolicy::kCheapest)
+            return cost < best.cost || (cost == best.cost && finish < best.finish);
+          return finish < best.finish ||
+                 (finish == best.finish && staged_gb < best.staged_gb);
+        }();
+        if (better) {
+          best = Option{sid, static_cast<int>(p), start, finish,
+                        staged_gb, staging_ns, cost, energy};
+          have = true;
+        }
+      }
+    }
+
+    if (!have) {
+      // No feasible placement: record as never-run; downstream tasks treat the
+      // dependency as satisfied at `ready` (degraded but non-blocking).
+      out.site = -1;
+      out.start = out.finish = ready;
+      continue;
+    }
+
+    // Commit.
+    pool.acquire(best.site, best.partition, task.job.nodes, best.finish);
+    out.site = best.site;
+    out.partition = best.partition;
+    out.start = best.start;
+    out.finish = best.finish;
+    out.staged_gb = best.staged_gb;
+    out.cost_usd = best.cost;
+    out.energy_j = best.energy;
+
+    // Staged inputs now have replicas here; future tasks reuse them.
+    for (const int ds : inputs) catalog_.add_replica(ds, best.site);
+
+    // Register the output dataset at the execution site.
+    if (task.output_gb > 0.0) {
+      out.output_dataset = catalog_.derive(
+          task.name + ".out", inputs, std::string(name_of(task.kind)),
+          task.output_gb, best.site,
+          sites_[static_cast<std::size_t>(best.site)].admin_domain,
+          task.output_sensitivity, best.finish);
+    }
+
+    result.makespan = std::max(result.makespan, best.finish);
+    result.wan_gb_moved += best.staged_gb;
+    result.total_cost_usd += best.cost;
+    result.total_energy_j += best.energy;
+  }
+  return result;
+}
+
+}  // namespace hpc::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "data/catalog.hpp"
+#include "fed/site.hpp"
+#include "sim/rng.hpp"
+
+/// \file system.hpp
+/// The Archipelago itself: "an archipelago of tightly connected
+/// supercomputing islands, some containing combinations of very large
+/// accelerators and massive compute capabilities, some distributed at the
+/// edge ..., all of them connected through a data foundation layer"
+/// (Section III.B).  The System composes federated sites with the data
+/// catalog and executes workflows through a transparent meta-scheduler
+/// (Section III.F) that picks silicon and site per task.
+
+namespace hpc::core {
+
+/// How the meta-scheduler maps workflow tasks to sites.
+enum class PlacementPolicy : std::uint8_t {
+  kSiloed,       ///< each task kind pinned to its traditional silo
+  kGravityAware, ///< minimize staging + queue + run per task
+  kCheapest,     ///< minimize dollar cost, ties broken by finish time
+};
+
+std::string_view name_of(PlacementPolicy p) noexcept;
+
+/// One executed task.
+struct TaskOutcome {
+  int task = 0;
+  int site = -1;
+  int partition = -1;
+  sim::TimeNs ready = 0;   ///< dependencies satisfied
+  sim::TimeNs start = 0;   ///< inputs staged and nodes acquired
+  sim::TimeNs finish = 0;
+  double staged_gb = 0.0;
+  double cost_usd = 0.0;
+  double energy_j = 0.0;
+  int output_dataset = -1;
+};
+
+/// Whole-workflow outcome.
+struct WorkflowResult {
+  std::vector<TaskOutcome> outcomes;
+  sim::TimeNs makespan = 0;
+  double wan_gb_moved = 0.0;
+  double total_cost_usd = 0.0;
+  double total_energy_j = 0.0;
+};
+
+/// The composed system.
+class System {
+ public:
+  explicit System(std::vector<fed::Site> sites, std::uint64_t seed = 1);
+
+  const std::vector<fed::Site>& sites() const noexcept { return sites_; }
+  data::Catalog& catalog() noexcept { return catalog_; }
+  const data::Catalog& catalog() const noexcept { return catalog_; }
+
+  /// Pins a task kind to a site (used by the kSiloed policy).  Unpinned kinds
+  /// default to site 0.
+  void pin_silo(TaskKind kind, int site);
+
+  /// Executes a workflow: tasks run in dependency order; each task is placed
+  /// per \p policy, inputs are staged through the catalog's cheapest governed
+  /// replica, outputs are registered as new datasets at the execution site.
+  WorkflowResult run(const Workflow& wf, PlacementPolicy policy);
+
+ private:
+  struct NodePool;  // per-partition node availability
+
+  double transfer_ns(int from, int to, double gb) const;
+
+  std::vector<fed::Site> sites_;
+  data::Catalog catalog_;
+  sim::Rng rng_;
+  std::vector<int> silo_of_kind_;
+};
+
+}  // namespace hpc::core

@@ -1,0 +1,83 @@
+#include "core/workflow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/workload.hpp"
+
+namespace hpc::core {
+
+std::string_view name_of(TaskKind k) noexcept {
+  switch (k) {
+    case TaskKind::kSimulate: return "simulate";
+    case TaskKind::kTrain: return "train";
+    case TaskKind::kInfer: return "infer";
+    case TaskKind::kAnalyze: return "analyze";
+    case TaskKind::kIngest: return "ingest";
+  }
+  return "simulate";
+}
+
+sched::OpMix default_mix(TaskKind k) noexcept {
+  switch (k) {
+    case TaskKind::kSimulate: return sched::mix_of(sched::JobKind::kHpcSimulation);
+    case TaskKind::kTrain: return sched::mix_of(sched::JobKind::kAiTraining);
+    case TaskKind::kInfer: return sched::mix_of(sched::JobKind::kAiInference);
+    case TaskKind::kAnalyze: return sched::mix_of(sched::JobKind::kAnalytics);
+    case TaskKind::kIngest: {
+      sched::OpMix mix{};
+      mix[static_cast<std::size_t>(hw::OpClass::kScalar)] = 0.5;
+      mix[static_cast<std::size_t>(hw::OpClass::kSort)] = 0.5;
+      return mix;
+    }
+  }
+  return sched::mix_of(sched::JobKind::kHpcSimulation);
+}
+
+hw::Precision default_precision(TaskKind k) noexcept {
+  switch (k) {
+    case TaskKind::kSimulate: return hw::Precision::FP64;
+    case TaskKind::kTrain: return hw::Precision::BF16;
+    case TaskKind::kInfer: return hw::Precision::INT8;
+    case TaskKind::kAnalyze:
+    case TaskKind::kIngest: return hw::Precision::FP64;
+  }
+  return hw::Precision::FP64;
+}
+
+int Workflow::add(Task task) {
+  task.id = static_cast<int>(tasks_.size());
+  bool mix_empty = true;
+  for (const double v : task.job.mix)
+    if (v > 0.0) mix_empty = false;
+  if (mix_empty) {
+    task.job.mix = default_mix(task.kind);
+    task.job.precision = default_precision(task.kind);
+  }
+  if (task.job.name.empty()) task.job.name = task.name;
+  for (const int d : task.deps)
+    if (d < 0 || d >= task.id) throw std::runtime_error("workflow: bad dependency");
+  tasks_.push_back(std::move(task));
+  return tasks_.back().id;
+}
+
+std::vector<int> Workflow::topological_order() const {
+  // Tasks may only depend on earlier ids (enforced in add), so identity order
+  // is already topological.
+  std::vector<int> order(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+int Workflow::critical_path_length() const {
+  std::vector<int> depth(tasks_.size(), 1);
+  int best = tasks_.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (const int d : tasks_[i].deps)
+      depth[i] = std::max(depth[i], depth[static_cast<std::size_t>(d)] + 1);
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+}  // namespace hpc::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/catalog.hpp"
+#include "sched/job.hpp"
+
+/// \file workflow.hpp
+/// Cross-site scientific workflows — the paper's converged Big Data + HPC +
+/// AI campaigns (Figure 1) expressed as DAGs of simulate/train/infer/analyze
+/// tasks with dataset dependencies, "connected through a data foundation
+/// layer that keeps track of the workflow and the various data transformation
+/// steps" (Section III.B).
+
+namespace hpc::core {
+
+/// What a task does (determines its op mix if the job's mix is unset).
+enum class TaskKind : std::uint8_t { kSimulate, kTrain, kInfer, kAnalyze, kIngest };
+
+std::string_view name_of(TaskKind k) noexcept;
+
+/// One workflow node.
+struct Task {
+  int id = 0;
+  std::string name;
+  TaskKind kind = TaskKind::kSimulate;
+  sched::Job job;                 ///< resource shape (mix auto-filled from kind)
+  std::vector<int> deps;          ///< task ids that must finish first
+  std::vector<int> input_datasets;///< catalog ids consumed
+  /// Task ids whose output dataset this task consumes (resolved at run time;
+  /// implies the dependency, which must also be listed in deps).
+  std::vector<int> input_tasks;
+  double output_gb = 0.0;         ///< dataset produced (registered on completion)
+  data::Sensitivity output_sensitivity = data::Sensitivity::kInternal;
+};
+
+/// A DAG of tasks.
+class Workflow {
+ public:
+  /// Adds a task; fills job.mix from the kind when the mix is all-zero.
+  /// Returns the task id.
+  int add(Task task);
+
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  const Task& task(int id) const { return tasks_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Topological order; throws std::runtime_error on cycles.
+  std::vector<int> topological_order() const;
+
+  /// Critical-path length in task count (longest dependency chain).
+  int critical_path_length() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+/// Default op mix of a task kind.
+sched::OpMix default_mix(TaskKind k) noexcept;
+
+/// Default precision of a task kind.
+hw::Precision default_precision(TaskKind k) noexcept;
+
+}  // namespace hpc::core

@@ -1,0 +1,138 @@
+#include "data/catalog.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace hpc::data {
+
+std::string_view name_of(Sensitivity s) noexcept {
+  switch (s) {
+    case Sensitivity::kPublic: return "public";
+    case Sensitivity::kInternal: return "internal";
+    case Sensitivity::kRestricted: return "restricted";
+  }
+  return "internal";
+}
+
+int Catalog::add(std::string name, double size_gb, int home_site, int admin_domain,
+                 Sensitivity sensitivity, std::string schema, sim::TimeNs created) {
+  DatasetMeta m;
+  m.id = static_cast<int>(datasets_.size());
+  m.name = std::move(name);
+  m.size_gb = size_gb;
+  m.home_site = home_site;
+  m.admin_domain = admin_domain;
+  m.sensitivity = sensitivity;
+  m.schema = std::move(schema);
+  m.created = created;
+  m.replica_sites.push_back(home_site);
+  datasets_.push_back(std::move(m));
+  return datasets_.back().id;
+}
+
+int Catalog::derive(std::string name, const std::vector<int>& parents,
+                    std::string transform, double size_gb, int home_site,
+                    int admin_domain, Sensitivity sensitivity, sim::TimeNs created) {
+  for (const int p : parents) (void)get(p);  // validate
+  const int id = add(std::move(name), size_gb, home_site, admin_domain, sensitivity, "",
+                     created);
+  datasets_[static_cast<std::size_t>(id)].parents = parents;
+  datasets_[static_cast<std::size_t>(id)].transform = std::move(transform);
+  return id;
+}
+
+const DatasetMeta& Catalog::get(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= datasets_.size())
+    throw std::out_of_range("catalog: unknown dataset id " + std::to_string(id));
+  return datasets_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Catalog::ancestors(int id) const {
+  std::vector<int> out;
+  std::vector<bool> seen(datasets_.size(), false);
+  std::deque<int> queue(get(id).parents.begin(), get(id).parents.end());
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    if (seen[static_cast<std::size_t>(cur)]) continue;
+    seen[static_cast<std::size_t>(cur)] = true;
+    out.push_back(cur);
+    for (const int p : get(cur).parents) queue.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int> Catalog::descendants(int id) const {
+  std::vector<int> out;
+  for (const DatasetMeta& m : datasets_) {
+    const std::vector<int> anc = ancestors(m.id);
+    if (std::find(anc.begin(), anc.end(), id) != anc.end()) out.push_back(m.id);
+  }
+  return out;
+}
+
+std::vector<ProvenanceStep> Catalog::provenance(int id) const {
+  // Roots first: ancestors() is nearest-first, so reverse it.
+  std::vector<int> chain = ancestors(id);
+  std::reverse(chain.begin(), chain.end());
+  chain.push_back(id);
+  std::vector<ProvenanceStep> steps;
+  for (const int d : chain) {
+    const DatasetMeta& m = get(d);
+    ProvenanceStep s;
+    s.dataset = d;
+    s.description = m.parents.empty()
+                        ? m.name + " (source)"
+                        : m.name + " <- " + m.transform;
+    steps.push_back(std::move(s));
+  }
+  return steps;
+}
+
+bool Catalog::may_move_to(int id, int site, int domain) const {
+  const DatasetMeta& m = get(id);
+  switch (m.sensitivity) {
+    case Sensitivity::kPublic: return true;
+    case Sensitivity::kInternal: return domain == m.admin_domain;
+    case Sensitivity::kRestricted: return site == m.home_site;
+  }
+  return false;
+}
+
+void Catalog::add_replica(int id, int site) {
+  auto& replicas = datasets_[static_cast<std::size_t>(get(id).id)].replica_sites;
+  if (std::find(replicas.begin(), replicas.end(), site) == replicas.end())
+    replicas.push_back(site);
+}
+
+std::optional<Catalog::ReplicaChoice> Catalog::cheapest_replica(
+    int id, int site, int domain, const TransferOracle& oracle) const {
+  const DatasetMeta& m = get(id);
+  if (!may_move_to(id, site, domain)) return std::nullopt;
+  std::optional<ReplicaChoice> best;
+  for (const int r : m.replica_sites) {
+    const double cost = r == site ? 0.0 : oracle(r, site, m.size_gb);
+    if (!best || cost < best->transfer_ns) best = ReplicaChoice{r, cost};
+  }
+  return best;
+}
+
+Catalog::StagingPlan Catalog::plan_staging(const std::vector<int>& ids, int site,
+                                           int domain, const TransferOracle& oracle) const {
+  StagingPlan plan;
+  for (const int id : ids) {
+    const auto choice = cheapest_replica(id, site, domain, oracle);
+    if (!choice) {
+      plan.unmovable.push_back(id);
+      continue;
+    }
+    if (choice->from_site != site) {
+      plan.total_gb += get(id).size_gb;
+      plan.total_ns += choice->transfer_ns;
+    }
+  }
+  return plan;
+}
+
+}  // namespace hpc::data

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file catalog.hpp
+/// The common data foundation (Section III.A): "well-defined foundational
+/// data protocols can accelerate innovation by providing actionable metadata
+/// and preserving important aspects such as lineage and provenance ... while
+/// preserving security, interoperability and data governance".
+///
+/// The catalog tracks datasets, their locations/replicas, their derivation
+/// graph (lineage), and governance labels that constrain where they may move.
+
+namespace hpc::data {
+
+/// Governance label controlling cross-domain movement.
+enum class Sensitivity : std::uint8_t {
+  kPublic,      ///< moves anywhere
+  kInternal,    ///< moves within the owning administrative domain
+  kRestricted,  ///< pinned to its home site
+};
+
+std::string_view name_of(Sensitivity s) noexcept;
+
+/// Metadata record of one dataset version.
+struct DatasetMeta {
+  int id = 0;
+  std::string name;
+  double size_gb = 0.0;
+  int home_site = 0;
+  int admin_domain = 0;
+  Sensitivity sensitivity = Sensitivity::kInternal;
+  std::string schema;          ///< free-form schema tag
+  std::vector<int> parents;    ///< lineage: datasets this was derived from
+  std::string transform;       ///< derivation description (provenance)
+  sim::TimeNs created = 0;
+  std::vector<int> replica_sites;  ///< sites holding a full copy (incl. home)
+};
+
+/// One step of a provenance chain, rendered for audits.
+struct ProvenanceStep {
+  int dataset = 0;
+  std::string description;
+};
+
+/// Per-site pairwise transfer-time oracle: (from_site, to_site, gb) -> ns.
+using TransferOracle = std::function<double(int, int, double)>;
+
+/// The data catalog.
+class Catalog {
+ public:
+  /// Registers a root dataset; returns its id.
+  int add(std::string name, double size_gb, int home_site, int admin_domain,
+          Sensitivity sensitivity, std::string schema, sim::TimeNs created = 0);
+
+  /// Registers a dataset derived from \p parents via \p transform; lineage is
+  /// recorded.  Throws std::out_of_range on unknown parents.
+  int derive(std::string name, const std::vector<int>& parents, std::string transform,
+             double size_gb, int home_site, int admin_domain, Sensitivity sensitivity,
+             sim::TimeNs created = 0);
+
+  const DatasetMeta& get(int id) const;
+  std::size_t size() const noexcept { return datasets_.size(); }
+
+  /// All ancestors of \p id (deduplicated, nearest first).
+  std::vector<int> ancestors(int id) const;
+
+  /// All datasets derived (transitively) from \p id.
+  std::vector<int> descendants(int id) const;
+
+  /// Human-readable provenance chain from roots to \p id.
+  std::vector<ProvenanceStep> provenance(int id) const;
+
+  /// Governance: may \p id be copied into \p domain at \p site?
+  bool may_move_to(int id, int site, int domain) const;
+
+  /// Records that \p site now holds a replica (no-op if already there).
+  void add_replica(int id, int site);
+
+  /// The replica whose transfer to \p site is cheapest under \p oracle, with
+  /// its cost; nullopt if governance forbids every option.
+  struct ReplicaChoice {
+    int from_site = 0;
+    double transfer_ns = 0.0;
+  };
+  std::optional<ReplicaChoice> cheapest_replica(int id, int site, int domain,
+                                                const TransferOracle& oracle) const;
+
+  /// Total bytes that would move to materialize \p ids at \p site (using the
+  /// cheapest governed replica; unmovable datasets are skipped and reported).
+  struct StagingPlan {
+    double total_gb = 0.0;
+    double total_ns = 0.0;
+    std::vector<int> unmovable;
+  };
+  StagingPlan plan_staging(const std::vector<int>& ids, int site, int domain,
+                           const TransferOracle& oracle) const;
+
+ private:
+  std::vector<DatasetMeta> datasets_;
+};
+
+}  // namespace hpc::data

@@ -1,0 +1,49 @@
+#include "edge/control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace hpc::edge {
+
+ControlResult run_control_loop(const Plant& plant, const PidGains& gains, double dt_s,
+                               int delay_steps, double duration_s, sim::Rng& rng) {
+  const int steps = static_cast<int>(duration_s / dt_s);
+  double x = 1.0;  // initial offset to regulate away
+  double integral = 0.0;
+  double prev_err = -x;
+
+  // Actuation pipeline: u computed now is applied delay_steps later.
+  std::deque<double> pipeline(static_cast<std::size_t>(std::max(0, delay_steps)), 0.0);
+
+  ControlResult res;
+  double sum_sq = 0.0;
+  int settled = 0;
+  for (int s = 0; s < steps; ++s) {
+    const double err = -x;  // setpoint is 0
+    integral = std::clamp(integral + err * dt_s, -10.0, 10.0);
+    const double derivative = (err - prev_err) / dt_s;
+    prev_err = err;
+    const double u_new =
+        std::clamp(gains.kp * err + gains.ki * integral + gains.kd * derivative,
+                   -plant.actuator_limit, plant.actuator_limit);
+
+    pipeline.push_back(u_new);
+    const double u = pipeline.front();
+    pipeline.pop_front();
+
+    // Integrate the plant over one period (forward Euler, small dt).
+    double w = rng.normal(0.0, plant.disturbance_sigma) * std::sqrt(dt_s);
+    if (rng.bernoulli(plant.kick_probability)) w += plant.step_disturbance;
+    x += (plant.a * x + plant.b * u) * dt_s + w;
+
+    sum_sq += x * x;
+    res.max_error = std::max(res.max_error, std::abs(x));
+    if (std::abs(x) < 0.05) ++settled;
+  }
+  res.rms_error = steps > 0 ? std::sqrt(sum_sq / steps) : 0.0;
+  res.settled_fraction = steps > 0 ? static_cast<double>(settled) / steps : 0.0;
+  return res;
+}
+
+}  // namespace hpc::edge

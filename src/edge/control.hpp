@@ -1,0 +1,50 @@
+#pragma once
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+/// \file control.hpp
+/// Real-time control at the instrumentation edge (Section III.A: "real-time
+/// predictive analytics, control, and optimization is needed to minimize the
+/// need of a human-in-the-loop for operating the instrumentation edge").
+///
+/// A disturbed first-order plant (e.g. beam position against thermal drift)
+/// is regulated by a PID controller whose actuation arrives after a loop
+/// delay.  Placing the controller at the edge (sub-ms delay) versus at the
+/// remote core (WAN round trip) changes the achievable regulation error —
+/// that difference is the quantitative content of the paper's claim.
+
+namespace hpc::edge {
+
+/// First-order linear plant  dx/dt = a x + b u + w,  w ~ N(0, sigma) pulses.
+struct Plant {
+  double a = -0.5;              ///< natural decay (stable for a < 0)
+  double b = 1.0;               ///< actuator gain
+  double disturbance_sigma = 0.3;  ///< per-step random disturbance
+  double step_disturbance = 1.0;   ///< occasional setpoint kicks
+  double kick_probability = 0.001;
+  double actuator_limit = 60.0;    ///< |u| saturation
+};
+
+/// Textbook PID, tuned tight: a fast instrument loop runs high gain, which
+/// is exactly what makes it intolerant of loop delay.
+struct PidGains {
+  double kp = 50.0;
+  double ki = 5.0;
+  double kd = 0.0;
+};
+
+/// Regulation quality of one closed-loop run.
+struct ControlResult {
+  double rms_error = 0.0;
+  double max_error = 0.0;
+  double settled_fraction = 0.0;  ///< fraction of time within the 5% band
+};
+
+/// Simulates \p duration_s of closed-loop regulation toward setpoint 0 with a
+/// sensor-to-actuator loop delay of \p delay_steps control periods of
+/// \p dt_s seconds each.
+ControlResult run_control_loop(const Plant& plant, const PidGains& gains, double dt_s,
+                               int delay_steps, double duration_s, sim::Rng& rng);
+
+}  // namespace hpc::edge

@@ -1,0 +1,32 @@
+#include "edge/instrument.hpp"
+
+#include <cmath>
+
+namespace hpc::edge {
+
+InstrumentSpec light_source_spec() {
+  return {"light-source", 4e6, 1'000.0, 0.8, 0.05};
+}
+
+InstrumentSpec light_source_upgrade_spec() {
+  return {"light-source-ng", 16e6, 10'000.0, 0.8, 0.02};
+}
+
+InstrumentSpec particle_detector_spec() {
+  return {"particle-detector", 2e5, 100'000.0, 0.5, 0.001};
+}
+
+double mean_rate_gbs(const InstrumentSpec& spec) noexcept {
+  return spec.frame_bytes * spec.frames_per_s * spec.burst_duty / 1e9;
+}
+
+FrameSample sample_frames(const InstrumentSpec& spec, double duration_s, sim::Rng& rng) {
+  FrameSample out;
+  const double expected = spec.frames_per_s * spec.burst_duty * duration_s;
+  out.frames = static_cast<std::int64_t>(expected);
+  for (std::int64_t i = 0; i < out.frames; ++i)
+    if (rng.bernoulli(spec.interesting_fraction)) ++out.interesting;
+  return out;
+}
+
+}  // namespace hpc::edge

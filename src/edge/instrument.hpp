@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+/// \file instrument.hpp
+/// Scientific instruments at the "heavy edge" (Section III.A): light sources,
+/// particle detectors and similar burst data sources whose output has become
+/// "a critical bottleneck ... expected to get even worse with new generations
+/// of faster and more detailed experimental facilities".
+
+namespace hpc::edge {
+
+/// Data-production profile of an instrument.
+struct InstrumentSpec {
+  std::string name = "detector";
+  double frame_bytes = 1e6;          ///< bytes per detector frame
+  double frames_per_s = 1'000.0;     ///< frame rate while bursting
+  double burst_duty = 1.0;           ///< fraction of time bursting
+  double interesting_fraction = 0.05;///< frames containing signal worth keeping
+};
+
+/// Current-generation synchrotron light-source beamline detector.
+InstrumentSpec light_source_spec();
+
+/// Next-generation upgrade (the paper's "faster and more detailed"): 10x the
+/// frame rate, 4x the frame size.
+InstrumentSpec light_source_upgrade_spec();
+
+/// Particle-physics detector front end after hardware triggering.
+InstrumentSpec particle_detector_spec();
+
+/// Mean data rate in GB/s the instrument produces.
+double mean_rate_gbs(const InstrumentSpec& spec) noexcept;
+
+/// Samples frames over \p duration_s: total frames, interesting frames.
+struct FrameSample {
+  std::int64_t frames = 0;
+  std::int64_t interesting = 0;
+};
+FrameSample sample_frames(const InstrumentSpec& spec, double duration_s, sim::Rng& rng);
+
+}  // namespace hpc::edge

@@ -1,0 +1,49 @@
+#include "edge/pipeline.hpp"
+
+#include <algorithm>
+
+namespace hpc::edge {
+
+namespace {
+
+/// Queueing inflation for a utilized server (M/D/1-flavoured): latency grows
+/// as 1/(1-rho) and the link starts dropping beyond saturation.
+double queueing_factor(double utilization) noexcept {
+  const double rho = std::min(utilization, 0.95);
+  return 1.0 / (1.0 - rho);
+}
+
+}  // namespace
+
+PipelineOutcome backhaul_all(const InstrumentSpec& inst, const Deployment& dep) {
+  PipelineOutcome out;
+  out.wan_gbs_required = mean_rate_gbs(inst);
+  out.wan_utilization = out.wan_gbs_required / dep.wan_bandwidth_gbs;
+  out.frames_lost_fraction =
+      out.wan_utilization > 1.0 ? 1.0 - 1.0 / out.wan_utilization : 0.0;
+
+  const double transfer_ns = inst.frame_bytes / dep.wan_bandwidth_gbs;  // bytes/(GB/s)=ns
+  out.mean_decision_latency_ns =
+      (dep.wan_rtt_ns / 2.0 + transfer_ns) * queueing_factor(out.wan_utilization) +
+      dep.core_inference_ns;
+  out.energy_per_frame_j = dep.core_power_w * dep.core_inference_ns * 1e-9;
+  return out;
+}
+
+PipelineOutcome edge_triage(const InstrumentSpec& inst, const Deployment& dep) {
+  PipelineOutcome out;
+  // Interesting frames cross in full; the rest send a compact feature record.
+  out.wan_gbs_required =
+      mean_rate_gbs(inst) * inst.interesting_fraction +
+      inst.frames_per_s * inst.burst_duty * dep.feature_bytes *
+          (1.0 - inst.interesting_fraction) / 1e9;
+  out.wan_utilization = out.wan_gbs_required / dep.wan_bandwidth_gbs;
+  out.frames_lost_fraction =
+      out.wan_utilization > 1.0 ? 1.0 - 1.0 / out.wan_utilization : 0.0;
+  // The actionable verdict is produced at the edge, WAN not in the loop.
+  out.mean_decision_latency_ns = dep.edge_inference_ns;
+  out.energy_per_frame_j = dep.edge_power_w * dep.edge_inference_ns * 1e-9;
+  return out;
+}
+
+}  // namespace hpc::edge

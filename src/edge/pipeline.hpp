@@ -1,0 +1,40 @@
+#pragma once
+
+#include "edge/instrument.hpp"
+
+/// \file pipeline.hpp
+/// Edge-vs-backhaul analysis pipelines (Sections III.A/B): either every
+/// frame streams to the supercomputing core over the facility WAN, or a
+/// "second wave" edge inference accelerator triages frames at the source and
+/// forwards only the interesting ones (plus compact features for the rest).
+/// Experiment C9 sweeps instrument generations over both designs.
+
+namespace hpc::edge {
+
+/// Deployment parameters shared by both pipeline designs.
+struct Deployment {
+  double wan_bandwidth_gbs = 1.25;      ///< facility uplink
+  double wan_rtt_ns = 10e6;             ///< to the core and back
+  double core_inference_ns = 50e3;      ///< per-frame decision at the core
+  double edge_inference_ns = 400e3;     ///< per-frame decision on the edge NPU
+  double edge_power_w = 15.0;           ///< NPU board power
+  double core_power_w = 400.0;          ///< GPU share at the core
+  double feature_bytes = 2'048.0;       ///< compact descriptor per triaged frame
+};
+
+/// Outcome of operating a pipeline at steady state.
+struct PipelineOutcome {
+  double wan_gbs_required = 0.0;   ///< offered WAN load
+  double wan_utilization = 0.0;    ///< offered / available
+  double frames_lost_fraction = 0.0;  ///< dropped when the uplink saturates
+  double mean_decision_latency_ns = 0.0;  ///< frame capture -> actionable verdict
+  double energy_per_frame_j = 0.0;
+};
+
+/// Everything streams to the core; decisions happen there.
+PipelineOutcome backhaul_all(const InstrumentSpec& inst, const Deployment& dep);
+
+/// Edge NPU triages; only interesting frames (plus features) cross the WAN.
+PipelineOutcome edge_triage(const InstrumentSpec& inst, const Deployment& dep);
+
+}  // namespace hpc::edge

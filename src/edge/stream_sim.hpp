@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "edge/instrument.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+/// \file stream_sim.hpp
+/// Event-driven edge triage pipeline on the discrete-event kernel.
+///
+/// Where pipeline.hpp gives closed-form steady-state answers, this simulates
+/// the actual frame-by-frame dynamics: Poisson frame arrivals during bursts,
+/// a finite inference queue in front of k parallel NPU engines, tail-drop
+/// when the queue overflows, and per-frame latency percentiles — the queueing
+/// behaviour a real "second wave" edge deployment must be provisioned for
+/// (paper Section III.B).
+
+namespace hpc::edge {
+
+/// Edge inference station: k engines behind one finite queue.
+struct StationConfig {
+  int engines = 4;                 ///< parallel NPU inference engines
+  double service_ns = 400e3;       ///< per-frame inference time
+  int queue_capacity = 64;         ///< frames buffered before tail drop
+};
+
+/// Result of streaming a duration of instrument frames through the station.
+struct StreamResult {
+  std::int64_t frames_offered = 0;
+  std::int64_t frames_served = 0;
+  std::int64_t frames_dropped = 0;
+  double drop_fraction = 0.0;
+  double mean_latency_ns = 0.0;    ///< arrival -> verdict (queue + service)
+  double p99_latency_ns = 0.0;
+  double utilization = 0.0;        ///< busy engine-time / total engine-time
+};
+
+/// Simulates \p duration_s of frames from \p inst through the station.
+/// Arrivals are Poisson at the burst rate gated by an on/off duty cycle.
+StreamResult run_stream(const InstrumentSpec& inst, const StationConfig& station,
+                        double duration_s, sim::Rng& rng);
+
+}  // namespace hpc::edge

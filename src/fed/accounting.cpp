@@ -1,0 +1,43 @@
+#include "fed/accounting.hpp"
+
+#include <algorithm>
+
+namespace hpc::fed {
+
+void Ledger::record(const UsageRecord& r) { records_.push_back(r); }
+
+void Ledger::void_job(int job_id) {
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [job_id](const UsageRecord& r) { return r.job_id == job_id; }),
+                 records_.end());
+}
+
+double Ledger::earned_usd(int site) const {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_)
+    if (r.provider_site == site && r.consumer_site != site) sum += r.cost_usd;
+  return sum;
+}
+
+double Ledger::spent_usd(int site) const {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_)
+    if (r.consumer_site == site && r.provider_site != site) sum += r.cost_usd;
+  return sum;
+}
+
+double Ledger::net_usd(int site) const { return earned_usd(site) - spent_usd(site); }
+
+double Ledger::total_node_hours() const {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_) sum += r.node_hours;
+  return sum;
+}
+
+double Ledger::total_wan_gb() const {
+  double sum = 0.0;
+  for (const UsageRecord& r : records_) sum += r.wan_gb;
+  return sum;
+}
+
+}  // namespace hpc::fed

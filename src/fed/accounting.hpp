@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file accounting.hpp
+/// Monitoring and accounting of resource exchange between sites — the paper:
+/// "it will also put in place the monitoring and accounting framework to
+/// capture the resource exchange between the sites.  Such resource
+/// consumption data collection could lay the foundation to an 'Open Compute
+/// Exchange'" (Section III.F).
+
+namespace hpc::fed {
+
+/// One metered record of consumption.
+struct UsageRecord {
+  int job_id = 0;
+  int consumer_site = 0;   ///< who submitted (pays)
+  int provider_site = 0;   ///< who ran it (earns)
+  double node_hours = 0.0;
+  double cost_usd = 0.0;
+  double wan_gb = 0.0;
+  sim::TimeNs start = 0;
+  sim::TimeNs finish = 0;
+};
+
+/// Ledger with per-site settlement.  Append-mostly: records are only removed
+/// when a site failure voids an in-flight job's usage.
+class Ledger {
+ public:
+  void record(const UsageRecord& r);
+
+  /// Removes every record of \p job_id (a failed site voided its usage).
+  void void_job(int job_id);
+
+  const std::vector<UsageRecord>& records() const noexcept { return records_; }
+
+  /// Dollars site \p id earned providing capacity to others.
+  double earned_usd(int site) const;
+  /// Dollars site \p id spent consuming remote capacity.
+  double spent_usd(int site) const;
+  /// Net position (earned - spent); sums to ~0 across sites for internal
+  /// exchange (the paper's zero-sum framing).
+  double net_usd(int site) const;
+
+  double total_node_hours() const;
+  double total_wan_gb() const;
+
+ private:
+  std::vector<UsageRecord> records_;
+};
+
+}  // namespace hpc::fed

@@ -1,0 +1,389 @@
+#include "fed/federation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hpc::fed {
+
+std::string_view name_of(MetaPolicy p) noexcept {
+  switch (p) {
+    case MetaPolicy::kHomeOnly: return "home-only";
+    case MetaPolicy::kComputeOnly: return "compute-only";
+    case MetaPolicy::kDataGravity: return "data-gravity";
+    case MetaPolicy::kCheapest: return "cheapest";
+  }
+  return "home-only";
+}
+
+std::string_view name_of(FederationStage s) noexcept {
+  switch (s) {
+    case FederationStage::kLocalOnly: return "local-only";
+    case FederationStage::kBursting: return "bursting";
+    case FederationStage::kFluid: return "fluid";
+    case FederationStage::kGrid: return "grid";
+    case FederationStage::kExchange: return "exchange";
+  }
+  return "local-only";
+}
+
+namespace {
+
+/// Fastest feasible partition for a job at a site (-1 if none fits).
+int best_partition_at(const Site& site, const sched::Job& job) {
+  int best = -1;
+  double best_t = std::numeric_limits<double>::infinity();
+  for (std::size_t p = 0; p < site.cluster.partitions.size(); ++p) {
+    const sched::Partition& part = site.cluster.partitions[p];
+    if (part.nodes < job.nodes) continue;
+    const double t = sched::job_runtime_ns(job, part.device, job.nodes);
+    if (t < 1e17 && t < best_t) {
+      best_t = t;
+      best = static_cast<int>(p);
+    }
+  }
+  return best;
+}
+
+double runtime_at(const Site& site, const sched::Job& job, int partition) {
+  return sched::job_runtime_ns(
+      job, site.cluster.partitions[static_cast<std::size_t>(partition)].device, job.nodes);
+}
+
+}  // namespace
+
+FederationSim::FederationSim(std::vector<Site> sites, FederationConfig cfg)
+    : sites_(std::move(sites)), cfg_(cfg), rng_(cfg.seed) {}
+
+void FederationSim::submit(const sched::Job& job, int home_site) {
+  jobs_.push_back(FedJob{job, home_site});
+}
+
+void FederationSim::submit_all(const std::vector<sched::Job>& jobs, int home_site) {
+  for (const sched::Job& j : jobs) submit(j, home_site);
+}
+
+double FederationSim::transfer_penalty(const Site& from, const Site& to) const {
+  return from.admin_domain == to.admin_domain ? 1.0 : cfg_.cross_domain_transfer_penalty;
+}
+
+double FederationSim::est_wait_s(int site, sim::TimeNs now,
+                                 const std::vector<Running>& running,
+                                 const std::vector<std::vector<int>>& queues) const {
+  const Site& s = sites_[static_cast<std::size_t>(site)];
+  const int capacity = s.cluster.total_nodes();
+  if (capacity <= 0) return std::numeric_limits<double>::infinity();
+  double outstanding_node_s = 0.0;
+  for (const Running& r : running)
+    if (r.site == site && r.finish > now)
+      outstanding_node_s += static_cast<double>(r.finish - now) * 1e-9 * r.nodes;
+  // Outstanding work approximation: queued jobs at their best-partition rate.
+  for (const int ji : queues[static_cast<std::size_t>(site)]) {
+    const sched::Job& job = jobs_[static_cast<std::size_t>(ji)].job;
+    const int bp = best_partition_at(s, job);
+    if (bp >= 0)
+      outstanding_node_s += runtime_at(s, job, bp) * 1e-9 * job.nodes;
+  }
+  return outstanding_node_s / static_cast<double>(capacity);
+}
+
+std::vector<int> FederationSim::candidate_sites(const FedJob& fj, double home_wait_s) const {
+  std::vector<int> out;
+  const Site& home = sites_[static_cast<std::size_t>(fj.home_site)];
+  switch (cfg_.stage) {
+    case FederationStage::kLocalOnly:
+      out.push_back(fj.home_site);
+      break;
+    case FederationStage::kBursting:
+      out.push_back(fj.home_site);
+      if (cfg_.burst_site >= 0 && home_wait_s > cfg_.burst_queue_threshold_s)
+        out.push_back(cfg_.burst_site);
+      break;
+    case FederationStage::kFluid:
+      for (const Site& s : sites_)
+        if (s.admin_domain == home.admin_domain) out.push_back(s.id);
+      break;
+    case FederationStage::kGrid:
+    case FederationStage::kExchange:
+      for (const Site& s : sites_) out.push_back(s.id);
+      break;
+  }
+  return out;
+}
+
+int FederationSim::choose_site(const FedJob& fj, sim::TimeNs now,
+                               const std::vector<Running>& running,
+                               const std::vector<std::vector<int>>& queues) {
+  const double home_wait = est_wait_s(fj.home_site, now, running, queues);
+  std::vector<int> candidates = candidate_sites(fj, home_wait);
+  const Site& home = sites_[static_cast<std::size_t>(fj.home_site)];
+
+  int best_site = -1;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const int sid : candidates) {
+    if (!dead_.empty() && dead_[static_cast<std::size_t>(sid)]) continue;
+    const Site& s = sites_[static_cast<std::size_t>(sid)];
+    const int bp = best_partition_at(s, fj.job);
+    if (bp < 0) continue;
+
+    const double run_s = runtime_at(s, fj.job, bp) * 1e-9 * (1.0 + s.noise_factor);
+    const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
+    const Site& from = sites_[static_cast<std::size_t>(data_site)];
+    const double xfer_s =
+        wan_transfer_ns(from, s, fj.job.dataset_gb) * 1e-9 * transfer_penalty(from, s);
+    const double wait_s = est_wait_s(sid, now, running, queues);
+    const double cost =
+        run_s / 3600.0 * fj.job.nodes * s.price_per_node_hour;
+
+    double score = 0.0;
+    switch (cfg_.policy) {
+      case MetaPolicy::kHomeOnly:
+        score = sid == fj.home_site ? 0.0 : std::numeric_limits<double>::infinity();
+        break;
+      case MetaPolicy::kComputeOnly:
+        score = wait_s + run_s;  // ignores data movement entirely
+        break;
+      case MetaPolicy::kDataGravity:
+        score = xfer_s + wait_s + run_s;
+        break;
+      case MetaPolicy::kCheapest:
+        score = cost * 1e6 + xfer_s + wait_s + run_s;  // cost lexicographically first
+        break;
+    }
+    (void)home;
+    if (score < best_score) {
+      best_score = score;
+      best_site = sid;
+    }
+  }
+  return best_site;
+}
+
+FederationResult FederationSim::run() {
+  const std::size_t nj = jobs_.size();
+  FederationResult result;
+  result.placements.resize(nj);
+  dead_.assign(sites_.size(), false);
+  bool failure_pending = cfg_.fail_site >= 0 &&
+                         cfg_.fail_site < static_cast<int>(sites_.size());
+
+  // Submission order.
+  std::vector<int> order(nj);
+  for (std::size_t i = 0; i < nj; ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return jobs_[static_cast<std::size_t>(a)].job.arrival <
+           jobs_[static_cast<std::size_t>(b)].job.arrival;
+  });
+
+  std::vector<std::vector<int>> free(sites_.size());
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    free[s].resize(sites_[s].cluster.partitions.size());
+    for (std::size_t p = 0; p < free[s].size(); ++p)
+      free[s][p] = sites_[s].cluster.partitions[p].nodes;
+  }
+
+  std::vector<std::vector<int>> queues(sites_.size());  // job indices
+  std::vector<sim::TimeNs> data_ready(nj, 0);
+  std::vector<int> dest(nj, -1);
+  // Site uplinks serialize staging transfers: a transfer may only start when
+  // both endpoints' WAN uplinks are free (simple full-serialization model of
+  // WAN contention; finer-grained sharing belongs in hpc::net).
+  std::vector<sim::TimeNs> uplink_busy(sites_.size(), 0);
+  std::vector<Running> running;
+  std::size_t next_submit = 0;
+  sim::TimeNs now = 0;
+
+  auto start_ready_jobs = [&]() {
+    for (std::size_t sid = 0; sid < sites_.size(); ++sid) {
+      if (dead_[sid]) continue;
+      Site& site = sites_[sid];
+      auto& q = queues[sid];
+      for (std::size_t w = 0; w < q.size();) {
+        const int ji = q[w];
+        const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
+        if (data_ready[static_cast<std::size_t>(ji)] > now) {
+          ++w;
+          continue;
+        }
+        // Fastest feasible partition with free capacity.
+        int pick = -1;
+        double pick_t = std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < site.cluster.partitions.size(); ++p) {
+          if (free[sid][p] < fj.job.nodes) continue;
+          const double t = runtime_at(site, fj.job, static_cast<int>(p));
+          if (t < 1e17 && t < pick_t) {
+            pick_t = t;
+            pick = static_cast<int>(p);
+          }
+        }
+        if (pick < 0) {
+          ++w;
+          continue;
+        }
+        // Interference: sample the actual slowdown at noisy (cloud) sites.
+        double slowdown = 1.0;
+        if (site.noise_factor > 0.0)
+          slowdown = 1.0 + rng_.exponential(site.noise_factor);
+        const double actual_ns = pick_t * slowdown;
+        const auto finish = now + static_cast<sim::TimeNs>(actual_ns);
+        free[sid][static_cast<std::size_t>(pick)] -= fj.job.nodes;
+        running.push_back(Running{ji, static_cast<int>(sid), pick, finish, fj.job.nodes});
+
+        FedPlacement& pl = result.placements[static_cast<std::size_t>(ji)];
+        pl.site = static_cast<int>(sid);
+        pl.partition = pick;
+        pl.start = now;
+        pl.finish = finish;
+        const double node_hours = actual_ns * 1e-9 / 3600.0 * fj.job.nodes;
+        pl.cost_usd = node_hours * site.price_per_node_hour;
+
+        UsageRecord rec;
+        rec.job_id = fj.job.id;
+        rec.consumer_site = fj.home_site;
+        rec.provider_site = static_cast<int>(sid);
+        rec.node_hours = node_hours;
+        rec.cost_usd = pl.cost_usd;
+        rec.wan_gb = pl.transfer_gb;
+        rec.start = pl.start;
+        rec.finish = pl.finish;
+        result.ledger.record(rec);
+
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(w));
+      }
+    }
+  };
+
+  auto queued_jobs = [&] {
+    std::size_t n = 0;
+    for (const auto& q : queues) n += q.size();
+    return n;
+  };
+
+  while (next_submit < nj || !running.empty() || queued_jobs() > 0) {
+    // Admit submissions due now: route, start staging, queue at destination.
+    while (next_submit < nj &&
+           jobs_[static_cast<std::size_t>(order[next_submit])].job.arrival <= now) {
+      const int ji = order[next_submit++];
+      const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
+      FedPlacement& pl = result.placements[static_cast<std::size_t>(ji)];
+      pl.job_id = fj.job.id;
+      pl.submitted = fj.job.arrival;
+
+      const int sid = choose_site(fj, now, running, queues);
+      if (sid < 0) continue;  // counted as dropped in the final aggregation
+      dest[static_cast<std::size_t>(ji)] = sid;
+      const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
+      const Site& from = sites_[static_cast<std::size_t>(data_site)];
+      const Site& to = sites_[static_cast<std::size_t>(sid)];
+      if (data_site != sid && fj.job.dataset_gb > 0.0) {
+        const double xfer_ns =
+            wan_transfer_ns(from, to, fj.job.dataset_gb) * transfer_penalty(from, to);
+        pl.transfer_gb = fj.job.dataset_gb;
+        result.wan_gb_moved += fj.job.dataset_gb;
+        const sim::TimeNs start =
+            std::max({now, uplink_busy[static_cast<std::size_t>(data_site)],
+                      uplink_busy[static_cast<std::size_t>(sid)]});
+        const auto finish = start + static_cast<sim::TimeNs>(xfer_ns);
+        uplink_busy[static_cast<std::size_t>(data_site)] = finish;
+        uplink_busy[static_cast<std::size_t>(sid)] = finish;
+        data_ready[static_cast<std::size_t>(ji)] = finish;
+      } else {
+        data_ready[static_cast<std::size_t>(ji)] = now;
+      }
+      pl.data_ready = data_ready[static_cast<std::size_t>(ji)];
+      queues[static_cast<std::size_t>(sid)].push_back(ji);
+    }
+
+    start_ready_jobs();
+
+    // Next event: submission, data-ready, completion, or site failure.
+    sim::TimeNs next = std::numeric_limits<sim::TimeNs>::max();
+    if (failure_pending) next = cfg_.fail_at;
+    if (next_submit < nj)
+      next = std::min(next, jobs_[static_cast<std::size_t>(order[next_submit])].job.arrival);
+    for (const auto& q : queues)
+      for (const int ji : q)
+        if (data_ready[static_cast<std::size_t>(ji)] > now)
+          next = std::min(next, data_ready[static_cast<std::size_t>(ji)]);
+    for (const Running& r : running) next = std::min(next, r.finish);
+    if (next == std::numeric_limits<sim::TimeNs>::max()) {
+      // No future event: remaining queued jobs (if any) can never start.
+      break;
+    }
+    // Jobs whose data is ready but whose partition is full wait for the next
+    // completion; if nothing is running either, they can never start.
+    now = std::max(now + 1, next);
+
+    // Site failure: kill everything at the site and reroute it.
+    if (failure_pending && now >= cfg_.fail_at) {
+      failure_pending = false;
+      const auto dead_site = static_cast<std::size_t>(cfg_.fail_site);
+      dead_[dead_site] = true;
+      std::vector<int> displaced;
+      for (std::size_t i = 0; i < running.size();) {
+        if (running[i].site == cfg_.fail_site) {
+          displaced.push_back(running[i].job_index);
+          running[i] = running.back();
+          running.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      for (int ji : queues[dead_site]) displaced.push_back(ji);
+      queues[dead_site].clear();
+      for (const int ji : displaced) {
+        const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
+        FedPlacement& pl = result.placements[static_cast<std::size_t>(ji)];
+        result.ledger.void_job(fj.job.id);  // in-flight usage is voided
+        pl = FedPlacement{};
+        pl.job_id = fj.job.id;
+        pl.submitted = fj.job.arrival;
+        const int sid = choose_site(fj, now, running, queues);
+        if (sid < 0) continue;  // nowhere left: dropped
+        ++result.jobs_rerouted;
+        const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
+        const Site& from = sites_[static_cast<std::size_t>(data_site)];
+        const Site& to = sites_[static_cast<std::size_t>(sid)];
+        double xfer_ns = 0.0;
+        if (data_site != sid && fj.job.dataset_gb > 0.0) {
+          xfer_ns = wan_transfer_ns(from, to, fj.job.dataset_gb) * transfer_penalty(from, to);
+          pl.transfer_gb = fj.job.dataset_gb;
+          result.wan_gb_moved += fj.job.dataset_gb;
+        }
+        data_ready[static_cast<std::size_t>(ji)] = now + static_cast<sim::TimeNs>(xfer_ns);
+        pl.data_ready = data_ready[static_cast<std::size_t>(ji)];
+        queues[static_cast<std::size_t>(sid)].push_back(ji);
+      }
+    }
+
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].finish <= now) {
+        free[static_cast<std::size_t>(running[i].site)]
+            [static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Aggregate.
+  sim::Sampler completion;
+  for (std::size_t i = 0; i < nj; ++i) {
+    const FedPlacement& pl = result.placements[i];
+    if (pl.site < 0) {
+      ++result.jobs_dropped;
+      continue;
+    }
+    ++result.jobs_completed;
+    result.makespan = std::max(result.makespan, pl.finish);
+    completion.push(sim::to_seconds(pl.finish - pl.submitted));
+    result.total_cost_usd += pl.cost_usd;
+  }
+  result.mean_completion_s = completion.mean();
+  result.p95_completion_s = completion.percentile(95.0);
+  return result;
+}
+
+}  // namespace hpc::fed

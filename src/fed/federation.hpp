@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fed/accounting.hpp"
+#include "fed/site.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+#include "sim/rng.hpp"
+
+/// \file federation.hpp
+/// Multi-site federated scheduling — the paper's horizontal federation
+/// (Section III.F) and the staged path to "democratized compute"
+/// (Section III.G): local-only → bursting → fluid workloads → grid →
+/// exchange.  Experiments C7, C10, F3 run on this simulator.
+
+namespace hpc::fed {
+
+/// How the meta-scheduler chooses a site for a job.
+enum class MetaPolicy : std::uint8_t {
+  kHomeOnly,       ///< run where submitted (traditional on-prem)
+  kComputeOnly,    ///< least-loaded feasible site, ignoring data location
+  kDataGravity,    ///< minimize staged-transfer + wait + run end to end
+  kCheapest,       ///< minimize dollar cost subject to feasibility
+};
+
+std::string_view name_of(MetaPolicy p) noexcept;
+
+/// Maturity stage of the federation (Section III.G, Figure 3 trajectory).
+enum class FederationStage : std::uint8_t {
+  kLocalOnly,   ///< every job runs at its home site
+  kBursting,    ///< overflow to a designated cloud when home queue is deep
+  kFluid,       ///< any site within the same administrative domain
+  kGrid,        ///< any site, gravity-aware placement
+  kExchange,    ///< any site, market-priced: gravity-aware among affordable
+};
+
+std::string_view name_of(FederationStage s) noexcept;
+
+/// Configuration of a federation run.
+struct FederationConfig {
+  MetaPolicy policy = MetaPolicy::kDataGravity;
+  FederationStage stage = FederationStage::kGrid;
+  int burst_site = -1;                  ///< designated burst target (kBursting)
+  double burst_queue_threshold_s = 600.0;
+  double cross_domain_transfer_penalty = 1.0;  ///< multiplier on WAN time
+  std::uint64_t seed = 1;
+  /// Failure injection: site \p fail_site goes dark at \p fail_at (ns).
+  /// Jobs running or queued there are rerouted to surviving sites (lost
+  /// entirely if no alternative exists).  -1 disables.
+  int fail_site = -1;
+  sim::TimeNs fail_at = 0;
+};
+
+/// A job with federation context.
+struct FedJob {
+  sched::Job job;
+  int home_site = 0;
+};
+
+/// One job's federated outcome.
+struct FedPlacement {
+  int job_id = 0;
+  int site = -1;             ///< -1: never ran
+  int partition = -1;
+  sim::TimeNs submitted = 0;
+  sim::TimeNs data_ready = 0;///< after staging input over the WAN
+  sim::TimeNs start = 0;
+  sim::TimeNs finish = 0;
+  double transfer_gb = 0.0;
+  double cost_usd = 0.0;
+};
+
+/// Aggregate outcome.
+struct FederationResult {
+  std::vector<FedPlacement> placements;
+  sim::TimeNs makespan = 0;
+  double mean_completion_s = 0.0;   ///< submit -> finish
+  double p95_completion_s = 0.0;
+  double total_cost_usd = 0.0;
+  double wan_gb_moved = 0.0;
+  int jobs_completed = 0;
+  int jobs_dropped = 0;
+  int jobs_rerouted = 0;  ///< rescheduled after a site failure
+  Ledger ledger;
+};
+
+/// Event-driven federated scheduling simulation.  Each site schedules its
+/// local queue with heterogeneity-affinity placement; the meta-scheduler
+/// routes jobs to sites per policy/stage at submission time.
+class FederationSim {
+ public:
+  FederationSim(std::vector<Site> sites, FederationConfig cfg);
+
+  void submit(const sched::Job& job, int home_site);
+  void submit_all(const std::vector<sched::Job>& jobs, int home_site);
+
+  const std::vector<Site>& sites() const noexcept { return sites_; }
+
+  FederationResult run();
+
+ private:
+  struct Running {
+    int job_index;
+    int site;
+    int partition;
+    sim::TimeNs finish;
+    int nodes;
+  };
+
+  /// Estimated queue wait at a site: outstanding node-seconds / capacity.
+  double est_wait_s(int site, sim::TimeNs now, const std::vector<Running>& running,
+                    const std::vector<std::vector<int>>& queues) const;
+
+  /// Sites the stage/policy allows this job to use.
+  std::vector<int> candidate_sites(const FedJob& fj, double home_wait_s) const;
+
+  /// Chooses the destination site; returns -1 if nothing feasible.
+  int choose_site(const FedJob& fj, sim::TimeNs now, const std::vector<Running>& running,
+                  const std::vector<std::vector<int>>& queues);
+
+  double transfer_penalty(const Site& from, const Site& to) const;
+
+  std::vector<Site> sites_;
+  FederationConfig cfg_;
+  sim::Rng rng_;
+  std::vector<FedJob> jobs_;
+  std::vector<bool> dead_;  ///< per-site failure state during run()
+};
+
+}  // namespace hpc::fed

@@ -1,0 +1,43 @@
+#include "fed/noise.hpp"
+
+#include <algorithm>
+
+namespace hpc::fed {
+
+double NoiseModel::sample_slowdown(sim::Rng& rng) const {
+  double s = 1.0 + std::max(0.0, rng.normal(0.0, jitter_sigma));
+  if (spike_prob > 0.0 && rng.bernoulli(spike_prob)) {
+    // Pareto-tailed spike scaled to the configured mean (mean of a Pareto
+    // with xm, alpha is xm*alpha/(alpha-1) for alpha > 1).
+    const double xm = spike_mean * (spike_pareto_alpha - 1.0) / spike_pareto_alpha;
+    s += rng.pareto(std::max(1e-6, xm), spike_pareto_alpha);
+  }
+  return s;
+}
+
+NoiseModel dedicated_noise() { return NoiseModel{0.002, 0.0, 0.0, 1.5}; }
+
+NoiseModel hpc_cloud_noise() { return NoiseModel{0.01, 0.002, 0.5, 1.8}; }
+
+NoiseModel shared_cloud_noise() { return NoiseModel{0.05, 0.02, 1.5, 1.4}; }
+
+BspResult run_bsp(int ranks, int steps, double compute_ns, double barrier_ns,
+                  const NoiseModel& noise, sim::Rng& rng) {
+  BspResult r;
+  sim::Sampler step_times;
+  for (int s = 0; s < steps; ++s) {
+    double slowest = 0.0;
+    for (int rank = 0; rank < ranks; ++rank)
+      slowest = std::max(slowest, compute_ns * noise.sample_slowdown(rng));
+    const double step = slowest + barrier_ns;
+    r.total_ns += step;
+    step_times.push(step);
+  }
+  r.ideal_ns = static_cast<double>(steps) * (compute_ns + barrier_ns);
+  r.efficiency = r.total_ns > 0.0 ? r.ideal_ns / r.total_ns : 1.0;
+  r.mean_step_ns = step_times.mean();
+  r.p99_step_ns = step_times.p99();
+  return r;
+}
+
+}  // namespace hpc::fed

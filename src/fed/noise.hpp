@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+/// \file noise.hpp
+/// Multi-tenant interference and its effect on bulk-synchronous (BSP)
+/// applications.  The paper (Section II.C): cloud "sharing of infrastructure
+/// and the interference of other applications ... creates noise and makes
+/// barrier-based synchronizations ineffective (the slowest component dictates
+/// performance)".  Experiment C6 sweeps this model.
+
+namespace hpc::fed {
+
+/// Per-rank, per-step interference model: every rank's compute time is
+/// inflated by Gaussian jitter plus occasional heavy spikes (noisy
+/// neighbours, page migrations, network interference).
+struct NoiseModel {
+  double jitter_sigma = 0.02;   ///< relative Gaussian jitter per rank-step
+  double spike_prob = 0.01;     ///< probability a rank hits a spike this step
+  double spike_mean = 1.0;      ///< mean spike size, relative to step time
+  double spike_pareto_alpha = 1.5;  ///< tail heaviness (alpha <= 1 is extreme)
+
+  /// Samples one rank's multiplicative slowdown for one step (>= 1).
+  double sample_slowdown(sim::Rng& rng) const;
+};
+
+/// Dedicated partition: no interference.
+NoiseModel dedicated_noise();
+
+/// HPC-optimized cloud partition: light jitter, rare spikes.
+NoiseModel hpc_cloud_noise();
+
+/// General-purpose shared cloud: the paper's problem case.
+NoiseModel shared_cloud_noise();
+
+/// Outcome of a BSP run.
+struct BspResult {
+  double total_ns = 0.0;
+  double ideal_ns = 0.0;       ///< noise-free total
+  double efficiency = 1.0;     ///< ideal / actual
+  double mean_step_ns = 0.0;
+  double p99_step_ns = 0.0;
+};
+
+/// Runs \p steps bulk-synchronous steps over \p ranks ranks, each step
+/// costing max over ranks of (compute_ns x slowdown) + barrier_ns.
+BspResult run_bsp(int ranks, int steps, double compute_ns, double barrier_ns,
+                  const NoiseModel& noise, sim::Rng& rng);
+
+}  // namespace hpc::fed

@@ -1,0 +1,78 @@
+#include "fed/site.hpp"
+
+#include <algorithm>
+
+#include "hw/catalog.hpp"
+
+namespace hpc::fed {
+
+std::string_view name_of(SiteKind k) noexcept {
+  switch (k) {
+    case SiteKind::kOnPrem: return "on-prem";
+    case SiteKind::kSupercomputer: return "supercomputer";
+    case SiteKind::kCloud: return "cloud";
+    case SiteKind::kEdge: return "edge";
+  }
+  return "on-prem";
+}
+
+Site make_onprem_site(int id, std::string name, int cpu_nodes, int gpu_nodes) {
+  Site s;
+  s.id = id;
+  s.name = std::move(name);
+  s.kind = SiteKind::kOnPrem;
+  s.cluster = sched::make_cpu_gpu_cluster(cpu_nodes, gpu_nodes, s.name + "-cluster");
+  s.wan_bandwidth_gbs = 1.25;
+  s.wan_latency_ns = 5e6;
+  s.price_per_node_hour = 0.8;
+  return s;
+}
+
+Site make_supercomputer_site(int id, std::string name, int nodes) {
+  Site s;
+  s.id = id;
+  s.name = std::move(name);
+  s.kind = SiteKind::kSupercomputer;
+  s.cluster = sched::make_diversified_cluster(nodes / 4, nodes / 2, nodes / 8,
+                                              nodes / 16, nodes / 16, s.name + "-cluster");
+  s.wan_bandwidth_gbs = 12.5;  // 100 Gb/s science DMZ
+  s.wan_latency_ns = 8e6;
+  s.price_per_node_hour = 1.5;
+  return s;
+}
+
+Site make_cloud_site(int id, std::string name, int nodes, double noise_factor) {
+  Site s;
+  s.id = id;
+  s.name = std::move(name);
+  s.kind = SiteKind::kCloud;
+  s.cluster = sched::make_cpu_gpu_cluster(nodes / 2, nodes / 2, s.name + "-cluster");
+  s.wan_bandwidth_gbs = 2.5;
+  s.wan_latency_ns = 20e6;
+  s.price_per_node_hour = 2.5;  // elasticity is priced in
+  s.admin_domain = 100 + id;    // clouds are foreign domains
+  s.noise_factor = noise_factor;
+  return s;
+}
+
+Site make_edge_site(int id, std::string name, int npu_nodes) {
+  Site s;
+  s.id = id;
+  s.name = std::move(name);
+  s.kind = SiteKind::kEdge;
+  s.cluster.name = s.name + "-cluster";
+  s.cluster.partitions.push_back({"edge-cpu", hw::cpu_edge_spec(), npu_nodes});
+  s.cluster.partitions.push_back({"edge-npu", hw::edge_npu_spec(), npu_nodes});
+  s.wan_bandwidth_gbs = 0.125;  // 1 Gb/s facility uplink
+  s.wan_latency_ns = 2e6;
+  s.price_per_node_hour = 0.3;
+  return s;
+}
+
+double wan_transfer_ns(const Site& from, const Site& to, double gb) {
+  if (from.id == to.id || gb <= 0.0) return 0.0;
+  const double bw = std::min(from.wan_bandwidth_gbs, to.wan_bandwidth_gbs);
+  return from.wan_latency_ns + to.wan_latency_ns + gb * 1e9 / bw;
+}
+
+}  // namespace hpc::fed

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sched/cluster.hpp"
+
+/// \file site.hpp
+/// Federated sites (Sections II.C, III.F): on-premise HPC centers, leadership
+/// supercomputers, cloud partitions and instrumentation-edge facilities, each
+/// with its own administrative domain, WAN connectivity, pricing, and — for
+/// shared clouds — interference noise.
+
+namespace hpc::fed {
+
+/// Delivery-model class of a site (paper Figure 3, bottom half).
+enum class SiteKind : std::uint8_t {
+  kOnPrem,         ///< in-house cluster
+  kSupercomputer,  ///< leadership-class dedicated machine
+  kCloud,          ///< shared multi-tenant cloud partition
+  kEdge,           ///< instrumentation-edge micro-datacenter
+};
+
+std::string_view name_of(SiteKind k) noexcept;
+
+/// One federated site.
+struct Site {
+  int id = 0;
+  std::string name;
+  SiteKind kind = SiteKind::kOnPrem;
+  sched::Cluster cluster;
+  double wan_bandwidth_gbs = 1.25;    ///< site uplink (10 Gb/s default)
+  double wan_latency_ns = 5e6;        ///< one-way WAN latency (5 ms default)
+  double price_per_node_hour = 1.0;   ///< $ per node-hour charged to tenants
+  int admin_domain = 0;               ///< governance boundary
+  /// Multi-tenant interference: mean fractional runtime inflation (0 for
+  /// dedicated systems; clouds typically 0.05-0.3 for tightly coupled jobs).
+  double noise_factor = 0.0;
+};
+
+/// Builders for the common site shapes used in examples and benches.
+Site make_onprem_site(int id, std::string name, int cpu_nodes, int gpu_nodes);
+Site make_supercomputer_site(int id, std::string name, int nodes);
+Site make_cloud_site(int id, std::string name, int nodes, double noise_factor = 0.15);
+Site make_edge_site(int id, std::string name, int npu_nodes);
+
+/// Point-to-point WAN transfer time for \p gb between two sites: sum of
+/// one-way latencies plus serialization at the narrower uplink.
+double wan_transfer_ns(const Site& from, const Site& to, double gb);
+
+}  // namespace hpc::fed

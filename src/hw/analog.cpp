@@ -1,0 +1,106 @@
+#include "hw/analog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::hw {
+
+AnalogSpec dpe_spec() {
+  AnalogSpec s;
+  s.name = "memristor-dpe";
+  s.array_size = 256;
+  s.parallel_tiles = 64;
+  s.tile_latency_ns = 100.0;
+  s.row_write_ns = 200.0;
+  s.tile_energy_nj = 4.0;
+  s.cell_write_energy_pj = 10.0;
+  s.static_power_w = 5.0;
+  s.read_noise_sigma = 0.03;
+  s.weight_bits = 6;
+  s.cost_usd = 800.0;
+  return s;
+}
+
+AnalogSpec photonic_spec() {
+  AnalogSpec s;
+  s.name = "photonic-mxu";
+  s.array_size = 64;           // modulator arrays are smaller
+  s.parallel_tiles = 16;
+  s.tile_latency_ns = 5.0;     // GHz-class modulators + photodetectors
+  s.row_write_ns = 50.0;
+  s.tile_energy_nj = 0.3;
+  s.cell_write_energy_pj = 2.0;
+  s.static_power_w = 10.0;     // lasers burn static power
+  s.read_noise_sigma = 0.05;
+  s.weight_bits = 5;
+  s.cost_usd = 2'500.0;
+  return s;
+}
+
+std::int64_t AnalogEngine::tiles_for(std::int64_t rows, std::int64_t cols) const noexcept {
+  const auto s = static_cast<std::int64_t>(spec_.array_size);
+  const std::int64_t tr = (rows + s - 1) / s;
+  const std::int64_t tc = (cols + s - 1) / s;
+  return tr * tc;
+}
+
+double AnalogEngine::matvec_time_ns(std::int64_t rows, std::int64_t cols) const noexcept {
+  const std::int64_t tiles = tiles_for(rows, cols);
+  const std::int64_t waves = (tiles + spec_.parallel_tiles - 1) / spec_.parallel_tiles;
+  return static_cast<double>(waves) * spec_.tile_latency_ns;
+}
+
+double AnalogEngine::matvec_energy_j(std::int64_t rows, std::int64_t cols) const noexcept {
+  const double dynamic = static_cast<double>(tiles_for(rows, cols)) * spec_.tile_energy_nj * 1e-9;
+  const double static_e = spec_.static_power_w * matvec_time_ns(rows, cols) * 1e-9;
+  return dynamic + static_e;
+}
+
+double AnalogEngine::program_time_ns(std::int64_t rows, std::int64_t cols) const noexcept {
+  // Rows program serially within a tile; tile rows across the pool in parallel.
+  const auto s = static_cast<std::int64_t>(spec_.array_size);
+  const std::int64_t tile_rows = std::min<std::int64_t>(rows, s);
+  const std::int64_t tiles = tiles_for(rows, cols);
+  const std::int64_t waves = (tiles + spec_.parallel_tiles - 1) / spec_.parallel_tiles;
+  return static_cast<double>(waves) * static_cast<double>(tile_rows) * spec_.row_write_ns;
+}
+
+double AnalogEngine::program_energy_j(std::int64_t rows, std::int64_t cols) const noexcept {
+  return static_cast<double>(rows) * static_cast<double>(cols) *
+         spec_.cell_write_energy_pj * 1e-12;
+}
+
+std::vector<float> AnalogEngine::matvec(std::span<const float> w, std::int64_t rows,
+                                        std::int64_t cols, std::span<const float> x,
+                                        sim::Rng& rng) const {
+  // Weight quantization to 2^bits conductance levels over [-wmax, wmax].
+  float wmax = 0.0f;
+  for (float v : w) wmax = std::max(wmax, std::abs(v));
+  const float levels = static_cast<float>((1 << spec_.weight_bits) - 1);
+  const float step = wmax > 0.0f ? 2.0f * wmax / levels : 1.0f;
+
+  float xmax = 0.0f;
+  for (float v : x) xmax = std::max(xmax, std::abs(v));
+
+  // ADC full scale for a tile-sized dot product; noise is a fraction of it.
+  const double tile_n = std::min<std::int64_t>(cols, spec_.array_size);
+  const double full_scale = static_cast<double>(wmax) * xmax * std::sqrt(tile_n);
+  const double sigma = spec_.read_noise_sigma * full_scale;
+  const auto tiles_per_row =
+      (cols + spec_.array_size - 1) / static_cast<std::int64_t>(spec_.array_size);
+
+  std::vector<float> y(static_cast<std::size_t>(rows), 0.0f);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const float wq = std::round(w[static_cast<std::size_t>(i * cols + j)] / step) * step;
+      acc += static_cast<double>(wq) * x[static_cast<std::size_t>(j)];
+    }
+    // One ADC read (and its noise) per tile along the row.
+    acc += rng.normal(0.0, sigma) * std::sqrt(static_cast<double>(tiles_per_row));
+    y[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+/// \file analog.hpp
+/// "Neuromorphic"-class matrix engines (paper Section III.B): analog
+/// dot-product engines built from memristor crossbars (Ohm + Kirchhoff), and
+/// coherent-photonics matrix units.  Both execute an NxN mat-vec in time and
+/// energy *linear* in N — turning the O(N^2) digital problem into O(N) — at
+/// the cost of limited weight precision and analog read noise.
+///
+/// The class provides both a *timing/energy* model (used by benches C4/C9)
+/// and a *functional noisy execution* (used by hpc::ai to measure the real
+/// accuracy impact of analog inference).
+
+namespace hpc::hw {
+
+/// Physical parameters of a crossbar-style analog matrix engine.
+struct AnalogSpec {
+  std::string name = "analog-dpe";
+  int array_size = 256;          ///< S: crossbar rows = columns per tile
+  int parallel_tiles = 64;       ///< tiles that operate concurrently
+  double tile_latency_ns = 100.0;///< DAC + settle + ADC for one tile mat-vec
+  double row_write_ns = 200.0;   ///< programming time per crossbar row
+  double tile_energy_nj = 4.0;   ///< energy per tile activation
+  double cell_write_energy_pj = 10.0;  ///< programming energy per cell
+  double static_power_w = 5.0;
+  double read_noise_sigma = 0.03;///< additive noise as fraction of full scale
+  int weight_bits = 6;           ///< conductance levels = 2^weight_bits
+  double cost_usd = 800.0;
+};
+
+/// Memristor dot-product engine calibrated after the DAC'16 DPE paper [19].
+AnalogSpec dpe_spec();
+
+/// Coherent-photonics matrix engine (Hot Chips'20 [20]): much faster tiles,
+/// lower energy, but noisier and fewer effective weight bits.
+AnalogSpec photonic_spec();
+
+/// Analog matrix engine: O(N) mat-vec timing plus functional noisy execution.
+class AnalogEngine {
+ public:
+  explicit AnalogEngine(AnalogSpec spec) : spec_(std::move(spec)) {}
+
+  const AnalogSpec& spec() const noexcept { return spec_; }
+
+  /// Number of tile activations an n x m mat-vec needs.
+  std::int64_t tiles_for(std::int64_t rows, std::int64_t cols) const noexcept;
+
+  /// Time for y = W x with W of shape rows x cols (weights already
+  /// programmed).  Linear in matrix dimension: tiles serialize over the
+  /// parallel tile pool; each tile costs a constant latency regardless of how
+  /// many MACs it performs.
+  double matvec_time_ns(std::int64_t rows, std::int64_t cols) const noexcept;
+
+  /// Dynamic energy of that mat-vec in joules (linear in tile count).
+  double matvec_energy_j(std::int64_t rows, std::int64_t cols) const noexcept;
+
+  /// One-time programming cost of writing a rows x cols weight matrix.
+  double program_time_ns(std::int64_t rows, std::int64_t cols) const noexcept;
+  double program_energy_j(std::int64_t rows, std::int64_t cols) const noexcept;
+
+  /// Functional noisy execution: y = W x with weights quantized to
+  /// spec.weight_bits levels and per-output additive Gaussian read noise
+  /// scaled to the dot product's full-scale range.  W is row-major
+  /// rows x cols; x has cols entries.
+  std::vector<float> matvec(std::span<const float> w, std::int64_t rows,
+                            std::int64_t cols, std::span<const float> x,
+                            sim::Rng& rng) const;
+
+ private:
+  AnalogSpec spec_;
+};
+
+}  // namespace hpc::hw

@@ -1,0 +1,177 @@
+#include "hw/catalog.hpp"
+
+namespace hpc::hw {
+
+namespace {
+
+void set_efficiencies(DeviceSpec& d, double gemm, double conv, double matvec, double fft,
+                      double stencil, double spmv, double graph, double sort, double scalar) {
+  d.set_efficiency(OpClass::kGemm, gemm);
+  d.set_efficiency(OpClass::kConv, conv);
+  d.set_efficiency(OpClass::kMatVec, matvec);
+  d.set_efficiency(OpClass::kFft, fft);
+  d.set_efficiency(OpClass::kStencil, stencil);
+  d.set_efficiency(OpClass::kSpMV, spmv);
+  d.set_efficiency(OpClass::kGraph, graph);
+  d.set_efficiency(OpClass::kSort, sort);
+  d.set_efficiency(OpClass::kScalar, scalar);
+}
+
+}  // namespace
+
+DeviceSpec cpu_server_spec() {
+  DeviceSpec d;
+  d.name = "cpu-server";
+  d.kind = DeviceKind::kCpu;
+  d.peak_gflops = {{Precision::FP64, 2'000.0}, {Precision::FP32, 4'000.0},
+                   {Precision::BF16, 8'000.0}, {Precision::INT8, 16'000.0}};
+  d.mem_bw_gbs = 205.0;
+  d.mem_capacity_gb = 512.0;
+  d.tdp_w = 280.0;
+  d.idle_w = 90.0;
+  d.launch_overhead_ns = 1'000.0;
+  d.cost_usd = 8'000.0;
+  // The generalist: decent everywhere, spectacular nowhere.
+  set_efficiencies(d, 0.85, 0.65, 0.80, 0.50, 0.60, 0.55, 0.30, 0.50, 0.45);
+  return d;
+}
+
+DeviceSpec cpu_edge_spec() {
+  DeviceSpec d;
+  d.name = "cpu-edge";
+  d.kind = DeviceKind::kCpu;
+  d.peak_gflops = {{Precision::FP64, 50.0}, {Precision::FP32, 200.0},
+                   {Precision::BF16, 400.0}, {Precision::INT8, 800.0}};
+  d.mem_bw_gbs = 25.0;
+  d.mem_capacity_gb = 16.0;
+  d.tdp_w = 12.0;
+  d.idle_w = 2.0;
+  d.launch_overhead_ns = 500.0;
+  d.cost_usd = 250.0;
+  set_efficiencies(d, 0.75, 0.60, 0.70, 0.45, 0.55, 0.50, 0.30, 0.45, 0.45);
+  return d;
+}
+
+DeviceSpec gpu_hpc_spec() {
+  DeviceSpec d;
+  d.name = "gpu-hpc";
+  d.kind = DeviceKind::kGpu;
+  d.peak_gflops = {{Precision::FP64, 9'700.0},  {Precision::FP32, 19'500.0},
+                   {Precision::TF32, 156'000.0}, {Precision::BF16, 312'000.0},
+                   {Precision::FP16, 312'000.0}, {Precision::INT8, 624'000.0}};
+  d.mem_bw_gbs = 2'000.0;
+  d.mem_capacity_gb = 80.0;
+  d.tdp_w = 400.0;
+  d.idle_w = 60.0;
+  d.launch_overhead_ns = 8'000.0;
+  d.cost_usd = 12'000.0;
+  set_efficiencies(d, 0.90, 0.85, 0.85, 0.70, 0.70, 0.30, 0.10, 0.40, 0.05);
+  return d;
+}
+
+DeviceSpec systolic_spec() {
+  DeviceSpec d;
+  d.name = "systolic-tpu";
+  d.kind = DeviceKind::kSystolic;
+  d.peak_gflops = {{Precision::FP32, 4'000.0}, {Precision::BF16, 123'000.0},
+                   {Precision::INT8, 246'000.0}};
+  d.mem_bw_gbs = 900.0;
+  d.mem_capacity_gb = 32.0;
+  d.tdp_w = 250.0;
+  d.idle_w = 50.0;
+  d.launch_overhead_ns = 10'000.0;
+  d.cost_usd = 9'000.0;
+  // GEMM monoculture: superb on dense MM/conv, nearly useless off-motif.
+  set_efficiencies(d, 0.95, 0.90, 0.70, 0.05, 0.05, 0.04, 0.01, 0.03, 0.01);
+  return d;
+}
+
+DeviceSpec wafer_scale_spec() {
+  DeviceSpec d;
+  d.name = "wafer-scale";
+  d.kind = DeviceKind::kWaferScale;
+  d.peak_gflops = {{Precision::FP32, 400'000.0}, {Precision::BF16, 2'500'000.0},
+                   {Precision::FP16, 2'500'000.0}};
+  d.mem_bw_gbs = 20'000'000.0;  // on-wafer SRAM: ~20 PB/s aggregate
+  d.mem_capacity_gb = 40.0;     // SRAM only; models must fit
+  d.tdp_w = 20'000.0;
+  d.idle_w = 4'000.0;
+  d.launch_overhead_ns = 20'000.0;
+  d.cost_usd = 2'000'000.0;
+  // Wide chiplet-to-chiplet paths help sparsity and stencils too.
+  set_efficiencies(d, 0.80, 0.80, 0.75, 0.30, 0.70, 0.50, 0.15, 0.20, 0.02);
+  return d;
+}
+
+DeviceSpec fpga_spec() {
+  DeviceSpec d;
+  d.name = "fpga-hbm";
+  d.kind = DeviceKind::kFpga;
+  d.peak_gflops = {{Precision::FP32, 1'000.0}, {Precision::BF16, 8'000.0},
+                   {Precision::INT8, 33'000.0}, {Precision::INT4, 66'000.0}};
+  d.mem_bw_gbs = 460.0;
+  d.mem_capacity_gb = 16.0;
+  d.tdp_w = 110.0;
+  d.idle_w = 25.0;
+  d.launch_overhead_ns = 50'000.0;  // reconfiguration amortized elsewhere
+  d.cost_usd = 7'000.0;
+  // Flexibility: moderate on everything including irregular motifs.
+  set_efficiencies(d, 0.60, 0.60, 0.60, 0.50, 0.60, 0.55, 0.40, 0.50, 0.20);
+  return d;
+}
+
+DeviceSpec edge_npu_spec() {
+  DeviceSpec d;
+  d.name = "edge-npu";
+  d.kind = DeviceKind::kEdgeNpu;
+  d.peak_gflops = {{Precision::BF16, 4'000.0}, {Precision::INT8, 26'000.0},
+                   {Precision::INT4, 52'000.0}};
+  d.mem_bw_gbs = 34.0;
+  d.mem_capacity_gb = 8.0;
+  d.tdp_w = 15.0;
+  d.idle_w = 1.5;
+  d.launch_overhead_ns = 2'000.0;
+  d.cost_usd = 300.0;
+  set_efficiencies(d, 0.80, 0.90, 0.60, 0.05, 0.05, 0.10, 0.02, 0.05, 0.02);
+  return d;
+}
+
+DeviceSpec analog_dpe_device_spec() {
+  DeviceSpec d;
+  d.name = "analog-dpe";
+  d.kind = DeviceKind::kAnalogDpe;
+  // 64 tiles x (2 * 256^2 MACs / 100 ns) ≈ 84 Tops equivalent on mat-vec.
+  d.peak_gflops = {{Precision::INT8, 84'000.0}};
+  d.mem_bw_gbs = 10'000.0;  // weights are stationary in the crossbars
+  d.mem_capacity_gb = 0.5;
+  d.tdp_w = 30.0;
+  d.idle_w = 5.0;
+  d.launch_overhead_ns = 1'000.0;
+  d.cost_usd = 800.0;
+  set_efficiencies(d, 0.70, 0.60, 0.95, 0.0, 0.0, 0.05, 0.0, 0.0, 0.0);
+  return d;
+}
+
+DeviceSpec optical_device_spec() {
+  DeviceSpec d;
+  d.name = "photonic-mxu";
+  d.kind = DeviceKind::kOptical;
+  // 16 tiles x (2 * 64^2 MACs / 5 ns) ≈ 26 Tops equivalent.
+  d.peak_gflops = {{Precision::INT8, 26'000.0}};
+  d.mem_bw_gbs = 5'000.0;
+  d.mem_capacity_gb = 0.1;
+  d.tdp_w = 25.0;
+  d.idle_w = 10.0;  // lasers
+  d.launch_overhead_ns = 200.0;
+  d.cost_usd = 2'500.0;
+  set_efficiencies(d, 0.60, 0.50, 0.95, 0.0, 0.0, 0.02, 0.0, 0.0, 0.0);
+  return d;
+}
+
+std::vector<DeviceSpec> default_catalog() {
+  return {cpu_server_spec(), cpu_edge_spec(),   gpu_hpc_spec(),
+          systolic_spec(),   wafer_scale_spec(), fpga_spec(),
+          edge_npu_spec(),   analog_dpe_device_spec(), optical_device_spec()};
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/device.hpp"
+
+/// \file catalog.hpp
+/// Calibrated device datasheets for the silicon families the paper's Figure 3
+/// enumerates.  Numbers are datasheet-class calibrations of publicly known
+/// 2020-2021 parts (server CPU, HPC GPU, TPU-like systolic array, wafer-scale
+/// engine, HBM FPGA, edge NPU) — the experiments depend on their *relative*
+/// shapes, not their absolute values.
+
+namespace hpc::hw {
+
+/// 64-core server CPU (EPYC-class): flat, mediocre-everywhere efficiency.
+DeviceSpec cpu_server_spec();
+
+/// Small edge CPU (embedded-class).
+DeviceSpec cpu_edge_spec();
+
+/// HPC GPU (A100-class): wide precision menu, strong on dense motifs.
+DeviceSpec gpu_hpc_spec();
+
+/// Systolic/dataflow training accelerator (TPU-class): GEMM monoculture.
+DeviceSpec systolic_spec();
+
+/// Wafer-scale engine (Cerebras-class): on-wafer SRAM bandwidth, 20 kW.
+DeviceSpec wafer_scale_spec();
+
+/// Reconfigurable FPGA with HBM: flexible, moderate everywhere.
+DeviceSpec fpga_spec();
+
+/// Power-optimized edge inference NPU (Section III.B "second wave" edge).
+DeviceSpec edge_npu_spec();
+
+/// Device wrapper for the analog dot-product engine (timing via roofline
+/// equivalent; functional noise model lives in AnalogEngine).
+DeviceSpec analog_dpe_device_spec();
+
+/// Device wrapper for the photonic matrix engine.
+DeviceSpec optical_device_spec();
+
+/// All of the above, the "Cambrian explosion" the paper describes.
+std::vector<DeviceSpec> default_catalog();
+
+}  // namespace hpc::hw

@@ -1,0 +1,131 @@
+#include "hw/conformance.hpp"
+
+#include <bit>
+
+#include "hw/kernel.hpp"
+
+namespace hpc::hw {
+
+std::string_view name_of(Capability c) noexcept {
+  switch (c) {
+    case Capability::kKernelLaunch: return "kernel-launch";
+    case Capability::kMemoryAlloc: return "memory-alloc";
+    case Capability::kHostTransfer: return "host-transfer";
+    case Capability::kPeerTransfer: return "peer-transfer";
+    case Capability::kTelemetry: return "telemetry";
+    case Capability::kVirtualization: return "virtualization";
+    case Capability::kPrecisionQuery: return "precision-query";
+  }
+  return "kernel-launch";
+}
+
+CapabilitySet::CapabilitySet(std::initializer_list<Capability> caps) {
+  for (const Capability c : caps) add(c);
+}
+
+void CapabilitySet::add(Capability c) noexcept {
+  bits_ |= 1u << static_cast<unsigned>(c);
+}
+
+bool CapabilitySet::has(Capability c) const noexcept {
+  return (bits_ & (1u << static_cast<unsigned>(c))) != 0;
+}
+
+std::size_t CapabilitySet::size() const noexcept {
+  return static_cast<std::size_t>(std::popcount(bits_));
+}
+
+std::vector<Capability> CapabilitySet::missing(const CapabilitySet& required) const {
+  std::vector<Capability> out;
+  for (int c = 0; c < kCapabilityCount; ++c) {
+    const auto cap = static_cast<Capability>(c);
+    if (required.has(cap) && !has(cap)) out.push_back(cap);
+  }
+  return out;
+}
+
+RuntimeProfile service_profile() {
+  RuntimeProfile p;
+  p.name = "archipelago-aas-1";
+  p.required = CapabilitySet{Capability::kKernelLaunch, Capability::kMemoryAlloc,
+                             Capability::kHostTransfer, Capability::kPrecisionQuery,
+                             Capability::kTelemetry, Capability::kVirtualization};
+  return p;
+}
+
+namespace {
+
+CheckResult check(std::string name, bool passed, std::string detail = {}) {
+  return CheckResult{std::move(name), passed, std::move(detail)};
+}
+
+}  // namespace
+
+CertificationReport certify(const DeviceSpec& device, const CapabilitySet& driver_caps,
+                            const RuntimeProfile& profile) {
+  CertificationReport report;
+  report.missing_capabilities = driver_caps.missing(profile.required);
+
+  const Device dev(device);
+
+  // Smoke test 1: the device executes a dense kernel in finite time.
+  const Kernel gemm = make_gemm(1024, 1024, 1024, Precision::FP32);
+  const ExecutionEstimate est = dev.execute(gemm);
+  report.checks.push_back(check("executes-gemm", est.time_ns > 0.0 && est.time_ns < 1e17,
+                                "time_ns=" + std::to_string(est.time_ns)));
+
+  // Smoke test 2: scaling sanity — 8x the work takes strictly more time.
+  const double t_small = dev.exec_time_ns(make_gemm(512, 512, 512, Precision::FP32));
+  const double t_large = dev.exec_time_ns(make_gemm(1024, 1024, 1024, Precision::FP32));
+  report.checks.push_back(check("monotone-scaling", t_large > t_small));
+
+  // Smoke test 3: the roofline never reports super-peak throughput.
+  const double sustained = dev.sustained_gflops(gemm);
+  report.checks.push_back(check("respects-peak",
+                                sustained <= dev.peak_gflops(Precision::FP32) * 1.0001,
+                                "sustained=" + std::to_string(sustained)));
+
+  // Smoke test 4: power model sanity — energy implies idle <= power <= TDP.
+  const double power_w = est.time_ns > 0.0 ? est.energy_j / (est.time_ns * 1e-9) : 0.0;
+  report.checks.push_back(check("power-in-envelope",
+                                power_w >= device.idle_w * 0.99 &&
+                                    power_w <= device.tdp_w * 1.01,
+                                "power_w=" + std::to_string(power_w)));
+
+  // Smoke test 5: precision enumeration is non-empty and self-consistent.
+  bool precisions_ok = !device.peak_gflops.empty();
+  for (const auto& [p, gf] : device.peak_gflops)
+    precisions_ok = precisions_ok && gf > 0.0 && dev.supports(p);
+  report.checks.push_back(check("precision-query", precisions_ok));
+
+  report.certified = report.failures() == 0;
+  return report;
+}
+
+CapabilitySet typical_driver(DeviceKind kind) {
+  CapabilitySet base{Capability::kKernelLaunch, Capability::kMemoryAlloc,
+                     Capability::kHostTransfer, Capability::kPrecisionQuery};
+  switch (kind) {
+    case DeviceKind::kCpu:
+    case DeviceKind::kGpu:
+      base.add(Capability::kPeerTransfer);
+      base.add(Capability::kTelemetry);
+      base.add(Capability::kVirtualization);
+      break;
+    case DeviceKind::kSystolic:
+    case DeviceKind::kFpga:
+      base.add(Capability::kTelemetry);
+      break;
+    case DeviceKind::kWaferScale:
+    case DeviceKind::kEdgeNpu:
+      base.add(Capability::kTelemetry);
+      break;
+    case DeviceKind::kAnalogDpe:
+    case DeviceKind::kOptical:
+      // Early silicon: bare-bones drivers, no counters or partitioning yet.
+      break;
+  }
+  return base;
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+
+/// \file conformance.hpp
+/// Hardware-DevOps driver conformance (paper Section III.E): "this model
+/// could lay the foundation to a hardware Dev/Ops model, where new silicon
+/// could get rolled in with minimum lift on the system side, and integration
+/// testing could get automated for as long as the silicon drivers meet the
+/// interfaces to the runtime."
+///
+/// A runtime profile declares the driver capabilities it requires; a device's
+/// driver declares what it implements; certification runs the capability
+/// check plus behavioural smoke tests against the device model (sane rooflines,
+/// monotone scaling, bounded power).  Only certified silicon may be rolled
+/// into a cluster.
+
+namespace hpc::hw {
+
+/// Driver capabilities the runtime interface can require.
+enum class Capability : std::uint8_t {
+  kKernelLaunch,     ///< enqueue compute kernels
+  kMemoryAlloc,      ///< allocate/free device memory
+  kHostTransfer,     ///< DMA to/from host
+  kPeerTransfer,     ///< device-to-device transfer
+  kTelemetry,        ///< power/thermal/utilization counters
+  kVirtualization,   ///< partitioning for multi-tenant use
+  kPrecisionQuery,   ///< enumerate supported precisions
+};
+
+std::string_view name_of(Capability c) noexcept;
+inline constexpr int kCapabilityCount = 7;
+
+/// A driver's declared capability set.
+class CapabilitySet {
+ public:
+  CapabilitySet() = default;
+  CapabilitySet(std::initializer_list<Capability> caps);
+
+  void add(Capability c) noexcept;
+  bool has(Capability c) const noexcept;
+  std::size_t size() const noexcept;
+
+  /// Capabilities in \p required that this set lacks.
+  std::vector<Capability> missing(const CapabilitySet& required) const;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// The runtime interface version a platform ships.
+struct RuntimeProfile {
+  std::string name = "archipelago-rt-1";
+  CapabilitySet required{Capability::kKernelLaunch, Capability::kMemoryAlloc,
+                         Capability::kHostTransfer, Capability::kPrecisionQuery};
+};
+
+/// A multi-tenant (as-a-Service) profile additionally demands telemetry and
+/// virtualization.
+RuntimeProfile service_profile();
+
+/// One behavioural check outcome.
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+/// Full certification report for one device + driver.
+struct CertificationReport {
+  bool certified = false;
+  std::vector<Capability> missing_capabilities;
+  std::vector<CheckResult> checks;
+
+  int failures() const noexcept {
+    int n = static_cast<int>(missing_capabilities.size());
+    for (const CheckResult& c : checks)
+      if (!c.passed) ++n;
+    return n;
+  }
+};
+
+/// Certifies \p device with \p driver_caps against \p profile: capability
+/// check plus behavioural smoke tests on the device model.
+CertificationReport certify(const DeviceSpec& device, const CapabilitySet& driver_caps,
+                            const RuntimeProfile& profile);
+
+/// Default driver capability sets for the catalog families (the established
+/// families ship full drivers; early silicon tends to lack virtualization
+/// and sometimes telemetry).
+CapabilitySet typical_driver(DeviceKind kind);
+
+}  // namespace hpc::hw

@@ -1,0 +1,102 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::hw {
+
+std::string_view name_of(DeviceKind k) noexcept {
+  switch (k) {
+    case DeviceKind::kCpu: return "cpu";
+    case DeviceKind::kGpu: return "gpu";
+    case DeviceKind::kSystolic: return "systolic";
+    case DeviceKind::kWaferScale: return "wafer-scale";
+    case DeviceKind::kFpga: return "fpga";
+    case DeviceKind::kAnalogDpe: return "analog-dpe";
+    case DeviceKind::kOptical: return "optical";
+    case DeviceKind::kEdgeNpu: return "edge-npu";
+  }
+  return "cpu";
+}
+
+namespace {
+
+/// Width ordering used for precision fallback (wider first).
+constexpr Precision kWidthOrder[] = {Precision::FP64, Precision::FP32, Precision::TF32,
+                                     Precision::BF16, Precision::FP16, Precision::INT8,
+                                     Precision::INT4};
+
+int width_rank(Precision p) noexcept {
+  for (int i = 0; i < 7; ++i)
+    if (kWidthOrder[i] == p) return i;
+  return 1;
+}
+
+}  // namespace
+
+Precision Device::effective_precision(Precision p) const noexcept {
+  if (supports(p)) return p;
+  // Fall back to the narrowest supported format that is at least as wide.
+  const int want = width_rank(p);
+  Precision best = Precision::FP64;
+  int best_rank = -1;
+  bool found = false;
+  for (const auto& [prec, gf] : spec_.peak_gflops) {
+    (void)gf;
+    const int r = width_rank(prec);
+    if (r <= want && r > best_rank) {
+      best = prec;
+      best_rank = r;
+      found = true;
+    }
+  }
+  if (found) return best;
+  // Nothing wider: use the widest supported format (least lossy choice left).
+  int widest = 7;
+  for (const auto& [prec, gf] : spec_.peak_gflops) {
+    (void)gf;
+    if (width_rank(prec) < widest) {
+      widest = width_rank(prec);
+      best = prec;
+    }
+  }
+  return best;
+}
+
+double Device::peak_gflops(Precision p) const noexcept {
+  const auto it = spec_.peak_gflops.find(effective_precision(p));
+  return it != spec_.peak_gflops.end() ? it->second : 0.0;
+}
+
+ExecutionEstimate Device::execute(const Kernel& k) const noexcept {
+  ExecutionEstimate est;
+  est.executed_precision = effective_precision(k.precision);
+  const double peak = peak_gflops(k.precision);
+  const double eff = std::clamp(spec_.efficiency_of(k.op), 0.0, 1.0);
+  const double usable = peak * eff;  // Gflop/s
+  if (usable <= 0.0 || spec_.mem_bw_gbs <= 0.0) {
+    est.time_ns = 1e18;  // effectively cannot run here
+    est.energy_j = 1e18;
+    return est;
+  }
+  const double compute_ns = k.flops / usable;  // flops / (Gflop/s) = ns
+  // Off-motif kernels waste bandwidth too (scatter/gather, poor locality):
+  // the same efficiency factor derates the memory roof.
+  const double memory_ns = k.bytes / (spec_.mem_bw_gbs * eff);  // bytes / (GB/s) = ns
+  const double busy_ns = std::max(compute_ns, memory_ns);
+  est.compute_bound = compute_ns >= memory_ns;
+  est.time_ns = spec_.launch_overhead_ns + busy_ns;
+  est.achieved_gflops = est.time_ns > 0.0 ? k.flops / est.time_ns : 0.0;
+
+  const double utilization = busy_ns > 0.0 ? std::min(1.0, compute_ns / busy_ns) : 0.0;
+  const double power_w = spec_.idle_w + utilization * (spec_.tdp_w - spec_.idle_w);
+  est.energy_j = power_w * est.time_ns * 1e-9;
+  return est;
+}
+
+double Device::sustained_gflops(const Kernel& k) const noexcept {
+  const auto est = execute(k);
+  return est.time_ns > 0.0 && est.time_ns < 1e17 ? k.flops / est.time_ns : 0.0;
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "hw/kernel.hpp"
+#include "hw/precision.hpp"
+#include "sim/time.hpp"
+
+/// \file device.hpp
+/// Roofline-style compute-device model.
+///
+/// A device is described by peak throughput per precision, memory bandwidth,
+/// per-operation-class efficiency (how much of peak a motif can realize), a
+/// launch overhead, and a power envelope.  Specialization — the paper's core
+/// theme — shows up as a sharply peaked efficiency profile: a systolic array
+/// realizes ~85% of peak on GEMM and ~1% on graph traversal, while a CPU is
+/// mediocre-but-flat.
+
+namespace hpc::hw {
+
+/// Families of silicon the paper's Figure 3 enumerates.
+enum class DeviceKind : std::uint8_t {
+  kCpu,
+  kGpu,
+  kSystolic,     ///< TPU-like dataflow/systolic tile array
+  kWaferScale,   ///< Cerebras-like wafer-scale engine
+  kFpga,
+  kAnalogDpe,    ///< memristor dot-product engine (O(N) matvec)
+  kOptical,      ///< coherent-photonics matrix engine
+  kEdgeNpu,      ///< power-optimized edge inference accelerator
+};
+
+std::string_view name_of(DeviceKind k) noexcept;
+
+/// Static description of a device (the "datasheet").
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+
+  /// Peak throughput in Gflop/s per supported precision; missing precision
+  /// means unsupported (kernels fall back to the nearest wider format).
+  std::map<Precision, double> peak_gflops;
+
+  double mem_bw_gbs = 100.0;       ///< device memory bandwidth, GB/s
+  double mem_capacity_gb = 64.0;   ///< device memory capacity, GB
+  double tdp_w = 200.0;            ///< thermal design power
+  double idle_w = 40.0;            ///< idle power draw
+  double launch_overhead_ns = 5'000.0;  ///< fixed per-kernel overhead
+  double cost_usd = 5'000.0;       ///< acquisition cost (for $/throughput)
+
+  /// Fraction of peak realized per operation class, in [0, 1].
+  std::array<double, kOpClassCount> efficiency{};
+
+  double efficiency_of(OpClass c) const noexcept {
+    return efficiency[static_cast<std::size_t>(c)];
+  }
+  void set_efficiency(OpClass c, double e) noexcept {
+    efficiency[static_cast<std::size_t>(c)] = e;
+  }
+  /// Sets every op-class efficiency to \p e (flat profile, CPU-like).
+  void set_flat_efficiency(double e) noexcept { efficiency.fill(e); }
+};
+
+/// Result of executing one kernel on one device.
+struct ExecutionEstimate {
+  double time_ns = 0.0;
+  double energy_j = 0.0;
+  double achieved_gflops = 0.0;
+  bool compute_bound = false;   ///< false ⇒ memory-bandwidth bound
+  Precision executed_precision = Precision::FP32;
+};
+
+/// Executable device wrapping a spec with the roofline timing model.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+  const std::string& name() const noexcept { return spec_.name; }
+  DeviceKind kind() const noexcept { return spec_.kind; }
+
+  /// True if the device natively supports precision \p p.
+  bool supports(Precision p) const noexcept { return spec_.peak_gflops.contains(p); }
+
+  /// The precision the device would actually run \p p at: itself if native,
+  /// else the narrowest supported format at least as wide.
+  Precision effective_precision(Precision p) const noexcept;
+
+  /// Peak Gflop/s at precision \p p after fallback (0 if nothing supports it).
+  double peak_gflops(Precision p) const noexcept;
+
+  /// Roofline execution estimate for a kernel:
+  ///   time = overhead + max(flops / (peak * eff(op)), bytes / (mem_bw * eff(op)))
+  ///   energy = time * (idle + utilization * (tdp - idle))
+  /// The op-class efficiency derates both roofs: off-motif code wastes
+  /// compute lanes *and* bandwidth (scatter/gather, poor locality).
+  ExecutionEstimate execute(const Kernel& k) const noexcept;
+
+  /// Convenience: just the time in nanoseconds.
+  double exec_time_ns(const Kernel& k) const noexcept { return execute(k).time_ns; }
+
+  /// Energy in joules for the kernel.
+  double exec_energy_j(const Kernel& k) const noexcept { return execute(k).energy_j; }
+
+  /// Sustained Gflop/s the device achieves on this kernel.
+  double sustained_gflops(const Kernel& k) const noexcept;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace hpc::hw

@@ -1,0 +1,55 @@
+#include "hw/facility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::hw {
+
+std::string_view name_of(Cooling c) noexcept {
+  switch (c) {
+    case Cooling::kAirCooled: return "air";
+    case Cooling::kRearDoor: return "rear-door";
+    case Cooling::kDirectLiquid: return "direct-liquid";
+    case Cooling::kImmersion: return "immersion";
+  }
+  return "air";
+}
+
+CoolingSpec cooling_spec(Cooling c) noexcept {
+  switch (c) {
+    case Cooling::kAirCooled: return {c, 20.0, 1.6, 10'000.0};
+    case Cooling::kRearDoor: return {c, 60.0, 1.35, 25'000.0};
+    case Cooling::kDirectLiquid: return {c, 400.0, 1.1, 80'000.0};  // the paper's 400 kW rack
+    case Cooling::kImmersion: return {c, 250.0, 1.05, 120'000.0};
+  }
+  return {Cooling::kAirCooled, 20.0, 1.6, 10'000.0};
+}
+
+RackPlan pack_rack(const DeviceSpec& device, const CoolingSpec& cooling) {
+  RackPlan plan;
+  plan.device = device;
+  plan.cooling = cooling;
+  if (device.tdp_w > 0.0)
+    plan.devices_per_rack =
+        static_cast<int>(cooling.max_rack_kw * 1'000.0 / device.tdp_w);
+  plan.rack_it_kw = plan.devices_per_rack * device.tdp_w / 1'000.0;
+  return plan;
+}
+
+FacilityPlan plan_facility(const RackPlan& rack, double facility_mw_budget,
+                           double usd_per_kwh) {
+  FacilityPlan plan;
+  plan.rack = rack;
+  if (rack.rack_it_kw <= 0.0) return plan;
+  const double rack_facility_kw = rack.rack_it_kw * rack.cooling.pue;
+  plan.racks = static_cast<int>(facility_mw_budget * 1'000.0 / rack_facility_kw);
+  plan.devices = static_cast<double>(plan.racks) * rack.devices_per_rack;
+  plan.it_mw = plan.racks * rack.rack_it_kw / 1'000.0;
+  plan.facility_mw = plan.it_mw * rack.cooling.pue;
+  plan.capex_usd = plan.devices * rack.device.cost_usd +
+                   plan.racks * rack.cooling.capex_per_rack_usd;
+  plan.annual_energy_cost_usd = plan.facility_mw * 1'000.0 * 24.0 * 365.0 * usd_per_kwh;
+  return plan;
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+
+/// \file facility.hpp
+/// Datacenter power/cooling packing model (paper Section II.C: "the exascale
+/// supercomputing generation is expected to require a 30-40 MW datacenter
+/// with aggressive liquid cooling and very high-density racks, up to 400 kW
+/// per rack").
+///
+/// Racks pack devices against a per-rack power cap; the cooling technology
+/// sets the cap and the energy overhead (PUE).  The facility model answers
+/// how much of a given silicon mix fits in a machine room and what it costs
+/// to run.
+
+namespace hpc::hw {
+
+/// Rack-level cooling technology.
+enum class Cooling : std::uint8_t {
+  kAirCooled,        ///< classic hot/cold aisle
+  kRearDoor,         ///< rear-door heat exchangers
+  kDirectLiquid,     ///< cold plates (the paper's exascale assumption)
+  kImmersion,        ///< full immersion
+};
+
+std::string_view name_of(Cooling c) noexcept;
+
+/// Limits and overheads of a cooling class.
+struct CoolingSpec {
+  Cooling kind = Cooling::kAirCooled;
+  double max_rack_kw = 20.0;   ///< sustainable per-rack IT power
+  double pue = 1.6;            ///< facility power / IT power
+  double capex_per_rack_usd = 10'000.0;
+};
+
+CoolingSpec cooling_spec(Cooling c) noexcept;
+
+/// A homogeneous rack of one device family under a cooling envelope.
+struct RackPlan {
+  DeviceSpec device;
+  CoolingSpec cooling;
+  int devices_per_rack = 0;   ///< packed against the rack power cap
+  double rack_it_kw = 0.0;    ///< actual IT draw
+};
+
+/// Packs as many devices as the rack cap allows (>= 0).
+RackPlan pack_rack(const DeviceSpec& device, const CoolingSpec& cooling);
+
+/// A facility hosting \p racks racks of one plan.
+struct FacilityPlan {
+  RackPlan rack;
+  int racks = 0;
+  double it_mw = 0.0;          ///< total IT power
+  double facility_mw = 0.0;    ///< IT power x PUE
+  double devices = 0.0;
+  double capex_usd = 0.0;      ///< devices + racks
+  double annual_energy_cost_usd = 0.0;  ///< at the given $/kWh
+};
+
+/// Fills a facility power budget (facility-side MW) with racks of \p rack.
+FacilityPlan plan_facility(const RackPlan& rack, double facility_mw_budget,
+                           double usd_per_kwh = 0.08);
+
+}  // namespace hpc::hw

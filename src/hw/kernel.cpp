@@ -1,0 +1,89 @@
+#include "hw/kernel.hpp"
+
+#include <cmath>
+
+namespace hpc::hw {
+
+std::string_view name_of(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kGemm: return "gemm";
+    case OpClass::kConv: return "conv";
+    case OpClass::kMatVec: return "matvec";
+    case OpClass::kFft: return "fft";
+    case OpClass::kStencil: return "stencil";
+    case OpClass::kSpMV: return "spmv";
+    case OpClass::kGraph: return "graph";
+    case OpClass::kSort: return "sort";
+    case OpClass::kScalar: return "scalar";
+  }
+  return "scalar";
+}
+
+Kernel make_gemm(std::int64_t m, std::int64_t n, std::int64_t k, Precision p) {
+  Kernel ker;
+  ker.name = "gemm_" + std::to_string(m) + "x" + std::to_string(n) + "x" + std::to_string(k);
+  ker.op = OpClass::kGemm;
+  ker.flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+  ker.bytes = bytes_of(p) * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                             2.0 * static_cast<double>(m) * n);
+  ker.precision = p;
+  return ker;
+}
+
+Kernel make_matvec(std::int64_t n, Precision p) {
+  Kernel ker;
+  ker.name = "matvec_" + std::to_string(n);
+  ker.op = OpClass::kMatVec;
+  const double dn = static_cast<double>(n);
+  ker.flops = 2.0 * dn * dn;
+  ker.bytes = bytes_of(p) * (dn * dn + 2.0 * dn);
+  ker.precision = p;
+  return ker;
+}
+
+Kernel make_stencil3d(std::int64_t n, Precision p) {
+  Kernel ker;
+  ker.name = "stencil3d_" + std::to_string(n);
+  ker.op = OpClass::kStencil;
+  const double cells = static_cast<double>(n) * n * n;
+  ker.flops = 8.0 * cells;            // 7 adds + 1 mul per cell
+  ker.bytes = 2.0 * bytes_of(p) * cells;  // read + write per cell (cache-ideal)
+  ker.precision = p;
+  return ker;
+}
+
+Kernel make_fft(std::int64_t n, Precision p) {
+  Kernel ker;
+  ker.name = "fft_" + std::to_string(n);
+  ker.op = OpClass::kFft;
+  const double dn = static_cast<double>(n);
+  const double log2n = dn > 1.0 ? std::log2(dn) : 1.0;
+  ker.flops = 5.0 * dn * log2n;       // classic 5 N log N complex flop count
+  ker.bytes = 4.0 * bytes_of(p) * dn; // complex in + out
+  ker.precision = p;
+  return ker;
+}
+
+Kernel make_spmv(std::int64_t nnz, Precision p) {
+  Kernel ker;
+  ker.name = "spmv_" + std::to_string(nnz);
+  ker.op = OpClass::kSpMV;
+  const double dn = static_cast<double>(nnz);
+  ker.flops = 2.0 * dn;
+  ker.bytes = (bytes_of(p) + 4.0) * dn;  // value + column index per nonzero
+  ker.precision = p;
+  return ker;
+}
+
+Kernel make_graph(std::int64_t edges) {
+  Kernel ker;
+  ker.name = "graph_" + std::to_string(edges);
+  ker.op = OpClass::kGraph;
+  const double de = static_cast<double>(edges);
+  ker.flops = de;
+  ker.bytes = 16.0 * de;  // pointer-chasing: two 8-byte loads per edge
+  ker.precision = Precision::FP64;
+  return ker;
+}
+
+}  // namespace hpc::hw

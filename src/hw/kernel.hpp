@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hw/precision.hpp"
+
+/// \file kernel.hpp
+/// Work descriptors.  A Kernel is the unit of computation the roofline device
+/// model executes: an operation class, a flop count, a byte count and a
+/// precision.  Operation classes carry the "narrow applicability of
+/// specialization" the paper builds its argument on — a systolic accelerator
+/// is excellent at GEMM and useless at graph traversal.
+
+namespace hpc::hw {
+
+/// Broad computational motifs (after the Berkeley dwarfs, trimmed to what the
+/// paper's application domains exercise).
+enum class OpClass : std::uint8_t {
+  kGemm,      ///< dense matrix multiply (DL training/inference, chemistry)
+  kConv,      ///< convolution (imaging, CNN)
+  kMatVec,    ///< dense matrix-vector (inference inner loop, iterative solvers)
+  kFft,       ///< spectral methods
+  kStencil,   ///< structured-grid PDE
+  kSpMV,      ///< sparse matrix-vector (graph/ML sparsity)
+  kGraph,     ///< irregular pointer chasing / graph analytics
+  kSort,      ///< data analytics / shuffles
+  kScalar,    ///< control-heavy scalar code
+};
+
+std::string_view name_of(OpClass c) noexcept;
+inline constexpr int kOpClassCount = 9;
+
+/// A unit of computation with known cost shape.
+struct Kernel {
+  std::string name;
+  OpClass op = OpClass::kScalar;
+  double flops = 0.0;      ///< useful arithmetic operations
+  double bytes = 0.0;      ///< bytes that must move to/from device memory
+  Precision precision = Precision::FP32;
+
+  /// Arithmetic intensity in flops/byte (the roofline x-axis).
+  double intensity() const noexcept { return bytes > 0.0 ? flops / bytes : 1e18; }
+};
+
+/// Dense GEMM C[m,n] += A[m,k] * B[k,n].
+Kernel make_gemm(std::int64_t m, std::int64_t n, std::int64_t k,
+                 Precision p = Precision::FP32);
+
+/// Dense mat-vec y[n] = W[n,n] * x[n] — the motif analog engines accelerate.
+Kernel make_matvec(std::int64_t n, Precision p = Precision::FP32);
+
+/// 3-D 7-point stencil sweep over an n^3 grid.
+Kernel make_stencil3d(std::int64_t n, Precision p = Precision::FP64);
+
+/// 1-D complex FFT of length n.
+Kernel make_fft(std::int64_t n, Precision p = Precision::FP64);
+
+/// SpMV with nnz nonzeros.
+Kernel make_spmv(std::int64_t nnz, Precision p = Precision::FP64);
+
+/// Graph traversal touching \p edges edges (latency-bound, ~1 flop/edge).
+Kernel make_graph(std::int64_t edges);
+
+}  // namespace hpc::hw

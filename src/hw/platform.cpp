@@ -1,0 +1,46 @@
+#include "hw/platform.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hpc::hw {
+
+PlatformModel custom_board_model() {
+  PlatformModel m;
+  m.name = "custom-board";
+  m.nre_per_device_usd = 3e6;  // the paper's "few million dollars"
+  m.unit_premium_usd = 0.0;
+  m.integration_weeks = 40.0;
+  return m;
+}
+
+PlatformModel standard_module_model() {
+  PlatformModel m;
+  m.name = "standard-module";
+  m.nre_per_device_usd = 3e5;  // adaptation + compliance only
+  m.unit_premium_usd = 400.0;  // standard form factor overhead per unit
+  m.integration_weeks = 8.0;
+  return m;
+}
+
+double enablement_cost_usd(const PlatformModel& model, int device_kinds,
+                           double units_per_kind) {
+  return device_kinds *
+         (model.nre_per_device_usd + model.unit_premium_usd * units_per_kind);
+}
+
+int affordable_device_kinds(const PlatformModel& model, double budget_usd,
+                            double units_per_kind) {
+  const double per_kind = model.nre_per_device_usd + model.unit_premium_usd * units_per_kind;
+  if (per_kind <= 0.0) return 0;
+  return static_cast<int>(budget_usd / per_kind);
+}
+
+double breakeven_units(const PlatformModel& custom, const PlatformModel& standard) {
+  const double nre_gap = custom.nre_per_device_usd - standard.nre_per_device_usd;
+  const double premium_gap = standard.unit_premium_usd - custom.unit_premium_usd;
+  if (premium_gap <= 0.0) return std::numeric_limits<double>::infinity();
+  return nre_gap / premium_gap;
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file platform.hpp
+/// Platform-enablement economics (paper Section III.E): "any given platform
+/// enablement effort can now easily reach a few million dollars in
+/// development cost ... the industry should drive towards a standard for
+/// motherboards and other electronic sub-components."
+///
+/// Models the integrator's decision: how many silicon options can a vendor
+/// field under custom per-device board development vs an OCP-like standard
+/// module, and where does the break-even sit per device volume.
+
+namespace hpc::hw {
+
+/// Cost structure of one enablement path.
+struct PlatformModel {
+  std::string name = "custom-board";
+  double nre_per_device_usd = 3e6;   ///< board design/SI/validation per silicon
+  double unit_premium_usd = 0.0;     ///< extra per-unit cost of the board path
+  double integration_weeks = 40.0;   ///< time to production per silicon
+};
+
+/// The paper's two paths, calibrated to its "few million dollars" anchor.
+PlatformModel custom_board_model();
+/// Standard module: the NRE was paid once by the ecosystem; each new silicon
+/// pays a small adaptation cost plus a per-unit premium for the standard form
+/// factor (extra power headroom, management ASIC, connectors).
+PlatformModel standard_module_model();
+
+/// Total enablement cost of fielding \p device_kinds silicon options at
+/// \p units_per_kind production volume each.
+double enablement_cost_usd(const PlatformModel& model, int device_kinds,
+                           double units_per_kind);
+
+/// Number of silicon options a vendor can field with \p budget_usd at the
+/// given volume per option.
+int affordable_device_kinds(const PlatformModel& model, double budget_usd,
+                            double units_per_kind);
+
+/// Volume per silicon at which the custom path's lower unit cost overtakes
+/// the standard path's lower NRE (units; +inf if it never does).
+double breakeven_units(const PlatformModel& custom, const PlatformModel& standard);
+
+}  // namespace hpc::hw

@@ -1,0 +1,85 @@
+#include "hw/precision.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace hpc::hw {
+
+std::string_view name_of(Precision p) noexcept {
+  switch (p) {
+    case Precision::FP64: return "fp64";
+    case Precision::FP32: return "fp32";
+    case Precision::TF32: return "tf32";
+    case Precision::BF16: return "bf16";
+    case Precision::FP16: return "fp16";
+    case Precision::INT8: return "int8";
+    case Precision::INT4: return "int4";
+  }
+  return "fp32";
+}
+
+namespace {
+
+/// Rounds the float bit pattern to keep \p mantissa_bits of the 23-bit
+/// mantissa, round-to-nearest-even.  Used for bf16 (7 bits) and tf32 (10).
+float truncate_mantissa(float x, int mantissa_bits) noexcept {
+  if (!std::isfinite(x)) return x;
+  auto bits = std::bit_cast<std::uint32_t>(x);
+  const int drop = 23 - mantissa_bits;
+  const std::uint32_t mask = (1u << drop) - 1u;
+  const std::uint32_t halfway = 1u << (drop - 1);
+  const std::uint32_t rem = bits & mask;
+  bits &= ~mask;
+  // Round to nearest, ties to even (even = lowest kept bit is 0).
+  if (rem > halfway || (rem == halfway && (bits & (1u << drop)))) {
+    bits += 1u << drop;
+  }
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace
+
+float round_bf16(float x) noexcept { return truncate_mantissa(x, 7); }
+
+float round_tf32(float x) noexcept { return truncate_mantissa(x, 10); }
+
+float round_fp16(float x) noexcept {
+  if (std::isnan(x)) return x;
+  // Overflow: binary16 max finite is 65504.
+  if (std::abs(x) > 65504.0f) return std::copysign(INFINITY, x);
+  // Subnormal range: quantize to multiples of 2^-24.
+  if (std::abs(x) < 6.103515625e-5f) {  // min normal 2^-14
+    const float q = 5.960464477539063e-8f;  // 2^-24
+    return std::round(x / q) * q;
+  }
+  return truncate_mantissa(x, 10);
+}
+
+float round_int8(float x, float scale) noexcept {
+  if (scale <= 0.0f) return 0.0f;
+  const float q = std::clamp(std::round(x / scale), -127.0f, 127.0f);
+  return q * scale;
+}
+
+float round_int4(float x, float scale) noexcept {
+  if (scale <= 0.0f) return 0.0f;
+  const float q = std::clamp(std::round(x / scale), -7.0f, 7.0f);
+  return q * scale;
+}
+
+float apply_precision(float x, Precision p, float scale) noexcept {
+  switch (p) {
+    case Precision::FP64:
+    case Precision::FP32: return x;
+    case Precision::TF32: return round_tf32(x);
+    case Precision::BF16: return round_bf16(x);
+    case Precision::FP16: return round_fp16(x);
+    case Precision::INT8: return round_int8(x, scale);
+    case Precision::INT4: return round_int4(x, scale);
+  }
+  return x;
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file precision.hpp
+/// Numeric precision formats and bit-exact software emulation of the reduced
+/// formats the paper calls out as "becoming mainstream" (Section III.B):
+/// bfloat16, fp16 and int8.  The emulators are used by hpc::ai so that the
+/// precision-vs-accuracy experiment (C5) measures real rounding error.
+
+namespace hpc::hw {
+
+/// Arithmetic formats a device may support.
+enum class Precision : std::uint8_t { FP64, FP32, TF32, BF16, FP16, INT8, INT4 };
+
+/// Storage width in bits.
+constexpr int bits_of(Precision p) noexcept {
+  switch (p) {
+    case Precision::FP64: return 64;
+    case Precision::FP32: return 32;
+    case Precision::TF32: return 19;  // stored as 32, 19 significant bits
+    case Precision::BF16: return 16;
+    case Precision::FP16: return 16;
+    case Precision::INT8: return 8;
+    case Precision::INT4: return 4;
+  }
+  return 32;
+}
+
+/// Bytes each element occupies in memory (TF32 is stored in 32 bits).
+constexpr double bytes_of(Precision p) noexcept {
+  switch (p) {
+    case Precision::FP64: return 8.0;
+    case Precision::FP32: return 4.0;
+    case Precision::TF32: return 4.0;
+    case Precision::BF16: return 2.0;
+    case Precision::FP16: return 2.0;
+    case Precision::INT8: return 1.0;
+    case Precision::INT4: return 0.5;
+  }
+  return 4.0;
+}
+
+std::string_view name_of(Precision p) noexcept;
+
+/// Rounds a float to bfloat16 (truncate mantissa to 7 bits, round-to-nearest).
+float round_bf16(float x) noexcept;
+
+/// Rounds a float to IEEE binary16 (round-to-nearest-even, with overflow to
+/// +-inf and gradual underflow to subnormals).
+float round_fp16(float x) noexcept;
+
+/// Rounds a float to TF32 (10-bit mantissa, fp32 exponent range).
+float round_tf32(float x) noexcept;
+
+/// Symmetric linear int8 quantization of x given a scale (clamps to [-127,127]).
+float round_int8(float x, float scale) noexcept;
+
+/// Symmetric linear int4 quantization of x given a scale (clamps to [-7,7]).
+float round_int4(float x, float scale) noexcept;
+
+/// Applies the rounding of \p p to \p x; int formats use \p scale.
+float apply_precision(float x, Precision p, float scale = 1.0f) noexcept;
+
+}  // namespace hpc::hw

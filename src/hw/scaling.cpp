@@ -1,0 +1,27 @@
+#include "hw/scaling.hpp"
+
+#include <cmath>
+
+namespace hpc::hw {
+
+double TechnologyModel::generation_gain(int gen) const noexcept {
+  if (gen <= 0) return 1.0;
+  if (gen <= dennard_end_gen) return dennard_gain;
+  const int post = gen - dennard_end_gen;
+  // Gain itself decays geometrically toward 1.0.
+  const double g = 1.0 + (post_dennard_gain_initial - 1.0) * std::pow(gain_decay, post - 1);
+  return g;
+}
+
+double TechnologyModel::perf_per_watt(int gen) const noexcept {
+  double ppw = 1.0;
+  for (int g = 1; g <= gen; ++g) ppw *= generation_gain(g);
+  return ppw;
+}
+
+double SpecializationModel::effective_speedup(double gain) const noexcept {
+  if (gain <= 0.0) return 1.0;
+  return 1.0 / ((1.0 - coverage) + coverage / gain);
+}
+
+}  // namespace hpc::hw

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file scaling.hpp
+/// Semiconductor technology-scaling model (paper Sections I, II.A).
+///
+/// Captures the paper's premise quantitatively: Dennard scaling delivered
+/// compounding performance-per-watt until ~2005; after that, general-purpose
+/// gains decelerate generation over generation ("the imminent end of Moore's
+/// law"), and the only remaining lever inside a fixed power envelope is
+/// specialization.  Experiment C1 sweeps this model.
+
+namespace hpc::hw {
+
+/// Generational perf/W model.  Generation 0 is normalized to 1.0; one
+/// generation is roughly two years of process evolution.
+struct TechnologyModel {
+  int dennard_end_gen = 8;                ///< ~1990 to ~2005 at 2 yr/gen
+  double dennard_gain = 2.8;              ///< perf/W multiplier per gen (Dennard era)
+  double post_dennard_gain_initial = 1.35;///< first post-Dennard generation
+  double gain_decay = 0.90;               ///< each later gen's gain multiplier decays
+
+  /// Cumulative general-purpose performance per watt at generation \p gen,
+  /// normalized to generation 0.
+  double perf_per_watt(int gen) const noexcept;
+
+  /// The per-generation improvement factor between gen-1 and gen.
+  double generation_gain(int gen) const noexcept;
+};
+
+/// One-off architectural efficiency multiplier available from specializing a
+/// design to a single operation class, relative to a general-purpose core in
+/// the same process.  Literature-calibrated: ~10-50x for dataflow/systolic on
+/// dense linear algebra, ~100-1000x for fixed-function analog.
+struct SpecializationModel {
+  double asic_gain = 30.0;     ///< digital domain-specific accelerator
+  double analog_gain = 300.0;  ///< analog/neuromorphic, where applicable
+  double coverage = 0.7;       ///< fraction of the workload it can absorb
+
+  /// Amdahl-limited speedup of the whole workload when the covered fraction
+  /// runs \p gain times more efficiently.
+  double effective_speedup(double gain) const noexcept;
+};
+
+}  // namespace hpc::hw

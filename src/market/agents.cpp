@@ -1,0 +1,132 @@
+#include "market/agents.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "market/exchange.hpp"
+
+namespace hpc::market {
+
+void Agent::on_fill(const Trade& trade, bool as_buyer) {
+  const double value = trade.price * trade.quantity;
+  if (as_buyer) {
+    cash_ -= value;
+    inventory_ += trade.quantity;
+  } else {
+    cash_ += value;
+    inventory_ -= trade.quantity;
+  }
+}
+
+ProviderAgent::ProviderAgent(std::string name, double marginal_cost,
+                             double capacity_per_round, double initial_markup, double step)
+    : Agent(std::move(name)),
+      cost_(marginal_cost),
+      capacity_(capacity_per_round),
+      markup_(initial_markup),
+      step_(step) {}
+
+void ProviderAgent::step(Exchange& ex, sim::Rng& rng) {
+  if (resting_ >= 0) {
+    ex.book().cancel(resting_);
+    resting_ = -1;
+  }
+  // Tatonnement, asymmetric: firm up slowly after selling, undercut fast
+  // while unsold.  Symmetric steps would leave every agent oscillating around
+  // its fill boundary at ~50% duty cycle and strand half the feasible trades.
+  if (filled_last_round_) {
+    markup_ += step_ * rng.uniform(0.1, 0.3);
+  } else {
+    markup_ -= step_ * rng.uniform(1.0, 2.0);
+  }
+  markup_ = std::clamp(markup_, 0.0, 3.0);
+  filled_last_round_ = false;
+  const double ask = cost_ * (1.0 + markup_);
+  offered_ += capacity_;
+  resting_ = ex.book().submit(id(), Side::kAsk, ask, capacity_);
+}
+
+void ProviderAgent::on_fill(const Trade& trade, bool as_buyer) {
+  Agent::on_fill(trade, as_buyer);
+  if (!as_buyer) {
+    sold_ += trade.quantity;
+    filled_last_round_ = true;
+  }
+}
+
+ConsumerAgent::ConsumerAgent(std::string name, double valuation, double demand_per_round,
+                             double initial_margin, double step)
+    : Agent(std::move(name)),
+      value_(valuation),
+      demand_(demand_per_round),
+      margin_(initial_margin),
+      step_(step) {}
+
+void ConsumerAgent::step(Exchange& ex, sim::Rng& rng) {
+  if (resting_ >= 0) {
+    ex.book().cancel(resting_);
+    resting_ = -1;
+  }
+  if (filled_last_round_) {
+    margin_ += step_ * rng.uniform(0.1, 0.3);
+  } else {
+    margin_ -= step_ * rng.uniform(1.0, 2.0);
+  }
+  margin_ = std::clamp(margin_, 0.0, 0.95);
+  filled_last_round_ = false;
+  const double bid = value_ * (1.0 - margin_);
+  demanded_ += demand_;
+  resting_ = ex.book().submit(id(), Side::kBid, bid, demand_);
+}
+
+void ConsumerAgent::on_fill(const Trade& trade, bool as_buyer) {
+  Agent::on_fill(trade, as_buyer);
+  if (as_buyer) {
+    bought_ += trade.quantity;
+    filled_last_round_ = true;
+  }
+}
+
+BrokerAgent::BrokerAgent(std::string name, double spread, double quote_size,
+                         double inventory_limit)
+    : Agent(std::move(name)), spread_(spread), size_(quote_size), limit_(inventory_limit) {}
+
+void BrokerAgent::step(Exchange& ex, sim::Rng& rng) {
+  (void)rng;
+  if (resting_bid_ >= 0) ex.book().cancel(resting_bid_);
+  if (resting_ask_ >= 0) ex.book().cancel(resting_ask_);
+  resting_bid_ = resting_ask_ = -1;
+  const auto mid = ex.book().last_trade_price().has_value()
+                       ? ex.book().last_trade_price()
+                       : ex.book().mid();
+  if (!mid) return;
+  // Inventory-skewed quotes: lean prices to shed excess inventory.
+  const double skew = -0.02 * (inventory_ / std::max(1.0, limit_)) * *mid;
+  if (inventory_ < limit_)
+    resting_bid_ = ex.book().submit(id(), Side::kBid, *mid * (1.0 - spread_ / 2.0) + skew, size_);
+  if (inventory_ > -limit_)
+    resting_ask_ = ex.book().submit(id(), Side::kAsk, *mid * (1.0 + spread_ / 2.0) + skew, size_);
+}
+
+SpeculatorAgent::SpeculatorAgent(std::string name, double aggressiveness,
+                                 double inventory_limit)
+    : Agent(std::move(name)), aggressiveness_(aggressiveness), limit_(inventory_limit) {}
+
+void SpeculatorAgent::step(Exchange& ex, sim::Rng& rng) {
+  const auto last = ex.book().last_trade_price();
+  if (!last) return;
+  if (ewma_ < 0.0) {
+    ewma_ = *last;
+    return;
+  }
+  const double momentum = *last - ewma_;
+  ewma_ += 0.2 * (*last - ewma_);
+  const double size = aggressiveness_ * rng.uniform(0.5, 1.5);
+  if (momentum > 0.0 && inventory_ < limit_) {
+    ex.book().submit(id(), Side::kBid, *last * 1.02, size);
+  } else if (momentum < 0.0 && inventory_ > -limit_) {
+    ex.book().submit(id(), Side::kAsk, *last * 0.98, size);
+  }
+}
+
+}  // namespace hpc::market

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "market/orderbook.hpp"
+#include "sim/rng.hpp"
+
+/// \file agents.hpp
+/// Trading agents of the Open Compute Exchange (Section III.F/G): capacity
+/// providers, compute consumers, market-making brokers, and "technology
+/// speculators" — the roles the paper predicts the new economy instantiates.
+/// Providers/consumers adapt their quotes tatonnement-style, which is how the
+/// non-cooperative game approaches the competitive equilibrium (tested in C8).
+
+namespace hpc::market {
+
+class Exchange;  // forward
+
+/// Common agent interface.
+class Agent {
+ public:
+  explicit Agent(std::string name) : name_(std::move(name)) {}
+  virtual ~Agent() = default;
+
+  /// Quotes/acts for one trading round.
+  virtual void step(Exchange& ex, sim::Rng& rng) = 0;
+
+  /// Called for every fill this agent participated in.
+  virtual void on_fill(const Trade& trade, bool as_buyer);
+
+  int id() const noexcept { return id_; }
+  void set_id(int id) noexcept { id_ = id; }
+  const std::string& name() const noexcept { return name_; }
+
+  double cash() const noexcept { return cash_; }
+  double inventory() const noexcept { return inventory_; }  ///< node-hours held
+
+ protected:
+  double cash_ = 0.0;
+  double inventory_ = 0.0;
+
+ private:
+  int id_ = -1;
+  std::string name_;
+};
+
+/// Site selling spare capacity: asks start above marginal cost and walk down
+/// while unsold, up after fills.
+class ProviderAgent final : public Agent {
+ public:
+  ProviderAgent(std::string name, double marginal_cost, double capacity_per_round,
+                double initial_markup = 0.5, double step = 0.05);
+  void step(Exchange& ex, sim::Rng& rng) override;
+  void on_fill(const Trade& trade, bool as_buyer) override;
+
+  double marginal_cost() const noexcept { return cost_; }
+  double sold_total() const noexcept { return sold_; }
+  double offered_total() const noexcept { return offered_; }
+
+ private:
+  double cost_;
+  double capacity_;
+  double markup_;
+  double step_;
+  double sold_ = 0.0;
+  double offered_ = 0.0;
+  bool filled_last_round_ = false;
+  int resting_ = -1;
+};
+
+/// User buying node-hours for jobs: bids start below willingness-to-pay and
+/// walk up while unfilled.
+class ConsumerAgent final : public Agent {
+ public:
+  ConsumerAgent(std::string name, double valuation, double demand_per_round,
+                double initial_margin = 0.5, double step = 0.05);
+  void step(Exchange& ex, sim::Rng& rng) override;
+  void on_fill(const Trade& trade, bool as_buyer) override;
+
+  double valuation() const noexcept { return value_; }
+  double bought_total() const noexcept { return bought_; }
+  double demanded_total() const noexcept { return demanded_; }
+
+ private:
+  double value_;
+  double demand_;
+  double margin_;
+  double step_;
+  double bought_ = 0.0;
+  double demanded_ = 0.0;
+  bool filled_last_round_ = false;
+  int resting_ = -1;
+};
+
+/// Third-party broker quoting both sides around the last price with a spread,
+/// providing liquidity within an inventory limit.
+class BrokerAgent final : public Agent {
+ public:
+  BrokerAgent(std::string name, double spread = 0.06, double quote_size = 2.0,
+              double inventory_limit = 20.0);
+  void step(Exchange& ex, sim::Rng& rng) override;
+
+ private:
+  double spread_;
+  double size_;
+  double limit_;
+  int resting_bid_ = -1;
+  int resting_ask_ = -1;
+};
+
+/// Momentum speculator: buys into rising prices, sells into falling ones.
+/// Adds the volatility the paper's "technology speculators" would.
+class SpeculatorAgent final : public Agent {
+ public:
+  SpeculatorAgent(std::string name, double aggressiveness = 0.3,
+                  double inventory_limit = 10.0);
+  void step(Exchange& ex, sim::Rng& rng) override;
+
+ private:
+  double aggressiveness_;
+  double limit_;
+  double ewma_ = -1.0;
+};
+
+}  // namespace hpc::market

@@ -1,0 +1,74 @@
+#include "market/exchange.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hpc::market {
+
+EquilibriumPoint competitive_equilibrium(std::vector<double> supply_costs,
+                                         std::vector<double> demand_values) {
+  std::sort(supply_costs.begin(), supply_costs.end());                  // ascending
+  std::sort(demand_values.begin(), demand_values.end(), std::greater<>());  // descending
+  EquilibriumPoint eq;
+  const std::size_t n = std::min(supply_costs.size(), demand_values.size());
+  std::size_t k = 0;
+  while (k < n && demand_values[k] >= supply_costs[k]) {
+    eq.max_surplus += demand_values[k] - supply_costs[k];
+    ++k;
+  }
+  eq.quantity = static_cast<double>(k);
+  if (k == 0) {
+    // No trade possible; reference price between best ask and best bid.
+    eq.price = supply_costs.empty() || demand_values.empty()
+                   ? 0.0
+                   : (supply_costs.front() + demand_values.front()) / 2.0;
+  } else {
+    // Any price between the marginal traded pair clears; take the midpoint.
+    eq.price = (supply_costs[k - 1] + demand_values[k - 1]) / 2.0;
+  }
+  return eq;
+}
+
+Exchange::Exchange(std::uint64_t seed) : rng_(seed) {}
+
+int Exchange::add_agent(std::unique_ptr<Agent> agent) {
+  const int id = static_cast<int>(agents_.size());
+  agent->set_id(id);
+  agents_.push_back(std::move(agent));
+  return id;
+}
+
+void Exchange::run_rounds(int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    // Random activation order each round (no structural advantage).
+    std::vector<int> order(agents_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+    for (const int id : order) agents_[static_cast<std::size_t>(id)]->step(*this, rng_);
+
+    // Settle the round's fills.
+    const std::vector<Trade> trades = book_.take_trades();
+    double volume = 0.0;
+    double notional = 0.0;
+    for (const Trade& t : trades) {
+      agents_[static_cast<std::size_t>(t.buyer)]->on_fill(t, true);
+      agents_[static_cast<std::size_t>(t.seller)]->on_fill(t, false);
+      volume += t.quantity;
+      notional += t.quantity * t.price;
+      all_trades_.push_back(t);
+    }
+    total_volume_ += volume;
+    const double price = volume > 0.0 ? notional / volume
+                                      : (round_prices_.empty() ? 0.0 : round_prices_.back());
+    round_prices_.push_back(price);
+    round_volumes_.push_back(volume);
+  }
+}
+
+double Exchange::cash_imbalance() const {
+  double sum = 0.0;
+  for (const auto& a : agents_) sum += a->cash();
+  return sum;
+}
+
+}  // namespace hpc::market

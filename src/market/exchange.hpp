@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "market/agents.hpp"
+#include "market/orderbook.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+/// \file exchange.hpp
+/// The Open Compute Exchange: an order book plus a population of trading
+/// agents, run in rounds.  Settlement is zero-sum in cash (the paper frames
+/// the underlying economic model as "a non-cooperative, zero-summed game,
+/// that eventually reaches equilibrium" — experiment C8 measures whether the
+/// simulated market actually does).
+
+namespace hpc::market {
+
+/// Competitive-equilibrium reference point from supply costs and demand
+/// valuations (one unit each): the price where supply meets demand and the
+/// number of units that trade under perfect competition.
+struct EquilibriumPoint {
+  double price = 0.0;
+  double quantity = 0.0;   ///< units that should trade
+  double max_surplus = 0.0;///< total gains from trade at the optimum
+};
+
+/// Computes the competitive equilibrium of unit supply/demand curves.
+EquilibriumPoint competitive_equilibrium(std::vector<double> supply_costs,
+                                         std::vector<double> demand_values);
+
+/// Market session driver.
+class Exchange {
+ public:
+  explicit Exchange(std::uint64_t seed = 7);
+
+  /// Registers an agent; the exchange assigns and returns its id.
+  int add_agent(std::unique_ptr<Agent> agent);
+
+  OrderBook& book() noexcept { return book_; }
+  const OrderBook& book() const noexcept { return book_; }
+
+  Agent& agent(int id) { return *agents_[static_cast<std::size_t>(id)]; }
+  std::size_t agent_count() const noexcept { return agents_.size(); }
+
+  /// Runs \p rounds trading rounds: each round steps agents in a random
+  /// order, then routes fills to both counterparties.
+  void run_rounds(int rounds);
+
+  /// Volume-weighted mean trade price of each completed round (rounds with
+  /// no trades repeat the previous price; leading empty rounds record 0).
+  const std::vector<double>& round_prices() const noexcept { return round_prices_; }
+  const std::vector<double>& round_volumes() const noexcept { return round_volumes_; }
+
+  double total_volume() const noexcept { return total_volume_; }
+  double last_price() const noexcept {
+    return round_prices_.empty() ? 0.0 : round_prices_.back();
+  }
+
+  /// Sum of all agents' cash — ~0 by construction (zero-sum settlement).
+  double cash_imbalance() const;
+
+  /// Realized gains from trade: sum over trades of (buyer value - seller
+  /// cost) is not observable here; exposed as traded volume x price spread
+  /// via the ledger kept by the agents themselves.  The C8 bench computes
+  /// allocative efficiency from agent totals instead.
+  const std::vector<Trade>& all_trades() const noexcept { return all_trades_; }
+
+ private:
+  OrderBook book_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<double> round_prices_;
+  std::vector<double> round_volumes_;
+  std::vector<Trade> all_trades_;
+  double total_volume_ = 0.0;
+  sim::Rng rng_;
+};
+
+}  // namespace hpc::market

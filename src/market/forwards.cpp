@@ -1,0 +1,69 @@
+#include "market/forwards.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::market {
+
+int ForwardBook::add(const ForwardContract& contract) {
+  open_.push_back(contract);
+  return static_cast<int>(open_.size()) - 1;
+}
+
+std::vector<ForwardContract> ForwardBook::settle(int round, double spot) {
+  std::vector<ForwardContract> settled;
+  for (std::size_t i = 0; i < open_.size();) {
+    if (open_[i].delivery_round == round) {
+      const ForwardContract c = open_[i];
+      const double payoff = c.buyer_payoff(spot);
+      cash_.emplace_back(c.buyer, payoff);
+      cash_.emplace_back(c.seller, -payoff);
+      settled.push_back(c);
+      open_[i] = open_.back();
+      open_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  return settled;
+}
+
+double ForwardBook::cash(int agent) const {
+  double total = 0.0;
+  for (const auto& [a, delta] : cash_)
+    if (a == agent) total += delta;
+  return total;
+}
+
+double ForwardBook::imbalance() const {
+  double total = 0.0;
+  for (const auto& [a, delta] : cash_) total += delta;
+  return total;
+}
+
+HedgeOutcome evaluate_hedge(double spot0, double sigma, int rounds, double quantity,
+                            int trials, sim::Rng& rng) {
+  sim::RunningStats unhedged;
+  sim::RunningStats hedged;
+  for (int t = 0; t < trials; ++t) {
+    // Geometric random walk without drift: today's fair forward strike is
+    // spot0 itself.
+    double spot = spot0;
+    for (int r = 0; r < rounds; ++r)
+      spot *= std::exp(rng.normal(0.0, sigma) - 0.5 * sigma * sigma);
+
+    const double cost_unhedged = spot * quantity;
+    // Hedged: buy at spot, receive the forward payoff (spot - strike) * q
+    // => effective cost = strike * q, independent of the path.
+    ForwardBook book;
+    book.add({/*buyer=*/0, /*seller=*/1, spot0, quantity, rounds});
+    book.settle(rounds, spot);
+    const double cost_hedged = spot * quantity - book.cash(0);
+
+    unhedged.push(cost_unhedged);
+    hedged.push(cost_hedged);
+  }
+  return {unhedged.mean(), unhedged.stddev(), hedged.mean(), hedged.stddev()};
+}
+
+}  // namespace hpc::market

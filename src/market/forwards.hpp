@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+/// \file forwards.hpp
+/// Forward contracts on compute capacity (paper Section III.F: the new
+/// exchange economy enables "consumer and provider market orders strategies,
+/// third-party brokers, technology speculators and future HPC architectures
+/// risk hedging").
+///
+/// A forward locks a price today for node-hours delivered at a future round.
+/// Settlement is cash-settled against the spot price at delivery — zero-sum
+/// by construction.  The canonical use: a consumer with a known future
+/// campaign hedges against spot volatility.
+
+namespace hpc::market {
+
+/// One cash-settled forward contract.
+struct ForwardContract {
+  int buyer = 0;            ///< agent locking the purchase price
+  int seller = 0;
+  double strike = 0.0;      ///< $ per node-hour agreed today
+  double quantity = 0.0;    ///< node-hours
+  int delivery_round = 0;
+
+  /// Cash the buyer receives at settlement (negative = pays): the buyer
+  /// profits when spot ends above the strike.
+  double buyer_payoff(double spot) const noexcept { return (spot - strike) * quantity; }
+};
+
+/// Settlement book: registers forwards and settles them against spot fixes.
+class ForwardBook {
+ public:
+  /// Registers a contract; returns its id.
+  int add(const ForwardContract& contract);
+
+  /// Settles every contract with delivery_round == round at \p spot.
+  /// Returns the settled contracts (cash already attributed via payoffs()).
+  std::vector<ForwardContract> settle(int round, double spot);
+
+  /// Net cash position of an agent across all settlements so far.
+  double cash(int agent) const;
+
+  /// Sum of all agents' cash — 0 by construction.
+  double imbalance() const;
+
+  std::size_t open_contracts() const noexcept { return open_.size(); }
+
+ private:
+  std::vector<ForwardContract> open_;
+  std::vector<std::pair<int, double>> cash_;  // agent, delta
+};
+
+/// Hedging experiment: a consumer must buy \p quantity node-hours at a future
+/// round under a stochastic spot-price path.  Compares the effective price
+/// paid unhedged (pure spot) vs hedged (a forward at today's fair strike).
+struct HedgeOutcome {
+  double mean_unhedged = 0.0;
+  double stdev_unhedged = 0.0;
+  double mean_hedged = 0.0;
+  double stdev_hedged = 0.0;   ///< ~0: the hedge removes price risk
+};
+
+/// Simulates \p trials independent geometric-random-walk spot paths of
+/// \p rounds steps starting at \p spot0 with per-round volatility \p sigma.
+HedgeOutcome evaluate_hedge(double spot0, double sigma, int rounds, double quantity,
+                            int trials, sim::Rng& rng);
+
+}  // namespace hpc::market

@@ -1,0 +1,109 @@
+#include "market/orderbook.hpp"
+
+#include <algorithm>
+
+namespace hpc::market {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+int OrderBook::submit(int agent, Side side, double price, double quantity) {
+  Order incoming{next_id_++, agent, side, price, quantity, next_seq_++};
+
+  auto cross = [&](auto& book, auto pricable) {
+    while (incoming.quantity > kEps && !book.empty()) {
+      auto level = book.begin();
+      if (!pricable(level->first)) break;
+      auto& queue = level->second;
+      Order& resting = queue.front();
+      const double qty = std::min(incoming.quantity, resting.quantity);
+      Trade t;
+      t.buyer = incoming.side == Side::kBid ? incoming.agent : resting.agent;
+      t.seller = incoming.side == Side::kAsk ? incoming.agent : resting.agent;
+      t.price = resting.price;  // resting order sets the price
+      t.quantity = qty;
+      t.seq = next_seq_++;
+      trades_.push_back(t);
+      last_price_ = t.price;
+      incoming.quantity -= qty;
+      resting.quantity -= qty;
+      if (resting.quantity <= kEps) {
+        queue.erase(queue.begin());
+        if (queue.empty()) book.erase(level);
+      }
+    }
+  };
+
+  if (side == Side::kBid) {
+    cross(asks_, [&](double ask) { return ask <= price + kEps; });
+    if (incoming.quantity > kEps) bids_[price].push_back(incoming);
+  } else {
+    cross(bids_, [&](double bid) { return bid >= price - kEps; });
+    if (incoming.quantity > kEps) asks_[price].push_back(incoming);
+  }
+  return incoming.id;
+}
+
+bool OrderBook::cancel(int order_id) {
+  auto scan = [&](auto& book) {
+    for (auto it = book.begin(); it != book.end(); ++it) {
+      auto& queue = it->second;
+      for (auto oit = queue.begin(); oit != queue.end(); ++oit) {
+        if (oit->id == order_id) {
+          queue.erase(oit);
+          if (queue.empty()) book.erase(it);
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  return scan(bids_) || scan(asks_);
+}
+
+std::vector<Trade> OrderBook::take_trades() {
+  std::vector<Trade> out;
+  out.swap(trades_);
+  return out;
+}
+
+std::optional<double> OrderBook::best_bid() const {
+  if (bids_.empty()) return std::nullopt;
+  return bids_.begin()->first;
+}
+
+std::optional<double> OrderBook::best_ask() const {
+  if (asks_.empty()) return std::nullopt;
+  return asks_.begin()->first;
+}
+
+std::optional<double> OrderBook::mid() const {
+  const auto b = best_bid();
+  const auto a = best_ask();
+  if (b && a) return (*b + *a) / 2.0;
+  if (b) return b;
+  if (a) return a;
+  return std::nullopt;
+}
+
+double OrderBook::depth(Side side) const {
+  double total = 0.0;
+  if (side == Side::kBid) {
+    for (const auto& [price, queue] : bids_)
+      for (const Order& o : queue) total += o.quantity;
+  } else {
+    for (const auto& [price, queue] : asks_)
+      for (const Order& o : queue) total += o.quantity;
+  }
+  return total;
+}
+
+std::size_t OrderBook::open_orders() const {
+  std::size_t n = 0;
+  for (const auto& [price, queue] : bids_) n += queue.size();
+  for (const auto& [price, queue] : asks_) n += queue.size();
+  return n;
+}
+
+}  // namespace hpc::market

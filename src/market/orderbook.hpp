@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+/// \file orderbook.hpp
+/// Price-time-priority limit order book for the Open Compute Exchange
+/// (Section III.F: "in many ways similar to existing commodity exchange
+/// (e.g., the Chicago Mercantile)").  The traded good is a node-hour of
+/// compute capacity; prices are $/node-hour.
+
+namespace hpc::market {
+
+/// Order side.
+enum class Side : std::uint8_t { kBid, kAsk };
+
+/// A resting or incoming limit order.
+struct Order {
+  int id = 0;
+  int agent = 0;
+  Side side = Side::kBid;
+  double price = 0.0;
+  double quantity = 0.0;   ///< node-hours remaining
+  std::uint64_t seq = 0;   ///< arrival sequence (time priority)
+};
+
+/// An executed trade.
+struct Trade {
+  int buyer = 0;     ///< agent id
+  int seller = 0;    ///< agent id
+  double price = 0.0;
+  double quantity = 0.0;
+  std::uint64_t seq = 0;  ///< matching sequence
+};
+
+/// Central limit order book with continuous matching.
+class OrderBook {
+ public:
+  /// Submits a limit order; crosses immediately against the opposite side at
+  /// resting-order prices (price-time priority); any remainder rests.
+  /// Returns the order id (usable with cancel() while any part rests).
+  int submit(int agent, Side side, double price, double quantity);
+
+  /// Cancels a resting order by id; returns false if not found (fully filled
+  /// or already cancelled).
+  bool cancel(int order_id);
+
+  /// Drains the trades executed since the last call.
+  std::vector<Trade> take_trades();
+
+  std::optional<double> best_bid() const;
+  std::optional<double> best_ask() const;
+  /// Mid price if both sides quoted, else whichever side exists, else nullopt.
+  std::optional<double> mid() const;
+
+  /// Total resting quantity on a side.
+  double depth(Side side) const;
+  std::size_t open_orders() const;
+
+  /// Price of the most recent trade (nullopt before the first trade).
+  std::optional<double> last_trade_price() const { return last_price_; }
+
+ private:
+  // Bids: highest price first; asks: lowest price first.  Each level holds a
+  // FIFO of orders.
+  std::map<double, std::vector<Order>, std::greater<double>> bids_;
+  std::map<double, std::vector<Order>> asks_;
+  std::vector<Trade> trades_;
+  std::optional<double> last_price_;
+  int next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace hpc::market

@@ -1,0 +1,59 @@
+#include "mem/datamove.hpp"
+
+namespace hpc::mem {
+
+namespace {
+constexpr double kGb = 1e9;
+}
+
+double copy_pipeline_ns(const FabricPool& pool, double input_gb,
+                        const std::vector<PipelineStage>& stages) {
+  double t = 0.0;
+  double gb = input_gb;
+  for (const PipelineStage& s : stages) {
+    t += bulk_read_ns(pool, gb * kGb);            // fetch input
+    t += s.compute_ns_per_gb * gb;                // process locally
+    const double out_gb = gb * s.selectivity;
+    t += bulk_read_ns(pool, out_gb * kGb);        // write result back
+    gb = out_gb;
+  }
+  return t;
+}
+
+double memory_driven_pipeline_ns(const FabricPool& pool, double input_gb,
+                                 const std::vector<PipelineStage>& stages) {
+  double t = 0.0;
+  double gb = input_gb;
+  for (const PipelineStage& s : stages) {
+    // Stream once over the fabric; intermediates stay in the pool by
+    // reference, so no write-back transfer.
+    t += bulk_read_ns(pool, gb * kGb);
+    t += s.compute_ns_per_gb * gb;
+    gb *= s.selectivity;
+  }
+  return t;
+}
+
+double copy_pipeline_bytes(double input_gb, const std::vector<PipelineStage>& stages) {
+  double bytes = 0.0;
+  double gb = input_gb;
+  for (const PipelineStage& s : stages) {
+    bytes += gb * kGb;
+    gb *= s.selectivity;
+    bytes += gb * kGb;
+  }
+  return bytes;
+}
+
+double memory_driven_pipeline_bytes(double input_gb,
+                                    const std::vector<PipelineStage>& stages) {
+  double bytes = 0.0;
+  double gb = input_gb;
+  for (const PipelineStage& s : stages) {
+    bytes += gb * kGb;
+    gb *= s.selectivity;
+  }
+  return bytes;
+}
+
+}  // namespace hpc::mem

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "mem/fabric.hpp"
+#include "mem/tier.hpp"
+
+/// \file datamove.hpp
+/// Data-movement accounting and the memory-driven-computing comparison
+/// (Section III.D: "moving data across hierarchies of computation and
+/// memory/storage has a dominant cost"; [24][25][26] revisit computing in
+/// memory).  Experiment C12 uses these models.
+
+namespace hpc::mem {
+
+/// One stage of a processing pipeline over a shared dataset.
+struct PipelineStage {
+  double compute_ns_per_gb = 1e6;  ///< processing time per GB of input
+  double selectivity = 1.0;        ///< output bytes / input bytes
+};
+
+/// Copy-based pipeline: every stage reads its input from the pool, processes
+/// locally, and writes its output back (2 transfers per stage).
+double copy_pipeline_ns(const FabricPool& pool, double input_gb,
+                        const std::vector<PipelineStage>& stages);
+
+/// Memory-driven pipeline: data stays in the fabric-attached pool; stages
+/// operate in place over the fabric (streaming read once per stage, no
+/// write-back of intermediates — stages pass data by reference).
+double memory_driven_pipeline_ns(const FabricPool& pool, double input_gb,
+                                 const std::vector<PipelineStage>& stages);
+
+/// Bytes moved over the fabric by each variant (for the bytes-moved column).
+double copy_pipeline_bytes(double input_gb, const std::vector<PipelineStage>& stages);
+double memory_driven_pipeline_bytes(double input_gb,
+                                    const std::vector<PipelineStage>& stages);
+
+}  // namespace hpc::mem

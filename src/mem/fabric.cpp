@@ -1,0 +1,28 @@
+#include "mem/fabric.hpp"
+
+#include <algorithm>
+
+namespace hpc::mem {
+
+double load_latency_ns(const FabricPool& pool) noexcept {
+  const net::LinkType t = net::link_type(pool.link);
+  // Round trip per hop (request + response) plus media access.
+  return 2.0 * t.latency_ns * pool.fabric_hops + pool.tier.latency_ns;
+}
+
+double stream_bandwidth_gbs(const FabricPool& pool) noexcept {
+  const net::LinkType t = net::link_type(pool.link);
+  return std::min(t.bandwidth_gbs, pool.tier.bandwidth_gbs);
+}
+
+double bulk_read_ns(const FabricPool& pool, double bytes) noexcept {
+  if (bytes <= 0.0) return 0.0;
+  return load_latency_ns(pool) + bytes / stream_bandwidth_gbs(pool);
+}
+
+double pointer_chase_slowdown(const FabricPool& pool) noexcept {
+  const MemoryTier local = dram_tier();
+  return load_latency_ns(pool) / local.latency_ns;
+}
+
+}  // namespace hpc::mem

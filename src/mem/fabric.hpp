@@ -1,0 +1,35 @@
+#pragma once
+
+#include "mem/tier.hpp"
+#include "net/link.hpp"
+
+/// \file fabric.hpp
+/// Fabric-attached memory (Section II.B / III.C): a memory pool reached over
+/// a device-level interconnect.  Quantifies the paper's claim that "PCIe
+/// latencies are far too high for memory access" while CXL/Gen-Z-class links
+/// make disaggregated, globally accessible memory viable.
+
+namespace hpc::mem {
+
+/// A remote memory pool behind a link.
+struct FabricPool {
+  MemoryTier tier = pmem_tier();
+  net::LinkClass link = net::LinkClass::kCxl;
+  int fabric_hops = 1;  ///< switches traversed to reach the pool
+};
+
+/// Latency of one dependent load/store (cacheline): round trip over the link
+/// per hop plus the media latency.  This is what pointer-chasing sees.
+double load_latency_ns(const FabricPool& pool) noexcept;
+
+/// Streaming bandwidth to the pool: min(link, media) bandwidth.
+double stream_bandwidth_gbs(const FabricPool& pool) noexcept;
+
+/// Time to stream \p bytes from the pool.
+double bulk_read_ns(const FabricPool& pool, double bytes) noexcept;
+
+/// Slowdown factor of a pointer-chasing workload using the pool instead of
+/// local DRAM (ratio of dependent-load latencies).
+double pointer_chase_slowdown(const FabricPool& pool) noexcept;
+
+}  // namespace hpc::mem

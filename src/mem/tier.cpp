@@ -1,0 +1,57 @@
+#include "mem/tier.hpp"
+
+#include <string_view>
+
+namespace hpc::mem {
+
+std::string_view name_of(TierKind k) noexcept {
+  switch (k) {
+    case TierKind::kHbm: return "hbm";
+    case TierKind::kDram: return "dram";
+    case TierKind::kPmem: return "pmem";
+    case TierKind::kSsd: return "ssd";
+    case TierKind::kHdd: return "hdd";
+  }
+  return "dram";
+}
+
+MemoryTier hbm_tier() { return {TierKind::kHbm, 110.0, 2'000.0, 80.0, 25.0, true, false}; }
+MemoryTier dram_tier() { return {TierKind::kDram, 90.0, 205.0, 512.0, 4.0, true, false}; }
+MemoryTier pmem_tier() { return {TierKind::kPmem, 300.0, 40.0, 4'096.0, 1.5, true, true}; }
+MemoryTier ssd_tier() { return {TierKind::kSsd, 80'000.0, 7.0, 16'384.0, 0.1, false, true}; }
+
+double stream_time_ns(const MemoryTier& tier, double bytes) noexcept {
+  if (bytes <= 0.0) return 0.0;
+  return tier.latency_ns + bytes / tier.bandwidth_gbs;
+}
+
+double random_access_time_ns(const MemoryTier& tier, double accesses) noexcept {
+  // Allow modest overlap of outstanding requests (MLP of ~4 for DRAM-class).
+  const double overlap = tier.byte_addressable ? 4.0 : 1.0;
+  return accesses * tier.latency_ns / overlap;
+}
+
+std::size_t Hierarchy::place(double gb) const noexcept {
+  for (std::size_t i = 0; i < tiers_.size(); ++i)
+    if (gb <= tiers_[i].capacity_gb) return i;
+  return tiers_.empty() ? 0 : tiers_.size() - 1;
+}
+
+double Hierarchy::stream_time_ns(double bytes) const noexcept {
+  if (tiers_.empty()) return 0.0;
+  return mem::stream_time_ns(tiers_[place(bytes / 1e9)], bytes);
+}
+
+double Hierarchy::total_capacity_gb() const noexcept {
+  double total = 0.0;
+  for (const auto& t : tiers_) total += t.capacity_gb;
+  return total;
+}
+
+double Hierarchy::total_cost_usd() const noexcept {
+  double total = 0.0;
+  for (const auto& t : tiers_) total += t.capacity_gb * t.cost_per_gb;
+  return total;
+}
+
+}  // namespace hpc::mem

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file tier.hpp
+/// Memory/storage tiers.  The paper's Figure 2 design "separates persistent
+/// memory, the first storage tier, from processing" — tiers here carry the
+/// latency/bandwidth/capacity/cost points that argument rests on.
+
+namespace hpc::mem {
+
+/// Technology class of a memory tier.
+enum class TierKind : std::uint8_t { kHbm, kDram, kPmem, kSsd, kHdd };
+
+std::string_view name_of(TierKind k) noexcept;
+
+/// Datasheet of one tier.
+struct MemoryTier {
+  TierKind kind = TierKind::kDram;
+  double latency_ns = 90.0;     ///< random-access latency
+  double bandwidth_gbs = 200.0; ///< streaming bandwidth
+  double capacity_gb = 512.0;
+  double cost_per_gb = 4.0;
+  bool byte_addressable = true; ///< load/store vs block I/O
+  bool persistent = false;
+};
+
+/// Calibrated tier datasheets (2020-class parts).
+MemoryTier hbm_tier();
+MemoryTier dram_tier();
+MemoryTier pmem_tier();   ///< fabric-attachable persistent memory
+MemoryTier ssd_tier();
+
+/// Streaming access time for \p bytes resident in \p tier.
+double stream_time_ns(const MemoryTier& tier, double bytes) noexcept;
+
+/// Random access time for \p accesses cacheline-sized touches.
+double random_access_time_ns(const MemoryTier& tier, double accesses) noexcept;
+
+/// An ordered local hierarchy (fastest first) with capacity-aware placement.
+class Hierarchy {
+ public:
+  explicit Hierarchy(std::vector<MemoryTier> tiers) : tiers_(std::move(tiers)) {}
+
+  const std::vector<MemoryTier>& tiers() const noexcept { return tiers_; }
+
+  /// Index of the fastest tier that can hold \p gb (falls through to the
+  /// last tier if nothing fits).
+  std::size_t place(double gb) const noexcept;
+
+  /// Streaming time for \p bytes placed greedily by place().
+  double stream_time_ns(double bytes) const noexcept;
+
+  double total_capacity_gb() const noexcept;
+  double total_cost_usd() const noexcept;
+
+ private:
+  std::vector<MemoryTier> tiers_;
+};
+
+}  // namespace hpc::mem

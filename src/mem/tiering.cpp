@@ -1,0 +1,46 @@
+#include "mem/tiering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::mem {
+
+std::string_view name_of(TieringPolicy p) noexcept {
+  switch (p) {
+    case TieringPolicy::kStatic: return "static";
+    case TieringPolicy::kHotCold: return "hot-cold";
+  }
+  return "static";
+}
+
+TieringOutcome evaluate_tiering(const MemoryTier& fast, const MemoryTier& slow,
+                                double working_set_gb, double fast_capacity_gb,
+                                double zipf_s, TieringPolicy policy,
+                                std::int64_t pages) {
+  TieringOutcome out;
+  const double fit = std::clamp(fast_capacity_gb / working_set_gb, 0.0, 1.0);
+  const auto fast_pages = static_cast<std::int64_t>(fit * static_cast<double>(pages));
+
+  if (policy == TieringPolicy::kStatic || zipf_s <= 0.0) {
+    // Without popularity knowledge every page is equally likely to be fast.
+    out.fast_hit_rate = fit;
+  } else {
+    // Zipf mass of the hottest `fast_pages` pages.
+    double hot_mass = 0.0;
+    double total_mass = 0.0;
+    for (std::int64_t k = 1; k <= pages; ++k) {
+      const double mass = 1.0 / std::pow(static_cast<double>(k), zipf_s);
+      total_mass += mass;
+      if (k <= fast_pages) hot_mass += mass;
+    }
+    out.fast_hit_rate = total_mass > 0.0 ? hot_mass / total_mass : 0.0;
+  }
+
+  const double fast_ns = fast.latency_ns;
+  const double slow_ns = slow.latency_ns;
+  out.mean_access_ns = out.fast_hit_rate * fast_ns + (1.0 - out.fast_hit_rate) * slow_ns;
+  out.slowdown_vs_all_fast = out.mean_access_ns / fast_ns;
+  return out;
+}
+
+}  // namespace hpc::mem

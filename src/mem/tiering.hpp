@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "mem/tier.hpp"
+
+/// \file tiering.hpp
+/// Multi-tier placement policies (paper Section III.D: data-centric runtimes
+/// "map more easily to complex, multi-level, memory hierarchies").  A working
+/// set with skewed (Zipf) page popularity is split between a small fast tier
+/// and a large slow tier; the policy decides which pages live where.
+
+namespace hpc::mem {
+
+/// Placement policy for the fast tier.
+enum class TieringPolicy : std::uint8_t {
+  kStatic,   ///< pages placed without popularity knowledge (uniform random)
+  kHotCold,  ///< popularity-aware: the hottest pages occupy the fast tier
+};
+
+std::string_view name_of(TieringPolicy p) noexcept;
+
+/// Outcome of running an access stream against a two-tier placement.
+struct TieringOutcome {
+  double fast_hit_rate = 0.0;       ///< fraction of accesses served fast
+  double mean_access_ns = 0.0;      ///< expected random-access latency
+  double slowdown_vs_all_fast = 1.0;///< vs an (unaffordable) all-fast system
+};
+
+/// Evaluates a placement analytically from sampled Zipf access mass.
+/// \param fast, slow       the two tiers
+/// \param working_set_gb   total data
+/// \param fast_capacity_gb capacity of the fast tier (< working set)
+/// \param zipf_s           access skew (0 = uniform; ~1 typical)
+/// \param pages            page granularity count for the popularity model
+TieringOutcome evaluate_tiering(const MemoryTier& fast, const MemoryTier& slow,
+                                double working_set_gb, double fast_capacity_gb,
+                                double zipf_s, TieringPolicy policy,
+                                std::int64_t pages = 4'096);
+
+}  // namespace hpc::mem

@@ -1,0 +1,78 @@
+#include "net/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::net {
+
+double ring_allreduce_ns(const Network& net, const std::vector<int>& ranks, double bytes) {
+  const std::size_t n = ranks.size();
+  if (n < 2) return 0.0;
+  const double chunk = bytes / static_cast<double>(n);
+  double step = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int src = ranks[i];
+    const int dst = ranks[(i + 1) % n];
+    step = std::max(step, net.message_latency_ns(src, dst, chunk));
+  }
+  return 2.0 * static_cast<double>(n - 1) * step;
+}
+
+double ring_reduce_scatter_ns(const Network& net, const std::vector<int>& ranks,
+                              double bytes) {
+  const std::size_t n = ranks.size();
+  if (n < 2) return 0.0;
+  const double chunk = bytes / static_cast<double>(n);
+  double step = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    step = std::max(step, net.message_latency_ns(ranks[i], ranks[(i + 1) % n], chunk));
+  return static_cast<double>(n - 1) * step;
+}
+
+double tree_broadcast_ns(const Network& net, const std::vector<int>& ranks, double bytes) {
+  const std::size_t n = ranks.size();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  // Round r: ranks [0, 2^r) send to ranks [2^r, 2^{r+1}).
+  for (std::size_t informed = 1; informed < n; informed *= 2) {
+    double round = 0.0;
+    for (std::size_t i = 0; i < informed && informed + i < n; ++i)
+      round = std::max(round, net.message_latency_ns(ranks[i], ranks[informed + i], bytes));
+    total += round;
+  }
+  return total;
+}
+
+double barrier_ns(const Network& net, const std::vector<int>& ranks) {
+  const std::size_t n = ranks.size();
+  if (n < 2) return 0.0;
+  const int rounds = static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
+  double total = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    const std::size_t stride = static_cast<std::size_t>(1) << r;
+    double round = 0.0;
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride)
+      round = std::max(round, net.message_latency_ns(ranks[i], ranks[i + stride], 64.0));
+    total += round;
+  }
+  return 2.0 * total;  // reduce + broadcast phases
+}
+
+double alltoall_ns(const Network& net, const std::vector<int>& ranks,
+                   double bytes_per_pair, CongestionControl cc) {
+  FlowSim sim(net, cc);
+  for (const int a : ranks)
+    for (const int b : ranks)
+      if (a != b) sim.add_flow(FlowSpec{a, b, bytes_per_pair, 0, 0});
+  return sim.run().makespan_ns;
+}
+
+double alltoall_per_rank_bandwidth_gbs(const Network& net, const std::vector<int>& ranks,
+                                       double bytes_per_pair, CongestionControl cc) {
+  const double t = alltoall_ns(net, ranks, bytes_per_pair, cc);
+  if (t <= 0.0 || ranks.size() < 2) return 0.0;
+  const double per_rank_bytes = bytes_per_pair * static_cast<double>(ranks.size() - 1);
+  return per_rank_bytes / t;  // bytes/ns == GB/s
+}
+
+}  // namespace hpc::net

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "net/flowsim.hpp"
+#include "net/network.hpp"
+
+/// \file collectives.hpp
+/// Cost models for the collective operations HPC/AI workloads lean on —
+/// the paper singles out "bulk-data all-reduction operations used in
+/// training" as the pattern future fabrics must offload (Section III.C).
+
+namespace hpc::net {
+
+/// Ring all-reduce of \p bytes across \p ranks (endpoint ids):
+/// 2(n-1) steps, each moving bytes/n between ring neighbours; per-step cost
+/// is the slowest neighbour transfer.
+double ring_allreduce_ns(const Network& net, const std::vector<int>& ranks, double bytes);
+
+/// Ring reduce-scatter: the first (n-1) steps of the ring all-reduce — each
+/// rank ends with its reduced shard of bytes/n.
+double ring_reduce_scatter_ns(const Network& net, const std::vector<int>& ranks,
+                              double bytes);
+
+/// Binomial-tree broadcast of \p bytes from ranks[0]: ceil(log2 n) rounds,
+/// each round the set of informed ranks doubles; per-round cost is the
+/// slowest active pair.
+double tree_broadcast_ns(const Network& net, const std::vector<int>& ranks, double bytes);
+
+/// Binomial-tree barrier: ceil(log2 n) rounds of 64-byte control messages;
+/// each round costs the slowest participating pair.
+double barrier_ns(const Network& net, const std::vector<int>& ranks);
+
+/// All-to-all personalized exchange of \p bytes_per_pair between every
+/// ordered pair, simulated with the fluid flow model; returns the makespan.
+double alltoall_ns(const Network& net, const std::vector<int>& ranks,
+                   double bytes_per_pair,
+                   CongestionControl cc = CongestionControl::kFlowBased);
+
+/// Effective per-rank bandwidth (GB/s) achieved during that all-to-all —
+/// the "global bandwidth under load" metric from Section II.B.
+double alltoall_per_rank_bandwidth_gbs(const Network& net, const std::vector<int>& ranks,
+                                       double bytes_per_pair,
+                                       CongestionControl cc = CongestionControl::kFlowBased);
+
+}  // namespace hpc::net

@@ -1,0 +1,298 @@
+#include "net/flowsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace hpc::net {
+
+sim::Sampler FlowRunSummary::fct_sampler(int tag) const {
+  sim::Sampler s;
+  for (const FlowResult& f : flows)
+    if (tag < 0 || f.spec.tag == tag) s.push(f.fct_ns);
+  return s;
+}
+
+FlowSim::FlowSim(const Network& net, CongestionControl cc, Routing routing,
+                 std::uint64_t seed, double tree_degradation)
+    : net_(net), cc_(cc), routing_(routing), rng_(seed),
+      tree_degradation_(tree_degradation) {}
+
+void FlowSim::add_flow(const FlowSpec& spec) { pending_.push_back(spec); }
+
+int FlowSim::path_load(const std::vector<int>& path) const {
+  int worst = 0;
+  for (const int lid : path)
+    worst = std::max(worst, link_load_[static_cast<std::size_t>(lid)]);
+  return worst;
+}
+
+std::vector<int> FlowSim::pick_path(int src, int dst) {
+  if (src == dst) return {};
+  if (routing_ == Routing::kMinimal) return net_.route(src, dst);
+
+  // Random intermediate switch for the misrouted candidate.
+  std::vector<int> switches;
+  for (std::size_t v = 0; v < net_.node_count(); ++v)
+    if (net_.role(static_cast<int>(v)) == NodeRole::kSwitch)
+      switches.push_back(static_cast<int>(v));
+  if (switches.empty()) return net_.route(src, dst);
+  const int mid = switches[rng_.index(switches.size())];
+  std::vector<int> detour = net_.route_via(src, mid, dst);
+  if (routing_ == Routing::kValiant) return detour;
+
+  // kAdaptive (UGAL-lite): prefer minimal unless its instantaneous load is
+  // at least twice the probed detour's (the classic 2x bias accounts for the
+  // detour being ~twice as long).
+  std::vector<int> minimal = net_.route(src, dst);
+  if (link_load_.size() != net_.link_count())
+    link_load_.assign(net_.link_count(), 0);
+  if (path_load(minimal) >= 2 * path_load(detour) + 2) return detour;
+  return minimal;
+}
+
+namespace {
+
+/// Progressive-filling weighted max-min fair allocation.
+/// \param paths     per-flow directed-link-id paths
+/// \param capacity  per-link capacity in GB/s
+/// \param weights   per-flow fair-share weights (>= small positive)
+/// \param rate_cap  optional per-flow rate ceiling (<=0 means none)
+/// \returns per-flow rates (flows with empty paths get +inf)
+std::vector<double> maxmin_rates(const std::vector<const std::vector<int>*>& paths,
+                                 const std::vector<double>& capacity,
+                                 const std::vector<double>& weights,
+                                 const std::vector<double>* rate_cap = nullptr) {
+  const std::size_t nf = paths.size();
+  std::vector<double> rate(nf, std::numeric_limits<double>::infinity());
+  std::vector<double> rem = capacity;
+  std::vector<double> weight_sum(capacity.size(), 0.0);
+  std::vector<int> count(capacity.size(), 0);
+  std::vector<bool> fixed(nf, false);
+
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (paths[f]->empty()) {
+      fixed[f] = true;  // src == dst: no network constraint
+      continue;
+    }
+    for (const int lid : *paths[f]) {
+      weight_sum[static_cast<std::size_t>(lid)] += weights[f];
+      ++count[static_cast<std::size_t>(lid)];
+    }
+  }
+
+  // Progressive filling on the *unit share* (rate per unit weight): at each
+  // round the binding constraint is either a link's unit share or some
+  // capped flow whose ceiling divided by its weight is tighter.  The unit
+  // share is non-decreasing round over round in exact arithmetic; enforcing
+  // that monotonicity (last_unit clamp) keeps floating-point drift from
+  // producing zero or negative rates on ties.
+  double last_unit = 0.0;
+  while (true) {
+    double best_unit = std::numeric_limits<double>::infinity();
+    int best_link = -1;
+    for (std::size_t l = 0; l < rem.size(); ++l) {
+      if (count[l] > 0 && weight_sum[l] > 0.0) {
+        const double unit = std::max(rem[l] / weight_sum[l], last_unit);
+        if (unit < best_unit) {
+          best_unit = unit;
+          best_link = static_cast<int>(l);
+        }
+      }
+    }
+    int best_flow = -1;
+    if (rate_cap) {
+      for (std::size_t f = 0; f < nf; ++f)
+        if (!fixed[f] && (*rate_cap)[f] > 0.0 && (*rate_cap)[f] / weights[f] < best_unit) {
+          best_unit = (*rate_cap)[f] / weights[f];
+          best_flow = static_cast<int>(f);
+          best_link = -1;
+        }
+    }
+    if (best_link < 0 && best_flow < 0) break;
+    last_unit = best_unit;
+
+    auto fix_flow = [&](std::size_t f) {
+      rate[f] = best_unit * weights[f];
+      fixed[f] = true;
+      for (const int lid : *paths[f]) {
+        const auto l = static_cast<std::size_t>(lid);
+        rem[l] = std::max(0.0, rem[l] - rate[f]);
+        weight_sum[l] -= weights[f];
+        --count[l];
+      }
+    };
+
+    if (best_flow >= 0) {
+      fix_flow(static_cast<std::size_t>(best_flow));
+      continue;
+    }
+    // Fix every unfixed flow crossing the bottleneck link.
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (fixed[f]) continue;
+      bool on = false;
+      for (const int lid : *paths[f])
+        if (lid == best_link) {
+          on = true;
+          break;
+        }
+      if (on) fix_flow(f);
+    }
+  }
+  return rate;
+}
+
+}  // namespace
+
+void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
+  std::vector<const std::vector<int>*> paths;
+  paths.reserve(active.size());
+  for (const ActiveFlow* f : active) paths.push_back(&f->path);
+
+  std::vector<double> capacity(net_.link_count());
+  for (std::size_t l = 0; l < capacity.size(); ++l)
+    capacity[l] = net_.link(static_cast<int>(l)).bandwidth_gbs;
+
+  std::vector<double> weights;
+  weights.reserve(active.size());
+  for (const ActiveFlow* f : active) weights.push_back(std::max(1e-6, f->spec.weight));
+
+  std::vector<double> rates = maxmin_rates(paths, capacity, weights);
+
+  if (cc_ == CongestionControl::kNone && !active.empty()) {
+    // Congestion-tree model: a flow whose fair-share bottleneck is tighter
+    // than its injection link keeps injecting at the injection share; the
+    // excess occupies buffers on every upstream hop, degrading those links
+    // for everyone else.  Flow-based congestion management (Slingshot)
+    // eliminates exactly this term by throttling at the source.
+    std::vector<double> eff = capacity;
+    std::vector<double> caps(active.size(), 0.0);
+    for (std::size_t f = 0; f < active.size(); ++f) {
+      const auto& path = active[f]->path;
+      if (path.empty()) continue;
+      // Injection share: capacity of first link divided by flows sharing it.
+      int sharing = 0;
+      for (const ActiveFlow* g : active)
+        for (const int lid : g->path)
+          if (lid == path.front()) {
+            ++sharing;
+            break;
+          }
+      const double inject =
+          capacity[static_cast<std::size_t>(path.front())] / std::max(1, sharing);
+      const double excess = std::max(0.0, inject - rates[f]);
+      caps[f] = rates[f];  // congesting flows still drain at their bottleneck
+      if (excess <= 1e-12) continue;
+      // The queue sits in front of the bottleneck (the flow's last
+      // oversubscribed hop — for incast, the egress).  That link itself keeps
+      // draining at full rate; every hop upstream of it carries the standing
+      // queue and loses effective capacity for other traffic.
+      for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+        const auto l = static_cast<std::size_t>(path[h]);
+        eff[l] = std::max(0.05 * capacity[l], eff[l] - tree_degradation_ * excess);
+      }
+    }
+    rates = maxmin_rates(paths, eff, weights, &caps);
+  }
+
+  for (std::size_t f = 0; f < active.size(); ++f) active[f]->rate = rates[f];
+}
+
+FlowRunSummary FlowSim::run() {
+  std::sort(pending_.begin(), pending_.end(),
+            [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
+
+  FlowRunSummary summary;
+  std::vector<ActiveFlow> storage;
+  storage.reserve(pending_.size());
+  std::vector<ActiveFlow*> active;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double total_bytes = 0.0;
+
+  auto activate_due = [&](double t) {
+    while (next_arrival < pending_.size() &&
+           static_cast<double>(pending_[next_arrival].start) <= t + 1e-9) {
+      const FlowSpec& spec = pending_[next_arrival++];
+      storage.push_back(ActiveFlow{spec, pick_path(spec.src, spec.dst), spec.bytes, 0.0,
+                                   static_cast<double>(spec.start)});
+      active.push_back(&storage.back());
+      if (link_load_.size() != net_.link_count()) link_load_.assign(net_.link_count(), 0);
+      for (const int lid : storage.back().path) ++link_load_[static_cast<std::size_t>(lid)];
+      total_bytes += spec.bytes;
+    }
+  };
+
+  activate_due(0.0);
+
+  while (!active.empty() || next_arrival < pending_.size()) {
+    if (active.empty()) {
+      now = static_cast<double>(pending_[next_arrival].start);
+      activate_due(now);
+      continue;
+    }
+    compute_rates(active);
+
+    // Next completion.
+    double next_completion = std::numeric_limits<double>::infinity();
+    for (const ActiveFlow* f : active) {
+      if (f->rate <= 0.0) continue;
+      if (std::isinf(f->rate)) {
+        next_completion = now;  // zero-hop flow finishes immediately
+        break;
+      }
+      next_completion = std::min(next_completion, now + f->remaining / f->rate);
+    }
+    const double next_arrival_t = next_arrival < pending_.size()
+                                      ? static_cast<double>(pending_[next_arrival].start)
+                                      : std::numeric_limits<double>::infinity();
+    double t_next = std::min(next_completion, next_arrival_t);
+    if (!std::isfinite(t_next)) {
+      // No flow can make progress and nothing arrives: numerically stalled
+      // (should be unreachable; kept as a hard safety net against hangs).
+      for (ActiveFlow* f : active) f->remaining = 0.0;
+      t_next = now;
+    }
+    const double dt = std::max(0.0, t_next - now);
+
+    // Drain bytes.
+    for (ActiveFlow* f : active) {
+      if (std::isinf(f->rate)) {
+        f->remaining = 0.0;
+      } else {
+        f->remaining -= f->rate * dt;
+      }
+    }
+    now = t_next;
+
+    // Complete finished flows.
+    for (std::size_t i = 0; i < active.size();) {
+      ActiveFlow* f = active[i];
+      // Sub-byte residues are floating-point dust; at large simulated times
+      // now + residue/rate can equal now in double precision, so they must
+      // count as complete or the loop never advances.
+      if (f->remaining <= 0.1) {
+        FlowResult r;
+        r.spec = f->spec;
+        r.finish_ns = now;
+        r.fct_ns = now - f->started_ns;
+        r.mean_rate_gbs = r.fct_ns > 0.0 ? f->spec.bytes / r.fct_ns : 0.0;
+        summary.flows.push_back(r);
+        for (const int lid : f->path) --link_load_[static_cast<std::size_t>(lid)];
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    activate_due(now);
+  }
+
+  summary.makespan_ns = now;
+  summary.aggregate_throughput_gbs = now > 0.0 ? total_bytes / now : 0.0;
+  return summary;
+}
+
+}  // namespace hpc::net

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+/// \file flowsim.hpp
+/// Flow-level (fluid) network simulator.
+///
+/// Flows are (src, dst, bytes, start) tuples routed over the Network; active
+/// flows share links by progressive-filling max-min fairness, and the
+/// simulation advances from rate-change event to rate-change event (arrivals
+/// and completions).  This preserves the congestion phenomenology the paper
+/// discusses at a tiny fraction of packet-level cost (DESIGN.md choice #1).
+///
+/// Congestion management models the Slingshot claim (Section II.B):
+///  - kNone: congesting flows (those bottlenecked at an oversubscribed egress)
+///    keep injecting; their excess occupies buffers along their path and
+///    degrades the effective capacity of the upstream links they cross — the
+///    classic congestion tree / HOL blocking that hurts *victim* flows.
+///  - kFlowBased: congesting flows are identified and selectively throttled at
+///    injection (back-pressure), so victims see clean max-min fair shares.
+namespace hpc::net {
+
+/// Congestion-management policy of the fabric.
+enum class CongestionControl : std::uint8_t { kNone, kFlowBased };
+
+/// Path-selection policy.
+enum class Routing : std::uint8_t {
+  kMinimal,   ///< BFS minimal path
+  kValiant,   ///< minimal to a random intermediate switch, then minimal
+  /// UGAL-lite adaptive: take the minimal path unless, at flow start, it is
+  /// carrying at least twice the load of a randomly probed Valiant detour
+  /// (approximating the adaptive routing low-diameter networks rely on).
+  kAdaptive,
+};
+
+/// One flow to simulate.
+struct FlowSpec {
+  int src = 0;              ///< endpoint vertex id
+  int dst = 0;              ///< endpoint vertex id
+  double bytes = 0.0;
+  sim::TimeNs start = 0;
+  int tag = 0;              ///< caller-defined grouping (e.g. victim vs elephant)
+  /// Weighted fair share (Section III.C virtual networks: "a secure
+  /// environment with strong service level guarantees").  A flow with weight
+  /// w gets w times the share of a weight-1 flow on every contended link.
+  double weight = 1.0;
+};
+
+/// Result of one completed flow.
+struct FlowResult {
+  FlowSpec spec;
+  double finish_ns = 0.0;
+  double fct_ns = 0.0;       ///< flow completion time (finish - start)
+  double mean_rate_gbs = 0.0;
+};
+
+/// Aggregate results of a FlowSim run.
+struct FlowRunSummary {
+  std::vector<FlowResult> flows;
+  double makespan_ns = 0.0;
+  double aggregate_throughput_gbs = 0.0;  ///< total bytes / makespan
+
+  /// FCT sampler over flows with the given tag (all flows if tag < 0).
+  sim::Sampler fct_sampler(int tag = -1) const;
+};
+
+/// Fluid flow simulator over a Network.
+class FlowSim {
+ public:
+  /// \param tree_degradation  fraction of a congesting flow's excess demand
+  ///        that poisons each upstream link it crosses (kNone mode only).
+  FlowSim(const Network& net, CongestionControl cc = CongestionControl::kFlowBased,
+          Routing routing = Routing::kMinimal, std::uint64_t seed = 1,
+          double tree_degradation = 0.8);
+
+  /// Queues a flow for simulation.
+  void add_flow(const FlowSpec& spec);
+
+  /// Runs to completion of all flows and returns per-flow results.
+  FlowRunSummary run();
+
+ private:
+  struct ActiveFlow {
+    FlowSpec spec;
+    std::vector<int> path;     // directed link ids
+    double remaining = 0.0;
+    double rate = 0.0;         // GB/s == bytes/ns
+    double started_ns = 0.0;
+  };
+
+  std::vector<int> pick_path(int src, int dst);
+  void compute_rates(std::vector<ActiveFlow*>& active);
+  /// Highest concurrent-flow count over the links of \p path.
+  int path_load(const std::vector<int>& path) const;
+
+  const Network& net_;
+  CongestionControl cc_;
+  Routing routing_;
+  sim::Rng rng_;
+  double tree_degradation_;
+  std::vector<FlowSpec> pending_;
+  std::vector<int> link_load_;  ///< active flows per directed link (adaptive routing)
+};
+
+}  // namespace hpc::net

@@ -1,0 +1,20 @@
+#include "net/link.hpp"
+
+namespace hpc::net {
+
+LinkType link_type(LinkClass cls) noexcept {
+  switch (cls) {
+    case LinkClass::kPcie4:    return {"pcie4", 900.0, 32.0, 80.0};
+    case LinkClass::kPcie5:    return {"pcie5", 850.0, 64.0, 120.0};
+    case LinkClass::kCxl:      return {"cxl", 150.0, 64.0, 150.0};
+    case LinkClass::kNvlinkish:return {"nvlink", 300.0, 300.0, 400.0};
+    case LinkClass::kEth200:   return {"eth200", 1'200.0, 25.0, 250.0};
+    case LinkClass::kEth400:   return {"eth400", 1'100.0, 50.0, 450.0};
+    case LinkClass::kSiph:     return {"siph", 250.0, 100.0, 300.0};
+    case LinkClass::kWan:      return {"wan", 5'000'000.0, 12.5, 20'000.0};
+    case LinkClass::kOnBoard:  return {"dram", 90.0, 205.0, 0.0};
+  }
+  return {"eth200", 350.0, 25.0, 250.0};
+}
+
+}  // namespace hpc::net

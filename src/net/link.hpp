@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file link.hpp
+/// Link technology classes spanning the paper's Figure 2 scales: device-level
+/// (PCIe, CXL-class coherent fabrics), rack/system-level (200/400G Ethernet,
+/// silicon-photonics), and WAN.  Each class carries the latency/bandwidth/cost
+/// triple the experiments sweep; the paper's claim that "PCIe latencies are
+/// far too high for memory access" is the µs-vs-ns gap between kPcie4 and
+/// kCxl below.
+
+namespace hpc::net {
+
+/// Physical/protocol class of a link.
+enum class LinkClass : std::uint8_t {
+  kPcie4,    ///< PCIe gen4 x16: device attach, DMA-oriented
+  kPcie5,    ///< PCIe gen5 x16
+  kCxl,      ///< CXL/Gen-Z-class coherent memory fabric (load/store)
+  kNvlinkish,///< proprietary GPU-to-GPU point-to-point
+  kEth200,   ///< 4x56G PAM-4 Ethernet (current generation in the paper)
+  kEth400,   ///< 4x112G PAM-4 Ethernet (next generation in the paper)
+  kSiph,     ///< co-packaged silicon-photonics optical
+  kWan,      ///< metro/wide-area link between federated sites
+  kOnBoard,  ///< on-board memory channel (reference point)
+};
+
+/// Datasheet for a link class.
+struct LinkType {
+  std::string_view name;
+  double latency_ns;    ///< one-way propagation + protocol latency
+  double bandwidth_gbs; ///< usable unidirectional bandwidth, GB/s
+  double cost_usd;      ///< per-link cost (cable + 2 ports share)
+};
+
+/// Returns the calibrated datasheet for \p cls.
+LinkType link_type(LinkClass cls) noexcept;
+
+}  // namespace hpc::net

@@ -1,0 +1,152 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace hpc::net {
+
+int Network::add_node(NodeRole role, std::string label) {
+  const int id = static_cast<int>(roles_.size());
+  roles_.push_back(role);
+  labels_.push_back(std::move(label));
+  adjacency_.emplace_back();
+  if (role == NodeRole::kEndpoint) endpoints_.push_back(id);
+  routes_built_ = false;
+  return id;
+}
+
+void Network::add_duplex_link(int a, int b, LinkClass cls, double bandwidth_gbs,
+                              double latency_ns) {
+  const LinkType t = link_type(cls);
+  const double bw = bandwidth_gbs > 0.0 ? bandwidth_gbs : t.bandwidth_gbs;
+  const double lat = latency_ns > 0.0 ? latency_ns : t.latency_ns;
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    const int id = static_cast<int>(links_.size());
+    links_.push_back(DirectedLink{from, to, bw, lat, cls});
+    adjacency_[static_cast<std::size_t>(from)].push_back(id);
+  }
+  routes_built_ = false;
+}
+
+void Network::build_routes() {
+  const std::size_t n = roles_.size();
+  next_hop_.assign(n, std::vector<int>(n, -1));
+  // Reverse adjacency: node -> incoming directed link ids.
+  std::vector<std::vector<int>> reverse(n);
+  for (std::size_t lid = 0; lid < links_.size(); ++lid)
+    reverse[static_cast<std::size_t>(links_[lid].to)].push_back(static_cast<int>(lid));
+
+  // BFS from every destination over reversed edges; for each vertex reached,
+  // the traversed link is its first hop toward that destination.
+  std::vector<int> dist(n);
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<int>::max());
+    dist[dst] = 0;
+    std::deque<int> queue{static_cast<int>(dst)};
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop_front();
+      for (const int lid : reverse[static_cast<std::size_t>(v)]) {
+        const DirectedLink& l = links_[static_cast<std::size_t>(lid)];
+        auto& du = dist[static_cast<std::size_t>(l.from)];
+        if (du == std::numeric_limits<int>::max()) {
+          du = dist[static_cast<std::size_t>(v)] + 1;
+          next_hop_[static_cast<std::size_t>(l.from)][dst] = lid;
+          queue.push_back(l.from);
+        }
+      }
+    }
+  }
+  routes_built_ = true;
+}
+
+std::vector<int> Network::route(int src, int dst) const {
+  assert(routes_built_ && "call build_routes() first");
+  std::vector<int> path;
+  int cur = src;
+  while (cur != dst) {
+    const int lid = next_hop_[static_cast<std::size_t>(cur)][static_cast<std::size_t>(dst)];
+    if (lid < 0) throw std::runtime_error("network: no route");
+    path.push_back(lid);
+    cur = links_[static_cast<std::size_t>(lid)].to;
+  }
+  return path;
+}
+
+std::vector<int> Network::route_via(int src, int mid, int dst) const {
+  std::vector<int> path = route(src, mid);
+  const std::vector<int> tail = route(mid, dst);
+  path.insert(path.end(), tail.begin(), tail.end());
+  return path;
+}
+
+int Network::hops(int src, int dst) const {
+  assert(routes_built_);
+  int count = 0;
+  int cur = src;
+  while (cur != dst) {
+    const int lid = next_hop_[static_cast<std::size_t>(cur)][static_cast<std::size_t>(dst)];
+    if (lid < 0) return -1;
+    cur = links_[static_cast<std::size_t>(lid)].to;
+    ++count;
+  }
+  return count;
+}
+
+int Network::endpoint_diameter() const {
+  int worst = 0;
+  for (int a : endpoints_)
+    for (int b : endpoints_)
+      if (a != b) worst = std::max(worst, hops(a, b));
+  return worst;
+}
+
+double Network::mean_endpoint_hops() const {
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (int a : endpoints_)
+    for (int b : endpoints_)
+      if (a != b) {
+        sum += hops(a, b);
+        ++pairs;
+      }
+  return pairs ? sum / static_cast<double>(pairs) : 0.0;
+}
+
+double Network::message_latency_ns(int src, int dst, double bytes,
+                                   double switch_delay_ns) const {
+  if (src == dst) return 0.0;
+  const std::vector<int> path = route(src, dst);
+  double lat = 0.0;
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (const int lid : path) {
+    const DirectedLink& l = links_[static_cast<std::size_t>(lid)];
+    lat += l.latency_ns;
+    min_bw = std::min(min_bw, l.bandwidth_gbs);
+  }
+  if (path.size() > 1) lat += switch_delay_ns * static_cast<double>(path.size() - 1);
+  if (bytes > 0.0 && min_bw > 0.0) lat += bytes / min_bw;  // GB/s == bytes/ns
+  return lat;
+}
+
+double Network::total_cost_usd(double cost_per_switch) const {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < links_.size(); i += 2) {  // duplex pairs adjacent
+    cost += link_type(links_[i].cls).cost_usd;
+  }
+  for (const NodeRole r : roles_)
+    if (r == NodeRole::kSwitch) cost += cost_per_switch;
+  return cost;
+}
+
+std::size_t Network::duplex_links_of(LinkClass cls) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < links_.size(); i += 2)
+    if (links_[i].cls == cls) ++n;
+  return n;
+}
+
+}  // namespace hpc::net

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+
+/// \file network.hpp
+/// Directed-graph network model with minimal-path routing.
+///
+/// Vertices are endpoints (compute nodes) or switches; links are directed
+/// (duplex links create a pair).  Routing tables are all-pairs BFS next-hops,
+/// which matches minimal routing on the regular topologies we build.  The
+/// flow simulator (flowsim.hpp) runs on top of this graph.
+
+namespace hpc::net {
+
+/// Role of a vertex in the graph.
+enum class NodeRole : std::uint8_t { kEndpoint, kSwitch };
+
+/// One directed link.
+struct DirectedLink {
+  int from = 0;
+  int to = 0;
+  double bandwidth_gbs = 0.0;
+  double latency_ns = 0.0;
+  LinkClass cls = LinkClass::kEth200;
+};
+
+/// Mutable network graph plus routing.
+class Network {
+ public:
+  /// Adds a vertex; returns its id.
+  int add_node(NodeRole role, std::string label = {});
+
+  /// Adds a duplex link (two directed links) of class \p cls between a and b.
+  /// Bandwidth/latency default to the class datasheet; overrides in GB/s / ns.
+  void add_duplex_link(int a, int b, LinkClass cls, double bandwidth_gbs = -1.0,
+                       double latency_ns = -1.0);
+
+  std::size_t node_count() const noexcept { return roles_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+  NodeRole role(int node) const { return roles_[static_cast<std::size_t>(node)]; }
+  const std::string& label(int node) const { return labels_[static_cast<std::size_t>(node)]; }
+  const DirectedLink& link(int id) const { return links_[static_cast<std::size_t>(id)]; }
+
+  /// All endpoint vertex ids, in insertion order.
+  const std::vector<int>& endpoints() const noexcept { return endpoints_; }
+
+  /// Directed link ids leaving \p node.
+  const std::vector<int>& out_links(int node) const {
+    return adjacency_[static_cast<std::size_t>(node)];
+  }
+
+  /// (Re)builds all-pairs BFS next-hop routing tables.  Must be called after
+  /// the topology is complete and before route()/hops().
+  void build_routes();
+
+  /// Minimal route from src to dst as a sequence of directed link ids.
+  /// Empty if src == dst; routing tables must be built.
+  std::vector<int> route(int src, int dst) const;
+
+  /// Route via an intermediate vertex (Valiant-style misrouting).
+  std::vector<int> route_via(int src, int mid, int dst) const;
+
+  /// Hop count of the minimal route (-1 if unreachable).
+  int hops(int src, int dst) const;
+
+  /// Maximum minimal-route hops over all endpoint pairs.
+  int endpoint_diameter() const;
+
+  /// Mean minimal-route hops over all endpoint pairs.
+  double mean_endpoint_hops() const;
+
+  /// Sum of one-way latencies plus serialization of \p bytes at the
+  /// bottleneck bandwidth along the minimal path; per-hop switch delay added
+  /// for each intermediate vertex.
+  double message_latency_ns(int src, int dst, double bytes,
+                            double switch_delay_ns = 100.0) const;
+
+  /// Total acquisition cost of all links (each duplex pair counted once) plus
+  /// \p cost_per_switch for every switch vertex.
+  double total_cost_usd(double cost_per_switch = 15'000.0) const;
+
+  /// Count of duplex links of class \p cls.
+  std::size_t duplex_links_of(LinkClass cls) const;
+
+ private:
+  std::vector<NodeRole> roles_;
+  std::vector<std::string> labels_;
+  std::vector<DirectedLink> links_;
+  std::vector<std::vector<int>> adjacency_;  // node -> outgoing link ids
+  std::vector<int> endpoints_;
+  // next_hop_[src][dst] = directed link id of the first hop (-1 unreachable).
+  std::vector<std::vector<int>> next_hop_;
+  bool routes_built_ = false;
+};
+
+}  // namespace hpc::net

@@ -1,0 +1,76 @@
+#include "net/progmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hpc::net {
+
+namespace {
+// Software costs of the message-passing path.
+constexpr double kPackNsPerByte = 0.05;       // memcpy-class pack+unpack
+constexpr double kRendezvousNs = 1'500.0;     // matching + protocol per message
+// Per-access cost of aggregating scattered touches into messages: destination
+// bucketing on the sender plus the scattered (cache-hostile) application of
+// each element at the receiver.  This is what one-sided load/store hardware
+// eliminates.
+constexpr double kMarshalNsPerAccess = 25.0;
+}  // namespace
+
+std::string_view name_of(ProgModel m) noexcept {
+  switch (m) {
+    case ProgModel::kMessagePassing: return "message-passing";
+    case ProgModel::kPgas: return "pgas";
+  }
+  return "message-passing";
+}
+
+double phase_time_ns(ProgModel model, const CommPhase& phase, LinkClass link,
+                     int outstanding) {
+  const LinkType t = link_type(link);
+  const double bytes = phase.total_bytes();
+  const double bandwidth_ns = bytes / t.bandwidth_gbs;  // bytes / (GB/s) = ns
+
+  switch (model) {
+    case ProgModel::kMessagePassing:
+      // One aggregated message: marshal each touch, pack, rendezvous, stream,
+      // unpack-and-scatter at the receiver.
+      return kMarshalNsPerAccess * static_cast<double>(phase.accesses) +
+             2.0 * kPackNsPerByte * bytes + kRendezvousNs + t.latency_ns + bandwidth_ns;
+    case ProgModel::kPgas: {
+      // One transaction per access; round-trip latency amortized over the
+      // hardware's outstanding-transaction window.
+      const double transactions = static_cast<double>(phase.accesses);
+      const double latency_ns =
+          transactions * (2.0 * t.latency_ns) / std::max(1, outstanding);
+      return latency_ns + bandwidth_ns;
+    }
+  }
+  return bandwidth_ns;
+}
+
+double pgas_win_granularity_bytes(LinkClass link, double total_bytes, int outstanding) {
+  auto pgas_wins = [&](double granularity) {
+    CommPhase phase;
+    phase.granularity_bytes = granularity;
+    phase.accesses = static_cast<std::int64_t>(std::max(1.0, total_bytes / granularity));
+    return phase_time_ns(ProgModel::kPgas, phase, link, outstanding) <
+           phase_time_ns(ProgModel::kMessagePassing, phase, link, outstanding);
+  };
+  if (!pgas_wins(total_bytes)) return std::numeric_limits<double>::infinity();
+  if (pgas_wins(8.0)) return 8.0;  // load/store fabric: PGAS wins at word grain
+  // Bisect the crossover in [8, total_bytes]: MP wins at lo, PGAS at hi.
+  double lo = 8.0;
+  double hi = total_bytes;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric: granularity is log-scaled
+    if (pgas_wins(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace hpc::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/link.hpp"
+
+/// \file progmodel.hpp
+/// Programming-model communication cost (paper Section III.D): "there were
+/// only two programming models for HPC: message passing, exemplified with
+/// MPI, and multi-threaded, represented by a variety of shared memory models
+/// (SHMEM and PGAS ...)."  The model quantifies when each wins as a function
+/// of the access granularity and the fabric underneath — which is how
+/// CXL-class load/store fabrics change the programming-model calculus.
+
+namespace hpc::net {
+
+/// Communication style.
+enum class ProgModel : std::uint8_t {
+  kMessagePassing,  ///< two-sided, aggregated buffers, rendezvous per message
+  kPgas,            ///< one-sided load/store or put/get over the fabric
+};
+
+std::string_view name_of(ProgModel m) noexcept;
+
+/// A communication phase: \p accesses touches of \p granularity_bytes each to
+/// a remote partner (e.g. a halo exchange aggregates everything into one
+/// message; a graph update issues millions of 8-byte touches).
+struct CommPhase {
+  std::int64_t accesses = 1;
+  double granularity_bytes = 8.0;
+  double total_bytes() const noexcept {
+    return static_cast<double>(accesses) * granularity_bytes;
+  }
+};
+
+/// Time of the phase under a programming model over a given link class.
+///  - Message passing: software aggregates the touches into one message:
+///    pack/unpack per byte + rendezvous latency + bandwidth term.
+///  - PGAS: one fabric transaction per touch with hardware pipelining
+///    (bounded outstanding transactions), no pack/unpack; bandwidth term
+///    applies to the same bytes.
+double phase_time_ns(ProgModel model, const CommPhase& phase, LinkClass link,
+                     int outstanding = 16);
+
+/// The finest granularity (bytes per access, fixed total volume) at which
+/// PGAS still beats message passing on this link: PGAS wins for every
+/// granularity at or above the returned value.  Returns 8 when PGAS wins even
+/// at single-word grain (load/store fabrics), +inf when message passing wins
+/// even for one bulk transfer.
+double pgas_win_granularity_bytes(LinkClass link, double total_bytes,
+                                  int outstanding = 16);
+
+}  // namespace hpc::net

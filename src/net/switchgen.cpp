@@ -1,0 +1,34 @@
+#include "net/switchgen.hpp"
+
+namespace hpc::net {
+
+std::vector<SwitchGen> electrical_roadmap() {
+  // SerDes area grows with lane count x per-lane complexity (longer-reach
+  // equalization at PAM-4 rates); electrical reach shrinks with symbol rate.
+  return {
+      {"12.8T-el", 2020, 12.8, 64, 200.0, 0.30, 3.0, 350.0, false},
+      {"25.6T-el", 2022, 25.6, 64, 400.0, 0.42, 2.0, 550.0, false},   // the "one more natural step"
+      {"51.2T-el", 2025, 51.2, 64, 800.0, 0.58, 1.0, 1'000.0, false},
+      {"102.4T-el", 2028, 102.4, 64, 1'600.0, 0.74, 0.5, 1'900.0, false},
+  };
+}
+
+std::vector<SwitchGen> copackaged_roadmap() {
+  // Co-packaged optics: fibres off the package edge; the die spends a small,
+  // flat share on the electrical interface to the optical engines, and reach
+  // becomes an optics property (hundreds of meters).
+  return {
+      {"25.6T-cpo", 2023, 25.6, 64, 400.0, 0.18, 500.0, 450.0, true},
+      {"51.2T-cpo", 2025, 51.2, 128, 400.0, 0.20, 500.0, 750.0, true},
+      {"102.4T-cpo", 2027, 102.4, 128, 800.0, 0.22, 500.0, 1'300.0, true},
+      {"204.8T-cpo", 2030, 204.8, 256, 800.0, 0.24, 500.0, 2'300.0, true},
+  };
+}
+
+int radical_change_generation(const std::vector<SwitchGen>& roadmap, double threshold) {
+  for (std::size_t g = 0; g < roadmap.size(); ++g)
+    if (roadmap[g].serdes_area_share > threshold) return static_cast<int>(g);
+  return -1;
+}
+
+}  // namespace hpc::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file switchgen.hpp
+/// Switch-silicon generational model (paper Section II.B): "State of the art
+/// switches (12.8 Tbps) combine high radix and high per-port bandwidth.
+/// Current designs have one more natural step (to 25.6 Tbps with 64 ports at
+/// 400 Gbps).  These designs have a very high wire density, much of their
+/// area is taken up by SerDes, and they make only limited gains from
+/// improvements in process technology.  Radical change is required beyond
+/// this point" — the radical change being co-packaged silicon photonics
+/// (the Hewlett Packard Labs IP the paper describes).
+///
+/// The model tracks, per generation: aggregate bandwidth, radix x per-port
+/// speed, the die-area share consumed by SerDes (which scales with beachfront
+/// I/O, not with process), electrical reach, and power per Tbps — for both
+/// the electrical path and the co-packaged-photonics path.
+
+namespace hpc::net {
+
+/// One switch ASIC generation.
+struct SwitchGen {
+  std::string name;
+  int year = 2020;
+  double aggregate_tbps = 12.8;
+  int radix = 64;                 ///< ports
+  double port_gbps = 200.0;
+  double serdes_area_share = 0.3; ///< fraction of die area spent on I/O
+  double electrical_reach_m = 3.0;///< passive copper reach at this rate
+  double power_w = 350.0;
+  bool copackaged_optics = false;
+
+  double power_per_tbps() const noexcept { return power_w / aggregate_tbps; }
+  /// Die area left for the crossbar/buffers, relative to a full die.
+  double logic_area_share() const noexcept { return 1.0 - serdes_area_share; }
+};
+
+/// The electrical roadmap: 12.8T (current in the paper), 25.6T ("one more
+/// natural step"), then the extrapolated 51.2T and 102.4T designs where the
+/// SerDes share and reach collapse make the paper's case.
+std::vector<SwitchGen> electrical_roadmap();
+
+/// The co-packaged silicon-photonics path from 25.6T on: constant modest
+/// SerDes share (fibres leave the package directly) and optical reach.
+std::vector<SwitchGen> copackaged_roadmap();
+
+/// First electrical generation whose SerDes share exceeds \p threshold —
+/// the "radical change required" point (-1 if none).
+int radical_change_generation(const std::vector<SwitchGen>& roadmap,
+                              double threshold = 0.5);
+
+}  // namespace hpc::net

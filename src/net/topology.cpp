@@ -1,0 +1,169 @@
+#include "net/topology.hpp"
+
+#include <vector>
+
+namespace hpc::net {
+
+Network make_single_switch(int hosts, LinkClass edge) {
+  Network net;
+  const int sw = net.add_node(NodeRole::kSwitch, "sw");
+  for (int h = 0; h < hosts; ++h) {
+    const int node = net.add_node(NodeRole::kEndpoint, "h" + std::to_string(h));
+    net.add_duplex_link(node, sw, edge);
+  }
+  net.build_routes();
+  return net;
+}
+
+Network make_fat_tree(int k) {
+  Network net;
+  const int pods = k;
+  const int edge_per_pod = k / 2;
+  const int agg_per_pod = k / 2;
+  const int hosts_per_edge = k / 2;
+  const int cores = (k / 2) * (k / 2);
+
+  std::vector<int> core(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c)
+    core[static_cast<std::size_t>(c)] = net.add_node(NodeRole::kSwitch, "core" + std::to_string(c));
+
+  for (int p = 0; p < pods; ++p) {
+    std::vector<int> agg(static_cast<std::size_t>(agg_per_pod));
+    std::vector<int> edge(static_cast<std::size_t>(edge_per_pod));
+    for (int a = 0; a < agg_per_pod; ++a)
+      agg[static_cast<std::size_t>(a)] =
+          net.add_node(NodeRole::kSwitch, "agg" + std::to_string(p) + "_" + std::to_string(a));
+    for (int e = 0; e < edge_per_pod; ++e) {
+      edge[static_cast<std::size_t>(e)] =
+          net.add_node(NodeRole::kSwitch, "edge" + std::to_string(p) + "_" + std::to_string(e));
+      for (int h = 0; h < hosts_per_edge; ++h) {
+        const int host = net.add_node(NodeRole::kEndpoint, "h");
+        net.add_duplex_link(host, edge[static_cast<std::size_t>(e)], LinkClass::kEth200);
+      }
+      for (int a = 0; a < agg_per_pod; ++a)
+        net.add_duplex_link(edge[static_cast<std::size_t>(e)], agg[static_cast<std::size_t>(a)],
+                            LinkClass::kEth200);
+    }
+    // Aggregation a connects to cores [a*k/2, (a+1)*k/2).
+    for (int a = 0; a < agg_per_pod; ++a)
+      for (int c = 0; c < k / 2; ++c)
+        net.add_duplex_link(agg[static_cast<std::size_t>(a)],
+                            core[static_cast<std::size_t>(a * (k / 2) + c)], LinkClass::kSiph);
+  }
+  net.build_routes();
+  return net;
+}
+
+Network make_torus_2d(int width, int height, int hosts_per_switch) {
+  Network net;
+  std::vector<int> sw(static_cast<std::size_t>(width * height));
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) {
+      const int id = net.add_node(NodeRole::kSwitch,
+                                  "sw" + std::to_string(x) + "," + std::to_string(y));
+      sw[static_cast<std::size_t>(y * width + x)] = id;
+      for (int h = 0; h < hosts_per_switch; ++h) {
+        const int host = net.add_node(NodeRole::kEndpoint, "h");
+        net.add_duplex_link(host, id, LinkClass::kEth200);
+      }
+    }
+  auto at = [&](int x, int y) {
+    return sw[static_cast<std::size_t>(((y + height) % height) * width + (x + width) % width)];
+  };
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) {
+      net.add_duplex_link(at(x, y), at(x + 1, y), LinkClass::kEth200);
+      net.add_duplex_link(at(x, y), at(x, y + 1), LinkClass::kEth200);
+    }
+  net.build_routes();
+  return net;
+}
+
+Network make_dragonfly(int a, int p, int h) {
+  Network net;
+  const int groups = a * h + 1;
+  std::vector<std::vector<int>> router(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    router[static_cast<std::size_t>(g)].resize(static_cast<std::size_t>(a));
+    for (int r = 0; r < a; ++r) {
+      const int id = net.add_node(NodeRole::kSwitch,
+                                  "r" + std::to_string(g) + "_" + std::to_string(r));
+      router[static_cast<std::size_t>(g)][static_cast<std::size_t>(r)] = id;
+      for (int host = 0; host < p; ++host) {
+        const int hn = net.add_node(NodeRole::kEndpoint, "h");
+        net.add_duplex_link(hn, id, LinkClass::kEth200);
+      }
+    }
+    // Intra-group clique (electrical).
+    for (int r1 = 0; r1 < a; ++r1)
+      for (int r2 = r1 + 1; r2 < a; ++r2)
+        net.add_duplex_link(router[static_cast<std::size_t>(g)][static_cast<std::size_t>(r1)],
+                            router[static_cast<std::size_t>(g)][static_cast<std::size_t>(r2)],
+                            LinkClass::kEth200);
+  }
+  // Global links: canonical assignment — router r of group g owns global
+  // ports r*h..r*h+h-1; port k of group g connects toward group
+  // (g + r*h + k + 1) mod groups, one link per unordered group pair.
+  for (int g = 0; g < groups; ++g) {
+    for (int r = 0; r < a; ++r) {
+      for (int k = 0; k < h; ++k) {
+        const int offset = r * h + k + 1;
+        const int tg = (g + offset) % groups;
+        if (tg <= g) continue;  // add each pair once (peer adds the reverse)
+        // Peer router in target group: the one whose offset reaches back to g.
+        const int back = groups - offset;  // (tg + back) % groups == g
+        const int pr = (back - 1) / h;
+        net.add_duplex_link(router[static_cast<std::size_t>(g)][static_cast<std::size_t>(r)],
+                            router[static_cast<std::size_t>(tg)][static_cast<std::size_t>(pr)],
+                            LinkClass::kSiph);
+      }
+    }
+  }
+  net.build_routes();
+  return net;
+}
+
+Network make_hyperx_2d(int s1, int s2, int hosts_per_switch) {
+  Network net;
+  std::vector<int> sw(static_cast<std::size_t>(s1 * s2));
+  for (int y = 0; y < s2; ++y)
+    for (int x = 0; x < s1; ++x) {
+      const int id = net.add_node(NodeRole::kSwitch,
+                                  "sw" + std::to_string(x) + "," + std::to_string(y));
+      sw[static_cast<std::size_t>(y * s1 + x)] = id;
+      for (int h = 0; h < hosts_per_switch; ++h) {
+        const int host = net.add_node(NodeRole::kEndpoint, "h");
+        net.add_duplex_link(host, id, LinkClass::kEth200);
+      }
+    }
+  auto at = [&](int x, int y) { return sw[static_cast<std::size_t>(y * s1 + x)]; };
+  // Full connectivity along each row and column.
+  for (int y = 0; y < s2; ++y)
+    for (int x1 = 0; x1 < s1; ++x1)
+      for (int x2 = x1 + 1; x2 < s1; ++x2)
+        net.add_duplex_link(at(x1, y), at(x2, y),
+                            x2 - x1 > 1 ? LinkClass::kSiph : LinkClass::kEth200);
+  for (int x = 0; x < s1; ++x)
+    for (int y1 = 0; y1 < s2; ++y1)
+      for (int y2 = y1 + 1; y2 < s2; ++y2)
+        net.add_duplex_link(at(x, y1), at(x, y2),
+                            y2 - y1 > 1 ? LinkClass::kSiph : LinkClass::kEth200);
+  net.build_routes();
+  return net;
+}
+
+TopologySummary summarize(const Network& net, std::string name) {
+  TopologySummary s;
+  s.name = std::move(name);
+  s.endpoints = static_cast<int>(net.endpoints().size());
+  s.switches = static_cast<int>(net.node_count()) - s.endpoints;
+  s.diameter = net.endpoint_diameter();
+  s.mean_hops = net.mean_endpoint_hops();
+  s.optical_links = net.duplex_links_of(LinkClass::kSiph);
+  std::size_t total = net.link_count() / 2;
+  s.electrical_links = total - s.optical_links;
+  s.cost_usd = net.total_cost_usd();
+  return s;
+}
+
+}  // namespace hpc::net

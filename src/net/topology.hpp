@@ -1,0 +1,52 @@
+#pragma once
+
+#include "net/network.hpp"
+
+/// \file topology.hpp
+/// Builders for the network topologies the paper discusses (Section II.B):
+/// low-diameter dragonfly [11] and HyperX [12], plus fat-tree and 2-D torus
+/// as the classical baselines, and a single-switch star as the rack-scale
+/// reference.  Intra-group/edge links are electrical Ethernet; long/global
+/// links are silicon-photonics optical, reflecting the paper's cost argument.
+///
+/// Every builder returns a Network with routes already built.
+
+namespace hpc::net {
+
+/// Star: one switch, \p hosts endpoints (rack scale reference).
+Network make_single_switch(int hosts, LinkClass edge = LinkClass::kEth200);
+
+/// Canonical k-ary fat-tree (k even): k pods, k^2/4 core switches,
+/// k^3/4 hosts.  Edge/aggregation electrical; core layer optical.
+Network make_fat_tree(int k);
+
+/// 2-D torus of switches (width x height), \p hosts_per_switch endpoints
+/// each.  All links electrical.
+Network make_torus_2d(int width, int height, int hosts_per_switch = 1);
+
+/// Dragonfly(a, p, h): groups of \p a routers, \p p hosts per router,
+/// \p h global links per router; g = a*h + 1 groups; routers within a group
+/// form a clique (electrical); global links optical.
+Network make_dragonfly(int a, int p, int h);
+
+/// 2-D HyperX: s1 x s2 switch grid, fully connected along each dimension,
+/// \p hosts_per_switch endpoints per switch.  Dimension links optical when
+/// they span more than a neighbouring position.
+Network make_hyperx_2d(int s1, int s2, int hosts_per_switch);
+
+/// Summary statistics used by experiment C3.
+struct TopologySummary {
+  std::string name;
+  int endpoints = 0;
+  int switches = 0;
+  int diameter = 0;
+  double mean_hops = 0.0;
+  std::size_t electrical_links = 0;
+  std::size_t optical_links = 0;
+  double cost_usd = 0.0;
+};
+
+/// Computes the C3 summary for a built network.
+TopologySummary summarize(const Network& net, std::string name);
+
+}  // namespace hpc::net

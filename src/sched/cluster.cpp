@@ -1,0 +1,32 @@
+#include "sched/cluster.hpp"
+
+namespace hpc::sched {
+
+Cluster make_homogeneous_cpu_cluster(int nodes, std::string name) {
+  Cluster c;
+  c.name = std::move(name);
+  c.partitions.push_back({"cpu", hw::cpu_server_spec(), nodes});
+  return c;
+}
+
+Cluster make_cpu_gpu_cluster(int cpu_nodes, int gpu_nodes, std::string name) {
+  Cluster c;
+  c.name = std::move(name);
+  c.partitions.push_back({"cpu", hw::cpu_server_spec(), cpu_nodes});
+  c.partitions.push_back({"gpu", hw::gpu_hpc_spec(), gpu_nodes});
+  return c;
+}
+
+Cluster make_diversified_cluster(int cpu_nodes, int gpu_nodes, int systolic_nodes,
+                                 int fpga_nodes, int dpe_nodes, std::string name) {
+  Cluster c;
+  c.name = std::move(name);
+  c.partitions.push_back({"cpu", hw::cpu_server_spec(), cpu_nodes});
+  c.partitions.push_back({"gpu", hw::gpu_hpc_spec(), gpu_nodes});
+  c.partitions.push_back({"systolic", hw::systolic_spec(), systolic_nodes});
+  c.partitions.push_back({"fpga", hw::fpga_spec(), fpga_nodes});
+  c.partitions.push_back({"dpe", hw::analog_dpe_device_spec(), dpe_nodes});
+  return c;
+}
+
+}  // namespace hpc::sched

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/catalog.hpp"
+#include "hw/device.hpp"
+#include "sched/job.hpp"
+
+/// \file cluster.hpp
+/// A cluster is a set of homogeneous partitions, each holding \c nodes
+/// devices of one family — the "more than a dozen configurations" a
+/// heterogeneous system integrator fields (Section III.E).
+
+namespace hpc::sched {
+
+/// One homogeneous partition.
+struct Partition {
+  std::string name;
+  hw::DeviceSpec device;
+  int nodes = 0;
+};
+
+/// A (possibly heterogeneous) cluster.
+struct Cluster {
+  std::string name;
+  std::vector<Partition> partitions;
+
+  int total_nodes() const noexcept {
+    int n = 0;
+    for (const Partition& p : partitions) n += p.nodes;
+    return n;
+  }
+  double total_power_w() const noexcept {
+    double w = 0.0;
+    for (const Partition& p : partitions) w += p.device.tdp_w * p.nodes;
+    return w;
+  }
+  double total_cost_usd() const noexcept {
+    double c = 0.0;
+    for (const Partition& p : partitions) c += p.device.cost_usd * p.nodes;
+    return c;
+  }
+};
+
+/// A CPU-only cluster of \p nodes server CPUs.
+Cluster make_homogeneous_cpu_cluster(int nodes, std::string name = "cpu-cluster");
+
+/// A CPU+GPU cluster (the 2021 mainstream).
+Cluster make_cpu_gpu_cluster(int cpu_nodes, int gpu_nodes, std::string name = "cpu-gpu");
+
+/// A diversified cluster spanning the paper's silicon menagerie, sized to
+/// roughly the same acquisition budget as \p reference_nodes CPU nodes.
+Cluster make_diversified_cluster(int cpu_nodes, int gpu_nodes, int systolic_nodes,
+                                 int fpga_nodes, int dpe_nodes,
+                                 std::string name = "diversified");
+
+}  // namespace hpc::sched

@@ -1,0 +1,82 @@
+#include "sched/job.hpp"
+
+#include <cmath>
+
+namespace hpc::sched {
+
+OpMix pure_mix(hw::OpClass c) noexcept {
+  OpMix mix{};
+  mix[static_cast<std::size_t>(c)] = 1.0;
+  return mix;
+}
+
+void normalize(OpMix& mix) noexcept {
+  double sum = 0.0;
+  for (double v : mix) sum += v;
+  if (sum <= 0.0) return;
+  for (double& v : mix) v /= sum;
+}
+
+namespace {
+
+/// Representative kernel per op class, sized so roofline behaviour (compute
+/// vs memory bound) matches the motif at realistic scales.
+hw::Kernel representative_kernel(hw::OpClass c, hw::Precision p) {
+  switch (c) {
+    case hw::OpClass::kGemm: return hw::make_gemm(4096, 4096, 4096, p);
+    case hw::OpClass::kConv: {
+      hw::Kernel k = hw::make_gemm(2048, 2048, 1024, p);  // im2col equivalent
+      k.op = hw::OpClass::kConv;
+      return k;
+    }
+    case hw::OpClass::kMatVec: return hw::make_matvec(8192, p);
+    case hw::OpClass::kFft: return hw::make_fft(1 << 22, p);
+    case hw::OpClass::kStencil: return hw::make_stencil3d(512, p);
+    case hw::OpClass::kSpMV: return hw::make_spmv(100'000'000, p);
+    case hw::OpClass::kGraph: return hw::make_graph(100'000'000);
+    case hw::OpClass::kSort: {
+      hw::Kernel k = hw::make_graph(100'000'000);
+      k.op = hw::OpClass::kSort;
+      return k;
+    }
+    case hw::OpClass::kScalar: {
+      hw::Kernel k;
+      k.name = "scalar";
+      k.op = hw::OpClass::kScalar;
+      k.flops = 1e9;
+      k.bytes = 8e9;
+      k.precision = p;
+      return k;
+    }
+  }
+  return hw::make_gemm(1024, 1024, 1024, p);
+}
+
+}  // namespace
+
+double sustained_gflops(const hw::DeviceSpec& spec, hw::OpClass c, hw::Precision p) {
+  const hw::Device dev(spec);
+  return dev.sustained_gflops(representative_kernel(c, p));
+}
+
+double job_runtime_ns(const Job& job, const hw::DeviceSpec& spec, int nodes) {
+  if (nodes <= 0) return 1e18;
+  double time_ns = 0.0;
+  for (int c = 0; c < hw::kOpClassCount; ++c) {
+    const double share = job.mix[static_cast<std::size_t>(c)];
+    if (share <= 0.0) continue;
+    const double rate = sustained_gflops(spec, static_cast<hw::OpClass>(c), job.precision);
+    if (rate <= 0.0) return 1e18;
+    time_ns += share * job.total_gflop / rate;  // Gflop / (Gflop/s) = s... see below
+  }
+  // total_gflop / Gflop-per-s gives seconds; convert to ns and divide by nodes.
+  return time_ns * 1e9 / static_cast<double>(nodes);
+}
+
+double job_energy_j(const Job& job, const hw::DeviceSpec& spec, int nodes) {
+  const double t_ns = job_runtime_ns(job, spec, nodes);
+  if (t_ns >= 1e18) return 1e18;
+  return t_ns * 1e-9 * spec.tdp_w * static_cast<double>(nodes);
+}
+
+}  // namespace hpc::sched

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "hw/device.hpp"
+#include "hw/kernel.hpp"
+#include "sim/time.hpp"
+
+/// \file job.hpp
+/// Job model for the heterogeneous scheduling substrate (Section III.F: users'
+/// "workloads run across a breadth of silicon options, ideally with a
+/// meta-scheduler that selects the best available for the job").
+///
+/// A job is characterized by total work (flops), an operation-class mix, a
+/// precision, node parallelism and data location — enough to predict its
+/// runtime on any device family and its transfer cost from any site.
+
+namespace hpc::sched {
+
+/// Fractional mix over hw::OpClass (should sum to ~1).
+using OpMix = std::array<double, hw::kOpClassCount>;
+
+/// Returns a mix with 100% of \p c.
+OpMix pure_mix(hw::OpClass c) noexcept;
+
+/// Normalizes a mix in place so the fractions sum to 1 (no-op if all zero).
+void normalize(OpMix& mix) noexcept;
+
+/// A schedulable job.
+struct Job {
+  int id = 0;
+  std::string name;
+  sim::TimeNs arrival = 0;
+  int nodes = 1;                    ///< nodes (devices) requested
+  double total_gflop = 1e3;         ///< total work across all nodes
+  OpMix mix{};                      ///< operation-class mix of the work
+  hw::Precision precision = hw::Precision::FP64;
+  double dataset_gb = 0.0;          ///< input data to stage in
+  int data_site = -1;               ///< site id holding the input (-1 local)
+  sim::TimeNs deadline = 0;         ///< absolute SLA deadline (0 = none)
+};
+
+/// Sustained Gflop/s of one device of \p spec on operation class \p c at
+/// precision \p p, evaluated with a representative kernel through the
+/// roofline model.
+double sustained_gflops(const hw::DeviceSpec& spec, hw::OpClass c, hw::Precision p);
+
+/// Predicted runtime of \p job on \p nodes devices of \p spec: the op-class
+/// shares run at their class rates, nodes scale throughput linearly (jobs
+/// request a fixed node count and are assumed well decomposed).
+/// Returns +inf-like 1e18 if the device cannot make progress on some class.
+double job_runtime_ns(const Job& job, const hw::DeviceSpec& spec, int nodes);
+
+/// Energy (J) of running \p job on \p nodes devices of \p spec, assuming TDP
+/// draw while running.
+double job_energy_j(const Job& job, const hw::DeviceSpec& spec, int nodes);
+
+}  // namespace hpc::sched

@@ -1,0 +1,252 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hpc::sched {
+
+std::string_view name_of(Policy p) noexcept {
+  switch (p) {
+    case Policy::kFcfsBlocking: return "fcfs";
+    case Policy::kFcfsSkip: return "fcfs-skip";
+    case Policy::kEasyBackfill: return "backfill";
+    case Policy::kHeteroAffinity: return "hetero-affinity";
+    case Policy::kRandomPlacement: return "random";
+    case Policy::kDeadlineAware: return "deadline-edf";
+  }
+  return "fcfs";
+}
+
+ClusterSim::ClusterSim(Cluster cluster, Policy policy, std::uint64_t seed)
+    : cluster_(std::move(cluster)), policy_(policy), rng_(seed) {}
+
+void ClusterSim::add_job(Job job) { jobs_.push_back(std::move(job)); }
+
+void ClusterSim::add_jobs(const std::vector<Job>& jobs) {
+  jobs_.insert(jobs_.end(), jobs.begin(), jobs.end());
+}
+
+int ClusterSim::pick_partition(const Job& job, const std::vector<int>& free) const {
+  std::vector<int> feasible;
+  for (std::size_t p = 0; p < cluster_.partitions.size(); ++p) {
+    if (free[p] >= job.nodes &&
+        job_runtime_ns(job, cluster_.partitions[p].device, job.nodes) < 1e17)
+      feasible.push_back(static_cast<int>(p));
+  }
+  if (feasible.empty()) return -1;
+  switch (policy_) {
+    case Policy::kFcfsBlocking:
+    case Policy::kFcfsSkip:
+    case Policy::kEasyBackfill:
+      return feasible.front();  // first configured partition that fits
+    case Policy::kDeadlineAware:
+    case Policy::kHeteroAffinity: {
+      int best = feasible.front();
+      double best_t = std::numeric_limits<double>::infinity();
+      for (const int p : feasible) {
+        const double t =
+            job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device, job.nodes);
+        if (t < best_t) {
+          best_t = t;
+          best = p;
+        }
+      }
+      return best;
+    }
+    case Policy::kRandomPlacement:
+      return feasible[rng_.index(feasible.size())];
+  }
+  return feasible.front();
+}
+
+int ClusterSim::best_partition(const Job& job) const {
+  for (std::size_t p = 0; p < cluster_.partitions.size(); ++p) {
+    if (cluster_.partitions[p].nodes >= job.nodes &&
+        job_runtime_ns(job, cluster_.partitions[p].device, job.nodes) < 1e17)
+      return static_cast<int>(p);
+  }
+  return -1;
+}
+
+ScheduleResult ClusterSim::run() {
+  // Arrival order, stable on id for determinism.
+  std::vector<int> order(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) order[i] = static_cast<int>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return jobs_[static_cast<std::size_t>(a)].arrival < jobs_[static_cast<std::size_t>(b)].arrival;
+  });
+
+  std::vector<int> free(cluster_.partitions.size());
+  for (std::size_t p = 0; p < free.size(); ++p) free[p] = cluster_.partitions[p].nodes;
+
+  std::vector<Running> running;
+  std::vector<int> waiting;  // job indices, FCFS order
+  std::size_t next_arrival = 0;
+  sim::TimeNs now = 0;
+
+  ScheduleResult result;
+  result.placements.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    result.placements[i].job_id = jobs_[i].id;
+    result.placements[i].arrival = jobs_[i].arrival;
+  }
+  double busy_node_ns = 0.0;
+
+  auto start_job = [&](int ji, int p) {
+    const Job& job = jobs_[static_cast<std::size_t>(ji)];
+    const double rt = job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device,
+                                     job.nodes);
+    const auto finish = now + static_cast<sim::TimeNs>(rt);
+    free[static_cast<std::size_t>(p)] -= job.nodes;
+    running.push_back(Running{ji, p, finish, job.nodes});
+    Placement& pl = result.placements[static_cast<std::size_t>(ji)];
+    pl.partition = p;
+    pl.start = now;
+    pl.finish = finish;
+    pl.energy_j = job_energy_j(job, cluster_.partitions[static_cast<std::size_t>(p)].device,
+                               job.nodes);
+    busy_node_ns += rt * job.nodes;
+  };
+
+  auto try_start = [&]() {
+    if (policy_ == Policy::kFcfsBlocking) {
+      while (!waiting.empty()) {
+        const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting.front())], free);
+        if (p < 0) break;
+        start_job(waiting.front(), p);
+        waiting.erase(waiting.begin());
+      }
+      return;
+    }
+    if (policy_ == Policy::kEasyBackfill) {
+      // Start head jobs while possible.
+      while (!waiting.empty()) {
+        const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting.front())], free);
+        if (p < 0) break;
+        start_job(waiting.front(), p);
+        waiting.erase(waiting.begin());
+      }
+      if (waiting.empty()) return;
+      // Shadow time: earliest moment the head could start on its first
+      // feasible partition as running jobs drain.
+      const Job& head = jobs_[static_cast<std::size_t>(waiting.front())];
+      const int hp = best_partition(head);
+      if (hp < 0) return;  // head can never run; handled by caller
+      std::vector<Running> drains = running;
+      std::sort(drains.begin(), drains.end(),
+                [](const Running& a, const Running& b) { return a.finish < b.finish; });
+      int avail = free[static_cast<std::size_t>(hp)];
+      sim::TimeNs shadow = now;
+      for (const Running& r : drains) {
+        if (avail >= head.nodes) break;
+        if (r.partition == hp) {
+          avail += r.nodes;
+          shadow = r.finish;
+        }
+      }
+      if (avail < head.nodes) return;  // cannot ever start — caller handles
+      // Backfill: any later job that fits now and finishes by the shadow.
+      for (std::size_t w = 1; w < waiting.size();) {
+        const Job& job = jobs_[static_cast<std::size_t>(waiting[w])];
+        const int p = pick_partition(job, free);
+        if (p >= 0) {
+          const double rt =
+              job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device, job.nodes);
+          const bool harmless =
+              p != hp || now + static_cast<sim::TimeNs>(rt) <= shadow;
+          if (harmless) {
+            start_job(waiting[w], p);
+            waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
+            continue;
+          }
+        }
+        ++w;
+      }
+      return;
+    }
+    // Skip-style policies: start anything that fits.  Priority is FCFS,
+    // except deadline-aware which serves earliest-deadline-first (jobs
+    // without a deadline go last, FCFS among themselves).
+    if (policy_ == Policy::kDeadlineAware) {
+      std::stable_sort(waiting.begin(), waiting.end(), [&](int a, int b) {
+        const sim::TimeNs da = jobs_[static_cast<std::size_t>(a)].deadline;
+        const sim::TimeNs db = jobs_[static_cast<std::size_t>(b)].deadline;
+        if ((da == 0) != (db == 0)) return db == 0;  // deadlines before none
+        return da < db;
+      });
+    }
+    for (std::size_t w = 0; w < waiting.size();) {
+      const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting[w])], free);
+      if (p >= 0) {
+        start_job(waiting[w], p);
+        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
+      } else {
+        ++w;
+      }
+    }
+  };
+
+  while (next_arrival < order.size() || !running.empty() || !waiting.empty()) {
+    // Admit arrivals at `now`.
+    while (next_arrival < order.size() &&
+           jobs_[static_cast<std::size_t>(order[next_arrival])].arrival <= now) {
+      waiting.push_back(order[next_arrival]);
+      ++next_arrival;
+    }
+    try_start();
+
+    // Drop jobs that can never run anywhere (misconfigured workloads).
+    waiting.erase(std::remove_if(waiting.begin(), waiting.end(),
+                                 [&](int ji) {
+                                   return best_partition(jobs_[static_cast<std::size_t>(ji)]) < 0;
+                                 }),
+                  waiting.end());
+
+    // Advance to the next event.
+    sim::TimeNs next = std::numeric_limits<sim::TimeNs>::max();
+    if (next_arrival < order.size())
+      next = jobs_[static_cast<std::size_t>(order[next_arrival])].arrival;
+    for (const Running& r : running) next = std::min(next, r.finish);
+    if (next == std::numeric_limits<sim::TimeNs>::max()) break;
+    now = std::max(now, next);
+
+    // Retire completions at `now`.
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].finish <= now) {
+        free[static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Aggregate metrics.
+  sim::Sampler waits;
+  sim::Sampler slowdowns;
+  int completed = 0;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Placement& pl = result.placements[i];
+    if (pl.partition < 0) continue;
+    ++completed;
+    result.makespan = std::max(result.makespan, pl.finish);
+    const double wait = static_cast<double>(pl.start - pl.arrival);
+    const double run = static_cast<double>(pl.finish - pl.start);
+    waits.push(wait);
+    slowdowns.push(run > 0.0 ? (wait + run) / run : 1.0);
+    result.total_energy_j += pl.energy_j;
+    if (jobs_[i].deadline > 0 && pl.finish > jobs_[i].deadline) ++result.sla_violations;
+  }
+  result.mean_wait_ns = waits.mean();
+  result.p95_wait_ns = waits.percentile(95.0);
+  result.mean_slowdown = slowdowns.mean();
+  const double total_node_ns =
+      static_cast<double>(result.makespan) * cluster_.total_nodes();
+  result.utilization = total_node_ns > 0.0 ? busy_node_ns / total_node_ns : 0.0;
+  result.throughput_jobs_per_s =
+      result.makespan > 0 ? completed / sim::to_seconds(result.makespan) : 0.0;
+  return result;
+}
+
+}  // namespace hpc::sched

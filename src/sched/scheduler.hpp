@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/cluster.hpp"
+#include "sched/job.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+/// \file scheduler.hpp
+/// Event-driven single-cluster batch scheduling with heterogeneous
+/// partitions.  Policies range from classic FCFS/backfill to the
+/// heterogeneity-affinity placement the paper's meta-scheduler vision needs
+/// (Section III.F).  Multi-site/federated scheduling builds on this in
+/// hpc::fed.
+
+namespace hpc::sched {
+
+/// Placement/queueing policy.
+enum class Policy : std::uint8_t {
+  kFcfsBlocking,    ///< strict FCFS: queue head blocks everyone
+  kFcfsSkip,        ///< FCFS order, but unstartable jobs are skipped this round
+  kEasyBackfill,    ///< EASY backfill: later jobs may run if they cannot delay the head
+  kHeteroAffinity,  ///< kFcfsSkip + pick the partition with the fastest runtime
+  kRandomPlacement, ///< kFcfsSkip + uniformly random feasible partition
+  kDeadlineAware,   ///< EDF queue order + fastest-partition placement (SLA work)
+};
+
+std::string_view name_of(Policy p) noexcept;
+
+/// Where and when one job ran.
+struct Placement {
+  int job_id = 0;
+  int partition = -1;            ///< index into Cluster::partitions, -1 = never ran
+  sim::TimeNs start = 0;
+  sim::TimeNs finish = 0;
+  sim::TimeNs wait() const noexcept { return start >= arrival ? start - arrival : 0; }
+  sim::TimeNs arrival = 0;
+  double energy_j = 0.0;
+};
+
+/// Aggregate outcome of a scheduling run.
+struct ScheduleResult {
+  std::vector<Placement> placements;
+  sim::TimeNs makespan = 0;
+  double mean_wait_ns = 0.0;
+  double p95_wait_ns = 0.0;
+  double mean_slowdown = 0.0;      ///< (wait+run)/run, bounded below by 1
+  double utilization = 0.0;        ///< busy node-time / (nodes x makespan)
+  int sla_violations = 0;
+  double total_energy_j = 0.0;
+  double throughput_jobs_per_s = 0.0;
+};
+
+/// Event-driven scheduling simulation.
+class ClusterSim {
+ public:
+  ClusterSim(Cluster cluster, Policy policy, std::uint64_t seed = 1);
+
+  void add_job(Job job);
+  void add_jobs(const std::vector<Job>& jobs);
+
+  /// Runs all jobs to completion and returns the aggregate result.
+  ScheduleResult run();
+
+ private:
+  struct Running {
+    int job_index;
+    int partition;
+    sim::TimeNs finish;
+    int nodes;
+  };
+
+  /// Picks a partition for \p job with free capacity per policy; -1 if none.
+  int pick_partition(const Job& job, const std::vector<int>& free) const;
+  /// Fastest-runtime partition regardless of current occupancy (-1 if none fits).
+  int best_partition(const Job& job) const;
+
+  Cluster cluster_;
+  Policy policy_;
+  mutable sim::Rng rng_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace hpc::sched

@@ -1,0 +1,119 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/catalog.hpp"
+
+namespace hpc::sched {
+
+std::string_view name_of(JobKind k) noexcept {
+  switch (k) {
+    case JobKind::kHpcSimulation: return "hpc-sim";
+    case JobKind::kAiTraining: return "ai-train";
+    case JobKind::kAiInference: return "ai-infer";
+    case JobKind::kAnalytics: return "analytics";
+  }
+  return "hpc-sim";
+}
+
+OpMix mix_of(JobKind k) noexcept {
+  OpMix mix{};
+  auto set = [&](hw::OpClass c, double v) { mix[static_cast<std::size_t>(c)] = v; };
+  switch (k) {
+    // Mixes count flops; the dense domains have essentially all of their
+    // flops in dense kernels (control code contributes work, not flops).
+    case JobKind::kHpcSimulation:
+      set(hw::OpClass::kStencil, 0.50);
+      set(hw::OpClass::kFft, 0.30);
+      set(hw::OpClass::kSpMV, 0.20);
+      break;
+    case JobKind::kAiTraining:
+      set(hw::OpClass::kGemm, 0.65);
+      set(hw::OpClass::kConv, 0.35);
+      break;
+    case JobKind::kAiInference:
+      set(hw::OpClass::kMatVec, 0.80);
+      set(hw::OpClass::kConv, 0.20);
+      break;
+    case JobKind::kAnalytics:
+      set(hw::OpClass::kSort, 0.35);
+      set(hw::OpClass::kGraph, 0.35);
+      set(hw::OpClass::kScalar, 0.30);
+      break;
+  }
+  return mix;
+}
+
+hw::Precision precision_of(JobKind k) noexcept {
+  switch (k) {
+    case JobKind::kHpcSimulation: return hw::Precision::FP64;
+    case JobKind::kAiTraining: return hw::Precision::BF16;
+    case JobKind::kAiInference: return hw::Precision::INT8;
+    case JobKind::kAnalytics: return hw::Precision::FP64;
+  }
+  return hw::Precision::FP64;
+}
+
+JobKind kind_of(const Job& job) noexcept {
+  // The dominant op class identifies the domain.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < job.mix.size(); ++c)
+    if (job.mix[c] > job.mix[best]) best = c;
+  switch (static_cast<hw::OpClass>(best)) {
+    case hw::OpClass::kStencil:
+    case hw::OpClass::kFft:
+    case hw::OpClass::kSpMV: return JobKind::kHpcSimulation;
+    case hw::OpClass::kGemm:
+    case hw::OpClass::kConv: return JobKind::kAiTraining;
+    case hw::OpClass::kMatVec: return JobKind::kAiInference;
+    default: return JobKind::kAnalytics;
+  }
+}
+
+std::vector<Job> generate_workload(const WorkloadConfig& cfg, sim::Rng& rng) {
+  const double total_share =
+      cfg.share_hpc + cfg.share_training + cfg.share_inference + cfg.share_analytics;
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(cfg.jobs));
+  double clock_s = 0.0;
+
+  for (int i = 0; i < cfg.jobs; ++i) {
+    clock_s += rng.exponential(cfg.mean_interarrival_s);
+
+    const double pick = rng.uniform(0.0, total_share);
+    JobKind kind = JobKind::kAnalytics;
+    if (pick < cfg.share_hpc) {
+      kind = JobKind::kHpcSimulation;
+    } else if (pick < cfg.share_hpc + cfg.share_training) {
+      kind = JobKind::kAiTraining;
+    } else if (pick < cfg.share_hpc + cfg.share_training + cfg.share_inference) {
+      kind = JobKind::kAiInference;
+    }
+
+    Job job;
+    job.id = i;
+    job.name = std::string(name_of(kind)) + "-" + std::to_string(i);
+    job.arrival = sim::from_seconds(clock_s);
+    job.mix = mix_of(kind);
+    job.precision = precision_of(kind);
+    job.total_gflop = rng.lognormal(cfg.log_mean_gflop, cfg.log_sigma_gflop);
+    if (kind == JobKind::kAiInference)  // inference jobs are small and frequent
+      job.total_gflop = std::max(1.0, job.total_gflop * 0.01);
+    // Node counts: power of two up to max, biased small.
+    const int max_pow = std::max(0, static_cast<int>(std::log2(cfg.max_nodes)));
+    const int pw = static_cast<int>(rng.uniform_int(0, max_pow));
+    job.nodes = std::min(cfg.max_nodes, 1 << std::min(pw, static_cast<int>(
+                                                              rng.uniform_int(0, max_pow))));
+    job.dataset_gb = cfg.dataset_gb_per_tflop * job.total_gflop / 1e3;
+    if (cfg.deadline_slack > 0.0) {
+      // Hint: runtime on a reference CPU node.
+      const double hint = job_runtime_ns(job, hw::cpu_server_spec(), job.nodes);
+      job.deadline = job.arrival + static_cast<sim::TimeNs>(cfg.deadline_slack * hint);
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace hpc::sched

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "sim/rng.hpp"
+
+/// \file workload.hpp
+/// Synthetic workload generation over the application domains the paper's
+/// Figure 1 converges: classical HPC simulation, AI training, AI inference,
+/// and data analytics.  Arrivals are Poisson; work sizes are lognormal
+/// (heavy-tailed, as production traces are).
+
+namespace hpc::sched {
+
+/// Application domain of a generated job.
+enum class JobKind : std::uint8_t {
+  kHpcSimulation,  ///< fp64 stencil/FFT/spmv mix
+  kAiTraining,     ///< bf16 GEMM/conv mix
+  kAiInference,    ///< int8 mat-vec mix, small and latency-sensitive
+  kAnalytics,      ///< sort/graph/scalar mix
+};
+
+std::string_view name_of(JobKind k) noexcept;
+
+/// The op-class mix characterizing \p kind.
+OpMix mix_of(JobKind k) noexcept;
+
+/// Precision the domain typically runs at.
+hw::Precision precision_of(JobKind k) noexcept;
+
+/// Workload-stream parameters.
+struct WorkloadConfig {
+  int jobs = 200;
+  double mean_interarrival_s = 30.0;
+  /// Relative frequency of each kind (normalized internally).
+  double share_hpc = 0.4;
+  double share_training = 0.25;
+  double share_inference = 0.2;
+  double share_analytics = 0.15;
+  /// Lognormal work size (in Gflop) parameters per job.
+  double log_mean_gflop = 9.0;   ///< exp(9) ≈ 8.1e3 Gflop
+  double log_sigma_gflop = 1.6;
+  int max_nodes = 16;
+  double dataset_gb_per_tflop = 2.0;  ///< input size scales with work
+  double deadline_slack = 0.0;        ///< 0 = no SLA; else deadline = arrival + slack*runtime_hint
+};
+
+/// Generates a deterministic job stream.
+std::vector<Job> generate_workload(const WorkloadConfig& cfg, sim::Rng& rng);
+
+/// Kind of a generated job (recovered from its stored mix).
+JobKind kind_of(const Job& job) noexcept;
+
+}  // namespace hpc::sched

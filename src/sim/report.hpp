@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Plain-text table printer so every bench binary reports its experiment in
+/// the same aligned row/series format the paper's tables would use.
+
+namespace hpc::sim {
+
+/// Column-aligned table accumulated row by row and printed to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row of preformatted cells (must match header count; short rows
+  /// are padded with empty cells).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  std::string to_string() const;
+  void print() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p digits significant decimal places.
+std::string fmt(double v, int digits = 3);
+
+/// Formats bytes with binary-ish units (KB/MB/GB/TB at 1000 steps, matching
+/// how the networking literature quotes bandwidth).
+std::string fmt_bytes(double bytes);
+
+/// Formats nanoseconds with an adaptive unit (ns/us/ms/s).
+std::string fmt_time_ns(double ns);
+
+}  // namespace hpc::sim

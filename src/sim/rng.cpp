@@ -1,0 +1,34 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::sim {
+
+double Rng::pareto(double xm, double alpha) {
+  // Inverse CDF: xm / U^{1/alpha}.
+  const double u = std::max(uniform(0.0, 1.0), 1e-300);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) return 0;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k), s);
+      zipf_cdf_[k - 1] = acc;
+    }
+    const double total = zipf_cdf_.back();
+    for (double& v : zipf_cdf_) v /= total;
+  }
+  const double u = uniform(0.0, 1.0);
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  const auto rank = static_cast<std::size_t>(it - zipf_cdf_.begin()) + 1;
+  return std::min(rank, n);
+}
+
+}  // namespace hpc::sim

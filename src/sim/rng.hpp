@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+/// \file rng.hpp
+/// Deterministic, explicitly-seeded random number generation.
+///
+/// Every stochastic component in Archipelago draws from an Rng it is handed,
+/// never from global state, so that every experiment in EXPERIMENTS.md is
+/// reproducible bit-for-bit from its seed.
+
+namespace hpc::sim {
+
+/// Seeded pseudo-random generator with the distributions the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Exponential variate with the given mean (not rate).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal variate.
+  double normal(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Log-normal variate parameterized by the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Pareto variate with minimum xm > 0 and shape alpha > 0 (heavy tail).
+  double pareto(double xm, double alpha);
+
+  /// Zipf-distributed rank in [1, n] with exponent s >= 0 (s = 0 is uniform).
+  /// Uses inverse-CDF on the precomputable harmonic weights; O(log n) amortized
+  /// after an O(n) table build, the table is rebuilt when (n, s) change.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+
+  /// Returns an independent generator forked from this one (stable stream split).
+  Rng fork() { return Rng(engine_()); }
+
+  /// Underlying engine access for std distributions not wrapped here.
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf table for the last (n, s) pair requested.
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace hpc::sim

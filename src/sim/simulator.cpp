@@ -1,0 +1,49 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace hpc::sim {
+
+void Simulator::schedule_at(TimeNs at, Handler fn) {
+  queue_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_every(TimeNs period, std::function<bool()> fn) {
+  schedule_in(period, [this, period, fn = std::move(fn)]() mutable {
+    if (fn()) schedule_every(period, std::move(fn));
+  });
+}
+
+bool Simulator::pop_and_run() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
+  // copy the handler.  Handlers are cheap std::functions at simulation scale.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run()) {
+  }
+}
+
+void Simulator::run_until(TimeNs until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().at <= until) {
+    pop_and_run();
+  }
+  if (now_ < until) now_ = until;
+}
+
+std::size_t Simulator::step(std::size_t n) {
+  std::size_t done = 0;
+  while (done < n && pop_and_run()) ++done;
+  return done;
+}
+
+}  // namespace hpc::sim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file simulator.hpp
+/// Deterministic discrete-event simulation kernel.
+///
+/// Ties are broken by insertion order, so runs are reproducible regardless of
+/// how many events share a timestamp.  All substrates (fabric, scheduler,
+/// federation, market, edge) run on this kernel.
+
+namespace hpc::sim {
+
+/// Discrete-event simulator with a monotonically advancing clock.
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time.
+  TimeNs now() const noexcept { return now_; }
+
+  /// Schedules \p fn at absolute time \p at (clamped to now if in the past).
+  void schedule_at(TimeNs at, Handler fn);
+
+  /// Schedules \p fn \p delay nanoseconds from now.
+  void schedule_in(TimeNs delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Schedules \p fn every \p period, starting at now + \p period, until it
+  /// returns false or the simulation stops.
+  void schedule_every(TimeNs period, std::function<bool()> fn);
+
+  /// Runs until the event queue is empty or stop() is called.
+  void run();
+
+  /// Runs until simulated time reaches \p until (events after it stay queued).
+  void run_until(TimeNs until);
+
+  /// Executes at most \p n events; returns the number actually executed.
+  std::size_t step(std::size_t n = 1);
+
+  /// Stops the current run() after the in-flight event handler returns.
+  void stop() noexcept { stopped_ = true; }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hpc::sim

@@ -1,0 +1,122 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpc::sim {
+
+void RunningStats::push(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nt = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  mean_ = (na * mean_ + nb * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Sampler::push(double x) {
+  values_.push_back(x);
+  stats_.push(x);
+  sorted_ = false;
+}
+
+double Sampler::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    sorted_values_ = values_;
+    std::sort(sorted_values_.begin(), sorted_values_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Linear interpolation between closest ranks.
+  const double rank = clamped / 100.0 * static_cast<double>(sorted_values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values_[lo] * (1.0 - frac) + sorted_values_[hi] * frac;
+}
+
+LogHistogram::LogHistogram(int bins_per_decade, double min_value, double max_value)
+    : bins_per_decade_(bins_per_decade),
+      min_value_(min_value),
+      log_min_(std::log10(min_value)) {
+  const double decades = std::log10(max_value) - log_min_;
+  counts_.assign(static_cast<std::size_t>(decades * bins_per_decade) + 2, 0);
+}
+
+std::size_t LogHistogram::bin_for(double value) const {
+  if (value <= min_value_) return 0;
+  const double pos = (std::log10(value) - log_min_) * bins_per_decade_;
+  const auto bin = static_cast<std::size_t>(pos) + 1;
+  return std::min(bin, counts_.size() - 1);
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const {
+  if (bin == 0) return 0.0;
+  return std::pow(10.0, log_min_ + static_cast<double>(bin - 1) / bins_per_decade_);
+}
+
+void LogHistogram::record(double value) {
+  ++counts_[bin_for(value)];
+  ++total_;
+  sum_ += value;
+}
+
+double LogHistogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target && counts_[i] > 0) {
+      // Midpoint of the bin (geometric for log bins).
+      const double lo = bin_lower(i);
+      const double hi = bin_lower(i + 1);
+      return lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+    }
+  }
+  return bin_lower(counts_.size());
+}
+
+void TimeSeries::add(double t, double value) {
+  if (t < 0.0) return;
+  const auto bucket = static_cast<std::size_t>(t / width_);
+  if (bucket >= values_.size()) values_.resize(bucket + 1, 0.0);
+  values_[bucket] += value;
+}
+
+double TimeSeries::peak() const {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+double TimeSeries::total() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+}  // namespace hpc::sim

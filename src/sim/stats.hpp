@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Statistics collectors used across the simulators: streaming moments,
+/// exact-percentile samplers, and memory-bounded log-binned histograms.
+/// Tail latency (p99/p999) is the paper's headline interconnect metric
+/// (Section II.B), so percentile support is first class.
+
+namespace hpc::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile sampler: stores every value.  Fine at simulation scale
+/// (millions of samples); use LogHistogram when memory must stay bounded.
+class Sampler {
+ public:
+  void push(double x);
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  double mean() const noexcept { return stats_.mean(); }
+  double stddev() const noexcept { return stats_.stddev(); }
+  double min() const noexcept { return stats_.min(); }
+  double max() const noexcept { return stats_.max(); }
+  double sum() const noexcept { return stats_.sum(); }
+
+  /// Percentile p in [0, 100].  Sorts lazily; repeated queries are cheap.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+  RunningStats stats_;
+  mutable bool sorted_ = true;
+  mutable std::vector<double> sorted_values_;
+};
+
+/// Log-binned histogram over (0, +inf) with bounded memory and approximate
+/// percentiles (relative error bounded by the per-decade resolution).
+class LogHistogram {
+ public:
+  /// \param bins_per_decade  resolution; 20 gives ~12% worst-case bin width.
+  explicit LogHistogram(int bins_per_decade = 20, double min_value = 1e-9,
+                        double max_value = 1e18);
+
+  void record(double value);
+  std::uint64_t count() const noexcept { return total_; }
+  double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  double percentile(double p) const;
+
+ private:
+  std::size_t bin_for(double value) const;
+  double bin_lower(std::size_t bin) const;
+
+  int bins_per_decade_;
+  double min_value_;
+  double log_min_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Uniform time-bucketed counter, e.g. bytes-per-interval over a run.
+class TimeSeries {
+ public:
+  explicit TimeSeries(double bucket_width) : width_(bucket_width) {}
+
+  void add(double t, double value);
+  std::size_t buckets() const noexcept { return values_.size(); }
+  double bucket_width() const noexcept { return width_; }
+  /// Sum recorded into bucket i (0 if never touched).
+  double at(std::size_t i) const { return i < values_.size() ? values_[i] : 0.0; }
+  double peak() const;
+  double total() const;
+
+ private:
+  double width_;
+  std::vector<double> values_;
+};
+
+}  // namespace hpc::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file time.hpp
+/// Simulated-time representation shared by every Archipelago substrate.
+///
+/// Simulated time is an unsigned count of nanoseconds since simulation start.
+/// Nanosecond granularity spans the whole range the paper cares about: from
+/// CXL-class memory-fabric hops (~100 ns) up to multi-day federated job
+/// campaigns (~10^14 ns), all comfortably inside 64 bits.
+
+namespace hpc::sim {
+
+/// Simulated time in nanoseconds.
+using TimeNs = std::uint64_t;
+
+/// Signed time delta in nanoseconds (for differences that may be negative).
+using TimeDeltaNs = std::int64_t;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+inline constexpr TimeNs kHour = 60 * kMinute;
+
+/// Converts simulated nanoseconds to floating-point seconds.
+constexpr double to_seconds(TimeNs t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+/// Converts floating-point seconds to simulated nanoseconds (clamped at 0).
+constexpr TimeNs from_seconds(double s) noexcept {
+  return s <= 0.0 ? 0 : static_cast<TimeNs>(s * 1e9 + 0.5);
+}
+
+/// Converts simulated nanoseconds to floating-point microseconds.
+constexpr double to_micros(TimeNs t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+
+/// Converts simulated nanoseconds to floating-point milliseconds.
+constexpr double to_millis(TimeNs t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace hpc::sim

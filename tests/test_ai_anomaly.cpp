@@ -1,0 +1,85 @@
+#include "ai/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace hpc::ai {
+namespace {
+
+TEST(StreamingDetector, QuietStreamNoAlarms) {
+  StreamingDetector det(0.05, 4.0, 50);
+  sim::Rng rng(51);
+  int alarms = 0;
+  for (int i = 0; i < 5'000; ++i)
+    if (det.observe(rng.normal(10.0, 0.5))) ++alarms;
+  // 4-sigma threshold: essentially no alarms on Gaussian noise.
+  EXPECT_LT(alarms, 10);
+  EXPECT_NEAR(det.mean(), 10.0, 0.3);
+}
+
+TEST(StreamingDetector, CatchesLargeSpike) {
+  StreamingDetector det(0.05, 4.0, 50);
+  sim::Rng rng(52);
+  for (int i = 0; i < 500; ++i) det.observe(rng.normal(10.0, 0.5));
+  EXPECT_TRUE(det.observe(25.0));
+  EXPECT_EQ(det.alarms(), 1);
+}
+
+TEST(StreamingDetector, WarmupSuppressesAlarms) {
+  StreamingDetector det(0.05, 4.0, 100);
+  sim::Rng rng(53);
+  det.observe(10.0);
+  det.observe(10.1);
+  // A wild value during warmup must not alarm.
+  EXPECT_FALSE(det.observe(1'000.0));
+}
+
+TEST(StreamingDetector, OutliersDoNotPoisonBaseline) {
+  StreamingDetector det(0.05, 4.0, 50);
+  sim::Rng rng(54);
+  for (int i = 0; i < 1'000; ++i) det.observe(rng.normal(5.0, 0.2));
+  const double mean_before = det.mean();
+  for (int i = 0; i < 20; ++i) det.observe(100.0);  // attack burst
+  EXPECT_NEAR(det.mean(), mean_before, 0.1);  // baseline unchanged
+  EXPECT_GE(det.alarms(), 19);
+}
+
+TEST(StreamingDetector, AdaptsToSlowDrift) {
+  StreamingDetector det(0.05, 4.0, 50);
+  sim::Rng rng(55);
+  int alarms = 0;
+  double level = 10.0;
+  for (int i = 0; i < 5'000; ++i) {
+    level += 0.001;  // slow drift well under threshold per step
+    if (det.observe(rng.normal(level, 0.5))) ++alarms;
+  }
+  EXPECT_LT(alarms, 25);
+  EXPECT_NEAR(det.mean(), level, 1.0);
+}
+
+TEST(StreamingDetector, PrecisionRecallOnLabelledStream) {
+  StreamingDetector det(0.05, 4.0, 100);
+  sim::Rng rng(56);
+  DetectionQuality q;
+  for (int i = 0; i < 10'000; ++i) {
+    const bool attack = i > 200 && rng.bernoulli(0.01);
+    const double value = attack ? rng.normal(30.0, 2.0) : rng.normal(10.0, 0.5);
+    const bool alarm = det.observe(value);
+    if (attack && alarm) ++q.true_positives;
+    if (attack && !alarm) ++q.false_negatives;
+    if (!attack && alarm) ++q.false_positives;
+    if (!attack && !alarm) ++q.true_negatives;
+  }
+  EXPECT_GT(q.precision(), 0.9);
+  EXPECT_GT(q.recall(), 0.9);
+}
+
+TEST(DetectionQuality, EmptyCountersSafe) {
+  const DetectionQuality q;
+  EXPECT_DOUBLE_EQ(q.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(q.recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace hpc::ai

@@ -1,0 +1,134 @@
+#include "ai/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ai/datasets.hpp"
+
+namespace hpc::ai {
+namespace {
+
+/// Shared fixture: one well-trained classifier reused across executor tests.
+class ExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new sim::Rng(21);
+    const Dataset all = make_blobs(1'500, 4, 2, 0.5, *rng_);
+    auto [train, test] = split(all, 0.8);
+    test_ = new Dataset(std::move(test));
+    model_ = new Mlp({2, 32, 32, 4}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, *rng_);
+    TrainConfig cfg;
+    cfg.epochs = 60;
+    model_->train(train, cfg, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete test_;
+    delete rng_;
+    model_ = nullptr;
+    test_ = nullptr;
+    rng_ = nullptr;
+  }
+
+  static Mlp* model_;
+  static Dataset* test_;
+  static sim::Rng* rng_;
+};
+
+Mlp* ExecTest::model_ = nullptr;
+Dataset* ExecTest::test_ = nullptr;
+sim::Rng* ExecTest::rng_ = nullptr;
+
+TEST_F(ExecTest, ExactExecutorMatchesNativeForward) {
+  ExactExecutor exec;
+  const auto x = test_->input(0);
+  const std::vector<float> a = model_->forward(x);
+  const std::vector<float> b = forward_with(*model_, x, exec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+  EXPECT_DOUBLE_EQ(accuracy_with(*model_, *test_, exec), model_->accuracy(*test_));
+}
+
+TEST_F(ExecTest, BaselineAccuracyIsHigh) {
+  ExactExecutor exec;
+  EXPECT_GT(accuracy_with(*model_, *test_, exec), 0.9);
+}
+
+TEST_F(ExecTest, Bf16NearlyLossless) {
+  ExactExecutor exact;
+  QuantizedExecutor bf16(hw::Precision::BF16);
+  const double base = accuracy_with(*model_, *test_, exact);
+  const double q = accuracy_with(*model_, *test_, bf16);
+  EXPECT_GT(q, base - 0.02);
+}
+
+TEST_F(ExecTest, Fp16NearlyLossless) {
+  ExactExecutor exact;
+  QuantizedExecutor fp16(hw::Precision::FP16);
+  EXPECT_GT(accuracy_with(*model_, *test_, fp16),
+            accuracy_with(*model_, *test_, exact) - 0.02);
+}
+
+TEST_F(ExecTest, Int8SmallLoss) {
+  ExactExecutor exact;
+  QuantizedExecutor int8(hw::Precision::INT8);
+  EXPECT_GT(accuracy_with(*model_, *test_, int8),
+            accuracy_with(*model_, *test_, exact) - 0.05);
+}
+
+TEST_F(ExecTest, Int4DegradesMoreThanInt8) {
+  QuantizedExecutor int8(hw::Precision::INT8);
+  QuantizedExecutor int4(hw::Precision::INT4);
+  EXPECT_LE(accuracy_with(*model_, *test_, int4),
+            accuracy_with(*model_, *test_, int8) + 0.02);
+}
+
+TEST_F(ExecTest, AnalogLowNoiseUsable) {
+  hw::AnalogSpec spec = hw::dpe_spec();
+  spec.read_noise_sigma = 0.01;
+  const hw::AnalogEngine engine(spec);
+  sim::Rng rng(31);
+  AnalogExecutor analog(engine, rng);
+  ExactExecutor exact;
+  EXPECT_GT(accuracy_with(*model_, *test_, analog),
+            accuracy_with(*model_, *test_, exact) - 0.1);
+}
+
+TEST_F(ExecTest, AnalogAccuracyDegradesWithNoise) {
+  auto acc_at = [&](double sigma) {
+    hw::AnalogSpec spec = hw::dpe_spec();
+    spec.read_noise_sigma = sigma;
+    const hw::AnalogEngine engine(spec);
+    sim::Rng rng(32);
+    AnalogExecutor analog(engine, rng);
+    return accuracy_with(*model_, *test_, analog);
+  };
+  const double clean = acc_at(0.005);
+  const double noisy = acc_at(0.5);
+  EXPECT_GT(clean, noisy + 0.1);
+}
+
+TEST_F(ExecTest, QuantizedRegressionRmseOrdering) {
+  sim::Rng rng(33);
+  const Dataset all = make_oscillator(1'200, rng);
+  auto [train, test] = split(all, 0.85);
+  Mlp reg({3, 32, 32, 1}, Activation::kTanh, Loss::kMse, rng);
+  TrainConfig cfg;
+  cfg.epochs = 150;
+  cfg.learning_rate = 0.05f;
+  reg.train(train, cfg, rng);
+
+  ExactExecutor exact;
+  QuantizedExecutor bf16(hw::Precision::BF16);
+  QuantizedExecutor int4(hw::Precision::INT4);
+  const double e_exact = rmse_with(reg, test, exact);
+  const double e_bf16 = rmse_with(reg, test, bf16);
+  const double e_int4 = rmse_with(reg, test, int4);
+  EXPECT_LT(e_exact, 0.12);
+  EXPECT_LT(e_bf16, e_int4);
+  EXPECT_GE(e_int4, e_exact);
+}
+
+}  // namespace
+}  // namespace hpc::ai

@@ -1,0 +1,110 @@
+#include "ai/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ai/datasets.hpp"
+
+namespace hpc::ai {
+namespace {
+
+/// A dataset where only feature 0 carries the label: y = [x0 > 0], features
+/// 1..d-1 are noise.
+Dataset one_informative_feature(std::int64_t n, std::int64_t dim, sim::Rng& rng) {
+  Dataset d;
+  d.n = n;
+  d.dim = dim;
+  d.targets = 2;
+  d.x.resize(static_cast<std::size_t>(n * dim));
+  d.label.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-2.0, 2.0);
+    d.x[static_cast<std::size_t>(i * dim)] = static_cast<float>(x0);
+    for (std::int64_t k = 1; k < dim; ++k)
+      d.x[static_cast<std::size_t>(i * dim + k)] = static_cast<float>(rng.normal(0.0, 1.0));
+    d.label[static_cast<std::size_t>(i)] = x0 > 0.0 ? 1 : 0;
+  }
+  return d;
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new sim::Rng(31);
+    data_ = new Dataset(one_informative_feature(800, 4, *rng_));
+    model_ = new Mlp({4, 16, 2}, Activation::kTanh, Loss::kSoftmaxCrossEntropy, *rng_);
+    TrainConfig cfg;
+    cfg.epochs = 40;
+    model_->train(*data_, cfg, *rng_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete data_;
+    delete rng_;
+    model_ = nullptr;
+    data_ = nullptr;
+    rng_ = nullptr;
+  }
+  static Mlp* model_;
+  static Dataset* data_;
+  static sim::Rng* rng_;
+};
+
+Mlp* ExplainTest::model_ = nullptr;
+Dataset* ExplainTest::data_ = nullptr;
+sim::Rng* ExplainTest::rng_ = nullptr;
+
+TEST_F(ExplainTest, ModelActuallyLearned) {
+  EXPECT_GT(model_->accuracy(*data_), 0.95);
+}
+
+TEST_F(ExplainTest, PermutationImportanceFindsTheSignal) {
+  sim::Rng rng(32);
+  const FeatureImportance fi = permutation_importance(*model_, *data_, rng);
+  ASSERT_EQ(fi.importance.size(), 4u);
+  EXPECT_GT(fi.baseline_score, 0.95);
+  // Feature 0 dominates every noise feature.
+  for (std::size_t k = 1; k < 4; ++k)
+    EXPECT_GT(fi.importance[0], 5.0 * std::abs(fi.importance[k])) << k;
+  // Shuffling the signal column costs a lot of accuracy.
+  EXPECT_GT(fi.importance[0], 0.3);
+}
+
+TEST_F(ExplainTest, SaliencyConcentratesOnTheSignal) {
+  // Average |attribution| over confident samples.
+  std::vector<double> mean_abs(4, 0.0);
+  int used = 0;
+  for (std::int64_t i = 0; i < data_->n; i += 7) {
+    const auto x = data_->input(i);
+    if (std::abs(x[0]) < 0.5f) continue;  // skip boundary samples
+    const std::vector<double> attr = saliency(*model_, x);
+    for (std::size_t k = 0; k < 4; ++k) mean_abs[k] += std::abs(attr[k]);
+    ++used;
+  }
+  ASSERT_GT(used, 20);
+  for (std::size_t k = 1; k < 4; ++k) EXPECT_GT(mean_abs[0], 2.0 * mean_abs[k]) << k;
+}
+
+TEST_F(ExplainTest, SaliencySizeMatchesInput) {
+  const std::vector<double> attr = saliency(*model_, data_->input(0));
+  EXPECT_EQ(attr.size(), 4u);
+}
+
+TEST(Explain, RegressionImportanceUsesRmse) {
+  sim::Rng rng(33);
+  const Dataset osc = make_oscillator(600, rng);
+  Mlp reg({3, 32, 1}, Activation::kTanh, Loss::kMse, rng);
+  TrainConfig cfg;
+  cfg.epochs = 80;
+  cfg.learning_rate = 0.05f;
+  reg.train(osc, cfg, rng);
+  sim::Rng rng2(34);
+  const FeatureImportance fi = permutation_importance(reg, osc, rng2);
+  EXPECT_LT(fi.baseline_score, 0.0);  // -RMSE
+  // All three oscillator inputs matter.
+  for (const double imp : fi.importance) EXPECT_GT(imp, 0.0);
+}
+
+}  // namespace
+}  // namespace hpc::ai

@@ -1,0 +1,99 @@
+#include "ai/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hpc::ai {
+namespace {
+
+TEST(Linalg, MatvecKnownResult) {
+  // W = [[1,2],[3,4]], x = [5,6] -> y = [17, 39].
+  const std::vector<float> w{1, 2, 3, 4};
+  const std::vector<float> x{5, 6};
+  std::vector<float> y(2);
+  matvec(w, 2, 2, x, y);
+  EXPECT_FLOAT_EQ(y[0], 17.0f);
+  EXPECT_FLOAT_EQ(y[1], 39.0f);
+}
+
+TEST(Linalg, MatvecRectangular) {
+  // W: 1x3.
+  const std::vector<float> w{1, 2, 3};
+  const std::vector<float> x{1, 1, 1};
+  std::vector<float> y(1);
+  matvec(w, 1, 3, x, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(Linalg, MatvecTransposedKnownResult) {
+  // W = [[1,2],[3,4]] (2x2), x = [5,6] -> W^T x = [23, 34].
+  const std::vector<float> w{1, 2, 3, 4};
+  const std::vector<float> x{5, 6};
+  std::vector<float> y(2);
+  matvec_transposed(w, 2, 2, x, y);
+  EXPECT_FLOAT_EQ(y[0], 23.0f);
+  EXPECT_FLOAT_EQ(y[1], 34.0f);
+}
+
+TEST(Linalg, AddOuterAccumulates) {
+  std::vector<float> w{0, 0, 0, 0};
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{3, 4};
+  add_outer(w, 2, 2, a, b, 2.0f);
+  EXPECT_FLOAT_EQ(w[0], 6.0f);   // 2*1*3
+  EXPECT_FLOAT_EQ(w[1], 8.0f);   // 2*1*4
+  EXPECT_FLOAT_EQ(w[2], 12.0f);  // 2*2*3
+  EXPECT_FLOAT_EQ(w[3], 16.0f);  // 2*2*4
+}
+
+TEST(Linalg, Axpy) {
+  std::vector<float> dst{1, 2};
+  const std::vector<float> src{10, 20};
+  axpy(dst, src, 0.5f);
+  EXPECT_FLOAT_EQ(dst[0], 6.0f);
+  EXPECT_FLOAT_EQ(dst[1], 12.0f);
+}
+
+TEST(Linalg, Norm2) {
+  const std::vector<float> v{3, 4};
+  EXPECT_FLOAT_EQ(norm2(v), 5.0f);
+  EXPECT_FLOAT_EQ(norm2(std::vector<float>{}), 0.0f);
+}
+
+TEST(Linalg, RmsError) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{1, 2, 5};
+  EXPECT_NEAR(rms_error(a, b), std::sqrt(4.0 / 3.0), 1e-6);
+  EXPECT_FLOAT_EQ(rms_error(a, a), 0.0f);
+}
+
+TEST(Linalg, Argmax) {
+  EXPECT_EQ(argmax(std::vector<float>{1, 5, 3}), 1u);
+  EXPECT_EQ(argmax(std::vector<float>{-1, -5, -3}), 0u);
+  EXPECT_EQ(argmax(std::vector<float>{}), 0u);
+}
+
+TEST(Linalg, SoftmaxSumsToOne) {
+  std::vector<float> v{1, 2, 3, 4};
+  softmax(v);
+  float sum = 0.0f;
+  for (const float x : v) {
+    sum += x;
+    EXPECT_GT(x, 0.0f);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(v[3], v[0]);
+}
+
+TEST(Linalg, SoftmaxStableForLargeValues) {
+  std::vector<float> v{1000.0f, 1001.0f};
+  softmax(v);
+  EXPECT_FALSE(std::isnan(v[0]));
+  EXPECT_NEAR(v[0] + v[1], 1.0f, 1e-6f);
+  EXPECT_GT(v[1], v[0]);
+}
+
+}  // namespace
+}  // namespace hpc::ai

@@ -1,0 +1,186 @@
+#include "ai/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ai/datasets.hpp"
+
+namespace hpc::ai {
+namespace {
+
+TEST(Mlp, ShapesAndParameterCount) {
+  sim::Rng rng(1);
+  const Mlp m({3, 16, 8, 2}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  EXPECT_EQ(m.input_size(), 3);
+  EXPECT_EQ(m.output_size(), 2);
+  EXPECT_EQ(m.layers().size(), 3u);
+  EXPECT_EQ(m.parameter_count(), 3 * 16 + 16 + 16 * 8 + 8 + 8 * 2 + 2);
+  EXPECT_DOUBLE_EQ(m.inference_flops(), 2.0 * (3 * 16 + 16 * 8 + 8 * 2));
+}
+
+TEST(Mlp, SoftmaxOutputIsDistribution) {
+  sim::Rng rng(2);
+  const Mlp m({4, 8, 3}, Activation::kTanh, Loss::kSoftmaxCrossEntropy, rng);
+  const std::vector<float> out = m.forward(std::vector<float>{0.1f, -0.2f, 0.3f, 0.4f});
+  ASSERT_EQ(out.size(), 3u);
+  float sum = 0.0f;
+  for (const float v : out) {
+    EXPECT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Mlp, TrainingReducesLoss) {
+  sim::Rng rng(3);
+  Dataset data = make_blobs(400, 3, 2, 0.5, rng);
+  Mlp m({2, 24, 3}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  const float first = m.train_epoch(data, cfg, rng);
+  float last = first;
+  for (int e = 0; e < 30; ++e) last = m.train_epoch(data, cfg, rng);
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(Mlp, LearnsBlobs) {
+  sim::Rng rng(4);
+  const Dataset all = make_blobs(1'200, 4, 2, 0.45, rng);
+  const auto [train, test] = split(all, 0.8);
+  Mlp m({2, 32, 4}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.05f;
+  m.train(train, cfg, rng);
+  EXPECT_GT(m.accuracy(test), 0.9);
+}
+
+TEST(Mlp, LearnsSpiralsNonlinear) {
+  sim::Rng rng(5);
+  const Dataset all = make_two_spirals(1'500, 0.08, rng);
+  const auto [train, test] = split(all, 0.8);
+  Mlp m({2, 48, 48, 2}, Activation::kTanh, Loss::kSoftmaxCrossEntropy, rng);
+  TrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.learning_rate = 0.03f;
+  m.train(train, cfg, rng);
+  EXPECT_GT(m.accuracy(test), 0.85);
+}
+
+TEST(Mlp, LearnsRegression) {
+  sim::Rng rng(6);
+  const Dataset all = make_oscillator(2'000, rng);
+  const auto [train, test] = split(all, 0.85);
+  Mlp m({3, 48, 48, 1}, Activation::kTanh, Loss::kMse, rng);
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.learning_rate = 0.05f;
+  m.train(train, cfg, rng);
+  // Target range is roughly [-1, 1]; a useful surrogate is well under 0.1.
+  EXPECT_LT(m.rmse(test), 0.1);
+}
+
+TEST(Mlp, UntrainedChanceAccuracy) {
+  sim::Rng rng(7);
+  const Dataset data = make_blobs(1'000, 4, 2, 0.4, rng);
+  const Mlp m({2, 16, 4}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  const double acc = m.accuracy(data);
+  EXPECT_GT(acc, 0.05);
+  EXPECT_LT(acc, 0.6);
+}
+
+TEST(Mlp, PruneCreatesSparsity) {
+  sim::Rng rng(8);
+  Mlp m({8, 32, 4}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.0);
+  const double sparsity = m.prune(0.5);
+  EXPECT_NEAR(sparsity, 0.5, 0.02);
+  EXPECT_NEAR(m.sparsity(), sparsity, 1e-12);
+}
+
+TEST(Mlp, PruneKeepsLargestWeights) {
+  sim::Rng rng(9);
+  Mlp m({4, 8, 2}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  float max_before = 0.0f;
+  for (const auto& l : m.layers())
+    for (const float w : l.w) max_before = std::max(max_before, std::abs(w));
+  m.prune(0.7);
+  float max_after = 0.0f;
+  for (const auto& l : m.layers())
+    for (const float w : l.w) max_after = std::max(max_after, std::abs(w));
+  EXPECT_FLOAT_EQ(max_before, max_after);
+}
+
+TEST(Mlp, ModeratePruningPreservesAccuracy) {
+  sim::Rng rng(10);
+  const Dataset all = make_blobs(1'000, 3, 2, 0.5, rng);
+  const auto [train, test] = split(all, 0.8);
+  Mlp m({2, 48, 3}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  TrainConfig cfg;
+  cfg.epochs = 50;
+  m.train(train, cfg, rng);
+  const double before = m.accuracy(test);
+  m.prune(0.3);
+  const double after = m.accuracy(test);
+  EXPECT_GT(after, before - 0.1);
+}
+
+TEST(Mlp, DeterministicGivenSeeds) {
+  auto build = [] {
+    sim::Rng rng(11);
+    Dataset data = make_blobs(200, 2, 2, 0.5, rng);
+    Mlp m({2, 8, 2}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    m.train(data, cfg, rng);
+    return m.forward(std::vector<float>{0.5f, -0.5f});
+  };
+  const auto a = build();
+  const auto b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Datasets, BlobsLabelRange) {
+  sim::Rng rng(12);
+  const Dataset d = make_blobs(100, 5, 3, 0.3, rng);
+  EXPECT_EQ(d.n, 100);
+  EXPECT_EQ(d.dim, 3);
+  for (const int l : d.label) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(Datasets, SpiralsBalanced) {
+  sim::Rng rng(13);
+  const Dataset d = make_two_spirals(1'000, 0.05, rng);
+  int ones = 0;
+  for (const int l : d.label) ones += l;
+  EXPECT_EQ(ones, 500);
+}
+
+TEST(Datasets, OscillatorValuesBounded) {
+  sim::Rng rng(14);
+  const Dataset d = make_oscillator(500, rng);
+  for (const float y : d.y) {
+    EXPECT_GE(y, -1.1f);
+    EXPECT_LE(y, 1.1f);
+  }
+}
+
+TEST(Datasets, SplitSizes) {
+  sim::Rng rng(15);
+  const Dataset d = make_blobs(100, 2, 2, 0.3, rng);
+  const auto [train, test] = split(d, 0.75);
+  EXPECT_EQ(train.n, 75);
+  EXPECT_EQ(test.n, 25);
+  EXPECT_EQ(train.x.size(), 150u);
+  EXPECT_EQ(test.label.size(), 25u);
+}
+
+}  // namespace
+}  // namespace hpc::ai

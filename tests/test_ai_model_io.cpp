@@ -1,0 +1,82 @@
+#include "ai/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ai/datasets.hpp"
+#include "ai/exec.hpp"
+
+namespace hpc::ai {
+namespace {
+
+TEST(ModelIo, RoundTripPreservesOutputsExactly) {
+  sim::Rng rng(61);
+  const Dataset data = make_blobs(400, 3, 2, 0.5, rng);
+  Mlp model({2, 16, 3}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  model.train(data, cfg, rng);
+
+  const Mlp restored = from_text(to_text(model));
+  EXPECT_EQ(restored.input_size(), model.input_size());
+  EXPECT_EQ(restored.output_size(), model.output_size());
+  EXPECT_EQ(restored.hidden_activation(), model.hidden_activation());
+  EXPECT_EQ(restored.loss(), model.loss());
+  for (std::int64_t i = 0; i < data.n; i += 17) {
+    const auto a = model.forward(data.input(i));
+    const auto b = restored.forward(data.input(i));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_FLOAT_EQ(a[k], b[k]) << i;
+  }
+}
+
+TEST(ModelIo, RoundTripRegressionModel) {
+  sim::Rng rng(62);
+  Mlp model({3, 8, 1}, Activation::kTanh, Loss::kMse, rng);
+  const Mlp restored = from_text(to_text(model));
+  const std::vector<float> x{0.1f, 0.2f, 0.3f};
+  EXPECT_FLOAT_EQ(model.forward(x)[0], restored.forward(x)[0]);
+}
+
+TEST(ModelIo, DecouplesTrainingFromQuantizedInference) {
+  // The ONNX story: train at the core, ship the artifact, run it through a
+  // different executor at the edge.
+  sim::Rng rng(63);
+  const Dataset data = make_blobs(600, 3, 2, 0.5, rng);
+  Mlp model({2, 24, 3}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  TrainConfig cfg;
+  cfg.epochs = 40;
+  model.train(data, cfg, rng);
+
+  const Mlp shipped = from_text(to_text(model));
+  QuantizedExecutor int8(hw::Precision::INT8);
+  EXPECT_GT(accuracy_with(shipped, data, int8), model.accuracy(data) - 0.05);
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  EXPECT_THROW(from_text(""), std::runtime_error);
+  EXPECT_THROW(from_text("not-a-model 1"), std::runtime_error);
+  EXPECT_THROW(from_text("archipelago-mlp 99\n0 0\n1\n"), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedWeights) {
+  sim::Rng rng(64);
+  Mlp model({2, 4, 2}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  std::string text = to_text(model);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(from_text(text), std::runtime_error);
+}
+
+TEST(ModelIo, StreamInterface) {
+  sim::Rng rng(65);
+  Mlp model({2, 4, 2}, Activation::kReLU, Loss::kSoftmaxCrossEntropy, rng);
+  std::stringstream ss;
+  write_text(ss, model);
+  const Mlp restored = read_text(ss);
+  EXPECT_EQ(restored.parameter_count(), model.parameter_count());
+}
+
+}  // namespace
+}  // namespace hpc::ai

@@ -1,0 +1,69 @@
+#include "ai/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hpc::ai {
+namespace {
+
+TEST(GroundTruth, OscillatorMatchesDatasetGenerator) {
+  const GroundTruth g = oscillator_truth();
+  const std::vector<double> x{0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(g.f(x), oscillator_response(0.3, 0.4, 0.5));
+}
+
+TEST(GroundTruth, ResponseDecaysWithTime) {
+  // Damped oscillation: the envelope at a later time never exceeds an
+  // earlier envelope.
+  const double early = std::abs(oscillator_response(0.5, 0.5, 0.0));
+  const double late = std::abs(oscillator_response(0.5, 0.5, 1.0));
+  EXPECT_LE(late, early);
+  EXPECT_DOUBLE_EQ(oscillator_response(0.5, 0.5, 0.0), 1.0);  // cos(0)
+}
+
+TEST(Surrogate, TrainsToUsefulFidelity) {
+  const GroundTruth truth = oscillator_truth(1e6);
+  sim::Rng rng(41);
+  const Surrogate s = train_surrogate(truth, 2'500, 1e3, rng);
+  EXPECT_LT(s.test_rmse, 0.12);
+  EXPECT_LT(s.train_rmse, s.test_rmse * 2.0 + 0.05);
+  EXPECT_DOUBLE_EQ(s.train_cost_ns, 2'500.0 * 1e6);
+}
+
+TEST(Surrogate, CampaignSpeedsUp) {
+  const GroundTruth truth = oscillator_truth(1e6);  // 1 ms per exact step
+  sim::Rng rng(42);
+  const Surrogate s = train_surrogate(truth, 2'000, 1e3, rng);
+  const LoopResult r = run_campaign(truth, s, 100'000, 50, rng);
+  // 100k steps at 1 ms = 100 s exact; hybrid pays 2k training evals + 2k
+  // anchors + 98k cheap inferences.
+  EXPECT_GT(r.speedup, 5.0);
+  EXPECT_LT(r.mean_abs_error, 0.15);
+  EXPECT_DOUBLE_EQ(r.time_full_ns, 1e6 * 100'000);
+}
+
+TEST(Surrogate, MoreAnchoringCostsMoreTime) {
+  const GroundTruth truth = oscillator_truth(1e6);
+  sim::Rng rng(43);
+  const Surrogate s = train_surrogate(truth, 1'000, 1e3, rng);
+  sim::Rng r1(44);
+  sim::Rng r2(44);
+  const LoopResult dense = run_campaign(truth, s, 20'000, 5, r1);
+  const LoopResult sparse = run_campaign(truth, s, 20'000, 100, r2);
+  EXPECT_GT(dense.time_hybrid_ns, sparse.time_hybrid_ns);
+  EXPECT_LT(dense.speedup, sparse.speedup);
+}
+
+TEST(Surrogate, ZeroAnchoringIsAllSurrogate) {
+  const GroundTruth truth = oscillator_truth(1e6);
+  sim::Rng rng(45);
+  const Surrogate s = train_surrogate(truth, 1'000, 1e3, rng);
+  const LoopResult r = run_campaign(truth, s, 10'000, 0, rng);
+  // anchor_every = 0 disables anchoring entirely.
+  EXPECT_NEAR(r.time_hybrid_ns, s.train_cost_ns + 10'000.0 * 1e3, 1.0);
+}
+
+}  // namespace
+}  // namespace hpc::ai

@@ -1,0 +1,175 @@
+#include "core/datart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hpc::core {
+namespace {
+
+RegionRequirement read(int r) { return {r, Access::kRead}; }
+RegionRequirement write(int r) { return {r, Access::kWrite}; }
+RegionRequirement rw(int r) { return {r, Access::kReadWrite}; }
+
+TEST(DataRuntime, RawDependencyExtracted) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  const int producer = rt.add_task("produce", {write(a)}, 100.0);
+  const int consumer = rt.add_task("consume", {read(a)}, 50.0);
+  EXPECT_TRUE(rt.dependencies(producer).empty());
+  EXPECT_EQ(rt.dependencies(consumer), std::vector<int>{producer});
+}
+
+TEST(DataRuntime, WawDependencyExtracted) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  const int first = rt.add_task("w1", {write(a)}, 100.0);
+  const int second = rt.add_task("w2", {write(a)}, 100.0);
+  EXPECT_EQ(rt.dependencies(second), std::vector<int>{first});
+}
+
+TEST(DataRuntime, WarDependencyExtracted) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  const int w = rt.add_task("w", {write(a)}, 100.0);
+  const int r1 = rt.add_task("r1", {read(a)}, 50.0);
+  const int r2 = rt.add_task("r2", {read(a)}, 50.0);
+  const int w2 = rt.add_task("w-again", {write(a)}, 100.0);
+  const std::vector<int>& deps = rt.dependencies(w2);
+  // The second writer waits for both readers (WAR), not just the writer.
+  EXPECT_NE(std::find(deps.begin(), deps.end(), r1), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), r2), deps.end());
+  (void)w;
+}
+
+TEST(DataRuntime, ConcurrentReadersIndependent) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  rt.add_task("w", {write(a)}, 100.0);
+  const int r1 = rt.add_task("r1", {read(a)}, 50.0);
+  const int r2 = rt.add_task("r2", {read(a)}, 50.0);
+  // Readers depend on the writer but not on each other.
+  EXPECT_EQ(rt.dependencies(r1), std::vector<int>{0});
+  EXPECT_EQ(rt.dependencies(r2), std::vector<int>{0});
+}
+
+TEST(DataRuntime, DisjointRegionsFullyParallel) {
+  DataRuntime rt;
+  for (int i = 0; i < 8; ++i) {
+    const int r = rt.add_region("r" + std::to_string(i), 1.0);
+    rt.add_task("t" + std::to_string(i), {rw(r)}, 100.0);
+  }
+  const RuntimeSchedule s = rt.schedule(8);
+  EXPECT_NEAR(s.makespan_ns, 100.0, 1e-9);  // everything runs at once
+  EXPECT_NEAR(s.speedup, 8.0, 1e-9);
+  EXPECT_NEAR(s.parallel_efficiency, 1.0, 1e-9);
+}
+
+TEST(DataRuntime, ChainFullySerial) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  for (int i = 0; i < 5; ++i) rt.add_task("s" + std::to_string(i), {rw(a)}, 100.0);
+  const RuntimeSchedule s = rt.schedule(8);
+  EXPECT_NEAR(s.makespan_ns, 500.0, 1e-9);
+  EXPECT_NEAR(s.speedup, 1.0, 1e-9);
+}
+
+TEST(DataRuntime, ScheduleRespectsDependencies) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  const int b = rt.add_region("b", 1.0);
+  rt.add_task("wa", {write(a)}, 100.0);
+  rt.add_task("wb", {write(b)}, 70.0);
+  rt.add_task("join", {read(a), read(b)}, 30.0);
+  const RuntimeSchedule s = rt.schedule(2);
+  for (std::size_t t = 0; t < rt.task_count(); ++t)
+    for (const int d : rt.dependencies(static_cast<int>(t)))
+      EXPECT_GE(s.tasks[t].start_ns, s.tasks[static_cast<std::size_t>(d)].finish_ns);
+  EXPECT_NEAR(s.makespan_ns, 130.0, 1e-9);  // max(100,70) + 30
+}
+
+TEST(DataRuntime, NoWorkerRunsTwoTasksAtOnce) {
+  DataRuntime rt;
+  sim::Rng rng(7);
+  std::vector<int> regions;
+  for (int i = 0; i < 6; ++i) regions.push_back(rt.add_region("r" + std::to_string(i), 1.0));
+  for (int t = 0; t < 40; ++t) {
+    std::vector<RegionRequirement> reqs;
+    reqs.push_back(rng.bernoulli(0.5) ? read(regions[rng.index(6)])
+                                      : write(regions[rng.index(6)]));
+    if (rng.bernoulli(0.3)) reqs.push_back(read(regions[rng.index(6)]));
+    rt.add_task("t" + std::to_string(t), std::move(reqs), rng.uniform(10.0, 100.0));
+  }
+  const RuntimeSchedule s = rt.schedule(3);
+  for (std::size_t i = 0; i < s.tasks.size(); ++i)
+    for (std::size_t j = i + 1; j < s.tasks.size(); ++j) {
+      if (s.tasks[i].worker != s.tasks[j].worker) continue;
+      const bool disjoint = s.tasks[i].finish_ns <= s.tasks[j].start_ns + 1e-9 ||
+                            s.tasks[j].finish_ns <= s.tasks[i].start_ns + 1e-9;
+      EXPECT_TRUE(disjoint) << i << " vs " << j;
+    }
+}
+
+TEST(DataRuntime, MakespanNeverBelowCriticalPath) {
+  DataRuntime rt;
+  const int a = rt.add_region("a", 1.0);
+  const int b = rt.add_region("b", 1.0);
+  rt.add_task("w1", {write(a)}, 120.0);
+  rt.add_task("r", {read(a), write(b)}, 60.0);
+  rt.add_task("ind", {}, 200.0);
+  for (const int workers : {1, 2, 4, 16}) {
+    const RuntimeSchedule s = rt.schedule(workers);
+    EXPECT_GE(s.makespan_ns, rt.critical_path_ns() - 1e-9) << workers;
+    EXPECT_LE(s.makespan_ns, rt.serial_ns() + 1e-9) << workers;
+  }
+}
+
+TEST(DataRuntime, MoreWorkersNeverSlower) {
+  DataRuntime rt;
+  sim::Rng rng(9);
+  std::vector<int> regions;
+  for (int i = 0; i < 10; ++i) regions.push_back(rt.add_region("r" + std::to_string(i), 1.0));
+  for (int t = 0; t < 60; ++t)
+    rt.add_task("t" + std::to_string(t),
+                {rng.bernoulli(0.4) ? write(regions[rng.index(10)])
+                                    : read(regions[rng.index(10)])},
+                rng.uniform(10.0, 80.0));
+  double prev = 1e300;
+  for (const int workers : {1, 2, 4, 8}) {
+    const double makespan = rt.schedule(workers).makespan_ns;
+    EXPECT_LE(makespan, prev + 1e-6);
+    prev = makespan;
+  }
+}
+
+TEST(DataRuntime, MapsHotRegionsToFastTiers) {
+  DataRuntime rt;
+  const int hot = rt.add_region("hot", 10.0);
+  const int warm = rt.add_region("warm", 10.0);
+  const int cold = rt.add_region("cold", 10.0);
+  for (int i = 0; i < 10; ++i) rt.add_task("h" + std::to_string(i), {rw(hot)}, 100.0);
+  for (int i = 0; i < 3; ++i) rt.add_task("w" + std::to_string(i), {rw(warm)}, 100.0);
+  rt.add_task("c", {read(cold)}, 100.0);
+
+  // Tiny HBM tier: only one 10 GB region fits.
+  mem::MemoryTier hbm = mem::hbm_tier();
+  hbm.capacity_gb = 12.0;
+  const mem::Hierarchy hierarchy({hbm, mem::dram_tier(), mem::pmem_tier()});
+  const std::vector<std::size_t> placement = rt.map_regions(hierarchy);
+  EXPECT_EQ(placement[static_cast<std::size_t>(hot)], 0u);   // HBM
+  EXPECT_EQ(placement[static_cast<std::size_t>(warm)], 1u);  // DRAM
+  EXPECT_EQ(placement[static_cast<std::size_t>(cold)], 1u);  // DRAM still fits
+}
+
+TEST(DataRuntime, EmptyScheduleSafe) {
+  const DataRuntime rt;
+  const RuntimeSchedule s = rt.schedule(4);
+  EXPECT_DOUBLE_EQ(s.makespan_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace hpc::core

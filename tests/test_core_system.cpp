@@ -1,0 +1,219 @@
+#include "core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace hpc::core {
+namespace {
+
+/// Edge site 0 (data source), supercomputer site 1, cloud site 2.
+std::vector<fed::Site> archipelago() {
+  fed::Site edge = fed::make_edge_site(0, "facility", 4);
+  fed::Site core = fed::make_supercomputer_site(1, "leadership", 32);
+  core.admin_domain = 0;
+  fed::Site cloud = fed::make_cloud_site(2, "cloud", 32, 0.1);
+  return {edge, core, cloud};
+}
+
+Task make_task(std::string name, TaskKind kind, std::vector<int> deps,
+               std::vector<int> inputs, double out_gb, double gflop = 1e5) {
+  Task t;
+  t.name = std::move(name);
+  t.kind = kind;
+  t.deps = std::move(deps);
+  t.input_datasets = std::move(inputs);
+  t.output_gb = out_gb;
+  t.job.nodes = 1;
+  t.job.total_gflop = gflop;
+  return t;
+}
+
+TEST(System, SingleTaskRuns) {
+  System sys(archipelago());
+  const int ds = sys.catalog().add("raw", 10.0, 1, 0, data::Sensitivity::kPublic, "");
+  Workflow wf;
+  wf.add(make_task("analyze", TaskKind::kAnalyze, {}, {ds}, 1.0));
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_GE(r.outcomes[0].site, 0);
+  EXPECT_GT(r.outcomes[0].finish, r.outcomes[0].start);
+  EXPECT_GT(r.makespan, 0u);
+}
+
+TEST(System, DependenciesSequence) {
+  System sys(archipelago());
+  Workflow wf;
+  const int a = wf.add(make_task("sim", TaskKind::kSimulate, {}, {}, 5.0));
+  wf.add(make_task("train", TaskKind::kTrain, {a}, {}, 1.0));
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  EXPECT_GE(r.outcomes[1].start, r.outcomes[0].finish);
+}
+
+TEST(System, OutputRegisteredAtExecutionSite) {
+  System sys(archipelago());
+  Workflow wf;
+  wf.add(make_task("sim", TaskKind::kSimulate, {}, {}, 5.0));
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  const int out_ds = r.outcomes[0].output_dataset;
+  ASSERT_GE(out_ds, 0);
+  const data::DatasetMeta& m = sys.catalog().get(out_ds);
+  EXPECT_EQ(m.home_site, r.outcomes[0].site);
+  EXPECT_DOUBLE_EQ(m.size_gb, 5.0);
+  EXPECT_EQ(m.created, r.outcomes[0].finish);
+}
+
+TEST(System, LineageFlowsThroughWorkflow) {
+  System sys(archipelago());
+  Workflow wf;
+  const int a = wf.add(make_task("sim", TaskKind::kSimulate, {}, {}, 5.0));
+  const WorkflowResult r1 = sys.run(wf, PlacementPolicy::kGravityAware);
+  const int ds_a = r1.outcomes[static_cast<std::size_t>(a)].output_dataset;
+
+  Workflow wf2;
+  wf2.add(make_task("train", TaskKind::kTrain, {}, {ds_a}, 1.0));
+  const WorkflowResult r2 = sys.run(wf2, PlacementPolicy::kGravityAware);
+  const int ds_b = r2.outcomes[0].output_dataset;
+  ASSERT_GE(ds_b, 0);
+  const std::vector<int> anc = sys.catalog().ancestors(ds_b);
+  EXPECT_NE(std::find(anc.begin(), anc.end(), ds_a), anc.end());
+}
+
+TEST(System, GravityBeatsSiloedOnDataMovement) {
+  // A chain of tasks over one big dataset: siloed placement ping-pongs the
+  // data between pinned sites; gravity-aware keeps computation near it.
+  auto build = [](System& sys, Workflow& wf) {
+    const int raw =
+        sys.catalog().add("raw", 200.0, 1, 0, data::Sensitivity::kPublic, "frames");
+    const int t0 = wf.add(make_task("clean", TaskKind::kAnalyze, {}, {raw}, 150.0));
+    Task sim = make_task("sim", TaskKind::kSimulate, {t0}, {raw}, 50.0);
+    wf.add(sim);
+    wf.add(make_task("train", TaskKind::kTrain, {t0}, {raw}, 10.0));
+  };
+
+  System siloed(archipelago());
+  siloed.pin_silo(TaskKind::kAnalyze, 2);  // analytics in the cloud
+  siloed.pin_silo(TaskKind::kSimulate, 1); // HPC at the center
+  siloed.pin_silo(TaskKind::kTrain, 2);    // training in the cloud
+  Workflow wf1;
+  build(siloed, wf1);
+  const WorkflowResult silo = siloed.run(wf1, PlacementPolicy::kSiloed);
+
+  System gravity(archipelago());
+  Workflow wf2;
+  build(gravity, wf2);
+  const WorkflowResult grav = gravity.run(wf2, PlacementPolicy::kGravityAware);
+
+  EXPECT_LT(grav.wan_gb_moved, silo.wan_gb_moved);
+  EXPECT_LE(grav.makespan, silo.makespan);
+}
+
+TEST(System, StagedInputGetsReplica) {
+  System sys(archipelago());
+  const int ds = sys.catalog().add("raw", 50.0, 0, 0, data::Sensitivity::kPublic, "");
+  Workflow wf;
+  Task t = make_task("train", TaskKind::kTrain, {}, {ds}, 1.0);
+  wf.add(t);
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  const int site = r.outcomes[0].site;
+  const auto& replicas = sys.catalog().get(ds).replica_sites;
+  EXPECT_NE(std::find(replicas.begin(), replicas.end(), site), replicas.end());
+}
+
+TEST(System, RestrictedDataPinsComputation) {
+  System sys(archipelago());
+  const int secret =
+      sys.catalog().add("secret", 10.0, 0, 0, data::Sensitivity::kRestricted, "");
+  Workflow wf;
+  wf.add(make_task("analyze", TaskKind::kAnalyze, {}, {secret}, 1.0));
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  EXPECT_EQ(r.outcomes[0].site, 0);  // must run where the data lives
+}
+
+TEST(System, CheapestPolicyMinimizesCost) {
+  System sys(archipelago());
+  Workflow wf;
+  wf.add(make_task("analyze", TaskKind::kAnalyze, {}, {}, 0.0, 1e4));
+  const WorkflowResult cheap = sys.run(wf, PlacementPolicy::kCheapest);
+  System sys2(archipelago());
+  Workflow wf2;
+  wf2.add(make_task("analyze", TaskKind::kAnalyze, {}, {}, 0.0, 1e4));
+  const WorkflowResult fast = sys2.run(wf2, PlacementPolicy::kGravityAware);
+  EXPECT_LE(cheap.total_cost_usd, fast.total_cost_usd + 1e-9);
+}
+
+TEST(System, ParallelTasksOverlapOnDifferentNodes) {
+  System sys(archipelago());
+  Workflow wf;
+  wf.add(make_task("a", TaskKind::kSimulate, {}, {}, 0.0, 1e6));
+  wf.add(make_task("b", TaskKind::kSimulate, {}, {}, 0.0, 1e6));
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  // Both independent tasks start at time 0 (enough free nodes exist).
+  EXPECT_EQ(r.outcomes[0].start, 0u);
+  EXPECT_EQ(r.outcomes[1].start, 0u);
+}
+
+TEST(System, InputTasksStageUpstreamOutputs) {
+  // A producer at the edge (pinned via restricted data) hands 80 GB to a
+  // consumer that must run at the center (too wide for the edge): the
+  // consumer's staged bytes are exactly the producer's output.
+  System sys(archipelago());
+  const int pinned =
+      sys.catalog().add("pinned", 1.0, 0, 0, data::Sensitivity::kRestricted, "");
+  Workflow wf;
+  Task produce = make_task("produce", TaskKind::kInfer, {}, {pinned}, 80.0);
+  produce.output_sensitivity = data::Sensitivity::kPublic;
+  const int p = wf.add(produce);
+  Task consume = make_task("consume", TaskKind::kTrain, {p}, {}, 0.0, 1e6);
+  consume.input_tasks = {p};
+  consume.job.nodes = 16;  // wider than the edge site
+  wf.add(consume);
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  EXPECT_EQ(r.outcomes[0].site, 0);   // pinned with the restricted input
+  EXPECT_NE(r.outcomes[1].site, 0);   // forced off the edge
+  EXPECT_DOUBLE_EQ(r.outcomes[1].staged_gb, 80.0);
+}
+
+TEST(System, RestrictedOutputPinsDownstream) {
+  // If the producer marks its output restricted, a downstream task that
+  // consumes it cannot leave the producer's site.
+  System sys(archipelago());
+  Workflow wf;
+  Task produce = make_task("produce", TaskKind::kAnalyze, {}, {}, 10.0);
+  produce.output_sensitivity = data::Sensitivity::kRestricted;
+  const int p = wf.add(produce);
+  Task consume = make_task("consume", TaskKind::kAnalyze, {p}, {}, 0.0);
+  consume.input_tasks = {p};
+  wf.add(consume);
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  ASSERT_GE(r.outcomes[0].site, 0);
+  EXPECT_EQ(r.outcomes[1].site, r.outcomes[0].site);
+}
+
+TEST(System, InputTaskWithoutOutputIsHarmless) {
+  System sys(archipelago());
+  Workflow wf;
+  Task produce = make_task("produce", TaskKind::kAnalyze, {}, {}, 0.0);  // no output
+  const int p = wf.add(produce);
+  Task consume = make_task("consume", TaskKind::kAnalyze, {p}, {}, 0.0);
+  consume.input_tasks = {p};
+  wf.add(consume);
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  EXPECT_GE(r.outcomes[1].site, 0);
+  EXPECT_DOUBLE_EQ(r.outcomes[1].staged_gb, 0.0);
+}
+
+TEST(System, EnergyAndCostAccumulated) {
+  System sys(archipelago());
+  Workflow wf;
+  wf.add(make_task("a", TaskKind::kSimulate, {}, {}, 0.0));
+  wf.add(make_task("b", TaskKind::kTrain, {0}, {}, 0.0));
+  const WorkflowResult r = sys.run(wf, PlacementPolicy::kGravityAware);
+  EXPECT_GT(r.total_cost_usd, 0.0);
+  EXPECT_GT(r.total_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace hpc::core

@@ -1,0 +1,99 @@
+#include "core/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hpc::core {
+namespace {
+
+Task simple_task(std::string name, TaskKind kind, std::vector<int> deps = {}) {
+  Task t;
+  t.name = std::move(name);
+  t.kind = kind;
+  t.deps = std::move(deps);
+  t.job.nodes = 1;
+  t.job.total_gflop = 1e3;
+  return t;
+}
+
+TEST(Workflow, AddAssignsIds) {
+  Workflow wf;
+  const int a = wf.add(simple_task("a", TaskKind::kSimulate));
+  const int b = wf.add(simple_task("b", TaskKind::kTrain, {a}));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(wf.size(), 2u);
+}
+
+TEST(Workflow, DefaultMixFilledFromKind) {
+  Workflow wf;
+  const int t = wf.add(simple_task("train", TaskKind::kTrain));
+  const Task& task = wf.task(t);
+  EXPECT_GT(task.job.mix[static_cast<std::size_t>(hw::OpClass::kGemm)], 0.5);
+  EXPECT_EQ(task.job.precision, hw::Precision::BF16);
+}
+
+TEST(Workflow, ExplicitMixPreserved) {
+  Workflow wf;
+  Task t = simple_task("custom", TaskKind::kTrain);
+  t.job.mix = sched::pure_mix(hw::OpClass::kFft);
+  t.job.precision = hw::Precision::FP64;
+  const int id = wf.add(std::move(t));
+  EXPECT_DOUBLE_EQ(wf.task(id).job.mix[static_cast<std::size_t>(hw::OpClass::kFft)], 1.0);
+  EXPECT_EQ(wf.task(id).job.precision, hw::Precision::FP64);
+}
+
+TEST(Workflow, ForwardDependencyRejected) {
+  Workflow wf;
+  EXPECT_THROW(wf.add(simple_task("bad", TaskKind::kSimulate, {0})), std::runtime_error);
+  wf.add(simple_task("a", TaskKind::kSimulate));
+  EXPECT_THROW(wf.add(simple_task("self", TaskKind::kSimulate, {1})), std::runtime_error);
+}
+
+TEST(Workflow, TopologicalOrderRespectsDeps) {
+  Workflow wf;
+  const int a = wf.add(simple_task("a", TaskKind::kIngest));
+  const int b = wf.add(simple_task("b", TaskKind::kSimulate, {a}));
+  const int c = wf.add(simple_task("c", TaskKind::kTrain, {a, b}));
+  const std::vector<int> order = wf.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  // For each task, deps appear earlier in the order.
+  std::vector<int> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  for (const Task& t : wf.tasks())
+    for (const int d : t.deps)
+      EXPECT_LT(pos[static_cast<std::size_t>(d)], pos[static_cast<std::size_t>(t.id)]);
+  (void)b;
+  (void)c;
+}
+
+TEST(Workflow, CriticalPath) {
+  Workflow wf;
+  const int a = wf.add(simple_task("a", TaskKind::kIngest));
+  const int b = wf.add(simple_task("b", TaskKind::kSimulate, {a}));
+  wf.add(simple_task("c", TaskKind::kInfer, {a}));  // parallel branch
+  const int d = wf.add(simple_task("d", TaskKind::kTrain, {b}));
+  wf.add(simple_task("e", TaskKind::kAnalyze, {d}));
+  EXPECT_EQ(wf.critical_path_length(), 4);  // a->b->d->e
+}
+
+TEST(Workflow, EmptyWorkflow) {
+  const Workflow wf;
+  EXPECT_EQ(wf.critical_path_length(), 0);
+  EXPECT_TRUE(wf.topological_order().empty());
+}
+
+TEST(Workflow, KindNamesAndDefaults) {
+  EXPECT_EQ(name_of(TaskKind::kSimulate), "simulate");
+  EXPECT_EQ(name_of(TaskKind::kIngest), "ingest");
+  EXPECT_EQ(default_precision(TaskKind::kInfer), hw::Precision::INT8);
+  const sched::OpMix mix = default_mix(TaskKind::kAnalyze);
+  double sum = 0.0;
+  for (const double v : mix) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpc::core

@@ -1,0 +1,150 @@
+#include "data/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hpc::data {
+namespace {
+
+/// Trivial oracle: 1 ns per GB per site-distance.
+double oracle(int from, int to, double gb) {
+  return std::abs(from - to) * gb;
+}
+
+TEST(Catalog, AddAndGet) {
+  Catalog cat;
+  const int id = cat.add("raw", 100.0, 0, 0, Sensitivity::kPublic, "frames");
+  const DatasetMeta& m = cat.get(id);
+  EXPECT_EQ(m.name, "raw");
+  EXPECT_DOUBLE_EQ(m.size_gb, 100.0);
+  EXPECT_EQ(m.replica_sites, std::vector<int>{0});
+  EXPECT_EQ(cat.size(), 1u);
+}
+
+TEST(Catalog, UnknownIdThrows) {
+  Catalog cat;
+  EXPECT_THROW(cat.get(0), std::out_of_range);
+  EXPECT_THROW(cat.get(-1), std::out_of_range);
+}
+
+TEST(Catalog, LineageAncestors) {
+  Catalog cat;
+  const int raw = cat.add("raw", 10.0, 0, 0, Sensitivity::kPublic, "");
+  const int clean = cat.derive("clean", {raw}, "denoise", 8.0, 0, 0, Sensitivity::kPublic);
+  const int model = cat.derive("model", {clean}, "train", 1.0, 1, 0, Sensitivity::kPublic);
+  const std::vector<int> anc = cat.ancestors(model);
+  ASSERT_EQ(anc.size(), 2u);
+  EXPECT_EQ(anc[0], clean);  // nearest first
+  EXPECT_EQ(anc[1], raw);
+  EXPECT_TRUE(cat.ancestors(raw).empty());
+}
+
+TEST(Catalog, DiamondLineageDeduplicated) {
+  Catalog cat;
+  const int raw = cat.add("raw", 10.0, 0, 0, Sensitivity::kPublic, "");
+  const int a = cat.derive("a", {raw}, "fa", 1.0, 0, 0, Sensitivity::kPublic);
+  const int b = cat.derive("b", {raw}, "fb", 1.0, 0, 0, Sensitivity::kPublic);
+  const int join = cat.derive("join", {a, b}, "merge", 1.0, 0, 0, Sensitivity::kPublic);
+  const std::vector<int> anc = cat.ancestors(join);
+  EXPECT_EQ(anc.size(), 3u);  // a, b, raw — raw only once
+  EXPECT_EQ(std::count(anc.begin(), anc.end(), raw), 1);
+}
+
+TEST(Catalog, Descendants) {
+  Catalog cat;
+  const int raw = cat.add("raw", 10.0, 0, 0, Sensitivity::kPublic, "");
+  const int a = cat.derive("a", {raw}, "fa", 1.0, 0, 0, Sensitivity::kPublic);
+  const int b = cat.derive("b", {a}, "fb", 1.0, 0, 0, Sensitivity::kPublic);
+  const std::vector<int> desc = cat.descendants(raw);
+  EXPECT_EQ(desc.size(), 2u);
+  EXPECT_NE(std::find(desc.begin(), desc.end(), a), desc.end());
+  EXPECT_NE(std::find(desc.begin(), desc.end(), b), desc.end());
+}
+
+TEST(Catalog, DeriveUnknownParentThrows) {
+  Catalog cat;
+  EXPECT_THROW(cat.derive("x", {42}, "f", 1.0, 0, 0, Sensitivity::kPublic),
+               std::out_of_range);
+}
+
+TEST(Catalog, ProvenanceRootsFirst) {
+  Catalog cat;
+  const int raw = cat.add("raw", 10.0, 0, 0, Sensitivity::kPublic, "");
+  const int clean = cat.derive("clean", {raw}, "denoise", 8.0, 0, 0, Sensitivity::kPublic);
+  const auto chain = cat.provenance(clean);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].dataset, raw);
+  EXPECT_NE(chain[0].description.find("source"), std::string::npos);
+  EXPECT_NE(chain[1].description.find("denoise"), std::string::npos);
+}
+
+TEST(Governance, PublicMovesAnywhere) {
+  Catalog cat;
+  const int id = cat.add("pub", 1.0, 0, 0, Sensitivity::kPublic, "");
+  EXPECT_TRUE(cat.may_move_to(id, 5, 99));
+}
+
+TEST(Governance, InternalStaysInDomain) {
+  Catalog cat;
+  const int id = cat.add("int", 1.0, 0, 7, Sensitivity::kInternal, "");
+  EXPECT_TRUE(cat.may_move_to(id, 3, 7));
+  EXPECT_FALSE(cat.may_move_to(id, 3, 8));
+}
+
+TEST(Governance, RestrictedPinnedToHome) {
+  Catalog cat;
+  const int id = cat.add("secret", 1.0, 2, 0, Sensitivity::kRestricted, "");
+  EXPECT_TRUE(cat.may_move_to(id, 2, 0));
+  EXPECT_FALSE(cat.may_move_to(id, 3, 0));
+}
+
+TEST(Replicas, CheapestReplicaChosen) {
+  Catalog cat;
+  const int id = cat.add("d", 10.0, 0, 0, Sensitivity::kPublic, "");
+  cat.add_replica(id, 4);
+  // Destination site 5: replica at 4 costs 10, home at 0 costs 50.
+  const auto choice = cat.cheapest_replica(id, 5, 0, oracle);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->from_site, 4);
+  EXPECT_DOUBLE_EQ(choice->transfer_ns, 10.0);
+}
+
+TEST(Replicas, LocalReplicaIsFree) {
+  Catalog cat;
+  const int id = cat.add("d", 10.0, 0, 0, Sensitivity::kPublic, "");
+  cat.add_replica(id, 3);
+  const auto choice = cat.cheapest_replica(id, 3, 0, oracle);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_DOUBLE_EQ(choice->transfer_ns, 0.0);
+}
+
+TEST(Replicas, DuplicateAddIgnored) {
+  Catalog cat;
+  const int id = cat.add("d", 10.0, 0, 0, Sensitivity::kPublic, "");
+  cat.add_replica(id, 0);
+  cat.add_replica(id, 1);
+  cat.add_replica(id, 1);
+  EXPECT_EQ(cat.get(id).replica_sites.size(), 2u);
+}
+
+TEST(Replicas, GovernanceBlocksChoice) {
+  Catalog cat;
+  const int id = cat.add("d", 10.0, 0, 0, Sensitivity::kRestricted, "");
+  EXPECT_FALSE(cat.cheapest_replica(id, 1, 0, oracle).has_value());
+}
+
+TEST(Staging, PlanAccumulatesAndReportsUnmovable) {
+  Catalog cat;
+  const int pub = cat.add("pub", 10.0, 0, 0, Sensitivity::kPublic, "");
+  const int local = cat.add("loc", 5.0, 2, 0, Sensitivity::kPublic, "");
+  const int secret = cat.add("sec", 1.0, 0, 0, Sensitivity::kRestricted, "");
+  const auto plan = cat.plan_staging({pub, local, secret}, 2, 0, oracle);
+  EXPECT_DOUBLE_EQ(plan.total_gb, 10.0);  // pub moves; loc already there
+  EXPECT_DOUBLE_EQ(plan.total_ns, 20.0);  // 2 sites x 10 GB
+  ASSERT_EQ(plan.unmovable.size(), 1u);
+  EXPECT_EQ(plan.unmovable[0], secret);
+}
+
+}  // namespace
+}  // namespace hpc::data

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "edge/control.hpp"
+#include "edge/instrument.hpp"
+#include "edge/pipeline.hpp"
+
+namespace hpc::edge {
+namespace {
+
+TEST(Instrument, MeanRateArithmetic) {
+  InstrumentSpec s;
+  s.frame_bytes = 1e6;
+  s.frames_per_s = 1'000.0;
+  s.burst_duty = 0.5;
+  EXPECT_DOUBLE_EQ(mean_rate_gbs(s), 0.5);
+}
+
+TEST(Instrument, UpgradeIsHeavier) {
+  EXPECT_GT(mean_rate_gbs(light_source_upgrade_spec()),
+            10.0 * mean_rate_gbs(light_source_spec()));
+}
+
+TEST(Instrument, SampleFramesProportions) {
+  sim::Rng rng(101);
+  const InstrumentSpec s = light_source_spec();
+  const FrameSample sample = sample_frames(s, 10.0, rng);
+  EXPECT_EQ(sample.frames, static_cast<std::int64_t>(s.frames_per_s * s.burst_duty * 10.0));
+  const double frac = static_cast<double>(sample.interesting) / sample.frames;
+  EXPECT_NEAR(frac, s.interesting_fraction, 0.02);
+}
+
+TEST(Pipeline, BackhaulDemandsFullRate) {
+  const InstrumentSpec inst = light_source_spec();
+  const Deployment dep;
+  const PipelineOutcome out = backhaul_all(inst, dep);
+  EXPECT_DOUBLE_EQ(out.wan_gbs_required, mean_rate_gbs(inst));
+}
+
+TEST(Pipeline, EdgeTriageSlashesWanDemand) {
+  const InstrumentSpec inst = light_source_spec();
+  const Deployment dep;
+  const PipelineOutcome backhaul = backhaul_all(inst, dep);
+  const PipelineOutcome edge = edge_triage(inst, dep);
+  // ~5% interesting fraction => >10x reduction.
+  EXPECT_LT(edge.wan_gbs_required, backhaul.wan_gbs_required / 10.0);
+}
+
+TEST(Pipeline, UpgradeSaturatesBackhaulNotEdge) {
+  const InstrumentSpec inst = light_source_upgrade_spec();  // 128 GB/s burst
+  const Deployment dep;                                      // 1.25 GB/s uplink
+  const PipelineOutcome backhaul = backhaul_all(inst, dep);
+  const PipelineOutcome edge = edge_triage(inst, dep);
+  EXPECT_GT(backhaul.wan_utilization, 1.0);
+  EXPECT_GT(backhaul.frames_lost_fraction, 0.9);
+  EXPECT_LT(edge.frames_lost_fraction, backhaul.frames_lost_fraction);
+}
+
+TEST(Pipeline, EdgeDecisionLatencyIndependentOfWan) {
+  const InstrumentSpec inst = light_source_spec();
+  Deployment slow;
+  slow.wan_rtt_ns = 100e6;  // terrible WAN
+  Deployment fast;
+  fast.wan_rtt_ns = 1e6;
+  EXPECT_DOUBLE_EQ(edge_triage(inst, slow).mean_decision_latency_ns,
+                   edge_triage(inst, fast).mean_decision_latency_ns);
+  EXPECT_GT(backhaul_all(inst, slow).mean_decision_latency_ns,
+            backhaul_all(inst, fast).mean_decision_latency_ns);
+}
+
+TEST(Pipeline, EdgeEnergyPerFrameLower) {
+  const InstrumentSpec inst = light_source_spec();
+  const Deployment dep;
+  EXPECT_LT(edge_triage(inst, dep).energy_per_frame_j,
+            backhaul_all(inst, dep).energy_per_frame_j);
+}
+
+TEST(Control, StableWithoutDelay) {
+  sim::Rng rng(102);
+  const Plant plant;
+  const PidGains gains;
+  const ControlResult r = run_control_loop(plant, gains, 1e-3, 1, 20.0, rng);
+  EXPECT_LT(r.rms_error, 0.2);
+  EXPECT_GT(r.settled_fraction, 0.5);
+}
+
+TEST(Control, DelayDegradesRegulation) {
+  // Edge controller (1 ms loop) vs WAN controller (50 ms of delay at the
+  // same 1 ms period): latency in the loop costs regulation quality.
+  sim::Rng rng1(103);
+  sim::Rng rng2(103);
+  const Plant plant;
+  const PidGains gains;
+  const ControlResult local = run_control_loop(plant, gains, 1e-3, 1, 20.0, rng1);
+  const ControlResult remote = run_control_loop(plant, gains, 1e-3, 50, 20.0, rng2);
+  EXPECT_GT(remote.rms_error, 1.2 * local.rms_error);
+  EXPECT_LT(remote.settled_fraction, local.settled_fraction);
+}
+
+TEST(Control, ControlBeatsNoControl) {
+  sim::Rng rng1(104);
+  sim::Rng rng2(104);
+  const Plant plant;
+  const ControlResult active = run_control_loop(plant, PidGains{}, 1e-3, 1, 20.0, rng1);
+  const ControlResult passive =
+      run_control_loop(plant, PidGains{0.0, 0.0, 0.0}, 1e-3, 1, 20.0, rng2);
+  EXPECT_LT(active.rms_error, passive.rms_error);
+}
+
+TEST(Control, DeterministicForSeed) {
+  const Plant plant;
+  const PidGains gains;
+  sim::Rng rng1(105);
+  sim::Rng rng2(105);
+  const ControlResult a = run_control_loop(plant, gains, 1e-3, 5, 10.0, rng1);
+  const ControlResult b = run_control_loop(plant, gains, 1e-3, 5, 10.0, rng2);
+  EXPECT_DOUBLE_EQ(a.rms_error, b.rms_error);
+}
+
+}  // namespace
+}  // namespace hpc::edge

@@ -1,0 +1,98 @@
+#include "edge/stream_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpc::edge {
+namespace {
+
+InstrumentSpec steady_instrument(double frames_per_s) {
+  InstrumentSpec inst;
+  inst.name = "steady";
+  inst.frames_per_s = frames_per_s;
+  inst.burst_duty = 1.0;  // no idle phases
+  return inst;
+}
+
+TEST(StreamSim, UnderloadedStationServesEverything) {
+  // 4 engines x 400 us service = 10k frames/s capacity; offer 2k/s.
+  sim::Rng rng(101);
+  const StreamResult r = run_stream(steady_instrument(2'000.0), StationConfig{}, 5.0, rng);
+  EXPECT_GT(r.frames_offered, 8'000);
+  EXPECT_DOUBLE_EQ(r.drop_fraction, 0.0);
+  // Latency is close to bare service time.
+  EXPECT_LT(r.mean_latency_ns, 2.0 * 400e3);
+  EXPECT_NEAR(r.utilization, 0.2, 0.05);
+}
+
+TEST(StreamSim, OverloadedStationDrops) {
+  // Offer 3x capacity: ~2/3 of frames must drop once the queue fills.
+  sim::Rng rng(102);
+  const StreamResult r = run_stream(steady_instrument(30'000.0), StationConfig{}, 3.0, rng);
+  EXPECT_GT(r.drop_fraction, 0.5);
+  EXPECT_GT(r.utilization, 0.95);
+  // Served frames match capacity, not offered load.
+  EXPECT_NEAR(static_cast<double>(r.frames_served), 10'000.0 * 3.0, 1'500.0);
+}
+
+TEST(StreamSim, QueueCapacityBoundsLatency) {
+  sim::Rng rng(103);
+  StationConfig small;
+  small.queue_capacity = 8;
+  StationConfig large;
+  large.queue_capacity = 512;
+  const StreamResult rs = run_stream(steady_instrument(12'000.0), small, 3.0, rng);
+  sim::Rng rng2(103);
+  const StreamResult rl = run_stream(steady_instrument(12'000.0), large, 3.0, rng2);
+  // Same overload: the small queue drops more but keeps tail latency low.
+  EXPECT_GT(rs.drop_fraction, rl.drop_fraction);
+  EXPECT_LT(rs.p99_latency_ns, rl.p99_latency_ns);
+}
+
+TEST(StreamSim, MoreEnginesMoreThroughput) {
+  sim::Rng r1(104);
+  sim::Rng r2(104);
+  StationConfig one;
+  one.engines = 1;
+  StationConfig eight;
+  eight.engines = 8;
+  const StreamResult a = run_stream(steady_instrument(10'000.0), one, 2.0, r1);
+  const StreamResult b = run_stream(steady_instrument(10'000.0), eight, 2.0, r2);
+  EXPECT_GT(b.frames_served, 3 * a.frames_served);
+}
+
+TEST(StreamSim, BurstDutyGatesOfferedLoad) {
+  sim::Rng r1(105);
+  sim::Rng r2(105);
+  InstrumentSpec full = steady_instrument(5'000.0);
+  InstrumentSpec half = full;
+  half.burst_duty = 0.5;
+  const StreamResult a = run_stream(full, StationConfig{}, 4.0, r1);
+  const StreamResult b = run_stream(half, StationConfig{}, 4.0, r2);
+  EXPECT_NEAR(static_cast<double>(b.frames_offered) / a.frames_offered, 0.5, 0.1);
+}
+
+TEST(StreamSim, AgreesWithAnalyticPipelineDirection) {
+  // The event-driven station and the closed-form pipeline model must agree on
+  // which instrument overloads a given deployment.
+  const InstrumentSpec next_gen = light_source_upgrade_spec();
+  StationConfig station;
+  station.engines = 2;
+  station.service_ns = 400e3;  // 5k frames/s capacity vs 8k offered
+  sim::Rng rng(106);
+  const StreamResult dynamic = run_stream(next_gen, station, 2.0, rng);
+  EXPECT_GT(dynamic.drop_fraction, 0.2);
+  EXPECT_GT(dynamic.utilization, 0.9);
+}
+
+TEST(StreamSim, DeterministicForSeed) {
+  sim::Rng r1(107);
+  sim::Rng r2(107);
+  const StreamResult a = run_stream(steady_instrument(6'000.0), StationConfig{}, 2.0, r1);
+  const StreamResult b = run_stream(steady_instrument(6'000.0), StationConfig{}, 2.0, r2);
+  EXPECT_EQ(a.frames_offered, b.frames_offered);
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ns, b.mean_latency_ns);
+}
+
+}  // namespace
+}  // namespace hpc::edge

@@ -1,0 +1,132 @@
+/// Failure injection: a federated system must survive the loss of a site —
+/// the resilience half of the paper's "global accessibility for resilience
+/// and capacity" (Section III.C) and a core promise of federation.
+
+#include <gtest/gtest.h>
+
+#include "fed/federation.hpp"
+#include "sched/workload.hpp"
+
+namespace hpc::fed {
+namespace {
+
+std::vector<Site> resilient_federation() {
+  Site a = make_onprem_site(0, "campus", 8, 4);
+  Site b = make_supercomputer_site(1, "center", 48);
+  b.admin_domain = 0;
+  return {a, b};
+}
+
+std::vector<sched::Job> steady_jobs(int count) {
+  sim::Rng rng(31);
+  sched::WorkloadConfig cfg;
+  cfg.jobs = count;
+  cfg.mean_interarrival_s = 10.0;
+  cfg.max_nodes = 4;
+  return sched::generate_workload(cfg, rng);
+}
+
+TEST(Failure, GridReroutesAndCompletesEverything) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  cfg.policy = MetaPolicy::kComputeOnly;
+  cfg.fail_site = 1;                         // the big site dies...
+  cfg.fail_at = sim::from_seconds(300.0);    // ...mid-run
+  FederationSim fsim(resilient_federation(), cfg);
+  fsim.submit_all(steady_jobs(80), 0);
+  const FederationResult r = fsim.run();
+  EXPECT_EQ(r.jobs_completed, 80);
+  EXPECT_GT(r.jobs_rerouted, 0);
+  // Nothing finishes at the dead site after the failure instant.
+  for (const FedPlacement& p : r.placements) {
+    if (p.site == 1) EXPECT_LE(p.finish, cfg.fail_at);
+  }
+}
+
+TEST(Failure, FailureCostsCompletionTime) {
+  // Transfer-free, identical jobs so the only effect in play is losing the
+  // big site: rerouting onto the single-node campus must hurt.
+  auto mean_completion = [](bool with_failure) {
+    Site campus = make_onprem_site(0, "campus", 1, 0);
+    campus.cluster = sched::make_homogeneous_cpu_cluster(1);
+    Site center = make_supercomputer_site(1, "center", 48);
+    center.admin_domain = 0;
+    FederationConfig cfg;
+    cfg.stage = FederationStage::kGrid;
+    cfg.policy = MetaPolicy::kComputeOnly;
+    if (with_failure) {
+      cfg.fail_site = 1;
+      cfg.fail_at = sim::from_seconds(50.0);
+    }
+    FederationSim fsim({campus, center}, cfg);
+    for (int i = 0; i < 20; ++i) {
+      sched::Job j;
+      j.id = i;
+      j.arrival = sim::from_seconds(10.0 * i);
+      j.nodes = 1;
+      j.total_gflop = 2e5;
+      j.mix = sched::pure_mix(hw::OpClass::kGemm);
+      j.precision = hw::Precision::BF16;
+      fsim.submit(j, 0);
+    }
+    return fsim.run().mean_completion_s;
+  };
+  EXPECT_GT(mean_completion(true), 2.0 * mean_completion(false));
+}
+
+TEST(Failure, LocalOnlyLosesJobsWhenHomeDies) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kLocalOnly;
+  cfg.policy = MetaPolicy::kHomeOnly;
+  cfg.fail_site = 0;
+  cfg.fail_at = sim::from_seconds(100.0);
+  FederationSim fsim(resilient_federation(), cfg);
+  fsim.submit_all(steady_jobs(60), 0);
+  const FederationResult r = fsim.run();
+  // The federation exists but local-only policy cannot reach it: jobs die.
+  EXPECT_GT(r.jobs_dropped, 0);
+  EXPECT_LT(r.jobs_completed, 60);
+}
+
+TEST(Failure, LedgerVoidsKilledUsage) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  cfg.policy = MetaPolicy::kComputeOnly;
+  cfg.fail_site = 1;
+  cfg.fail_at = sim::from_seconds(300.0);
+  FederationSim fsim(resilient_federation(), cfg);
+  fsim.submit_all(steady_jobs(80), cfg.fail_site >= 0 ? 0 : 0);
+  const FederationResult r = fsim.run();
+  // Ledger records equal completed jobs: voided records were replaced by the
+  // rerouted run's record.
+  EXPECT_EQ(static_cast<int>(r.ledger.records().size()), r.jobs_completed);
+  // Ledger cost matches the placements' cost.
+  double ledger_cost = 0.0;
+  for (const auto& rec : r.ledger.records()) ledger_cost += rec.cost_usd;
+  EXPECT_NEAR(ledger_cost, r.total_cost_usd, 1e-6);
+}
+
+TEST(Failure, FailureBeforeStartMeansSiteNeverUsed) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  cfg.policy = MetaPolicy::kComputeOnly;
+  cfg.fail_site = 1;
+  cfg.fail_at = 1;  // dead essentially from the start
+  FederationSim fsim(resilient_federation(), cfg);
+  fsim.submit_all(steady_jobs(40), 0);
+  const FederationResult r = fsim.run();
+  for (const FedPlacement& p : r.placements) EXPECT_NE(p.site, 1);
+}
+
+TEST(Failure, NoFailureFieldsAreNeutral) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  FederationSim fsim(resilient_federation(), cfg);
+  fsim.submit_all(steady_jobs(30), 0);
+  const FederationResult r = fsim.run();
+  EXPECT_EQ(r.jobs_rerouted, 0);
+  EXPECT_EQ(r.jobs_completed, 30);
+}
+
+}  // namespace
+}  // namespace hpc::fed

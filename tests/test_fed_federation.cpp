@@ -1,0 +1,221 @@
+#include "fed/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/workload.hpp"
+
+namespace hpc::fed {
+namespace {
+
+std::vector<Site> two_site_federation() {
+  // Site 0: small on-prem; site 1: large supercomputer, same domain.
+  Site a = make_onprem_site(0, "campus", 4, 2);
+  Site b = make_supercomputer_site(1, "leadership", 64);
+  b.admin_domain = 0;
+  return {a, b};
+}
+
+sched::Job data_heavy_job(int id, double gflop, double gb, int data_site) {
+  sched::Job j;
+  j.id = id;
+  j.arrival = 0;
+  j.nodes = 1;
+  j.total_gflop = gflop;
+  j.mix = sched::mix_of(sched::JobKind::kHpcSimulation);
+  j.precision = hw::Precision::FP64;
+  j.dataset_gb = gb;
+  j.data_site = data_site;
+  return j;
+}
+
+TEST(Sites, BuildersProduceDistinctKinds) {
+  EXPECT_EQ(make_onprem_site(0, "a", 2, 2).kind, SiteKind::kOnPrem);
+  EXPECT_EQ(make_supercomputer_site(1, "b", 32).kind, SiteKind::kSupercomputer);
+  EXPECT_EQ(make_cloud_site(2, "c", 16).kind, SiteKind::kCloud);
+  EXPECT_EQ(make_edge_site(3, "d", 4).kind, SiteKind::kEdge);
+}
+
+TEST(Sites, CloudIsNoisyAndForeignDomain) {
+  const Site c = make_cloud_site(2, "cloud", 16);
+  EXPECT_GT(c.noise_factor, 0.0);
+  EXPECT_NE(c.admin_domain, 0);
+}
+
+TEST(Sites, WanTransferComponents) {
+  const Site a = make_onprem_site(0, "a", 2, 2);
+  const Site b = make_supercomputer_site(1, "b", 16);
+  const double t = wan_transfer_ns(a, b, 10.0);
+  const double expected =
+      a.wan_latency_ns + b.wan_latency_ns + 10.0 * 1e9 / std::min(a.wan_bandwidth_gbs,
+                                                                  b.wan_bandwidth_gbs);
+  EXPECT_NEAR(t, expected, 1.0);
+  EXPECT_DOUBLE_EQ(wan_transfer_ns(a, a, 10.0), 0.0);
+}
+
+TEST(FederationSim, SingleJobRunsAtHome) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kLocalOnly;
+  cfg.policy = MetaPolicy::kHomeOnly;
+  FederationSim sim(two_site_federation(), cfg);
+  sim.submit(data_heavy_job(0, 1e6, 1.0, 0), 0);
+  const FederationResult r = sim.run();
+  EXPECT_EQ(r.jobs_completed, 1);
+  EXPECT_EQ(r.placements[0].site, 0);
+  EXPECT_DOUBLE_EQ(r.wan_gb_moved, 0.0);
+}
+
+TEST(FederationSim, GridMovesWorkToBigSite) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  cfg.policy = MetaPolicy::kComputeOnly;
+  FederationSim sim(two_site_federation(), cfg);
+  // Flood the small home site; overflow should land on the supercomputer.
+  for (int i = 0; i < 30; ++i) sim.submit(data_heavy_job(i, 1e7, 0.0, 0), 0);
+  const FederationResult r = sim.run();
+  int remote = 0;
+  for (const FedPlacement& p : r.placements)
+    if (p.site == 1) ++remote;
+  EXPECT_GT(remote, 10);
+}
+
+TEST(FederationSim, DataGravityAvoidsWanForHeavyData) {
+  // A training job whose data (500 GB) lives at a CPU-only campus: gravity
+  // accepts the slower local silicon because the 400-second transfer
+  // dominates; compute-only chases the remote GPUs and pays it.
+  auto run_policy = [](MetaPolicy p) {
+    Site home = make_onprem_site(0, "campus", 4, 0);
+    home.cluster = sched::make_homogeneous_cpu_cluster(4);
+    Site super = make_supercomputer_site(1, "leadership", 64);
+    super.admin_domain = 0;
+    FederationConfig cfg;
+    cfg.stage = FederationStage::kGrid;
+    cfg.policy = p;
+    FederationSim sim({home, super}, cfg);
+    sched::Job j;
+    j.id = 0;
+    j.nodes = 1;
+    j.total_gflop = 2e5;  // ~30 s on the local CPU, ~1 s on remote GPUs
+    j.mix = sched::pure_mix(hw::OpClass::kGemm);
+    j.precision = hw::Precision::BF16;
+    j.dataset_gb = 500.0;
+    j.data_site = 0;
+    sim.submit(j, 0);
+    return sim.run();
+  };
+  const FederationResult gravity = run_policy(MetaPolicy::kDataGravity);
+  const FederationResult compute_only = run_policy(MetaPolicy::kComputeOnly);
+  EXPECT_EQ(gravity.placements[0].site, 0);
+  EXPECT_DOUBLE_EQ(gravity.wan_gb_moved, 0.0);
+  EXPECT_EQ(compute_only.placements[0].site, 1);
+  EXPECT_GT(compute_only.wan_gb_moved, 0.0);
+  EXPECT_LT(gravity.mean_completion_s, compute_only.mean_completion_s);
+}
+
+TEST(FederationSim, BurstingOnlyOverThreshold) {
+  std::vector<Site> sites = two_site_federation();
+  sites.push_back(make_cloud_site(2, "cloud", 32, 0.0));
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kBursting;
+  cfg.policy = MetaPolicy::kDataGravity;
+  cfg.burst_site = 2;
+  cfg.burst_queue_threshold_s = 30.0;
+  FederationSim sim(sites, cfg);
+  for (int i = 0; i < 40; ++i) sim.submit(data_heavy_job(i, 5e7, 0.0, 0), 0);
+  const FederationResult r = sim.run();
+  int at_cloud = 0;
+  int at_super = 0;
+  for (const FedPlacement& p : r.placements) {
+    if (p.site == 2) ++at_cloud;
+    if (p.site == 1) ++at_super;
+  }
+  EXPECT_GT(at_cloud, 0);   // queue built up -> burst
+  EXPECT_EQ(at_super, 0);   // bursting stage may only use the burst target
+}
+
+TEST(FederationSim, FluidRespectsAdminDomains) {
+  std::vector<Site> sites = two_site_federation();
+  sites.push_back(make_cloud_site(2, "cloud", 64, 0.0));  // foreign domain
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kFluid;
+  cfg.policy = MetaPolicy::kComputeOnly;
+  FederationSim sim(sites, cfg);
+  for (int i = 0; i < 30; ++i) sim.submit(data_heavy_job(i, 5e7, 0.0, 0), 0);
+  const FederationResult r = sim.run();
+  for (const FedPlacement& p : r.placements) EXPECT_NE(p.site, 2);
+}
+
+TEST(FederationSim, LedgerIsZeroSumAcrossSites) {
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  cfg.policy = MetaPolicy::kComputeOnly;
+  FederationSim sim(two_site_federation(), cfg);
+  for (int i = 0; i < 20; ++i) sim.submit(data_heavy_job(i, 1e7, 0.0, 0), 0);
+  const FederationResult r = sim.run();
+  double net = 0.0;
+  for (int s = 0; s < 2; ++s) net += r.ledger.net_usd(s);
+  EXPECT_NEAR(net, 0.0, 1e-9);
+  EXPECT_GT(r.ledger.total_node_hours(), 0.0);
+}
+
+TEST(FederationSim, CloudNoiseInflatesRuntime) {
+  auto completion = [](double noise) {
+    std::vector<Site> sites{make_cloud_site(0, "cloud", 8, noise)};
+    FederationConfig cfg;
+    cfg.stage = FederationStage::kLocalOnly;
+    cfg.policy = MetaPolicy::kHomeOnly;
+    cfg.seed = 9;
+    FederationSim sim(sites, cfg);
+    for (int i = 0; i < 10; ++i) {
+      sched::Job j;
+      j.id = i;
+      j.nodes = 1;
+      j.total_gflop = 1e7;
+      j.mix = sched::mix_of(sched::JobKind::kHpcSimulation);
+      sim.submit(j, 0);
+    }
+    return sim.run().mean_completion_s;
+  };
+  EXPECT_GT(completion(0.5), completion(0.0));
+}
+
+TEST(FederationSim, CheapestPolicyPrefersCheapSite) {
+  std::vector<Site> sites = two_site_federation();
+  sites[0].price_per_node_hour = 0.1;
+  sites[1].price_per_node_hour = 10.0;
+  FederationConfig cfg;
+  cfg.stage = FederationStage::kGrid;
+  cfg.policy = MetaPolicy::kCheapest;
+  FederationSim sim(sites, cfg);
+  sim.submit(data_heavy_job(0, 1e6, 0.0, 0), 0);
+  const FederationResult r = sim.run();
+  EXPECT_EQ(r.placements[0].site, 0);
+}
+
+TEST(Ledger, EarnedSpentBookkeeping) {
+  Ledger ledger;
+  UsageRecord r;
+  r.job_id = 1;
+  r.consumer_site = 0;
+  r.provider_site = 1;
+  r.node_hours = 2.0;
+  r.cost_usd = 10.0;
+  ledger.record(r);
+  EXPECT_DOUBLE_EQ(ledger.earned_usd(1), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.spent_usd(0), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.net_usd(1), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.net_usd(0), -10.0);
+  // Self-provided work is not an exchange.
+  UsageRecord self;
+  self.consumer_site = 0;
+  self.provider_site = 0;
+  self.cost_usd = 99.0;
+  ledger.record(self);
+  EXPECT_DOUBLE_EQ(ledger.earned_usd(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.spent_usd(0), 10.0);
+}
+
+}  // namespace
+}  // namespace hpc::fed

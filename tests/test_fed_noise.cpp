@@ -1,0 +1,77 @@
+#include "fed/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hpc::fed {
+namespace {
+
+TEST(NoiseModel, SlowdownAtLeastOne) {
+  const NoiseModel m = shared_cloud_noise();
+  sim::Rng rng(91);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(m.sample_slowdown(rng), 1.0);
+}
+
+TEST(NoiseModel, DedicatedIsNearIdeal) {
+  const NoiseModel m = dedicated_noise();
+  sim::Rng rng(92);
+  double worst = 0.0;
+  for (int i = 0; i < 10'000; ++i) worst = std::max(worst, m.sample_slowdown(rng));
+  EXPECT_LT(worst, 1.05);
+}
+
+TEST(NoiseModel, SharedCloudHasHeavySpikes) {
+  const NoiseModel m = shared_cloud_noise();
+  sim::Rng rng(93);
+  double worst = 0.0;
+  for (int i = 0; i < 10'000; ++i) worst = std::max(worst, m.sample_slowdown(rng));
+  EXPECT_GT(worst, 2.0);
+}
+
+TEST(Bsp, IdealWithoutNoise) {
+  const NoiseModel m = dedicated_noise();
+  sim::Rng rng(94);
+  const BspResult r = run_bsp(64, 200, 1e6, 1e4, m, rng);
+  EXPECT_GT(r.efficiency, 0.95);
+  EXPECT_NEAR(r.ideal_ns, 200.0 * (1e6 + 1e4), 1.0);
+}
+
+TEST(Bsp, EfficiencyDropsWithRanks) {
+  // The paper: "the slowest component dictates performance" — max-of-n
+  // statistics worsen as n grows.
+  const NoiseModel m = shared_cloud_noise();
+  sim::Rng rng1(95);
+  sim::Rng rng2(95);
+  const BspResult small = run_bsp(4, 300, 1e6, 1e4, m, rng1);
+  const BspResult large = run_bsp(512, 300, 1e6, 1e4, m, rng2);
+  EXPECT_GT(small.efficiency, large.efficiency);
+}
+
+TEST(Bsp, EfficiencyDropsWithNoiseLevel) {
+  sim::Rng rng1(96);
+  sim::Rng rng2(96);
+  sim::Rng rng3(96);
+  const BspResult dedicated = run_bsp(128, 200, 1e6, 1e4, dedicated_noise(), rng1);
+  const BspResult hpc_cloud = run_bsp(128, 200, 1e6, 1e4, hpc_cloud_noise(), rng2);
+  const BspResult shared = run_bsp(128, 200, 1e6, 1e4, shared_cloud_noise(), rng3);
+  EXPECT_GT(dedicated.efficiency, hpc_cloud.efficiency);
+  EXPECT_GT(hpc_cloud.efficiency, shared.efficiency);
+}
+
+TEST(Bsp, TailStepWorseThanMean) {
+  const NoiseModel m = shared_cloud_noise();
+  sim::Rng rng(97);
+  const BspResult r = run_bsp(64, 500, 1e6, 1e4, m, rng);
+  EXPECT_GT(r.p99_step_ns, r.mean_step_ns);
+}
+
+TEST(Bsp, ZeroStepsSafe) {
+  sim::Rng rng(98);
+  const BspResult r = run_bsp(8, 0, 1e6, 1e4, dedicated_noise(), rng);
+  EXPECT_DOUBLE_EQ(r.total_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+}
+
+}  // namespace
+}  // namespace hpc::fed

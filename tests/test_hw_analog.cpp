@@ -1,0 +1,154 @@
+#include "hw/analog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ai/linalg.hpp"
+
+namespace hpc::hw {
+namespace {
+
+TEST(AnalogEngine, TileCount) {
+  AnalogSpec s = dpe_spec();
+  s.array_size = 256;
+  const AnalogEngine eng(s);
+  EXPECT_EQ(eng.tiles_for(256, 256), 1);
+  EXPECT_EQ(eng.tiles_for(257, 256), 2);
+  EXPECT_EQ(eng.tiles_for(512, 512), 4);
+  EXPECT_EQ(eng.tiles_for(1, 1), 1);
+}
+
+TEST(AnalogEngine, TimeIsConstantWithinOneWave) {
+  // O(N) claim, part 1: any mat-vec that fits one wave of tiles costs the
+  // same single tile latency, regardless of how many MACs it performs.
+  const AnalogEngine eng(dpe_spec());  // 64 parallel tiles of 256x256
+  EXPECT_DOUBLE_EQ(eng.matvec_time_ns(16, 16), eng.matvec_time_ns(256, 256));
+  EXPECT_DOUBLE_EQ(eng.matvec_time_ns(2048, 256), eng.matvec_time_ns(256, 256));
+}
+
+TEST(AnalogEngine, TimeScalesLinearlyAtLargeN) {
+  // O(N) claim, part 2: at sizes beyond the tile pool, doubling BOTH matrix
+  // dimensions (4x the MACs) only ~4x the tile count => time grows ~4x while
+  // a digital engine's work grows 4x too, BUT the per-tile time hides N: at
+  // fixed column count, doubling rows doubles time (linear, not quadratic).
+  const AnalogEngine eng(dpe_spec());
+  const double t1 = eng.matvec_time_ns(256 * 64, 256);      // exactly fills pool
+  const double t2 = eng.matvec_time_ns(2 * 256 * 64, 256);  // double the rows
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(AnalogEngine, EnergyLinearInTiles) {
+  // At pool-filling scale both the dynamic (tile count) and static (wave
+  // time) terms double when the row count doubles: energy is linear.
+  const AnalogEngine eng(dpe_spec());
+  const std::int64_t full = 256 * 64;  // exactly one wave of the tile pool
+  const double e1 = eng.matvec_energy_j(full, 256);
+  const double e2 = eng.matvec_energy_j(2 * full, 256);
+  EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+  // Dynamic energy alone also scales with the tile count at sub-pool sizes.
+  AnalogSpec no_static = dpe_spec();
+  no_static.static_power_w = 0.0;
+  const AnalogEngine dyn(no_static);
+  EXPECT_NEAR(dyn.matvec_energy_j(512, 512) / dyn.matvec_energy_j(256, 256), 4.0, 1e-9);
+}
+
+TEST(AnalogEngine, ProgrammingCostsMoreThanReading) {
+  const AnalogEngine eng(dpe_spec());
+  EXPECT_GT(eng.program_time_ns(256, 256), eng.matvec_time_ns(256, 256));
+}
+
+TEST(AnalogEngine, PhotonicFasterPerTile) {
+  const AnalogEngine dpe(dpe_spec());
+  const AnalogEngine opt(photonic_spec());
+  EXPECT_LT(opt.spec().tile_latency_ns, dpe.spec().tile_latency_ns);
+}
+
+TEST(AnalogEngine, NoiselessPerfectMatvec) {
+  AnalogSpec s = dpe_spec();
+  s.read_noise_sigma = 0.0;
+  s.weight_bits = 16;  // effectively exact quantization
+  const AnalogEngine eng(s);
+  sim::Rng rng(1);
+
+  const std::int64_t n = 32;
+  std::vector<float> w(static_cast<std::size_t>(n * n));
+  std::vector<float> x(static_cast<std::size_t>(n));
+  sim::Rng data(2);
+  for (float& v : w) v = static_cast<float>(data.normal(0.0, 1.0));
+  for (float& v : x) v = static_cast<float>(data.normal(0.0, 1.0));
+
+  const std::vector<float> y = eng.matvec(w, n, n, x, rng);
+  std::vector<float> expect(static_cast<std::size_t>(n));
+  ai::matvec(w, n, n, x, expect);
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], expect[static_cast<std::size_t>(i)], 2e-3);
+}
+
+TEST(AnalogEngine, NoiseGrowsWithSigma) {
+  const std::int64_t n = 64;
+  std::vector<float> w(static_cast<std::size_t>(n * n));
+  std::vector<float> x(static_cast<std::size_t>(n));
+  sim::Rng data(3);
+  for (float& v : w) v = static_cast<float>(data.normal(0.0, 1.0));
+  for (float& v : x) v = static_cast<float>(data.normal(0.0, 1.0));
+  std::vector<float> expect(static_cast<std::size_t>(n));
+  ai::matvec(w, n, n, x, expect);
+
+  auto rms_at_sigma = [&](double sigma) {
+    AnalogSpec s = dpe_spec();
+    s.read_noise_sigma = sigma;
+    s.weight_bits = 12;
+    const AnalogEngine eng(s);
+    sim::Rng rng(7);
+    double acc = 0.0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      const std::vector<float> y = eng.matvec(w, n, n, x, rng);
+      acc += ai::rms_error(y, expect);
+    }
+    return acc / trials;
+  };
+
+  const double low = rms_at_sigma(0.01);
+  const double high = rms_at_sigma(0.10);
+  EXPECT_GT(high, low * 3.0);
+}
+
+TEST(AnalogEngine, FewerWeightBitsMoreError) {
+  const std::int64_t n = 64;
+  std::vector<float> w(static_cast<std::size_t>(n * n));
+  std::vector<float> x(static_cast<std::size_t>(n));
+  sim::Rng data(4);
+  for (float& v : w) v = static_cast<float>(data.normal(0.0, 1.0));
+  for (float& v : x) v = static_cast<float>(data.normal(0.0, 1.0));
+  std::vector<float> expect(static_cast<std::size_t>(n));
+  ai::matvec(w, n, n, x, expect);
+
+  auto rms_at_bits = [&](int bits) {
+    AnalogSpec s = dpe_spec();
+    s.read_noise_sigma = 0.0;
+    s.weight_bits = bits;
+    const AnalogEngine eng(s);
+    sim::Rng rng(8);
+    const std::vector<float> y = eng.matvec(w, n, n, x, rng);
+    return ai::rms_error(y, expect);
+  };
+
+  EXPECT_GT(rms_at_bits(2), rms_at_bits(4));
+  EXPECT_GT(rms_at_bits(4), rms_at_bits(8));
+}
+
+TEST(AnalogSpecs, PlausibleParameters) {
+  for (const AnalogSpec& s : {dpe_spec(), photonic_spec()}) {
+    EXPECT_GT(s.array_size, 0);
+    EXPECT_GT(s.parallel_tiles, 0);
+    EXPECT_GT(s.tile_latency_ns, 0.0);
+    EXPECT_GE(s.read_noise_sigma, 0.0);
+    EXPECT_GE(s.weight_bits, 1);
+  }
+}
+
+}  // namespace
+}  // namespace hpc::hw

@@ -1,0 +1,91 @@
+#include "hw/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "hw/catalog.hpp"
+
+namespace hpc::hw {
+namespace {
+
+TEST(CapabilitySet, AddHasMissing) {
+  CapabilitySet caps{Capability::kKernelLaunch, Capability::kMemoryAlloc};
+  EXPECT_TRUE(caps.has(Capability::kKernelLaunch));
+  EXPECT_FALSE(caps.has(Capability::kTelemetry));
+  EXPECT_EQ(caps.size(), 2u);
+  const CapabilitySet required{Capability::kKernelLaunch, Capability::kTelemetry};
+  const auto missing = caps.missing(required);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], Capability::kTelemetry);
+}
+
+TEST(CapabilitySet, DuplicateAddIdempotent) {
+  CapabilitySet caps;
+  caps.add(Capability::kTelemetry);
+  caps.add(Capability::kTelemetry);
+  EXPECT_EQ(caps.size(), 1u);
+}
+
+TEST(Certify, EstablishedSiliconPassesBaseProfile) {
+  const RuntimeProfile profile;
+  for (const DeviceSpec& spec : {cpu_server_spec(), gpu_hpc_spec(), systolic_spec(),
+                                 fpga_spec(), edge_npu_spec()}) {
+    const CertificationReport r = certify(spec, typical_driver(spec.kind), profile);
+    EXPECT_TRUE(r.certified) << spec.name << " failures=" << r.failures();
+  }
+}
+
+TEST(Certify, EarlyAnalogSiliconPassesBaseButFailsServiceProfile) {
+  // The paper's DevOps promise: rolling in new silicon is automated *as long
+  // as drivers meet the interface*.  Early analog parts meet the base
+  // interface but lack telemetry/virtualization for as-a-Service duty.
+  const DeviceSpec dpe = analog_dpe_device_spec();
+  const CapabilitySet driver = typical_driver(dpe.kind);
+  EXPECT_TRUE(certify(dpe, driver, RuntimeProfile{}).certified);
+  const CertificationReport service = certify(dpe, driver, service_profile());
+  EXPECT_FALSE(service.certified);
+  EXPECT_EQ(service.missing_capabilities.size(), 2u);  // telemetry + virtualization
+}
+
+TEST(Certify, BrokenDeviceModelFailsSmokeTests) {
+  DeviceSpec broken = cpu_server_spec();
+  broken.peak_gflops.clear();  // driver enumerates nothing
+  const CertificationReport r =
+      certify(broken, typical_driver(broken.kind), RuntimeProfile{});
+  EXPECT_FALSE(r.certified);
+  bool exec_failed = false;
+  for (const CheckResult& c : r.checks)
+    if (c.name == "executes-gemm" && !c.passed) exec_failed = true;
+  EXPECT_TRUE(exec_failed);
+}
+
+TEST(Certify, MissingDriverCapabilityBlocksCertification) {
+  const DeviceSpec gpu = gpu_hpc_spec();
+  CapabilitySet bare{Capability::kKernelLaunch};  // hopelessly incomplete
+  const CertificationReport r = certify(gpu, bare, RuntimeProfile{});
+  EXPECT_FALSE(r.certified);
+  EXPECT_GE(r.missing_capabilities.size(), 3u);
+  // The behavioural checks still pass — it is purely a driver-interface gap.
+  for (const CheckResult& c : r.checks) EXPECT_TRUE(c.passed) << c.name;
+}
+
+TEST(Certify, ReportCountsFailures) {
+  DeviceSpec broken = cpu_server_spec();
+  broken.peak_gflops.clear();
+  CapabilitySet bare{Capability::kKernelLaunch};
+  const CertificationReport r = certify(broken, bare, service_profile());
+  EXPECT_EQ(r.failures(),
+            static_cast<int>(r.missing_capabilities.size()) + 4);  // 4 smoke checks fail
+}
+
+TEST(Capability, NamesDistinct) {
+  std::set<std::string_view> names;
+  for (int c = 0; c < kCapabilityCount; ++c)
+    names.insert(name_of(static_cast<Capability>(c)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kCapabilityCount));
+}
+
+}  // namespace
+}  // namespace hpc::hw

@@ -1,0 +1,211 @@
+#include "hw/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "hw/catalog.hpp"
+
+namespace hpc::hw {
+namespace {
+
+DeviceSpec simple_spec() {
+  DeviceSpec d;
+  d.name = "test";
+  d.peak_gflops = {{Precision::FP32, 1'000.0}};  // 1 Tflop/s
+  d.mem_bw_gbs = 100.0;
+  d.tdp_w = 100.0;
+  d.idle_w = 20.0;
+  d.launch_overhead_ns = 0.0;
+  d.set_flat_efficiency(1.0);
+  return d;
+}
+
+TEST(Device, ComputeBoundTime) {
+  const Device dev(simple_spec());
+  Kernel k;
+  k.op = OpClass::kGemm;
+  k.flops = 1e9;   // at 1000 Gflop/s -> 1e6 ns
+  k.bytes = 1e3;   // negligible
+  k.precision = Precision::FP32;
+  const auto est = dev.execute(k);
+  EXPECT_NEAR(est.time_ns, 1e6, 1.0);
+  EXPECT_TRUE(est.compute_bound);
+}
+
+TEST(Device, MemoryBoundTime) {
+  const Device dev(simple_spec());
+  Kernel k;
+  k.op = OpClass::kGemm;
+  k.flops = 1e3;
+  k.bytes = 1e9;  // at 100 GB/s -> 1e7 ns
+  k.precision = Precision::FP32;
+  const auto est = dev.execute(k);
+  EXPECT_NEAR(est.time_ns, 1e7, 1.0);
+  EXPECT_FALSE(est.compute_bound);
+}
+
+TEST(Device, LaunchOverheadAdds) {
+  DeviceSpec s = simple_spec();
+  s.launch_overhead_ns = 5'000.0;
+  const Device dev(s);
+  Kernel k;
+  k.flops = 0.0;
+  k.bytes = 0.0;
+  k.op = OpClass::kGemm;
+  EXPECT_NEAR(dev.exec_time_ns(k), 5'000.0, 1e-9);
+}
+
+TEST(Device, EfficiencyScalesComputeTime) {
+  DeviceSpec s = simple_spec();
+  s.set_efficiency(OpClass::kGraph, 0.1);
+  const Device dev(s);
+  Kernel k;
+  k.op = OpClass::kGraph;
+  k.flops = 1e9;
+  k.bytes = 1.0;
+  EXPECT_NEAR(dev.exec_time_ns(k), 1e7, 10.0);  // 10x slower than full eff
+}
+
+TEST(Device, ZeroEfficiencyCannotRun) {
+  DeviceSpec s = simple_spec();
+  s.set_efficiency(OpClass::kFft, 0.0);
+  const Device dev(s);
+  Kernel k;
+  k.op = OpClass::kFft;
+  k.flops = 1.0;
+  EXPECT_GE(dev.exec_time_ns(k), 1e17);
+}
+
+TEST(Device, PrecisionFallbackToWider) {
+  const Device dev(simple_spec());  // only FP32
+  EXPECT_EQ(dev.effective_precision(Precision::BF16), Precision::FP32);
+  EXPECT_EQ(dev.effective_precision(Precision::INT8), Precision::FP32);
+  EXPECT_DOUBLE_EQ(dev.peak_gflops(Precision::INT8), 1'000.0);
+}
+
+TEST(Device, PrecisionFallbackWhenOnlyNarrowSupported) {
+  DeviceSpec s = simple_spec();
+  s.peak_gflops = {{Precision::INT8, 500.0}};
+  const Device dev(s);
+  // FP64 requested but only INT8 exists: least-lossy remaining option.
+  EXPECT_EQ(dev.effective_precision(Precision::FP64), Precision::INT8);
+}
+
+TEST(Device, NativePrecisionPreferred) {
+  DeviceSpec s = simple_spec();
+  s.peak_gflops = {{Precision::FP32, 1'000.0}, {Precision::BF16, 4'000.0}};
+  const Device dev(s);
+  EXPECT_EQ(dev.effective_precision(Precision::BF16), Precision::BF16);
+  EXPECT_DOUBLE_EQ(dev.peak_gflops(Precision::BF16), 4'000.0);
+}
+
+TEST(Device, EnergyBetweenIdleAndTdp) {
+  const Device dev(simple_spec());
+  Kernel k;
+  k.op = OpClass::kGemm;
+  k.flops = 1e9;
+  k.bytes = 1e6;
+  const auto est = dev.execute(k);
+  const double seconds = est.time_ns * 1e-9;
+  EXPECT_GE(est.energy_j, 20.0 * seconds * 0.99);
+  EXPECT_LE(est.energy_j, 100.0 * seconds * 1.01);
+}
+
+TEST(Device, FullUtilizationDrawsTdp) {
+  const Device dev(simple_spec());
+  Kernel k;
+  k.op = OpClass::kGemm;
+  k.flops = 1e9;
+  k.bytes = 0.0;  // pure compute -> utilization 1
+  const auto est = dev.execute(k);
+  EXPECT_NEAR(est.energy_j, 100.0 * est.time_ns * 1e-9, 1e-6);
+}
+
+TEST(Device, SustainedNeverExceedsPeak) {
+  for (const DeviceSpec& spec : default_catalog()) {
+    const Device dev(spec);
+    const Kernel k = make_gemm(2048, 2048, 2048, Precision::FP32);
+    const double sustained = dev.sustained_gflops(k);
+    EXPECT_LE(sustained, dev.peak_gflops(Precision::FP32) * 1.0001) << spec.name;
+  }
+}
+
+// -- Catalog sanity, parameterized over every device family -----------------
+
+class CatalogDevice : public ::testing::TestWithParam<DeviceSpec> {};
+
+TEST_P(CatalogDevice, SpecIsPhysicallyPlausible) {
+  const DeviceSpec& d = GetParam();
+  EXPECT_FALSE(d.name.empty());
+  EXPECT_FALSE(d.peak_gflops.empty());
+  for (const auto& [p, gf] : d.peak_gflops) {
+    (void)p;
+    EXPECT_GT(gf, 0.0);
+  }
+  EXPECT_GT(d.mem_bw_gbs, 0.0);
+  EXPECT_GT(d.tdp_w, d.idle_w);
+  EXPECT_GT(d.cost_usd, 0.0);
+  for (const double e : d.efficiency) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+TEST_P(CatalogDevice, ExecutesAGemm) {
+  const Device dev(GetParam());
+  const Kernel k = make_gemm(1024, 1024, 1024, Precision::FP32);
+  const auto est = dev.execute(k);
+  EXPECT_GT(est.time_ns, 0.0);
+  EXPECT_LT(est.time_ns, 1e17) << GetParam().name << " cannot run GEMM";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CatalogDevice,
+                         ::testing::ValuesIn(default_catalog()),
+                         [](const ::testing::TestParamInfo<DeviceSpec>& info) {
+                           std::string n = info.param.name;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Catalog, SpecializationIsPeaked) {
+  // The paper's premise: specialized silicon is spectacular on its motif and
+  // poor off-motif, while the CPU is flat.
+  const DeviceSpec tpu = systolic_spec();
+  EXPECT_GT(tpu.efficiency_of(OpClass::kGemm), 0.9);
+  EXPECT_LT(tpu.efficiency_of(OpClass::kGraph), 0.05);
+
+  const DeviceSpec cpu = cpu_server_spec();
+  double min_eff = 1.0;
+  double max_eff = 0.0;
+  for (const double e : cpu.efficiency) {
+    min_eff = std::min(min_eff, e);
+    max_eff = std::max(max_eff, e);
+  }
+  EXPECT_GT(min_eff, 0.2);  // CPU never collapses
+  EXPECT_LT(max_eff / min_eff, 4.0);
+}
+
+TEST(Catalog, GpuBeatsCpuOnTrainingMotif) {
+  const Device cpu(cpu_server_spec());
+  const Device gpu(gpu_hpc_spec());
+  const Kernel k = make_gemm(4096, 4096, 4096, Precision::BF16);
+  EXPECT_LT(gpu.exec_time_ns(k), cpu.exec_time_ns(k) / 10.0);
+}
+
+TEST(Catalog, CpuBeatsSystolicOnGraphs) {
+  const Device cpu(cpu_server_spec());
+  const Device tpu(systolic_spec());
+  const Kernel k = make_graph(100'000'000);
+  EXPECT_LT(cpu.exec_time_ns(k), tpu.exec_time_ns(k));
+}
+
+TEST(Catalog, EdgeNpuIsLowPower) {
+  EXPECT_LT(edge_npu_spec().tdp_w, 20.0);
+  EXPECT_GT(gpu_hpc_spec().tdp_w, 300.0);
+}
+
+}  // namespace
+}  // namespace hpc::hw

@@ -1,0 +1,81 @@
+#include "hw/facility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+
+namespace hpc::hw {
+namespace {
+
+TEST(Cooling, SpecsOrderedByDensity) {
+  EXPECT_LT(cooling_spec(Cooling::kAirCooled).max_rack_kw,
+            cooling_spec(Cooling::kRearDoor).max_rack_kw);
+  EXPECT_LT(cooling_spec(Cooling::kRearDoor).max_rack_kw,
+            cooling_spec(Cooling::kDirectLiquid).max_rack_kw);
+}
+
+TEST(Cooling, BetterCoolingBetterPue) {
+  EXPECT_GT(cooling_spec(Cooling::kAirCooled).pue,
+            cooling_spec(Cooling::kDirectLiquid).pue);
+  EXPECT_GE(cooling_spec(Cooling::kDirectLiquid).pue, 1.0);
+}
+
+TEST(Cooling, PaperAnchor400kwRack) {
+  // Section II.C: "very high-density racks, up to 400 kW per rack".
+  EXPECT_DOUBLE_EQ(cooling_spec(Cooling::kDirectLiquid).max_rack_kw, 400.0);
+}
+
+TEST(RackPacking, CountsAgainstCap) {
+  const RackPlan air = pack_rack(gpu_hpc_spec(), cooling_spec(Cooling::kAirCooled));
+  // 20 kW / 400 W = 50 GPUs.
+  EXPECT_EQ(air.devices_per_rack, 50);
+  EXPECT_NEAR(air.rack_it_kw, 20.0, 0.4);
+  const RackPlan liquid = pack_rack(gpu_hpc_spec(), cooling_spec(Cooling::kDirectLiquid));
+  EXPECT_EQ(liquid.devices_per_rack, 1'000);
+}
+
+TEST(RackPacking, WaferScaleNeedsLiquid) {
+  // A 20 kW wafer-scale engine consumes an entire air-cooled rack by itself;
+  // direct liquid hosts twenty of them.
+  const RackPlan air = pack_rack(wafer_scale_spec(), cooling_spec(Cooling::kAirCooled));
+  EXPECT_LE(air.devices_per_rack, 1);
+  const RackPlan liquid = pack_rack(wafer_scale_spec(), cooling_spec(Cooling::kDirectLiquid));
+  EXPECT_EQ(liquid.devices_per_rack, 20);
+}
+
+TEST(Facility, BudgetRespected) {
+  const RackPlan rack = pack_rack(gpu_hpc_spec(), cooling_spec(Cooling::kDirectLiquid));
+  const FacilityPlan plan = plan_facility(rack, 35.0);  // the paper's 30-40 MW
+  EXPECT_GT(plan.racks, 0);
+  EXPECT_LE(plan.facility_mw, 35.0 + 1e-9);
+  EXPECT_GT(plan.facility_mw, 30.0);  // packing is tight at this scale
+  EXPECT_NEAR(plan.facility_mw, plan.it_mw * rack.cooling.pue, 1e-9);
+}
+
+TEST(Facility, BetterCoolingMoreDevicesPerMw) {
+  const FacilityPlan air =
+      plan_facility(pack_rack(gpu_hpc_spec(), cooling_spec(Cooling::kAirCooled)), 10.0);
+  const FacilityPlan liquid = plan_facility(
+      pack_rack(gpu_hpc_spec(), cooling_spec(Cooling::kDirectLiquid)), 10.0);
+  EXPECT_GT(liquid.devices, air.devices);
+}
+
+TEST(Facility, EnergyCostScalesWithPower) {
+  const RackPlan rack = pack_rack(cpu_server_spec(), cooling_spec(Cooling::kRearDoor));
+  const FacilityPlan small = plan_facility(rack, 5.0);
+  const FacilityPlan large = plan_facility(rack, 20.0);
+  EXPECT_NEAR(large.annual_energy_cost_usd / small.annual_energy_cost_usd,
+              large.facility_mw / small.facility_mw, 1e-9);
+}
+
+TEST(Facility, ZeroPowerDeviceSafe) {
+  DeviceSpec ghost = cpu_server_spec();
+  ghost.tdp_w = 0.0;
+  const RackPlan rack = pack_rack(ghost, cooling_spec(Cooling::kAirCooled));
+  EXPECT_EQ(rack.devices_per_rack, 0);
+  const FacilityPlan plan = plan_facility(rack, 10.0);
+  EXPECT_EQ(plan.racks, 0);
+}
+
+}  // namespace
+}  // namespace hpc::hw

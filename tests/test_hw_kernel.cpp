@@ -1,0 +1,77 @@
+#include "hw/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+namespace hpc::hw {
+namespace {
+
+TEST(Kernel, GemmFlopsAndBytes) {
+  const Kernel k = make_gemm(100, 200, 300, Precision::FP32);
+  EXPECT_DOUBLE_EQ(k.flops, 2.0 * 100 * 200 * 300);
+  EXPECT_DOUBLE_EQ(k.bytes, 4.0 * (100.0 * 300 + 300.0 * 200 + 2.0 * 100 * 200));
+  EXPECT_EQ(k.op, OpClass::kGemm);
+}
+
+TEST(Kernel, GemmIntensityGrowsWithSize) {
+  const Kernel small = make_gemm(64, 64, 64);
+  const Kernel big = make_gemm(4096, 4096, 4096);
+  EXPECT_GT(big.intensity(), small.intensity());
+}
+
+TEST(Kernel, MatvecIsMemoryBoundShape) {
+  const Kernel k = make_matvec(1000, Precision::FP32);
+  EXPECT_DOUBLE_EQ(k.flops, 2.0e6);
+  // Intensity ~ 0.5 flops/byte at fp32: firmly memory bound.
+  EXPECT_LT(k.intensity(), 1.0);
+}
+
+TEST(Kernel, PrecisionScalesBytes) {
+  const Kernel fp64 = make_matvec(512, Precision::FP64);
+  const Kernel bf16 = make_matvec(512, Precision::BF16);
+  EXPECT_DOUBLE_EQ(fp64.bytes / bf16.bytes, 4.0);
+  EXPECT_DOUBLE_EQ(fp64.flops, bf16.flops);
+}
+
+TEST(Kernel, Stencil3d) {
+  const Kernel k = make_stencil3d(64);
+  EXPECT_DOUBLE_EQ(k.flops, 8.0 * 64 * 64 * 64);
+  EXPECT_EQ(k.op, OpClass::kStencil);
+}
+
+TEST(Kernel, FftFlopCount) {
+  const Kernel k = make_fft(1024);
+  EXPECT_DOUBLE_EQ(k.flops, 5.0 * 1024 * 10);  // 5 N log2 N
+  EXPECT_EQ(k.op, OpClass::kFft);
+}
+
+TEST(Kernel, SpmvBytesIncludeIndices) {
+  const Kernel k = make_spmv(1'000, Precision::FP64);
+  EXPECT_DOUBLE_EQ(k.bytes, (8.0 + 4.0) * 1'000);
+  EXPECT_DOUBLE_EQ(k.flops, 2'000.0);
+}
+
+TEST(Kernel, GraphIsLatencyBound) {
+  const Kernel k = make_graph(1'000'000);
+  EXPECT_LT(k.intensity(), 0.1);  // pointer chasing: ~1 flop per 16 bytes
+  EXPECT_EQ(k.op, OpClass::kGraph);
+}
+
+TEST(Kernel, ZeroBytesIntensityIsHuge) {
+  Kernel k;
+  k.flops = 100.0;
+  k.bytes = 0.0;
+  EXPECT_GT(k.intensity(), 1e12);
+}
+
+TEST(OpClass, AllNamesDistinct) {
+  std::set<std::string_view> names;
+  for (int c = 0; c < kOpClassCount; ++c)
+    names.insert(name_of(static_cast<OpClass>(c)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kOpClassCount));
+}
+
+}  // namespace
+}  // namespace hpc::hw

@@ -1,0 +1,59 @@
+#include "hw/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpc::hw {
+namespace {
+
+TEST(Platform, PaperAnchorFewMillionNre) {
+  // Section III.E: "any given platform enablement effort can now easily
+  // reach a few million dollars".
+  EXPECT_GE(custom_board_model().nre_per_device_usd, 1e6);
+  EXPECT_LT(standard_module_model().nre_per_device_usd,
+            custom_board_model().nre_per_device_usd / 5.0);
+}
+
+TEST(Platform, EnablementCostLinearInKinds) {
+  const PlatformModel m = custom_board_model();
+  EXPECT_DOUBLE_EQ(enablement_cost_usd(m, 4, 1'000.0),
+                   2.0 * enablement_cost_usd(m, 2, 1'000.0));
+}
+
+TEST(Platform, StandardModuleFieldsMoreSilicon) {
+  // The paper's thesis: the standard "would lower the hurdle to new
+  // technology enablement and truly enable a diverse silicon ecosystem".
+  const double budget = 12e6;
+  const double low_volume = 500.0;  // early/low-volume parts
+  const int custom = affordable_device_kinds(custom_board_model(), budget, low_volume);
+  const int standard = affordable_device_kinds(standard_module_model(), budget, low_volume);
+  EXPECT_GE(standard, 4 * custom);
+}
+
+TEST(Platform, CustomWinsOnlyAtHugeVolume) {
+  const double be = breakeven_units(custom_board_model(), standard_module_model());
+  EXPECT_GT(be, 5'000.0);  // thousands of units before custom NRE pays off
+  EXPECT_TRUE(std::isfinite(be));
+  // At volumes beyond break-even, custom really is cheaper per kind.
+  EXPECT_LT(enablement_cost_usd(custom_board_model(), 1, be * 2.0),
+            enablement_cost_usd(standard_module_model(), 1, be * 2.0));
+  // And below it, the standard module wins.
+  EXPECT_GT(enablement_cost_usd(custom_board_model(), 1, be / 2.0),
+            enablement_cost_usd(standard_module_model(), 1, be / 2.0));
+}
+
+TEST(Platform, BreakevenInfiniteWithoutPremiumGap) {
+  PlatformModel a = custom_board_model();
+  PlatformModel b = standard_module_model();
+  b.unit_premium_usd = 0.0;
+  EXPECT_TRUE(std::isinf(breakeven_units(a, b)));
+}
+
+TEST(Platform, IntegrationTimeShrink) {
+  EXPECT_LT(standard_module_model().integration_weeks,
+            custom_board_model().integration_weeks / 2.0);
+}
+
+}  // namespace
+}  // namespace hpc::hw

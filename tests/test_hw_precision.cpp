@@ -1,0 +1,136 @@
+#include "hw/precision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hpc::hw {
+namespace {
+
+TEST(Precision, BitsAndBytes) {
+  EXPECT_EQ(bits_of(Precision::FP64), 64);
+  EXPECT_EQ(bits_of(Precision::FP32), 32);
+  EXPECT_EQ(bits_of(Precision::BF16), 16);
+  EXPECT_EQ(bits_of(Precision::INT8), 8);
+  EXPECT_EQ(bits_of(Precision::INT4), 4);
+  EXPECT_DOUBLE_EQ(bytes_of(Precision::TF32), 4.0);  // stored as 32-bit
+  EXPECT_DOUBLE_EQ(bytes_of(Precision::INT4), 0.5);
+}
+
+TEST(Precision, Names) {
+  EXPECT_EQ(name_of(Precision::BF16), "bf16");
+  EXPECT_EQ(name_of(Precision::INT8), "int8");
+}
+
+TEST(Bf16, ExactValuesPreserved) {
+  // Powers of two and small integers are exactly representable.
+  for (const float v : {0.0f, 1.0f, -2.0f, 0.5f, 256.0f, -1024.0f})
+    EXPECT_EQ(round_bf16(v), v);
+}
+
+TEST(Bf16, RelativeErrorBounded) {
+  // bf16 has 8 significand bits (incl. implicit): rel error <= 2^-8.
+  for (float v = 0.001f; v < 1e6f; v *= 3.7f) {
+    const float r = round_bf16(v);
+    EXPECT_NEAR(r / v, 1.0f, 1.0f / 256.0f) << v;
+  }
+}
+
+TEST(Bf16, Idempotent) {
+  for (float v = 0.001f; v < 1e6f; v *= 2.3f)
+    EXPECT_EQ(round_bf16(round_bf16(v)), round_bf16(v));
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  for (float v = 0.01f; v < 60'000.0f; v *= 3.1f) {
+    const float r = round_fp16(v);
+    EXPECT_NEAR(r / v, 1.0f, 1.0f / 1024.0f) << v;
+  }
+}
+
+TEST(Fp16, OverflowsToInfinity) {
+  EXPECT_TRUE(std::isinf(round_fp16(70'000.0f)));
+  EXPECT_TRUE(std::isinf(round_fp16(-70'000.0f)));
+  EXPECT_LT(round_fp16(-70'000.0f), 0.0f);
+}
+
+TEST(Fp16, SubnormalsQuantized) {
+  const float tiny = 1e-7f;
+  const float r = round_fp16(tiny);
+  // Quantized to a multiple of 2^-24.
+  const float q = 5.960464477539063e-8f;
+  EXPECT_NEAR(std::fmod(r, q), 0.0f, 1e-12f);
+}
+
+TEST(Tf32, MorePreciseThanBf16) {
+  double tf32_err = 0.0;
+  double bf16_err = 0.0;
+  for (float v = 0.37f; v < 1000.0f; v *= 1.7f) {
+    tf32_err += std::abs(round_tf32(v) - v) / v;
+    bf16_err += std::abs(round_bf16(v) - v) / v;
+  }
+  EXPECT_LT(tf32_err, bf16_err);
+}
+
+TEST(Int8, ClampsToRange) {
+  EXPECT_FLOAT_EQ(round_int8(1e9f, 1.0f), 127.0f);
+  EXPECT_FLOAT_EQ(round_int8(-1e9f, 1.0f), -127.0f);
+}
+
+TEST(Int8, QuantizesToScaleMultiples) {
+  const float scale = 0.1f;
+  for (const float v : {0.04f, 0.06f, 0.13f, -0.27f}) {
+    const float q = round_int8(v, scale);
+    EXPECT_NEAR(std::fmod(q, scale), 0.0f, 1e-6f);
+    EXPECT_NEAR(q, v, scale / 2.0f + 1e-6f);
+  }
+}
+
+TEST(Int8, ZeroScaleYieldsZero) { EXPECT_FLOAT_EQ(round_int8(3.0f, 0.0f), 0.0f); }
+
+TEST(Int4, CoarserThanInt8) {
+  const float scale = 0.1f;
+  EXPECT_FLOAT_EQ(round_int4(10.0f, scale), 0.7f);   // clamps at 7 levels
+  EXPECT_FLOAT_EQ(round_int8(10.0f, scale), 10.0f);  // 100 levels fit in int8
+}
+
+TEST(ApplyPrecision, Fp32IsIdentity) {
+  for (const float v : {1.234567f, -9.87e-12f, 3.4e28f})
+    EXPECT_EQ(apply_precision(v, Precision::FP32), v);
+}
+
+TEST(ApplyPrecision, DispatchesAllFormats) {
+  const float v = 1.2345678f;
+  EXPECT_EQ(apply_precision(v, Precision::BF16), round_bf16(v));
+  EXPECT_EQ(apply_precision(v, Precision::FP16), round_fp16(v));
+  EXPECT_EQ(apply_precision(v, Precision::TF32), round_tf32(v));
+  EXPECT_EQ(apply_precision(v, Precision::INT8, 0.01f), round_int8(v, 0.01f));
+}
+
+class PrecisionErrorOrdering : public ::testing::TestWithParam<float> {};
+
+TEST_P(PrecisionErrorOrdering, WiderFormatsNoWorse) {
+  const float v = GetParam();
+  const float e_tf32 = std::abs(round_tf32(v) - v);
+  const float e_fp16 = std::abs(round_fp16(v) - v);
+  const float e_bf16 = std::abs(round_bf16(v) - v);
+  EXPECT_LE(e_tf32, e_bf16);
+  // fp16 has more mantissa bits than bf16 inside its exponent range.
+  if (std::abs(v) < 60'000.0f && std::abs(v) > 1e-4f) EXPECT_LE(e_fp16, e_bf16);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepValues, PrecisionErrorOrdering,
+                         ::testing::Values(0.001f, 0.1f, 0.7f, 1.5f, 3.14159f, 42.0f,
+                                           1234.5f, 54321.0f));
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7; ties to even -> 1.0.
+  const float halfway = 1.0f + 1.0f / 256.0f;
+  EXPECT_FLOAT_EQ(round_bf16(halfway), 1.0f);
+  // Slightly above halfway rounds up.
+  EXPECT_FLOAT_EQ(round_bf16(1.0f + 1.5f / 256.0f), 1.0f + 1.0f / 128.0f);
+}
+
+}  // namespace
+}  // namespace hpc::hw

@@ -1,0 +1,78 @@
+#include "hw/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpc::hw {
+namespace {
+
+TEST(TechnologyModel, GenerationZeroIsUnity) {
+  const TechnologyModel m;
+  EXPECT_DOUBLE_EQ(m.perf_per_watt(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.generation_gain(0), 1.0);
+}
+
+TEST(TechnologyModel, DennardEraCompounds) {
+  const TechnologyModel m;
+  for (int g = 1; g <= m.dennard_end_gen; ++g)
+    EXPECT_DOUBLE_EQ(m.generation_gain(g), m.dennard_gain);
+  EXPECT_NEAR(m.perf_per_watt(2), m.dennard_gain * m.dennard_gain, 1e-9);
+}
+
+TEST(TechnologyModel, PostDennardGainsDecay) {
+  const TechnologyModel m;
+  double prev = m.generation_gain(m.dennard_end_gen + 1);
+  EXPECT_LT(prev, m.dennard_gain);
+  for (int g = m.dennard_end_gen + 2; g < m.dennard_end_gen + 10; ++g) {
+    const double gain = m.generation_gain(g);
+    EXPECT_LT(gain, prev);
+    EXPECT_GE(gain, 1.0);
+    prev = gain;
+  }
+}
+
+TEST(TechnologyModel, GainApproachesOne) {
+  const TechnologyModel m;
+  EXPECT_NEAR(m.generation_gain(m.dennard_end_gen + 60), 1.0, 0.01);
+}
+
+TEST(TechnologyModel, PerfPerWattMonotone) {
+  const TechnologyModel m;
+  double prev = 0.0;
+  for (int g = 0; g <= 30; ++g) {
+    const double ppw = m.perf_per_watt(g);
+    EXPECT_GT(ppw, prev);
+    prev = ppw;
+  }
+}
+
+TEST(SpecializationModel, AmdahlLimit) {
+  SpecializationModel s;
+  s.coverage = 0.7;
+  // Infinite gain saturates at 1/(1-coverage).
+  EXPECT_NEAR(s.effective_speedup(1e12), 1.0 / 0.3, 1e-6);
+  EXPECT_DOUBLE_EQ(s.effective_speedup(1.0), 1.0);
+}
+
+TEST(SpecializationModel, SpeedupMonotoneInGain) {
+  const SpecializationModel s;
+  double prev = 0.0;
+  for (double g = 1.0; g < 1000.0; g *= 2.0) {
+    const double sp = s.effective_speedup(g);
+    EXPECT_GT(sp, prev);
+    prev = sp;
+  }
+}
+
+TEST(SpecializationModel, FullCoverageIsFullGain) {
+  SpecializationModel s;
+  s.coverage = 1.0;
+  EXPECT_NEAR(s.effective_speedup(30.0), 30.0, 1e-9);
+}
+
+TEST(SpecializationModel, ZeroGainIsSafe) {
+  const SpecializationModel s;
+  EXPECT_DOUBLE_EQ(s.effective_speedup(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hpc::hw

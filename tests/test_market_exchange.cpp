@@ -1,0 +1,156 @@
+#include "market/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace hpc::market {
+namespace {
+
+TEST(Equilibrium, SimpleCross) {
+  // Supply costs {1, 2, 3}; demand values {4, 2.5, 1.5}: two units trade,
+  // marginal pair is (2, 2.5) -> p* = 2.25.
+  const EquilibriumPoint eq = competitive_equilibrium({1.0, 2.0, 3.0}, {4.0, 2.5, 1.5});
+  EXPECT_DOUBLE_EQ(eq.quantity, 2.0);
+  EXPECT_DOUBLE_EQ(eq.price, 2.25);
+  EXPECT_DOUBLE_EQ(eq.max_surplus, (4.0 - 1.0) + (2.5 - 2.0));
+}
+
+TEST(Equilibrium, NoTradePossible) {
+  const EquilibriumPoint eq = competitive_equilibrium({10.0}, {5.0});
+  EXPECT_DOUBLE_EQ(eq.quantity, 0.0);
+  EXPECT_DOUBLE_EQ(eq.max_surplus, 0.0);
+  EXPECT_DOUBLE_EQ(eq.price, 7.5);
+}
+
+TEST(Equilibrium, UnsortedInputsHandled) {
+  const EquilibriumPoint a = competitive_equilibrium({3.0, 1.0, 2.0}, {1.5, 4.0, 2.5});
+  const EquilibriumPoint b = competitive_equilibrium({1.0, 2.0, 3.0}, {4.0, 2.5, 1.5});
+  EXPECT_DOUBLE_EQ(a.price, b.price);
+  EXPECT_DOUBLE_EQ(a.quantity, b.quantity);
+}
+
+/// Builds a provider/consumer market around a known equilibrium.
+Exchange make_market(int providers, int consumers, double* eq_price = nullptr) {
+  Exchange ex(17);
+  std::vector<double> costs;
+  std::vector<double> values;
+  sim::Rng rng(18);
+  for (int i = 0; i < providers; ++i) {
+    const double cost = rng.uniform(0.5, 1.5);
+    costs.push_back(cost);
+    ex.add_agent(std::make_unique<ProviderAgent>("prov" + std::to_string(i), cost, 1.0));
+  }
+  for (int i = 0; i < consumers; ++i) {
+    const double value = rng.uniform(0.8, 2.5);
+    values.push_back(value);
+    ex.add_agent(std::make_unique<ConsumerAgent>("cons" + std::to_string(i), value, 1.0));
+  }
+  if (eq_price) *eq_price = competitive_equilibrium(costs, values).price;
+  return ex;
+}
+
+TEST(Exchange, CashIsZeroSum) {
+  Exchange ex = make_market(20, 30);
+  ex.run_rounds(50);
+  EXPECT_GT(ex.total_volume(), 0.0);
+  EXPECT_NEAR(ex.cash_imbalance(), 0.0, 1e-6);
+}
+
+TEST(Exchange, PriceConvergesTowardEquilibrium) {
+  // The paper's claim: the non-cooperative game "eventually reaches
+  // equilibrium".  Late-round prices must be much closer to p* than early
+  // ones.
+  double p_star = 0.0;
+  Exchange ex = make_market(40, 60, &p_star);
+  ex.run_rounds(300);
+  const auto& prices = ex.round_prices();
+  ASSERT_GE(prices.size(), 300u);
+
+  auto mean_abs_dev = [&](std::size_t from, std::size_t to) {
+    double acc = 0.0;
+    int n = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      if (prices[i] <= 0.0) continue;
+      acc += std::abs(prices[i] - p_star);
+      ++n;
+    }
+    return n ? acc / n : 1e9;
+  };
+  const double late = mean_abs_dev(250, 300);
+  EXPECT_LT(late, 0.25 * p_star);
+}
+
+TEST(Exchange, TradesTrackEquilibriumQuantityPerRound) {
+  double p_star = 0.0;
+  Exchange ex = make_market(40, 60, &p_star);
+  ex.run_rounds(300);
+  // Late rounds: traded volume per round should be positive and bounded by
+  // the per-round supply.
+  const auto& volumes = ex.round_volumes();
+  double late_volume = 0.0;
+  for (std::size_t i = 250; i < 300; ++i) late_volume += volumes[i];
+  EXPECT_GT(late_volume / 50.0, 1.0);   // at least some units per round
+  EXPECT_LE(late_volume / 50.0, 40.0);  // cannot exceed supply
+}
+
+TEST(Exchange, ProvidersNeverSellBelowCostOnAverage) {
+  Exchange ex(21);
+  sim::Rng rng(22);
+  std::vector<const ProviderAgent*> providers;
+  for (int i = 0; i < 10; ++i) {
+    auto p = std::make_unique<ProviderAgent>("p" + std::to_string(i),
+                                             rng.uniform(0.5, 1.5), 1.0);
+    providers.push_back(p.get());
+    ex.add_agent(std::move(p));
+  }
+  for (int i = 0; i < 15; ++i)
+    ex.add_agent(std::make_unique<ConsumerAgent>("c" + std::to_string(i),
+                                                 rng.uniform(0.8, 2.5), 1.0));
+  ex.run_rounds(100);
+  for (const ProviderAgent* p : providers) {
+    if (p->sold_total() > 0.0) {
+      // Revenue per unit >= marginal cost (asks never priced below cost).
+      EXPECT_GE(p->cash() / p->sold_total(), p->marginal_cost() - 1e-9);
+    }
+  }
+}
+
+TEST(Exchange, BrokerAndSpeculatorDoNotBreakZeroSum) {
+  Exchange ex = make_market(15, 20);
+  ex.add_agent(std::make_unique<BrokerAgent>("broker"));
+  ex.add_agent(std::make_unique<SpeculatorAgent>("spec"));
+  ex.run_rounds(150);
+  EXPECT_NEAR(ex.cash_imbalance(), 0.0, 1e-6);
+}
+
+TEST(Exchange, AgentIdsAssignedSequentially) {
+  Exchange ex(1);
+  const int a = ex.add_agent(std::make_unique<BrokerAgent>("a"));
+  const int b = ex.add_agent(std::make_unique<BrokerAgent>("b"));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(ex.agent_count(), 2u);
+  EXPECT_EQ(ex.agent(0).name(), "a");
+}
+
+TEST(Exchange, NoAgentsNoTrades) {
+  Exchange ex(2);
+  ex.run_rounds(10);
+  EXPECT_DOUBLE_EQ(ex.total_volume(), 0.0);
+  EXPECT_DOUBLE_EQ(ex.last_price(), 0.0);
+}
+
+TEST(Exchange, InventoryConservation) {
+  // Units bought == units sold across all agents.
+  Exchange ex = make_market(10, 15);
+  ex.run_rounds(80);
+  double net_inventory = 0.0;
+  for (std::size_t i = 0; i < ex.agent_count(); ++i)
+    net_inventory += ex.agent(static_cast<int>(i)).inventory();
+  EXPECT_NEAR(net_inventory, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hpc::market

@@ -1,0 +1,65 @@
+#include "market/forwards.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpc::market {
+namespace {
+
+TEST(ForwardContract, BuyerPayoffSign) {
+  const ForwardContract c{0, 1, 1.5, 10.0, 5};
+  EXPECT_DOUBLE_EQ(c.buyer_payoff(2.0), 5.0);    // spot above strike: buyer wins
+  EXPECT_DOUBLE_EQ(c.buyer_payoff(1.0), -5.0);   // spot below: buyer pays
+  EXPECT_DOUBLE_EQ(c.buyer_payoff(1.5), 0.0);
+}
+
+TEST(ForwardBook, SettlesOnlyMaturedContracts) {
+  ForwardBook book;
+  book.add({0, 1, 1.0, 5.0, 3});
+  book.add({2, 3, 1.2, 2.0, 7});
+  EXPECT_EQ(book.open_contracts(), 2u);
+  const auto settled = book.settle(3, 1.4);
+  ASSERT_EQ(settled.size(), 1u);
+  EXPECT_EQ(settled[0].buyer, 0);
+  EXPECT_EQ(book.open_contracts(), 1u);
+  EXPECT_DOUBLE_EQ(book.cash(0), 2.0);   // (1.4 - 1.0) * 5
+  EXPECT_DOUBLE_EQ(book.cash(1), -2.0);
+  EXPECT_DOUBLE_EQ(book.cash(2), 0.0);   // not yet delivered
+}
+
+TEST(ForwardBook, ZeroSumAlways) {
+  ForwardBook book;
+  sim::Rng rng(91);
+  for (int i = 0; i < 50; ++i)
+    book.add({static_cast<int>(rng.index(10)), static_cast<int>(rng.index(10)) + 10,
+              rng.uniform(0.5, 2.0), rng.uniform(1.0, 20.0),
+              static_cast<int>(rng.index(5))});
+  for (int round = 0; round < 5; ++round) book.settle(round, rng.uniform(0.5, 2.5));
+  EXPECT_EQ(book.open_contracts(), 0u);
+  EXPECT_NEAR(book.imbalance(), 0.0, 1e-9);
+}
+
+TEST(Hedge, RemovesPriceRisk) {
+  sim::Rng rng(92);
+  const HedgeOutcome h = evaluate_hedge(1.5, 0.05, 20, 100.0, 500, rng);
+  // The hedged cost is exactly strike * quantity on every path.
+  EXPECT_NEAR(h.stdev_hedged, 0.0, 1e-9);
+  EXPECT_NEAR(h.mean_hedged, 1.5 * 100.0, 1e-6);
+  // The unhedged cost is volatile.
+  EXPECT_GT(h.stdev_unhedged, 10.0);
+  // Without drift the *mean* costs agree: hedging trades variance, not level.
+  EXPECT_NEAR(h.mean_unhedged, h.mean_hedged, 3.0 * h.stdev_unhedged / std::sqrt(500.0));
+}
+
+TEST(Hedge, MoreVolatilityMoreBenefit) {
+  sim::Rng r1(93);
+  sim::Rng r2(93);
+  const HedgeOutcome calm = evaluate_hedge(1.5, 0.02, 20, 100.0, 300, r1);
+  const HedgeOutcome wild = evaluate_hedge(1.5, 0.10, 20, 100.0, 300, r2);
+  EXPECT_GT(wild.stdev_unhedged, 3.0 * calm.stdev_unhedged);
+  EXPECT_NEAR(wild.stdev_hedged, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpc::market

@@ -1,0 +1,172 @@
+#include "market/orderbook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hpc::market {
+namespace {
+
+TEST(OrderBook, EmptyBook) {
+  OrderBook book;
+  EXPECT_FALSE(book.best_bid().has_value());
+  EXPECT_FALSE(book.best_ask().has_value());
+  EXPECT_FALSE(book.mid().has_value());
+  EXPECT_FALSE(book.last_trade_price().has_value());
+  EXPECT_EQ(book.open_orders(), 0u);
+}
+
+TEST(OrderBook, RestingOrdersQuote) {
+  OrderBook book;
+  book.submit(1, Side::kBid, 10.0, 5.0);
+  book.submit(2, Side::kAsk, 12.0, 3.0);
+  EXPECT_DOUBLE_EQ(*book.best_bid(), 10.0);
+  EXPECT_DOUBLE_EQ(*book.best_ask(), 12.0);
+  EXPECT_DOUBLE_EQ(*book.mid(), 11.0);
+  EXPECT_TRUE(book.take_trades().empty());
+  EXPECT_DOUBLE_EQ(book.depth(Side::kBid), 5.0);
+  EXPECT_DOUBLE_EQ(book.depth(Side::kAsk), 3.0);
+}
+
+TEST(OrderBook, CrossingTradesAtRestingPrice) {
+  OrderBook book;
+  book.submit(1, Side::kAsk, 10.0, 5.0);
+  book.submit(2, Side::kBid, 11.0, 5.0);  // crosses
+  const auto trades = book.take_trades();
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_DOUBLE_EQ(trades[0].price, 10.0);  // resting ask sets the price
+  EXPECT_DOUBLE_EQ(trades[0].quantity, 5.0);
+  EXPECT_EQ(trades[0].buyer, 2);
+  EXPECT_EQ(trades[0].seller, 1);
+  EXPECT_EQ(book.open_orders(), 0u);
+}
+
+TEST(OrderBook, PartialFillRests) {
+  OrderBook book;
+  book.submit(1, Side::kAsk, 10.0, 3.0);
+  book.submit(2, Side::kBid, 10.0, 5.0);
+  const auto trades = book.take_trades();
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_DOUBLE_EQ(trades[0].quantity, 3.0);
+  // Remainder of the bid rests.
+  EXPECT_DOUBLE_EQ(book.depth(Side::kBid), 2.0);
+  EXPECT_DOUBLE_EQ(book.depth(Side::kAsk), 0.0);
+}
+
+TEST(OrderBook, PricePriority) {
+  OrderBook book;
+  book.submit(1, Side::kAsk, 12.0, 1.0);
+  book.submit(2, Side::kAsk, 10.0, 1.0);  // better ask
+  book.submit(3, Side::kBid, 15.0, 1.0);
+  const auto trades = book.take_trades();
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].seller, 2);
+  EXPECT_DOUBLE_EQ(trades[0].price, 10.0);
+}
+
+TEST(OrderBook, TimePriorityWithinLevel) {
+  OrderBook book;
+  book.submit(1, Side::kAsk, 10.0, 1.0);
+  book.submit(2, Side::kAsk, 10.0, 1.0);
+  book.submit(3, Side::kBid, 10.0, 1.0);
+  const auto trades = book.take_trades();
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].seller, 1);  // first in, first matched
+}
+
+TEST(OrderBook, SweepsMultipleLevels) {
+  OrderBook book;
+  book.submit(1, Side::kAsk, 10.0, 1.0);
+  book.submit(2, Side::kAsk, 11.0, 1.0);
+  book.submit(3, Side::kBid, 12.0, 2.0);
+  const auto trades = book.take_trades();
+  ASSERT_EQ(trades.size(), 2u);
+  EXPECT_DOUBLE_EQ(trades[0].price, 10.0);
+  EXPECT_DOUBLE_EQ(trades[1].price, 11.0);
+  EXPECT_DOUBLE_EQ(*book.last_trade_price(), 11.0);
+}
+
+TEST(OrderBook, NoCrossBelowLimit) {
+  OrderBook book;
+  book.submit(1, Side::kAsk, 10.0, 1.0);
+  book.submit(2, Side::kBid, 9.0, 1.0);
+  EXPECT_TRUE(book.take_trades().empty());
+  EXPECT_EQ(book.open_orders(), 2u);
+}
+
+TEST(OrderBook, CancelRestingOrder) {
+  OrderBook book;
+  const int id = book.submit(1, Side::kBid, 10.0, 5.0);
+  EXPECT_TRUE(book.cancel(id));
+  EXPECT_FALSE(book.cancel(id));  // already gone
+  EXPECT_EQ(book.open_orders(), 0u);
+}
+
+TEST(OrderBook, CancelFilledOrderFails) {
+  OrderBook book;
+  const int ask = book.submit(1, Side::kAsk, 10.0, 1.0);
+  book.submit(2, Side::kBid, 10.0, 1.0);
+  book.take_trades();
+  EXPECT_FALSE(book.cancel(ask));
+}
+
+TEST(OrderBook, MidWithOneSide) {
+  OrderBook book;
+  book.submit(1, Side::kBid, 7.0, 1.0);
+  EXPECT_DOUBLE_EQ(*book.mid(), 7.0);
+}
+
+TEST(OrderBook, RandomOperationsKeepInvariants) {
+  // Property stress: after every operation the book is never crossed
+  // (best bid < best ask), depth is non-negative, and traded quantity never
+  // exceeds submitted quantity.
+  OrderBook book;
+  sim::Rng rng(404);
+  double submitted = 0.0;
+  double traded = 0.0;
+  std::vector<int> live_orders;
+  for (int op = 0; op < 5'000; ++op) {
+    if (!live_orders.empty() && rng.bernoulli(0.2)) {
+      const std::size_t pick = rng.index(live_orders.size());
+      book.cancel(live_orders[pick]);
+      live_orders[pick] = live_orders.back();
+      live_orders.pop_back();
+    } else {
+      const double qty = rng.uniform(0.5, 3.0);
+      submitted += qty;
+      const int id = book.submit(static_cast<int>(rng.index(20)),
+                                 rng.bernoulli(0.5) ? Side::kBid : Side::kAsk,
+                                 rng.uniform(0.8, 1.2), qty);
+      live_orders.push_back(id);
+    }
+    for (const Trade& t : book.take_trades()) {
+      EXPECT_GT(t.quantity, 0.0);
+      EXPECT_GT(t.price, 0.0);
+      traded += t.quantity;
+    }
+    const auto bid = book.best_bid();
+    const auto ask = book.best_ask();
+    if (bid && ask) {
+      EXPECT_LT(*bid, *ask + 1e-9) << "crossed book at op " << op;
+    }
+    EXPECT_GE(book.depth(Side::kBid), 0.0);
+    EXPECT_GE(book.depth(Side::kAsk), 0.0);
+  }
+  EXPECT_LE(traded, submitted + 1e-6);
+  EXPECT_GT(traded, 0.0);
+}
+
+TEST(OrderBook, SelfCrossingAllowedAndMatches) {
+  // The book is agent-agnostic; wash-trade prevention is an agent concern.
+  OrderBook book;
+  book.submit(1, Side::kAsk, 10.0, 1.0);
+  book.submit(1, Side::kBid, 10.0, 1.0);
+  const auto trades = book.take_trades();
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].buyer, trades[0].seller);
+}
+
+}  // namespace
+}  // namespace hpc::market

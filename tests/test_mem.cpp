@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "mem/datamove.hpp"
+#include "mem/fabric.hpp"
+#include "mem/tier.hpp"
+
+namespace hpc::mem {
+namespace {
+
+TEST(Tiers, OrderedByLatency) {
+  EXPECT_LT(dram_tier().latency_ns, pmem_tier().latency_ns);
+  EXPECT_LT(pmem_tier().latency_ns, ssd_tier().latency_ns);
+}
+
+TEST(Tiers, OrderedByCostPerGb) {
+  EXPECT_GT(hbm_tier().cost_per_gb, dram_tier().cost_per_gb);
+  EXPECT_GT(dram_tier().cost_per_gb, pmem_tier().cost_per_gb);
+  EXPECT_GT(pmem_tier().cost_per_gb, ssd_tier().cost_per_gb);
+}
+
+TEST(Tiers, PersistenceFlags) {
+  EXPECT_FALSE(dram_tier().persistent);
+  EXPECT_TRUE(pmem_tier().persistent);
+  EXPECT_TRUE(pmem_tier().byte_addressable);
+  EXPECT_FALSE(ssd_tier().byte_addressable);
+}
+
+TEST(Tiers, StreamTimeLinear) {
+  const MemoryTier t = dram_tier();
+  const double t1 = stream_time_ns(t, 1e9);
+  const double t2 = stream_time_ns(t, 2e9);
+  EXPECT_NEAR(t2 - t1, 1e9 / t.bandwidth_gbs, 1.0);
+}
+
+TEST(Tiers, RandomAccessOverlap) {
+  const MemoryTier d = dram_tier();
+  // 4-way overlap for byte-addressable tiers.
+  EXPECT_NEAR(random_access_time_ns(d, 1000.0), 1000.0 * d.latency_ns / 4.0, 1e-6);
+  const MemoryTier s = ssd_tier();
+  EXPECT_NEAR(random_access_time_ns(s, 10.0), 10.0 * s.latency_ns, 1e-6);
+}
+
+TEST(Hierarchy, PlacesInFastestFittingTier) {
+  const Hierarchy h({hbm_tier(), dram_tier(), pmem_tier()});
+  EXPECT_EQ(h.place(10.0), 0u);     // fits in 80 GB HBM
+  EXPECT_EQ(h.place(100.0), 1u);    // spills to DRAM
+  EXPECT_EQ(h.place(1'000.0), 2u);  // spills to PMEM
+  EXPECT_EQ(h.place(1e6), 2u);      // nothing fits: last tier
+}
+
+TEST(Hierarchy, Totals) {
+  const Hierarchy h({dram_tier(), pmem_tier()});
+  EXPECT_DOUBLE_EQ(h.total_capacity_gb(), 512.0 + 4'096.0);
+  EXPECT_GT(h.total_cost_usd(), 0.0);
+}
+
+TEST(Fabric, CxlLoadLatencyIsMemoryClass) {
+  // The paper's Figure 2 claim: CXL-class attach keeps remote memory in the
+  // sub-microsecond regime, PCIe does not.
+  FabricPool cxl{pmem_tier(), net::LinkClass::kCxl, 1};
+  FabricPool pcie{pmem_tier(), net::LinkClass::kPcie4, 1};
+  EXPECT_LT(load_latency_ns(cxl), 1'000.0);
+  EXPECT_GT(load_latency_ns(pcie), 2'000.0);
+  EXPECT_GT(pointer_chase_slowdown(pcie), 3.0 * pointer_chase_slowdown(cxl));
+}
+
+TEST(Fabric, HopsAddRoundTrips) {
+  FabricPool one{dram_tier(), net::LinkClass::kCxl, 1};
+  FabricPool three{dram_tier(), net::LinkClass::kCxl, 3};
+  const double per_hop = 2.0 * net::link_type(net::LinkClass::kCxl).latency_ns;
+  EXPECT_NEAR(load_latency_ns(three) - load_latency_ns(one), 2.0 * per_hop, 1e-9);
+}
+
+TEST(Fabric, StreamBandwidthIsMinOfLinkAndMedia) {
+  FabricPool pool{pmem_tier(), net::LinkClass::kCxl, 1};  // pmem 40 < cxl 64
+  EXPECT_DOUBLE_EQ(stream_bandwidth_gbs(pool), 40.0);
+  FabricPool pool2{hbm_tier(), net::LinkClass::kCxl, 1};  // cxl 64 < hbm 2000
+  EXPECT_DOUBLE_EQ(stream_bandwidth_gbs(pool2), 64.0);
+}
+
+TEST(Fabric, BulkReadZeroBytes) {
+  FabricPool pool{dram_tier(), net::LinkClass::kCxl, 1};
+  EXPECT_DOUBLE_EQ(bulk_read_ns(pool, 0.0), 0.0);
+}
+
+TEST(DataMove, MemoryDrivenMovesFewerBytes) {
+  const std::vector<PipelineStage> stages{{1e6, 0.5}, {1e6, 0.5}, {1e6, 0.1}};
+  const double copy_bytes = copy_pipeline_bytes(10.0, stages);
+  const double mdc_bytes = memory_driven_pipeline_bytes(10.0, stages);
+  EXPECT_LT(mdc_bytes, copy_bytes);
+  // Copy moves input+output per stage; memory-driven only streams input.
+  EXPECT_NEAR(copy_bytes, (10.0 + 5.0 + 5.0 + 2.5 + 2.5 + 0.25) * 1e9, 1.0);
+  EXPECT_NEAR(mdc_bytes, (10.0 + 5.0 + 2.5) * 1e9, 1.0);
+}
+
+TEST(DataMove, MemoryDrivenFasterOnFabric) {
+  FabricPool pool{pmem_tier(), net::LinkClass::kCxl, 1};
+  const std::vector<PipelineStage> stages{{1e6, 0.8}, {1e6, 0.5}};
+  EXPECT_LT(memory_driven_pipeline_ns(pool, 20.0, stages),
+            copy_pipeline_ns(pool, 20.0, stages));
+}
+
+TEST(DataMove, ComputeDominatedPipelinesConverge) {
+  // When compute >> movement, both designs cost about the same.
+  FabricPool pool{dram_tier(), net::LinkClass::kCxl, 1};
+  const std::vector<PipelineStage> stages{{1e12, 1.0}};  // very heavy compute
+  const double copy = copy_pipeline_ns(pool, 1.0, stages);
+  const double mdc = memory_driven_pipeline_ns(pool, 1.0, stages);
+  EXPECT_NEAR(copy / mdc, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace hpc::mem

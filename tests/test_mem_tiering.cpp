@@ -1,0 +1,70 @@
+#include "mem/tiering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpc::mem {
+namespace {
+
+const MemoryTier kFast = dram_tier();   // 90 ns
+const MemoryTier kSlow = pmem_tier();   // 300 ns
+
+TEST(Tiering, StaticHitRateEqualsCapacityFraction) {
+  const TieringOutcome o =
+      evaluate_tiering(kFast, kSlow, 100.0, 25.0, 1.0, TieringPolicy::kStatic);
+  EXPECT_NEAR(o.fast_hit_rate, 0.25, 1e-9);
+}
+
+TEST(Tiering, HotColdBeatsStaticUnderSkew) {
+  const TieringOutcome st =
+      evaluate_tiering(kFast, kSlow, 100.0, 25.0, 1.0, TieringPolicy::kStatic);
+  const TieringOutcome hc =
+      evaluate_tiering(kFast, kSlow, 100.0, 25.0, 1.0, TieringPolicy::kHotCold);
+  EXPECT_GT(hc.fast_hit_rate, st.fast_hit_rate + 0.2);
+  EXPECT_LT(hc.mean_access_ns, st.mean_access_ns);
+}
+
+TEST(Tiering, UniformAccessEqualizesPolicies) {
+  const TieringOutcome st =
+      evaluate_tiering(kFast, kSlow, 100.0, 25.0, 0.0, TieringPolicy::kStatic);
+  const TieringOutcome hc =
+      evaluate_tiering(kFast, kSlow, 100.0, 25.0, 0.0, TieringPolicy::kHotCold);
+  EXPECT_NEAR(st.fast_hit_rate, hc.fast_hit_rate, 1e-9);
+}
+
+TEST(Tiering, HitRateMonotoneInCapacity) {
+  double prev = -1.0;
+  for (const double cap : {5.0, 10.0, 25.0, 50.0, 100.0}) {
+    const TieringOutcome o =
+        evaluate_tiering(kFast, kSlow, 100.0, cap, 1.0, TieringPolicy::kHotCold);
+    EXPECT_GT(o.fast_hit_rate, prev);
+    prev = o.fast_hit_rate;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);  // everything fits at 100 GB
+}
+
+TEST(Tiering, SkewConcentratesBenefit) {
+  // A tiny fast tier already captures most accesses under strong skew.
+  const TieringOutcome mild =
+      evaluate_tiering(kFast, kSlow, 100.0, 10.0, 0.5, TieringPolicy::kHotCold);
+  const TieringOutcome strong =
+      evaluate_tiering(kFast, kSlow, 100.0, 10.0, 1.3, TieringPolicy::kHotCold);
+  EXPECT_GT(strong.fast_hit_rate, mild.fast_hit_rate);
+  EXPECT_GT(strong.fast_hit_rate, 0.6);
+}
+
+TEST(Tiering, SlowdownBoundedByTierRatio) {
+  const TieringOutcome o =
+      evaluate_tiering(kFast, kSlow, 100.0, 1.0, 0.8, TieringPolicy::kHotCold);
+  EXPECT_GE(o.slowdown_vs_all_fast, 1.0);
+  EXPECT_LE(o.slowdown_vs_all_fast, kSlow.latency_ns / kFast.latency_ns + 1e-9);
+}
+
+TEST(Tiering, OversizedFastTierIsPerfect) {
+  const TieringOutcome o =
+      evaluate_tiering(kFast, kSlow, 50.0, 200.0, 1.0, TieringPolicy::kStatic);
+  EXPECT_DOUBLE_EQ(o.fast_hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(o.slowdown_vs_all_fast, 1.0);
+}
+
+}  // namespace
+}  // namespace hpc::mem

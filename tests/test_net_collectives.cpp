@@ -1,0 +1,114 @@
+#include "net/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace hpc::net {
+namespace {
+
+TEST(Collectives, AllreduceZeroForOneRank) {
+  const Network net = make_single_switch(4);
+  EXPECT_DOUBLE_EQ(ring_allreduce_ns(net, {net.endpoints()[0]}, 1e9), 0.0);
+}
+
+TEST(Collectives, AllreduceGrowsWithBytes) {
+  const Network net = make_single_switch(8);
+  const auto& r = net.endpoints();
+  const double small = ring_allreduce_ns(net, r, 1e6);
+  const double large = ring_allreduce_ns(net, r, 1e9);
+  EXPECT_GT(large, small * 10.0);
+}
+
+TEST(Collectives, AllreduceBandwidthTermDominatesAtScale) {
+  // Ring all-reduce moves 2(n-1)/n * bytes per rank: for large messages the
+  // time approaches 2 * bytes / bw regardless of n.
+  const Network net = make_single_switch(16);
+  const double bytes = 25e9;
+  const double t = ring_allreduce_ns(net, net.endpoints(), bytes);
+  const double lower = 2.0 * (16.0 - 1.0) / 16.0 * bytes / 25.0;  // pure bw
+  EXPECT_GT(t, lower);
+  EXPECT_LT(t, lower * 1.2);
+}
+
+TEST(Collectives, BarrierLogarithmicRounds) {
+  const Network star4 = make_single_switch(4);
+  const Network star16 = make_single_switch(16);
+  const double b4 = barrier_ns(star4, star4.endpoints());
+  const double b16 = barrier_ns(star16, star16.endpoints());
+  // 2 rounds vs 4 rounds of the same per-pair latency.
+  EXPECT_NEAR(b16 / b4, 2.0, 0.1);
+}
+
+TEST(Collectives, BarrierZeroForOneRank) {
+  const Network net = make_single_switch(4);
+  EXPECT_DOUBLE_EQ(barrier_ns(net, {net.endpoints()[0]}), 0.0);
+}
+
+TEST(Collectives, AlltoallMakespanMatchesBisectionMath) {
+  // On a single switch, each endpoint sends and receives (n-1)*bytes; the
+  // binding resource is each host's 25 GB/s link.
+  const Network net = make_single_switch(4);
+  const double bytes = 1e9;
+  const double t = alltoall_ns(net, net.endpoints(), bytes);
+  const double expect = 3.0 * bytes / 25.0;
+  EXPECT_NEAR(t, expect, expect * 0.05);
+}
+
+TEST(Collectives, PerRankBandwidthBounded) {
+  const Network net = make_single_switch(8);
+  const double bw = alltoall_per_rank_bandwidth_gbs(net, net.endpoints(), 1e8);
+  EXPECT_GT(bw, 0.0);
+  EXPECT_LE(bw, 25.0 * 1.01);
+}
+
+TEST(Collectives, ReduceScatterIsHalfAnAllreduce) {
+  const Network net = make_single_switch(8);
+  const auto& r = net.endpoints();
+  const double bytes = 1e9;
+  EXPECT_NEAR(ring_reduce_scatter_ns(net, r, bytes),
+              ring_allreduce_ns(net, r, bytes) / 2.0, 1.0);
+}
+
+TEST(Collectives, ReduceScatterZeroForOneRank) {
+  const Network net = make_single_switch(4);
+  EXPECT_DOUBLE_EQ(ring_reduce_scatter_ns(net, {net.endpoints()[0]}, 1e9), 0.0);
+}
+
+TEST(Collectives, BroadcastLogRounds) {
+  const Network star4 = make_single_switch(4);
+  const Network star16 = make_single_switch(16);
+  const double bytes = 1e6;
+  const double b4 = tree_broadcast_ns(star4, star4.endpoints(), bytes);
+  const double b16 = tree_broadcast_ns(star16, star16.endpoints(), bytes);
+  EXPECT_NEAR(b16 / b4, 2.0, 0.05);  // 4 rounds vs 2 of identical pair cost
+}
+
+TEST(Collectives, BroadcastCheaperThanAllreduceForSameBytes) {
+  // Broadcast moves each byte log(n) times on the critical path; ring
+  // all-reduce moves ~2x the buffer through every rank.
+  const Network net = make_single_switch(16);
+  const double bytes = 1e9;
+  EXPECT_LT(tree_broadcast_ns(net, net.endpoints(), bytes) / 4.0,
+            ring_allreduce_ns(net, net.endpoints(), bytes));
+}
+
+TEST(Collectives, BroadcastZeroForOneRank) {
+  const Network net = make_single_switch(4);
+  EXPECT_DOUBLE_EQ(tree_broadcast_ns(net, {net.endpoints()[0]}, 1e9), 0.0);
+}
+
+TEST(Collectives, LowDiameterBeatsTorusOnGlobalTraffic) {
+  // The paper's Section II.B: low-diameter networks provide high global
+  // bandwidth.  Same endpoint count, same per-link speed.
+  const Network fly = make_dragonfly(4, 2, 2);     // 72 endpoints
+  const Network torus = make_torus_2d(9, 8, 1);    // 72 endpoints
+  std::vector<int> fly_ranks(fly.endpoints().begin(), fly.endpoints().begin() + 24);
+  std::vector<int> torus_ranks(torus.endpoints().begin(), torus.endpoints().begin() + 24);
+  const double bw_fly = alltoall_per_rank_bandwidth_gbs(fly, fly_ranks, 1e8);
+  const double bw_torus = alltoall_per_rank_bandwidth_gbs(torus, torus_ranks, 1e8);
+  EXPECT_GT(bw_fly, bw_torus);
+}
+
+}  // namespace
+}  // namespace hpc::net

@@ -1,0 +1,158 @@
+#include "net/flowsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace hpc::net {
+namespace {
+
+/// Two endpoints through one switch, 25 GB/s links.
+Network pair_network() { return make_single_switch(2); }
+
+TEST(FlowSim, SingleFlowGetsFullBandwidth) {
+  const Network net = pair_network();
+  FlowSim sim(net);
+  const double bytes = 25e9;  // 1 second at 25 GB/s
+  sim.add_flow({net.endpoints()[0], net.endpoints()[1], bytes, 0, 0});
+  const FlowRunSummary out = sim.run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_NEAR(out.flows[0].fct_ns, 1e9, 1e6);
+  EXPECT_NEAR(out.flows[0].mean_rate_gbs, 25.0, 0.1);
+}
+
+TEST(FlowSim, TwoFlowsShareFairly) {
+  const Network net = make_single_switch(3);
+  FlowSim sim(net);
+  // Both flows converge on endpoint 0's downlink: fair share 12.5 GB/s each.
+  sim.add_flow({net.endpoints()[1], net.endpoints()[0], 12.5e9, 0, 0});
+  sim.add_flow({net.endpoints()[2], net.endpoints()[0], 12.5e9, 0, 1});
+  const FlowRunSummary out = sim.run();
+  ASSERT_EQ(out.flows.size(), 2u);
+  for (const FlowResult& f : out.flows) EXPECT_NEAR(f.fct_ns, 1e9, 1e7);
+}
+
+TEST(FlowSim, MaxMinSpareCapacityReallocated) {
+  // Endpoints A,B -> C incast plus an independent flow A -> B.  The incast
+  // flows bottleneck at C's downlink (12.5 each); A->B then fills A's uplink
+  // remainder (12.5)... with ideal flow-based CC.
+  const Network net = make_single_switch(3);
+  const int a = net.endpoints()[0];
+  const int b = net.endpoints()[1];
+  const int c = net.endpoints()[2];
+  FlowSim sim(net, CongestionControl::kFlowBased);
+  sim.add_flow({a, c, 12.5e9, 0, 0});
+  sim.add_flow({b, c, 12.5e9, 0, 0});
+  sim.add_flow({a, b, 12.5e9, 0, 1});
+  const FlowRunSummary out = sim.run();
+  // A->C and B->C: share C downlink -> 12.5 each -> 1 s.
+  // A->B: A uplink shared with A->C (12.5 left) -> 12.5 -> 1 s.
+  for (const FlowResult& f : out.flows) EXPECT_NEAR(f.fct_ns, 1e9, 5e7) << f.spec.tag;
+}
+
+TEST(FlowSim, LaterArrivalsDelayCompletion) {
+  const Network net = pair_network();
+  FlowSim sim(net);
+  const int a = net.endpoints()[0];
+  const int b = net.endpoints()[1];
+  sim.add_flow({a, b, 25e9, 0, 0});
+  sim.add_flow({a, b, 25e9, 500'000'000, 1});  // arrives at 0.5 s
+  const FlowRunSummary out = sim.run();
+  ASSERT_EQ(out.flows.size(), 2u);
+  // Total 50 GB over a 25 GB/s link: makespan 2 s regardless of sharing.
+  EXPECT_NEAR(out.makespan_ns, 2e9, 5e7);
+  EXPECT_NEAR(out.aggregate_throughput_gbs, 25.0, 0.5);
+}
+
+TEST(FlowSim, ZeroHopFlowCompletesImmediately) {
+  const Network net = pair_network();
+  FlowSim sim(net);
+  const int a = net.endpoints()[0];
+  sim.add_flow({a, a, 1e9, 100, 7});
+  const FlowRunSummary out = sim.run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_NEAR(out.flows[0].fct_ns, 0.0, 1.0);
+}
+
+TEST(FlowSim, CongestionTreeHurtsVictims) {
+  // Incast across a two-switch fabric: 6 senders on switch A flood one
+  // receiver on switch B, bottlenecking at the receiver's downlink.  A victim
+  // flow (A -> B between two other hosts) shares only the fat trunk, which
+  // has ample capacity: with flow-based CC the victim is untouched; without
+  // it, the elephants' excess injection saturates trunk buffers (congestion
+  // tree) and the victim collapses.
+  auto victim_fct = [&](CongestionControl cc) {
+    Network net;
+    const int sw_a = net.add_node(NodeRole::kSwitch, "A");
+    const int sw_b = net.add_node(NodeRole::kSwitch, "B");
+    net.add_duplex_link(sw_a, sw_b, LinkClass::kEth200, 100.0);  // fat trunk
+    std::vector<int> senders;
+    for (int i = 0; i < 6; ++i) {
+      senders.push_back(net.add_node(NodeRole::kEndpoint));
+      net.add_duplex_link(senders.back(), sw_a, LinkClass::kEth200);
+    }
+    const int receiver = net.add_node(NodeRole::kEndpoint);
+    net.add_duplex_link(receiver, sw_b, LinkClass::kEth200);
+    const int victim_src = net.add_node(NodeRole::kEndpoint);
+    net.add_duplex_link(victim_src, sw_a, LinkClass::kEth200);
+    const int victim_dst = net.add_node(NodeRole::kEndpoint);
+    net.add_duplex_link(victim_dst, sw_b, LinkClass::kEth200);
+    net.build_routes();
+
+    FlowSim sim(net, cc);
+    for (const int s : senders) sim.add_flow({s, receiver, 25e9, 0, 0});
+    sim.add_flow({victim_src, victim_dst, 2.5e9, 0, 1});
+    const FlowRunSummary out = sim.run();
+    return out.fct_sampler(1).mean();
+  };
+
+  const double with_cc = victim_fct(CongestionControl::kFlowBased);
+  const double without_cc = victim_fct(CongestionControl::kNone);
+  // With CC the victim gets its full 25 GB/s: 0.1 s.
+  EXPECT_NEAR(with_cc, 1e8, 5e6);
+  // Without CC the congestion tree must hurt the victim substantially.
+  EXPECT_GT(without_cc, 2.0 * with_cc);
+}
+
+TEST(FlowSim, ValiantRoutingStillDelivers) {
+  const Network net = make_dragonfly(4, 2, 2);
+  FlowSim sim(net, CongestionControl::kFlowBased, Routing::kValiant, 99);
+  const auto& h = net.endpoints();
+  for (int i = 0; i < 10; ++i)
+    sim.add_flow({h[static_cast<std::size_t>(i)],
+                  h[static_cast<std::size_t>(i + 20)], 1e9, 0, i});
+  const FlowRunSummary out = sim.run();
+  EXPECT_EQ(out.flows.size(), 10u);
+  for (const FlowResult& f : out.flows) EXPECT_GT(f.fct_ns, 0.0);
+}
+
+TEST(FlowSim, ResultsAreDeterministic) {
+  auto once = [] {
+    const Network net = make_dragonfly(4, 2, 2);
+    FlowSim sim(net, CongestionControl::kNone, Routing::kMinimal, 5);
+    const auto& h = net.endpoints();
+    for (int i = 0; i < 20; ++i)
+      sim.add_flow({h[static_cast<std::size_t>(i)],
+                    h[static_cast<std::size_t>((i * 7 + 3) % h.size())],
+                    1e9 * (i + 1), static_cast<sim::TimeNs>(i) * 1'000'000, i});
+    return sim.run().makespan_ns;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(FlowRunSummary, TagFilteredSampler) {
+  const Network net = pair_network();
+  FlowSim sim(net);
+  const int a = net.endpoints()[0];
+  const int b = net.endpoints()[1];
+  sim.add_flow({a, b, 1e9, 0, 1});
+  sim.add_flow({a, b, 1e9, 0, 2});
+  const FlowRunSummary out = sim.run();
+  EXPECT_EQ(out.fct_sampler(1).count(), 1u);
+  EXPECT_EQ(out.fct_sampler(2).count(), 1u);
+  EXPECT_EQ(out.fct_sampler(-1).count(), 2u);
+  EXPECT_EQ(out.fct_sampler(3).count(), 0u);
+}
+
+}  // namespace
+}  // namespace hpc::net

@@ -1,0 +1,130 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+
+namespace hpc::net {
+namespace {
+
+/// A -- sw1 -- sw2 -- B line network.
+Network line_network() {
+  Network net;
+  const int a = net.add_node(NodeRole::kEndpoint, "A");
+  const int s1 = net.add_node(NodeRole::kSwitch, "s1");
+  const int s2 = net.add_node(NodeRole::kSwitch, "s2");
+  const int b = net.add_node(NodeRole::kEndpoint, "B");
+  net.add_duplex_link(a, s1, LinkClass::kEth200);
+  net.add_duplex_link(s1, s2, LinkClass::kEth200);
+  net.add_duplex_link(s2, b, LinkClass::kEth200);
+  net.build_routes();
+  return net;
+}
+
+TEST(LinkTypes, CxlFarLowerLatencyThanPcie) {
+  // The paper: "PCIe latencies are far too high for memory access".
+  EXPECT_GT(link_type(LinkClass::kPcie4).latency_ns,
+            4.0 * link_type(LinkClass::kCxl).latency_ns);
+}
+
+TEST(LinkTypes, GenerationsIncreaseBandwidth) {
+  EXPECT_GT(link_type(LinkClass::kEth400).bandwidth_gbs,
+            link_type(LinkClass::kEth200).bandwidth_gbs);
+  EXPECT_GT(link_type(LinkClass::kPcie5).bandwidth_gbs,
+            link_type(LinkClass::kPcie4).bandwidth_gbs);
+}
+
+TEST(Network, RouteFollowsLine) {
+  const Network net = line_network();
+  const std::vector<int> path = net.route(0, 3);
+  EXPECT_EQ(path.size(), 3u);
+  EXPECT_EQ(net.link(path.front()).from, 0);
+  EXPECT_EQ(net.link(path.back()).to, 3);
+  // Consecutive links chain.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_EQ(net.link(path[i]).to, net.link(path[i + 1]).from);
+}
+
+TEST(Network, RouteToSelfIsEmpty) {
+  const Network net = line_network();
+  EXPECT_TRUE(net.route(0, 0).empty());
+  EXPECT_EQ(net.hops(0, 0), 0);
+}
+
+TEST(Network, HopsSymmetricOnDuplex) {
+  const Network net = line_network();
+  EXPECT_EQ(net.hops(0, 3), 3);
+  EXPECT_EQ(net.hops(3, 0), 3);
+}
+
+TEST(Network, EndpointDiameter) {
+  const Network net = line_network();
+  EXPECT_EQ(net.endpoint_diameter(), 3);
+  EXPECT_DOUBLE_EQ(net.mean_endpoint_hops(), 3.0);
+}
+
+TEST(Network, RouteViaIntermediate) {
+  Network net;
+  const int a = net.add_node(NodeRole::kEndpoint);
+  const int s1 = net.add_node(NodeRole::kSwitch);
+  const int s2 = net.add_node(NodeRole::kSwitch);
+  const int b = net.add_node(NodeRole::kEndpoint);
+  net.add_duplex_link(a, s1, LinkClass::kEth200);
+  net.add_duplex_link(a, s2, LinkClass::kEth200);
+  net.add_duplex_link(s1, b, LinkClass::kEth200);
+  net.add_duplex_link(s2, b, LinkClass::kEth200);
+  net.build_routes();
+  const std::vector<int> direct = net.route(a, b);
+  const std::vector<int> via = net.route_via(a, s2, b);
+  EXPECT_EQ(direct.size(), 2u);
+  EXPECT_EQ(via.size(), 2u);
+  EXPECT_EQ(net.link(via[0]).to, s2);
+}
+
+TEST(Network, MessageLatencyComponents) {
+  const Network net = line_network();
+  const LinkType t = link_type(LinkClass::kEth200);
+  // 3 links + 2 switch traversals + serialization of 1 MB at 25 GB/s.
+  const double expect = 3.0 * t.latency_ns + 2.0 * 100.0 + 1e6 / t.bandwidth_gbs;
+  EXPECT_NEAR(net.message_latency_ns(0, 3, 1e6), expect, 1.0);
+}
+
+TEST(Network, MessageLatencyZeroForSelf) {
+  const Network net = line_network();
+  EXPECT_DOUBLE_EQ(net.message_latency_ns(2, 2, 1e9), 0.0);
+}
+
+TEST(Network, CostCountsSwitchesAndLinks) {
+  const Network net = line_network();
+  const double link_cost = 3.0 * link_type(LinkClass::kEth200).cost_usd;
+  EXPECT_DOUBLE_EQ(net.total_cost_usd(10'000.0), link_cost + 2.0 * 10'000.0);
+}
+
+TEST(Network, DuplexLinkCounting) {
+  const Network net = line_network();
+  EXPECT_EQ(net.link_count(), 6u);  // 3 duplex pairs
+  EXPECT_EQ(net.duplex_links_of(LinkClass::kEth200), 3u);
+  EXPECT_EQ(net.duplex_links_of(LinkClass::kSiph), 0u);
+}
+
+TEST(Network, BandwidthOverrideRespected) {
+  Network net;
+  const int a = net.add_node(NodeRole::kEndpoint);
+  const int b = net.add_node(NodeRole::kEndpoint);
+  net.add_duplex_link(a, b, LinkClass::kEth200, 99.0, 10.0);
+  net.build_routes();
+  EXPECT_DOUBLE_EQ(net.link(0).bandwidth_gbs, 99.0);
+  EXPECT_DOUBLE_EQ(net.link(0).latency_ns, 10.0);
+}
+
+TEST(Network, UnreachableThrows) {
+  Network net;
+  net.add_node(NodeRole::kEndpoint);
+  net.add_node(NodeRole::kEndpoint);
+  net.build_routes();
+  EXPECT_EQ(net.hops(0, 1), -1);
+  EXPECT_THROW(net.route(0, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpc::net

@@ -1,0 +1,83 @@
+#include "net/progmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpc::net {
+namespace {
+
+TEST(ProgModel, BulkTransfersFavorMessagePassingOnEthernet) {
+  // One big halo buffer over the cluster network: aggregation wins.
+  CommPhase bulk;
+  bulk.accesses = 1;
+  bulk.granularity_bytes = 16e6;  // 16 MB halo
+  const double mp = phase_time_ns(ProgModel::kMessagePassing, bulk, LinkClass::kEth200);
+  const double pgas = phase_time_ns(ProgModel::kPgas, bulk, LinkClass::kEth200);
+  // For a single access both degenerate to ~bandwidth; MP adds pack cost, so
+  // PGAS bulk put is at least as good.
+  EXPECT_LE(pgas, mp);
+}
+
+TEST(ProgModel, FineGrainOverEthernetIsCatastrophicForPgas) {
+  // Graph-style random updates: 1M 8-byte touches over Ethernet round trips.
+  CommPhase fine;
+  fine.accesses = 1'000'000;
+  fine.granularity_bytes = 8.0;
+  const double mp = phase_time_ns(ProgModel::kMessagePassing, fine, LinkClass::kEth200);
+  const double pgas = phase_time_ns(ProgModel::kPgas, fine, LinkClass::kEth200);
+  // Software aggregation (MP) beats per-touch round trips by a wide margin.
+  EXPECT_GT(pgas, 3.0 * mp);
+}
+
+TEST(ProgModel, CxlRescuesFineGrainPgas) {
+  // The same fine-grained pattern over a CXL-class fabric: the ns-scale
+  // round trip flips the verdict — exactly why load/store fabrics change the
+  // programming-model calculus (Section III.D).
+  CommPhase fine;
+  fine.accesses = 1'000'000;
+  fine.granularity_bytes = 8.0;
+  const double mp = phase_time_ns(ProgModel::kMessagePassing, fine, LinkClass::kCxl);
+  const double pgas = phase_time_ns(ProgModel::kPgas, fine, LinkClass::kCxl);
+  EXPECT_LT(pgas, mp);
+}
+
+TEST(ProgModel, CrossoverGranularityOrdering) {
+  // The finer the access where PGAS still wins, the more PGAS-friendly the
+  // link.  CXL tolerates word grain; Ethernet needs kilobyte-class puts.
+  const double total = 8e6;
+  const double eth = pgas_win_granularity_bytes(LinkClass::kEth200, total);
+  const double cxl = pgas_win_granularity_bytes(LinkClass::kCxl, total);
+  EXPECT_DOUBLE_EQ(cxl, 8.0);
+  EXPECT_GT(eth, 64.0);
+  EXPECT_LT(eth, 1e6);
+}
+
+TEST(ProgModel, MoreOutstandingTransactionsHelpPgas) {
+  CommPhase fine;
+  fine.accesses = 100'000;
+  fine.granularity_bytes = 8.0;
+  const double shallow = phase_time_ns(ProgModel::kPgas, fine, LinkClass::kCxl, 4);
+  const double deep = phase_time_ns(ProgModel::kPgas, fine, LinkClass::kCxl, 64);
+  EXPECT_GT(shallow, 2.0 * deep);
+}
+
+TEST(ProgModel, TimesArePositiveAndFinite) {
+  for (const auto model : {ProgModel::kMessagePassing, ProgModel::kPgas})
+    for (const auto link : {LinkClass::kCxl, LinkClass::kPcie4, LinkClass::kEth400}) {
+      CommPhase p;
+      p.accesses = 1'000;
+      p.granularity_bytes = 64.0;
+      const double t = phase_time_ns(model, p, link);
+      EXPECT_GT(t, 0.0);
+      EXPECT_TRUE(std::isfinite(t));
+    }
+}
+
+TEST(ProgModel, Names) {
+  EXPECT_EQ(name_of(ProgModel::kMessagePassing), "message-passing");
+  EXPECT_EQ(name_of(ProgModel::kPgas), "pgas");
+}
+
+}  // namespace
+}  // namespace hpc::net

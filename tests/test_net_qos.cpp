@@ -1,0 +1,107 @@
+/// Virtual-network QoS (paper Section III.C): "the system will instantiate a
+/// virtual network for each application or workflow, a secure environment
+/// with strong service level guarantees" — realized here as weighted fair
+/// sharing in the flow simulator.
+
+#include <gtest/gtest.h>
+
+#include "net/flowsim.hpp"
+#include "net/topology.hpp"
+
+namespace hpc::net {
+namespace {
+
+TEST(Qos, WeightsSplitASharedLink) {
+  // Two flows share one 25 GB/s link with weights 3:1.
+  const Network net = make_single_switch(3);
+  const auto& h = net.endpoints();
+  FlowSim sim(net);
+  FlowSpec heavy{h[1], h[0], 7.5e9, 0, 1};
+  heavy.weight = 3.0;
+  FlowSpec light{h[2], h[0], 7.5e9, 0, 2};
+  light.weight = 1.0;
+  sim.add_flow(heavy);
+  sim.add_flow(light);
+  const FlowRunSummary out = sim.run();
+  // Heavy gets 18.75 GB/s -> 0.4 s; light 6.25 then all 25 after heavy ends.
+  const double heavy_fct = out.fct_sampler(1).mean();
+  EXPECT_NEAR(heavy_fct, 0.4e9, 2e7);
+  const double light_fct = out.fct_sampler(2).mean();
+  EXPECT_GT(light_fct, heavy_fct);
+}
+
+TEST(Qos, EqualWeightsIsPlainFairShare) {
+  const Network net = make_single_switch(3);
+  const auto& h = net.endpoints();
+  FlowSim sim(net);
+  sim.add_flow({h[1], h[0], 12.5e9, 0, 1, 2.0});
+  sim.add_flow({h[2], h[0], 12.5e9, 0, 2, 2.0});
+  const FlowRunSummary out = sim.run();
+  for (const FlowResult& f : out.flows) EXPECT_NEAR(f.fct_ns, 1e9, 2e7);
+}
+
+TEST(Qos, GuaranteedTenantUnaffectedByBestEffortStorm) {
+  // A premium tenant (weight 10) shares the fabric with a storm of 10
+  // best-effort flows (weight 1 each): the tenant holds half the link.
+  const Network net = make_single_switch(12);
+  const auto& h = net.endpoints();
+  FlowSim sim(net);
+  FlowSpec premium{h[1], h[0], 5e9, 0, 1};
+  premium.weight = 10.0;
+  sim.add_flow(premium);
+  for (int i = 2; i < 12; ++i)
+    sim.add_flow({h[static_cast<std::size_t>(i)], h[0], 25e9, 0, 2, 1.0});
+  const FlowRunSummary out = sim.run();
+  // Premium share: 10/20 of 25 GB/s = 12.5 -> 0.4 s.
+  EXPECT_NEAR(out.fct_sampler(1).mean(), 0.4e9, 3e7);
+}
+
+TEST(Qos, WeightedShareSurvivesCongestionTreeMode) {
+  const Network net = make_single_switch(4);
+  const auto& h = net.endpoints();
+  FlowSim sim(net, CongestionControl::kNone);
+  FlowSpec premium{h[1], h[0], 5e9, 0, 1};
+  premium.weight = 4.0;
+  sim.add_flow(premium);
+  sim.add_flow({h[2], h[0], 5e9, 0, 2, 1.0});
+  sim.add_flow({h[3], h[0], 5e9, 0, 2, 1.0});
+  const FlowRunSummary out = sim.run();
+  // Premium: 4/6 of 25 GB/s ~ 16.7 -> ~0.3 s; best effort finish later.
+  EXPECT_LT(out.fct_sampler(1).mean(), out.fct_sampler(2).mean());
+}
+
+TEST(Qos, ZeroWeightClampedNotStarved) {
+  const Network net = make_single_switch(3);
+  const auto& h = net.endpoints();
+  FlowSim sim(net);
+  sim.add_flow({h[1], h[0], 1e9, 0, 1, 0.0});  // degenerate weight
+  const FlowRunSummary out = sim.run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  // Sole flow on the link: clamped weight still yields the full link.
+  EXPECT_NEAR(out.flows[0].fct_ns, 1e9 / 25.0, 1e6);
+}
+
+TEST(Qos, AggregateThroughputConserved) {
+  // Weights redistribute, never create, bandwidth.
+  const Network net = make_single_switch(4);
+  const auto& h = net.endpoints();
+  double total_weighted = 0.0;
+  double total_equal = 0.0;
+  {
+    FlowSim sim(net);
+    sim.add_flow({h[1], h[0], 10e9, 0, 0, 5.0});
+    sim.add_flow({h[2], h[0], 10e9, 0, 0, 1.0});
+    sim.add_flow({h[3], h[0], 10e9, 0, 0, 1.0});
+    total_weighted = sim.run().makespan_ns;
+  }
+  {
+    FlowSim sim(net);
+    for (int i = 1; i <= 3; ++i) sim.add_flow({h[static_cast<std::size_t>(i)], h[0], 10e9, 0, 0, 1.0});
+    total_equal = sim.run().makespan_ns;
+  }
+  // 30 GB over a 25 GB/s egress either way: same makespan.
+  EXPECT_NEAR(total_weighted, total_equal, 1e7);
+}
+
+}  // namespace
+}  // namespace hpc::net

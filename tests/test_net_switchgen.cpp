@@ -1,0 +1,71 @@
+#include "net/switchgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpc::net {
+namespace {
+
+TEST(SwitchGen, PaperAnchors) {
+  // Section II.B: "state of the art switches (12.8 Tbps)" with "one more
+  // natural step (to 25.6 Tbps with 64 ports at 400 Gbps)".
+  const auto roadmap = electrical_roadmap();
+  ASSERT_GE(roadmap.size(), 2u);
+  EXPECT_DOUBLE_EQ(roadmap[0].aggregate_tbps, 12.8);
+  EXPECT_DOUBLE_EQ(roadmap[1].aggregate_tbps, 25.6);
+  EXPECT_EQ(roadmap[1].radix, 64);
+  EXPECT_DOUBLE_EQ(roadmap[1].port_gbps, 400.0);
+}
+
+TEST(SwitchGen, AggregateIsRadixTimesPort) {
+  for (const auto& roadmap : {electrical_roadmap(), copackaged_roadmap()})
+    for (const SwitchGen& g : roadmap)
+      EXPECT_NEAR(g.aggregate_tbps, g.radix * g.port_gbps / 1'000.0, 1e-9) << g.name;
+}
+
+TEST(SwitchGen, ElectricalSerdesShareGrows) {
+  const auto roadmap = electrical_roadmap();
+  for (std::size_t g = 1; g < roadmap.size(); ++g)
+    EXPECT_GT(roadmap[g].serdes_area_share, roadmap[g - 1].serdes_area_share);
+}
+
+TEST(SwitchGen, ElectricalReachCollapses) {
+  const auto roadmap = electrical_roadmap();
+  for (std::size_t g = 1; g < roadmap.size(); ++g)
+    EXPECT_LT(roadmap[g].electrical_reach_m, roadmap[g - 1].electrical_reach_m);
+  // "Increases in link speed have brought reductions in electrical reach."
+  EXPECT_LT(roadmap.back().electrical_reach_m, 1.0);
+}
+
+TEST(SwitchGen, RadicalChangePointExists) {
+  // The paper: "radical change is required beyond this point" — i.e. beyond
+  // 25.6T the electrical path drowns in SerDes.
+  const int g = radical_change_generation(electrical_roadmap());
+  ASSERT_GE(g, 0);
+  EXPECT_GE(electrical_roadmap()[static_cast<std::size_t>(g)].aggregate_tbps, 51.2);
+}
+
+TEST(SwitchGen, CopackagedEscapesTheWall) {
+  EXPECT_EQ(radical_change_generation(copackaged_roadmap()), -1);
+  // Optics keeps reach and logic share roughly flat while scaling bandwidth.
+  const auto cpo = copackaged_roadmap();
+  EXPECT_GT(cpo.back().aggregate_tbps, 200.0);
+  EXPECT_GT(cpo.back().logic_area_share(), 0.7);
+  EXPECT_GT(cpo.back().electrical_reach_m, 100.0);  // optical reach
+}
+
+TEST(SwitchGen, CopackagedBetterPowerPerTbpsAtScale) {
+  const SwitchGen el = electrical_roadmap().back();     // 102.4T electrical
+  const SwitchGen cpo = copackaged_roadmap()[2];        // 102.4T co-packaged
+  EXPECT_DOUBLE_EQ(el.aggregate_tbps, cpo.aggregate_tbps);
+  EXPECT_LT(cpo.power_per_tbps(), el.power_per_tbps());
+}
+
+TEST(SwitchGen, HighRadixEnabledByOptics) {
+  // "A system fabric of essentially unlimited scale can be constructed from
+  // low-cost switches" — radix growth happens on the optical path.
+  EXPECT_EQ(electrical_roadmap().back().radix, 64);
+  EXPECT_GE(copackaged_roadmap().back().radix, 256);
+}
+
+}  // namespace
+}  // namespace hpc::net

@@ -1,0 +1,142 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <string>
+
+namespace hpc::net {
+namespace {
+
+TEST(SingleSwitch, StarShape) {
+  const Network net = make_single_switch(8);
+  EXPECT_EQ(net.endpoints().size(), 8u);
+  EXPECT_EQ(net.node_count(), 9u);
+  EXPECT_EQ(net.endpoint_diameter(), 2);
+  EXPECT_DOUBLE_EQ(net.mean_endpoint_hops(), 2.0);
+}
+
+TEST(FatTree, K4Counts) {
+  const Network net = make_fat_tree(4);
+  // k=4: 16 hosts, 4 cores, 8 agg+edge switches.
+  EXPECT_EQ(net.endpoints().size(), 16u);
+  EXPECT_EQ(net.node_count() - net.endpoints().size(), 4u + 8u + 8u);
+  EXPECT_EQ(net.endpoint_diameter(), 6);  // host-edge-agg-core-agg-edge-host
+}
+
+TEST(FatTree, SamePodIsShorter) {
+  const Network net = make_fat_tree(4);
+  const auto& hosts = net.endpoints();
+  // Hosts 0,1 share an edge switch; 0 and 15 are in different pods.
+  EXPECT_EQ(net.hops(hosts[0], hosts[1]), 2);
+  EXPECT_EQ(net.hops(hosts[0], hosts[15]), 6);
+}
+
+TEST(Torus2d, WrapAroundShortens) {
+  const Network net = make_torus_2d(4, 4, 1);
+  // Opposite corners are 2+2 hops away through switches thanks to wraparound
+  // (+2 for the host links).
+  EXPECT_LE(net.endpoint_diameter(), 2 + 4);
+}
+
+TEST(Torus2d, EndpointCount) {
+  const Network net = make_torus_2d(3, 5, 2);
+  EXPECT_EQ(net.endpoints().size(), 30u);
+}
+
+TEST(Dragonfly, GroupCountFormula) {
+  // a=4, h=2 -> g = a*h+1 = 9 groups; 4 routers each; p=2 hosts per router.
+  const Network net = make_dragonfly(4, 2, 2);
+  EXPECT_EQ(net.endpoints().size(), static_cast<std::size_t>(9 * 4 * 2));
+  EXPECT_EQ(net.node_count() - net.endpoints().size(), 9u * 4u);
+}
+
+TEST(Dragonfly, LowDiameter) {
+  const Network net = make_dragonfly(4, 2, 2);
+  // Minimal dragonfly routes: host-router(-router)(-global)(-router)-host
+  // <= 5 switch hops + 2 host links.
+  EXPECT_LE(net.endpoint_diameter(), 5 + 2);
+  EXPECT_GE(net.endpoint_diameter(), 3);
+}
+
+TEST(Dragonfly, GlobalLinksAreOptical) {
+  const Network net = make_dragonfly(4, 2, 2);
+  // 9 groups, each pair connected once: 36 global optical links.
+  EXPECT_EQ(net.duplex_links_of(LinkClass::kSiph), 36u);
+}
+
+TEST(HyperX, FullRowColumnConnectivity) {
+  const Network net = make_hyperx_2d(3, 3, 1);
+  EXPECT_EQ(net.endpoints().size(), 9u);
+  // Any switch pair is at most 2 dimension hops: diameter <= 2 + 2 host links.
+  EXPECT_LE(net.endpoint_diameter(), 4);
+}
+
+TEST(HyperX, SwitchLinkCount) {
+  const Network net = make_hyperx_2d(4, 4, 1);
+  // Each row: C(4,2)=6 links x 4 rows; same for columns: 48 switch links
+  // + 16 host links.
+  EXPECT_EQ(net.link_count() / 2, 48u + 16u);
+}
+
+struct TopoCase {
+  std::string name;
+  std::function<Network()> build;
+  int max_diameter;
+};
+
+class EveryTopology : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(EveryTopology, AllPairsConnected) {
+  const Network net = GetParam().build();
+  const auto& eps = net.endpoints();
+  ASSERT_GE(eps.size(), 2u);
+  for (const int a : eps)
+    for (const int b : eps)
+      if (a != b) EXPECT_GT(net.hops(a, b), 0);
+}
+
+TEST_P(EveryTopology, DiameterWithinSpec) {
+  const Network net = GetParam().build();
+  EXPECT_LE(net.endpoint_diameter(), GetParam().max_diameter);
+}
+
+TEST_P(EveryTopology, RoutesAreLoopFree) {
+  const Network net = GetParam().build();
+  const auto& eps = net.endpoints();
+  for (std::size_t i = 0; i < eps.size(); i += 3)
+    for (std::size_t j = 0; j < eps.size(); j += 3) {
+      if (eps[i] == eps[j]) continue;
+      const std::vector<int> path = net.route(eps[i], eps[j]);
+      std::set<int> visited{eps[i]};
+      for (const int lid : path) {
+        const int next = net.link(lid).to;
+        EXPECT_TRUE(visited.insert(next).second) << "loop in route";
+      }
+    }
+}
+
+TEST_P(EveryTopology, SummaryConsistent) {
+  const Network net = GetParam().build();
+  const TopologySummary s = summarize(net, GetParam().name);
+  EXPECT_EQ(s.endpoints, static_cast<int>(net.endpoints().size()));
+  EXPECT_EQ(s.switches, static_cast<int>(net.node_count()) - s.endpoints);
+  EXPECT_GT(s.cost_usd, 0.0);
+  EXPECT_GE(s.mean_hops, 1.0);
+  EXPECT_LE(s.mean_hops, s.diameter);
+  EXPECT_EQ(s.electrical_links + s.optical_links, net.link_count() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fleet, EveryTopology,
+    ::testing::Values(
+        TopoCase{"star16", [] { return make_single_switch(16); }, 2},
+        TopoCase{"fattree4", [] { return make_fat_tree(4); }, 6},
+        TopoCase{"torus4x4", [] { return make_torus_2d(4, 4, 1); }, 6},
+        TopoCase{"dragonfly", [] { return make_dragonfly(4, 2, 2); }, 7},
+        TopoCase{"hyperx3x3", [] { return make_hyperx_2d(3, 3, 2); }, 4}),
+    [](const ::testing::TestParamInfo<TopoCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace hpc::net

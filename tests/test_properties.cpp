@@ -1,0 +1,286 @@
+/// Cross-cutting property tests: invariants that must hold for every
+/// configuration, enforced with parameterized sweeps rather than single
+/// examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fed/federation.hpp"
+#include "hw/precision.hpp"
+#include "net/flowsim.hpp"
+#include "net/topology.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace {
+
+using namespace hpc;
+
+// ---------------------------------------------------------------------------
+// Scheduler: no partition is ever oversubscribed (reconstructed from the
+// placement intervals), across policies and workloads.
+// ---------------------------------------------------------------------------
+
+struct SchedCase {
+  std::string name;
+  sched::Policy policy;
+  std::uint64_t seed;
+};
+
+class SchedulerInvariants : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerInvariants, NoPartitionOversubscribed) {
+  const SchedCase& param = GetParam();
+  const sched::Cluster cluster = sched::make_diversified_cluster(6, 6, 3, 2, 2);
+  sim::Rng rng(param.seed);
+  sched::WorkloadConfig cfg;
+  cfg.jobs = 120;
+  cfg.mean_interarrival_s = 5.0;
+  cfg.max_nodes = 4;
+  std::vector<sched::Job> jobs = sched::generate_workload(cfg, rng);
+  sched::ClusterSim csim(cluster, param.policy, param.seed);
+  csim.add_jobs(jobs);
+  const sched::ScheduleResult result = csim.run();
+
+  // Check occupancy at every start event.
+  for (const sched::Placement& probe : result.placements) {
+    if (probe.partition < 0) continue;
+    std::vector<int> used(cluster.partitions.size(), 0);
+    for (std::size_t j = 0; j < result.placements.size(); ++j) {
+      const sched::Placement& p = result.placements[j];
+      if (p.partition < 0) continue;
+      if (p.start <= probe.start && probe.start < p.finish)
+        used[static_cast<std::size_t>(p.partition)] += jobs[j].nodes;
+    }
+    for (std::size_t part = 0; part < cluster.partitions.size(); ++part)
+      EXPECT_LE(used[part], cluster.partitions[part].nodes)
+          << param.name << " partition " << part << " at t=" << probe.start;
+  }
+}
+
+TEST_P(SchedulerInvariants, JobsNeverStartBeforeArrival) {
+  const SchedCase& param = GetParam();
+  sim::Rng rng(param.seed + 1);
+  sched::WorkloadConfig cfg;
+  cfg.jobs = 80;
+  sched::ClusterSim csim(sched::make_cpu_gpu_cluster(4, 4), param.policy, param.seed);
+  csim.add_jobs(sched::generate_workload(cfg, rng));
+  for (const sched::Placement& p : csim.run().placements) {
+    if (p.partition < 0) continue;
+    EXPECT_GE(p.start, p.arrival);
+    EXPECT_GT(p.finish, p.start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SchedulerInvariants,
+    ::testing::Values(SchedCase{"fcfs", sched::Policy::kFcfsBlocking, 3},
+                      SchedCase{"fcfs_skip", sched::Policy::kFcfsSkip, 4},
+                      SchedCase{"backfill", sched::Policy::kEasyBackfill, 5},
+                      SchedCase{"hetero", sched::Policy::kHeteroAffinity, 6},
+                      SchedCase{"random", sched::Policy::kRandomPlacement, 7}),
+    [](const ::testing::TestParamInfo<SchedCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Federation: per-site-partition occupancy, ledger consistency, and WAN
+// serialization, across stages.
+// ---------------------------------------------------------------------------
+
+class FederationInvariants
+    : public ::testing::TestWithParam<fed::FederationStage> {};
+
+TEST_P(FederationInvariants, OccupancyLedgerAndCompletionConsistent) {
+  std::vector<fed::Site> sites{fed::make_onprem_site(0, "campus", 6, 2)};
+  fed::Site super = fed::make_supercomputer_site(1, "center", 32);
+  super.admin_domain = 0;
+  sites.push_back(super);
+  sites.push_back(fed::make_cloud_site(2, "cloud", 24, 0.1));
+
+  fed::FederationConfig cfg;
+  cfg.stage = GetParam();
+  cfg.policy = fed::MetaPolicy::kDataGravity;
+  cfg.burst_site = 2;
+  cfg.burst_queue_threshold_s = 60.0;
+  fed::FederationSim fsim(sites, cfg);
+  sim::Rng rng(11);
+  sched::WorkloadConfig wcfg;
+  wcfg.jobs = 100;
+  wcfg.mean_interarrival_s = 10.0;
+  wcfg.max_nodes = 4;
+  std::vector<sched::Job> jobs = sched::generate_workload(wcfg, rng);
+  fsim.submit_all(jobs, 0);
+  const fed::FederationResult r = fsim.run();
+
+  // Every completed job: staging precedes start precedes finish.
+  for (const fed::FedPlacement& p : r.placements) {
+    if (p.site < 0) continue;
+    EXPECT_GE(p.data_ready, p.submitted);
+    EXPECT_GE(p.start, p.data_ready);
+    EXPECT_GT(p.finish, p.start);
+  }
+
+  // Occupancy per (site, partition) at every start instant.
+  for (const fed::FedPlacement& probe : r.placements) {
+    if (probe.site < 0) continue;
+    std::map<std::pair<int, int>, int> used;
+    for (std::size_t j = 0; j < r.placements.size(); ++j) {
+      const fed::FedPlacement& p = r.placements[j];
+      if (p.site < 0) continue;
+      if (p.start <= probe.start && probe.start < p.finish)
+        used[{p.site, p.partition}] += jobs[j].nodes;
+    }
+    for (const auto& [key, nodes] : used) {
+      const auto& part = sites[static_cast<std::size_t>(key.first)]
+                             .cluster.partitions[static_cast<std::size_t>(key.second)];
+      EXPECT_LE(nodes, part.nodes) << "site " << key.first;
+    }
+  }
+
+  // Ledger records match completed placements one-to-one in cost.
+  double ledger_cost = 0.0;
+  for (const auto& rec : r.ledger.records()) ledger_cost += rec.cost_usd;
+  EXPECT_NEAR(ledger_cost, r.total_cost_usd, 1e-6);
+  EXPECT_EQ(static_cast<int>(r.ledger.records().size()), r.jobs_completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, FederationInvariants,
+                         ::testing::Values(fed::FederationStage::kLocalOnly,
+                                           fed::FederationStage::kBursting,
+                                           fed::FederationStage::kFluid,
+                                           fed::FederationStage::kGrid,
+                                           fed::FederationStage::kExchange),
+                         [](const ::testing::TestParamInfo<fed::FederationStage>& info) {
+                           std::string n(fed::name_of(info.param));
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(FederationInvariantsExtra, WanTransfersSerializeOnUplinks) {
+  // Two data-heavy jobs from the same home: their staging windows must not
+  // overlap (full-serialization uplink model).
+  std::vector<fed::Site> sites{fed::make_onprem_site(0, "campus", 1, 0)};
+  fed::Site super = fed::make_supercomputer_site(1, "center", 32);
+  super.admin_domain = 0;
+  sites.push_back(super);
+  fed::FederationConfig cfg;
+  cfg.stage = fed::FederationStage::kGrid;
+  cfg.policy = fed::MetaPolicy::kComputeOnly;
+  fed::FederationSim fsim(sites, cfg);
+  for (int i = 0; i < 2; ++i) {
+    sched::Job j;
+    j.id = i;
+    j.nodes = 1;
+    j.total_gflop = 1e4;
+    j.mix = sched::pure_mix(hw::OpClass::kGemm);
+    j.precision = hw::Precision::BF16;
+    j.dataset_gb = 100.0;  // 80 s each over the shared 1.25 GB/s uplink
+    j.data_site = 0;
+    fsim.submit(j, 0);
+  }
+  const fed::FederationResult r = fsim.run();
+  ASSERT_EQ(r.jobs_completed, 2);
+  const auto& a = r.placements[0];
+  const auto& b = r.placements[1];
+  // Second transfer completes roughly twice the single-transfer time.
+  const sim::TimeNs first = std::min(a.data_ready, b.data_ready);
+  const sim::TimeNs second = std::max(a.data_ready, b.data_ready);
+  EXPECT_GT(static_cast<double>(second), 1.8 * static_cast<double>(first));
+}
+
+// ---------------------------------------------------------------------------
+// Flow simulator: aggregate throughput can never exceed physical cuts,
+// across topologies and congestion modes.
+// ---------------------------------------------------------------------------
+
+struct FlowCase {
+  std::string name;
+  net::CongestionControl cc;
+  std::uint64_t seed;
+};
+
+class FlowInvariants : public ::testing::TestWithParam<FlowCase> {};
+
+TEST_P(FlowInvariants, ThroughputBoundedByEndpointLinks) {
+  const FlowCase& param = GetParam();
+  const net::Network network = net::make_dragonfly(4, 2, 2);
+  const auto& h = network.endpoints();
+  net::FlowSim fsim(network, param.cc, net::Routing::kMinimal, param.seed);
+  sim::Rng rng(param.seed);
+  double total_bytes = 0.0;
+  for (int f = 0; f < 60; ++f) {
+    const int src = static_cast<int>(rng.index(h.size()));
+    int dst = static_cast<int>(rng.index(h.size()));
+    if (dst == src) dst = (dst + 1) % static_cast<int>(h.size());
+    const double bytes = rng.uniform(1e8, 5e9);
+    total_bytes += bytes;
+    fsim.add_flow({h[static_cast<std::size_t>(src)], h[static_cast<std::size_t>(dst)],
+                   bytes, 0, f});
+  }
+  const net::FlowRunSummary out = fsim.run();
+  EXPECT_EQ(out.flows.size(), 60u);
+  // Aggregate throughput cannot exceed the sum of endpoint link speeds.
+  const double endpoint_cap = 25.0 * static_cast<double>(h.size());
+  EXPECT_LE(out.aggregate_throughput_gbs, endpoint_cap * 1.0001) << param.name;
+  // And the makespan is bounded below by the busiest endpoint's serialization.
+  EXPECT_GE(out.makespan_ns, total_bytes / endpoint_cap) << param.name;
+}
+
+TEST_P(FlowInvariants, AllFlowsEventuallyComplete) {
+  const FlowCase& param = GetParam();
+  const net::Network network = net::make_hyperx_2d(3, 3, 2);
+  const auto& h = network.endpoints();
+  net::FlowSim fsim(network, param.cc, net::Routing::kValiant, param.seed);
+  for (std::size_t i = 0; i < h.size(); ++i)
+    fsim.add_flow({h[i], h[(i + 5) % h.size()], 1e9,
+                   static_cast<sim::TimeNs>(i) * 10'000'000, static_cast<int>(i),
+                   1.0 + static_cast<double>(i % 3)});
+  const net::FlowRunSummary out = fsim.run();
+  EXPECT_EQ(out.flows.size(), h.size());
+  for (const net::FlowResult& f : out.flows) {
+    EXPECT_GT(f.fct_ns, 0.0);
+    EXPECT_LT(f.fct_ns, 1e12);  // nothing starves
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, FlowInvariants,
+    ::testing::Values(FlowCase{"flow_based", net::CongestionControl::kFlowBased, 21},
+                      FlowCase{"none", net::CongestionControl::kNone, 22},
+                      FlowCase{"flow_based_b", net::CongestionControl::kFlowBased, 23}),
+    [](const ::testing::TestParamInfo<FlowCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Precision emulation: idempotence and error bounds over a random sweep.
+// ---------------------------------------------------------------------------
+
+class PrecisionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrecisionSweep, RoundingIsIdempotentAndBounded) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 2'000; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 100.0));
+    for (const hw::Precision p :
+         {hw::Precision::TF32, hw::Precision::BF16, hw::Precision::FP16}) {
+      const float once = hw::apply_precision(v, p);
+      EXPECT_EQ(hw::apply_precision(once, p), once);
+      if (std::isfinite(once) && v != 0.0f) {
+        const double rel = std::abs(static_cast<double>(once) - v) / std::abs(v);
+        EXPECT_LT(rel, 1.0 / 128.0) << hw::name_of(p) << " " << v;
+      }
+    }
+    // Integer formats: quantization error bounded by half a step.
+    const float scale = 0.25f;
+    EXPECT_LE(std::abs(hw::round_int8(std::clamp(v, -31.0f, 31.0f), scale) -
+                       std::clamp(v, -31.0f, 31.0f)),
+              scale / 2.0f + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecisionSweep, ::testing::Values(101, 202, 303));
+
+}  // namespace

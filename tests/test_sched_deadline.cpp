@@ -1,0 +1,81 @@
+/// Deadline-aware (EDF) scheduling tests — the SLA machinery the paper's
+/// as-a-Service delivery model needs (Sections II.C, III.F).
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace hpc::sched {
+namespace {
+
+Job sized_job(int id, sim::TimeNs arrival, double gflop, sim::TimeNs deadline = 0) {
+  Job j;
+  j.id = id;
+  j.arrival = arrival;
+  j.mix = pure_mix(hw::OpClass::kGemm);
+  j.precision = hw::Precision::BF16;
+  j.total_gflop = gflop;
+  j.nodes = 1;
+  j.deadline = deadline;
+  return j;
+}
+
+TEST(DeadlineAware, UrgentJobJumpsTheQueue) {
+  // One node; a long job is running; two queued jobs — the later-arriving one
+  // has a tight deadline and must start first under EDF.
+  ClusterSim sim(make_homogeneous_cpu_cluster(1), Policy::kDeadlineAware);
+  sim.add_job(sized_job(0, 0, 1e7));                                // running
+  sim.add_job(sized_job(1, 1, 1e6, sim::from_seconds(1e6)));        // lax
+  sim.add_job(sized_job(2, 2, 1e6, sim::from_seconds(10.0)));       // urgent
+  const ScheduleResult r = sim.run();
+  EXPECT_LT(r.placements[2].start, r.placements[1].start);
+}
+
+TEST(DeadlineAware, NoDeadlineJobsGoLast) {
+  ClusterSim sim(make_homogeneous_cpu_cluster(1), Policy::kDeadlineAware);
+  sim.add_job(sized_job(0, 0, 1e7));                                // running
+  sim.add_job(sized_job(1, 1, 1e6));                                // no SLA
+  sim.add_job(sized_job(2, 2, 1e6, sim::from_seconds(1e5)));        // SLA
+  const ScheduleResult r = sim.run();
+  EXPECT_LT(r.placements[2].start, r.placements[1].start);
+}
+
+TEST(DeadlineAware, FewerViolationsThanFcfs) {
+  auto violations = [](Policy policy) {
+    sim::Rng rng(81);
+    WorkloadConfig cfg;
+    cfg.jobs = 150;
+    cfg.mean_interarrival_s = 4.0;
+    cfg.max_nodes = 4;
+    cfg.deadline_slack = 6.0;  // tight-ish SLAs
+    ClusterSim sim(make_cpu_gpu_cluster(4, 4), policy, 5);
+    sim.add_jobs(generate_workload(cfg, rng));
+    return sim.run().sla_violations;
+  };
+  EXPECT_LE(violations(Policy::kDeadlineAware), violations(Policy::kFcfsSkip));
+}
+
+TEST(DeadlineAware, PicksFastestPartition) {
+  ClusterSim sim(make_cpu_gpu_cluster(2, 2), Policy::kDeadlineAware);
+  Job j = sized_job(0, 0, 1e6, sim::from_seconds(30.0));
+  sim.add_job(j);
+  const ScheduleResult r = sim.run();
+  EXPECT_EQ(r.placements[0].partition, 1);  // GPU: fastest for GEMM
+}
+
+TEST(DeadlineAware, StillDeterministic) {
+  auto once = [] {
+    sim::Rng rng(82);
+    WorkloadConfig cfg;
+    cfg.jobs = 60;
+    cfg.deadline_slack = 4.0;
+    ClusterSim sim(make_diversified_cluster(4, 4, 2, 1, 1), Policy::kDeadlineAware, 9);
+    sim.add_jobs(generate_workload(cfg, rng));
+    return sim.run().makespan;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace hpc::sched

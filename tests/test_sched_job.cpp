@@ -1,0 +1,107 @@
+#include "sched/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.hpp"
+#include "sched/workload.hpp"
+
+namespace hpc::sched {
+namespace {
+
+Job gemm_job(double gflop = 1e6) {
+  Job j;
+  j.id = 1;
+  j.total_gflop = gflop;
+  j.mix = pure_mix(hw::OpClass::kGemm);
+  j.precision = hw::Precision::BF16;
+  j.nodes = 1;
+  return j;
+}
+
+TEST(OpMix, PureAndNormalize) {
+  OpMix mix = pure_mix(hw::OpClass::kFft);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(hw::OpClass::kFft)], 1.0);
+  mix[static_cast<std::size_t>(hw::OpClass::kGemm)] = 3.0;
+  normalize(mix);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(hw::OpClass::kGemm)], 0.75);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(hw::OpClass::kFft)], 0.25);
+}
+
+TEST(OpMix, NormalizeAllZeroIsNoop) {
+  OpMix mix{};
+  normalize(mix);
+  for (const double v : mix) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(JobRuntime, ScalesInverselyWithNodes) {
+  const Job j = gemm_job();
+  const double t1 = job_runtime_ns(j, hw::gpu_hpc_spec(), 1);
+  const double t4 = job_runtime_ns(j, hw::gpu_hpc_spec(), 4);
+  EXPECT_NEAR(t1 / t4, 4.0, 0.01);
+}
+
+TEST(JobRuntime, ScalesLinearlyWithWork) {
+  const double t1 = job_runtime_ns(gemm_job(1e6), hw::gpu_hpc_spec(), 1);
+  const double t2 = job_runtime_ns(gemm_job(2e6), hw::gpu_hpc_spec(), 1);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(JobRuntime, ZeroNodesImpossible) {
+  EXPECT_GE(job_runtime_ns(gemm_job(), hw::gpu_hpc_spec(), 0), 1e18);
+}
+
+TEST(JobRuntime, AffinityGpuVsCpuOnTraining) {
+  const Job j = gemm_job();
+  EXPECT_LT(job_runtime_ns(j, hw::gpu_hpc_spec(), 1) * 10.0,
+            job_runtime_ns(j, hw::cpu_server_spec(), 1));
+}
+
+TEST(JobRuntime, AffinityCpuVsSystolicOnGraphs) {
+  Job j;
+  j.total_gflop = 1e5;
+  j.mix = pure_mix(hw::OpClass::kGraph);
+  j.precision = hw::Precision::FP64;
+  j.nodes = 1;
+  EXPECT_LT(job_runtime_ns(j, hw::cpu_server_spec(), 1),
+            job_runtime_ns(j, hw::systolic_spec(), 1));
+}
+
+TEST(JobRuntime, MixedJobIsWeightedSum) {
+  Job pure_a = gemm_job(1e6);
+  Job pure_b = pure_a;
+  pure_b.mix = pure_mix(hw::OpClass::kFft);
+  Job mixed = pure_a;
+  mixed.mix = OpMix{};
+  mixed.mix[static_cast<std::size_t>(hw::OpClass::kGemm)] = 0.5;
+  mixed.mix[static_cast<std::size_t>(hw::OpClass::kFft)] = 0.5;
+  const hw::DeviceSpec dev = hw::gpu_hpc_spec();
+  const double ta = job_runtime_ns(pure_a, dev, 1);
+  const double tb = job_runtime_ns(pure_b, dev, 1);
+  const double tm = job_runtime_ns(mixed, dev, 1);
+  EXPECT_NEAR(tm, 0.5 * ta + 0.5 * tb, (ta + tb) * 0.01);
+}
+
+TEST(JobEnergy, TdpTimesTime) {
+  const Job j = gemm_job();
+  const hw::DeviceSpec dev = hw::gpu_hpc_spec();
+  const double t = job_runtime_ns(j, dev, 2);
+  EXPECT_NEAR(job_energy_j(j, dev, 2), t * 1e-9 * dev.tdp_w * 2.0, 1e-6);
+}
+
+TEST(SustainedGflops, PositiveForSupportedClasses) {
+  for (int c = 0; c < hw::kOpClassCount; ++c) {
+    const double rate = sustained_gflops(hw::cpu_server_spec(),
+                                         static_cast<hw::OpClass>(c), hw::Precision::FP64);
+    EXPECT_GT(rate, 0.0) << "class " << c;
+  }
+}
+
+TEST(SustainedGflops, SystolicGemmDwarfsItsGraphRate) {
+  const hw::DeviceSpec tpu = hw::systolic_spec();
+  const double gemm = sustained_gflops(tpu, hw::OpClass::kGemm, hw::Precision::BF16);
+  const double graph = sustained_gflops(tpu, hw::OpClass::kGraph, hw::Precision::BF16);
+  EXPECT_GT(gemm, 100.0 * graph);
+}
+
+}  // namespace
+}  // namespace hpc::sched

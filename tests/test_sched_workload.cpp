@@ -1,0 +1,127 @@
+#include "sched/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hpc::sched {
+namespace {
+
+TEST(Workload, GeneratesRequestedCount) {
+  sim::Rng rng(81);
+  WorkloadConfig cfg;
+  cfg.jobs = 137;
+  const std::vector<Job> jobs = generate_workload(cfg, rng);
+  EXPECT_EQ(jobs.size(), 137u);
+}
+
+TEST(Workload, ArrivalsMonotone) {
+  sim::Rng rng(82);
+  WorkloadConfig cfg;
+  cfg.jobs = 100;
+  const std::vector<Job> jobs = generate_workload(cfg, rng);
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  auto once = [] {
+    sim::Rng rng(83);
+    WorkloadConfig cfg;
+    cfg.jobs = 50;
+    return generate_workload(cfg, rng);
+  };
+  const auto a = once();
+  const auto b = once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(a[i].total_gflop, b[i].total_gflop);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+  }
+}
+
+TEST(Workload, KindSharesRoughlyHonored) {
+  sim::Rng rng(84);
+  WorkloadConfig cfg;
+  cfg.jobs = 4'000;
+  const std::vector<Job> jobs = generate_workload(cfg, rng);
+  std::map<JobKind, int> counts;
+  for (const Job& j : jobs) ++counts[kind_of(j)];
+  EXPECT_NEAR(counts[JobKind::kHpcSimulation] / 4'000.0, 0.40, 0.04);
+  EXPECT_NEAR(counts[JobKind::kAiTraining] / 4'000.0, 0.25, 0.04);
+  EXPECT_NEAR(counts[JobKind::kAiInference] / 4'000.0, 0.20, 0.04);
+  EXPECT_NEAR(counts[JobKind::kAnalytics] / 4'000.0, 0.15, 0.04);
+}
+
+TEST(Workload, MixesNormalized) {
+  sim::Rng rng(85);
+  WorkloadConfig cfg;
+  cfg.jobs = 200;
+  for (const Job& j : generate_workload(cfg, rng)) {
+    double sum = 0.0;
+    for (const double v : j.mix) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Workload, NodesWithinBounds) {
+  sim::Rng rng(86);
+  WorkloadConfig cfg;
+  cfg.jobs = 500;
+  cfg.max_nodes = 8;
+  for (const Job& j : generate_workload(cfg, rng)) {
+    EXPECT_GE(j.nodes, 1);
+    EXPECT_LE(j.nodes, 8);
+  }
+}
+
+TEST(Workload, InferenceJobsAreSmall) {
+  sim::Rng rng(87);
+  WorkloadConfig cfg;
+  cfg.jobs = 2'000;
+  double infer_mean = 0.0;
+  double other_mean = 0.0;
+  int ni = 0;
+  int no = 0;
+  for (const Job& j : generate_workload(cfg, rng)) {
+    if (kind_of(j) == JobKind::kAiInference) {
+      infer_mean += j.total_gflop;
+      ++ni;
+    } else {
+      other_mean += j.total_gflop;
+      ++no;
+    }
+  }
+  ASSERT_GT(ni, 0);
+  ASSERT_GT(no, 0);
+  EXPECT_LT(infer_mean / ni, other_mean / no);
+}
+
+TEST(Workload, DeadlinesSetWhenConfigured) {
+  sim::Rng rng(88);
+  WorkloadConfig cfg;
+  cfg.jobs = 50;
+  cfg.deadline_slack = 3.0;
+  for (const Job& j : generate_workload(cfg, rng)) EXPECT_GT(j.deadline, j.arrival);
+  WorkloadConfig no_sla;
+  no_sla.jobs = 50;
+  sim::Rng rng2(88);
+  for (const Job& j : generate_workload(no_sla, rng2)) EXPECT_EQ(j.deadline, 0u);
+}
+
+TEST(Workload, DatasetScalesWithWork) {
+  sim::Rng rng(89);
+  WorkloadConfig cfg;
+  cfg.jobs = 100;
+  for (const Job& j : generate_workload(cfg, rng))
+    EXPECT_NEAR(j.dataset_gb, cfg.dataset_gb_per_tflop * j.total_gflop / 1e3, 1e-9);
+}
+
+TEST(Workload, KindNamesDistinct) {
+  EXPECT_NE(name_of(JobKind::kHpcSimulation), name_of(JobKind::kAiTraining));
+  EXPECT_NE(name_of(JobKind::kAiInference), name_of(JobKind::kAnalytics));
+}
+
+}  // namespace
+}  // namespace hpc::sched

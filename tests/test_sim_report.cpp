@@ -1,0 +1,46 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpc::sim {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Fmt, Digits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtBytes, Units) {
+  EXPECT_EQ(fmt_bytes(500.0), "500.00 B");
+  EXPECT_EQ(fmt_bytes(1'500.0), "1.50 KB");
+  EXPECT_EQ(fmt_bytes(2.5e9), "2.50 GB");
+  EXPECT_EQ(fmt_bytes(3e12), "3.00 TB");
+}
+
+TEST(FmtTime, Units) {
+  EXPECT_EQ(fmt_time_ns(500.0), "500.0 ns");
+  EXPECT_EQ(fmt_time_ns(2'500.0), "2.50 us");
+  EXPECT_EQ(fmt_time_ns(3.5e6), "3.50 ms");
+  EXPECT_EQ(fmt_time_ns(1.25e9), "1.250 s");
+}
+
+}  // namespace
+}  // namespace hpc::sim

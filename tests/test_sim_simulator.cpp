@@ -1,0 +1,135 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hpc::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_micros(kMicrosecond), 1.0);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000u);
+  EXPECT_EQ(from_seconds(-3.0), 0u);
+  EXPECT_EQ(kHour, 3'600u * kSecond);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  TimeNs seen = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  TimeNs seen = 0;
+  sim.schedule_at(100, [&] { sim.schedule_in(50, [&] { seen = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.schedule_at(200, [&] { ++fired; });
+  sim.run_until(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 150u);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, StepExecutesExactlyN) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(static_cast<TimeNs>(i), [&] { ++fired; });
+  EXPECT_EQ(sim.step(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.step(10), 2u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.step(), 0u);
+}
+
+TEST(Simulator, ScheduleEveryRepeatsUntilFalse) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_every(10, [&] {
+    ++count;
+    return count < 4;
+  });
+  sim.run();
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(Simulator, NestedSchedulingDuringRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99u);
+}
+
+TEST(Simulator, EmptyRunIsNoop) {
+  Simulator sim;
+  sim.run();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+}  // namespace
+}  // namespace hpc::sim

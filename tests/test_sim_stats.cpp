@@ -1,0 +1,165 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace hpc::sim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.push(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).push(x);
+    all.push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.push(1.0);
+  a.push(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Sampler, PercentilesOfKnownSequence) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.push(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(Sampler, PercentileMonotoneInP) {
+  Sampler s;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) s.push(rng.pareto(1.0, 1.5));
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double v = s.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Sampler, EmptyPercentileIsZero) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Sampler, PushAfterQueryResorts) {
+  Sampler s;
+  s.push(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.push(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(LogHistogram, MeanExact) {
+  LogHistogram h;
+  h.record(10.0);
+  h.record(20.0);
+  h.record(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, PercentileWithinBinError) {
+  LogHistogram h(20);
+  Rng rng(5);
+  Sampler exact;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.lognormal(2.0, 1.0);
+    h.record(v);
+    exact.push(v);
+  }
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double approx = h.percentile(p);
+    const double truth = exact.percentile(p);
+    // 20 bins/decade => ~12% max relative bin width; allow 2 bins of slack.
+    EXPECT_NEAR(approx / truth, 1.0, 0.25) << "p=" << p;
+  }
+}
+
+TEST(LogHistogram, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(TimeSeries, BucketsAccumulate) {
+  TimeSeries ts(10.0);
+  ts.add(1.0, 5.0);
+  ts.add(9.0, 5.0);
+  ts.add(15.0, 3.0);
+  EXPECT_EQ(ts.buckets(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.at(1), 3.0);
+  EXPECT_DOUBLE_EQ(ts.peak(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 13.0);
+}
+
+TEST(TimeSeries, NegativeTimeIgnored) {
+  TimeSeries ts(1.0);
+  ts.add(-0.5, 100.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 0.0);
+}
+
+TEST(TimeSeries, OutOfRangeReadIsZero) {
+  TimeSeries ts(1.0);
+  ts.add(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(99), 0.0);
+}
+
+}  // namespace
+}  // namespace hpc::sim
