@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_facility.dir/bench_a2_facility.cpp.o"
+  "CMakeFiles/bench_a2_facility.dir/bench_a2_facility.cpp.o.d"
+  "bench_a2_facility"
+  "bench_a2_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_synthetic.dir/bench_a4_synthetic.cpp.o"
+  "CMakeFiles/bench_a4_synthetic.dir/bench_a4_synthetic.cpp.o.d"
+  "bench_a4_synthetic"
+  "bench_a4_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_switch.dir/bench_a5_switch.cpp.o"
+  "CMakeFiles/bench_a5_switch.dir/bench_a5_switch.cpp.o.d"
+  "bench_a5_switch"
+  "bench_a5_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_progmodels.dir/bench_a6_progmodels.cpp.o"
+  "CMakeFiles/bench_a6_progmodels.dir/bench_a6_progmodels.cpp.o.d"
+  "bench_a6_progmodels"
+  "bench_a6_progmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_progmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10_stages.dir/bench_c10_stages.cpp.o"
+  "CMakeFiles/bench_c10_stages.dir/bench_c10_stages.cpp.o.d"
+  "bench_c10_stages"
+  "bench_c10_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

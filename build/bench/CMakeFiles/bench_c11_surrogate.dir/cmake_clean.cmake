@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c11_surrogate.dir/bench_c11_surrogate.cpp.o"
+  "CMakeFiles/bench_c11_surrogate.dir/bench_c11_surrogate.cpp.o.d"
+  "bench_c11_surrogate"
+  "bench_c11_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c11_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c12_memdriven.dir/bench_c12_memdriven.cpp.o"
+  "CMakeFiles/bench_c12_memdriven.dir/bench_c12_memdriven.cpp.o.d"
+  "bench_c12_memdriven"
+  "bench_c12_memdriven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c12_memdriven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

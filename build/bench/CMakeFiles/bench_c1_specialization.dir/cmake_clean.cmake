@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_specialization.dir/bench_c1_specialization.cpp.o"
+  "CMakeFiles/bench_c1_specialization.dir/bench_c1_specialization.cpp.o.d"
+  "bench_c1_specialization"
+  "bench_c1_specialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_specialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

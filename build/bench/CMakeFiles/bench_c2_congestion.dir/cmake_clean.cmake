@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_congestion.dir/bench_c2_congestion.cpp.o"
+  "CMakeFiles/bench_c2_congestion.dir/bench_c2_congestion.cpp.o.d"
+  "bench_c2_congestion"
+  "bench_c2_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

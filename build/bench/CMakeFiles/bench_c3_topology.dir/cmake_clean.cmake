@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_topology.dir/bench_c3_topology.cpp.o"
+  "CMakeFiles/bench_c3_topology.dir/bench_c3_topology.cpp.o.d"
+  "bench_c3_topology"
+  "bench_c3_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

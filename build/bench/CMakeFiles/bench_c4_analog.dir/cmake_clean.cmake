@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_analog.dir/bench_c4_analog.cpp.o"
+  "CMakeFiles/bench_c4_analog.dir/bench_c4_analog.cpp.o.d"
+  "bench_c4_analog"
+  "bench_c4_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_precision.dir/bench_c5_precision.cpp.o"
+  "CMakeFiles/bench_c5_precision.dir/bench_c5_precision.cpp.o.d"
+  "bench_c5_precision"
+  "bench_c5_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

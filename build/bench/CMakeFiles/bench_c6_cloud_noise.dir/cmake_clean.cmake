@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_cloud_noise.dir/bench_c6_cloud_noise.cpp.o"
+  "CMakeFiles/bench_c6_cloud_noise.dir/bench_c6_cloud_noise.cpp.o.d"
+  "bench_c6_cloud_noise"
+  "bench_c6_cloud_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_cloud_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_data_gravity.dir/bench_c7_data_gravity.cpp.o"
+  "CMakeFiles/bench_c7_data_gravity.dir/bench_c7_data_gravity.cpp.o.d"
+  "bench_c7_data_gravity"
+  "bench_c7_data_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_data_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

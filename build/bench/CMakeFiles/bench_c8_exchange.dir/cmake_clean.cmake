@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c8_exchange.dir/bench_c8_exchange.cpp.o"
+  "CMakeFiles/bench_c8_exchange.dir/bench_c8_exchange.cpp.o.d"
+  "bench_c8_exchange"
+  "bench_c8_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c8_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c9_edge.dir/bench_c9_edge.cpp.o"
+  "CMakeFiles/bench_c9_edge.dir/bench_c9_edge.cpp.o.d"
+  "bench_c9_edge"
+  "bench_c9_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c9_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_delivery.dir/bench_f3_delivery.cpp.o"
+  "CMakeFiles/bench_f3_delivery.dir/bench_f3_delivery.cpp.o.d"
+  "bench_f3_delivery"
+  "bench_f3_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

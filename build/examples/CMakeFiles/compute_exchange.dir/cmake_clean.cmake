@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_exchange.dir/compute_exchange.cpp.o"
+  "CMakeFiles/compute_exchange.dir/compute_exchange.cpp.o.d"
+  "compute_exchange"
+  "compute_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_to_core.dir/edge_to_core.cpp.o"
+  "CMakeFiles/edge_to_core.dir/edge_to_core.cpp.o.d"
+  "edge_to_core"
+  "edge_to_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_to_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_workflow.dir/federated_workflow.cpp.o"
+  "CMakeFiles/federated_workflow.dir/federated_workflow.cpp.o.d"
+  "federated_workflow"
+  "federated_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

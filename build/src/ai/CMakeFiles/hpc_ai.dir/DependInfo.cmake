@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ai/anomaly.cpp" "src/ai/CMakeFiles/hpc_ai.dir/anomaly.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/anomaly.cpp.o.d"
+  "/root/repo/src/ai/datasets.cpp" "src/ai/CMakeFiles/hpc_ai.dir/datasets.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/datasets.cpp.o.d"
+  "/root/repo/src/ai/exec.cpp" "src/ai/CMakeFiles/hpc_ai.dir/exec.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/exec.cpp.o.d"
+  "/root/repo/src/ai/explain.cpp" "src/ai/CMakeFiles/hpc_ai.dir/explain.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/explain.cpp.o.d"
+  "/root/repo/src/ai/linalg.cpp" "src/ai/CMakeFiles/hpc_ai.dir/linalg.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/linalg.cpp.o.d"
+  "/root/repo/src/ai/mlp.cpp" "src/ai/CMakeFiles/hpc_ai.dir/mlp.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/mlp.cpp.o.d"
+  "/root/repo/src/ai/model_io.cpp" "src/ai/CMakeFiles/hpc_ai.dir/model_io.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/model_io.cpp.o.d"
+  "/root/repo/src/ai/surrogate.cpp" "src/ai/CMakeFiles/hpc_ai.dir/surrogate.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/surrogate.cpp.o.d"
+  "/root/repo/src/ai/synthetic.cpp" "src/ai/CMakeFiles/hpc_ai.dir/synthetic.cpp.o" "gcc" "src/ai/CMakeFiles/hpc_ai.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

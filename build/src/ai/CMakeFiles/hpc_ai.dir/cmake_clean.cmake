@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_ai.dir/anomaly.cpp.o"
+  "CMakeFiles/hpc_ai.dir/anomaly.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/datasets.cpp.o"
+  "CMakeFiles/hpc_ai.dir/datasets.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/exec.cpp.o"
+  "CMakeFiles/hpc_ai.dir/exec.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/explain.cpp.o"
+  "CMakeFiles/hpc_ai.dir/explain.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/linalg.cpp.o"
+  "CMakeFiles/hpc_ai.dir/linalg.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/mlp.cpp.o"
+  "CMakeFiles/hpc_ai.dir/mlp.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/model_io.cpp.o"
+  "CMakeFiles/hpc_ai.dir/model_io.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/surrogate.cpp.o"
+  "CMakeFiles/hpc_ai.dir/surrogate.cpp.o.d"
+  "CMakeFiles/hpc_ai.dir/synthetic.cpp.o"
+  "CMakeFiles/hpc_ai.dir/synthetic.cpp.o.d"
+  "libhpc_ai.a"
+  "libhpc_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

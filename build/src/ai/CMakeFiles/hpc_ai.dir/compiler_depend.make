@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpc_ai.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_core.dir/datart.cpp.o"
+  "CMakeFiles/hpc_core.dir/datart.cpp.o.d"
+  "CMakeFiles/hpc_core.dir/system.cpp.o"
+  "CMakeFiles/hpc_core.dir/system.cpp.o.d"
+  "CMakeFiles/hpc_core.dir/workflow.cpp.o"
+  "CMakeFiles/hpc_core.dir/workflow.cpp.o.d"
+  "libhpc_core.a"
+  "libhpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

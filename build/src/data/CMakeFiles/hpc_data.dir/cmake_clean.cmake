@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_data.dir/catalog.cpp.o"
+  "CMakeFiles/hpc_data.dir/catalog.cpp.o.d"
+  "libhpc_data.a"
+  "libhpc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/control.cpp" "src/edge/CMakeFiles/hpc_edge.dir/control.cpp.o" "gcc" "src/edge/CMakeFiles/hpc_edge.dir/control.cpp.o.d"
+  "/root/repo/src/edge/instrument.cpp" "src/edge/CMakeFiles/hpc_edge.dir/instrument.cpp.o" "gcc" "src/edge/CMakeFiles/hpc_edge.dir/instrument.cpp.o.d"
+  "/root/repo/src/edge/pipeline.cpp" "src/edge/CMakeFiles/hpc_edge.dir/pipeline.cpp.o" "gcc" "src/edge/CMakeFiles/hpc_edge.dir/pipeline.cpp.o.d"
+  "/root/repo/src/edge/stream_sim.cpp" "src/edge/CMakeFiles/hpc_edge.dir/stream_sim.cpp.o" "gcc" "src/edge/CMakeFiles/hpc_edge.dir/stream_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ai/CMakeFiles/hpc_ai.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

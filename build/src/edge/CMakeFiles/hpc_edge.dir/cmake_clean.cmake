@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_edge.dir/control.cpp.o"
+  "CMakeFiles/hpc_edge.dir/control.cpp.o.d"
+  "CMakeFiles/hpc_edge.dir/instrument.cpp.o"
+  "CMakeFiles/hpc_edge.dir/instrument.cpp.o.d"
+  "CMakeFiles/hpc_edge.dir/pipeline.cpp.o"
+  "CMakeFiles/hpc_edge.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hpc_edge.dir/stream_sim.cpp.o"
+  "CMakeFiles/hpc_edge.dir/stream_sim.cpp.o.d"
+  "libhpc_edge.a"
+  "libhpc_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

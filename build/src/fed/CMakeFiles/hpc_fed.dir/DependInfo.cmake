@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/accounting.cpp" "src/fed/CMakeFiles/hpc_fed.dir/accounting.cpp.o" "gcc" "src/fed/CMakeFiles/hpc_fed.dir/accounting.cpp.o.d"
+  "/root/repo/src/fed/federation.cpp" "src/fed/CMakeFiles/hpc_fed.dir/federation.cpp.o" "gcc" "src/fed/CMakeFiles/hpc_fed.dir/federation.cpp.o.d"
+  "/root/repo/src/fed/noise.cpp" "src/fed/CMakeFiles/hpc_fed.dir/noise.cpp.o" "gcc" "src/fed/CMakeFiles/hpc_fed.dir/noise.cpp.o.d"
+  "/root/repo/src/fed/site.cpp" "src/fed/CMakeFiles/hpc_fed.dir/site.cpp.o" "gcc" "src/fed/CMakeFiles/hpc_fed.dir/site.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hpc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

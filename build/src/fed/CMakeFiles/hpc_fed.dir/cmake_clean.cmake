@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_fed.dir/accounting.cpp.o"
+  "CMakeFiles/hpc_fed.dir/accounting.cpp.o.d"
+  "CMakeFiles/hpc_fed.dir/federation.cpp.o"
+  "CMakeFiles/hpc_fed.dir/federation.cpp.o.d"
+  "CMakeFiles/hpc_fed.dir/noise.cpp.o"
+  "CMakeFiles/hpc_fed.dir/noise.cpp.o.d"
+  "CMakeFiles/hpc_fed.dir/site.cpp.o"
+  "CMakeFiles/hpc_fed.dir/site.cpp.o.d"
+  "libhpc_fed.a"
+  "libhpc_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/analog.cpp" "src/hw/CMakeFiles/hpc_hw.dir/analog.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/analog.cpp.o.d"
+  "/root/repo/src/hw/catalog.cpp" "src/hw/CMakeFiles/hpc_hw.dir/catalog.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/catalog.cpp.o.d"
+  "/root/repo/src/hw/conformance.cpp" "src/hw/CMakeFiles/hpc_hw.dir/conformance.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/conformance.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/hpc_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/facility.cpp" "src/hw/CMakeFiles/hpc_hw.dir/facility.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/facility.cpp.o.d"
+  "/root/repo/src/hw/kernel.cpp" "src/hw/CMakeFiles/hpc_hw.dir/kernel.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/kernel.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/hpc_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hw/precision.cpp" "src/hw/CMakeFiles/hpc_hw.dir/precision.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/precision.cpp.o.d"
+  "/root/repo/src/hw/scaling.cpp" "src/hw/CMakeFiles/hpc_hw.dir/scaling.cpp.o" "gcc" "src/hw/CMakeFiles/hpc_hw.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_hw.dir/analog.cpp.o"
+  "CMakeFiles/hpc_hw.dir/analog.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/catalog.cpp.o"
+  "CMakeFiles/hpc_hw.dir/catalog.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/conformance.cpp.o"
+  "CMakeFiles/hpc_hw.dir/conformance.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/device.cpp.o"
+  "CMakeFiles/hpc_hw.dir/device.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/facility.cpp.o"
+  "CMakeFiles/hpc_hw.dir/facility.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/kernel.cpp.o"
+  "CMakeFiles/hpc_hw.dir/kernel.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/platform.cpp.o"
+  "CMakeFiles/hpc_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/precision.cpp.o"
+  "CMakeFiles/hpc_hw.dir/precision.cpp.o.d"
+  "CMakeFiles/hpc_hw.dir/scaling.cpp.o"
+  "CMakeFiles/hpc_hw.dir/scaling.cpp.o.d"
+  "libhpc_hw.a"
+  "libhpc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

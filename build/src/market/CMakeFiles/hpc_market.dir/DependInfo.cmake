@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/agents.cpp" "src/market/CMakeFiles/hpc_market.dir/agents.cpp.o" "gcc" "src/market/CMakeFiles/hpc_market.dir/agents.cpp.o.d"
+  "/root/repo/src/market/exchange.cpp" "src/market/CMakeFiles/hpc_market.dir/exchange.cpp.o" "gcc" "src/market/CMakeFiles/hpc_market.dir/exchange.cpp.o.d"
+  "/root/repo/src/market/forwards.cpp" "src/market/CMakeFiles/hpc_market.dir/forwards.cpp.o" "gcc" "src/market/CMakeFiles/hpc_market.dir/forwards.cpp.o.d"
+  "/root/repo/src/market/orderbook.cpp" "src/market/CMakeFiles/hpc_market.dir/orderbook.cpp.o" "gcc" "src/market/CMakeFiles/hpc_market.dir/orderbook.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

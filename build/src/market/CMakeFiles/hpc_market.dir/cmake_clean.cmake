@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_market.dir/agents.cpp.o"
+  "CMakeFiles/hpc_market.dir/agents.cpp.o.d"
+  "CMakeFiles/hpc_market.dir/exchange.cpp.o"
+  "CMakeFiles/hpc_market.dir/exchange.cpp.o.d"
+  "CMakeFiles/hpc_market.dir/forwards.cpp.o"
+  "CMakeFiles/hpc_market.dir/forwards.cpp.o.d"
+  "CMakeFiles/hpc_market.dir/orderbook.cpp.o"
+  "CMakeFiles/hpc_market.dir/orderbook.cpp.o.d"
+  "libhpc_market.a"
+  "libhpc_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

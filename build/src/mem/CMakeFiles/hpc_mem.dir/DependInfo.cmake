@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/datamove.cpp" "src/mem/CMakeFiles/hpc_mem.dir/datamove.cpp.o" "gcc" "src/mem/CMakeFiles/hpc_mem.dir/datamove.cpp.o.d"
+  "/root/repo/src/mem/fabric.cpp" "src/mem/CMakeFiles/hpc_mem.dir/fabric.cpp.o" "gcc" "src/mem/CMakeFiles/hpc_mem.dir/fabric.cpp.o.d"
+  "/root/repo/src/mem/tier.cpp" "src/mem/CMakeFiles/hpc_mem.dir/tier.cpp.o" "gcc" "src/mem/CMakeFiles/hpc_mem.dir/tier.cpp.o.d"
+  "/root/repo/src/mem/tiering.cpp" "src/mem/CMakeFiles/hpc_mem.dir/tiering.cpp.o" "gcc" "src/mem/CMakeFiles/hpc_mem.dir/tiering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

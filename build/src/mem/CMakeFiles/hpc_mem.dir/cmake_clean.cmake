@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_mem.dir/datamove.cpp.o"
+  "CMakeFiles/hpc_mem.dir/datamove.cpp.o.d"
+  "CMakeFiles/hpc_mem.dir/fabric.cpp.o"
+  "CMakeFiles/hpc_mem.dir/fabric.cpp.o.d"
+  "CMakeFiles/hpc_mem.dir/tier.cpp.o"
+  "CMakeFiles/hpc_mem.dir/tier.cpp.o.d"
+  "CMakeFiles/hpc_mem.dir/tiering.cpp.o"
+  "CMakeFiles/hpc_mem.dir/tiering.cpp.o.d"
+  "libhpc_mem.a"
+  "libhpc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

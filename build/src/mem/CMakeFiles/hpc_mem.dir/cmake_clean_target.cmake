@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpc_mem.a"
+)

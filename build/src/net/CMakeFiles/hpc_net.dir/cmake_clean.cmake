@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_net.dir/collectives.cpp.o"
+  "CMakeFiles/hpc_net.dir/collectives.cpp.o.d"
+  "CMakeFiles/hpc_net.dir/flowsim.cpp.o"
+  "CMakeFiles/hpc_net.dir/flowsim.cpp.o.d"
+  "CMakeFiles/hpc_net.dir/link.cpp.o"
+  "CMakeFiles/hpc_net.dir/link.cpp.o.d"
+  "CMakeFiles/hpc_net.dir/network.cpp.o"
+  "CMakeFiles/hpc_net.dir/network.cpp.o.d"
+  "CMakeFiles/hpc_net.dir/progmodel.cpp.o"
+  "CMakeFiles/hpc_net.dir/progmodel.cpp.o.d"
+  "CMakeFiles/hpc_net.dir/switchgen.cpp.o"
+  "CMakeFiles/hpc_net.dir/switchgen.cpp.o.d"
+  "CMakeFiles/hpc_net.dir/topology.cpp.o"
+  "CMakeFiles/hpc_net.dir/topology.cpp.o.d"
+  "libhpc_net.a"
+  "libhpc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster.cpp" "src/sched/CMakeFiles/hpc_sched.dir/cluster.cpp.o" "gcc" "src/sched/CMakeFiles/hpc_sched.dir/cluster.cpp.o.d"
+  "/root/repo/src/sched/job.cpp" "src/sched/CMakeFiles/hpc_sched.dir/job.cpp.o" "gcc" "src/sched/CMakeFiles/hpc_sched.dir/job.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/hpc_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/hpc_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/workload.cpp" "src/sched/CMakeFiles/hpc_sched.dir/workload.cpp.o" "gcc" "src/sched/CMakeFiles/hpc_sched.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_sched.dir/cluster.cpp.o"
+  "CMakeFiles/hpc_sched.dir/cluster.cpp.o.d"
+  "CMakeFiles/hpc_sched.dir/job.cpp.o"
+  "CMakeFiles/hpc_sched.dir/job.cpp.o.d"
+  "CMakeFiles/hpc_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/hpc_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hpc_sched.dir/workload.cpp.o"
+  "CMakeFiles/hpc_sched.dir/workload.cpp.o.d"
+  "libhpc_sched.a"
+  "libhpc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

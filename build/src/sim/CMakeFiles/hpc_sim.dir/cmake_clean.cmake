@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_sim.dir/report.cpp.o"
+  "CMakeFiles/hpc_sim.dir/report.cpp.o.d"
+  "CMakeFiles/hpc_sim.dir/rng.cpp.o"
+  "CMakeFiles/hpc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/hpc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hpc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hpc_sim.dir/stats.cpp.o"
+  "CMakeFiles/hpc_sim.dir/stats.cpp.o.d"
+  "libhpc_sim.a"
+  "libhpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ai_exec.dir/test_ai_exec.cpp.o"
+  "CMakeFiles/test_ai_exec.dir/test_ai_exec.cpp.o.d"
+  "test_ai_exec"
+  "test_ai_exec.pdb"
+  "test_ai_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ai_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ai_explain.dir/test_ai_explain.cpp.o"
+  "CMakeFiles/test_ai_explain.dir/test_ai_explain.cpp.o.d"
+  "test_ai_explain"
+  "test_ai_explain.pdb"
+  "test_ai_explain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ai_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

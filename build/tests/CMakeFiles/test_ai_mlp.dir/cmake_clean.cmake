@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ai_mlp.dir/test_ai_mlp.cpp.o"
+  "CMakeFiles/test_ai_mlp.dir/test_ai_mlp.cpp.o.d"
+  "test_ai_mlp"
+  "test_ai_mlp.pdb"
+  "test_ai_mlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ai_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

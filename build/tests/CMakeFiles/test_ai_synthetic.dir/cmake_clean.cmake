@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ai_synthetic.dir/test_ai_synthetic.cpp.o"
+  "CMakeFiles/test_ai_synthetic.dir/test_ai_synthetic.cpp.o.d"
+  "test_ai_synthetic"
+  "test_ai_synthetic.pdb"
+  "test_ai_synthetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ai_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

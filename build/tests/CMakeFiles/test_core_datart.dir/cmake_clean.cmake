@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_datart.dir/test_core_datart.cpp.o"
+  "CMakeFiles/test_core_datart.dir/test_core_datart.cpp.o.d"
+  "test_core_datart"
+  "test_core_datart.pdb"
+  "test_core_datart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_datart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

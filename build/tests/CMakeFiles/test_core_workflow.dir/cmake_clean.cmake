@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_workflow.dir/test_core_workflow.cpp.o"
+  "CMakeFiles/test_core_workflow.dir/test_core_workflow.cpp.o.d"
+  "test_core_workflow"
+  "test_core_workflow.pdb"
+  "test_core_workflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

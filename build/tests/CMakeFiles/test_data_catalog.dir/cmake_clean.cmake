@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_catalog.dir/test_data_catalog.cpp.o"
+  "CMakeFiles/test_data_catalog.dir/test_data_catalog.cpp.o.d"
+  "test_data_catalog"
+  "test_data_catalog.pdb"
+  "test_data_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_stream.dir/test_edge_stream.cpp.o"
+  "CMakeFiles/test_edge_stream.dir/test_edge_stream.cpp.o.d"
+  "test_edge_stream"
+  "test_edge_stream.pdb"
+  "test_edge_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fed_failure.dir/test_fed_failure.cpp.o"
+  "CMakeFiles/test_fed_failure.dir/test_fed_failure.cpp.o.d"
+  "test_fed_failure"
+  "test_fed_failure.pdb"
+  "test_fed_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fed_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fed_federation.dir/test_fed_federation.cpp.o"
+  "CMakeFiles/test_fed_federation.dir/test_fed_federation.cpp.o.d"
+  "test_fed_federation"
+  "test_fed_federation.pdb"
+  "test_fed_federation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fed_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

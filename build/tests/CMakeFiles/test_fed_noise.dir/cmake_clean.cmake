@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fed_noise.dir/test_fed_noise.cpp.o"
+  "CMakeFiles/test_fed_noise.dir/test_fed_noise.cpp.o.d"
+  "test_fed_noise"
+  "test_fed_noise.pdb"
+  "test_fed_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fed_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_conformance.dir/test_hw_conformance.cpp.o"
+  "CMakeFiles/test_hw_conformance.dir/test_hw_conformance.cpp.o.d"
+  "test_hw_conformance"
+  "test_hw_conformance.pdb"
+  "test_hw_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_device.dir/test_hw_device.cpp.o"
+  "CMakeFiles/test_hw_device.dir/test_hw_device.cpp.o.d"
+  "test_hw_device"
+  "test_hw_device.pdb"
+  "test_hw_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_facility.dir/test_hw_facility.cpp.o"
+  "CMakeFiles/test_hw_facility.dir/test_hw_facility.cpp.o.d"
+  "test_hw_facility"
+  "test_hw_facility.pdb"
+  "test_hw_facility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_kernel.dir/test_hw_kernel.cpp.o"
+  "CMakeFiles/test_hw_kernel.dir/test_hw_kernel.cpp.o.d"
+  "test_hw_kernel"
+  "test_hw_kernel.pdb"
+  "test_hw_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_platform.dir/test_hw_platform.cpp.o"
+  "CMakeFiles/test_hw_platform.dir/test_hw_platform.cpp.o.d"
+  "test_hw_platform"
+  "test_hw_platform.pdb"
+  "test_hw_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

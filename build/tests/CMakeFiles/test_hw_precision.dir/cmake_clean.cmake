@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_precision.dir/test_hw_precision.cpp.o"
+  "CMakeFiles/test_hw_precision.dir/test_hw_precision.cpp.o.d"
+  "test_hw_precision"
+  "test_hw_precision.pdb"
+  "test_hw_precision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_exchange.dir/test_market_exchange.cpp.o"
+  "CMakeFiles/test_market_exchange.dir/test_market_exchange.cpp.o.d"
+  "test_market_exchange"
+  "test_market_exchange.pdb"
+  "test_market_exchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_forwards.dir/test_market_forwards.cpp.o"
+  "CMakeFiles/test_market_forwards.dir/test_market_forwards.cpp.o.d"
+  "test_market_forwards"
+  "test_market_forwards.pdb"
+  "test_market_forwards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_forwards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

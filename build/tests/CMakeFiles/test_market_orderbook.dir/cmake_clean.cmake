@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_orderbook.dir/test_market_orderbook.cpp.o"
+  "CMakeFiles/test_market_orderbook.dir/test_market_orderbook.cpp.o.d"
+  "test_market_orderbook"
+  "test_market_orderbook.pdb"
+  "test_market_orderbook[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_orderbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_tiering.dir/test_mem_tiering.cpp.o"
+  "CMakeFiles/test_mem_tiering.dir/test_mem_tiering.cpp.o.d"
+  "test_mem_tiering"
+  "test_mem_tiering.pdb"
+  "test_mem_tiering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_adaptive.dir/test_net_adaptive.cpp.o"
+  "CMakeFiles/test_net_adaptive.dir/test_net_adaptive.cpp.o.d"
+  "test_net_adaptive"
+  "test_net_adaptive.pdb"
+  "test_net_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_collectives.dir/test_net_collectives.cpp.o"
+  "CMakeFiles/test_net_collectives.dir/test_net_collectives.cpp.o.d"
+  "test_net_collectives"
+  "test_net_collectives.pdb"
+  "test_net_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

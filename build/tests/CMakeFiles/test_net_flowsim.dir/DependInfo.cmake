@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net_flowsim.cpp" "tests/CMakeFiles/test_net_flowsim.dir/test_net_flowsim.cpp.o" "gcc" "tests/CMakeFiles/test_net_flowsim.dir/test_net_flowsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/hpc_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hpc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/hpc_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/hpc_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hpc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ai/CMakeFiles/hpc_ai.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hpc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_flowsim.dir/test_net_flowsim.cpp.o"
+  "CMakeFiles/test_net_flowsim.dir/test_net_flowsim.cpp.o.d"
+  "test_net_flowsim"
+  "test_net_flowsim.pdb"
+  "test_net_flowsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

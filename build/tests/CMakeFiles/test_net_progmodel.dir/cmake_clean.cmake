@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_progmodel.dir/test_net_progmodel.cpp.o"
+  "CMakeFiles/test_net_progmodel.dir/test_net_progmodel.cpp.o.d"
+  "test_net_progmodel"
+  "test_net_progmodel.pdb"
+  "test_net_progmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_progmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

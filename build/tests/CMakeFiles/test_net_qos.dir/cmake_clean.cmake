@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_qos.dir/test_net_qos.cpp.o"
+  "CMakeFiles/test_net_qos.dir/test_net_qos.cpp.o.d"
+  "test_net_qos"
+  "test_net_qos.pdb"
+  "test_net_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

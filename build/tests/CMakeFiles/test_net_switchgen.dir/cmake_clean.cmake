@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_switchgen.dir/test_net_switchgen.cpp.o"
+  "CMakeFiles/test_net_switchgen.dir/test_net_switchgen.cpp.o.d"
+  "test_net_switchgen"
+  "test_net_switchgen.pdb"
+  "test_net_switchgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_switchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

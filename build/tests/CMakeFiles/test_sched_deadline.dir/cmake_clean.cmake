@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_deadline.dir/test_sched_deadline.cpp.o"
+  "CMakeFiles/test_sched_deadline.dir/test_sched_deadline.cpp.o.d"
+  "test_sched_deadline"
+  "test_sched_deadline.pdb"
+  "test_sched_deadline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

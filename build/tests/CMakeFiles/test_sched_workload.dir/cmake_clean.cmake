@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_workload.dir/test_sched_workload.cpp.o"
+  "CMakeFiles/test_sched_workload.dir/test_sched_workload.cpp.o.d"
+  "test_sched_workload"
+  "test_sched_workload.pdb"
+  "test_sched_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
