@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local CI gate: tier-1 build+tests, the archlint determinism-contract
+# scan, a -Werror warning wall, and an ASan+UBSan instrumented test pass.
+# Run from the repository root:  ./ci/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/4] tier-1: default build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== [2/4] archlint: determinism-contract static analysis =="
+./build/tools/archlint/archlint --root . src tests bench examples
+
+echo "== [3/4] warning wall: -Wall -Wextra -Werror =="
+cmake -B build-werror -S . -DARCHIPELAGO_WERROR=ON >/dev/null
+cmake --build build-werror -j "${JOBS}"
+
+echo "== [4/4] sanitizers: ASan+UBSan instrumented test suite =="
+cmake -B build-asan -S . -DARCHIPELAGO_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "All checks passed."

@@ -23,6 +23,9 @@ struct GroundTruth {
 };
 
 /// The damped-oscillator ground truth (matches make_oscillator).
+/// Cost is an analytic fractional-ns model parameter, not a simulator
+/// timestamp.
+// archlint: allow(raw-time)
 GroundTruth oscillator_truth(double cost_ns = 1e6);
 
 /// Result of training a surrogate for a ground-truth model.
@@ -38,6 +41,7 @@ struct Surrogate {
 /// \param samples       number of ground-truth evaluations to learn from
 /// \param inference_ns  simulated cost of one surrogate inference
 Surrogate train_surrogate(const GroundTruth& truth, std::int64_t samples,
+                          // archlint: allow(raw-time): analytic fractional-ns cost model
                           double inference_ns, sim::Rng& rng);
 
 /// Closed-loop campaign outcome.

@@ -74,33 +74,40 @@ class DataRuntime {
   ///  - a writer depends on the last writer (WAW) and every reader since
   ///    (WAR).
   /// Returns the task id.
+  /// Costs are analytic fractional nanoseconds (list-scheduling arithmetic),
+  /// not discrete simulator timestamps.
   int add_task(std::string name, std::vector<RegionRequirement> requirements,
+               // archlint: allow(raw-time)
                double cost_ns);
 
-  std::size_t region_count() const noexcept { return regions_.size(); }
-  std::size_t task_count() const noexcept { return tasks_.size(); }
-  const LogicalRegion& region(int id) const { return regions_[static_cast<std::size_t>(id)]; }
-  const RegionTask& task(int id) const { return tasks_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const LogicalRegion& region(int id) const {
+    return regions_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const RegionTask& task(int id) const {
+    return tasks_[static_cast<std::size_t>(id)];
+  }
 
   /// Derived dependencies of a task (deduplicated, ascending).
-  const std::vector<int>& dependencies(int task) const {
+  [[nodiscard]] const std::vector<int>& dependencies(int task) const {
     return deps_[static_cast<std::size_t>(task)];
   }
 
   /// Length of the longest dependency chain, weighted by cost.
-  double critical_path_ns() const;
+  [[nodiscard]] double critical_path_ns() const;
 
   /// Sum of all task costs (the serial execution time).
-  double serial_ns() const;
+  [[nodiscard]] double serial_ns() const;
 
   /// List-schedules the graph on \p workers identical workers (earliest
   /// finish first among ready tasks).
-  RuntimeSchedule schedule(int workers) const;
+  [[nodiscard]] RuntimeSchedule schedule(int workers) const;
 
   /// Maps regions to tiers of \p hierarchy by access heat (touch count x
   /// task cost), hottest first, respecting per-tier capacity.  Returns the
   /// tier index per region.
-  std::vector<std::size_t> map_regions(const mem::Hierarchy& hierarchy) const;
+  [[nodiscard]] std::vector<std::size_t> map_regions(const mem::Hierarchy& hierarchy) const;
 
  private:
   std::vector<LogicalRegion> regions_;

@@ -57,9 +57,9 @@ class System {
  public:
   explicit System(std::vector<fed::Site> sites, std::uint64_t seed = 1);
 
-  const std::vector<fed::Site>& sites() const noexcept { return sites_; }
+  [[nodiscard]] const std::vector<fed::Site>& sites() const noexcept { return sites_; }
   data::Catalog& catalog() noexcept { return catalog_; }
-  const data::Catalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const data::Catalog& catalog() const noexcept { return catalog_; }
 
   /// Pins a task kind to a site (used by the kSiloed policy).  Unpinned kinds
   /// default to site 0.
@@ -73,7 +73,7 @@ class System {
  private:
   struct NodePool;  // per-partition node availability
 
-  double transfer_ns(int from, int to, double gb) const;
+  [[nodiscard]] double transfer_ns(int from, int to, double gb) const;
 
   std::vector<fed::Site> sites_;
   data::Catalog catalog_;

@@ -43,15 +43,15 @@ class Workflow {
   /// Returns the task id.
   int add(Task task);
 
-  const std::vector<Task>& tasks() const noexcept { return tasks_; }
-  const Task& task(int id) const { return tasks_[static_cast<std::size_t>(id)]; }
-  std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] const Task& task(int id) const { return tasks_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
 
   /// Topological order; throws std::runtime_error on cycles.
-  std::vector<int> topological_order() const;
+  [[nodiscard]] std::vector<int> topological_order() const;
 
   /// Critical-path length in task count (longest dependency chain).
-  int critical_path_length() const;
+  [[nodiscard]] int critical_path_length() const;
 
  private:
   std::vector<Task> tasks_;

@@ -47,6 +47,8 @@ struct BspResult {
 
 /// Runs \p steps bulk-synchronous steps over \p ranks ranks, each step
 /// costing max over ranks of (compute_ns x slowdown) + barrier_ns.
+/// Step costs are analytic fractional nanoseconds, not simulator timestamps.
+// archlint: allow(raw-time)
 BspResult run_bsp(int ranks, int steps, double compute_ns, double barrier_ns,
                   const NoiseModel& noise, sim::Rng& rng);
 

@@ -35,8 +35,10 @@ class Network {
   int add_node(NodeRole role, std::string label = {});
 
   /// Adds a duplex link (two directed links) of class \p cls between a and b.
-  /// Bandwidth/latency default to the class datasheet; overrides in GB/s / ns.
+  /// Bandwidth/latency default to the class datasheet; overrides in GB/s / ns
+  /// (fractional-ns propagation model with -1 sentinel, hence not TimeNs).
   void add_duplex_link(int a, int b, LinkClass cls, double bandwidth_gbs = -1.0,
+                       // archlint: allow(raw-time)
                        double latency_ns = -1.0);
 
   std::size_t node_count() const noexcept { return roles_.size(); }
@@ -75,8 +77,9 @@ class Network {
 
   /// Sum of one-way latencies plus serialization of \p bytes at the
   /// bottleneck bandwidth along the minimal path; per-hop switch delay added
-  /// for each intermediate vertex.
+  /// for each intermediate vertex.  Analytic fractional-ns model.
   double message_latency_ns(int src, int dst, double bytes,
+                            // archlint: allow(raw-time)
                             double switch_delay_ns = 100.0) const;
 
   /// Total acquisition cost of all links (each duplex pair counted once) plus

@@ -4,11 +4,27 @@
 
 namespace hpc::net {
 
+namespace {
+
+/// "prefix" + a [+ sep + b] built via append rather than operator+, dodging
+/// GCC 12's spurious -Wrestrict on inlined SSO concatenation (PR105651).
+std::string label_of(const char* prefix, int a, const char* sep = nullptr, int b = -1) {
+  std::string s = prefix;
+  s += std::to_string(a);
+  if (sep) {
+    s += sep;
+    s += std::to_string(b);
+  }
+  return s;
+}
+
+}  // namespace
+
 Network make_single_switch(int hosts, LinkClass edge) {
   Network net;
   const int sw = net.add_node(NodeRole::kSwitch, "sw");
   for (int h = 0; h < hosts; ++h) {
-    const int node = net.add_node(NodeRole::kEndpoint, "h" + std::to_string(h));
+    const int node = net.add_node(NodeRole::kEndpoint, label_of("h", h));
     net.add_duplex_link(node, sw, edge);
   }
   net.build_routes();
@@ -25,17 +41,17 @@ Network make_fat_tree(int k) {
 
   std::vector<int> core(static_cast<std::size_t>(cores));
   for (int c = 0; c < cores; ++c)
-    core[static_cast<std::size_t>(c)] = net.add_node(NodeRole::kSwitch, "core" + std::to_string(c));
+    core[static_cast<std::size_t>(c)] = net.add_node(NodeRole::kSwitch, label_of("core", c));
 
   for (int p = 0; p < pods; ++p) {
     std::vector<int> agg(static_cast<std::size_t>(agg_per_pod));
     std::vector<int> edge(static_cast<std::size_t>(edge_per_pod));
     for (int a = 0; a < agg_per_pod; ++a)
       agg[static_cast<std::size_t>(a)] =
-          net.add_node(NodeRole::kSwitch, "agg" + std::to_string(p) + "_" + std::to_string(a));
+          net.add_node(NodeRole::kSwitch, label_of("agg", p, "_", a));
     for (int e = 0; e < edge_per_pod; ++e) {
       edge[static_cast<std::size_t>(e)] =
-          net.add_node(NodeRole::kSwitch, "edge" + std::to_string(p) + "_" + std::to_string(e));
+          net.add_node(NodeRole::kSwitch, label_of("edge", p, "_", e));
       for (int h = 0; h < hosts_per_edge; ++h) {
         const int host = net.add_node(NodeRole::kEndpoint, "h");
         net.add_duplex_link(host, edge[static_cast<std::size_t>(e)], LinkClass::kEth200);
@@ -60,7 +76,7 @@ Network make_torus_2d(int width, int height, int hosts_per_switch) {
   for (int y = 0; y < height; ++y)
     for (int x = 0; x < width; ++x) {
       const int id = net.add_node(NodeRole::kSwitch,
-                                  "sw" + std::to_string(x) + "," + std::to_string(y));
+                                  label_of("sw", x, ",", y));
       sw[static_cast<std::size_t>(y * width + x)] = id;
       for (int h = 0; h < hosts_per_switch; ++h) {
         const int host = net.add_node(NodeRole::kEndpoint, "h");
@@ -87,7 +103,7 @@ Network make_dragonfly(int a, int p, int h) {
     router[static_cast<std::size_t>(g)].resize(static_cast<std::size_t>(a));
     for (int r = 0; r < a; ++r) {
       const int id = net.add_node(NodeRole::kSwitch,
-                                  "r" + std::to_string(g) + "_" + std::to_string(r));
+                                  label_of("r", g, "_", r));
       router[static_cast<std::size_t>(g)][static_cast<std::size_t>(r)] = id;
       for (int host = 0; host < p; ++host) {
         const int hn = net.add_node(NodeRole::kEndpoint, "h");
@@ -129,7 +145,7 @@ Network make_hyperx_2d(int s1, int s2, int hosts_per_switch) {
   for (int y = 0; y < s2; ++y)
     for (int x = 0; x < s1; ++x) {
       const int id = net.add_node(NodeRole::kSwitch,
-                                  "sw" + std::to_string(x) + "," + std::to_string(y));
+                                  label_of("sw", x, ",", y));
       sw[static_cast<std::size_t>(y * s1 + x)] = id;
       for (int h = 0; h < hosts_per_switch; ++h) {
         const int host = net.add_node(NodeRole::kEndpoint, "h");

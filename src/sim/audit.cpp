@@ -1,0 +1,25 @@
+#include "sim/audit.hpp"
+
+namespace hpc::sim {
+
+AuditReport DeterminismAuditor::audit(std::uint64_t seed, int runs) const {
+  AuditReport report;
+  report.runs.reserve(static_cast<std::size_t>(runs > 0 ? runs : 0));
+  for (int r = 0; r < runs; ++r) {
+    Simulator sim;
+    Rng rng(seed);
+    scenario_(sim, rng);
+    sim.run();
+    report.runs.push_back(AuditRun{sim.event_digest(), sim.events_executed(), sim.now()});
+  }
+  report.deterministic = !report.runs.empty();
+  for (const AuditRun& run : report.runs) {
+    const AuditRun& first = report.runs.front();
+    if (run.digest != first.digest || run.events != first.events ||
+        run.end_time != first.end_time)
+      report.deterministic = false;
+  }
+  return report;
+}
+
+}  // namespace hpc::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+/// \file audit.hpp
+/// Runtime determinism auditor.
+///
+/// `tools/archlint` enforces the determinism contract statically (no ambient
+/// randomness, no iteration-order-unstable containers, typed simulated time);
+/// this is the runtime half: replay a scenario from the same seed and assert
+/// that the executed event streams are bit-identical, using the simulator's
+/// FNV-1a `(time, sequence)` digest as the witness.  Any divergence — a stray
+/// wall-clock read, an address-dependent tie-break, an uninitialized value —
+/// shows up as a digest mismatch.
+
+namespace hpc::sim {
+
+/// Observables of one audited run.
+struct AuditRun {
+  std::uint64_t digest = 0;    ///< Simulator::event_digest() after the run
+  std::uint64_t events = 0;    ///< events executed
+  TimeNs end_time = 0;         ///< simulated clock at completion
+};
+
+/// Verdict of a determinism audit.
+struct AuditReport {
+  std::vector<AuditRun> runs;
+  bool deterministic = false;  ///< all runs produced identical observables
+
+  /// Digest of the first run (0 if no runs executed).
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    return runs.empty() ? 0 : runs.front().digest;
+  }
+};
+
+/// Replays a simulation scenario and checks that repeated runs from one seed
+/// are indistinguishable.
+class DeterminismAuditor {
+ public:
+  /// A scenario seeds its event graph onto a fresh Simulator, drawing every
+  /// random variate from the Rng it is handed (never ambient state).  The
+  /// auditor runs the simulator to completion after the scenario returns;
+  /// handlers may keep scheduling further events.
+  using Scenario = std::function<void(Simulator&, Rng&)>;
+
+  explicit DeterminismAuditor(Scenario scenario) : scenario_(std::move(scenario)) {}
+
+  /// Runs the scenario \p runs times, each on a fresh Simulator with a fresh
+  /// Rng(\p seed).  Deterministic iff every run's digest, event count, and
+  /// end time are identical.
+  [[nodiscard]] AuditReport audit(std::uint64_t seed, int runs = 2) const;
+
+ private:
+  Scenario scenario_;
+};
+
+}  // namespace hpc::sim

@@ -20,10 +20,10 @@ class Table {
   void add_row(std::vector<std::string> cells);
 
   /// Renders with a header rule and column padding.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
   void print() const;
 
-  std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
  private:
   std::vector<std::string> headers_;

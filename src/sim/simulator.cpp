@@ -22,6 +22,7 @@ bool Simulator::pop_and_run() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  digest_ = fnv1a_step(fnv1a_step(digest_, ev.at), ev.seq);
   ev.fn();
   return true;
 }

@@ -13,6 +13,12 @@
 /// Ties are broken by insertion order, so runs are reproducible regardless of
 /// how many events share a timestamp.  All substrates (fabric, scheduler,
 /// federation, market, edge) run on this kernel.
+///
+/// The kernel also maintains a running FNV-1a digest over the executed event
+/// stream — every `(time, sequence)` pair folded in execution order — as the
+/// runtime witness of the determinism contract: two runs of the same scenario
+/// from the same seed must produce bit-identical digests (enforced by
+/// `sim::DeterminismAuditor` in audit.hpp and by `tools/archlint` statically).
 
 namespace hpc::sim {
 
@@ -22,7 +28,7 @@ class Simulator {
   using Handler = std::function<void()>;
 
   /// Current simulated time.
-  TimeNs now() const noexcept { return now_; }
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
 
   /// Schedules \p fn at absolute time \p at (clamped to now if in the past).
   void schedule_at(TimeNs at, Handler fn);
@@ -46,9 +52,15 @@ class Simulator {
   /// Stops the current run() after the in-flight event handler returns.
   void stop() noexcept { stopped_ = true; }
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
-  std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// FNV-1a digest over the executed event stream: each event's
+  /// `(time, sequence)` pair is folded in, in execution order.  Identical
+  /// scenarios replayed from identical seeds must yield identical digests;
+  /// any divergence means the determinism contract was broken.
+  [[nodiscard]] std::uint64_t event_digest() const noexcept { return digest_; }
 
  private:
   struct Event {
@@ -57,11 +69,24 @@ class Simulator {
     Handler fn;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+
+  static constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+  /// Folds one 64-bit value into the digest, byte by byte (FNV-1a).
+  [[nodiscard]] static constexpr std::uint64_t fnv1a_step(std::uint64_t h,
+                                                          std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= kFnvPrime;
+    }
+    return h;
+  }
 
   bool pop_and_run();
 
@@ -69,6 +94,7 @@ class Simulator {
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t digest_ = kFnvOffset;
   bool stopped_ = false;
 };
 

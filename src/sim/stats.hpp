@@ -20,13 +20,15 @@ class RunningStats {
   void push(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
 
-  std::size_t count() const noexcept { return n_; }
-  double mean() const noexcept { return n_ ? mean_ : 0.0; }
-  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
-  double stddev() const noexcept;
-  double min() const noexcept { return n_ ? min_ : 0.0; }
-  double max() const noexcept { return n_ ? max_ : 0.0; }
-  double sum() const noexcept { return sum_; }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
 
  private:
   std::size_t n_ = 0;
@@ -42,20 +44,20 @@ class RunningStats {
 class Sampler {
  public:
   void push(double x);
-  std::size_t count() const noexcept { return values_.size(); }
-  bool empty() const noexcept { return values_.empty(); }
-  double mean() const noexcept { return stats_.mean(); }
-  double stddev() const noexcept { return stats_.stddev(); }
-  double min() const noexcept { return stats_.min(); }
-  double max() const noexcept { return stats_.max(); }
-  double sum() const noexcept { return stats_.sum(); }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return stats_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  [[nodiscard]] double sum() const noexcept { return stats_.sum(); }
 
   /// Percentile p in [0, 100].  Sorts lazily; repeated queries are cheap.
-  double percentile(double p) const;
-  double median() const { return percentile(50.0); }
-  double p99() const { return percentile(99.0); }
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
 
-  const std::vector<double>& values() const noexcept { return values_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
 
  private:
   std::vector<double> values_;
@@ -73,13 +75,15 @@ class LogHistogram {
                         double max_value = 1e18);
 
   void record(double value);
-  std::uint64_t count() const noexcept { return total_; }
-  double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
-  double percentile(double p) const;
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] double percentile(double p) const;
 
  private:
-  std::size_t bin_for(double value) const;
-  double bin_lower(std::size_t bin) const;
+  [[nodiscard]] std::size_t bin_for(double value) const;
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
 
   int bins_per_decade_;
   double min_value_;
@@ -95,12 +99,12 @@ class TimeSeries {
   explicit TimeSeries(double bucket_width) : width_(bucket_width) {}
 
   void add(double t, double value);
-  std::size_t buckets() const noexcept { return values_.size(); }
-  double bucket_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return values_.size(); }
+  [[nodiscard]] double bucket_width() const noexcept { return width_; }
   /// Sum recorded into bucket i (0 if never touched).
-  double at(std::size_t i) const { return i < values_.size() ? values_[i] : 0.0; }
-  double peak() const;
-  double total() const;
+  [[nodiscard]] double at(std::size_t i) const { return i < values_.size() ? values_[i] : 0.0; }
+  [[nodiscard]] double peak() const;
+  [[nodiscard]] double total() const;
 
  private:
   double width_;

@@ -26,22 +26,22 @@ inline constexpr TimeNs kMinute = 60 * kSecond;
 inline constexpr TimeNs kHour = 60 * kMinute;
 
 /// Converts simulated nanoseconds to floating-point seconds.
-constexpr double to_seconds(TimeNs t) noexcept {
+[[nodiscard]] constexpr double to_seconds(TimeNs t) noexcept {
   return static_cast<double>(t) / 1e9;
 }
 
 /// Converts floating-point seconds to simulated nanoseconds (clamped at 0).
-constexpr TimeNs from_seconds(double s) noexcept {
+[[nodiscard]] constexpr TimeNs from_seconds(double s) noexcept {
   return s <= 0.0 ? 0 : static_cast<TimeNs>(s * 1e9 + 0.5);
 }
 
 /// Converts simulated nanoseconds to floating-point microseconds.
-constexpr double to_micros(TimeNs t) noexcept {
+[[nodiscard]] constexpr double to_micros(TimeNs t) noexcept {
   return static_cast<double>(t) / 1e3;
 }
 
 /// Converts simulated nanoseconds to floating-point milliseconds.
-constexpr double to_millis(TimeNs t) noexcept {
+[[nodiscard]] constexpr double to_millis(TimeNs t) noexcept {
   return static_cast<double>(t) / 1e6;
 }
 

@@ -1,0 +1,292 @@
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+// Fixtures below spell forbidden tokens inside ordinary string literals; the
+// scanner blanks string contents before matching, so this file itself stays
+// clean under the archlint_tree gate while the fixtures still exercise every
+// rule through lint_source().
+
+namespace hpc::lint {
+namespace {
+
+std::size_t count_rule(const std::vector<Finding>& fs, Rule r) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(), [r](const Finding& f) { return f.rule == r; }));
+}
+
+bool has_rule(const std::vector<Finding>& fs, Rule r) { return count_rule(fs, r) > 0; }
+
+// ---------------------------------------------------------------- D1 --------
+
+TEST(ArchlintAmbientRng, FlagsRandomDeviceSrandAndRand) {
+  const char* src =
+      "#include <random>\n"
+      "int f() {\n"
+      "  std::random_device rd;\n"
+      "  srand(42);\n"
+      "  return rand() + (int)rd();\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/hw/bad.cpp", src);
+  EXPECT_EQ(count_rule(fs, Rule::kAmbientRng), 3u);
+}
+
+TEST(ArchlintAmbientRng, FlagsWallClockReads) {
+  const char* src =
+      "#include <chrono>\n"
+      "long f() { return std::chrono::system_clock::now().time_since_epoch().count(); }\n"
+      "long g() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n"
+      "long h() { return time(nullptr); }\n";
+  const std::vector<Finding> fs = lint_source("src/fed/bad.cpp", src);
+  EXPECT_EQ(count_rule(fs, Rule::kAmbientRng), 3u);
+}
+
+TEST(ArchlintAmbientRng, RngImplementationIsExempt) {
+  const char* src =
+      "#include <random>\n"
+      "unsigned seed_entropy() { std::random_device rd; return rd(); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/sim/rng.cpp", src), Rule::kAmbientRng));
+  EXPECT_TRUE(has_rule(lint_source("src/sim/other.cpp", src), Rule::kAmbientRng));
+}
+
+TEST(ArchlintAmbientRng, SeededRngIsClean) {
+  const char* src =
+      "#include \"sim/rng.hpp\"\n"
+      "double f(hpc::sim::Rng& rng) { return rng.uniform() + rng.normal(0.0, 1.0); }\n";
+  EXPECT_TRUE(lint_source("src/hw/good.cpp", src).empty());
+}
+
+TEST(ArchlintAmbientRng, IdentifiersContainingRandAreClean) {
+  const char* src =
+      "int operand(int x) { return x; }\n"
+      "int f() { int strand = 1; return operand(strand); }\n";
+  EXPECT_TRUE(lint_source("src/hw/good.cpp", src).empty());
+}
+
+TEST(ArchlintAmbientRng, AllowAnnotationSuppresses) {
+  const char* same_line =
+      "#include <random>\n"
+      "std::random_device rd;  // archlint: allow(ambient-rng): entropy for demo only\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/x.cpp", same_line), Rule::kAmbientRng));
+  const char* line_above =
+      "#include <random>\n"
+      "// archlint: allow(ambient-rng)\n"
+      "std::random_device rd;\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/x.cpp", line_above), Rule::kAmbientRng));
+}
+
+// ---------------------------------------------------------------- D2 --------
+
+TEST(ArchlintUnordered, FlagsIncludeAndUse) {
+  const char* src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;\n";
+  EXPECT_EQ(count_rule(lint_source("src/mem/bad.cpp", src), Rule::kUnorderedIter), 2u);
+}
+
+TEST(ArchlintUnordered, OrderedContainersAreClean) {
+  const char* src =
+      "#include <map>\n"
+      "#include <set>\n"
+      "std::map<int, int> table;\n"
+      "std::set<int> keys;\n";
+  EXPECT_TRUE(lint_source("src/mem/good.cpp", src).empty());
+}
+
+TEST(ArchlintUnordered, AllowAnnotationSuppresses) {
+  const char* src =
+      "#include <unordered_map>  // archlint: allow(unordered-iter)\n"
+      "// archlint: allow(unordered-iter): membership cache, never iterated\n"
+      "std::unordered_map<int, int> cache;\n";
+  EXPECT_FALSE(has_rule(lint_source("src/mem/x.cpp", src), Rule::kUnorderedIter));
+}
+
+// ---------------------------------------------------------------- D3 --------
+
+TEST(ArchlintRawTime, FlagsRawTimeParametersInHeaders) {
+  const char* src =
+      "#pragma once\n"
+      "/// \\file bad.hpp\n"
+      "namespace hpc::net {\n"
+      "void set_timeout(double timeout_ns);\n"
+      "void arm(std::uint64_t deadline_ns, int id);\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_source("src/net/bad.hpp", src), Rule::kRawTime), 2u);
+}
+
+TEST(ArchlintRawTime, TypedTimeAndMembersAreClean) {
+  const char* src =
+      "#pragma once\n"
+      "/// \\file good.hpp\n"
+      "#include \"sim/time.hpp\"\n"
+      "namespace hpc::net {\n"
+      "void set_timeout(sim::TimeNs timeout_ns);\n"
+      "struct Link { double latency_ns = 0.0; };\n"
+      "double propagation_ns(const Link& l);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/net/good.hpp", src).empty());
+}
+
+TEST(ArchlintRawTime, OnlyHeadersAreChecked) {
+  const char* src = "static void set_timeout(double timeout_ns) { (void)timeout_ns; }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/net/impl.cpp", src), Rule::kRawTime));
+}
+
+TEST(ArchlintRawTime, AllowAnnotationSuppresses) {
+  const char* src =
+      "#pragma once\n"
+      "/// \\file x.hpp\n"
+      "namespace hpc::net {\n"
+      "// archlint: allow(raw-time): analytic fractional-ns model\n"
+      "double latency(double distance_ns);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/net/x.hpp", src), Rule::kRawTime));
+}
+
+// ---------------------------------------------------------------- D4 --------
+
+TEST(ArchlintNodiscard, FlagsConstAccessorsInSimAndCore) {
+  const char* src =
+      "#pragma once\n"
+      "/// \\file c.hpp\n"
+      "namespace hpc::sim {\n"
+      "class C {\n"
+      " public:\n"
+      "  int count() const noexcept { return n_; }\n"
+      " private:\n"
+      "  int n_ = 0;\n"
+      "};\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_source("src/sim/c.hpp", src), Rule::kNodiscard), 1u);
+  EXPECT_EQ(count_rule(lint_source("src/core/c.hpp", src), Rule::kNodiscard), 1u);
+  // Out of scope: the rest of the tree is not (yet) held to D4.
+  EXPECT_FALSE(has_rule(lint_source("src/hw/c.hpp", src), Rule::kNodiscard));
+  EXPECT_FALSE(has_rule(lint_source("src/sim/c.cpp", src), Rule::kNodiscard));
+}
+
+TEST(ArchlintNodiscard, MarkedAccessorsAndVoidMembersAreClean) {
+  const char* src =
+      "#pragma once\n"
+      "/// \\file c.hpp\n"
+      "namespace hpc::sim {\n"
+      "class C {\n"
+      " public:\n"
+      "  [[nodiscard]] int count() const noexcept { return n_; }\n"
+      "  [[nodiscard]] double long_name_accessor(\n"
+      "      int which) const;\n"
+      "  void debug_dump() const;\n"
+      " private:\n"
+      "  int n_ = 0;\n"
+      "};\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/sim/c.hpp", src), Rule::kNodiscard));
+}
+
+TEST(ArchlintNodiscard, FlagsFactoryFunctions) {
+  const char* bad =
+      "#pragma once\n"
+      "/// \\file f.hpp\n"
+      "namespace hpc::core {\n"
+      "struct Config { int x = 0; };\n"
+      "Config make_config();\n"
+      "}\n";
+  EXPECT_EQ(count_rule(lint_source("src/core/f.hpp", bad), Rule::kNodiscard), 1u);
+  const char* good =
+      "#pragma once\n"
+      "/// \\file f.hpp\n"
+      "namespace hpc::core {\n"
+      "struct Config { int x = 0; };\n"
+      "[[nodiscard]] Config make_config();\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/core/f.hpp", good), Rule::kNodiscard));
+}
+
+// ---------------------------------------------------------------- D5 --------
+
+TEST(ArchlintHeaderHygiene, FlagsEachMissingElement) {
+  const char* no_pragma =
+      "/// \\file x.hpp\n"
+      "namespace hpc::x {}\n";
+  EXPECT_EQ(count_rule(lint_source("src/hw/x.hpp", no_pragma), Rule::kHeaderHygiene), 1u);
+  const char* no_namespace =
+      "#pragma once\n"
+      "/// \\file x.hpp\n"
+      "int bare();\n";
+  EXPECT_EQ(count_rule(lint_source("src/hw/x.hpp", no_namespace), Rule::kHeaderHygiene), 1u);
+  const char* no_doc =
+      "#pragma once\n"
+      "namespace hpc::x {}\n";
+  EXPECT_EQ(count_rule(lint_source("src/hw/x.hpp", no_doc), Rule::kHeaderHygiene), 1u);
+}
+
+TEST(ArchlintHeaderHygiene, CompleteHeaderIsCleanAndCppIsExempt) {
+  const char* good =
+      "#pragma once\n"
+      "\n"
+      "/// \\file good.hpp\n"
+      "/// What this header is for.\n"
+      "\n"
+      "namespace hpc::x {\n"
+      "inline int answer() { return 42; }\n"
+      "}  // namespace hpc::x\n";
+  EXPECT_TRUE(lint_source("src/hw/good.hpp", good).empty());
+  EXPECT_FALSE(has_rule(lint_source("src/hw/impl.cpp", "int x = 0;\n"), Rule::kHeaderHygiene));
+}
+
+// ------------------------------------------------- scanner mechanics --------
+
+TEST(ArchlintScanner, TokensInsideStringsAndCommentsAreInvisible) {
+  const char* src =
+      "const char* a = \"std::random_device lives here\";\n"
+      "const char* b = R\"(srand(1); std::unordered_map)\";\n"
+      "// a comment mentioning rand() and unordered_map is fine\n"
+      "/* so is srand in a block comment */\n";
+  EXPECT_TRUE(lint_source("src/hw/strings.cpp", src).empty());
+}
+
+TEST(ArchlintScanner, AllowListCoversMultipleRules) {
+  const char* src =
+      "#include <unordered_map>  // archlint: allow(unordered-iter, ambient-rng)\n";
+  EXPECT_TRUE(lint_source("src/hw/x.cpp", src).empty());
+}
+
+TEST(ArchlintScanner, AllowDoesNotLeakToOtherRules) {
+  const char* src =
+      "// archlint: allow(raw-time)\n"
+      "std::unordered_map<int, int> m;\n";
+  EXPECT_TRUE(has_rule(lint_source("src/hw/x.cpp", src), Rule::kUnorderedIter));
+}
+
+TEST(ArchlintScanner, FormatIsPathLineRuleMessage) {
+  const std::vector<Finding> fs =
+      lint_source("src/hw/bad.cpp", "#include <unordered_map>\n");
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string line = format(fs[0]);
+  EXPECT_NE(line.find("src/hw/bad.cpp:1:"), std::string::npos);
+  EXPECT_NE(line.find("[unordered-iter]"), std::string::npos);
+}
+
+TEST(ArchlintTree, WalksDirectoriesAndFindsViolations) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "archlint_tree_test";
+  fs::create_directories(root / "src");
+  {
+    std::ofstream bad(root / "src" / "bad.cpp");
+    bad << "#include <random>\nstd::random_device rd;\n";
+    std::ofstream good(root / "src" / "good.cpp");
+    good << "int x = 0;\n";
+  }
+  const std::vector<Finding> fs_found = lint_tree({root / "src"});
+  EXPECT_EQ(fs_found.size(), 1u);
+  EXPECT_TRUE(has_rule(fs_found, Rule::kAmbientRng));
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace hpc::lint

@@ -39,7 +39,9 @@ TEST(Failure, GridReroutesAndCompletesEverything) {
   EXPECT_GT(r.jobs_rerouted, 0);
   // Nothing finishes at the dead site after the failure instant.
   for (const FedPlacement& p : r.placements) {
-    if (p.site == 1) EXPECT_LE(p.finish, cfg.fail_at);
+    if (p.site == 1) {
+      EXPECT_LE(p.finish, cfg.fail_at);
+    }
   }
 }
 

@@ -117,7 +117,9 @@ TEST_P(PrecisionErrorOrdering, WiderFormatsNoWorse) {
   const float e_bf16 = std::abs(round_bf16(v) - v);
   EXPECT_LE(e_tf32, e_bf16);
   // fp16 has more mantissa bits than bf16 inside its exponent range.
-  if (std::abs(v) < 60'000.0f && std::abs(v) > 1e-4f) EXPECT_LE(e_fp16, e_bf16);
+  if (std::abs(v) < 60'000.0f && std::abs(v) > 1e-4f) {
+    EXPECT_LE(e_fp16, e_bf16);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(SweepValues, PrecisionErrorOrdering,

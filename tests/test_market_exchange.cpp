@@ -99,15 +99,20 @@ TEST(Exchange, ProvidersNeverSellBelowCostOnAverage) {
   Exchange ex(21);
   sim::Rng rng(22);
   std::vector<const ProviderAgent*> providers;
+  // Names built via append rather than operator+ to dodge GCC 12's spurious
+  // -Wrestrict on inlined SSO string concatenation (PR105651).
   for (int i = 0; i < 10; ++i) {
-    auto p = std::make_unique<ProviderAgent>("p" + std::to_string(i),
-                                             rng.uniform(0.5, 1.5), 1.0);
+    std::string name = "p";
+    name += std::to_string(i);
+    auto p = std::make_unique<ProviderAgent>(std::move(name), rng.uniform(0.5, 1.5), 1.0);
     providers.push_back(p.get());
     ex.add_agent(std::move(p));
   }
-  for (int i = 0; i < 15; ++i)
-    ex.add_agent(std::make_unique<ConsumerAgent>("c" + std::to_string(i),
-                                                 rng.uniform(0.8, 2.5), 1.0));
+  for (int i = 0; i < 15; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    ex.add_agent(std::make_unique<ConsumerAgent>(std::move(name), rng.uniform(0.8, 2.5), 1.0));
+  }
   ex.run_rounds(100);
   for (const ProviderAgent* p : providers) {
     if (p->sold_total() > 0.0) {

@@ -94,7 +94,9 @@ TEST_P(EveryTopology, AllPairsConnected) {
   ASSERT_GE(eps.size(), 2u);
   for (const int a : eps)
     for (const int b : eps)
-      if (a != b) EXPECT_GT(net.hops(a, b), 0);
+      if (a != b) {
+        EXPECT_GT(net.hops(a, b), 0);
+      }
 }
 
 TEST_P(EveryTopology, DiameterWithinSpec) {

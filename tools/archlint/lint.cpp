@@ -1,0 +1,391 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace hpc::lint {
+
+namespace {
+
+bool is_ident(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// One physical source line split into its code and comment parts.
+/// String/char literal *contents* are blanked in `code` (the quotes remain),
+/// so fixture snippets that mention forbidden tokens inside strings never
+/// match; comments are collected separately so `allow(...)` annotations and
+/// `\file` blocks stay visible.
+struct Line {
+  std::string code;
+  std::string comment;
+};
+
+std::vector<Line> split_lines(std::string_view text) {
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  std::vector<Line> lines;
+  Line cur;
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  auto flush = [&] {
+    lines.push_back(std::move(cur));
+    cur = Line{};
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      // Line comments end at the newline; strings should not span lines, but
+      // if one does (or a block comment), the state carries over.
+      if (st == St::kLineComment) st = St::kCode;
+      flush();
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // Raw string?  R"delim( — the R must be its own token.
+          if (i > 0 && text[i - 1] == 'R' && (i < 2 || !is_ident(text[i - 2]))) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+            st = St::kRawString;
+            cur.code += '"';
+            i = j;  // consume up to and including '('
+          } else {
+            st = St::kString;
+            cur.code += '"';
+          }
+        } else if (c == '\'') {
+          st = St::kChar;
+          cur.code += '\'';
+        } else {
+          cur.code += c;
+        }
+        break;
+      case St::kLineComment:
+        cur.comment += c;
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          st = St::kCode;
+          cur.code += '"';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          cur.code += '\'';
+        }
+        break;
+      case St::kRawString: {
+        // Close only on )delim".
+        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < text.size() && text[i + 1 + raw_delim.size()] == '"') {
+          i += raw_delim.size() + 1;
+          st = St::kCode;
+          cur.code += '"';
+        }
+        break;
+      }
+    }
+  }
+  flush();
+  return lines;
+}
+
+/// True if \p word occurs in \p s delimited by non-identifier characters.
+bool has_word(const std::string& s, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident(s[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+/// True if \p fn occurs as a call: word-delimited and followed by '('.
+bool has_call(const std::string& s, std::string_view fn) {
+  std::size_t pos = 0;
+  while ((pos = s.find(fn, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    std::size_t end = pos + fn.size();
+    while (end < s.size() && s[end] == ' ') ++end;
+    if (left_ok && end < s.size() && s[end] == '(') return true;
+    ++pos;
+  }
+  return false;
+}
+
+std::string strip_spaces(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s)
+    if (c != ' ' && c != '\t') out += c;
+  return out;
+}
+
+/// Does the comment carry `archlint: allow(<rule>[, <rule>...])` for \p r?
+bool comment_allows(const std::string& comment, Rule r) {
+  const std::string flat = strip_spaces(comment);
+  std::size_t pos = flat.find("archlint:allow(");
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + std::string_view("archlint:allow(").size();
+    const std::size_t close = flat.find(')', open);
+    if (close == std::string::npos) return false;
+    std::stringstream list(flat.substr(open, close - open));
+    std::string tok;
+    while (std::getline(list, tok, ','))
+      if (tok == id_of(r)) return true;
+    pos = flat.find("archlint:allow(", close);
+  }
+  return false;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool is_header(std::string_view path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") || ends_with(path, ".hh");
+}
+
+struct Scanner {
+  std::string_view path;
+  std::vector<Line> lines;
+  std::vector<Finding> findings;
+
+  bool allowed(Rule r, std::size_t i) const {
+    if (i < lines.size() && comment_allows(lines[i].comment, r)) return true;
+    if (i > 0 && comment_allows(lines[i - 1].comment, r)) return true;
+    return false;
+  }
+
+  void add(Rule r, std::size_t i, std::string message) {
+    if (allowed(r, i)) return;
+    findings.push_back(Finding{r, std::string(path), i + 1, std::move(message)});
+  }
+
+  // -- D1: ambient nondeterminism ------------------------------------------
+  void check_ambient_rng() {
+    // The one place allowed to touch <random> engine seeding machinery.
+    if (path.find("sim/rng.") != std::string_view::npos) return;
+    static constexpr std::string_view kWords[] = {
+        "random_device", "srand",          "system_clock", "steady_clock",
+        "high_resolution_clock", "file_clock", "utc_clock", "gettimeofday",
+        "clock_gettime", "timespec_get",   "localtime",    "gmtime",
+    };
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      for (const std::string_view w : kWords)
+        if (has_word(code, w))
+          add(Rule::kAmbientRng, i,
+              "ambient nondeterminism ('" + std::string(w) +
+                  "'): draw from an explicitly seeded hpc::sim::Rng and simulated time only");
+      if (has_call(code, "rand") || has_call(code, "clock"))
+        add(Rule::kAmbientRng, i,
+            "ambient nondeterminism (libc rand()/clock()): use hpc::sim::Rng / sim::TimeNs");
+      const std::string flat = strip_spaces(code);
+      for (const std::string_view w : {std::string_view("time(nullptr)"), std::string_view("time(NULL)")})
+        if (flat.find(w) != std::string::npos)
+          add(Rule::kAmbientRng, i,
+              "ambient nondeterminism (wall-clock time()): use the simulator clock");
+    }
+  }
+
+  // -- D2: iteration-order-unstable containers -----------------------------
+  void check_unordered() {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      for (const std::string_view w : {std::string_view("unordered_map"), std::string_view("unordered_set")})
+        if (has_word(lines[i].code, w))
+          add(Rule::kUnorderedIter, i,
+              "iteration-order-unstable container '" + std::string(w) +
+                  "': use std::map/std::set or a sorted vector, or annotate "
+                  "'archlint: allow(unordered-iter)' if its order never leaks");
+    }
+  }
+
+  // -- D3: raw-typed simulated-time parameters in public APIs --------------
+  void check_raw_time() {
+    if (!is_header(path)) return;
+    // A raw arithmetic type, an `_ns`-suffixed name, then a parameter-list
+    // terminator (',' or ')').  Struct members terminate with ';' and so
+    // never match; function *names* ending in `_ns` are followed by '('.
+    static const std::regex re(
+        R"((?:\b(?:unsigned\s+long\s+long|long\s+long|unsigned\s+long|std::uint64_t|std::int64_t|std::uint32_t|std::int32_t|uint64_t|int64_t|double|float|long)\s+)([A-Za-z_]\w*_ns)\s*(?:=\s*[^,()]+)?[,)])");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      auto begin = std::sregex_iterator(code.begin(), code.end(), re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it)
+        add(Rule::kRawTime, i,
+            "raw simulated-time parameter '" + (*it)[1].str() +
+                "': pass sim::TimeNs (src/sim/time.hpp), or annotate "
+                "'archlint: allow(raw-time)' for analytic fractional-ns models");
+    }
+  }
+
+  // -- D4: [[nodiscard]] on const accessors and factories ------------------
+  void check_nodiscard() {
+    if (!is_header(path)) return;
+    if (path.find("src/sim") == std::string_view::npos &&
+        path.find("src/core") == std::string_view::npos)
+      return;
+    static const std::regex const_member(R"(\)\s*const(\s+noexcept)?\s*(\{|;|$))");
+    static const std::regex void_return(R"(^\s*(virtual\s+)?void\b)");
+    static const std::regex factory(
+        R"(^\s*(?:(?:static|constexpr|inline|friend|virtual)\s+)*([A-Za-z_][\w:]*)\s+((?:make|from)_\w*)\s*\()");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      const bool marked =
+          code.find("[[nodiscard]]") != std::string::npos ||
+          (i > 0 && lines[i - 1].code.find("[[nodiscard]]") != std::string::npos);
+      if (marked) continue;
+      if (std::regex_search(code, const_member) && !std::regex_search(code, void_return)) {
+        // Name of the member: identifier before the first '('.
+        std::string name = "member";
+        const std::size_t paren = code.find('(');
+        if (paren != std::string::npos && paren > 0) {
+          std::size_t b = paren;
+          while (b > 0 && is_ident(code[b - 1])) --b;
+          if (b < paren) name = code.substr(b, paren - b);
+        }
+        add(Rule::kNodiscard, i,
+            "const accessor '" + name + "' missing [[nodiscard]]");
+        continue;
+      }
+      std::smatch m;
+      if (std::regex_search(code, m, factory)) {
+        const std::string ret = m[1].str();
+        if (ret != "return" && ret != "void" && ret != "throw" && ret != "delete" &&
+            ret != "new" && ret != "case" && ret != "goto")
+          add(Rule::kNodiscard, i,
+              "factory function '" + m[2].str() + "' missing [[nodiscard]]");
+      }
+    }
+  }
+
+  // -- D5: header hygiene ---------------------------------------------------
+  void check_header_hygiene() {
+    if (!is_header(path)) return;
+    auto trimmed = [](const std::string& s) {
+      const std::size_t b = s.find_first_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b);
+    };
+    bool pragma_early = false;
+    std::size_t seen = 0;
+    for (const Line& l : lines) {
+      const std::string t = trimmed(l.code);
+      if (t.empty()) continue;
+      if (t.rfind("#pragma once", 0) == 0) {
+        pragma_early = true;
+        break;
+      }
+      if (++seen >= 5) break;  // must appear within the first 5 code lines
+    }
+    bool has_namespace = false;
+    bool has_file_doc = false;
+    for (const Line& l : lines) {
+      if (!has_namespace && has_word(l.code, "namespace") &&
+          l.code.find("hpc") != std::string::npos)
+        has_namespace = true;
+      if (!has_file_doc && l.comment.find("\\file") != std::string::npos) has_file_doc = true;
+    }
+    if (!pragma_early)
+      add(Rule::kHeaderHygiene, 0, "header must start with '#pragma once'");
+    if (!has_namespace)
+      add(Rule::kHeaderHygiene, 0, "header must declare into the hpc:: namespace");
+    if (!has_file_doc)
+      add(Rule::kHeaderHygiene, 0, "header must carry a '\\file' doc block");
+  }
+};
+
+}  // namespace
+
+std::string_view id_of(Rule r) noexcept {
+  switch (r) {
+    case Rule::kAmbientRng: return "ambient-rng";
+    case Rule::kUnorderedIter: return "unordered-iter";
+    case Rule::kRawTime: return "raw-time";
+    case Rule::kNodiscard: return "nodiscard";
+    case Rule::kHeaderHygiene: return "header-hygiene";
+  }
+  return "unknown";
+}
+
+std::string format(const Finding& f) {
+  return f.path + ":" + std::to_string(f.line) + ": [" + std::string(id_of(f.rule)) + "] " +
+         f.message;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view text) {
+  Scanner s{path, split_lines(text), {}};
+  s.check_ambient_rng();
+  s.check_unordered();
+  s.check_raw_time();
+  s.check_nodiscard();
+  s.check_header_hygiene();
+  return std::move(s.findings);
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return {Finding{Rule::kHeaderHygiene, file.generic_string(), 0, "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(file.generic_string(), buf.str());
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots) {
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& root : roots) {
+    if (!std::filesystem::exists(root)) continue;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".h" && ext != ".hh" && ext != ".cpp" && ext != ".cc")
+        continue;
+      bool in_build = false;
+      for (const auto& part : entry.path())
+        if (part.string().rfind("build", 0) == 0) in_build = true;
+      if (!in_build) files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> all;
+  for (const std::filesystem::path& f : files) {
+    std::vector<Finding> one = lint_file(f);
+    all.insert(all.end(), std::make_move_iterator(one.begin()),
+               std::make_move_iterator(one.end()));
+  }
+  return all;
+}
+
+}  // namespace hpc::lint

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lint.hpp
+/// archlint: Archipelago's determinism-contract static analyzer.
+///
+/// A token/line-level scanner (no libclang) that enforces the project
+/// invariants the simulation kernel's reproducibility guarantee depends on:
+///
+///  - D1 `ambient-rng`      no ambient nondeterminism: `rand()`,
+///                          `std::random_device`, `srand`, wall-clock reads
+///                          (`system_clock`, `steady_clock`, `gettimeofday`,
+///                          ...) anywhere outside `src/sim/rng.*`.  All
+///                          randomness must flow through an explicitly seeded
+///                          `hpc::sim::Rng`; all time through the simulated
+///                          clock.
+///  - D2 `unordered-iter`   no `std::unordered_map`/`std::unordered_set`:
+///                          their iteration order is
+///                          implementation-dependent, so any loop over one
+///                          can silently break bit-for-bit reproducibility.
+///  - D3 `raw-time`         public APIs (headers) must pass simulated time as
+///                          `sim::TimeNs`, not raw `double`/`uint64_t`
+///                          (heuristic: `_ns`-suffixed raw-typed parameters).
+///  - D4 `nodiscard`        const accessors and `make_`/`from_` factory
+///                          functions in `src/sim` and `src/core` headers
+///                          must be `[[nodiscard]]` — silently dropping a
+///                          simulation observable is almost always a bug.
+///  - D5 `header-hygiene`   every header starts with `#pragma once`, declares
+///                          into the `hpc::` namespace, and carries a
+///                          `\file` doc block.
+///
+/// Any rule can be suppressed for one line with an annotation on that line or
+/// the line above:
+///
+///     // archlint: allow(unordered-iter): scratch map, never iterated
+///
+/// String literals and comments are stripped before pattern matching, so test
+/// fixtures that mention forbidden tokens inside strings do not trip the
+/// scanner.
+
+namespace hpc::lint {
+
+/// The enforced invariants (see file comment for semantics).
+enum class Rule : int {
+  kAmbientRng,     ///< D1: ambient randomness / wall-clock reads
+  kUnorderedIter,  ///< D2: iteration-order-unstable containers
+  kRawTime,        ///< D3: raw-typed `_ns` parameters in public APIs
+  kNodiscard,      ///< D4: missing [[nodiscard]] on accessors/factories
+  kHeaderHygiene,  ///< D5: pragma once / hpc:: namespace / \file block
+};
+
+/// Stable textual id used in reports and `allow(...)` annotations.
+[[nodiscard]] std::string_view id_of(Rule r) noexcept;
+
+/// One rule violation at a source location.
+struct Finding {
+  Rule rule = Rule::kAmbientRng;
+  std::string path;     ///< as passed in (tree scans use repo-relative paths)
+  std::size_t line = 0; ///< 1-based
+  std::string message;
+};
+
+/// `path:line: [rule] message` — the canonical report line.
+[[nodiscard]] std::string format(const Finding& f);
+
+/// Lints one translation unit given its (possibly fake) path and full text.
+/// The path participates in rule scoping: D1 exempts `src/sim/rng.*`, D3/D5
+/// apply to `.hpp` files, D4 applies to headers under `src/sim` / `src/core`.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view text);
+
+/// Lints one file on disk.  Returns findings; IO failures produce a single
+/// finding on line 0 so a vanished file cannot pass silently.
+[[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& file);
+
+/// Recursively lints every `.hpp`/`.h`/`.cpp`/`.cc` file under each root,
+/// skipping any path with a `build*` component.  Findings are sorted by
+/// path, then line.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots);
+
+}  // namespace hpc::lint

@@ -1,0 +1,67 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+/// \file main.cpp
+/// archlint CLI.  Usage:
+///
+///     archlint [--root DIR] [PATH...]
+///
+/// PATHs (files or directories, default: src tests bench examples) are
+/// resolved against --root (default: current directory) and scanned for
+/// determinism-contract violations.  Exit status: 0 clean, 1 findings,
+/// 2 usage error.
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  fs::path root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "archlint: --root requires a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: archlint [--root DIR] [PATH...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "archlint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
+
+  // A missing scan path would silently scan nothing and exit 0 — in a CI
+  // gate that reads as "clean", so treat it as a usage error instead.
+  if (!fs::exists(root)) {
+    std::fprintf(stderr, "archlint: root '%s' does not exist\n", root.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> roots;
+  roots.reserve(paths.size());
+  for (const std::string& p : paths) {
+    fs::path full = root / p;
+    if (!fs::exists(full)) {
+      std::fprintf(stderr, "archlint: path '%s' does not exist\n", full.string().c_str());
+      return 2;
+    }
+    roots.push_back(std::move(full));
+  }
+
+  const std::vector<hpc::lint::Finding> findings = hpc::lint::lint_tree(roots);
+  for (const hpc::lint::Finding& f : findings)
+    std::fprintf(stderr, "%s\n", hpc::lint::format(f).c_str());
+  if (!findings.empty()) {
+    std::fprintf(stderr, "archlint: %zu violation(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
