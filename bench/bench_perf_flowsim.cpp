@@ -1,0 +1,157 @@
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchjson.hpp"
+#include "net/flowsim.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+/// \file bench_perf_flowsim.cpp
+/// P1: FlowSim hot-path microbenchmarks — the repo's perf trajectory.
+///
+/// Unlike the bench_c*/bench_a* experiment binaries (which reproduce paper
+/// claims), this binary exists to *regress performance*: it times complete
+/// FlowSim runs over fat-tree and dragonfly fabrics at 256/1k/4k flows for
+/// the three CongestionControl × Routing corners the experiments exercise
+/// (congestion-tree minimal, flow-based minimal, flow-based adaptive), and
+/// emits BENCH_flowsim.json (ns/op per scenario) via tools/benchjson so
+/// subsequent PRs can diff against the committed baseline.  ci/check.sh
+/// stage [5/5] runs it with --benchmark_min_time=0.05s as a perf smoke.
+///
+/// The traffic mix is the hostile one for the solver: a quarter of the
+/// flows form incasts onto a few receivers (deep congestion trees, many
+/// max-min rounds) and the rest are pseudo-uniform pairs, with arrivals
+/// staggered so the active set churns on every event.
+
+namespace {
+
+using hpc::net::CongestionControl;
+using hpc::net::FlowSim;
+using hpc::net::FlowSpec;
+using hpc::net::Network;
+using hpc::net::Routing;
+
+struct Corner {
+  const char* name;
+  CongestionControl cc;
+  Routing routing;
+};
+
+constexpr Corner kCorners[] = {
+    {"none_minimal", CongestionControl::kNone, Routing::kMinimal},
+    {"flowbased_minimal", CongestionControl::kFlowBased, Routing::kMinimal},
+    {"flowbased_adaptive", CongestionControl::kFlowBased, Routing::kAdaptive},
+};
+
+/// Deterministic incast + uniform mix: seeded, so every run (and every PR's
+/// baseline) times exactly the same workload.
+std::vector<FlowSpec> make_flows(const Network& net, int n, std::uint64_t seed) {
+  hpc::sim::Rng rng(seed);
+  const std::vector<int>& hosts = net.endpoints();
+  std::vector<int> receivers;
+  for (int r = 0; r < 8; ++r) receivers.push_back(hosts[rng.index(hosts.size())]);
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    if (i % 4 == 0) {  // incast quarter
+      f.src = hosts[rng.index(hosts.size())];
+      f.dst = receivers[static_cast<std::size_t>(i / 4) % receivers.size()];
+    } else {  // pseudo-uniform pair
+      f.src = hosts[rng.index(hosts.size())];
+      f.dst = hosts[rng.index(hosts.size())];
+    }
+    if (f.src == f.dst) f.dst = hosts[(rng.index(hosts.size()) + 1) % hosts.size()];
+    f.bytes = rng.uniform(1e6, 5e7);
+    f.start = static_cast<hpc::sim::TimeNs>(rng.uniform(0.0, 1e6 * n));
+    f.tag = i;
+    f.weight = (i % 8 == 0) ? 4.0 : 1.0;  // QoS-weighted slice in the mix
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+/// One registered scenario: the measured op is a full simulation run.
+void run_scenario(benchmark::State& state, const Network& net,
+                  const std::vector<FlowSpec>& flows, const Corner& corner) {
+  for (auto _ : state) {
+    FlowSim sim(net, corner.cc, corner.routing, /*seed=*/42);
+    for (const FlowSpec& f : flows) sim.add_flow(f);
+    benchmark::DoNotOptimize(sim.run().makespan_ns);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flows.size()));
+}
+
+/// Owns the topologies and flow sets for the process lifetime (benchmark
+/// lambdas capture references into it).
+struct Scenarios {
+  std::vector<std::unique_ptr<Network>> nets;
+  std::vector<std::unique_ptr<std::vector<FlowSpec>>> flow_sets;
+};
+
+Scenarios& scenarios() {
+  static Scenarios s;
+  return s;
+}
+
+void register_all() {
+  struct Topo {
+    const char* name;
+    Network net;
+  };
+  std::vector<Topo> topos;
+  topos.push_back({"fat_tree", hpc::net::make_fat_tree(8)});
+  topos.push_back({"dragonfly", hpc::net::make_dragonfly(8, 4, 2)});
+
+  for (Topo& t : topos) {
+    scenarios().nets.push_back(std::make_unique<Network>(std::move(t.net)));
+    const Network& net = *scenarios().nets.back();
+    for (const int n : {256, 1024, 4096}) {
+      scenarios().flow_sets.push_back(
+          std::make_unique<std::vector<FlowSpec>>(make_flows(net, n, 1234)));
+      const std::vector<FlowSpec>& flows = *scenarios().flow_sets.back();
+      for (const Corner& corner : kCorners) {
+        const std::string name =
+            std::string(t.name) + "/" + std::to_string(n) + "/" + corner.name;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&net, &flows, &corner](benchmark::State& state) {
+              run_scenario(state, net, flows, corner);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hpc::benchjson::Recorder recorder;
+  benchmark::RunSpecifiedBenchmarks(&recorder);
+  benchmark::Shutdown();
+
+  const char* out_env = std::getenv("BENCHJSON_OUT");
+  const std::string out = out_env != nullptr ? out_env : "BENCH_flowsim.json";
+  if (!hpc::benchjson::write_file(out, "flowsim", recorder.entries())) {
+    std::fprintf(stderr, "bench_perf_flowsim: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  const std::string error = hpc::benchjson::validate_file(out);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_perf_flowsim: emitted %s is invalid: %s\n", out.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("bench_perf_flowsim: wrote %s (%zu scenarios)\n", out.c_str(),
+              recorder.entries().size());
+  return 0;
+}

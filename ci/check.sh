@@ -1,27 +1,36 @@
 #!/usr/bin/env bash
 # Full local CI gate: tier-1 build+tests, the archlint determinism-contract
-# scan, a -Werror warning wall, and an ASan+UBSan instrumented test pass.
+# scan, a -Werror warning wall, an ASan+UBSan instrumented test pass, and a
+# perf smoke run that emits the BENCH_flowsim.json trajectory artifact.
 # Run from the repository root:  ./ci/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/4] tier-1: default build + full test suite =="
+echo "== [1/5] tier-1: default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [2/4] archlint: determinism-contract static analysis =="
-./build/tools/archlint/archlint --root . src tests bench examples
+echo "== [2/5] archlint: determinism-contract static analysis =="
+./build/tools/archlint/archlint --root . src tests bench examples tools/benchjson
 
-echo "== [3/4] warning wall: -Wall -Wextra -Werror =="
+echo "== [3/5] warning wall: -Wall -Wextra -Werror =="
 cmake -B build-werror -S . -DARCHIPELAGO_WERROR=ON >/dev/null
 cmake --build build-werror -j "${JOBS}"
 
-echo "== [4/4] sanitizers: ASan+UBSan instrumented test suite =="
+echo "== [4/5] sanitizers: ASan+UBSan instrumented test suite =="
 cmake -B build-asan -S . -DARCHIPELAGO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== [5/5] perf smoke: flowsim hot-path benchmark trajectory =="
+# Short-run smoke (not a statistically stable measurement): proves the
+# benchmark binary works end to end and regenerates BENCH_flowsim.json.
+# Note: this google-benchmark takes a bare double (no "s" suffix).
+BENCHJSON_OUT=BENCH_flowsim.json ./build/bench/bench_perf_flowsim \
+  --benchmark_min_time=0.05
+./build/tools/benchjson/benchjson_check BENCH_flowsim.json
 
 echo "All checks passed."

@@ -16,7 +16,18 @@ sim::Sampler FlowRunSummary::fct_sampler(int tag) const {
 FlowSim::FlowSim(const Network& net, CongestionControl cc, Routing routing,
                  std::uint64_t seed, double tree_degradation)
     : net_(net), cc_(cc), routing_(routing), rng_(seed),
-      tree_degradation_(tree_degradation) {}
+      tree_degradation_(tree_degradation) {
+  const std::size_t nl = net_.link_count();
+  capacity_.resize(nl);
+  for (std::size_t l = 0; l < nl; ++l)
+    capacity_[l] = net_.link(static_cast<int>(l)).bandwidth_gbs;
+  link_load_.assign(nl, 0);
+  link_sharing_.assign(nl, 0);
+  eff_.assign(nl, 0.0);
+  for (std::size_t v = 0; v < net_.node_count(); ++v)
+    if (net_.role(static_cast<int>(v)) == NodeRole::kSwitch)
+      switches_.push_back(static_cast<int>(v));
+}
 
 void FlowSim::add_flow(const FlowSpec& spec) { pending_.push_back(spec); }
 
@@ -27,137 +38,55 @@ int FlowSim::path_load(const std::vector<int>& path) const {
   return worst;
 }
 
+void FlowSim::track_links(const std::vector<int>& path, int delta) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const auto l = static_cast<std::size_t>(path[i]);
+    link_load_[l] += delta;
+    // link_sharing_ counts *distinct* flows per link: a link a path crosses
+    // twice (Valiant detours can do this) still counts the flow once.
+    bool first = true;
+    for (std::size_t j = 0; j < i; ++j)
+      if (path[j] == path[i]) {
+        first = false;
+        break;
+      }
+    if (first) link_sharing_[l] += delta;
+  }
+}
+
 std::vector<int> FlowSim::pick_path(int src, int dst) {
   if (src == dst) return {};
   if (routing_ == Routing::kMinimal) return net_.route(src, dst);
 
-  // Random intermediate switch for the misrouted candidate.
-  std::vector<int> switches;
-  for (std::size_t v = 0; v < net_.node_count(); ++v)
-    if (net_.role(static_cast<int>(v)) == NodeRole::kSwitch)
-      switches.push_back(static_cast<int>(v));
-  if (switches.empty()) return net_.route(src, dst);
-  const int mid = switches[rng_.index(switches.size())];
+  // Random intermediate switch for the misrouted candidate (switches_ is
+  // cached at construction — the old code rebuilt it O(V) per call).
+  if (switches_.empty()) return net_.route(src, dst);
+  const int mid = switches_[rng_.index(switches_.size())];
   std::vector<int> detour = net_.route_via(src, mid, dst);
   if (routing_ == Routing::kValiant) return detour;
 
   // kAdaptive (UGAL-lite): prefer minimal unless its instantaneous load is
   // at least twice the probed detour's (the classic 2x bias accounts for the
-  // detour being ~twice as long).
+  // detour being ~twice as long).  link_load_ is constructor-initialized and
+  // deliberately probed *before* the flow being placed is counted, so a flow
+  // never sees itself as congestion.
   std::vector<int> minimal = net_.route(src, dst);
-  if (link_load_.size() != net_.link_count())
-    link_load_.assign(net_.link_count(), 0);
   if (path_load(minimal) >= 2 * path_load(detour) + 2) return detour;
   return minimal;
 }
 
-namespace {
-
-/// Progressive-filling weighted max-min fair allocation.
-/// \param paths     per-flow directed-link-id paths
-/// \param capacity  per-link capacity in GB/s
-/// \param weights   per-flow fair-share weights (>= small positive)
-/// \param rate_cap  optional per-flow rate ceiling (<=0 means none)
-/// \returns per-flow rates (flows with empty paths get +inf)
-std::vector<double> maxmin_rates(const std::vector<const std::vector<int>*>& paths,
-                                 const std::vector<double>& capacity,
-                                 const std::vector<double>& weights,
-                                 const std::vector<double>* rate_cap = nullptr) {
-  const std::size_t nf = paths.size();
-  std::vector<double> rate(nf, std::numeric_limits<double>::infinity());
-  std::vector<double> rem = capacity;
-  std::vector<double> weight_sum(capacity.size(), 0.0);
-  std::vector<int> count(capacity.size(), 0);
-  std::vector<bool> fixed(nf, false);
-
-  for (std::size_t f = 0; f < nf; ++f) {
-    if (paths[f]->empty()) {
-      fixed[f] = true;  // src == dst: no network constraint
-      continue;
-    }
-    for (const int lid : *paths[f]) {
-      weight_sum[static_cast<std::size_t>(lid)] += weights[f];
-      ++count[static_cast<std::size_t>(lid)];
-    }
-  }
-
-  // Progressive filling on the *unit share* (rate per unit weight): at each
-  // round the binding constraint is either a link's unit share or some
-  // capped flow whose ceiling divided by its weight is tighter.  The unit
-  // share is non-decreasing round over round in exact arithmetic; enforcing
-  // that monotonicity (last_unit clamp) keeps floating-point drift from
-  // producing zero or negative rates on ties.
-  double last_unit = 0.0;
-  while (true) {
-    double best_unit = std::numeric_limits<double>::infinity();
-    int best_link = -1;
-    for (std::size_t l = 0; l < rem.size(); ++l) {
-      if (count[l] > 0 && weight_sum[l] > 0.0) {
-        const double unit = std::max(rem[l] / weight_sum[l], last_unit);
-        if (unit < best_unit) {
-          best_unit = unit;
-          best_link = static_cast<int>(l);
-        }
-      }
-    }
-    int best_flow = -1;
-    if (rate_cap) {
-      for (std::size_t f = 0; f < nf; ++f)
-        if (!fixed[f] && (*rate_cap)[f] > 0.0 && (*rate_cap)[f] / weights[f] < best_unit) {
-          best_unit = (*rate_cap)[f] / weights[f];
-          best_flow = static_cast<int>(f);
-          best_link = -1;
-        }
-    }
-    if (best_link < 0 && best_flow < 0) break;
-    last_unit = best_unit;
-
-    auto fix_flow = [&](std::size_t f) {
-      rate[f] = best_unit * weights[f];
-      fixed[f] = true;
-      for (const int lid : *paths[f]) {
-        const auto l = static_cast<std::size_t>(lid);
-        rem[l] = std::max(0.0, rem[l] - rate[f]);
-        weight_sum[l] -= weights[f];
-        --count[l];
-      }
-    };
-
-    if (best_flow >= 0) {
-      fix_flow(static_cast<std::size_t>(best_flow));
-      continue;
-    }
-    // Fix every unfixed flow crossing the bottleneck link.
-    for (std::size_t f = 0; f < nf; ++f) {
-      if (fixed[f]) continue;
-      bool on = false;
-      for (const int lid : *paths[f])
-        if (lid == best_link) {
-          on = true;
-          break;
-        }
-      if (on) fix_flow(f);
-    }
-  }
-  return rate;
-}
-
-}  // namespace
-
 void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
-  std::vector<const std::vector<int>*> paths;
-  paths.reserve(active.size());
-  for (const ActiveFlow* f : active) paths.push_back(&f->path);
+  const std::size_t nf = active.size();
+  paths_scratch_.clear();
+  paths_scratch_.reserve(nf);
+  for (const ActiveFlow* f : active) paths_scratch_.push_back(&f->path);
 
-  std::vector<double> capacity(net_.link_count());
-  for (std::size_t l = 0; l < capacity.size(); ++l)
-    capacity[l] = net_.link(static_cast<int>(l)).bandwidth_gbs;
+  weights_scratch_.clear();
+  weights_scratch_.reserve(nf);
+  for (const ActiveFlow* f : active)
+    weights_scratch_.push_back(std::max(1e-6, f->spec.weight));
 
-  std::vector<double> weights;
-  weights.reserve(active.size());
-  for (const ActiveFlow* f : active) weights.push_back(std::max(1e-6, f->spec.weight));
-
-  std::vector<double> rates = maxmin_rates(paths, capacity, weights);
+  maxmin_rates(paths_scratch_, capacity_, weights_scratch_, nullptr, scratch_, rates_);
 
   if (cc_ == CongestionControl::kNone && !active.empty()) {
     // Congestion-tree model: a flow whose fair-share bottleneck is tighter
@@ -165,23 +94,23 @@ void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
     // excess occupies buffers on every upstream hop, degrading those links
     // for everyone else.  Flow-based congestion management (Slingshot)
     // eliminates exactly this term by throttling at the source.
-    std::vector<double> eff = capacity;
-    std::vector<double> caps(active.size(), 0.0);
-    for (std::size_t f = 0; f < active.size(); ++f) {
+    //
+    // Only links touched by the first solve can be degraded or consulted by
+    // the second, so eff_ is refreshed over that set instead of all links.
+    for (const int lid : scratch_.touched_links)
+      eff_[static_cast<std::size_t>(lid)] = capacity_[static_cast<std::size_t>(lid)];
+    caps_.assign(nf, 0.0);
+    for (std::size_t f = 0; f < nf; ++f) {
       const auto& path = active[f]->path;
       if (path.empty()) continue;
       // Injection share: capacity of first link divided by flows sharing it.
-      int sharing = 0;
-      for (const ActiveFlow* g : active)
-        for (const int lid : g->path)
-          if (lid == path.front()) {
-            ++sharing;
-            break;
-          }
+      // link_sharing_ is the maintained distinct-flow incidence count, an
+      // O(1) lookup replacing the old O(flows² · pathlen) rescan.
+      const int sharing = link_sharing_[static_cast<std::size_t>(path.front())];
       const double inject =
-          capacity[static_cast<std::size_t>(path.front())] / std::max(1, sharing);
-      const double excess = std::max(0.0, inject - rates[f]);
-      caps[f] = rates[f];  // congesting flows still drain at their bottleneck
+          capacity_[static_cast<std::size_t>(path.front())] / std::max(1, sharing);
+      const double excess = std::max(0.0, inject - rates_[f]);
+      caps_[f] = rates_[f];  // congesting flows still drain at their bottleneck
       if (excess <= 1e-12) continue;
       // The queue sits in front of the bottleneck (the flow's last
       // oversubscribed hop — for incast, the egress).  That link itself keeps
@@ -189,13 +118,25 @@ void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
       // queue and loses effective capacity for other traffic.
       for (std::size_t h = 0; h + 1 < path.size(); ++h) {
         const auto l = static_cast<std::size_t>(path[h]);
-        eff[l] = std::max(0.05 * capacity[l], eff[l] - tree_degradation_ * excess);
+        eff_[l] = std::max(0.05 * capacity_[l], eff_[l] - tree_degradation_ * excess);
       }
     }
-    rates = maxmin_rates(paths, eff, weights, &caps);
+    maxmin_rates(paths_scratch_, eff_, weights_scratch_, &caps_, scratch_, rates_);
   }
 
-  for (std::size_t f = 0; f < active.size(); ++f) active[f]->rate = rates[f];
+  // Assign rates and fuse the next-completion min into the same pass.
+  has_inf_rate_ = false;
+  min_completion_dt_ = std::numeric_limits<double>::infinity();
+  for (std::size_t f = 0; f < nf; ++f) {
+    const double r = rates_[f];
+    active[f]->rate = r;
+    if (r <= 0.0) continue;
+    if (std::isinf(r)) {
+      has_inf_rate_ = true;  // zero-hop flow finishes immediately
+    } else {
+      min_completion_dt_ = std::min(min_completion_dt_, active[f]->remaining / r);
+    }
+  }
 }
 
 FlowRunSummary FlowSim::run() {
@@ -209,6 +150,9 @@ FlowRunSummary FlowSim::run() {
   std::size_t next_arrival = 0;
   double now = 0.0;
   double total_bytes = 0.0;
+  rates_dirty_ = true;
+  has_inf_rate_ = false;
+  min_completion_dt_ = std::numeric_limits<double>::infinity();
 
   auto activate_due = [&](double t) {
     while (next_arrival < pending_.size() &&
@@ -216,9 +160,17 @@ FlowRunSummary FlowSim::run() {
       const FlowSpec& spec = pending_[next_arrival++];
       storage.push_back(ActiveFlow{spec, pick_path(spec.src, spec.dst), spec.bytes, 0.0,
                                    static_cast<double>(spec.start)});
-      active.push_back(&storage.back());
-      if (link_load_.size() != net_.link_count()) link_load_.assign(net_.link_count(), 0);
-      for (const int lid : storage.back().path) ++link_load_[static_cast<std::size_t>(lid)];
+      ActiveFlow& flow = storage.back();
+      active.push_back(&flow);
+      if (flow.path.empty()) {
+        // Zero-hop flows touch no shared constraint: the standing rates stay
+        // valid, so don't dirty them — just flag the immediate completion.
+        flow.rate = std::numeric_limits<double>::infinity();
+        has_inf_rate_ = true;
+      } else {
+        track_links(flow.path, +1);
+        rates_dirty_ = true;
+      }
       total_bytes += spec.bytes;
     }
   };
@@ -231,18 +183,20 @@ FlowRunSummary FlowSim::run() {
       activate_due(now);
       continue;
     }
-    compute_rates(active);
-
-    // Next completion.
-    double next_completion = std::numeric_limits<double>::infinity();
-    for (const ActiveFlow* f : active) {
-      if (f->rate <= 0.0) continue;
-      if (std::isinf(f->rate)) {
-        next_completion = now;  // zero-hop flow finishes immediately
-        break;
-      }
-      next_completion = std::min(next_completion, now + f->remaining / f->rate);
+    // Recompute-skip invariant: rates (and the fused completion min) remain
+    // valid as long as no path-carrying flow joined or left the active set
+    // and the survivors' relative order is unchanged — exactly the events
+    // the dirty flag tracks below.
+    if (rates_dirty_) {
+      compute_rates(active);
+      rates_dirty_ = false;
     }
+
+    const double next_completion =
+        has_inf_rate_ ? now
+                      : (std::isinf(min_completion_dt_)
+                             ? std::numeric_limits<double>::infinity()
+                             : now + min_completion_dt_);
     const double next_arrival_t = next_arrival < pending_.size()
                                       ? static_cast<double>(pending_[next_arrival].start)
                                       : std::numeric_limits<double>::infinity();
@@ -254,20 +208,19 @@ FlowRunSummary FlowSim::run() {
       t_next = now;
     }
     const double dt = std::max(0.0, t_next - now);
+    now = t_next;
 
-    // Drain bytes.
-    for (ActiveFlow* f : active) {
+    // Fused pass: drain bytes, sweep completions, and track the next
+    // completion min for the skip path — one walk instead of three.
+    has_inf_rate_ = false;
+    min_completion_dt_ = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size();) {
+      ActiveFlow* f = active[i];
       if (std::isinf(f->rate)) {
         f->remaining = 0.0;
       } else {
         f->remaining -= f->rate * dt;
       }
-    }
-    now = t_next;
-
-    // Complete finished flows.
-    for (std::size_t i = 0; i < active.size();) {
-      ActiveFlow* f = active[i];
       // Sub-byte residues are floating-point dust; at large simulated times
       // now + residue/rate can equal now in double precision, so they must
       // count as complete or the loop never advances.
@@ -278,10 +231,21 @@ FlowRunSummary FlowSim::run() {
         r.fct_ns = now - f->started_ns;
         r.mean_rate_gbs = r.fct_ns > 0.0 ? f->spec.bytes / r.fct_ns : 0.0;
         summary.flows.push_back(r);
-        for (const int lid : f->path) --link_load_[static_cast<std::size_t>(lid)];
+        if (!f->path.empty()) {
+          track_links(f->path, -1);
+          rates_dirty_ = true;
+        } else if (i + 1 != active.size()) {
+          // Swap-erase reorders the survivors, which changes the solver's
+          // floating-point accumulation order: recompute to stay identical.
+          rates_dirty_ = true;
+        }
         active[i] = active.back();
         active.pop_back();
+        // The element swapped into slot i has not been drained yet; the next
+        // loop round processes it at this same index.
       } else {
+        if (f->rate > 0.0)
+          min_completion_dt_ = std::min(min_completion_dt_, f->remaining / f->rate);
         ++i;
       }
     }

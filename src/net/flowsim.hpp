@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/maxmin.hpp"
 #include "net/network.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -16,6 +17,15 @@
 /// simulation advances from rate-change event to rate-change event (arrivals
 /// and completions).  This preserves the congestion phenomenology the paper
 /// discusses at a tiny fraction of packet-level cost (DESIGN.md choice #1).
+///
+/// The hot path is *incremental* (DESIGN.md "Performance model"): a
+/// persistent link→flow incidence index maintained on flow activation and
+/// completion feeds the incidence-indexed max-min solver (maxmin.hpp), all
+/// per-event working sets live in scratch arenas owned by the simulator, and
+/// rate recomputation is skipped outright for events that provably leave
+/// every binding constraint unchanged.  All of it is behavior-preserving:
+/// results are bit-identical to the straightforward dense implementation
+/// (tests/test_net_flowsim_golden.cpp pins this against a frozen oracle).
 ///
 /// Congestion management models the Slingshot claim (Section II.B):
 ///  - kNone: congesting flows (those bottlenecked at an oversubscribed egress)
@@ -95,9 +105,15 @@ class FlowSim {
   };
 
   std::vector<int> pick_path(int src, int dst);
+  /// Recomputes max-min rates for the active set and refreshes the fused
+  /// next-completion tracking (min_completion_dt_ / has_inf_rate_).
   void compute_rates(std::vector<ActiveFlow*>& active);
   /// Highest concurrent-flow count over the links of \p path.
   int path_load(const std::vector<int>& path) const;
+  /// Maintains the incidence counters for an activating (+1) or completing
+  /// (-1) flow: link_load_ per path occurrence, link_sharing_ per distinct
+  /// link (the O(1) congestion-tree injection-sharing lookup).
+  void track_links(const std::vector<int>& path, int delta);
 
   const Network& net_;
   CongestionControl cc_;
@@ -105,7 +121,27 @@ class FlowSim {
   sim::Rng rng_;
   double tree_degradation_;
   std::vector<FlowSpec> pending_;
-  std::vector<int> link_load_;  ///< active flows per directed link (adaptive routing)
+
+  // Persistent per-fabric state, sized once in the constructor.
+  std::vector<int> switches_;      ///< switch vertex ids (Valiant/adaptive mid picks)
+  std::vector<double> capacity_;   ///< per-link bandwidth_gbs snapshot
+  std::vector<int> link_load_;     ///< active path-occurrences per link (adaptive probe)
+  std::vector<int> link_sharing_;  ///< distinct active flows per link (incidence index)
+
+  // Scratch arenas reused across events: no per-event allocation on the
+  // steady-state hot path.
+  MaxMinScratch scratch_;
+  std::vector<const std::vector<int>*> paths_scratch_;
+  std::vector<double> weights_scratch_;
+  std::vector<double> rates_;
+  std::vector<double> eff_;   ///< degraded capacities (congestion-tree mode)
+  std::vector<double> caps_;  ///< per-flow injection caps (congestion-tree mode)
+
+  // Recompute-skip bookkeeping: rates stay valid until the active set's
+  // path-carrying composition (membership or relative order) changes.
+  bool rates_dirty_ = true;
+  bool has_inf_rate_ = false;       ///< a zero-hop flow is active (completes now)
+  double min_completion_dt_ = 0.0;  ///< min remaining/rate over active flows
 };
 
 }  // namespace hpc::net

@@ -1,0 +1,138 @@
+#include "net/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hpc::net {
+
+void maxmin_rates(const std::vector<const std::vector<int>*>& paths,
+                  const std::vector<double>& capacity,
+                  const std::vector<double>& weights,
+                  const std::vector<double>* rate_cap, MaxMinScratch& scratch,
+                  std::vector<double>& rate_out) {
+  const std::size_t nf = paths.size();
+  rate_out.assign(nf, std::numeric_limits<double>::infinity());
+
+  const std::size_t nl = capacity.size();
+  if (scratch.rem.size() < nl) {
+    scratch.rem.resize(nl);
+    scratch.weight_sum.resize(nl);
+    scratch.count.resize(nl);
+    scratch.stamp.resize(nl, 0);
+    scratch.flows_on_link.resize(nl);
+  }
+  ++scratch.epoch;
+  if (scratch.epoch == 0) {  // wrapped: stale stamps could alias, hard reset
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.epoch = 1;
+  }
+  const std::uint32_t epoch = scratch.epoch;
+  scratch.touched_links.clear();
+  scratch.fixed.assign(nf, 0);
+
+  // Build the touched-link set, per-link weight sums / occurrence counts, and
+  // the link→flow incidence index in one pass.  Iterating flows in ascending
+  // index order keeps the weight-sum accumulation order — and therefore the
+  // floating-point result — identical to the original dense implementation.
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (paths[f]->empty()) {
+      scratch.fixed[f] = 1;  // src == dst: no network constraint
+      continue;
+    }
+    for (const int lid : *paths[f]) {
+      const auto l = static_cast<std::size_t>(lid);
+      if (scratch.stamp[l] != epoch) {
+        scratch.stamp[l] = epoch;
+        scratch.rem[l] = capacity[l];
+        scratch.weight_sum[l] = 0.0;
+        scratch.count[l] = 0;
+        scratch.flows_on_link[l].clear();
+        scratch.touched_links.push_back(lid);
+      }
+      scratch.weight_sum[l] += weights[f];
+      ++scratch.count[l];
+      scratch.flows_on_link[l].push_back(static_cast<int>(f));
+    }
+  }
+  // Ascending link ids so the bottleneck scan's strict-< tie break picks the
+  // same (lowest-id) link as a dense 0..link_count scan would.
+  std::sort(scratch.touched_links.begin(), scratch.touched_links.end());
+  scratch.active_links = scratch.touched_links;
+
+  // Progressive filling on the *unit share* (rate per unit weight): at each
+  // round the binding constraint is either a link's unit share or some
+  // capped flow whose ceiling divided by its weight is tighter.  The unit
+  // share is non-decreasing round over round in exact arithmetic; enforcing
+  // that monotonicity (last_unit clamp) keeps floating-point drift from
+  // producing zero or negative rates on ties.
+  double last_unit = 0.0;
+  while (true) {
+    double best_unit = std::numeric_limits<double>::infinity();
+    int best_link = -1;
+    // Bottleneck scan over live touched links only; links whose unfixed-flow
+    // count has reached zero can never come back, so compact them out.
+    std::size_t live = 0;
+    for (const int lid : scratch.active_links) {
+      const auto l = static_cast<std::size_t>(lid);
+      if (scratch.count[l] <= 0) continue;
+      scratch.active_links[live++] = lid;
+      if (scratch.weight_sum[l] > 0.0) {
+        const double unit = std::max(scratch.rem[l] / scratch.weight_sum[l], last_unit);
+        if (unit < best_unit) {
+          best_unit = unit;
+          best_link = lid;
+        }
+      }
+    }
+    scratch.active_links.resize(live);
+
+    int best_flow = -1;
+    if (rate_cap) {
+      for (std::size_t f = 0; f < nf; ++f)
+        if (!scratch.fixed[f] && (*rate_cap)[f] > 0.0 &&
+            (*rate_cap)[f] / weights[f] < best_unit) {
+          best_unit = (*rate_cap)[f] / weights[f];
+          best_flow = static_cast<int>(f);
+          best_link = -1;
+        }
+    }
+    if (best_link < 0 && best_flow < 0) break;
+    last_unit = best_unit;
+
+    auto fix_flow = [&](std::size_t f) {
+      rate_out[f] = best_unit * weights[f];
+      scratch.fixed[f] = 1;
+      for (const int lid : *paths[f]) {
+        const auto l = static_cast<std::size_t>(lid);
+        scratch.rem[l] = std::max(0.0, scratch.rem[l] - rate_out[f]);
+        scratch.weight_sum[l] -= weights[f];
+        --scratch.count[l];
+      }
+    };
+
+    if (best_flow >= 0) {
+      fix_flow(static_cast<std::size_t>(best_flow));
+      continue;
+    }
+    // Fix every unfixed flow crossing the bottleneck link.  The incidence
+    // list was appended in ascending flow order, so this fixes flows in the
+    // same order as a dense 0..nf scan (duplicate entries from a link that
+    // appears twice on one path are skipped via the fixed flag).
+    for (const int fi : scratch.flows_on_link[static_cast<std::size_t>(best_link)]) {
+      const auto f = static_cast<std::size_t>(fi);
+      if (!scratch.fixed[f]) fix_flow(f);
+    }
+  }
+}
+
+std::vector<double> maxmin_rates(const std::vector<const std::vector<int>*>& paths,
+                                 const std::vector<double>& capacity,
+                                 const std::vector<double>& weights,
+                                 const std::vector<double>* rate_cap) {
+  MaxMinScratch scratch;
+  std::vector<double> rates;
+  maxmin_rates(paths, capacity, weights, rate_cap, scratch, rates);
+  return rates;
+}
+
+}  // namespace hpc::net

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file maxmin.hpp
+/// Progressive-filling weighted max-min fair allocation — FlowSim's rate
+/// solver, exposed as a standalone engine so it can be unit-tested directly
+/// and reused with caller-owned scratch arenas.
+///
+/// The solver is *incidence-indexed*: instead of scanning every link of the
+/// network each round (the pre-PR-2 behavior), it builds a per-call list of
+/// the links actually touched by the given paths plus a link→flow incidence
+/// index, and each round scans only still-live touched links (dead links are
+/// compacted out as their flow counts reach zero).  All arithmetic — the
+/// accumulation order of per-link weight sums, the ascending-link-id tie
+/// break of the bottleneck scan, the ascending-flow-index fixing order, and
+/// the `last_unit` monotonicity clamp — is kept exactly equivalent to the
+/// original dense scan, so results are bit-identical
+/// (tests/test_net_flowsim_golden.cpp holds this to the frozen oracle).
+namespace hpc::net {
+
+/// Reusable arenas for maxmin_rates.  One instance per simulator; sized to
+/// the fabric on first use and never shrunk, so steady-state solves allocate
+/// nothing.
+struct MaxMinScratch {
+  // Per-link arenas (indexed by directed link id).
+  std::vector<double> rem;          ///< remaining capacity this solve
+  std::vector<double> weight_sum;   ///< unfixed weight crossing the link
+  std::vector<int> count;           ///< unfixed path-occurrences on the link
+  std::vector<std::uint32_t> stamp; ///< epoch mark: entry initialized this solve
+  std::vector<std::vector<int>> flows_on_link;  ///< link → flow-index incidence
+  // Per-solve link lists.
+  std::vector<int> touched_links;   ///< sorted ids of links touched this solve
+  std::vector<int> active_links;    ///< working copy, compacted as links die
+  // Per-flow arena.
+  std::vector<unsigned char> fixed;
+  std::uint32_t epoch = 0;
+};
+
+/// Weighted max-min fair rates by progressive filling.
+/// \param paths     per-flow directed-link-id paths (flows with empty paths
+///                  get +inf — no network constraint)
+/// \param capacity  per-link capacity in GB/s (indexed by link id; only
+///                  entries for links on \p paths are read)
+/// \param weights   per-flow fair-share weights (>= small positive)
+/// \param rate_cap  optional per-flow rate ceiling (<= 0 means none)
+/// \param scratch   caller-owned arenas, reused across calls
+/// \param rate_out  per-flow allocated rates (resized/overwritten)
+void maxmin_rates(const std::vector<const std::vector<int>*>& paths,
+                  const std::vector<double>& capacity,
+                  const std::vector<double>& weights,
+                  const std::vector<double>* rate_cap, MaxMinScratch& scratch,
+                  std::vector<double>& rate_out);
+
+/// Convenience overload with internal scratch (tests, one-off callers).
+[[nodiscard]] std::vector<double> maxmin_rates(
+    const std::vector<const std::vector<int>*>& paths,
+    const std::vector<double>& capacity, const std::vector<double>& weights,
+    const std::vector<double>* rate_cap = nullptr);
+
+}  // namespace hpc::net

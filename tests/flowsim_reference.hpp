@@ -1,0 +1,293 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/flowsim.hpp"
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+
+/// \file flowsim_reference.hpp
+/// Frozen pre-optimization FlowSim — the golden oracle.
+///
+/// This is a verbatim copy of the simple O(events × rounds × links × flows)
+/// implementation that `hpc::net::FlowSim` shipped with before the
+/// incidence-indexed hot-path rework (PR 2).  It exists purely so
+/// test_net_flowsim_golden.cpp can assert that every optimization in the
+/// production simulator is *behavior-preserving*: bit-identical per-flow
+/// `fct_ns`/`finish_ns`, result ordering, and summary aggregates on seeded
+/// scenarios.  Do not "fix" or optimize this file — its whole value is that
+/// it never changes.  (It intentionally reuses the public FlowSpec /
+/// FlowResult / FlowRunSummary types so summaries compare field-for-field.)
+namespace hpc::net::testref {
+
+/// The pre-rework flow simulator, preserved bit-for-bit.
+class ReferenceFlowSim {
+ public:
+  ReferenceFlowSim(const Network& net, CongestionControl cc = CongestionControl::kFlowBased,
+                   Routing routing = Routing::kMinimal, std::uint64_t seed = 1,
+                   double tree_degradation = 0.8)
+      : net_(net), cc_(cc), routing_(routing), rng_(seed),
+        tree_degradation_(tree_degradation) {}
+
+  void add_flow(const FlowSpec& spec) { pending_.push_back(spec); }
+
+  FlowRunSummary run() {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
+
+    FlowRunSummary summary;
+    std::vector<ActiveFlow> storage;
+    storage.reserve(pending_.size());
+    std::vector<ActiveFlow*> active;
+    std::size_t next_arrival = 0;
+    double now = 0.0;
+    double total_bytes = 0.0;
+
+    auto activate_due = [&](double t) {
+      while (next_arrival < pending_.size() &&
+             static_cast<double>(pending_[next_arrival].start) <= t + 1e-9) {
+        const FlowSpec& spec = pending_[next_arrival++];
+        storage.push_back(ActiveFlow{spec, pick_path(spec.src, spec.dst), spec.bytes, 0.0,
+                                     static_cast<double>(spec.start)});
+        active.push_back(&storage.back());
+        if (link_load_.size() != net_.link_count()) link_load_.assign(net_.link_count(), 0);
+        for (const int lid : storage.back().path) ++link_load_[static_cast<std::size_t>(lid)];
+        total_bytes += spec.bytes;
+      }
+    };
+
+    activate_due(0.0);
+
+    while (!active.empty() || next_arrival < pending_.size()) {
+      if (active.empty()) {
+        now = static_cast<double>(pending_[next_arrival].start);
+        activate_due(now);
+        continue;
+      }
+      compute_rates(active);
+
+      // Next completion.
+      double next_completion = std::numeric_limits<double>::infinity();
+      for (const ActiveFlow* f : active) {
+        if (f->rate <= 0.0) continue;
+        if (std::isinf(f->rate)) {
+          next_completion = now;  // zero-hop flow finishes immediately
+          break;
+        }
+        next_completion = std::min(next_completion, now + f->remaining / f->rate);
+      }
+      const double next_arrival_t = next_arrival < pending_.size()
+                                        ? static_cast<double>(pending_[next_arrival].start)
+                                        : std::numeric_limits<double>::infinity();
+      double t_next = std::min(next_completion, next_arrival_t);
+      if (!std::isfinite(t_next)) {
+        for (ActiveFlow* f : active) f->remaining = 0.0;
+        t_next = now;
+      }
+      const double dt = std::max(0.0, t_next - now);
+
+      // Drain bytes.
+      for (ActiveFlow* f : active) {
+        if (std::isinf(f->rate)) {
+          f->remaining = 0.0;
+        } else {
+          f->remaining -= f->rate * dt;
+        }
+      }
+      now = t_next;
+
+      // Complete finished flows.
+      for (std::size_t i = 0; i < active.size();) {
+        ActiveFlow* f = active[i];
+        if (f->remaining <= 0.1) {
+          FlowResult r;
+          r.spec = f->spec;
+          r.finish_ns = now;
+          r.fct_ns = now - f->started_ns;
+          r.mean_rate_gbs = r.fct_ns > 0.0 ? f->spec.bytes / r.fct_ns : 0.0;
+          summary.flows.push_back(r);
+          for (const int lid : f->path) --link_load_[static_cast<std::size_t>(lid)];
+          active[i] = active.back();
+          active.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      activate_due(now);
+    }
+
+    summary.makespan_ns = now;
+    summary.aggregate_throughput_gbs = now > 0.0 ? total_bytes / now : 0.0;
+    return summary;
+  }
+
+ private:
+  struct ActiveFlow {
+    FlowSpec spec;
+    std::vector<int> path;
+    double remaining = 0.0;
+    double rate = 0.0;
+    double started_ns = 0.0;
+  };
+
+  int path_load(const std::vector<int>& path) const {
+    int worst = 0;
+    for (const int lid : path)
+      worst = std::max(worst, link_load_[static_cast<std::size_t>(lid)]);
+    return worst;
+  }
+
+  std::vector<int> pick_path(int src, int dst) {
+    if (src == dst) return {};
+    if (routing_ == Routing::kMinimal) return net_.route(src, dst);
+
+    std::vector<int> switches;
+    for (std::size_t v = 0; v < net_.node_count(); ++v)
+      if (net_.role(static_cast<int>(v)) == NodeRole::kSwitch)
+        switches.push_back(static_cast<int>(v));
+    if (switches.empty()) return net_.route(src, dst);
+    const int mid = switches[rng_.index(switches.size())];
+    std::vector<int> detour = net_.route_via(src, mid, dst);
+    if (routing_ == Routing::kValiant) return detour;
+
+    std::vector<int> minimal = net_.route(src, dst);
+    if (link_load_.size() != net_.link_count())
+      link_load_.assign(net_.link_count(), 0);
+    if (path_load(minimal) >= 2 * path_load(detour) + 2) return detour;
+    return minimal;
+  }
+
+  static std::vector<double> maxmin_rates(const std::vector<const std::vector<int>*>& paths,
+                                          const std::vector<double>& capacity,
+                                          const std::vector<double>& weights,
+                                          const std::vector<double>* rate_cap = nullptr) {
+    const std::size_t nf = paths.size();
+    std::vector<double> rate(nf, std::numeric_limits<double>::infinity());
+    std::vector<double> rem = capacity;
+    std::vector<double> weight_sum(capacity.size(), 0.0);
+    std::vector<int> count(capacity.size(), 0);
+    std::vector<bool> fixed(nf, false);
+
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (paths[f]->empty()) {
+        fixed[f] = true;
+        continue;
+      }
+      for (const int lid : *paths[f]) {
+        weight_sum[static_cast<std::size_t>(lid)] += weights[f];
+        ++count[static_cast<std::size_t>(lid)];
+      }
+    }
+
+    double last_unit = 0.0;
+    while (true) {
+      double best_unit = std::numeric_limits<double>::infinity();
+      int best_link = -1;
+      for (std::size_t l = 0; l < rem.size(); ++l) {
+        if (count[l] > 0 && weight_sum[l] > 0.0) {
+          const double unit = std::max(rem[l] / weight_sum[l], last_unit);
+          if (unit < best_unit) {
+            best_unit = unit;
+            best_link = static_cast<int>(l);
+          }
+        }
+      }
+      int best_flow = -1;
+      if (rate_cap) {
+        for (std::size_t f = 0; f < nf; ++f)
+          if (!fixed[f] && (*rate_cap)[f] > 0.0 && (*rate_cap)[f] / weights[f] < best_unit) {
+            best_unit = (*rate_cap)[f] / weights[f];
+            best_flow = static_cast<int>(f);
+            best_link = -1;
+          }
+      }
+      if (best_link < 0 && best_flow < 0) break;
+      last_unit = best_unit;
+
+      auto fix_flow = [&](std::size_t f) {
+        rate[f] = best_unit * weights[f];
+        fixed[f] = true;
+        for (const int lid : *paths[f]) {
+          const auto l = static_cast<std::size_t>(lid);
+          rem[l] = std::max(0.0, rem[l] - rate[f]);
+          weight_sum[l] -= weights[f];
+          --count[l];
+        }
+      };
+
+      if (best_flow >= 0) {
+        fix_flow(static_cast<std::size_t>(best_flow));
+        continue;
+      }
+      for (std::size_t f = 0; f < nf; ++f) {
+        if (fixed[f]) continue;
+        bool on = false;
+        for (const int lid : *paths[f])
+          if (lid == best_link) {
+            on = true;
+            break;
+          }
+        if (on) fix_flow(f);
+      }
+    }
+    return rate;
+  }
+
+  void compute_rates(std::vector<ActiveFlow*>& active) {
+    std::vector<const std::vector<int>*> paths;
+    paths.reserve(active.size());
+    for (const ActiveFlow* f : active) paths.push_back(&f->path);
+
+    std::vector<double> capacity(net_.link_count());
+    for (std::size_t l = 0; l < capacity.size(); ++l)
+      capacity[l] = net_.link(static_cast<int>(l)).bandwidth_gbs;
+
+    std::vector<double> weights;
+    weights.reserve(active.size());
+    for (const ActiveFlow* f : active) weights.push_back(std::max(1e-6, f->spec.weight));
+
+    std::vector<double> rates = maxmin_rates(paths, capacity, weights);
+
+    if (cc_ == CongestionControl::kNone && !active.empty()) {
+      std::vector<double> eff = capacity;
+      std::vector<double> caps(active.size(), 0.0);
+      for (std::size_t f = 0; f < active.size(); ++f) {
+        const auto& path = active[f]->path;
+        if (path.empty()) continue;
+        int sharing = 0;
+        for (const ActiveFlow* g : active)
+          for (const int lid : g->path)
+            if (lid == path.front()) {
+              ++sharing;
+              break;
+            }
+        const double inject =
+            capacity[static_cast<std::size_t>(path.front())] / std::max(1, sharing);
+        const double excess = std::max(0.0, inject - rates[f]);
+        caps[f] = rates[f];
+        if (excess <= 1e-12) continue;
+        for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+          const auto l = static_cast<std::size_t>(path[h]);
+          eff[l] = std::max(0.05 * capacity[l], eff[l] - tree_degradation_ * excess);
+        }
+      }
+      rates = maxmin_rates(paths, eff, weights, &caps);
+    }
+
+    for (std::size_t f = 0; f < active.size(); ++f) active[f]->rate = rates[f];
+  }
+
+  const Network& net_;
+  CongestionControl cc_;
+  Routing routing_;
+  sim::Rng rng_;
+  double tree_degradation_;
+  std::vector<FlowSpec> pending_;
+  std::vector<int> link_load_;
+};
+
+}  // namespace hpc::net::testref

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchjson.hpp"
+
+/// \file test_benchjson.cpp
+/// Round-trip and schema-validation tests for the BENCH_*.json perf-baseline
+/// emitter (tools/benchjson).  The ci/check.sh perf-smoke stage trusts
+/// benchjson_check to reject broken baselines, so the validator itself needs
+/// direct coverage: well-formed files round-trip, and truncation, schema
+/// drift, and nonsense values are all rejected.
+
+namespace hpc::benchjson {
+namespace {
+
+class BenchJsonTest : public ::testing::Test {
+ protected:
+  std::string path_;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "bench_roundtrip.json";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_raw(const std::string& text) {
+    std::ofstream out(path_);
+    out << text;
+  }
+};
+
+TEST_F(BenchJsonTest, RoundTripPreservesEntries) {
+  const std::vector<Entry> entries = {
+      {"fat_tree/4096/none_minimal", 123456.789, 17},
+      {"dragonfly/256/flowbased_adaptive", 0.125, 400000},
+      {R"(odd"name\with/escapes)", 1.0, 1},
+  };
+  ASSERT_TRUE(write_file(path_, "flowsim", entries));
+  EXPECT_EQ(validate_file(path_), "");
+
+  std::string bench;
+  std::vector<Entry> got;
+  std::string error;
+  ASSERT_TRUE(read_file(path_, bench, got, error)) << error;
+  EXPECT_EQ(bench, "flowsim");
+  ASSERT_EQ(got.size(), entries.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].name, entries[i].name);
+    EXPECT_NEAR(got[i].ns_per_op, entries[i].ns_per_op, 1e-3);
+    EXPECT_EQ(got[i].iterations, entries[i].iterations);
+  }
+}
+
+TEST_F(BenchJsonTest, EmptyResultListIsInvalid) {
+  ASSERT_TRUE(write_file(path_, "flowsim", {}));
+  EXPECT_NE(validate_file(path_), "");
+}
+
+TEST_F(BenchJsonTest, TruncatedFileIsRejected) {
+  ASSERT_TRUE(write_file(path_, "flowsim", {{"a/b/c", 10.0, 3}}));
+  std::ifstream in(path_);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  write_raw(text.substr(0, text.size() / 2));
+  EXPECT_NE(validate_file(path_), "");
+}
+
+TEST_F(BenchJsonTest, WrongSchemaIsRejected) {
+  write_raw(R"({"schema": "somebody-elses-v9", "bench": "x", "unit": "ns_per_op",
+                "results": [{"name": "a", "ns_per_op": 1.0, "iterations": 1}]})");
+  EXPECT_NE(validate_file(path_), "");
+}
+
+TEST_F(BenchJsonTest, NonPositiveTimesAreRejected) {
+  ASSERT_TRUE(write_file(path_, "flowsim", {{"a/b/c", 0.0, 3}}));
+  EXPECT_NE(validate_file(path_), "");
+  ASSERT_TRUE(write_file(path_, "flowsim", {{"a/b/c", 5.0, 0}}));
+  EXPECT_NE(validate_file(path_), "");
+}
+
+TEST_F(BenchJsonTest, MissingFileIsRejected) {
+  EXPECT_NE(validate_file(::testing::TempDir() + "does_not_exist.json"), "");
+}
+
+}  // namespace
+}  // namespace hpc::benchjson

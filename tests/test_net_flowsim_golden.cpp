@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flowsim_reference.hpp"
+#include "net/flowsim.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+/// \file test_net_flowsim_golden.cpp
+/// Golden equivalence: the incidence-indexed FlowSim hot path must be
+/// *behavior-preserving*, i.e. bit-identical to the frozen pre-optimization
+/// implementation (tests/flowsim_reference.hpp) — same per-flow fct_ns /
+/// finish_ns / mean_rate_gbs, same result ordering, same aggregates — on
+/// seeded scenarios covering every solver branch: congestion-tree incast
+/// (kNone + rate caps), adaptive routing (rng-consuming path probes),
+/// weighted QoS mixes with arrival ties, and zero-hop flows (the
+/// recompute-skip path).
+
+namespace hpc::net {
+namespace {
+
+void expect_bit_identical(const FlowRunSummary& got, const FlowRunSummary& want) {
+  ASSERT_EQ(got.flows.size(), want.flows.size());
+  for (std::size_t i = 0; i < got.flows.size(); ++i) {
+    SCOPED_TRACE("flow index " + std::to_string(i));
+    EXPECT_EQ(got.flows[i].spec.src, want.flows[i].spec.src);
+    EXPECT_EQ(got.flows[i].spec.dst, want.flows[i].spec.dst);
+    EXPECT_EQ(got.flows[i].spec.tag, want.flows[i].spec.tag);
+    // EXPECT_EQ on doubles is deliberate: the contract is bit-identical, not
+    // approximately equal.
+    EXPECT_EQ(got.flows[i].finish_ns, want.flows[i].finish_ns);
+    EXPECT_EQ(got.flows[i].fct_ns, want.flows[i].fct_ns);
+    EXPECT_EQ(got.flows[i].mean_rate_gbs, want.flows[i].mean_rate_gbs);
+  }
+  EXPECT_EQ(got.makespan_ns, want.makespan_ns);
+  EXPECT_EQ(got.aggregate_throughput_gbs, want.aggregate_throughput_gbs);
+}
+
+void run_golden(const Network& net, const std::vector<FlowSpec>& flows,
+                CongestionControl cc, Routing routing, std::uint64_t seed) {
+  FlowSim optimized(net, cc, routing, seed);
+  testref::ReferenceFlowSim reference(net, cc, routing, seed);
+  for (const FlowSpec& f : flows) {
+    optimized.add_flow(f);
+    reference.add_flow(f);
+  }
+  expect_bit_identical(optimized.run(), reference.run());
+}
+
+/// Seeded pseudo-random flow set over the network's endpoints.
+std::vector<FlowSpec> random_flows(const Network& net, int n, std::uint64_t seed,
+                                   bool weighted, bool with_zero_hop) {
+  sim::Rng rng(seed);
+  const std::vector<int>& h = net.endpoints();
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    f.src = h[rng.index(h.size())];
+    f.dst = with_zero_hop && i % 9 == 0 ? f.src : h[rng.index(h.size())];
+    f.bytes = rng.uniform(1e6, 2e9);
+    // Ties on purpose: several flows share each start time so batched
+    // activation and same-time completion sweeps are exercised.
+    f.start = static_cast<sim::TimeNs>(i / 3) * 40'000'000;
+    f.tag = i;
+    if (weighted) f.weight = (i % 3 == 0) ? 4.0 : (i % 3 == 1 ? 2.0 : 1.0);
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+TEST(FlowSimGolden, FatTreeIncastCongestionTree) {
+  const Network net = make_fat_tree(4);
+  const std::vector<int>& h = net.endpoints();
+  std::vector<FlowSpec> flows;
+  // 40-to-1 incast onto h[0] (deep congestion tree, rate caps binding) plus
+  // cross-pod background pairs.
+  for (int i = 0; i < 40; ++i)
+    flows.push_back({h[1 + (i % (static_cast<int>(h.size()) - 1))], h[0], 5e8,
+                     static_cast<sim::TimeNs>(i % 5) * 10'000'000, i});
+  for (int i = 0; i < 24; ++i)
+    flows.push_back({h[static_cast<std::size_t>(1 + i % 7)],
+                     h[static_cast<std::size_t>(8 + i % 8)], 2e9,
+                     static_cast<sim::TimeNs>(i) * 25'000'000, 100 + i});
+  run_golden(net, flows, CongestionControl::kNone, Routing::kMinimal, 11);
+}
+
+TEST(FlowSimGolden, DragonflyAdaptiveRouting) {
+  const Network net = make_dragonfly(4, 2, 2);
+  const std::vector<FlowSpec> flows = random_flows(net, 80, 17, /*weighted=*/false,
+                                                   /*with_zero_hop=*/false);
+  run_golden(net, flows, CongestionControl::kFlowBased, Routing::kAdaptive, 17);
+}
+
+TEST(FlowSimGolden, DragonflyValiantCongestionTree) {
+  const Network net = make_dragonfly(4, 2, 2);
+  const std::vector<FlowSpec> flows = random_flows(net, 60, 23, /*weighted=*/false,
+                                                   /*with_zero_hop=*/false);
+  run_golden(net, flows, CongestionControl::kNone, Routing::kValiant, 23);
+}
+
+TEST(FlowSimGolden, QosWeightedMixFlowBased) {
+  const Network net = make_fat_tree(4);
+  const std::vector<FlowSpec> flows = random_flows(net, 90, 31, /*weighted=*/true,
+                                                   /*with_zero_hop=*/true);
+  run_golden(net, flows, CongestionControl::kFlowBased, Routing::kMinimal, 31);
+}
+
+TEST(FlowSimGolden, QosWeightedMixCongestionTree) {
+  const Network net = make_fat_tree(4);
+  const std::vector<FlowSpec> flows = random_flows(net, 90, 37, /*weighted=*/true,
+                                                   /*with_zero_hop=*/true);
+  run_golden(net, flows, CongestionControl::kNone, Routing::kMinimal, 37);
+}
+
+TEST(FlowSimGolden, SingleSwitchZeroHopOnly) {
+  // Pure zero-hop batch: exercises the recompute-skip path end to end.
+  const Network net = make_single_switch(4);
+  const std::vector<int>& h = net.endpoints();
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < 6; ++i)
+    flows.push_back({h[static_cast<std::size_t>(i % 4)], h[static_cast<std::size_t>(i % 4)],
+                     1e9, static_cast<sim::TimeNs>(i) * 1000, i});
+  flows.push_back({h[0], h[1], 25e9, 2000, 99});  // one real flow among them
+  run_golden(net, flows, CongestionControl::kFlowBased, Routing::kMinimal, 1);
+}
+
+}  // namespace
+}  // namespace hpc::net

@@ -1,0 +1,153 @@
+#include "net/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+/// \file test_net_maxmin.cpp
+/// Direct unit coverage of the progressive-filling weighted max-min solver —
+/// previously testable only through end-to-end FlowSim experiments.  Covers
+/// weighted shares, rate caps binding before the link bottleneck, the
+/// last_unit monotonicity clamp on unit-share ties, empty-path flows, and
+/// scratch-arena reuse across solves of different shapes.
+
+namespace hpc::net {
+namespace {
+
+/// Helper: solve for flows given as (path, weight) with per-link capacities.
+std::vector<double> solve(const std::vector<std::vector<int>>& paths,
+                          const std::vector<double>& capacity,
+                          std::vector<double> weights = {},
+                          const std::vector<double>* caps = nullptr) {
+  std::vector<const std::vector<int>*> path_ptrs;
+  for (const auto& p : paths) path_ptrs.push_back(&p);
+  if (weights.empty()) weights.assign(paths.size(), 1.0);
+  return maxmin_rates(path_ptrs, capacity, weights, caps);
+}
+
+TEST(MaxMin, EqualFlowsSplitTheBottleneck) {
+  const std::vector<double> rates = solve({{0}, {0}}, {10.0});
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMin, WeightedSharesAreProportional) {
+  // Weights 1 and 3 on a 12 GB/s link: 3 and 9.
+  const std::vector<double> rates = solve({{0}, {0}}, {12.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(rates[0], 3.0);
+  EXPECT_DOUBLE_EQ(rates[1], 9.0);
+}
+
+TEST(MaxMin, SpareCapacityIsReallocated) {
+  // Flow A crosses links 0+1, flow B only link 1.  Link 0 (cap 2) binds A;
+  // B then takes the rest of link 1 (cap 10): max-min, not proportional.
+  const std::vector<double> rates = solve({{0, 1}, {1}}, {2.0, 10.0});
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(MaxMin, RateCapBindsBeforeLinkBottleneck) {
+  // Two unit-weight flows on a 10 GB/s link would get 5 each, but flow 0 is
+  // capped at 2: the cap fixes first and flow 1 inherits the slack.
+  const std::vector<double> caps = {2.0, 0.0};  // <= 0 means uncapped
+  const std::vector<double> rates = solve({{0}, {0}}, {10.0}, {1.0, 1.0}, &caps);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(MaxMin, CapAboveFairShareDoesNotBind) {
+  const std::vector<double> caps = {7.0, 0.0};
+  const std::vector<double> rates = solve({{0}, {0}}, {10.0}, {1.0, 1.0}, &caps);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMin, CapScalesWithWeight) {
+  // The binding comparison is cap/weight vs unit share: a weight-4 flow
+  // capped at 8 binds at unit share 2 — before the link's unit share of
+  // 12/(4+1) = 2.4 — leaving the weight-1 flow the remaining 4.
+  const std::vector<double> caps = {8.0, 0.0};
+  const std::vector<double> rates = solve({{0}, {0}}, {12.0}, {4.0, 1.0}, &caps);
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+}
+
+TEST(MaxMin, TieOnUnitShareStaysMonotone) {
+  // Two disjoint links with *identical* unit shares: floating-point drift
+  // across rounds must never push a later round's unit share below an
+  // earlier one (the last_unit clamp) — all rates positive and equal.
+  const std::vector<double> rates =
+      solve({{0}, {0}, {1}, {1}}, {10.0, 10.0}, {1.0, 1.0, 1.0, 1.0});
+  for (const double r : rates) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_DOUBLE_EQ(r, 5.0);
+  }
+}
+
+TEST(MaxMin, ManyWayTieProducesNoZeroRates) {
+  // 17 equal flows over a chain of equal links, plus cross traffic: every
+  // round after the first resolves at the clamped unit share; nobody may
+  // starve.  (Regression guard for the drift the clamp exists to absorb.)
+  std::vector<std::vector<int>> paths;
+  for (int i = 0; i < 17; ++i) paths.push_back({0, 1, 2});
+  for (int i = 0; i < 5; ++i) paths.push_back({1});
+  const std::vector<double> rates = solve(paths, {7.0, 7.0, 7.0});
+  for (const double r : rates) EXPECT_GT(r, 0.0);
+}
+
+TEST(MaxMin, EmptyPathFlowsAreUnconstrained) {
+  const std::vector<double> rates = solve({{}, {0}, {}}, {10.0});
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_TRUE(std::isinf(rates[0]));
+  EXPECT_DOUBLE_EQ(rates[1], 10.0);
+  EXPECT_TRUE(std::isinf(rates[2]));
+}
+
+TEST(MaxMin, NoFlowsNoRates) {
+  EXPECT_TRUE(solve({}, {10.0, 20.0}).empty());
+}
+
+TEST(MaxMin, LinkAppearingTwiceOnOnePathCountsOnceForFixing) {
+  // A loopy (Valiant-style) path crossing link 0 twice: the flow is fixed
+  // exactly once, and its weight is debited per occurrence, mirroring how
+  // it was credited — so the link ends exactly empty, and a second flow on
+  // the link still gets a sane share.
+  const std::vector<double> rates = solve({{0, 1, 0}, {0}}, {10.0, 10.0});
+  // Link 0 carries flow 0 twice + flow 1 once: unit share 10/3, and both
+  // flows bind there (flow 0's two crossings consume two shares).
+  EXPECT_DOUBLE_EQ(rates[0], 10.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rates[1], 10.0 / 3.0);
+}
+
+TEST(MaxMin, ScratchArenaReuseAcrossShapes) {
+  // The scratch-arena entry point must give identical answers when reused
+  // across solves with different link sets and flow counts (epoch stamps,
+  // not full clears, reset the per-link state).
+  MaxMinScratch scratch;
+  std::vector<double> rates;
+  const std::vector<int> p0 = {0};
+  const std::vector<int> p12 = {1, 2};
+  const std::vector<int> p2 = {2};
+  const std::vector<double> capacity = {10.0, 4.0, 8.0};
+  const std::vector<double> w2 = {1.0, 1.0};
+
+  maxmin_rates({&p0, &p0}, capacity, w2, nullptr, scratch, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+
+  maxmin_rates({&p12, &p2}, capacity, w2, nullptr, scratch, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);  // link 1 binds
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);  // link 2 leftover
+  const std::vector<double> once = rates;
+
+  // Same solve again through the same scratch: bit-identical.
+  maxmin_rates({&p12, &p2}, capacity, w2, nullptr, scratch, rates);
+  EXPECT_EQ(rates[0], once[0]);
+  EXPECT_EQ(rates[1], once[1]);
+}
+
+}  // namespace
+}  // namespace hpc::net

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "tests", "bench", "examples"};
+  if (paths.empty()) paths = {"src", "tests", "bench", "examples", "tools/benchjson"};
 
   // A missing scan path would silently scan nothing and exit 0 — in a CI
   // gate that reads as "clean", so treat it as a usage error instead.

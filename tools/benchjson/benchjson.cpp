@@ -1,0 +1,265 @@
+#include "benchjson.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hpc::benchjson {
+
+void Recorder::ReportRuns(const std::vector<Run>& reports) {
+  for (const Run& run : reports) {
+    if (run.run_type != Run::RT_Iteration) continue;  // skip mean/median/stddev
+    if (run.error_occurred) continue;
+    Entry e;
+    e.name = run.benchmark_name();
+    e.iterations = static_cast<std::int64_t>(run.iterations);
+    e.ns_per_op = run.iterations > 0
+                      ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9
+                      : 0.0;
+    entries_.push_back(std::move(e));
+  }
+  ConsoleReporter::ReportRuns(reports);
+}
+
+namespace {
+
+/// JSON string escaping for the small subset we emit (names are benchmark
+/// identifiers, but a stray quote or backslash must not corrupt the file).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Minimal recursive-descent parser for the benchjson schema subset:
+/// objects, arrays, strings (with the escapes emitted above), and numbers.
+/// Not a general JSON parser — but strict about what it does accept, so a
+/// truncated or corrupted baseline is always rejected.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse_object_into(std::string& bench, std::vector<Entry>& entries,
+                         std::string& error) {
+    skip_ws();
+    if (!consume('{')) return fail("expected '{' at top level", error);
+    bool have_schema = false, have_unit = false, have_results = false;
+    while (true) {
+      skip_ws();
+      if (consume('}')) break;
+      std::string key;
+      if (!parse_string(key)) return fail("expected object key", error);
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key", error);
+      skip_ws();
+      if (key == "schema") {
+        std::string v;
+        if (!parse_string(v)) return fail("schema must be a string", error);
+        if (v != "archipelago-bench-v1")
+          return fail("unknown schema '" + v + "'", error);
+        have_schema = true;
+      } else if (key == "bench") {
+        if (!parse_string(bench)) return fail("bench must be a string", error);
+      } else if (key == "unit") {
+        std::string v;
+        if (!parse_string(v)) return fail("unit must be a string", error);
+        if (v != "ns_per_op") return fail("unit must be ns_per_op", error);
+        have_unit = true;
+      } else if (key == "results") {
+        if (!parse_results(entries, error)) return false;
+        have_results = true;
+      } else {
+        return fail("unexpected key '" + key + "'", error);
+      }
+      skip_ws();
+      if (consume(',')) continue;
+      skip_ws();
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object", error);
+    }
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document", error);
+    if (!have_schema) return fail("missing schema field", error);
+    if (!have_unit) return fail("missing unit field", error);
+    if (!have_results) return fail("missing results field", error);
+    return true;
+  }
+
+ private:
+  bool parse_results(std::vector<Entry>& entries, std::string& error) {
+    if (!consume('[')) return fail("results must be an array", error);
+    while (true) {
+      skip_ws();
+      if (consume(']')) return true;
+      Entry e;
+      if (!parse_entry(e, error)) return false;
+      entries.push_back(std::move(e));
+      skip_ws();
+      if (consume(',')) continue;
+      skip_ws();
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in results", error);
+    }
+  }
+
+  bool parse_entry(Entry& e, std::string& error) {
+    skip_ws();
+    if (!consume('{')) return fail("result entry must be an object", error);
+    bool have_ns = false;
+    while (true) {
+      skip_ws();
+      if (consume('}')) break;
+      std::string key;
+      if (!parse_string(key)) return fail("expected entry key", error);
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in entry", error);
+      skip_ws();
+      if (key == "name") {
+        if (!parse_string(e.name)) return fail("name must be a string", error);
+      } else if (key == "ns_per_op") {
+        if (!parse_number(e.ns_per_op)) return fail("ns_per_op must be a number", error);
+        have_ns = true;
+      } else if (key == "iterations") {
+        double v = 0.0;
+        if (!parse_number(v)) return fail("iterations must be a number", error);
+        e.iterations = static_cast<std::int64_t>(v);
+      } else {
+        return fail("unexpected entry key '" + key + "'", error);
+      }
+      skip_ws();
+      if (consume(',')) continue;
+      skip_ws();
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in entry", error);
+    }
+    if (e.name.empty()) return fail("entry missing name", error);
+    if (!have_ns) return fail("entry '" + e.name + "' missing ns_per_op", error);
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    auto is_num_char = [](char c) {
+      return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+             c == '.' || c == 'e' || c == 'E';
+    };
+    while (pos_ < text_.size() && is_num_char(text_[pos_])) ++pos_;
+    if (pos_ == start) return false;
+    try {
+      std::size_t used = 0;
+      out = std::stod(text_.substr(start, pos_ - start), &used);
+      return used == pos_ - start;
+    } catch (...) {
+      return false;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool fail(const std::string& msg, std::string& error) {
+    error = msg + " (offset " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool write_file(const std::string& path, const std::string& bench_name,
+                const std::vector<Entry>& entries) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  out << "  \"schema\": \"archipelago-bench-v1\",\n";
+  out << "  \"bench\": \"" << escape(bench_name) << "\",\n";
+  out << "  \"unit\": \"ns_per_op\",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.3f", entries[i].ns_per_op);
+    out << "    {\"name\": \"" << escape(entries[i].name) << "\", \"ns_per_op\": " << num
+        << ", \"iterations\": " << entries[i].iterations << "}"
+        << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+bool read_file(const std::string& path, std::string& bench_name,
+               std::vector<Entry>& entries, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Parser parser(text);
+  return parser.parse_object_into(bench_name, entries, error);
+}
+
+std::string validate_file(const std::string& path) {
+  std::string bench;
+  std::vector<Entry> entries;
+  std::string error;
+  if (!read_file(path, bench, entries, error)) return error;
+  if (bench.empty()) return "missing bench name";
+  if (entries.empty()) return "no benchmark results recorded";
+  for (const Entry& e : entries) {
+    if (!std::isfinite(e.ns_per_op) || e.ns_per_op <= 0.0)
+      return "entry '" + e.name + "' has non-positive ns_per_op";
+    if (e.iterations <= 0) return "entry '" + e.name + "' has no iterations";
+  }
+  return {};
+}
+
+}  // namespace hpc::benchjson

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file benchjson.hpp
+/// Perf-trajectory recording for the BENCH_*.json baseline files.
+///
+/// Google-benchmark's console output is for humans; the repo's perf
+/// trajectory needs a small, stable, machine-checkable artifact that later
+/// PRs can diff against.  `Recorder` is a ConsoleReporter that additionally
+/// captures every non-aggregate run's real time per iteration; `write_file`
+/// serializes the captured entries as
+///
+///     {
+///       "schema": "archipelago-bench-v1",
+///       "bench": "<suite name>",
+///       "unit": "ns_per_op",
+///       "results": [
+///         {"name": "fat_tree/4096/none_minimal", "ns_per_op": 123.4,
+///          "iterations": 17},
+///         ...
+///       ]
+///     }
+///
+/// and `validate_file` re-parses an emitted file and checks the schema
+/// (ci/check.sh stage [5/5] runs it via the `benchjson_check` binary, so a
+/// truncated or hand-mangled baseline fails CI instead of silently passing).
+namespace hpc::benchjson {
+
+/// One recorded benchmark result.
+struct Entry {
+  std::string name;        ///< benchmark name, e.g. "fat_tree/4096/none_minimal"
+  double ns_per_op = 0.0;  ///< mean wall time per iteration in nanoseconds
+  std::int64_t iterations = 0;
+};
+
+/// ConsoleReporter that also captures per-run ns/op for JSON emission.
+class Recorder : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Serializes \p entries to \p path.  Returns true on success.
+bool write_file(const std::string& path, const std::string& bench_name,
+                const std::vector<Entry>& entries);
+
+/// Validates a BENCH_*.json file: parses the JSON, checks the v1 schema, and
+/// requires a non-empty result list with finite positive ns/op values.
+/// Returns an empty string when valid, else a human-readable error.
+[[nodiscard]] std::string validate_file(const std::string& path);
+
+/// Parses a BENCH_*.json file previously written by write_file.  Returns
+/// true and fills the out-params on success (used by validate_file and by
+/// future regression tooling that diffs two baselines).
+bool read_file(const std::string& path, std::string& bench_name,
+               std::vector<Entry>& entries, std::string& error);
+
+}  // namespace hpc::benchjson

@@ -1,0 +1,30 @@
+#include <cstdio>
+#include <string>
+
+#include "benchjson.hpp"
+
+/// \file check_main.cpp
+/// benchjson_check CLI: validates BENCH_*.json perf-baseline files.
+///
+///     benchjson_check FILE...
+///
+/// Exit status: 0 if every file parses and satisfies the
+/// archipelago-bench-v1 schema, 1 on the first invalid file, 2 on usage
+/// error.  ci/check.sh stage [5/5] runs this on the freshly emitted
+/// BENCH_flowsim.json so a broken emitter can never publish a baseline.
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: benchjson_check FILE...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string error = hpc::benchjson::validate_file(argv[i]);
+    if (!error.empty()) {
+      std::fprintf(stderr, "benchjson_check: %s: %s\n", argv[i], error.c_str());
+      return 1;
+    }
+    std::printf("benchjson_check: %s: ok\n", argv[i]);
+  }
+  return 0;
+}
