@@ -1,0 +1,167 @@
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchjson.hpp"
+#include "net/flowsim.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/rng.hpp"
+
+/// \file bench_perf_obs.cpp
+/// Observability overhead benchmark — the hpc::obs budget enforcer.
+///
+/// Times the same hostile FlowSim scenario bench_perf_flowsim regresses
+/// (fat_tree(8), 4096 incast+uniform flows, seed 1234) in three
+/// configurations:
+///
+///   baseline  — no observer attached at all
+///   disabled  — TraceRecorder + MetricRegistry attached, tracing off
+///   enabled   — tracing on, metrics live, flight recorder filling
+///
+/// and emits BENCH_obs.json via tools/benchjson.  The contract from DESIGN.md
+/// §9: "disabled" must stay within ~2% of baseline (attaching observability
+/// costs one pointer test per solve decision) and "enabled" within ~15%.
+/// The ratios are printed for eyeballing and recorded in the committed
+/// baseline; the budget is asserted by PR review against BENCH_obs.json, not
+/// by an in-bench abort, because short CI timings are too noisy for a hard
+/// gate.  ci/check.sh stage [5/5] runs this with --benchmark_min_time=0.05s.
+
+namespace {
+
+using hpc::net::CongestionControl;
+using hpc::net::FlowSim;
+using hpc::net::FlowSpec;
+using hpc::net::Network;
+using hpc::net::Routing;
+
+/// Same deterministic incast + uniform mix as bench_perf_flowsim, so the
+/// baseline here is directly comparable with that binary's fat_tree/4096 row.
+std::vector<FlowSpec> make_flows(const Network& net, int n, std::uint64_t seed) {
+  hpc::sim::Rng rng(seed);
+  const std::vector<int>& hosts = net.endpoints();
+  std::vector<int> receivers;
+  for (int r = 0; r < 8; ++r) receivers.push_back(hosts[rng.index(hosts.size())]);
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    if (i % 4 == 0) {  // incast quarter
+      f.src = hosts[rng.index(hosts.size())];
+      f.dst = receivers[static_cast<std::size_t>(i / 4) % receivers.size()];
+    } else {  // pseudo-uniform pair
+      f.src = hosts[rng.index(hosts.size())];
+      f.dst = hosts[rng.index(hosts.size())];
+    }
+    if (f.src == f.dst) f.dst = hosts[(rng.index(hosts.size()) + 1) % hosts.size()];
+    f.bytes = rng.uniform(1e6, 5e7);
+    f.start = static_cast<hpc::sim::TimeNs>(rng.uniform(0.0, 1e6 * n));
+    f.tag = i;
+    f.weight = (i % 8 == 0) ? 4.0 : 1.0;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+enum class Mode { kBaseline, kDisabled, kEnabled };
+
+/// The measured op is a full simulation run; the observer (when attached)
+/// lives across iterations like it would across a real experiment, with the
+/// flight recorder cleared between runs (ring memory stays allocated).
+void run_scenario(benchmark::State& state, const Network& net,
+                  const std::vector<FlowSpec>& flows, Mode mode) {
+  hpc::obs::TraceRecorder trace;  // default ring: 64k events
+  hpc::obs::MetricRegistry metrics;
+  trace.set_enabled(mode == Mode::kEnabled);
+  for (auto _ : state) {
+    trace.clear();
+    FlowSim sim(net, CongestionControl::kNone, Routing::kMinimal, /*seed=*/42);
+    if (mode != Mode::kBaseline) sim.set_observer(&trace, &metrics);
+    for (const FlowSpec& f : flows) sim.add_flow(f);
+    benchmark::DoNotOptimize(sim.run().makespan_ns);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(flows.size()));
+}
+
+struct Scenario {
+  Network net;
+  std::vector<FlowSpec> flows;
+};
+
+Scenario& scenario() {
+  static Scenario s{hpc::net::make_fat_tree(8), {}};
+  return s;
+}
+
+void register_all() {
+  scenario().flows = make_flows(scenario().net, 4096, 1234);
+  struct Row {
+    const char* name;
+    Mode mode;
+  };
+  constexpr Row kRows[] = {
+      {"fat_tree/4096/none_minimal/baseline", Mode::kBaseline},
+      {"fat_tree/4096/none_minimal/disabled", Mode::kDisabled},
+      {"fat_tree/4096/none_minimal/enabled", Mode::kEnabled},
+  };
+  for (const Row& row : kRows) {
+    benchmark::RegisterBenchmark(row.name,
+                                 [mode = row.mode](benchmark::State& state) {
+                                   run_scenario(state, scenario().net,
+                                                scenario().flows, mode);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+/// ns/op for the entry whose name ends with \p suffix (0 if absent).
+double entry_ns(const std::vector<hpc::benchjson::Entry>& entries,
+                const std::string& suffix) {
+  for (const hpc::benchjson::Entry& e : entries) {
+    if (e.name.size() >= suffix.size() &&
+        e.name.compare(e.name.size() - suffix.size(), suffix.size(), suffix) == 0)
+      return e.ns_per_op;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hpc::benchjson::Recorder recorder;
+  benchmark::RunSpecifiedBenchmarks(&recorder);
+  benchmark::Shutdown();
+
+  const char* out_env = std::getenv("BENCHJSON_OUT");
+  const std::string out = out_env != nullptr ? out_env : "BENCH_obs.json";
+  if (!hpc::benchjson::write_file(out, "obs", recorder.entries())) {
+    std::fprintf(stderr, "bench_perf_obs: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  const std::string error = hpc::benchjson::validate_file(out);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_perf_obs: emitted %s is invalid: %s\n", out.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  const double base = entry_ns(recorder.entries(), "/baseline");
+  const double off = entry_ns(recorder.entries(), "/disabled");
+  const double on = entry_ns(recorder.entries(), "/enabled");
+  if (base > 0.0 && off > 0.0 && on > 0.0) {
+    std::printf("bench_perf_obs: disabled overhead %+.2f%%  enabled overhead %+.2f%%"
+                "  (budget: <=2%% / <=15%%)\n",
+                (off / base - 1.0) * 100.0, (on / base - 1.0) * 100.0);
+  }
+  std::printf("bench_perf_obs: wrote %s (%zu scenarios)\n", out.c_str(),
+              recorder.entries().size());
+  return 0;
+}

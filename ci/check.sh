@@ -1,36 +1,53 @@
 #!/usr/bin/env bash
 # Full local CI gate: tier-1 build+tests, the archlint determinism-contract
-# scan, a -Werror warning wall, an ASan+UBSan instrumented test pass, and a
-# perf smoke run that emits the BENCH_flowsim.json trajectory artifact.
+# scan, a -Werror warning wall, an ASan+UBSan instrumented test pass, a perf
+# smoke run that emits the BENCH_flowsim.json / BENCH_obs.json trajectory
+# artifacts, and an observability stage that validates an instrumented run's
+# trace with tools/tracecat.
 # Run from the repository root:  ./ci/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/5] tier-1: default build + full test suite =="
+echo "== [1/6] tier-1: default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [2/5] archlint: determinism-contract static analysis =="
-./build/tools/archlint/archlint --root . src tests bench examples tools/benchjson
+echo "== [2/6] archlint: determinism-contract static analysis =="
+./build/tools/archlint/archlint --root . src tests bench examples tools/benchjson tools/tracecat
 
-echo "== [3/5] warning wall: -Wall -Wextra -Werror =="
+echo "== [3/6] warning wall: -Wall -Wextra -Werror =="
 cmake -B build-werror -S . -DARCHIPELAGO_WERROR=ON >/dev/null
 cmake --build build-werror -j "${JOBS}"
 
-echo "== [4/5] sanitizers: ASan+UBSan instrumented test suite =="
+echo "== [4/6] sanitizers: ASan+UBSan instrumented test suite =="
 cmake -B build-asan -S . -DARCHIPELAGO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "== [5/5] perf smoke: flowsim hot-path benchmark trajectory =="
+echo "== [5/6] perf smoke: flowsim + observability overhead trajectories =="
 # Short-run smoke (not a statistically stable measurement): proves the
-# benchmark binary works end to end and regenerates BENCH_flowsim.json.
-# Note: this google-benchmark takes a bare double (no "s" suffix).
+# benchmark binaries work end to end and regenerates the BENCH_*.json
+# artifacts.  Note: these google-benchmarks take a bare double (no "s"
+# suffix).
 BENCHJSON_OUT=BENCH_flowsim.json ./build/bench/bench_perf_flowsim \
   --benchmark_min_time=0.05
 ./build/tools/benchjson/benchjson_check BENCH_flowsim.json
+BENCHJSON_OUT=BENCH_obs.json ./build/bench/bench_perf_obs \
+  --benchmark_min_time=0.05
+./build/tools/benchjson/benchjson_check BENCH_obs.json
+
+echo "== [6/6] obs: instrumented run + tracecat artifact validation =="
+# Run the instrumented quickstart, then hold its exported artifacts to the
+# exporter's invariants: well-formed strict JSON, balanced spans, a valid
+# metrics snapshot.  Any violation is a hard failure.
+OBS_DIR=build/obs-ci
+mkdir -p "${OBS_DIR}"
+./build/examples/quickstart "${OBS_DIR}/trace.json" "${OBS_DIR}/metrics.json" >/dev/null
+./build/tools/tracecat/tracecat --check --metrics "${OBS_DIR}/metrics.json" \
+  "${OBS_DIR}/trace.json"
+./build/tools/tracecat/tracecat --top 5 "${OBS_DIR}/trace.json"
 
 echo "All checks passed."

@@ -59,6 +59,23 @@ void System::pin_silo(TaskKind kind, int site) {
   silo_of_kind_[static_cast<std::size_t>(kind)] = site;
 }
 
+void System::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    otrack_ = trace_->track("core");
+    sid_task_ = trace_->intern("core.task");
+    sid_stage_ = trace_->intern("core.stage");
+  }
+  if (metrics != nullptr) {
+    m_placed_ = &metrics->counter("core.tasks_placed");
+    m_unplaced_ = &metrics->counter("core.tasks_unplaced");
+    h_runtime_ = &metrics->histogram("core.task_runtime_ns");
+  } else {
+    m_placed_ = m_unplaced_ = nullptr;
+    h_runtime_ = nullptr;
+  }
+}
+
 double System::transfer_ns(int from, int to, double gb) const {
   return fed::wan_transfer_ns(sites_[static_cast<std::size_t>(from)],
                               sites_[static_cast<std::size_t>(to)], gb);
@@ -173,10 +190,20 @@ WorkflowResult System::run(const Workflow& wf, PlacementPolicy policy) {
       // dependency as satisfied at `ready` (degraded but non-blocking).
       out.site = -1;
       out.start = out.finish = ready;
+      if (m_unplaced_ != nullptr) m_unplaced_->inc();
       continue;
     }
 
     // Commit.
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->complete_span(otrack_, sid_task_, best.start, best.finish);
+      if (best.staged_gb > 0.0)
+        trace_->instant(otrack_, sid_stage_, best.start, best.staged_gb);
+    }
+    if (m_placed_ != nullptr) {
+      m_placed_->inc();
+      h_runtime_->record(static_cast<double>(best.finish - best.start));
+    }
     pool.acquire(best.site, best.partition, task.job.nodes, best.finish);
     out.site = best.site;
     out.partition = best.partition;

@@ -7,6 +7,8 @@
 #include "core/workflow.hpp"
 #include "data/catalog.hpp"
 #include "fed/site.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 
 /// \file system.hpp
@@ -65,6 +67,13 @@ class System {
   /// default to site 0.
   void pin_silo(TaskKind kind, int site);
 
+  /// Attaches observability sinks (both optional; nullptr detaches).  Each
+  /// placed task becomes a "core.task" complete span (start→finish) on the
+  /// "core" track, with a "core.stage" instant (payload = GB staged) when
+  /// inputs moved over the WAN.  Metered: tasks placed/unplaced and a
+  /// task-runtime histogram.  Passive: results are identical either way.
+  void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
+
   /// Executes a workflow: tasks run in dependency order; each task is placed
   /// per \p policy, inputs are staged through the catalog's cheapest governed
   /// replica, outputs are registered as new datasets at the execution site.
@@ -79,6 +88,15 @@ class System {
   data::Catalog catalog_;
   sim::Rng rng_;
   std::vector<int> silo_of_kind_;
+
+  // Observability (optional, passive; see set_observer).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId otrack_ = 0;
+  obs::StrId sid_task_ = 0;
+  obs::StrId sid_stage_ = 0;
+  obs::Counter* m_placed_ = nullptr;
+  obs::Counter* m_unplaced_ = nullptr;
+  obs::Histogram* h_runtime_ = nullptr;
 };
 
 }  // namespace hpc::core

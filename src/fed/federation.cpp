@@ -63,6 +63,22 @@ void FederationSim::submit_all(const std::vector<sched::Job>& jobs, int home_sit
   for (const sched::Job& j : jobs) submit(j, home_site);
 }
 
+void FederationSim::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    otrack_ = trace_->track("fed");
+    sid_burst_ = trace_->intern("fed.burst");
+    sid_reroute_ = trace_->intern("fed.reroute");
+    sid_failure_ = trace_->intern("fed.site_failure");
+  }
+  if (metrics != nullptr) {
+    m_burst_ = &metrics->counter("fed.jobs_routed_remote");
+    m_reroute_ = &metrics->counter("fed.jobs_rerouted");
+  } else {
+    m_burst_ = m_reroute_ = nullptr;
+  }
+}
+
 double FederationSim::transfer_penalty(const Site& from, const Site& to) const {
   return from.admin_domain == to.admin_domain ? 1.0 : cfg_.cross_domain_transfer_penalty;
 }
@@ -272,6 +288,11 @@ FederationResult FederationSim::run() {
       const int sid = choose_site(fj, now, running, queues);
       if (sid < 0) continue;  // counted as dropped in the final aggregation
       dest[static_cast<std::size_t>(ji)] = sid;
+      if (sid != fj.home_site) {
+        if (trace_ != nullptr && trace_->enabled())
+          trace_->instant(otrack_, sid_burst_, now, static_cast<double>(sid));
+        if (m_burst_ != nullptr) m_burst_->inc();
+      }
       const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
       const Site& from = sites_[static_cast<std::size_t>(data_site)];
       const Site& to = sites_[static_cast<std::size_t>(sid)];
@@ -319,6 +340,8 @@ FederationResult FederationSim::run() {
       failure_pending = false;
       const auto dead_site = static_cast<std::size_t>(cfg_.fail_site);
       dead_[dead_site] = true;
+      if (trace_ != nullptr && trace_->enabled())
+        trace_->instant(otrack_, sid_failure_, now, static_cast<double>(cfg_.fail_site));
       std::vector<int> displaced;
       for (std::size_t i = 0; i < running.size();) {
         if (running[i].site == cfg_.fail_site) {
@@ -341,6 +364,9 @@ FederationResult FederationSim::run() {
         const int sid = choose_site(fj, now, running, queues);
         if (sid < 0) continue;  // nowhere left: dropped
         ++result.jobs_rerouted;
+        if (trace_ != nullptr && trace_->enabled())
+          trace_->instant(otrack_, sid_reroute_, now, static_cast<double>(sid));
+        if (m_reroute_ != nullptr) m_reroute_->inc();
         const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
         const Site& from = sites_[static_cast<std::size_t>(data_site)];
         const Site& to = sites_[static_cast<std::size_t>(sid)];

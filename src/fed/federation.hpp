@@ -6,6 +6,8 @@
 
 #include "fed/accounting.hpp"
 #include "fed/site.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
 #include "sim/rng.hpp"
@@ -99,6 +101,14 @@ class FederationSim {
 
   const std::vector<Site>& sites() const noexcept { return sites_; }
 
+  /// Attaches observability sinks (both optional; nullptr detaches).  The
+  /// meta-scheduler's decisions become instants on the "fed" track:
+  /// "fed.burst" when a job is routed off its home site (payload = chosen
+  /// site), "fed.site_failure" when a site goes dark, and "fed.reroute" per
+  /// displaced job that found a new home.  Metered: remote routes and
+  /// reroutes.  Passive: results are identical either way.
+  void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
+
   FederationResult run();
 
  private:
@@ -128,6 +138,15 @@ class FederationSim {
   sim::Rng rng_;
   std::vector<FedJob> jobs_;
   std::vector<bool> dead_;  ///< per-site failure state during run()
+
+  // Observability (optional, passive; see set_observer).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId otrack_ = 0;
+  obs::StrId sid_burst_ = 0;
+  obs::StrId sid_reroute_ = 0;
+  obs::StrId sid_failure_ = 0;
+  obs::Counter* m_burst_ = nullptr;
+  obs::Counter* m_reroute_ = nullptr;
 };
 
 }  // namespace hpc::fed

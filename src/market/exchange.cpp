@@ -38,6 +38,23 @@ int Exchange::add_agent(std::unique_ptr<Agent> agent) {
   return id;
 }
 
+void Exchange::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    otrack_ = trace_->track("market");
+    sid_match_ = trace_->intern("market.match");
+    sid_clear_ = trace_->intern("market.clear");
+    sid_volume_ = trace_->intern("market.volume");
+  }
+  if (metrics != nullptr) {
+    m_trades_ = &metrics->counter("market.trades_matched");
+    h_price_ = &metrics->histogram("market.trade_price");
+  } else {
+    m_trades_ = nullptr;
+    h_price_ = nullptr;
+  }
+}
+
 void Exchange::run_rounds(int rounds) {
   for (int r = 0; r < rounds; ++r) {
     // Random activation order each round (no structural advantage).
@@ -46,7 +63,10 @@ void Exchange::run_rounds(int rounds) {
     std::shuffle(order.begin(), order.end(), rng_.engine());
     for (const int id : order) agents_[static_cast<std::size_t>(id)]->step(*this, rng_);
 
-    // Settle the round's fills.
+    // Settle the round's fills.  Logical time for trace events is the
+    // cumulative round index (the exchange has no simulated clock).
+    const auto round_ts = static_cast<sim::TimeNs>(round_prices_.size());
+    const bool tracing = trace_ != nullptr && trace_->enabled();
     const std::vector<Trade> trades = book_.take_trades();
     double volume = 0.0;
     double notional = 0.0;
@@ -56,12 +76,21 @@ void Exchange::run_rounds(int rounds) {
       volume += t.quantity;
       notional += t.quantity * t.price;
       all_trades_.push_back(t);
+      if (tracing) trace_->instant(otrack_, sid_match_, round_ts, t.price);
+      if (m_trades_ != nullptr) {
+        m_trades_->inc();
+        h_price_->record(t.price);
+      }
     }
     total_volume_ += volume;
     const double price = volume > 0.0 ? notional / volume
                                       : (round_prices_.empty() ? 0.0 : round_prices_.back());
     round_prices_.push_back(price);
     round_volumes_.push_back(volume);
+    if (tracing) {
+      trace_->instant(otrack_, sid_clear_, round_ts, price);
+      trace_->counter(otrack_, sid_volume_, round_ts, volume);
+    }
   }
 }
 

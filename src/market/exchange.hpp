@@ -5,6 +5,8 @@
 
 #include "market/agents.hpp"
 #include "market/orderbook.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -44,6 +46,15 @@ class Exchange {
   Agent& agent(int id) { return *agents_[static_cast<std::size_t>(id)]; }
   std::size_t agent_count() const noexcept { return agents_.size(); }
 
+  /// Attaches observability sinks (both optional; nullptr detaches).  The
+  /// exchange has no simulated clock, so the cumulative round index serves
+  /// as the logical timestamp on the "market" track: each fill becomes a
+  /// "market.match" instant (payload = trade price) and each round a
+  /// "market.clear" instant (payload = volume-weighted round price) plus a
+  /// volume counter sample.  Metered: trades matched and a trade-price
+  /// histogram.  Passive: results are identical either way.
+  void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
+
   /// Runs \p rounds trading rounds: each round steps agents in a random
   /// order, then routes fills to both counterparties.
   void run_rounds(int rounds);
@@ -75,6 +86,15 @@ class Exchange {
   std::vector<Trade> all_trades_;
   double total_volume_ = 0.0;
   sim::Rng rng_;
+
+  // Observability (optional, passive; see set_observer).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId otrack_ = 0;
+  obs::StrId sid_match_ = 0;
+  obs::StrId sid_clear_ = 0;
+  obs::StrId sid_volume_ = 0;
+  obs::Counter* m_trades_ = nullptr;
+  obs::Histogram* h_price_ = nullptr;
 };
 
 }  // namespace hpc::market

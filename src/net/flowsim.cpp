@@ -31,6 +31,23 @@ FlowSim::FlowSim(const Network& net, CongestionControl cc, Routing routing,
 
 void FlowSim::add_flow(const FlowSpec& spec) { pending_.push_back(spec); }
 
+void FlowSim::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    otrack_ = trace_->track("net.flowsim");
+    sid_solve_ = trace_->intern("net.flowsim.solve");
+    sid_active_ = trace_->intern("net.flowsim.active_flows");
+    sid_backpressure_ = trace_->intern("net.flowsim.backpressure");
+  }
+  if (metrics != nullptr) {
+    m_solves_ = &metrics->counter("net.flowsim.solver_invocations");
+    m_skips_ = &metrics->counter("net.flowsim.recompute_skips");
+    m_backpressure_ = &metrics->counter("net.flowsim.backpressure_events");
+  } else {
+    m_solves_ = m_skips_ = m_backpressure_ = nullptr;
+  }
+}
+
 int FlowSim::path_load(const std::vector<int>& path) const {
   int worst = 0;
   for (const int lid : path)
@@ -88,6 +105,7 @@ void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
 
   maxmin_rates(paths_scratch_, capacity_, weights_scratch_, nullptr, scratch_, rates_);
 
+  last_congesting_ = 0;
   if (cc_ == CongestionControl::kNone && !active.empty()) {
     // Congestion-tree model: a flow whose fair-share bottleneck is tighter
     // than its injection link keeps injecting at the injection share; the
@@ -112,6 +130,7 @@ void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
       const double excess = std::max(0.0, inject - rates_[f]);
       caps_[f] = rates_[f];  // congesting flows still drain at their bottleneck
       if (excess <= 1e-12) continue;
+      ++last_congesting_;
       // The queue sits in front of the bottleneck (the flow's last
       // oversubscribed hop — for incast, the egress).  That link itself keeps
       // draining at full rate; every hop upstream of it carries the standing
@@ -188,8 +207,26 @@ FlowRunSummary FlowSim::run() {
     // and the survivors' relative order is unchanged — exactly the events
     // the dirty flag tracks below.
     if (rates_dirty_) {
+      const bool tracing = trace_ != nullptr && trace_->enabled();
+      const auto ts = static_cast<sim::TimeNs>(now);
+      if (tracing) {
+        trace_->counter(otrack_, sid_active_, ts, static_cast<double>(active.size()));
+        trace_->begin_span(otrack_, sid_solve_, ts);
+      }
       compute_rates(active);
+      if (tracing) {
+        trace_->end_span(otrack_, sid_solve_, ts);
+        if (last_congesting_ > 0)
+          trace_->instant(otrack_, sid_backpressure_, ts,
+                          static_cast<double>(last_congesting_));
+      }
+      if (m_solves_ != nullptr) {
+        m_solves_->inc();
+        if (last_congesting_ > 0) m_backpressure_->inc();
+      }
       rates_dirty_ = false;
+    } else if (m_skips_ != nullptr) {
+      m_skips_->inc();
     }
 
     const double next_completion =

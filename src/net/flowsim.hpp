@@ -5,6 +5,8 @@
 
 #include "net/maxmin.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -92,6 +94,15 @@ class FlowSim {
   /// Queues a flow for simulation.
   void add_flow(const FlowSpec& spec);
 
+  /// Attaches observability sinks (both optional; pass nullptr to detach).
+  /// Traced: max-min solver invocations as "net.flowsim.solve" spans, the
+  /// active-flow count as a counter series, and congestion-tree backpressure
+  /// instants (payload = number of congesting flows).  Metered: solver
+  /// invocations, recompute-skips, backpressure events.  Observation is
+  /// passive — it never touches the RNG or the solver, so results are
+  /// bit-identical with and without an observer attached.
+  void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
+
   /// Runs to completion of all flows and returns per-flow results.
   FlowRunSummary run();
 
@@ -142,6 +153,19 @@ class FlowSim {
   bool rates_dirty_ = true;
   bool has_inf_rate_ = false;       ///< a zero-hop flow is active (completes now)
   double min_completion_dt_ = 0.0;  ///< min remaining/rate over active flows
+
+  // Observability (all null/zero until set_observer; one branch per solve
+  // decision when detached, so the hot path stays within the bench_perf_obs
+  // disabled-overhead budget).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId otrack_ = 0;
+  obs::StrId sid_solve_ = 0;
+  obs::StrId sid_active_ = 0;
+  obs::StrId sid_backpressure_ = 0;
+  obs::Counter* m_solves_ = nullptr;
+  obs::Counter* m_skips_ = nullptr;
+  obs::Counter* m_backpressure_ = nullptr;
+  std::uint64_t last_congesting_ = 0;  ///< congesting flows in the last solve
 };
 
 }  // namespace hpc::net

@@ -1,0 +1,247 @@
+#include "obs/jsonlite.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hpc::obs::jsonlite {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  std::string s(buf);
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string fmt_fixed3(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+/// Strict recursive-descent parser.  Depth-limited so a hostile or corrupted
+/// file cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse_document(Value& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, 0, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document", error);
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool parse_value(Value& out, int depth, std::string& error) {
+    if (depth > kMaxDepth) return fail("nesting too deep", error);
+    if (pos_ >= text_.size()) return fail("unexpected end of input", error);
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth, error);
+    if (c == '[') return parse_array(out, depth, error);
+    if (c == '"') {
+      out.type = Value::Type::kString;
+      return parse_string(out.string, error);
+    }
+    if (match_word("true")) {
+      out.type = Value::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match_word("false")) {
+      out.type = Value::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match_word("null")) {
+      out.type = Value::Type::kNull;
+      return true;
+    }
+    out.type = Value::Type::kNumber;
+    return parse_number(out.number, error);
+  }
+
+  bool parse_object(Value& out, int depth, std::string& error) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key, error)) return fail("expected object key", error);
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key", error);
+      skip_ws();
+      Value v;
+      if (!parse_value(v, depth + 1, error)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}' in object", error);
+    }
+  }
+
+  bool parse_array(Value& out, int depth, std::string& error) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v, depth + 1, error)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']' in array", error);
+    }
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    if (!consume('"')) return fail("expected string", error);
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape", error);
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape", error);
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape digit", error);
+            }
+            // UTF-8 encode (basic multilingual plane; surrogate pairs are not
+            // emitted by any obs writer, so reject them as malformed).
+            if (code >= 0xD800 && code <= 0xDFFF)
+              return fail("surrogate \\u escape unsupported", error);
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape", error);
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string", error);
+  }
+
+  bool parse_number(double& out, std::string& error) {
+    const std::size_t start = pos_;
+    auto is_num_char = [](char c) {
+      return std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '+' ||
+             c == '.' || c == 'e' || c == 'E';
+    };
+    while (pos_ < text_.size() && is_num_char(text_[pos_])) ++pos_;
+    if (pos_ == start) return fail("expected a value", error);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number", error);
+    return true;
+  }
+
+  bool match_word(std::string_view w) {
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool fail(const std::string& msg, std::string& error) {
+    error = msg + " (offset " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string& error) {
+  Parser p(text);
+  return p.parse_document(out, error);
+}
+
+}  // namespace hpc::obs::jsonlite

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file jsonlite.hpp
+/// Minimal deterministic JSON support for the observability subsystem.
+///
+/// Two halves, both deliberately tiny:
+///
+///  - `escape()` / `fmt_double()`: the emission conventions shared with the
+///    tools/benchjson baseline writer.  Every obs artifact (chrome trace,
+///    metrics snapshot) is serialized through these so identical inputs
+///    produce byte-identical files — the property the golden determinism
+///    tests and the same-seed acceptance criterion pin.
+///  - `Value` + `parse()`: a strict recursive-descent DOM parser used by the
+///    tracecat validator.  Like benchjson's parser it rejects anything
+///    malformed (truncation, bad escapes, trailing garbage) instead of
+///    guessing, so a corrupted trace artifact fails CI rather than passing
+///    silently.  Object keys keep insertion order; no iteration-order-
+///    unstable containers are involved (determinism rule D2).
+namespace hpc::obs::jsonlite {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters; same convention as tools/benchjson plus
+/// \uXXXX for other control bytes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+/// Shortest-ish deterministic rendering of a double ("%.6g", with "-0"
+/// normalized to "0" and non-finite values clamped to 0 so emitted documents
+/// are always valid JSON).
+[[nodiscard]] std::string fmt_double(double v);
+
+/// Fixed three-decimal rendering ("%.3f") — used for trace timestamps, where
+/// sub-nanosecond resolution of a microsecond field must round-trip exactly.
+[[nodiscard]] std::string fmt_fixed3(double v);
+
+/// One parsed JSON value.  A tagged struct rather than a variant keeps the
+/// parser and its consumers boring and easy to audit.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order
+
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+
+  /// Member lookup on an object (nullptr if absent or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+};
+
+/// Parses \p text into \p out.  Returns true on success; on failure fills
+/// \p error with a message carrying the byte offset of the problem.
+bool parse(std::string_view text, Value& out, std::string& error);
+
+}  // namespace hpc::obs::jsonlite

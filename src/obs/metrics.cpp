@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/jsonlite.hpp"
+
+namespace hpc::obs {
+
+void Gauge::set(double v) noexcept {
+  value_ = v;
+  if (samples_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++samples_;
+}
+
+void Histogram::record(double value) {
+  bins_.record(value);
+  stats_.push(value);
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name, int bins_per_decade) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(bins_per_decade)).first->second;
+}
+
+std::string MetricRegistry::snapshot_json() const {
+  std::string out = "{\n  \"schema\": \"archipelago-metrics-v1\",\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + jsonlite::escape(name) +
+           "\", \"value\": " + std::to_string(c.value()) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + jsonlite::escape(name) +
+           "\", \"value\": " + jsonlite::fmt_double(g.value()) +
+           ", \"min\": " + jsonlite::fmt_double(g.min()) +
+           ", \"max\": " + jsonlite::fmt_double(g.max()) +
+           ", \"samples\": " + std::to_string(g.samples()) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + jsonlite::escape(name) +
+           "\", \"count\": " + std::to_string(h.count()) +
+           ", \"mean\": " + jsonlite::fmt_double(h.mean()) +
+           ", \"min\": " + jsonlite::fmt_double(h.count() ? h.min() : 0.0) +
+           ", \"max\": " + jsonlite::fmt_double(h.count() ? h.max() : 0.0) +
+           ", \"p50\": " + jsonlite::fmt_double(h.percentile(50.0)) +
+           ", \"p90\": " + jsonlite::fmt_double(h.percentile(90.0)) +
+           ", \"p99\": " + jsonlite::fmt_double(h.percentile(99.0)) +
+           ", \"p999\": " + jsonlite::fmt_double(h.percentile(99.9)) + "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool MetricRegistry::write_snapshot(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string text = snapshot_json();
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(f);
+}
+
+namespace {
+
+/// Checks one section: an array of objects, each with a unique string "name"
+/// and finite numeric fields.  Returns "" or an error.
+std::string check_section(const jsonlite::Value& root, std::string_view section) {
+  const jsonlite::Value* arr = root.find(section);
+  if (arr == nullptr || !arr->is_array())
+    return "missing '" + std::string(section) + "' array";
+  std::string prev;
+  for (const jsonlite::Value& entry : arr->array) {
+    if (!entry.is_object())
+      return std::string(section) + " entry is not an object";
+    const jsonlite::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty())
+      return std::string(section) + " entry missing a name";
+    if (!prev.empty() && !(prev < name->string))
+      return std::string(section) + " names not sorted/unique ('" + name->string + "')";
+    prev = name->string;
+    for (const auto& [key, field] : entry.object) {
+      if (key == "name") continue;
+      if (!field.is_number())
+        return "'" + name->string + "': field '" + key + "' is not a number";
+      if (!std::isfinite(field.number))
+        return "'" + name->string + "': field '" + key + "' is not finite";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string validate_snapshot_text(std::string_view text) {
+  jsonlite::Value root;
+  std::string error;
+  if (!jsonlite::parse(text, root, error)) return "malformed JSON: " + error;
+  if (!root.is_object()) return "top level is not an object";
+  const jsonlite::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) return "missing schema field";
+  if (schema->string != "archipelago-metrics-v1")
+    return "unknown schema '" + schema->string + "'";
+  for (const std::string_view section : {std::string_view("counters"),
+                                         std::string_view("gauges"),
+                                         std::string_view("histograms")}) {
+    std::string err = check_section(root, section);
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+std::string validate_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open '" + path + "'";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return validate_snapshot_text(buf.str());
+}
+
+}  // namespace hpc::obs

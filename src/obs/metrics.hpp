@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/stats.hpp"
+
+/// \file metrics.hpp
+/// `hpc::obs::MetricRegistry` — namespaced counters, gauges, and log-binned
+/// histograms aggregated over a run, with a deterministic JSON snapshot.
+///
+/// Where the TraceRecorder answers "what happened when", the registry
+/// answers "how much, overall": monotonic counters (events, matches,
+/// skips), gauges (last/min/max of a level such as queue depth), and
+/// bounded-memory log-binned histograms (reusing `sim::LogHistogram`, with a
+/// `sim::RunningStats` alongside for exact mean/min/max) for latency-shaped
+/// distributions where the paper cares about tails (p50/p90/p99/p999).
+///
+/// Names are dot-namespaced by convention ("net.flowsim.solver_invocations").
+/// Instruments live in `std::map`s, so references returned by the accessors
+/// are stable for the registry's lifetime — instrumented modules resolve
+/// them once at attach time and update through pointers on the hot path —
+/// and snapshot iteration is sorted and deterministic (rule D2: no
+/// iteration-order-unstable containers).
+///
+/// The snapshot follows the tools/benchjson emitter conventions (same
+/// escaping, strict fixed schema, schema-tagged):
+///
+///     {
+///       "schema": "archipelago-metrics-v1",
+///       "counters":   [{"name": "...", "value": 123}, ...],
+///       "gauges":     [{"name": "...", "value": v, "min": m, "max": M,
+///                       "samples": n}, ...],
+///       "histograms": [{"name": "...", "count": n, "mean": ..., "min": ...,
+///                       "max": ..., "p50": ..., "p90": ..., "p99": ...,
+///                       "p999": ...}, ...]
+///     }
+///
+/// `validate_snapshot_file` re-parses an emitted file and checks that
+/// schema, mirroring `benchjson::validate_file` for BENCH_*.json baselines.
+namespace hpc::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  void inc() noexcept { ++value_; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge with min/max/sample tracking.
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double min() const noexcept { return samples_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return samples_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  double value_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Log-binned histogram (bounded memory) plus exact streaming moments.
+class Histogram {
+ public:
+  explicit Histogram(int bins_per_decade = 20) : bins_(bins_per_decade) {}
+
+  void record(double value);
+  [[nodiscard]] std::uint64_t count() const noexcept { return bins_.count(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  /// Approximate percentile (log-binned; relative error bounded by the
+  /// per-decade resolution).
+  [[nodiscard]] double percentile(double p) const { return bins_.percentile(p); }
+
+ private:
+  sim::LogHistogram bins_;
+  sim::RunningStats stats_;
+};
+
+/// Deterministic registry of named instruments.
+class MetricRegistry {
+ public:
+  /// Finds or creates; the returned reference is stable for the registry's
+  /// lifetime (instruments are never removed).
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name, int bins_per_decade = 20);
+
+  [[nodiscard]] std::size_t counter_count() const noexcept { return counters_.size(); }
+  [[nodiscard]] std::size_t gauge_count() const noexcept { return gauges_.size(); }
+  [[nodiscard]] std::size_t histogram_count() const noexcept { return histograms_.size(); }
+
+  /// Serializes the archipelago-metrics-v1 snapshot.  Identical registry
+  /// contents produce byte-identical strings (names iterate sorted).
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Writes snapshot_json() to \p path.  Returns true on success.
+  [[nodiscard]] bool write_snapshot(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Validates an archipelago-metrics-v1 file: well-formed JSON, right schema
+/// tag, all three sections present as arrays of named entries with finite
+/// values.  Returns an empty string when valid, else a human-readable error.
+[[nodiscard]] std::string validate_snapshot_file(const std::string& path);
+
+/// Same, over in-memory text (used by tests and validate_snapshot_file).
+[[nodiscard]] std::string validate_snapshot_text(std::string_view text);
+
+}  // namespace hpc::obs

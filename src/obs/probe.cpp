@@ -1,0 +1,39 @@
+#include "obs/probe.hpp"
+
+namespace hpc::obs {
+
+SimulatorProbe::SimulatorProbe(TraceRecorder* trace, MetricRegistry* metrics)
+    : trace_(trace), metrics_(metrics) {
+  track_ = trace_->track("sim");
+  dispatch_ = trace_->intern("sim.dispatch");
+  queue_depth_ = trace_->intern("sim.queue_depth");
+  digest_mark_ = trace_->intern("sim.digest");
+  if (metrics_ != nullptr) {
+    events_ = &metrics_->counter("sim.events_executed");
+    depth_gauge_ = &metrics_->gauge("sim.queue_depth");
+  }
+}
+
+void SimulatorProbe::on_event(sim::TimeNs at, std::uint64_t /*seq*/,
+                              std::size_t pending) {
+  trace_->begin_span(track_, dispatch_, at);
+  trace_->counter(track_, queue_depth_, at, static_cast<double>(pending));
+  if (events_ != nullptr) events_->inc();
+  if (depth_gauge_ != nullptr) depth_gauge_->set(static_cast<double>(pending));
+}
+
+void SimulatorProbe::on_event_done(sim::TimeNs at, std::uint64_t /*seq*/) {
+  trace_->end_span(track_, dispatch_, at);
+}
+
+void SimulatorProbe::on_checkpoint(sim::TimeNs at, std::uint64_t digest,
+                                   std::uint64_t /*executed*/) {
+  last_digest_ = digest;
+  ++checkpoints_;
+  // The instant's payload carries the low 32 bits exactly (doubles hold 53
+  // mantissa bits); the full digest is available via last_digest().
+  trace_->instant(track_, digest_mark_, at,
+                  static_cast<double>(digest & 0xffffffffULL));
+}
+
+}  // namespace hpc::obs

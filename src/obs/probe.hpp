@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+/// \file probe.hpp
+/// `hpc::obs::SimulatorProbe` — the observability adapter for the
+/// discrete-event kernel.
+///
+/// Attach with `sim.set_probe(&probe, checkpoint_interval)`.  Each dispatched
+/// event becomes a scoped "sim.dispatch" span on the "sim" track; the queue
+/// depth is sampled as a counter series and aggregated into a gauge; and
+/// every checkpoint the kernel's running FNV-1a event-stream digest is
+/// recorded as a "sim.digest" instant whose payload carries the digest's low
+/// 32 bits exactly (a double holds 32 bits losslessly; the full 64-bit value
+/// is exposed via `last_digest()` for the determinism tests).  The probe is
+/// strictly passive: it never schedules events, never draws randomness, and
+/// never reads a wall clock, so attaching it cannot perturb the simulation
+/// it observes — `tests/test_obs_golden.cpp` pins digest equality between
+/// probed and unprobed runs.
+namespace hpc::obs {
+
+/// Translates sim::SimProbe callbacks into trace events and metrics.
+class SimulatorProbe final : public sim::SimProbe {
+ public:
+  /// \param trace    required; records only while trace->enabled().
+  /// \param metrics  optional aggregate registry (may be nullptr).
+  SimulatorProbe(TraceRecorder* trace, MetricRegistry* metrics);
+
+  void on_event(sim::TimeNs at, std::uint64_t seq, std::size_t pending) override;
+  void on_event_done(sim::TimeNs at, std::uint64_t seq) override;
+  void on_checkpoint(sim::TimeNs at, std::uint64_t digest,
+                     std::uint64_t executed) override;
+
+  /// Digest observed at the most recent checkpoint (0 before the first).
+  [[nodiscard]] std::uint64_t last_digest() const noexcept { return last_digest_; }
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept { return checkpoints_; }
+
+ private:
+  TraceRecorder* trace_;
+  MetricRegistry* metrics_;
+  TrackId track_ = 0;
+  StrId dispatch_ = 0;
+  StrId queue_depth_ = 0;
+  StrId digest_mark_ = 0;
+  Counter* events_ = nullptr;
+  Gauge* depth_gauge_ = nullptr;
+  std::uint64_t last_digest_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace hpc::obs

@@ -1,0 +1,196 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/jsonlite.hpp"
+
+namespace hpc::obs {
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+StrId TraceRecorder::intern(std::string_view s) {
+  const auto it = name_ids_.find(s);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<StrId>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(std::string(s), id);
+  return id;
+}
+
+TrackId TraceRecorder::track(std::string_view name) {
+  const auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  const auto id = static_cast<TrackId>(tracks_.size());
+  tracks_.emplace_back(name);
+  track_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void TraceRecorder::push(const TraceEvent& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_[write_] = e;
+  write_ = (write_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceRecorder::begin_span(TrackId t, StrId name, sim::TimeNs ts) {
+  if (!enabled_) return;
+  push(TraceEvent{ts, 0, 0.0, name, t, EventKind::kSpanBegin});
+}
+
+void TraceRecorder::end_span(TrackId t, StrId name, sim::TimeNs ts) {
+  if (!enabled_) return;
+  push(TraceEvent{ts, 0, 0.0, name, t, EventKind::kSpanEnd});
+}
+
+void TraceRecorder::complete_span(TrackId t, StrId name, sim::TimeNs begin,
+                                  sim::TimeNs end) {
+  if (!enabled_) return;
+  if (end < begin) end = begin;
+  push(TraceEvent{end, begin, 0.0, name, t, EventKind::kComplete});
+}
+
+void TraceRecorder::instant(TrackId t, StrId name, sim::TimeNs ts, double payload) {
+  if (!enabled_) return;
+  push(TraceEvent{ts, 0, payload, name, t, EventKind::kInstant});
+}
+
+void TraceRecorder::counter(TrackId t, StrId name, sim::TimeNs ts, double value) {
+  if (!enabled_) return;
+  push(TraceEvent{ts, 0, value, name, t, EventKind::kCounter});
+}
+
+const TraceEvent& TraceRecorder::event(std::size_t i) const {
+  // Oldest-first view: once wrapped, the oldest retained slot is write_.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : write_;
+  return ring_[(start + i) % ring_.size()];
+}
+
+std::string_view TraceRecorder::name(StrId id) const {
+  return id < names_.size() ? std::string_view(names_[id]) : std::string_view();
+}
+
+std::string_view TraceRecorder::track_name(TrackId t) const {
+  return t < tracks_.size() ? std::string_view(tracks_[t]) : std::string_view();
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  write_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+/// Chrome "ts"/"dur" fields are microseconds; emit at fixed nanosecond
+/// resolution so values round-trip exactly and deterministically.
+std::string micros(sim::TimeNs ns) {
+  return jsonlite::fmt_fixed3(static_cast<double>(ns) / 1e3);
+}
+
+}  // namespace
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::string out;
+  out.reserve(128 + ring_.size() * 96);
+  std::uint64_t truncated = 0;  // span ends whose begin was evicted
+
+  // First pass: per-track span-stack repair.  Scoped spans are strictly
+  // nested per track, so in ring order an end on an empty stack means its
+  // begin fell off the ring; it is skipped so the exported stream always
+  // balances.  Whatever remains on a stack afterwards is still open at
+  // export and gets closed (by name, innermost first) at the last timestamp.
+  std::vector<std::vector<StrId>> open(tracks_.size());
+  std::vector<char> keep(ring_.size(), 1);
+  sim::TimeNs last_ts = 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = event(i);
+    last_ts = std::max(last_ts, e.ts);
+    if (e.kind == EventKind::kSpanBegin) {
+      open[e.track].push_back(e.name);
+    } else if (e.kind == EventKind::kSpanEnd) {
+      if (!open[e.track].empty()) {
+        open[e.track].pop_back();
+      } else {
+        keep[i] = 0;
+        ++truncated;
+      }
+    }
+  }
+
+  out += "{\n\"otherData\": {\"schema\": \"archipelago-trace-v1\", \"dropped\": ";
+  out += std::to_string(dropped_);
+  out += ", \"truncated_spans\": ";
+  out += std::to_string(truncated);
+  out += "},\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [";
+
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += line;
+  };
+
+  // Track (pseudo-thread) names so viewers label the substrates.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+         std::to_string(t) + ", \"args\": {\"name\": \"" + jsonlite::escape(tracks_[t]) +
+         "\"}}");
+  }
+
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (keep[i] == 0) continue;
+    const TraceEvent& e = event(i);
+    const std::string head = "{\"name\": \"" + jsonlite::escape(name(e.name)) +
+                             "\", \"cat\": \"" + jsonlite::escape(track_name(e.track)) +
+                             "\", \"pid\": 1, \"tid\": " + std::to_string(e.track);
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        emit(head + ", \"ph\": \"B\", \"ts\": " + micros(e.ts) + "}");
+        break;
+      case EventKind::kSpanEnd:
+        emit(head + ", \"ph\": \"E\", \"ts\": " + micros(e.ts) + "}");
+        break;
+      case EventKind::kComplete:
+        emit(head + ", \"ph\": \"X\", \"ts\": " + micros(e.begin) +
+             ", \"dur\": " + micros(e.ts - e.begin) + "}");
+        break;
+      case EventKind::kInstant:
+        emit(head + ", \"ph\": \"i\", \"s\": \"t\", \"ts\": " + micros(e.ts) +
+             ", \"args\": {\"value\": " + jsonlite::fmt_double(e.value) + "}}");
+        break;
+      case EventKind::kCounter:
+        emit(head + ", \"ph\": \"C\", \"ts\": " + micros(e.ts) +
+             ", \"args\": {\"value\": " + jsonlite::fmt_double(e.value) + "}}");
+        break;
+    }
+  }
+
+  // Close any scoped span still open at export so the file balances.
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    while (!open[t].empty()) {
+      emit("{\"name\": \"" + jsonlite::escape(name(open[t].back())) + "\", \"cat\": \"" +
+           jsonlite::escape(tracks_[t]) + "\", \"pid\": 1, \"tid\": " + std::to_string(t) +
+           ", \"ph\": \"E\", \"ts\": " + micros(last_ts) + "}");
+      open[t].pop_back();
+    }
+  }
+
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool TraceRecorder::export_chrome_trace(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const std::string text = chrome_trace_json();
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace hpc::obs

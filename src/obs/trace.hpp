@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file trace.hpp
+/// `hpc::obs::TraceRecorder` — the deterministic flight recorder.
+///
+/// A bounded ring buffer of spans, instant events, and counter samples, all
+/// keyed on *simulated* time (`sim::TimeNs`, never wall clock — archlint's
+/// D1 rule holds across this subsystem), so two runs of the same seeded
+/// scenario record bit-identical event streams and export byte-identical
+/// trace files.  When the ring fills, the oldest events are overwritten —
+/// flight-recorder semantics: the tail of a long run is always retained, and
+/// `dropped()` reports how much history was lost.
+///
+/// Event names and track (substrate) names are interned once into stable
+/// 32-bit ids; instrumented modules intern at attach time and the steady
+/// state hot path stores four machine words per event.  The `enabled()` flag
+/// is the master observability switch: every record call checks it first and
+/// returns without touching memory when tracing is off, which is what keeps
+/// the disabled-path overhead budget (≤ 2% on the FlowSim hot path,
+/// bench/bench_perf_obs.cpp) honest.
+///
+/// Export is the Chrome trace-event JSON format, so any recorded run opens
+/// directly in chrome://tracing or https://ui.perfetto.dev: spans become
+/// "B"/"E" (scoped) or "X" (complete, for lifecycle spans whose begin and
+/// end are far apart in simulated time), instants "i", counter samples "C",
+/// and each track a named pseudo-thread.  The exporter repairs wraparound
+/// damage — an end whose begin was evicted is dropped, a begin still open at
+/// export is closed at the final timestamp — so exported traces always
+/// balance (tools/tracecat verifies this).
+namespace hpc::obs {
+
+/// Interned string id (index into the recorder's string table).
+using StrId = std::uint32_t;
+
+/// Track id: one per instrumented substrate, rendered as a named thread.
+using TrackId = std::uint16_t;
+
+/// What one ring slot records.
+enum class EventKind : std::uint8_t {
+  kSpanBegin,  ///< scoped span opens at ts
+  kSpanEnd,    ///< scoped span closes at ts
+  kComplete,   ///< lifecycle span [begin, ts] recorded at completion
+  kInstant,    ///< point event at ts (value carries optional payload)
+  kCounter,    ///< counter sample: value at ts
+};
+
+/// One recorded event (one ring slot).
+struct TraceEvent {
+  sim::TimeNs ts = 0;     ///< event time (end time for kComplete)
+  sim::TimeNs begin = 0;  ///< start time (kComplete only)
+  double value = 0.0;     ///< counter sample / instant payload
+  StrId name = 0;
+  TrackId track = 0;
+  EventKind kind = EventKind::kInstant;
+};
+
+/// Bounded deterministic flight recorder.
+class TraceRecorder {
+ public:
+  /// \param capacity ring size in events; once full, oldest events drop.
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  /// Master switch.  Disabled recorders ignore every record call without
+  /// allocating; interning stays available so instrumentation can set up
+  /// handles before deciding whether to record.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Interns \p s, returning a stable id (same string ⇒ same id for the
+  /// lifetime of the recorder, including across clear()).
+  [[nodiscard]] StrId intern(std::string_view s);
+
+  /// Registers (or looks up) a track — one per instrumented substrate.
+  [[nodiscard]] TrackId track(std::string_view name);
+
+  // Record calls.  All no-ops while disabled; all O(1); none allocate on the
+  // steady-state path (the ring grows to capacity once, then wraps).
+  void begin_span(TrackId t, StrId name, sim::TimeNs ts);
+  void end_span(TrackId t, StrId name, sim::TimeNs ts);
+  void complete_span(TrackId t, StrId name, sim::TimeNs begin, sim::TimeNs end);
+  void instant(TrackId t, StrId name, sim::TimeNs ts, double payload = 0.0);
+  void counter(TrackId t, StrId name, sim::TimeNs ts, double value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events overwritten by wraparound since construction/clear().
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t track_count() const noexcept { return tracks_.size(); }
+
+  /// i-th retained event, oldest first.
+  [[nodiscard]] const TraceEvent& event(std::size_t i) const;
+  /// Name for an interned id ("" if out of range).
+  [[nodiscard]] std::string_view name(StrId id) const;
+  [[nodiscard]] std::string_view track_name(TrackId t) const;
+
+  /// Serializes the retained events as Chrome trace-event JSON.  Identical
+  /// recorded streams produce byte-identical strings.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to \p path.  Returns true on success.
+  [[nodiscard]] bool export_chrome_trace(const std::string& path) const;
+
+  /// Forgets recorded events (string/track tables survive, ids stay stable).
+  void clear();
+
+ private:
+  void push(const TraceEvent& e);
+
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  std::size_t write_ = 0;        ///< next overwrite position once full
+  std::uint64_t dropped_ = 0;
+
+  std::vector<std::string> names_;
+  std::map<std::string, StrId, std::less<>> name_ids_;
+  std::vector<std::string> tracks_;
+  std::map<std::string, TrackId, std::less<>> track_ids_;
+};
+
+}  // namespace hpc::obs

@@ -1,0 +1,182 @@
+#include "obs/tracefile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/jsonlite.hpp"
+
+namespace hpc::obs {
+
+namespace {
+
+/// Reads a non-negative integral field out of an otherData-style object.
+std::uint64_t read_count(const jsonlite::Value& obj, std::string_view key) {
+  const jsonlite::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number() || v->number < 0) return 0;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+std::string at_event(std::size_t i) { return "traceEvents[" + std::to_string(i) + "]"; }
+
+}  // namespace
+
+std::string check_trace_text(std::string_view text, TraceStats* stats) {
+  jsonlite::Value root;
+  std::string error;
+  if (!jsonlite::parse(text, root, error)) return "malformed JSON: " + error;
+  if (!root.is_object()) return "top level is not an object";
+  const jsonlite::Value* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return "missing 'traceEvents' array";
+
+  TraceStats local;
+  if (const jsonlite::Value* other = root.find("otherData");
+      other != nullptr && other->is_object()) {
+    local.dropped = read_count(*other, "dropped");
+    local.truncated_spans = read_count(*other, "truncated_spans");
+  }
+
+  // Per-(pid, tid) stack of open scoped spans: (name, ts in microseconds).
+  std::map<std::pair<long long, long long>, std::vector<std::pair<std::string, double>>>
+      open;
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const jsonlite::Value& e = events->array[i];
+    if (!e.is_object()) return at_event(i) + " is not an object";
+
+    const jsonlite::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1)
+      return at_event(i) + " has no single-character 'ph'";
+    const char phase = ph->string[0];
+    if (phase != 'B' && phase != 'E' && phase != 'X' && phase != 'i' &&
+        phase != 'I' && phase != 'C' && phase != 'M')
+      return at_event(i) + " has unknown phase '" + ph->string + "'";
+
+    const jsonlite::Value* name = e.find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty())
+      return at_event(i) + " has no name";
+
+    const jsonlite::Value* pid = e.find("pid");
+    const jsonlite::Value* tid = e.find("tid");
+    if (pid == nullptr || !pid->is_number() || tid == nullptr || !tid->is_number())
+      return at_event(i) + " has no numeric pid/tid";
+
+    ++local.events;
+    ++local.phase_counts[ph->string];
+
+    if (phase == 'M') continue;  // metadata carries no timestamp
+
+    const jsonlite::Value* ts = e.find("ts");
+    if (ts == nullptr || !ts->is_number() || !std::isfinite(ts->number) ||
+        ts->number < 0)
+      return at_event(i) + " ('" + name->string + "') has no valid 'ts'";
+
+    switch (phase) {
+      case 'B':
+        open[{static_cast<long long>(pid->number), static_cast<long long>(tid->number)}]
+            .emplace_back(name->string, ts->number);
+        break;
+      case 'E': {
+        auto& stack = open[{static_cast<long long>(pid->number),
+                            static_cast<long long>(tid->number)}];
+        if (stack.empty())
+          return at_event(i) + ": end of '" + name->string + "' with no open span";
+        if (stack.back().first != name->string)
+          return at_event(i) + ": end of '" + name->string + "' but '" +
+                 stack.back().first + "' is open";
+        SpanAgg& agg = local.spans[name->string];
+        ++agg.count;
+        agg.total_us += ts->number - stack.back().second;
+        stack.pop_back();
+        break;
+      }
+      case 'X': {
+        const jsonlite::Value* dur = e.find("dur");
+        if (dur == nullptr || !dur->is_number() || !std::isfinite(dur->number) ||
+            dur->number < 0)
+          return at_event(i) + " ('" + name->string + "') has no valid 'dur'";
+        SpanAgg& agg = local.spans[name->string];
+        ++agg.count;
+        agg.total_us += dur->number;
+        break;
+      }
+      case 'C': {
+        const jsonlite::Value* args = e.find("args");
+        const jsonlite::Value* value =
+            args != nullptr && args->is_object() ? args->find("value") : nullptr;
+        if (value == nullptr || !value->is_number() || !std::isfinite(value->number))
+          return at_event(i) + " ('" + name->string + "') counter has no numeric value";
+        CounterAgg& agg = local.counters[name->string];
+        if (agg.samples == 0) {
+          agg.min = agg.max = value->number;
+        } else {
+          agg.min = std::min(agg.min, value->number);
+          agg.max = std::max(agg.max, value->number);
+        }
+        agg.last = value->number;
+        ++agg.samples;
+        break;
+      }
+      default:
+        break;  // 'i' / 'I': nothing beyond the shared checks
+    }
+  }
+
+  for (const auto& [key, stack] : open) {
+    if (!stack.empty())
+      return "unbalanced spans: '" + stack.back().first + "' on tid " +
+             std::to_string(key.second) + " never closed";
+  }
+
+  if (stats != nullptr) *stats = std::move(local);
+  return {};
+}
+
+std::string check_trace_file(const std::string& path, TraceStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open '" + path + "'";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return check_trace_text(buf.str(), stats);
+}
+
+std::string summary(const TraceStats& stats, int top_n) {
+  std::string out = "events: " + std::to_string(stats.events) +
+                    " (dropped: " + std::to_string(stats.dropped) +
+                    ", truncated spans: " + std::to_string(stats.truncated_spans) + ")\n";
+  out += "phases:";
+  for (const auto& [ph, n] : stats.phase_counts)
+    out += " " + ph + "=" + std::to_string(n);
+  out += "\n";
+
+  // Rank span names by total inclusive simulated time, name as tie-break.
+  std::vector<std::pair<std::string, SpanAgg>> ranked(stats.spans.begin(),
+                                                      stats.spans.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_us != b.second.total_us)
+      return a.second.total_us > b.second.total_us;
+    return a.first < b.first;
+  });
+  if (top_n >= 0 && ranked.size() > static_cast<std::size_t>(top_n))
+    ranked.resize(static_cast<std::size_t>(top_n));
+
+  out += "top spans by inclusive simulated time:\n";
+  if (ranked.empty()) out += "  (none)\n";
+  for (const auto& [name, agg] : ranked)
+    out += "  " + name + "  count=" + std::to_string(agg.count) +
+           "  total_us=" + jsonlite::fmt_double(agg.total_us) + "\n";
+
+  out += "counters:\n";
+  if (stats.counters.empty()) out += "  (none)\n";
+  for (const auto& [name, agg] : stats.counters)
+    out += "  " + name + "  samples=" + std::to_string(agg.samples) +
+           "  min=" + jsonlite::fmt_double(agg.min) +
+           "  max=" + jsonlite::fmt_double(agg.max) +
+           "  last=" + jsonlite::fmt_double(agg.last) + "\n";
+  return out;
+}
+
+}  // namespace hpc::obs

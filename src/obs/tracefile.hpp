@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+/// \file tracefile.hpp
+/// Validation and summarization of exported Chrome trace-event files.
+///
+/// This is the library half of `tools/tracecat`: it re-parses a trace
+/// artifact with the strict jsonlite parser and checks the structural
+/// invariants the TraceRecorder exporter promises — well-formed JSON, a
+/// `traceEvents` array, known phase codes, non-negative timestamps and
+/// durations, counter samples carrying numeric values, and per-track
+/// begin/end span balance with matching names.  A trace that fails any of
+/// these is a bug in the exporter or a corrupted artifact, and ci/check.sh
+/// treats it as a hard failure.
+///
+/// Alongside validation it aggregates a `TraceStats` summary (event counts
+/// per phase, inclusive simulated time per span name, counter extrema) that
+/// `summary()` renders for humans.  All aggregation uses sorted `std::map`s,
+/// so identical traces summarize to byte-identical text (rule D2).
+namespace hpc::obs {
+
+/// Aggregate over all spans sharing a name (both "X" completes and matched
+/// "B"/"E" pairs contribute).
+struct SpanAgg {
+  std::uint64_t count = 0;
+  double total_us = 0.0;  ///< inclusive simulated time, microseconds
+};
+
+/// Extrema over all counter samples sharing a name.
+struct CounterAgg {
+  std::uint64_t samples = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+};
+
+/// What validation learned about one trace file.
+struct TraceStats {
+  std::uint64_t events = 0;           ///< entries in traceEvents
+  std::uint64_t dropped = 0;          ///< from otherData (ring overwrites)
+  std::uint64_t truncated_spans = 0;  ///< from otherData (ends with evicted begins)
+  std::map<std::string, std::uint64_t> phase_counts;  ///< per ph code
+  std::map<std::string, SpanAgg> spans;               ///< per span name
+  std::map<std::string, CounterAgg> counters;         ///< per counter name
+};
+
+/// Validates trace text and (optionally) fills \p stats.  Returns an empty
+/// string when the trace is well-formed and balanced, else a human-readable
+/// error naming the first offending event.
+[[nodiscard]] std::string check_trace_text(std::string_view text, TraceStats* stats);
+
+/// Same, reading from \p path.
+[[nodiscard]] std::string check_trace_file(const std::string& path, TraceStats* stats);
+
+/// Renders a human-readable summary: event counts per phase, the \p top_n
+/// span names by total inclusive simulated time, and counter extrema.
+/// Deterministic for identical stats.
+[[nodiscard]] std::string summary(const TraceStats& stats, int top_n = 10);
+
+}  // namespace hpc::obs

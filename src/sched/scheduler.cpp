@@ -22,6 +22,24 @@ ClusterSim::ClusterSim(Cluster cluster, Policy policy, std::uint64_t seed)
 
 void ClusterSim::add_job(Job job) { jobs_.push_back(std::move(job)); }
 
+void ClusterSim::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    otrack_ = trace_->track("sched");
+    sid_wait_ = trace_->intern("sched.job.wait");
+    sid_run_ = trace_->intern("sched.job.run");
+    sid_queue_ = trace_->intern("sched.queue_depth");
+  }
+  if (metrics != nullptr) {
+    m_started_ = &metrics->counter("sched.jobs_started");
+    m_finished_ = &metrics->counter("sched.jobs_finished");
+    h_wait_ = &metrics->histogram("sched.wait_ns");
+  } else {
+    m_started_ = m_finished_ = nullptr;
+    h_wait_ = nullptr;
+  }
+}
+
 void ClusterSim::add_jobs(const std::vector<Job>& jobs) {
   jobs_.insert(jobs_.end(), jobs.begin(), jobs.end());
 }
@@ -106,6 +124,12 @@ ScheduleResult ClusterSim::run() {
     pl.energy_j = job_energy_j(job, cluster_.partitions[static_cast<std::size_t>(p)].device,
                                job.nodes);
     busy_node_ns += rt * job.nodes;
+    if (trace_ != nullptr && trace_->enabled())
+      trace_->complete_span(otrack_, sid_wait_, job.arrival, now);
+    if (m_started_ != nullptr) {
+      m_started_->inc();
+      h_wait_->record(static_cast<double>(now - job.arrival));
+    }
   };
 
   auto try_start = [&]() {
@@ -194,6 +218,8 @@ ScheduleResult ClusterSim::run() {
       ++next_arrival;
     }
     try_start();
+    if (trace_ != nullptr && trace_->enabled())
+      trace_->counter(otrack_, sid_queue_, now, static_cast<double>(waiting.size()));
 
     // Drop jobs that can never run anywhere (misconfigured workloads).
     waiting.erase(std::remove_if(waiting.begin(), waiting.end(),
@@ -213,6 +239,12 @@ ScheduleResult ClusterSim::run() {
     // Retire completions at `now`.
     for (std::size_t i = 0; i < running.size();) {
       if (running[i].finish <= now) {
+        if (trace_ != nullptr && trace_->enabled()) {
+          const Placement& pl =
+              result.placements[static_cast<std::size_t>(running[i].job_index)];
+          trace_->complete_span(otrack_, sid_run_, pl.start, running[i].finish);
+        }
+        if (m_finished_ != nullptr) m_finished_->inc();
         free[static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
         running[i] = running.back();
         running.pop_back();

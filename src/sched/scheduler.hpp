@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/cluster.hpp"
 #include "sched/job.hpp"
 #include "sim/rng.hpp"
@@ -62,6 +64,13 @@ class ClusterSim {
   void add_job(Job job);
   void add_jobs(const std::vector<Job>& jobs);
 
+  /// Attaches observability sinks (both optional; nullptr detaches).  Each
+  /// job's lifecycle becomes two complete spans on the "sched" track —
+  /// "sched.job.wait" (submit→start) and "sched.job.run" (start→finish) —
+  /// plus a queue-depth counter series.  Metered: jobs started/finished and
+  /// a wait-time histogram.  Passive: results are identical either way.
+  void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
+
   /// Runs all jobs to completion and returns the aggregate result.
   ScheduleResult run();
 
@@ -82,6 +91,16 @@ class ClusterSim {
   Policy policy_;
   mutable sim::Rng rng_;
   std::vector<Job> jobs_;
+
+  // Observability (optional, passive; see set_observer).
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::TrackId otrack_ = 0;
+  obs::StrId sid_wait_ = 0;
+  obs::StrId sid_run_ = 0;
+  obs::StrId sid_queue_ = 0;
+  obs::Counter* m_started_ = nullptr;
+  obs::Counter* m_finished_ = nullptr;
+  obs::Histogram* h_wait_ = nullptr;
 };
 
 }  // namespace hpc::sched

@@ -23,7 +23,15 @@ bool Simulator::pop_and_run() {
   now_ = ev.at;
   ++executed_;
   digest_ = fnv1a_step(fnv1a_step(digest_, ev.at), ev.seq);
-  ev.fn();
+  if (probe_ != nullptr) {
+    probe_->on_event(ev.at, ev.seq, queue_.size());
+    ev.fn();
+    probe_->on_event_done(ev.at, ev.seq);
+    if (checkpoint_interval_ != 0 && executed_ % checkpoint_interval_ == 0)
+      probe_->on_checkpoint(now_, digest_, executed_);
+  } else {
+    ev.fn();
+  }
   return true;
 }
 

@@ -22,10 +22,41 @@
 
 namespace hpc::sim {
 
+/// Kernel observation hooks (the runtime seam `hpc::obs` plugs into).
+///
+/// The kernel stays observability-agnostic: it only knows this tiny
+/// interface, and `obs::SimulatorProbe` translates the callbacks into trace
+/// spans, gauges, and digest-checkpoint instants.  With no probe attached
+/// the dispatch loop pays a single predictable branch per event.  Probes
+/// must be passive — a probe that schedules events or mutates simulation
+/// state breaks the determinism contract it exists to witness.
+class SimProbe {
+ public:
+  virtual ~SimProbe() = default;
+  /// Called before an event's handler runs.  \p pending is the queue depth
+  /// excluding the event being dispatched.
+  virtual void on_event(TimeNs at, std::uint64_t seq, std::size_t pending) = 0;
+  /// Called after the event's handler returns.
+  virtual void on_event_done(TimeNs at, std::uint64_t seq) = 0;
+  /// Called every checkpoint interval with the running event-stream digest.
+  virtual void on_checkpoint(TimeNs at, std::uint64_t digest,
+                             std::uint64_t executed) = 0;
+};
+
 /// Discrete-event simulator with a monotonically advancing clock.
 class Simulator {
  public:
   using Handler = std::function<void()>;
+
+  /// Attaches (or detaches, with nullptr) an observation probe.  Every
+  /// \p checkpoint_interval executed events the probe additionally receives
+  /// the running FNV-1a digest (0 disables checkpoints).  The probe is not
+  /// owned and must outlive the simulator's runs.
+  void set_probe(SimProbe* probe, std::uint64_t checkpoint_interval = 0) noexcept {
+    probe_ = probe;
+    checkpoint_interval_ = checkpoint_interval;
+  }
+  [[nodiscard]] SimProbe* probe() const noexcept { return probe_; }
 
   /// Current simulated time.
   [[nodiscard]] TimeNs now() const noexcept { return now_; }
@@ -96,6 +127,8 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::uint64_t digest_ = kFnvOffset;
   bool stopped_ = false;
+  SimProbe* probe_ = nullptr;
+  std::uint64_t checkpoint_interval_ = 0;
 };
 
 }  // namespace hpc::sim

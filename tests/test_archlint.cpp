@@ -151,7 +151,7 @@ TEST(ArchlintRawTime, AllowAnnotationSuppresses) {
 
 // ---------------------------------------------------------------- D4 --------
 
-TEST(ArchlintNodiscard, FlagsConstAccessorsInSimAndCore) {
+TEST(ArchlintNodiscard, FlagsConstAccessorsInSimCoreAndObs) {
   const char* src =
       "#pragma once\n"
       "/// \\file c.hpp\n"
@@ -165,6 +165,7 @@ TEST(ArchlintNodiscard, FlagsConstAccessorsInSimAndCore) {
       "}\n";
   EXPECT_EQ(count_rule(lint_source("src/sim/c.hpp", src), Rule::kNodiscard), 1u);
   EXPECT_EQ(count_rule(lint_source("src/core/c.hpp", src), Rule::kNodiscard), 1u);
+  EXPECT_EQ(count_rule(lint_source("src/obs/c.hpp", src), Rule::kNodiscard), 1u);
   // Out of scope: the rest of the tree is not (yet) held to D4.
   EXPECT_FALSE(has_rule(lint_source("src/hw/c.hpp", src), Rule::kNodiscard));
   EXPECT_FALSE(has_rule(lint_source("src/sim/c.cpp", src), Rule::kNodiscard));

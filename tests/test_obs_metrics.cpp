@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+/// \file test_obs_metrics.cpp
+/// MetricRegistry unit tests: instrument semantics (counters, gauges with
+/// extrema, log-binned histogram percentiles), stable references across
+/// registry growth, deterministic sorted snapshots with hostile-name
+/// escaping, and the snapshot validator's rejection of malformed artifacts
+/// (mirroring the tools/benchjson validator contract).
+
+namespace hpc::obs {
+namespace {
+
+TEST(Metrics, CounterAndGaugeSemantics) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("a.count");
+  c.inc();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.counter("a.count").value(), 5u);  // same instrument
+
+  Gauge& g = reg.gauge("a.depth");
+  EXPECT_EQ(g.min(), 0.0);  // no samples yet
+  g.set(3.0);
+  g.set(-1.0);
+  g.set(2.0);
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(g.min(), -1.0);
+  EXPECT_EQ(g.max(), 3.0);
+  EXPECT_EQ(g.samples(), 3u);
+}
+
+TEST(Metrics, ReferencesSurviveRegistryGrowth) {
+  MetricRegistry reg;
+  Counter& first = reg.counter("m.000");
+  first.add(7);
+  // Force many rebalances of the underlying map.
+  for (int i = 1; i < 200; ++i)
+    reg.counter("m." + std::to_string(i)).inc();
+  EXPECT_EQ(first.value(), 7u);
+  EXPECT_EQ(reg.counter("m.000").value(), 7u);
+  EXPECT_EQ(reg.counter_count(), 200u);
+}
+
+TEST(Metrics, HistogramPercentilesTrackLogBins) {
+  MetricRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  // Log-binned: percentile error is bounded by the per-decade resolution.
+  EXPECT_NEAR(h.percentile(50.0), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(h.percentile(99.0), 990.0, 990.0 * 0.15);
+  EXPECT_GT(h.percentile(99.9), h.percentile(50.0));
+}
+
+TEST(Metrics, SnapshotIsSortedDeterministicAndValid) {
+  auto build = [] {
+    MetricRegistry reg;
+    reg.counter("z.last").add(3);
+    reg.counter("a.first").inc();
+    reg.gauge("m.depth").set(4.25);
+    Histogram& h = reg.histogram("m.wait");
+    h.record(10.0);
+    h.record(1000.0);
+    return reg.snapshot_json();
+  };
+  const std::string snap = build();
+  EXPECT_EQ(snap, build());  // byte-identical for identical contents
+  EXPECT_EQ(validate_snapshot_text(snap), "");
+  // Sorted iteration: "a.first" serializes before "z.last".
+  EXPECT_LT(snap.find("a.first"), snap.find("z.last"));
+}
+
+TEST(Metrics, SnapshotEscapesHostileMetricNames) {
+  MetricRegistry reg;
+  reg.counter("bad\"name\\with\nnewline").inc();
+  reg.gauge("tab\there").set(1.0);
+  const std::string snap = reg.snapshot_json();
+  EXPECT_EQ(validate_snapshot_text(snap), "") << snap;
+}
+
+TEST(Metrics, ValidatorRejectsMalformedArtifacts) {
+  EXPECT_NE(validate_snapshot_text("not json"), "");
+  EXPECT_NE(validate_snapshot_text("{}"), "");
+  EXPECT_NE(validate_snapshot_text(
+                R"({"schema": "wrong", "counters": [], "gauges": [], "histograms": []})"),
+            "");
+  // Right schema but a section missing.
+  EXPECT_NE(validate_snapshot_text(
+                R"({"schema": "archipelago-metrics-v1", "counters": [], "gauges": []})"),
+            "");
+  // Non-numeric field value.
+  EXPECT_NE(validate_snapshot_text(
+                R"({"schema": "archipelago-metrics-v1",
+                    "counters": [{"name": "c", "value": "NaN"}],
+                    "gauges": [], "histograms": []})"),
+            "");
+  // Unsorted names break the determinism contract.
+  EXPECT_NE(validate_snapshot_text(
+                R"({"schema": "archipelago-metrics-v1",
+                    "counters": [{"name": "b", "value": 1}, {"name": "a", "value": 1}],
+                    "gauges": [], "histograms": []})"),
+            "");
+}
+
+TEST(Metrics, SnapshotOfEmptyRegistryIsValid) {
+  MetricRegistry reg;
+  EXPECT_EQ(validate_snapshot_text(reg.snapshot_json()), "");
+}
+
+}  // namespace
+}  // namespace hpc::obs

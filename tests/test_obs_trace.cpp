@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/jsonlite.hpp"
+#include "obs/tracefile.hpp"
+
+/// \file test_obs_trace.cpp
+/// TraceRecorder unit tests: flight-recorder ring semantics (wraparound
+/// overwrites the oldest events), string-interning stability, the disabled
+/// fast path, and the Chrome exporter's escaping, balance repair, and
+/// byte-determinism guarantees — the properties the golden determinism test
+/// and the ci [6/6] obs gate build on.
+
+namespace hpc::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledPathRecordsNothing) {
+  TraceRecorder rec(8);
+  EXPECT_FALSE(rec.enabled());
+  const TrackId t = rec.track("t");
+  const StrId n = rec.intern("n");
+  rec.begin_span(t, n, 1);
+  rec.end_span(t, n, 2);
+  rec.complete_span(t, n, 1, 2);
+  rec.instant(t, n, 3);
+  rec.counter(t, n, 4, 1.0);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, InterningIsStableAndDeduplicated) {
+  TraceRecorder rec;
+  const StrId a = rec.intern("alpha");
+  const StrId b = rec.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.intern("alpha"), a);
+  EXPECT_EQ(rec.name(a), "alpha");
+  EXPECT_EQ(rec.name(b), "beta");
+  // clear() forgets events but interned ids survive (instrumentation holds
+  // them across runs).
+  rec.clear();
+  EXPECT_EQ(rec.intern("alpha"), a);
+  EXPECT_EQ(rec.track("sim"), rec.track("sim"));
+}
+
+TEST(TraceRecorder, RingWrapsOverwritingOldest) {
+  TraceRecorder rec(4);
+  rec.set_enabled(true);
+  const TrackId t = rec.track("t");
+  const StrId n = rec.intern("n");
+  for (sim::TimeNs ts = 0; ts < 6; ++ts) rec.instant(t, n, ts);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  // Oldest-first view: ts 0 and 1 were overwritten.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(rec.event(i).ts, i + 2);
+}
+
+TEST(TraceRecorder, ExporterEscapesHostileNames) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const TrackId t = rec.track("tr\"ack\\");
+  const StrId n = rec.intern("sp\"an\\\n\x01");
+  rec.instant(t, n, 5);
+  const std::string json = rec.chrome_trace_json();
+
+  jsonlite::Value root;
+  std::string error;
+  ASSERT_TRUE(jsonlite::parse(json, root, error)) << error;
+  const jsonlite::Value* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata (track name) + the instant; the hostile names round-trip.
+  ASSERT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[0].find("args")->find("name")->string, "tr\"ack\\");
+  EXPECT_EQ(events->array[1].find("name")->string, "sp\"an\\\n\x01");
+
+  EXPECT_EQ(check_trace_text(json, nullptr), "");
+}
+
+TEST(TraceRecorder, ExporterClosesOpenSpansWithTheirRealNames) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const TrackId t = rec.track("t");
+  const StrId outer = rec.intern("outer");
+  const StrId inner = rec.intern("inner");
+  rec.begin_span(t, outer, 10);
+  rec.begin_span(t, inner, 20);
+  rec.instant(t, rec.intern("mark"), 30);
+  // Neither span closed: the exporter must auto-close innermost-first with
+  // matching names, or the validator's stack check fails.
+  const std::string json = rec.chrome_trace_json();
+  TraceStats stats;
+  ASSERT_EQ(check_trace_text(json, &stats), "");
+  EXPECT_EQ(stats.phase_counts["B"], 2u);
+  EXPECT_EQ(stats.phase_counts["E"], 2u);
+  EXPECT_EQ(stats.spans["inner"].count, 1u);
+  EXPECT_EQ(stats.spans["outer"].count, 1u);
+}
+
+TEST(TraceRecorder, ExporterDropsEndsWhoseBeginsWereEvicted) {
+  // Capacity 3: begin_span(a) is overwritten by later events, leaving an
+  // orphan end that must be skipped (and counted) for the export to balance.
+  TraceRecorder rec(3);
+  rec.set_enabled(true);
+  const TrackId t = rec.track("t");
+  const StrId a = rec.intern("a");
+  const StrId m = rec.intern("m");
+  rec.begin_span(t, a, 1);   // evicted below
+  rec.instant(t, m, 2);
+  rec.instant(t, m, 3);
+  rec.instant(t, m, 4);      // wraps: begin(a) gone
+  rec.end_span(t, a, 5);     // orphan
+  EXPECT_EQ(rec.dropped(), 2u);
+
+  const std::string json = rec.chrome_trace_json();
+  TraceStats stats;
+  ASSERT_EQ(check_trace_text(json, &stats), "");
+  EXPECT_EQ(stats.phase_counts["E"], 0u);
+  EXPECT_EQ(stats.truncated_spans, 1u);
+  EXPECT_EQ(stats.dropped, 2u);
+}
+
+TEST(TraceRecorder, CompleteSpanClampsInvertedInterval) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const TrackId t = rec.track("t");
+  rec.complete_span(t, rec.intern("x"), 100, 40);  // end < begin
+  TraceStats stats;
+  ASSERT_EQ(check_trace_text(rec.chrome_trace_json(), &stats), "");
+  EXPECT_EQ(stats.spans["x"].count, 1u);
+  EXPECT_EQ(stats.spans["x"].total_us, 0.0);
+}
+
+TEST(TraceRecorder, IdenticalStreamsExportByteIdentically) {
+  auto record = [] {
+    TraceRecorder rec(16);
+    rec.set_enabled(true);
+    const TrackId t = rec.track("t");
+    const StrId s = rec.intern("s");
+    const StrId c = rec.intern("c");
+    for (sim::TimeNs ts = 0; ts < 40; ts += 2) {
+      rec.begin_span(t, s, ts);
+      rec.counter(t, c, ts, static_cast<double>(ts) * 0.5);
+      rec.end_span(t, s, ts + 1);
+    }
+    return rec.chrome_trace_json();
+  };
+  EXPECT_EQ(record(), record());
+}
+
+}  // namespace
+}  // namespace hpc::obs

@@ -1,0 +1,154 @@
+#include "obs/tracefile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+/// \file test_obs_tracefile.cpp
+/// Trace validator/summarizer tests (the library behind tools/tracecat).
+/// The ci [6/6] obs gate trusts `tracecat --check` to reject malformed or
+/// unbalanced traces, so the checker itself needs direct coverage: exporter
+/// output passes, and truncated JSON, unknown phases, missing fields, and
+/// every flavor of span imbalance are rejected with useful errors.
+
+namespace hpc::obs {
+namespace {
+
+/// Wraps raw event JSON in a minimal trace document.
+std::string doc(const std::string& events) {
+  return R"({"otherData": {"schema": "archipelago-trace-v1", "dropped": 0,)"
+         R"( "truncated_spans": 0}, "traceEvents": [)" +
+         events + "]}";
+}
+
+TEST(TraceFile, RecorderExportPassesAndAggregates) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const TrackId t = rec.track("net.flowsim");
+  const StrId solve = rec.intern("solve");
+  const StrId depth = rec.intern("depth");
+  rec.begin_span(t, solve, 1000);
+  rec.end_span(t, solve, 3000);
+  rec.counter(t, depth, 1000, 4.0);
+  rec.counter(t, depth, 2000, 9.0);
+  rec.counter(t, depth, 3000, 2.0);
+  rec.complete_span(t, rec.intern("flow"), 0, 10000);
+  rec.instant(t, rec.intern("mark"), 1500);
+
+  TraceStats stats;
+  ASSERT_EQ(check_trace_text(rec.chrome_trace_json(), &stats), "");
+  EXPECT_EQ(stats.events, 8u);  // 7 recorded + 1 thread_name metadata
+  EXPECT_EQ(stats.phase_counts["M"], 1u);
+  EXPECT_EQ(stats.phase_counts["C"], 3u);
+  EXPECT_EQ(stats.spans["solve"].count, 1u);
+  EXPECT_NEAR(stats.spans["solve"].total_us, 2.0, 1e-9);   // 2000 ns
+  EXPECT_NEAR(stats.spans["flow"].total_us, 10.0, 1e-9);   // 10000 ns
+  EXPECT_EQ(stats.counters["depth"].samples, 3u);
+  EXPECT_EQ(stats.counters["depth"].min, 2.0);
+  EXPECT_EQ(stats.counters["depth"].max, 9.0);
+  EXPECT_EQ(stats.counters["depth"].last, 2.0);
+}
+
+TEST(TraceFile, RejectsMalformedJson) {
+  EXPECT_NE(check_trace_text("", nullptr), "");
+  EXPECT_NE(check_trace_text("{\"traceEvents\": [", nullptr), "");
+  EXPECT_NE(check_trace_text("[1, 2]", nullptr), "");
+  EXPECT_NE(check_trace_text("{\"otherData\": {}}", nullptr), "");  // no traceEvents
+}
+
+TEST(TraceFile, RejectsUnknownPhaseAndMissingFields) {
+  const std::string base =
+      R"({"name": "n", "cat": "t", "pid": 1, "tid": 0, "ph": "B", "ts": 1.0})";
+  EXPECT_EQ(check_trace_text(
+                doc(base + "," +
+                    R"({"name": "n", "cat": "t", "pid": 1, "tid": 0, "ph": "E", "ts": 2.0})"),
+                nullptr),
+            "");
+  // Unknown phase code.
+  EXPECT_NE(check_trace_text(
+                doc(R"({"name": "n", "pid": 1, "tid": 0, "ph": "Q", "ts": 1.0})"), nullptr),
+            "");
+  // Missing name / pid / ts; negative ts; X without dur; C without value.
+  EXPECT_NE(check_trace_text(doc(R"({"pid": 1, "tid": 0, "ph": "i", "ts": 1.0})"), nullptr), "");
+  EXPECT_NE(check_trace_text(doc(R"({"name": "n", "ph": "i", "ts": 1.0})"), nullptr), "");
+  EXPECT_NE(check_trace_text(doc(R"({"name": "n", "pid": 1, "tid": 0, "ph": "i"})"), nullptr), "");
+  EXPECT_NE(check_trace_text(
+                doc(R"({"name": "n", "pid": 1, "tid": 0, "ph": "i", "ts": -1.0})"), nullptr),
+            "");
+  EXPECT_NE(check_trace_text(
+                doc(R"({"name": "n", "pid": 1, "tid": 0, "ph": "X", "ts": 1.0})"), nullptr),
+            "");
+  EXPECT_NE(check_trace_text(
+                doc(R"({"name": "n", "pid": 1, "tid": 0, "ph": "C", "ts": 1.0, "args": {}})"),
+                nullptr),
+            "");
+}
+
+TEST(TraceFile, RejectsUnbalancedSpans) {
+  // B never closed.
+  std::string err = check_trace_text(
+      doc(R"({"name": "open", "pid": 1, "tid": 0, "ph": "B", "ts": 1.0})"), nullptr);
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("open"), std::string::npos);
+  // E with no open span.
+  EXPECT_NE(check_trace_text(
+                doc(R"({"name": "n", "pid": 1, "tid": 0, "ph": "E", "ts": 1.0})"), nullptr),
+            "");
+  // E whose name does not match the open B (interleaved, not nested).
+  EXPECT_NE(
+      check_trace_text(
+          doc(R"({"name": "a", "pid": 1, "tid": 0, "ph": "B", "ts": 1.0},)"
+              R"({"name": "b", "pid": 1, "tid": 0, "ph": "E", "ts": 2.0})"),
+          nullptr),
+      "");
+  // Same names on different tracks are independent stacks.
+  EXPECT_EQ(
+      check_trace_text(
+          doc(R"({"name": "a", "pid": 1, "tid": 0, "ph": "B", "ts": 1.0},)"
+              R"({"name": "a", "pid": 1, "tid": 1, "ph": "B", "ts": 1.0},)"
+              R"({"name": "a", "pid": 1, "tid": 1, "ph": "E", "ts": 2.0},)"
+              R"({"name": "a", "pid": 1, "tid": 0, "ph": "E", "ts": 3.0})"),
+          nullptr),
+      "");
+}
+
+TEST(TraceFile, SummaryIsDeterministicAndRanksSpans) {
+  TraceStats stats;
+  stats.events = 5;
+  stats.phase_counts["X"] = 5;
+  stats.spans["small"] = SpanAgg{3, 10.0};
+  stats.spans["big"] = SpanAgg{1, 90.0};
+  stats.counters["depth"] = CounterAgg{4, 1.0, 9.0, 2.0};
+  const std::string s = summary(stats, 10);
+  EXPECT_EQ(s, summary(stats, 10));
+  EXPECT_LT(s.find("big"), s.find("small"));  // ranked by inclusive time
+  EXPECT_NE(s.find("depth"), std::string::npos);
+  // top_n truncates the ranking.
+  const std::string top1 = summary(stats, 1);
+  EXPECT_NE(top1.find("big"), std::string::npos);
+  EXPECT_EQ(top1.find("small  count"), std::string::npos);
+}
+
+TEST(TraceFile, CheckFileReportsIoAndContentErrors) {
+  EXPECT_NE(check_trace_file("/nonexistent/trace.json", nullptr), "");
+
+  const std::string path = ::testing::TempDir() + "obs_trace_roundtrip.json";
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.instant(rec.track("t"), rec.intern("n"), 1);
+  ASSERT_TRUE(rec.export_chrome_trace(path));
+  TraceStats stats;
+  EXPECT_EQ(check_trace_file(path, &stats), "");
+  EXPECT_EQ(stats.events, 2u);
+
+  std::ofstream(path, std::ios::binary) << "{\"truncated";
+  EXPECT_NE(check_trace_file(path, nullptr), "");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hpc::obs

@@ -254,7 +254,8 @@ struct Scanner {
   void check_nodiscard() {
     if (!is_header(path)) return;
     if (path.find("src/sim") == std::string_view::npos &&
-        path.find("src/core") == std::string_view::npos)
+        path.find("src/core") == std::string_view::npos &&
+        path.find("src/obs") == std::string_view::npos)
       return;
     static const std::regex const_member(R"(\)\s*const(\s+noexcept)?\s*(\{|;|$))");
     static const std::regex void_return(R"(^\s*(virtual\s+)?void\b)");

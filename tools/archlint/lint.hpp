@@ -27,9 +27,10 @@
 ///                          `sim::TimeNs`, not raw `double`/`uint64_t`
 ///                          (heuristic: `_ns`-suffixed raw-typed parameters).
 ///  - D4 `nodiscard`        const accessors and `make_`/`from_` factory
-///                          functions in `src/sim` and `src/core` headers
-///                          must be `[[nodiscard]]` — silently dropping a
-///                          simulation observable is almost always a bug.
+///                          functions in `src/sim`, `src/core`, and
+///                          `src/obs` headers must be `[[nodiscard]]` —
+///                          silently dropping a simulation observable is
+///                          almost always a bug.
 ///  - D5 `header-hygiene`   every header starts with `#pragma once`, declares
 ///                          into the `hpc::` namespace, and carries a
 ///                          `\file` doc block.
@@ -70,7 +71,8 @@ struct Finding {
 
 /// Lints one translation unit given its (possibly fake) path and full text.
 /// The path participates in rule scoping: D1 exempts `src/sim/rng.*`, D3/D5
-/// apply to `.hpp` files, D4 applies to headers under `src/sim` / `src/core`.
+/// apply to `.hpp` files, D4 applies to headers under `src/sim` / `src/core`
+/// / `src/obs`.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view text);
 
 /// Lints one file on disk.  Returns findings; IO failures produce a single

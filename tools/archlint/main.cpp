@@ -10,8 +10,9 @@
 ///
 ///     archlint [--root DIR] [PATH...]
 ///
-/// PATHs (files or directories, default: src tests bench examples) are
-/// resolved against --root (default: current directory) and scanned for
+/// PATHs (files or directories, default: src tests bench examples
+/// tools/benchjson tools/tracecat) are resolved against --root (default:
+/// current directory) and scanned for
 /// determinism-contract violations.  Exit status: 0 clean, 1 findings,
 /// 2 usage error.
 
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "tests", "bench", "examples", "tools/benchjson"};
+  if (paths.empty())
+    paths = {"src", "tests", "bench", "examples", "tools/benchjson", "tools/tracecat"};
 
   // A missing scan path would silently scan nothing and exit 0 — in a CI
   // gate that reads as "clean", so treat it as a usage error instead.

@@ -1,0 +1,93 @@
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tracefile.hpp"
+
+/// \file main.cpp
+/// tracecat: validate and summarize archipelago trace artifacts.  Usage:
+///
+///     tracecat [--check] [--top N] [--metrics FILE] TRACE
+///
+/// TRACE is a Chrome trace-event JSON file exported by
+/// `obs::TraceRecorder::export_chrome_trace`.  tracecat re-parses it with the
+/// strict jsonlite parser and enforces the exporter's invariants (known phase
+/// codes, valid timestamps/durations, numeric counter values, per-track
+/// begin/end balance with matching names).  Without `--check` it also prints
+/// a summary: event counts per phase, the top spans by inclusive simulated
+/// time, and counter extrema.  `--metrics FILE` additionally validates an
+/// archipelago-metrics-v1 snapshot.  Exit status: 0 valid, 1 malformed or
+/// unbalanced, 2 usage error.
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  int top_n = 10;
+  std::string metrics_path;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--top") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tracecat: --top requires a count\n");
+        return 2;
+      }
+      top_n = std::atoi(argv[++i]);
+      if (top_n < 0) {
+        std::fprintf(stderr, "tracecat: --top must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--metrics") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tracecat: --metrics requires a file\n");
+        return 2;
+      }
+      metrics_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: tracecat [--check] [--top N] [--metrics FILE] TRACE\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tracecat: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::fprintf(stderr, "tracecat: more than one trace file given\n");
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "usage: tracecat [--check] [--top N] [--metrics FILE] TRACE\n");
+    return 2;
+  }
+
+  hpc::obs::TraceStats stats;
+  const std::string error = hpc::obs::check_trace_file(trace_path, &stats);
+  if (!error.empty()) {
+    std::fprintf(stderr, "tracecat: %s: %s\n", trace_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string merr = hpc::obs::validate_snapshot_file(metrics_path);
+    if (!merr.empty()) {
+      std::fprintf(stderr, "tracecat: %s: %s\n", metrics_path.c_str(), merr.c_str());
+      return 1;
+    }
+  }
+
+  if (check_only) {
+    std::printf("tracecat: %s: ok (%llu events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(stats.events));
+    if (!metrics_path.empty())
+      std::printf("tracecat: %s: ok\n", metrics_path.c_str());
+    return 0;
+  }
+
+  std::printf("%s", hpc::obs::summary(stats, top_n).c_str());
+  return 0;
+}
