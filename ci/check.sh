@@ -15,8 +15,38 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [2/6] archlint: determinism-contract static analysis =="
-./build/tools/archlint/archlint --root . src tests bench examples tools/benchjson tools/tracecat
+echo "== [2/6] archlint: determinism-contract static analysis (v2) =="
+# Token-stream rules D1-D5/D8/D9 plus the include-graph passes (D6 layering
+# against tools/archlint/layers.txt, D7 cycles), machine-readable output,
+# and a SARIF artifact for upload.  The committed baseline is a ratchet:
+# it may only ever be empty or shrink.
+LINT_DIR=build/archlint-ci
+mkdir -p "${LINT_DIR}"
+./build/tools/archlint/archlint --root . \
+  --layers tools/archlint/layers.txt \
+  --baseline tools/archlint/baseline.txt \
+  --format json --output "${LINT_DIR}/findings.json" \
+  src tests bench examples tools
+./build/tools/archlint/archlint --root . \
+  --layers tools/archlint/layers.txt \
+  --format sarif --output "${LINT_DIR}/findings.sarif" --check-sarif \
+  src tests bench examples tools
+# Baseline ratchet: if the committed baseline still lists findings, a run
+# that fails to retire at least one entry means the debt is not shrinking.
+BASELINE=tools/archlint/baseline.txt
+if grep -vq '^\s*\(#\|$\)' "${BASELINE}"; then
+  ./build/tools/archlint/archlint --root . \
+    --layers tools/archlint/layers.txt \
+    --write-baseline "${LINT_DIR}/baseline.regen" \
+    src tests bench examples tools 2>/dev/null
+  if diff -q <(grep -v '^#' "${BASELINE}") \
+             <(grep -v '^#' "${LINT_DIR}/baseline.regen") >/dev/null; then
+    echo "archlint: baseline ${BASELINE} is non-empty and did not shrink" >&2
+    echo "archlint: retire at least one entry (fix the finding) per change" >&2
+    exit 1
+  fi
+fi
+echo "archlint: SARIF artifact at ${LINT_DIR}/findings.sarif"
 
 echo "== [3/6] warning wall: -Wall -Wextra -Werror =="
 cmake -B build-werror -S . -DARCHIPELAGO_WERROR=ON >/dev/null

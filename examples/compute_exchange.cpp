@@ -80,12 +80,14 @@ int main() {
   sim::Table ledger({"agent", "role", "cash", "inventory (node-h)"});
   for (const int id : provider_ids) {
     const market::Agent& a = exchange.agent(id);
+    // archlint: allow(float-eq): hide exact-zero rows only; any residual shows
     if (a.cash() != 0.0)
       ledger.add_row({a.name(), "provider", "$" + sim::fmt(a.cash(), 2),
                       sim::fmt(a.inventory(), 1)});
   }
   for (const int id : consumer_ids) {
     const market::Agent& a = exchange.agent(id);
+    // archlint: allow(float-eq): hide exact-zero rows only; any residual shows
     if (a.cash() != 0.0)
       ledger.add_row({a.name(), "consumer", "$" + sim::fmt(a.cash(), 2),
                       sim::fmt(a.inventory(), 1)});

@@ -227,7 +227,7 @@ double Mlp::sparsity() const noexcept {
   for (const DenseLayer& l : layers_) {
     total += static_cast<std::int64_t>(l.w.size());
     for (float w : l.w)
-      if (w == 0.0f) ++zeros;
+      if (w == 0.0f) ++zeros;  // archlint: allow(float-eq): exact stored zeros
   }
   return total ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
 }

@@ -173,6 +173,7 @@ WorkflowResult System::run(const Workflow& wf, PlacementPolicy policy) {
         const bool better = [&] {
           if (!have) return true;
           if (policy == PlacementPolicy::kCheapest)
+            // archlint: allow(float-eq): tie-break on identically-derived costs
             return cost < best.cost || (cost == best.cost && finish < best.finish);
           return finish < best.finish ||
                  (finish == best.finish && staged_gb < best.staged_gb);

@@ -13,6 +13,7 @@ double Rng::pareto(double xm, double alpha) {
 
 std::size_t Rng::zipf(std::size_t n, double s) {
   if (n == 0) return 0;
+  // archlint: allow(float-eq): cache key check; s is stored, not computed
   if (n != zipf_n_ || s != zipf_s_) {
     zipf_n_ = n;
     zipf_s_ = s;

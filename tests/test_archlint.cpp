@@ -1,4 +1,5 @@
 #include "lint.hpp"
+#include "report.hpp"
 
 #include <gtest/gtest.h>
 
@@ -96,7 +97,10 @@ TEST(ArchlintUnordered, OrderedContainersAreClean) {
       "#include <set>\n"
       "std::map<int, int> table;\n"
       "std::set<int> keys;\n";
-  EXPECT_TRUE(lint_source("src/mem/good.cpp", src).empty());
+  const std::vector<Finding> fs = lint_source("src/mem/good.cpp", src);
+  EXPECT_FALSE(has_rule(fs, Rule::kUnorderedIter));
+  // The two namespace-scope containers are still mutable globals (D9).
+  EXPECT_EQ(count_rule(fs, Rule::kMutableGlobal), 2u);
 }
 
 TEST(ArchlintUnordered, AllowAnnotationSuppresses) {
@@ -226,6 +230,14 @@ TEST(ArchlintHeaderHygiene, FlagsEachMissingElement) {
   EXPECT_EQ(count_rule(lint_source("src/hw/x.hpp", no_doc), Rule::kHeaderHygiene), 1u);
 }
 
+TEST(ArchlintHeaderHygiene, WholeFileFindingsPointAtLineOne) {
+  // v1 reported these at line 0, which renders as "x.hpp:0:" and confuses
+  // every editor's jump-to-location; whole-file findings live on line 1.
+  const std::vector<Finding> fs = lint_source("src/hw/x.hpp", "int bare();\n");
+  ASSERT_EQ(count_rule(fs, Rule::kHeaderHygiene), 3u);
+  for (const Finding& f : fs) EXPECT_EQ(f.line, 1u);
+}
+
 TEST(ArchlintHeaderHygiene, CompleteHeaderIsCleanAndCppIsExempt) {
   const char* good =
       "#pragma once\n"
@@ -273,6 +285,135 @@ TEST(ArchlintScanner, FormatIsPathLineRuleMessage) {
   EXPECT_NE(line.find("[unordered-iter]"), std::string::npos);
 }
 
+// ---------------------------------------------------------------- D8 --------
+
+TEST(ArchlintFloatEq, FlagsLiteralAndDeclaredDoubleComparisons) {
+  const char* src =
+      "bool f(double x) { return x == 1.0; }\n"
+      "bool g(double x) { return 0.5f != x; }\n"
+      "bool h(int n) { return n == 3.0; }\n";
+  EXPECT_EQ(count_rule(lint_source("src/hw/bad.cpp", src), Rule::kFloatEq), 3u);
+}
+
+TEST(ArchlintFloatEq, IntegerAndPointerComparisonsAreClean) {
+  const char* src =
+      "bool f(int a, int b) { return a == b; }\n"
+      "bool g(double* p, double* q) { return p != q; }\n"
+      "bool h(unsigned long x) { return x == 0x10; }\n";
+  EXPECT_TRUE(lint_source("src/hw/good.cpp", src).empty());
+}
+
+TEST(ArchlintFloatEq, OperatorDefinitionAndTestsAreExempt) {
+  const char* op =
+      "struct V { double v; };\n"
+      "bool operator==(const V& a, const V& b);\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/v.cpp", op), Rule::kFloatEq));
+  const char* cmp = "bool f(double x) { return x == 1.0; }\n";
+  EXPECT_FALSE(has_rule(lint_source("tests/test_x.cpp", cmp), Rule::kFloatEq));
+  EXPECT_TRUE(has_rule(lint_source("src/hw/x.cpp", cmp), Rule::kFloatEq));
+}
+
+TEST(ArchlintFloatEq, AllowAnnotationSuppresses) {
+  const char* src =
+      "bool f(double x) {\n"
+      "  return x == 0.0;  // archlint: allow(float-eq): exact sentinel\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/x.cpp", src), Rule::kFloatEq));
+}
+
+// ---------------------------------------------------------------- D9 --------
+
+TEST(ArchlintMutableGlobal, FlagsNamespaceScopeVariables) {
+  const char* src =
+      "namespace hpc::hw {\n"
+      "int counter = 0;\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/hw/bad.cpp", src);
+  ASSERT_EQ(count_rule(fs, Rule::kMutableGlobal), 1u);
+  EXPECT_NE(fs[0].message.find("'counter'"), std::string::npos);
+}
+
+TEST(ArchlintMutableGlobal, ConstConstexprAndLocalsAreClean) {
+  const char* src =
+      "namespace hpc::hw {\n"
+      "const int kA = 1;\n"
+      "constexpr double kB = 2.5;\n"
+      "inline constexpr char kName[] = \"x\";\n"
+      "int f() { static int local = 0; return ++local; }\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/good.cpp", src), Rule::kMutableGlobal));
+}
+
+TEST(ArchlintMutableGlobal, DeclarationsAreNotVariables) {
+  const char* src =
+      "namespace hpc::hw {\n"
+      "class Widget;\n"
+      "struct Config { int x = 0; };\n"
+      "using Table = int;\n"
+      "extern int shared_elsewhere;\n"
+      "int area(int w, int h);\n"
+      "template <typename T> T zero() { return T{}; }\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/decls.cpp", src), Rule::kMutableGlobal));
+}
+
+TEST(ArchlintMutableGlobal, OnlySrcIsChecked) {
+  const char* src = "int counter = 0;\n";
+  EXPECT_TRUE(has_rule(lint_source("src/hw/x.cpp", src), Rule::kMutableGlobal));
+  EXPECT_FALSE(has_rule(lint_source("tests/x.cpp", src), Rule::kMutableGlobal));
+  EXPECT_FALSE(has_rule(lint_source("bench/x.cpp", src), Rule::kMutableGlobal));
+}
+
+TEST(ArchlintMutableGlobal, AllowAnnotationSuppresses) {
+  const char* src =
+      "namespace hpc::hw {\n"
+      "// archlint: allow(mutable-global): registered-at-init plugin table\n"
+      "int plugin_count = 0;\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/hw/x.cpp", src), Rule::kMutableGlobal));
+}
+
+// --------------------------------------------------- rule selection ---------
+
+TEST(ArchlintRuleSet, DisableAndEnableFilterFindings) {
+  const char* src = "#include <unordered_map>\nstd::random_device rd;\n";
+  Options only_d2;
+  only_d2.rules = RuleSet::none();
+  only_d2.rules.enable(Rule::kUnorderedIter);
+  const std::vector<Finding> fs = lint_source("src/hw/x.cpp", src, only_d2);
+  EXPECT_TRUE(has_rule(fs, Rule::kUnorderedIter));
+  EXPECT_FALSE(has_rule(fs, Rule::kAmbientRng));
+  EXPECT_FALSE(has_rule(fs, Rule::kMutableGlobal));
+
+  Options no_d2;
+  no_d2.rules.disable(Rule::kUnorderedIter);
+  EXPECT_FALSE(has_rule(lint_source("src/hw/x.cpp", src, no_d2), Rule::kUnorderedIter));
+}
+
+TEST(ArchlintRuleSet, IoErrorCannotBeDisabled) {
+  Options none;
+  none.rules = RuleSet::none();
+  EXPECT_TRUE(none.rules.contains(Rule::kIoError));
+  const std::vector<Finding> fs =
+      lint_file(std::filesystem::path("definitely/not/a/real/file.cpp"), none);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::kIoError);
+  EXPECT_EQ(fs[0].line, 1u);
+}
+
+TEST(ArchlintRuleSet, RuleIdsRoundTrip) {
+  for (int i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    Rule back = Rule::kAmbientRng;
+    ASSERT_TRUE(rule_from_id(id_of(r), back)) << id_of(r);
+    EXPECT_EQ(back, r);
+  }
+  Rule unused;
+  EXPECT_FALSE(rule_from_id("no-such-rule", unused));
+}
+
+// ------------------------------------------------------- tree scans ---------
+
 TEST(ArchlintTree, WalksDirectoriesAndFindsViolations) {
   namespace fs = std::filesystem;
   const fs::path root = fs::temp_directory_path() / "archlint_tree_test";
@@ -281,12 +422,120 @@ TEST(ArchlintTree, WalksDirectoriesAndFindsViolations) {
     std::ofstream bad(root / "src" / "bad.cpp");
     bad << "#include <random>\nstd::random_device rd;\n";
     std::ofstream good(root / "src" / "good.cpp");
-    good << "int x = 0;\n";
+    good << "int f() { return 0; }\n";
   }
   const std::vector<Finding> fs_found = lint_tree({root / "src"});
-  EXPECT_EQ(fs_found.size(), 1u);
+  // The global `rd` is both ambient nondeterminism and a mutable global.
+  EXPECT_EQ(fs_found.size(), 2u);
   EXPECT_TRUE(has_rule(fs_found, Rule::kAmbientRng));
+  EXPECT_TRUE(has_rule(fs_found, Rule::kMutableGlobal));
   fs::remove_all(root);
+}
+
+// D6-D9 against the committed violation corpus (the same directory the
+// archlint_fixtures ctest scans through the CLI).
+TEST(ArchlintFixtureCorpus, EveryGraphAndTokenRuleFires) {
+  namespace fs = std::filesystem;
+  const fs::path corpus = ARCHLINT_FIXTURES_DIR;
+  ASSERT_TRUE(fs::exists(corpus / "layers.txt"));
+  TreeOptions opts;
+  opts.root = corpus;
+  opts.layers_file = corpus / "layers.txt";
+  const std::vector<Finding> fs_found = lint_tree({corpus / "src"}, opts);
+  ASSERT_EQ(fs_found.size(), 4u);
+  EXPECT_EQ(count_rule(fs_found, Rule::kLayerViolation), 1u);
+  EXPECT_EQ(count_rule(fs_found, Rule::kIncludeCycle), 1u);
+  EXPECT_EQ(count_rule(fs_found, Rule::kFloatEq), 1u);
+  EXPECT_EQ(count_rule(fs_found, Rule::kMutableGlobal), 1u);
+  for (const Finding& f : fs_found) {
+    if (f.rule == Rule::kLayerViolation || f.rule == Rule::kIncludeCycle)
+      EXPECT_EQ(f.path, "src/alpha/a.hpp") << format(f);
+    else
+      EXPECT_EQ(f.path, "src/gamma/g.cpp") << format(f);
+  }
+}
+
+TEST(ArchlintFixtureCorpus, FixturesAreSkippedBelowAScanRoot) {
+  // Scanning the PARENT of the corpus must see nothing: `fixtures` path
+  // components below a root are data, not code.
+  namespace fs = std::filesystem;
+  const fs::path corpus = ARCHLINT_FIXTURES_DIR;
+  const std::vector<Finding> fs_found = lint_tree({corpus.parent_path()});
+  for (const Finding& f : fs_found)
+    EXPECT_EQ(f.path.find("fixtures"), std::string::npos) << format(f);
+}
+
+// ------------------------------------------------- reporting layer ----------
+
+TEST(ArchlintReport, JsonAndSarifRenderDeterministically) {
+  const std::vector<Finding> fs =
+      lint_source("src/hw/bad.cpp", "#include <unordered_map>\n");
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string json = render(fs, Format::kJson);
+  EXPECT_NE(json.find("\"tool\": \"archlint\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"unordered-iter\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_EQ(json, render(fs, Format::kJson));
+
+  const std::string sarif = render(fs, Format::kSarif);
+  std::string error;
+  EXPECT_TRUE(check_sarif_roundtrip(fs, sarif, error)) << error;
+}
+
+TEST(ArchlintReport, SarifRoundTripCatchesMismatches) {
+  const std::vector<Finding> fs =
+      lint_source("src/hw/bad.cpp", "#include <unordered_map>\n");
+  const std::string sarif = render(fs, Format::kSarif);
+  std::string error;
+  EXPECT_FALSE(check_sarif_roundtrip({}, sarif, error));  // count mismatch
+  EXPECT_FALSE(check_sarif_roundtrip(fs, "{}", error));   // not SARIF
+}
+
+TEST(ArchlintReport, BaselineSuppressesAndCountsStaleEntries) {
+  const std::vector<Finding> fs = lint_source(
+      "src/hw/bad.cpp", "#include <unordered_map>\n#include <unordered_set>\n");
+  ASSERT_EQ(fs.size(), 2u);
+  Baseline b;
+  b.entries.push_back(Baseline::Entry{Rule::kUnorderedIter, "src/hw/bad.cpp", 1});
+  b.entries.push_back(Baseline::Entry{Rule::kUnorderedIter, "src/hw/other.cpp", 9});
+  const BaselineResult r = apply_baseline(fs, b);
+  EXPECT_EQ(r.kept.size(), 1u);
+  EXPECT_EQ(r.suppressed, 1u);
+  EXPECT_EQ(r.stale, 1u);
+}
+
+TEST(ArchlintReport, BaselineNeverMasksIoError) {
+  const std::vector<Finding> fs{
+      Finding{Rule::kIoError, "src/hw/gone.cpp", 1, "cannot read file"}};
+  const BaselineResult r = apply_baseline(fs, Baseline::from_findings(fs));
+  EXPECT_EQ(r.kept.size(), 1u);  // from_findings refuses io-error entries...
+  Baseline forced;
+  forced.entries.push_back(Baseline::Entry{Rule::kIoError, "src/hw/gone.cpp", 1});
+  const BaselineResult r2 = apply_baseline(fs, forced);
+  EXPECT_EQ(r2.kept.size(), 1u);  // ...and apply ignores them even if forced.
+}
+
+TEST(ArchlintReport, BaselineSerializeLoadRoundTrips) {
+  namespace fs = std::filesystem;
+  Baseline b;
+  b.entries.push_back(Baseline::Entry{Rule::kFloatEq, "src/ai/mlp.cpp", 23});
+  b.entries.push_back(Baseline::Entry{Rule::kMutableGlobal, "src/hw/x.cpp", 7});
+  const fs::path file = fs::temp_directory_path() / "archlint_baseline_test.txt";
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << b.serialize();
+  }
+  Baseline loaded;
+  std::string error;
+  ASSERT_TRUE(Baseline::load(file, loaded, error)) << error;
+  ASSERT_EQ(loaded.entries.size(), 2u);
+  EXPECT_EQ(loaded.entries[0].rule, Rule::kFloatEq);
+  EXPECT_EQ(loaded.entries[0].path, "src/ai/mlp.cpp");
+  EXPECT_EQ(loaded.entries[0].line, 23u);
+  fs::remove(file);
+
+  Baseline missing;
+  EXPECT_FALSE(Baseline::load(fs::path("no/such/baseline.txt"), missing, error));
 }
 
 }  // namespace

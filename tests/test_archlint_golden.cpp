@@ -1,0 +1,168 @@
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Golden corpus: frozen source snippets with their exact expected findings.
+//
+// The first group reproduces, finding-for-finding, what archlint v1 (the
+// line-based scanner this engine replaced) reported on the same sources —
+// the v2 token engine must not lose a single v1 finding.  The second group
+// pins cases v1 got WRONG: multi-line declarations it missed and raw-string
+// / dead-code content it could misread.  Line numbers are part of the
+// contract (editors jump to them), so they are asserted exactly.
+
+namespace hpc::lint {
+namespace {
+
+using Expected = std::vector<std::pair<Rule, std::size_t>>;  // (rule, line)
+
+void expect_exact(std::string_view path, std::string_view src, Expected want,
+                  const char* label) {
+  std::vector<Finding> got = lint_source(path, src);
+  Expected have;
+  have.reserve(got.size());
+  for (const Finding& f : got) have.emplace_back(f.rule, f.line);
+  std::sort(have.begin(), have.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(have, want) << label << ": findings diverged on " << path;
+}
+
+// ------------------------------------------------ v1 parity group -----------
+
+TEST(ArchlintGolden, V1AmbientRngFindingsReproduce) {
+  expect_exact("src/hw/bad.cpp",
+               "#include <random>\n"
+               "int f() {\n"
+               "  std::random_device rd;\n"
+               "  srand(42);\n"
+               "  return rand() + (int)rd();\n"
+               "}\n",
+               {{Rule::kAmbientRng, 3}, {Rule::kAmbientRng, 4}, {Rule::kAmbientRng, 5}},
+               "D1 corpus");
+  expect_exact("src/fed/bad.cpp",
+               "#include <chrono>\n"
+               "long f() { return std::chrono::system_clock::now().count(); }\n"
+               "long g() { return std::chrono::steady_clock::now().count(); }\n"
+               "long h() { return time(nullptr); }\n",
+               {{Rule::kAmbientRng, 2}, {Rule::kAmbientRng, 3}, {Rule::kAmbientRng, 4}},
+               "D1 wall-clock corpus");
+}
+
+TEST(ArchlintGolden, V1UnorderedFindingsReproducePlusNewMutableGlobal) {
+  // v1 flagged the include (line 1) and the use (line 2).  v2 reproduces
+  // both AND sees what v1 never looked for: `table` is a mutable global.
+  expect_exact("src/mem/bad.cpp",
+               "#include <unordered_map>\n"
+               "std::unordered_map<int, int> table;\n",
+               {{Rule::kUnorderedIter, 1},
+                {Rule::kUnorderedIter, 2},
+                {Rule::kMutableGlobal, 2}},
+               "D2 corpus");
+}
+
+TEST(ArchlintGolden, V1RawTimeFindingsReproduce) {
+  expect_exact("src/net/bad.hpp",
+               "#pragma once\n"
+               "/// \\file bad.hpp\n"
+               "namespace hpc::net {\n"
+               "void set_timeout(double timeout_ns);\n"
+               "void arm(std::uint64_t deadline_ns, int id);\n"
+               "}\n",
+               {{Rule::kRawTime, 4}, {Rule::kRawTime, 5}}, "D3 corpus");
+}
+
+TEST(ArchlintGolden, V1NodiscardFindingsReproduce) {
+  expect_exact("src/sim/c.hpp",
+               "#pragma once\n"
+               "/// \\file c.hpp\n"
+               "namespace hpc::sim {\n"
+               "class C {\n"
+               " public:\n"
+               "  int count() const noexcept { return n_; }\n"
+               " private:\n"
+               "  int n_ = 0;\n"
+               "};\n"
+               "}\n",
+               {{Rule::kNodiscard, 6}}, "D4 accessor corpus");
+  expect_exact("src/core/f.hpp",
+               "#pragma once\n"
+               "/// \\file f.hpp\n"
+               "namespace hpc::core {\n"
+               "struct Config { int x = 0; };\n"
+               "Config make_config();\n"
+               "}\n",
+               {{Rule::kNodiscard, 5}}, "D4 factory corpus");
+}
+
+TEST(ArchlintGolden, V1HeaderHygieneFindingsReproduceAtLineOne) {
+  // v1 emitted these at line 0; the findings themselves are identical.
+  expect_exact("src/hw/x.hpp", "int bare();\n",
+               {{Rule::kHeaderHygiene, 1},
+                {Rule::kHeaderHygiene, 1},
+                {Rule::kHeaderHygiene, 1}},
+               "D5 corpus");
+}
+
+TEST(ArchlintGolden, V1CleanSourcesStayClean) {
+  expect_exact("src/hw/good.cpp",
+               "#include \"sim/rng.hpp\"\n"
+               "double f(hpc::sim::Rng& rng) { return rng.uniform(); }\n",
+               {}, "clean corpus");
+  expect_exact("src/mem/x.cpp",
+               "#include <unordered_map>  // archlint: allow(unordered-iter)\n",
+               {}, "allow-annotation corpus");
+}
+
+// ------------------------------------------------ v1-miss group -------------
+
+TEST(ArchlintGolden, V2CatchesMultiLineDeclarationsV1Missed) {
+  // v1 matched `double X_ns` within one physical line: splitting the
+  // declaration was an (accidental) suppression.  Tokens don't care.
+  expect_exact("src/net/split.hpp",
+               "#pragma once\n"
+               "/// \\file split.hpp\n"
+               "namespace hpc::net {\n"
+               "void set_timeout(double\n"
+               "    timeout_ns);\n"
+               "}\n",
+               {{Rule::kRawTime, 5}}, "v1-missed multi-line D3");
+  // Same story for `) const` split across lines.
+  expect_exact("src/sim/split.hpp",
+               "#pragma once\n"
+               "/// \\file split.hpp\n"
+               "namespace hpc::sim {\n"
+               "class C {\n"
+               " public:\n"
+               "  int count()\n"
+               "      const;\n"
+               "};\n"
+               "}\n",
+               {{Rule::kNodiscard, 7}}, "v1-missed multi-line D4");
+}
+
+TEST(ArchlintGolden, V2IgnoresRawStringAndDeadCodeContent) {
+  // A multi-line raw string: v1's per-line blanking lost track of the
+  // literal after line one and saw `srand(1);` as code.
+  expect_exact("src/hw/doc.cpp",
+               "const char* doc = R\"(usage:\n"
+               "srand(1);\n"
+               "std::unordered_map<int, int> m;\n"
+               ")\";\n",
+               {}, "v1-misread raw string");
+  expect_exact("src/hw/dead.cpp",
+               "#if 0\n"
+               "srand(1);\n"
+               "std::random_device rd;\n"
+               "#endif\n"
+               "int live() { return 1; }\n",
+               {}, "v1-misread #if 0 region");
+}
+
+}  // namespace
+}  // namespace hpc::lint

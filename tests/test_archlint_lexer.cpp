@@ -1,0 +1,249 @@
+#include "lexer.hpp"
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+// The lexer is what makes archlint v2 token-accurate: these tests pin the
+// exact failure modes the v1 line scanner had — raw strings, line-spliced
+// comments, `#if 0` regions, multi-line declarations — and prove none of
+// them can false-positive (or false-negative) through lint_source().
+
+namespace hpc::lint {
+namespace {
+
+std::vector<std::string> texts_of(const LexedFile& lf, TokKind kind) {
+  std::vector<std::string> out;
+  for (const Token& t : lf.tokens)
+    if (t.kind == kind) out.push_back(t.text);
+  return out;
+}
+
+bool has_ident(const LexedFile& lf, std::string_view name) {
+  for (const Token& t : lf.tokens)
+    if (t.kind == TokKind::kIdent && t.text == name) return true;
+  return false;
+}
+
+// ------------------------------------------------------ raw strings ---------
+
+TEST(ArchlintLexer, RawStringsBecomeSingleTokens) {
+  const LexedFile lf = lex("const char* s = R\"(srand(1); std::unordered_map)\";\n");
+  const std::vector<std::string> strings = texts_of(lf, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0], "R\"(srand(1); std::unordered_map)\"");
+  EXPECT_FALSE(has_ident(lf, "srand"));
+  EXPECT_FALSE(has_ident(lf, "unordered_map"));
+}
+
+TEST(ArchlintLexer, RawStringsWithDelimitersAndQuotes) {
+  // The )" inside the literal must not close a d-char-delimited raw string.
+  const LexedFile lf = lex("auto s = R\"x(quote \" close )\" rand() )x\";\n");
+  EXPECT_FALSE(has_ident(lf, "rand"));
+  ASSERT_EQ(texts_of(lf, TokKind::kString).size(), 1u);
+}
+
+TEST(ArchlintLexer, MultiLineRawStringKeepsFollowingCodeVisible) {
+  const char* src =
+      "auto s = R\"(line one\n"
+      "rand();\n"
+      "line three)\";\n"
+      "int after = 1;\n";
+  const LexedFile lf = lex(src);
+  EXPECT_FALSE(has_ident(lf, "rand"));
+  EXPECT_TRUE(has_ident(lf, "after"));
+}
+
+TEST(ArchlintLexer, RawStringViolationsNeverFire) {
+  const char* src =
+      "const char* doc = R\"(call rand() on a std::unordered_map\n"
+      "while reading std::random_device at time(nullptr))\";\n";
+  EXPECT_TRUE(lint_source("src/hw/doc.cpp", src).empty());
+}
+
+// ------------------------------------------------- spliced comments ---------
+
+TEST(ArchlintLexer, LineSplicedCommentSwallowsNextLine) {
+  // The backslash-newline extends the // comment: srand(1) is commentary,
+  // not code.  v1 matched per physical line and flagged it.
+  const char* src =
+      "int x = 0;  // a comment that continues \\\n"
+      "srand(1);\n"
+      "int y = 1;\n";
+  const LexedFile lf = lex(src);
+  EXPECT_FALSE(has_ident(lf, "srand"));
+  EXPECT_TRUE(has_ident(lf, "y"));
+  EXPECT_TRUE(lint_source("tests/spliced.cpp", src).empty());
+}
+
+TEST(ArchlintLexer, SplicedCodeKeepsPhysicalLines) {
+  const char* src =
+      "int ab\\\n"
+      "cd = 2;\n"
+      "int ef = 3;\n";
+  const LexedFile lf = lex(src);
+  EXPECT_TRUE(has_ident(lf, "abcd"));  // splice joins the identifier
+  for (const Token& t : lf.tokens) {
+    if (t.text == "ef") {
+      EXPECT_EQ(t.line, 3u);  // physical lines survive
+    }
+  }
+}
+
+// ------------------------------------------------------ #if 0 blocks --------
+
+TEST(ArchlintLexer, IfZeroRegionsAreInvisible) {
+  const char* src =
+      "int before() { return 1; }\n"
+      "#if 0\n"
+      "srand(1);\n"
+      "std::unordered_map<int, int> dead;\n"
+      "#if 1\n"
+      "rand();\n"
+      "#endif\n"
+      "#endif\n"
+      "int after() { return 2; }\n";
+  const LexedFile lf = lex(src);
+  EXPECT_FALSE(has_ident(lf, "srand"));
+  EXPECT_FALSE(has_ident(lf, "unordered_map"));
+  EXPECT_TRUE(has_ident(lf, "before"));
+  EXPECT_TRUE(has_ident(lf, "after"));
+  EXPECT_TRUE(lint_source("src/hw/dead.cpp", src).empty());
+}
+
+TEST(ArchlintLexer, ElseBranchOfIfZeroIsLive) {
+  const char* src =
+      "#if 0\n"
+      "srand(1);\n"
+      "#else\n"
+      "int live = 1;\n"
+      "#endif\n";
+  const LexedFile lf = lex(src);
+  EXPECT_FALSE(has_ident(lf, "srand"));
+  EXPECT_TRUE(has_ident(lf, "live"));
+}
+
+TEST(ArchlintLexer, OrdinaryConditionalsStayVisible) {
+  const char* src =
+      "#ifdef FEATURE\n"
+      "int a = 1;\n"
+      "#else\n"
+      "int b = 2;\n"
+      "#endif\n";
+  const LexedFile lf = lex(src);
+  EXPECT_TRUE(has_ident(lf, "a"));
+  EXPECT_TRUE(has_ident(lf, "b"));
+}
+
+// ----------------------------------------------- multi-line declarations ----
+
+TEST(ArchlintLexer, MultiLineDeclarationTokensKeepTheirLines) {
+  const char* src =
+      "void set_timeout(\n"
+      "    double timeout_ns,\n"
+      "    int id);\n";
+  const LexedFile lf = lex(src);
+  for (const Token& t : lf.tokens) {
+    if (t.text == "timeout_ns") {
+      EXPECT_EQ(t.line, 2u);
+    }
+    if (t.text == "id") {
+      EXPECT_EQ(t.line, 3u);
+    }
+  }
+}
+
+TEST(ArchlintLexer, MultiLineRawTimeDeclarationIsCaught) {
+  // v1 matched "double X_ns" within one physical line and missed this.
+  const char* src =
+      "#pragma once\n"
+      "/// \\file split.hpp\n"
+      "namespace hpc::net {\n"
+      "void set_timeout(double\n"
+      "    timeout_ns);\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/net/split.hpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::kRawTime);
+  EXPECT_EQ(fs[0].line, 5u);  // points at the parameter name's line
+}
+
+TEST(ArchlintLexer, MultiLineConstAccessorIsCaught) {
+  // v1's `) const` regex needed both on one physical line.
+  const char* src =
+      "#pragma once\n"
+      "/// \\file split.hpp\n"
+      "namespace hpc::sim {\n"
+      "class C {\n"
+      " public:\n"
+      "  int count()\n"
+      "      const noexcept;\n"
+      "};\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/sim/split.hpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, Rule::kNodiscard);
+}
+
+// ------------------------------------------------------- mechanics ----------
+
+TEST(ArchlintLexer, CommentsAreCollectedPerLine) {
+  const char* src =
+      "int a = 1;  // first\n"
+      "/* second */ int b = 2;\n";
+  const LexedFile lf = lex(src);
+  ASSERT_GE(lf.line_comments.size(), 2u);
+  EXPECT_NE(lf.line_comments[0].find("first"), std::string::npos);
+  EXPECT_NE(lf.line_comments[1].find("second"), std::string::npos);
+}
+
+TEST(ArchlintLexer, DirectivesAreWhitespaceCollapsedSingleTokens) {
+  const LexedFile lf = lex("#  include   \"net/link.hpp\"   // why\n");
+  const std::vector<std::string> dirs = texts_of(lf, TokKind::kDirective);
+  ASSERT_EQ(dirs.size(), 1u);
+  EXPECT_EQ(dirs[0], "#include \"net/link.hpp\"");
+}
+
+TEST(ArchlintLexer, NumbersLexAsSingleTokens) {
+  const LexedFile lf = lex("auto x = 1'000'000 + 1.5e-3 + 0x1Fp2;\n");
+  const std::vector<std::string> nums = texts_of(lf, TokKind::kNumber);
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_EQ(nums[0], "1'000'000");
+  EXPECT_EQ(nums[1], "1.5e-3");
+  EXPECT_EQ(nums[2], "0x1Fp2");
+}
+
+TEST(ArchlintLexer, FloatLiteralClassification) {
+  EXPECT_TRUE(is_float_literal("1.0"));
+  EXPECT_TRUE(is_float_literal("1e9"));
+  EXPECT_TRUE(is_float_literal("2.5f"));
+  EXPECT_TRUE(is_float_literal("3F"));
+  EXPECT_TRUE(is_float_literal("0x1Fp2"));   // hex float: binary exponent
+  EXPECT_FALSE(is_float_literal("42"));
+  EXPECT_FALSE(is_float_literal("0x1F"));    // hex int: 'F' is a digit
+  EXPECT_FALSE(is_float_literal("100L"));
+  EXPECT_FALSE(is_float_literal("1'000"));
+}
+
+TEST(ArchlintLexer, UnterminatedStringClosesAtNewline) {
+  const char* src =
+      "const char* s = \"oops\n"
+      "int still_lexed = 1;\n";
+  EXPECT_TRUE(has_ident(lex(src), "still_lexed"));
+}
+
+TEST(ArchlintLexer, CrLfSourceLexesLikeLf) {
+  const LexedFile a = lex("int x = 1;\r\nint y = 2;\r\n");
+  const LexedFile b = lex("int x = 1;\nint y = 2;\n");
+  ASSERT_EQ(a.tokens.size(), b.tokens.size());
+  for (std::size_t i = 0; i < a.tokens.size(); ++i) {
+    EXPECT_EQ(a.tokens[i].text, b.tokens[i].text);
+    EXPECT_EQ(a.tokens[i].line, b.tokens[i].line);
+  }
+}
+
+}  // namespace
+}  // namespace hpc::lint

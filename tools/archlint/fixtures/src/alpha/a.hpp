@@ -1,0 +1,14 @@
+#pragma once
+
+#include "beta/b.hpp"
+
+/// \file a.hpp
+/// Fixture: the bottom module reaching UP into beta — a layer violation
+/// (`alpha:` allows no dependencies) that also closes an include cycle
+/// with beta/b.hpp.
+
+namespace hpc::fixture_alpha {
+
+inline int alpha_value() { return 1; }
+
+}  // namespace hpc::fixture_alpha

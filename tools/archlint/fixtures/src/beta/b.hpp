@@ -1,0 +1,13 @@
+#pragma once
+
+#include "alpha/a.hpp"
+
+/// \file b.hpp
+/// Fixture: a dependency the spec allows (`beta: alpha`) whose direction
+/// nevertheless completes the a.hpp -> b.hpp -> a.hpp include cycle.
+
+namespace hpc::fixture_beta {
+
+inline int beta_value() { return 2; }
+
+}  // namespace hpc::fixture_beta

@@ -1,0 +1,16 @@
+#include "beta/b.hpp"
+
+/// \file g.cpp
+/// Fixture: token-level violations — a raw float equality (D8) and a
+/// mutable namespace-scope variable (D9).  The beta include is legal
+/// (`gamma: beta`).
+
+namespace hpc::fixture_gamma {
+
+double tolerance = 0.5;
+
+inline bool is_exact(double x) {
+  return x == 1.0;
+}
+
+}  // namespace hpc::fixture_gamma

@@ -1,0 +1,310 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+/// \file include_graph.cpp
+/// Layering-spec parsing, module mapping, and the D6/D7 graph passes.
+
+namespace hpc::lint {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split_words(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+/// Directory part of a generic path ("src/net/x.hpp" -> "src/net").
+std::string dir_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string() : std::string(path.substr(0, slash));
+}
+
+/// Lexically normalizes "a/b/../c" style paths (enough for include joins).
+std::string normalize(std::string_view path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  auto push = [&] {
+    if (cur.empty() || cur == ".") {
+      cur.clear();
+      return;
+    }
+    if (cur == ".." && !parts.empty() && parts.back() != "..") parts.pop_back();
+    else parts.push_back(cur);
+    cur.clear();
+  };
+  for (const char c : path) {
+    if (c == '/') push();
+    else cur += c;
+  }
+  push();
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>* LayerSpec::find(std::string_view module) const {
+  for (const auto& [name, deps] : allow)
+    if (name == module) return &deps;
+  return nullptr;
+}
+
+bool parse_layers(std::string_view text, LayerSpec& out, std::string& error) {
+  out.allow.clear();
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    std::string line = trim(raw);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      error = "layers.txt:" + std::to_string(line_no) + ": expected '<module>: <deps...>'";
+      return false;
+    }
+    const std::string module = trim(line.substr(0, colon));
+    if (module.empty()) {
+      error = "layers.txt:" + std::to_string(line_no) + ": empty module name";
+      return false;
+    }
+    if (out.find(module) != nullptr) {
+      error = "layers.txt:" + std::to_string(line_no) + ": duplicate module '" + module + "'";
+      return false;
+    }
+    out.allow.emplace_back(module, split_words(line.substr(colon + 1)));
+  }
+  // A typo in a dep name must not silently allow everything: every dep has
+  // to name a declared module.
+  for (const auto& [name, deps] : out.allow) {
+    for (const std::string& d : deps) {
+      if (out.find(d) == nullptr) {
+        error = "layers.txt: module '" + name + "' allows unknown module '" + d + "'";
+        return false;
+      }
+      if (d == name) {
+        error = "layers.txt: module '" + name + "' lists itself (own-module includes are implicit)";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool load_layers(const std::filesystem::path& file, LayerSpec& out, std::string& error) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    error = "cannot read '" + file.generic_string() + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_layers(buf.str(), out, error);
+}
+
+std::string module_of(std::string_view rel_path) {
+  const std::string norm = normalize(rel_path);
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : norm) {
+    if (c == '/') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  if (parts.size() >= 2 && (parts[0] == "src" || parts[0] == "tools"))
+    return parts[0] == "src" ? parts[1] : parts[0] + "/" + parts[1];
+  return parts.empty() ? std::string() : parts[0];
+}
+
+FileIncludes extract_includes(std::string rel_path, const LexedFile& lf) {
+  FileIncludes out;
+  out.rel_path = std::move(rel_path);
+  for (const Token& t : lf.tokens) {
+    if (t.kind != TokKind::kDirective) continue;
+    static constexpr std::string_view kInclude = "#include \"";
+    if (t.text.rfind(kInclude, 0) != 0) continue;
+    const std::size_t close = t.text.find('"', kInclude.size());
+    if (close == std::string::npos) continue;
+    FileIncludes::Include inc;
+    inc.target = t.text.substr(kInclude.size(), close - kInclude.size());
+    inc.line = t.line;
+    inc.allowed = line_allows(lf, Rule::kLayerViolation, t.line);
+    out.includes.push_back(std::move(inc));
+  }
+  return out;
+}
+
+namespace {
+
+/// Resolves a quoted include against the scanned set: the includer's own
+/// directory first (the quoted-include search rule), then the src/ include
+/// root, then the repo root.  Returns the resolved rel_path or "".
+std::string resolve_include(const std::string& from, const std::string& target,
+                            const std::map<std::string, std::size_t>& by_path) {
+  const std::string candidates[] = {
+      normalize(dir_of(from) + "/" + target),
+      normalize("src/" + target),
+      normalize(target),
+  };
+  for (const std::string& c : candidates)
+    if (by_path.count(c) != 0) return c;
+  return std::string();
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const std::vector<FileIncludes>& files,
+                                    const LayerSpec& spec) {
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path.emplace(files[i].rel_path, i);
+  std::vector<Finding> out;
+  for (const FileIncludes& f : files) {
+    const std::string mod = module_of(f.rel_path);
+    const std::vector<std::string>* allowed = spec.find(mod);
+    if (allowed == nullptr) continue;  // unconstrained module (tests/bench/...)
+    for (const FileIncludes::Include& inc : f.includes) {
+      if (inc.allowed) continue;
+      // Module of the include target: resolve against the scanned set if
+      // possible, else fall back to the path's first component when that
+      // names a declared module (unknown targets never constrain).
+      std::string target_mod;
+      const std::string resolved = resolve_include(f.rel_path, inc.target, by_path);
+      if (!resolved.empty()) {
+        target_mod = module_of(resolved);
+      } else {
+        const std::string first = inc.target.substr(0, inc.target.find('/'));
+        if (spec.known(first)) target_mod = first;
+      }
+      if (target_mod.empty() || target_mod == mod) continue;
+      if (std::find(allowed->begin(), allowed->end(), target_mod) != allowed->end()) continue;
+      std::string deps = "(nothing)";
+      if (!allowed->empty()) {
+        deps.clear();
+        for (const std::string& d : *allowed) deps += deps.empty() ? d : " " + d;
+      }
+      out.push_back(Finding{
+          Rule::kLayerViolation, f.rel_path, inc.line,
+          "layer violation: module '" + mod + "' may not include '" + inc.target +
+              "' (module '" + target_mod + "'); allowed deps: " + deps +
+              " — see tools/archlint/layers.txt"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_cycles(const std::vector<FileIncludes>& files) {
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path.emplace(files[i].rel_path, i);
+  const std::size_t n = files.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  std::vector<std::vector<std::size_t>> edge_line(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const FileIncludes::Include& inc : files[i].includes) {
+      const std::string resolved = resolve_include(files[i].rel_path, inc.target, by_path);
+      if (resolved.empty()) continue;
+      adj[i].push_back(by_path.at(resolved));
+      edge_line[i].push_back(inc.line);
+    }
+  }
+  // Iterative DFS with colors; every back edge closes a cycle.  Each cycle
+  // is reported once, keyed on its sorted member set, anchored at its
+  // lexicographically-smallest file.
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<std::size_t> parent(n, n);
+  std::vector<Finding> out;
+  std::vector<std::string> seen_cycles;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // node, next-edge
+    color[start] = 1;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next >= adj[node].size()) {
+        color[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t to = adj[node][next];
+      ++next;
+      if (color[to] == 0) {
+        color[to] = 1;
+        parent[to] = node;
+        stack.emplace_back(to, 0);
+      } else if (color[to] == 1) {
+        // Back edge node -> to: walk the stack to spell the cycle.
+        std::vector<std::size_t> cycle;
+        for (std::size_t s = stack.size(); s-- > 0;) {
+          cycle.push_back(stack[s].first);
+          if (stack[s].first == to) break;
+        }
+        std::reverse(cycle.begin(), cycle.end());  // to ... node
+        std::vector<std::string> names;
+        names.reserve(cycle.size());
+        for (const std::size_t c : cycle) names.push_back(files[c].rel_path);
+        std::vector<std::string> key_vec = names;
+        std::sort(key_vec.begin(), key_vec.end());
+        std::string key;
+        for (const std::string& k : key_vec) key += k + "|";
+        if (std::find(seen_cycles.begin(), seen_cycles.end(), key) != seen_cycles.end())
+          continue;
+        seen_cycles.push_back(key);
+        // Anchor at the smallest member so reports are deterministic, and
+        // point at that member's #include of the next file in the cycle.
+        std::size_t anchor_pos = 0;
+        for (std::size_t k = 1; k < names.size(); ++k)
+          if (names[k] < names[anchor_pos]) anchor_pos = k;
+        std::string chain;
+        for (std::size_t k = 0; k < names.size(); ++k)
+          chain += names[(anchor_pos + k) % names.size()] + " -> ";
+        chain += names[anchor_pos];
+        const std::size_t anchor = cycle[anchor_pos];
+        const std::size_t succ = cycle[(anchor_pos + 1) % cycle.size()];
+        std::size_t line = 1;
+        for (std::size_t k = 0; k < adj[anchor].size(); ++k)
+          if (adj[anchor][k] == succ) {
+            line = edge_line[anchor][k];
+            break;
+          }
+        out.push_back(Finding{Rule::kIncludeCycle, names[anchor_pos], line,
+                              "include cycle: " + chain});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpc::lint

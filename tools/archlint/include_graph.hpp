@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+/// \file include_graph.hpp
+/// archlint's include-graph pass: module layering (D6) and cycle (D7)
+/// enforcement over the scanned tree.
+///
+/// The module dependency DAG DESIGN.md promises (`sim` at the bottom,
+/// `obs` depending only on `sim`, the substrates above) is declared once in
+/// `tools/archlint/layers.txt` and *proved* here instead of trusted:
+///
+///     # "<module>: <dep> <dep> ..." — a file in <module> may #include its
+///     # own module and the listed modules only.
+///     sim:
+///     obs: sim
+///     net: sim obs
+///
+/// A module is a directory under `src/` (named by the directory: `net`,
+/// `sched`, ...) or a tool (`tools/archlint`, ...).  `tests/`, `bench/`, and
+/// `examples/` carry no entry, which makes them unconstrained leaves: D6
+/// skips files whose module has no entry, but every scanned file still
+/// participates in D7 cycle detection.
+
+namespace hpc::lint {
+
+/// Parsed layering spec: module -> allowed dependency modules, in file
+/// order (kept deterministic for reporting).
+struct LayerSpec {
+  std::vector<std::pair<std::string, std::vector<std::string>>> allow;
+
+  /// Allowed deps for \p module, or nullptr if the module has no entry.
+  [[nodiscard]] const std::vector<std::string>* find(std::string_view module) const;
+  /// True if \p module has an entry (constrained module).
+  [[nodiscard]] bool known(std::string_view module) const { return find(module) != nullptr; }
+  [[nodiscard]] bool empty() const noexcept { return allow.empty(); }
+};
+
+/// Parses a layering spec ('#' comments, blank lines, "<module>: deps").
+/// Returns false and fills \p error on malformed input (unknown dep names
+/// are an error too: a typo must not silently allow everything).
+[[nodiscard]] bool parse_layers(std::string_view text, LayerSpec& out, std::string& error);
+
+/// Loads and parses a spec file.
+[[nodiscard]] bool load_layers(const std::filesystem::path& file, LayerSpec& out,
+                               std::string& error);
+
+/// Module of a repo-relative path: "src/net/x.hpp" -> "net",
+/// "tools/tracecat/main.cpp" -> "tools/tracecat", "tests/foo.cpp" ->
+/// "tests", otherwise the first path component.
+[[nodiscard]] std::string module_of(std::string_view rel_path);
+
+/// One scanned file's quoted includes (system includes never constrain
+/// layering).
+struct FileIncludes {
+  std::string rel_path;  ///< repo-relative, generic separators
+  struct Include {
+    std::string target;      ///< the quoted include string as written
+    std::size_t line = 1;    ///< line of the #include directive
+    bool allowed = false;    ///< archlint: allow(layer-violation) present
+  };
+  std::vector<Include> includes;
+};
+
+/// Extracts quoted includes (and their D6 allow-annotations) from a lexed
+/// file.
+[[nodiscard]] FileIncludes extract_includes(std::string rel_path, const LexedFile& lf);
+
+/// D6: every include of a constrained module must stay inside its declared
+/// allow-list.  Findings point at the offending #include line.
+[[nodiscard]] std::vector<Finding> check_layering(const std::vector<FileIncludes>& files,
+                                                  const LayerSpec& spec);
+
+/// D7: the file-level include graph over the scanned set must be acyclic.
+/// Each strongly-connected component is reported once, anchored at its
+/// lexicographically-smallest file, with the cycle spelled out.
+[[nodiscard]] std::vector<Finding> check_cycles(const std::vector<FileIncludes>& files);
+
+}  // namespace hpc::lint

@@ -1,0 +1,380 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace hpc::lint {
+
+namespace {
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) noexcept { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\f' || c == '\v';
+}
+
+/// Translation-phase-2 view of the source: line splices removed, CR/CRLF
+/// normalized to LF, and a per-character map back to the physical line.
+struct Spliced {
+  std::string text;
+  std::vector<std::size_t> line_of;  // line_of[i] = 1-based line of text[i]
+  std::size_t line_count = 1;
+};
+
+Spliced splice(std::string_view raw) {
+  Spliced out;
+  out.text.reserve(raw.size());
+  out.line_of.reserve(raw.size());
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (c == '\r') {
+      if (i + 1 < raw.size() && raw[i + 1] == '\n') continue;  // CRLF -> LF
+      c = '\n';                                                // lone CR -> LF
+    }
+    if (c == '\\') {
+      std::size_t j = i + 1;
+      if (j < raw.size() && raw[j] == '\r') ++j;
+      if (j < raw.size() && raw[j] == '\n') {  // line splice: vanish, keep count
+        ++line;
+        i = j;
+        continue;
+      }
+    }
+    out.text += c;
+    out.line_of.push_back(line);
+    if (c == '\n') ++line;
+  }
+  out.line_count = line;
+  return out;
+}
+
+/// The multi-character punctuators the rules care to see as single tokens.
+/// Longest-match-first; everything else degrades to one-char punctuators.
+constexpr std::array<std::string_view, 25> kPuncts = {
+    "<<=", ">>=", "<=>", "->*", "...", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++",  "--",  "+=",  "-=",  "*=",  "/=", "%=", "&=", "|=", "^=", "->", "::"};
+
+struct Lexer {
+  const Spliced& sp;
+  LexedFile out;
+  std::size_t p = 0;
+  bool at_line_start = true;
+  // #if 0 / #if false skipping: depth of nested conditionals inside the
+  // skipped region; 0 means live code.
+  int skip_depth = 0;
+
+  explicit Lexer(const Spliced& s) : sp(s) { out.line_count = s.line_count; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return sp.text.size(); }
+  [[nodiscard]] char at(std::size_t i) const noexcept {
+    return i < sp.text.size() ? sp.text[i] : '\0';
+  }
+  [[nodiscard]] std::size_t line_at(std::size_t i) const noexcept {
+    if (sp.line_of.empty()) return 1;
+    return i < sp.line_of.size() ? sp.line_of[i] : sp.line_of.back();
+  }
+
+  void comment_char(std::size_t line, char c) {
+    if (out.line_comments.size() < line) out.line_comments.resize(line);
+    out.line_comments[line - 1] += c;
+  }
+
+  void emit(TokKind kind, std::string text, std::size_t line) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  // -- comments --------------------------------------------------------------
+  void lex_line_comment() {  // at "//"
+    p += 2;
+    while (p < size() && at(p) != '\n') comment_char(line_at(p), at(p)), ++p;
+  }
+
+  void lex_block_comment() {  // at "/*"
+    p += 2;
+    while (p < size()) {
+      if (at(p) == '*' && at(p + 1) == '/') {
+        p += 2;
+        return;
+      }
+      if (at(p) != '\n') comment_char(line_at(p), at(p));
+      ++p;
+    }
+  }
+
+  // -- literals --------------------------------------------------------------
+  /// At '"': ordinary string literal.  \p prefix (possibly empty) is an
+  /// encoding prefix already consumed.  Unterminated literals close at the
+  /// newline so one bad line cannot swallow the rest of the file.
+  void lex_string(const std::string& prefix, std::size_t line) {
+    std::string text = prefix + '"';
+    ++p;
+    while (p < size() && at(p) != '\n') {
+      const char c = at(p);
+      text += c;
+      if (c == '\\' && p + 1 < size() && at(p + 1) != '\n') {
+        text += at(p + 1);
+        p += 2;
+        continue;
+      }
+      ++p;
+      if (c == '"') break;
+    }
+    emit(TokKind::kString, std::move(text), line);
+  }
+
+  /// At '"' with a raw-string prefix (R, u8R, ...) already consumed.
+  void lex_raw_string(const std::string& prefix, std::size_t line) {
+    std::string text = prefix + '"';
+    ++p;
+    std::string delim;
+    while (p < size() && at(p) != '(' && at(p) != '\n' && delim.size() < 16) delim += at(p++);
+    text += delim;
+    if (at(p) == '(') {
+      text += '(';
+      ++p;
+      const std::string close = ")" + delim + "\"";
+      while (p < size()) {
+        if (at(p) == ')' && sp.text.compare(p, close.size(), close) == 0) {
+          text += close;
+          p += close.size();
+          break;
+        }
+        text += at(p);
+        ++p;
+      }
+    }
+    emit(TokKind::kString, std::move(text), line);
+  }
+
+  void lex_char(const std::string& prefix, std::size_t line) {  // at '\''
+    std::string text = prefix + '\'';
+    ++p;
+    while (p < size() && at(p) != '\n') {
+      const char c = at(p);
+      text += c;
+      if (c == '\\' && p + 1 < size() && at(p + 1) != '\n') {
+        text += at(p + 1);
+        p += 2;
+        continue;
+      }
+      ++p;
+      if (c == '\'') break;
+    }
+    emit(TokKind::kChar, std::move(text), line);
+  }
+
+  void lex_number() {  // pp-number, at digit or '.'+digit
+    const std::size_t line = line_at(p);
+    std::string text;
+    text += at(p);
+    ++p;
+    while (p < size()) {
+      const char c = at(p);
+      const char prev = text.back();
+      if (is_ident_char(c) || c == '.') {
+        text += c;
+        ++p;
+      } else if ((c == '+' || c == '-') && (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+        text += c;
+        ++p;
+      } else if (c == '\'' && is_ident_char(at(p + 1))) {  // digit separator
+        text += c;
+        ++p;
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, std::move(text), line);
+  }
+
+  // -- preprocessor ----------------------------------------------------------
+  /// At '#' at the start of a line.  Collects the whole (already spliced)
+  /// directive with whitespace collapsed; returns its text.
+  std::string collect_directive() {
+    std::string text = "#";
+    ++p;
+    bool pending_space = false;
+    while (p < size() && at(p) != '\n') {
+      const char c = at(p);
+      if (is_space(c)) {
+        pending_space = text.size() > 1;  // collapse; none right after '#'
+        ++p;
+        continue;
+      }
+      if (c == '/' && at(p + 1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && at(p + 1) == '*') {
+        lex_block_comment();
+        pending_space = text.size() > 1;
+        continue;
+      }
+      if (pending_space) text += ' ';
+      pending_space = false;
+      if (c == '"') {  // e.g. an #include path: copy verbatim
+        text += c;
+        ++p;
+        while (p < size() && at(p) != '\n') {
+          text += at(p);
+          if (at(p) == '"') {
+            ++p;
+            break;
+          }
+          ++p;
+        }
+        continue;
+      }
+      text += c;
+      ++p;
+    }
+    return text;
+  }
+
+  static bool starts_with(std::string_view s, std::string_view pre) {
+    return s.size() >= pre.size() && s.substr(0, pre.size()) == pre;
+  }
+
+  /// Handles one directive.  Returns true if the directive was consumed as
+  /// conditional-skip bookkeeping (never emitted).
+  void handle_directive() {
+    const std::size_t line = line_at(p);
+    const std::string text = collect_directive();
+    if (skip_depth > 0) {
+      if (starts_with(text, "#if")) {
+        ++skip_depth;
+      } else if (text == "#endif" || starts_with(text, "#endif ")) {
+        if (--skip_depth == 0) {
+          // region closed; nothing to emit
+        }
+      } else if (skip_depth == 1 &&
+                 (text == "#else" || starts_with(text, "#else ") || starts_with(text, "#elif"))) {
+        // Conservatively resume scanning at the first alternative branch.
+        skip_depth = 0;
+      }
+      return;
+    }
+    if (text == "#if 0" || text == "#if false" || text == "#if (0)") {
+      skip_depth = 1;
+      return;
+    }
+    emit(TokKind::kDirective, text, line);
+  }
+
+  // -- main loop -------------------------------------------------------------
+  void run() {
+    while (p < size()) {
+      const char c = at(p);
+      if (c == '\n') {
+        at_line_start = true;
+        ++p;
+        continue;
+      }
+      if (is_space(c)) {
+        ++p;
+        continue;
+      }
+      if (skip_depth > 0) {
+        // Dead region: only directives matter; everything else is discarded
+        // line by line (comments in dead code are not collected either).
+        if (at_line_start && c == '#') {
+          handle_directive();
+        } else {
+          while (p < size() && at(p) != '\n') ++p;
+        }
+        continue;
+      }
+      if (at_line_start && c == '#') {
+        handle_directive();
+        continue;
+      }
+      at_line_start = false;
+      if (c == '/' && at(p + 1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && at(p + 1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      const std::size_t line = line_at(p);
+      if (is_ident_start(c)) {
+        std::string id;
+        while (p < size() && is_ident_char(at(p))) id += at(p++);
+        if (at(p) == '"' &&
+            (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR")) {
+          lex_raw_string(id, line);
+        } else if (at(p) == '"' && (id == "u8" || id == "u" || id == "U" || id == "L")) {
+          lex_string(id, line);
+        } else if (at(p) == '\'' && (id == "u8" || id == "u" || id == "U" || id == "L")) {
+          lex_char(id, line);
+        } else {
+          emit(TokKind::kIdent, std::move(id), line);
+        }
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(at(p + 1)))) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string("", line);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char("", line);
+        continue;
+      }
+      // Punctuator: longest multi-char match, else a single character.
+      bool matched = false;
+      for (const std::string_view op : kPuncts) {
+        if (sp.text.compare(p, op.size(), op) == 0) {
+          emit(TokKind::kPunct, std::string(op), line);
+          p += op.size();
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        emit(TokKind::kPunct, std::string(1, c), line);
+        ++p;
+      }
+    }
+    if (out.line_comments.size() < out.line_count) out.line_comments.resize(out.line_count);
+  }
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view text) {
+  const Spliced sp = splice(text);
+  Lexer lx(sp);
+  lx.run();
+  return std::move(lx.out);
+}
+
+bool is_float_literal(std::string_view number) {
+  if (number.empty()) return false;
+  const bool hex =
+      number.size() > 1 && number[0] == '0' && (number[1] == 'x' || number[1] == 'X');
+  if (hex) {  // hex floats exist but must have a binary exponent
+    return number.find('p') != std::string_view::npos ||
+           number.find('P') != std::string_view::npos;
+  }
+  if (number.find('.') != std::string_view::npos) return true;
+  if (number.find('e') != std::string_view::npos || number.find('E') != std::string_view::npos)
+    return true;
+  const char last = number.back();
+  return last == 'f' || last == 'F';
+}
+
+}  // namespace hpc::lint

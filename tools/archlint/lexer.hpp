@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lexer.hpp
+/// archlint's C++ token-stream lexer.
+///
+/// The v1 scanner worked on physical lines with string/comment contents
+/// blanked, which made it blind to anything that spans lines: multi-line
+/// declarations, line-spliced comments, `#if 0` regions.  This lexer replaces
+/// that with a real (preprocessor-aware, type-unaware) token stream:
+///
+///  - **Line splices** (`backslash-newline`) are removed before tokenization,
+///    exactly as translation phase 2 does, while every token keeps the
+///    physical line it started on so findings still point at real source.
+///  - **Comments** never enter the token stream.  Their text is collected
+///    per physical line in `LexedFile::line_comments` so `allow(...)`
+///    annotations and `\file` doc blocks stay checkable.
+///  - **String and character literals** become single `kString`/`kChar`
+///    tokens (raw strings included), so fixture snippets that spell
+///    `rand()` inside a literal can never trip a rule.
+///  - **Preprocessor directives** become single `kDirective` tokens carrying
+///    the whitespace-collapsed directive text (`#include "net/link.hpp"`),
+///    which is what the include-graph pass parses.
+///  - **`#if 0` / `#if false` regions** are skipped entirely (nested
+///    conditionals tracked), so dead code cannot produce findings.
+///
+/// The lexer has no symbol table and does not expand macros: it is the
+/// smallest faithful tokenizer the determinism rules need, not a frontend.
+
+namespace hpc::lint {
+
+enum class TokKind : int {
+  kIdent,      ///< identifier or keyword
+  kNumber,     ///< pp-number (integer or floating literal)
+  kString,     ///< string literal, including raw strings ("…" / R"(…)")
+  kChar,       ///< character literal ('…')
+  kPunct,      ///< operator / punctuator (multi-char ops are one token)
+  kDirective,  ///< whole preprocessor directive, whitespace-collapsed
+};
+
+/// One token.  `line` is the 1-based physical line the token starts on in
+/// the original (unspliced) source.
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 1;
+};
+
+/// The lexed view of one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;               ///< code tokens, comments excluded
+  std::vector<std::string> line_comments;  ///< comment text per line (0-based: line N -> [N-1])
+  std::size_t line_count = 0;              ///< number of physical lines
+};
+
+/// Tokenizes \p text.  Never fails: malformed input degrades to best-effort
+/// punctuator tokens rather than an error (a linter must not die on the code
+/// it is criticising).
+[[nodiscard]] LexedFile lex(std::string_view text);
+
+/// True if a `kNumber` token spells a floating-point literal (has a '.', a
+/// decimal exponent, an f/F suffix on a non-hex mantissa, or a hex binary
+/// exponent).
+[[nodiscard]] bool is_float_literal(std::string_view number);
+
+}  // namespace hpc::lint

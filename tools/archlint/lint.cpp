@@ -1,149 +1,46 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <regex>
 #include <sstream>
+
+#include "include_graph.hpp"
 
 namespace hpc::lint {
 
 namespace {
 
-bool is_ident(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+bool is_ident_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
 }
 
-/// One physical source line split into its code and comment parts.
-/// String/char literal *contents* are blanked in `code` (the quotes remain),
-/// so fixture snippets that mention forbidden tokens inside strings never
-/// match; comments are collected separately so `allow(...)` annotations and
-/// `\file` blocks stay visible.
-struct Line {
-  std::string code;
-  std::string comment;
-};
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
 
-std::vector<Line> split_lines(std::string_view text) {
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  std::vector<Line> lines;
-  Line cur;
-  St st = St::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
 
-  auto flush = [&] {
-    lines.push_back(std::move(cur));
-    cur = Line{};
-  };
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      // Line comments end at the newline; strings should not span lines, but
-      // if one does (or a block comment), the state carries over.
-      if (st == St::kLineComment) st = St::kCode;
-      flush();
-      continue;
-    }
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          // Raw string?  R"delim( — the R must be its own token.
-          if (i > 0 && text[i - 1] == 'R' && (i < 2 || !is_ident(text[i - 2]))) {
-            raw_delim.clear();
-            std::size_t j = i + 1;
-            while (j < text.size() && text[j] != '(') raw_delim += text[j++];
-            st = St::kRawString;
-            cur.code += '"';
-            i = j;  // consume up to and including '('
-          } else {
-            st = St::kString;
-            cur.code += '"';
-          }
-        } else if (c == '\'') {
-          st = St::kChar;
-          cur.code += '\'';
-        } else {
-          cur.code += c;
-        }
-        break;
-      case St::kLineComment:
-        cur.comment += c;
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = St::kCode;
-          ++i;
-        } else {
-          cur.comment += c;
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          ++i;  // skip escaped char
-        } else if (c == '"') {
-          st = St::kCode;
-          cur.code += '"';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          cur.code += '\'';
-        }
-        break;
-      case St::kRawString: {
-        // Close only on )delim".
-        if (c == ')' && text.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            i + 1 + raw_delim.size() < text.size() && text[i + 1 + raw_delim.size()] == '"') {
-          i += raw_delim.size() + 1;
-          st = St::kCode;
-          cur.code += '"';
-        }
-        break;
-      }
-    }
-  }
-  flush();
-  return lines;
+bool is_header(std::string_view path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") || ends_with(path, ".hh");
 }
 
 /// True if \p word occurs in \p s delimited by non-identifier characters.
-bool has_word(const std::string& s, std::string_view word) {
+/// Used only on directive text (token matching covers ordinary code).
+bool has_word(std::string_view s, std::string_view word) {
   std::size_t pos = 0;
-  while ((pos = s.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+  while ((pos = s.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
     const std::size_t end = pos + word.size();
-    const bool right_ok = end >= s.size() || !is_ident(s[end]);
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
     if (left_ok && right_ok) return true;
     ++pos;
   }
   return false;
 }
 
-/// True if \p fn occurs as a call: word-delimited and followed by '('.
-bool has_call(const std::string& s, std::string_view fn) {
-  std::size_t pos = 0;
-  while ((pos = s.find(fn, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
-    std::size_t end = pos + fn.size();
-    while (end < s.size() && s[end] == ' ') ++end;
-    if (left_ok && end < s.size() && s[end] == '(') return true;
-    ++pos;
-  }
-  return false;
-}
-
-std::string strip_spaces(const std::string& s) {
+std::string strip_spaces(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s)
@@ -152,7 +49,7 @@ std::string strip_spaces(const std::string& s) {
 }
 
 /// Does the comment carry `archlint: allow(<rule>[, <rule>...])` for \p r?
-bool comment_allows(const std::string& comment, Rule r) {
+bool comment_allows(std::string_view comment, Rule r) {
   const std::string flat = strip_spaces(comment);
   std::size_t pos = flat.find("archlint:allow(");
   while (pos != std::string::npos) {
@@ -168,28 +65,46 @@ bool comment_allows(const std::string& comment, Rule r) {
   return false;
 }
 
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+/// A directive's text with quoted regions blanked, so `#include "rand.hpp"`
+/// cannot trip a word match while `#include <unordered_map>` still does.
+std::string directive_code(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_quote = false;
+  for (const char c : text) {
+    if (c == '"') {
+      in_quote = !in_quote;
+      out += c;
+    } else {
+      out += in_quote ? ' ' : c;
+    }
+  }
+  return out;
 }
 
-bool is_header(std::string_view path) {
-  return ends_with(path, ".hpp") || ends_with(path, ".h") || ends_with(path, ".hh");
-}
+// ---------------------------------------------------------------------------
+// Token-stream rule passes (D1-D5, D8, D9).
+// ---------------------------------------------------------------------------
 
 struct Scanner {
   std::string_view path;
-  std::vector<Line> lines;
+  const LexedFile& lf;
+  const RuleSet& rules;
   std::vector<Finding> findings;
 
-  bool allowed(Rule r, std::size_t i) const {
-    if (i < lines.size() && comment_allows(lines[i].comment, r)) return true;
-    if (i > 0 && comment_allows(lines[i - 1].comment, r)) return true;
-    return false;
+  [[nodiscard]] std::size_t ntok() const noexcept { return lf.tokens.size(); }
+  [[nodiscard]] const Token& tok(std::size_t i) const noexcept { return lf.tokens[i]; }
+  [[nodiscard]] bool is(std::size_t i, std::string_view text) const noexcept {
+    return i < ntok() && tok(i).text == text;
+  }
+  [[nodiscard]] bool is_ident(std::size_t i) const noexcept {
+    return i < ntok() && tok(i).kind == TokKind::kIdent;
   }
 
-  void add(Rule r, std::size_t i, std::string message) {
-    if (allowed(r, i)) return;
-    findings.push_back(Finding{r, std::string(path), i + 1, std::move(message)});
+  void add(Rule r, std::size_t line, std::string message) {
+    if (!rules.contains(r)) return;
+    if (line_allows(lf, r, line)) return;
+    findings.push_back(Finding{r, std::string(path), line == 0 ? 1 : line, std::move(message)});
   }
 
   // -- D1: ambient nondeterminism ------------------------------------------
@@ -201,92 +116,230 @@ struct Scanner {
         "high_resolution_clock", "file_clock", "utc_clock", "gettimeofday",
         "clock_gettime", "timespec_get",   "localtime",    "gmtime",
     };
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& code = lines[i].code;
-      for (const std::string_view w : kWords)
-        if (has_word(code, w))
-          add(Rule::kAmbientRng, i,
-              "ambient nondeterminism ('" + std::string(w) +
-                  "'): draw from an explicitly seeded hpc::sim::Rng and simulated time only");
-      if (has_call(code, "rand") || has_call(code, "clock"))
-        add(Rule::kAmbientRng, i,
+    auto banned = [&](std::string_view w) {
+      for (const std::string_view k : kWords)
+        if (w == k) return true;
+      return false;
+    };
+    for (std::size_t i = 0; i < ntok(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kDirective) {
+        const std::string code = directive_code(t.text);
+        for (const std::string_view w : kWords)
+          if (has_word(code, w))
+            add(Rule::kAmbientRng, t.line,
+                "ambient nondeterminism ('" + std::string(w) +
+                    "'): draw from an explicitly seeded hpc::sim::Rng and simulated time only");
+        continue;
+      }
+      if (t.kind != TokKind::kIdent) continue;
+      if (banned(t.text)) {
+        add(Rule::kAmbientRng, t.line,
+            "ambient nondeterminism ('" + t.text +
+                "'): draw from an explicitly seeded hpc::sim::Rng and simulated time only");
+        continue;
+      }
+      if ((t.text == "rand" || t.text == "clock") && is(i + 1, "("))
+        add(Rule::kAmbientRng, t.line,
             "ambient nondeterminism (libc rand()/clock()): use hpc::sim::Rng / sim::TimeNs");
-      const std::string flat = strip_spaces(code);
-      for (const std::string_view w : {std::string_view("time(nullptr)"), std::string_view("time(NULL)")})
-        if (flat.find(w) != std::string::npos)
-          add(Rule::kAmbientRng, i,
-              "ambient nondeterminism (wall-clock time()): use the simulator clock");
+      if (t.text == "time" && is(i + 1, "(") &&
+          (is(i + 2, "nullptr") || is(i + 2, "NULL")) && is(i + 3, ")"))
+        add(Rule::kAmbientRng, t.line,
+            "ambient nondeterminism (wall-clock time()): use the simulator clock");
     }
   }
 
   // -- D2: iteration-order-unstable containers -----------------------------
   void check_unordered() {
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      for (const std::string_view w : {std::string_view("unordered_map"), std::string_view("unordered_set")})
-        if (has_word(lines[i].code, w))
-          add(Rule::kUnorderedIter, i,
-              "iteration-order-unstable container '" + std::string(w) +
-                  "': use std::map/std::set or a sorted vector, or annotate "
-                  "'archlint: allow(unordered-iter)' if its order never leaks");
+    for (std::size_t i = 0; i < ntok(); ++i) {
+      const Token& t = tok(i);
+      std::string_view hit;
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "unordered_map" || t.text == "unordered_set")) {
+        hit = t.text;
+      } else if (t.kind == TokKind::kDirective) {
+        const std::string code = directive_code(t.text);
+        if (has_word(code, "unordered_map")) hit = "unordered_map";
+        else if (has_word(code, "unordered_set")) hit = "unordered_set";
+      }
+      if (!hit.empty())
+        add(Rule::kUnorderedIter, t.line,
+            "iteration-order-unstable container '" + std::string(hit) +
+                "': use std::map/std::set or a sorted vector, or annotate "
+                "'archlint: allow(unordered-iter)' if its order never leaks");
     }
   }
 
   // -- D3: raw-typed simulated-time parameters in public APIs --------------
   void check_raw_time() {
     if (!is_header(path)) return;
-    // A raw arithmetic type, an `_ns`-suffixed name, then a parameter-list
-    // terminator (',' or ')').  Struct members terminate with ';' and so
-    // never match; function *names* ending in `_ns` are followed by '('.
-    static const std::regex re(
-        R"((?:\b(?:unsigned\s+long\s+long|long\s+long|unsigned\s+long|std::uint64_t|std::int64_t|std::uint32_t|std::int32_t|uint64_t|int64_t|double|float|long)\s+)([A-Za-z_]\w*_ns)\s*(?:=\s*[^,()]+)?[,)])");
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& code = lines[i].code;
-      auto begin = std::sregex_iterator(code.begin(), code.end(), re);
-      for (auto it = begin; it != std::sregex_iterator(); ++it)
-        add(Rule::kRawTime, i,
-            "raw simulated-time parameter '" + (*it)[1].str() +
+    auto raw_type = [&](std::size_t i) {  // is tok(i) a raw arithmetic type?
+      if (!is_ident(i)) return false;
+      const std::string& w = tok(i).text;
+      return w == "double" || w == "float" || w == "long" || w == "uint64_t" ||
+             w == "int64_t" || w == "uint32_t" || w == "int32_t";
+    };
+    for (std::size_t i = 1; i < ntok(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != TokKind::kIdent || !ends_with(t.text, "_ns")) continue;
+      if (!raw_type(i - 1)) continue;
+      // A parameter ends at ',' or ')' (optionally through a default
+      // argument); ';' means a member/local, '(' means a function name.
+      std::size_t j = i + 1;
+      if (is(j, "=")) {
+        int depth = 0;
+        for (++j; j < ntok(); ++j) {
+          const std::string& w = tok(j).text;
+          if (w == "(" || w == "[" || w == "{") ++depth;
+          else if (w == ")" || w == "]" || w == "}") {
+            if (depth == 0) break;
+            --depth;
+          } else if ((w == "," || w == ";") && depth == 0) {
+            break;
+          }
+        }
+      }
+      if (is(j, ",") || is(j, ")"))
+        add(Rule::kRawTime, t.line,
+            "raw simulated-time parameter '" + t.text +
                 "': pass sim::TimeNs (src/sim/time.hpp), or annotate "
                 "'archlint: allow(raw-time)' for analytic fractional-ns models");
     }
   }
 
   // -- D4: [[nodiscard]] on const accessors and factories ------------------
+
+  /// Walks back from \p i to the start of the enclosing declaration
+  /// (exclusive boundary).  Recognizes `template <...>` so a one-line
+  /// template factory anchors at `template`, not mid-expression.
+  [[nodiscard]] std::size_t decl_start(std::size_t i) const {
+    std::size_t b = i;
+    while (b > 0) {
+      const Token& t = tok(b - 1);
+      if (t.kind == TokKind::kDirective || t.kind == TokKind::kString) break;
+      const std::string& w = t.text;
+      if (w == ";" || w == "{" || w == "}") break;
+      if (w == ":" ) break;  // access specifier / label boundary
+      if (w == ")") break;   // e.g. a preceding function's parameter list
+      --b;
+    }
+    return b;
+  }
+
+  [[nodiscard]] bool range_has_ident(std::size_t b, std::size_t e, std::string_view w) const {
+    for (std::size_t i = b; i < e && i < ntok(); ++i)
+      if (tok(i).kind == TokKind::kIdent && tok(i).text == w) return true;
+    return false;
+  }
+
   void check_nodiscard() {
     if (!is_header(path)) return;
     if (path.find("src/sim") == std::string_view::npos &&
         path.find("src/core") == std::string_view::npos &&
         path.find("src/obs") == std::string_view::npos)
       return;
-    static const std::regex const_member(R"(\)\s*const(\s+noexcept)?\s*(\{|;|$))");
-    static const std::regex void_return(R"(^\s*(virtual\s+)?void\b)");
-    static const std::regex factory(
-        R"(^\s*(?:(?:static|constexpr|inline|friend|virtual)\s+)*([A-Za-z_][\w:]*)\s+((?:make|from)_\w*)\s*\()");
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const std::string& code = lines[i].code;
-      const bool marked =
-          code.find("[[nodiscard]]") != std::string::npos ||
-          (i > 0 && lines[i - 1].code.find("[[nodiscard]]") != std::string::npos);
-      if (marked) continue;
-      if (std::regex_search(code, const_member) && !std::regex_search(code, void_return)) {
-        // Name of the member: identifier before the first '('.
-        std::string name = "member";
-        const std::size_t paren = code.find('(');
-        if (paren != std::string::npos && paren > 0) {
-          std::size_t b = paren;
-          while (b > 0 && is_ident(code[b - 1])) --b;
-          if (b < paren) name = code.substr(b, paren - b);
+    static constexpr std::string_view kSpecifiers[] = {
+        "static", "virtual", "inline", "constexpr", "friend", "explicit", "consteval"};
+    auto is_specifier = [&](const std::string& w) {
+      for (const std::string_view s : kSpecifiers)
+        if (w == s) return true;
+      return false;
+    };
+
+    for (std::size_t i = 1; i < ntok(); ++i) {
+      // ---- const accessor: `)` `const` [noexcept/override/final]* {;=->{}
+      if (is_ident(i) && tok(i).text == "const" && is(i - 1, ")")) {
+        std::size_t j = i + 1;
+        while (is_ident(j) && (tok(j).text == "noexcept" || tok(j).text == "override" ||
+                               tok(j).text == "final")) {
+          ++j;
+          if (is(j, "(")) {  // noexcept(expr)
+            int depth = 1;
+            for (++j; j < ntok() && depth > 0; ++j) {
+              if (tok(j).text == "(") ++depth;
+              if (tok(j).text == ")") --depth;
+            }
+          }
         }
-        add(Rule::kNodiscard, i,
-            "const accessor '" + name + "' missing [[nodiscard]]");
+        if (!(is(j, ";") || is(j, "{") || is(j, "=") || is(j, "->"))) continue;
+        // Matching '(' for the ')' at i-1.
+        int depth = 0;
+        std::size_t k = i - 1;
+        while (k > 0) {
+          const std::string& w = tok(k).text;
+          if (w == ")") ++depth;
+          if (w == "(" && --depth == 0) break;
+          --k;
+        }
+        if (k == 0) continue;
+        std::string name = "member";
+        if (is_ident(k - 1)) name = tok(k - 1).text;
+        else if (k >= 2 && is_ident(k - 2) && tok(k - 2).text == "operator")
+          name = "operator" + tok(k - 1).text;
+        const std::size_t b = decl_start(k > 0 ? k - 1 : 0);
+        if (range_has_ident(b, k, "nodiscard")) continue;
+        // Void-returning members have nothing to discard.
+        std::size_t f = b;
+        while (f < k && ((is_ident(f) && (is_specifier(tok(f).text) || tok(f).text == "nodiscard")) ||
+                         tok(f).text == "[" || tok(f).text == "]"))
+          ++f;
+        if (is(f, "void") && !is(f + 1, "*")) continue;
+        add(Rule::kNodiscard, tok(i).line, "const accessor '" + name + "' missing [[nodiscard]]");
         continue;
       }
-      std::smatch m;
-      if (std::regex_search(code, m, factory)) {
-        const std::string ret = m[1].str();
-        if (ret != "return" && ret != "void" && ret != "throw" && ret != "delete" &&
-            ret != "new" && ret != "case" && ret != "goto")
-          add(Rule::kNodiscard, i,
-              "factory function '" + m[2].str() + "' missing [[nodiscard]]");
+      // ---- factory: `make_*` / `from_*` with a return type, at decl scope
+      if (is_ident(i) && (starts_with(tok(i).text, "make_") || starts_with(tok(i).text, "from_")) &&
+          is(i + 1, "(")) {
+        if (!is_ident(i - 1)) continue;  // needs a preceding type name
+        const std::string& ret = tok(i - 1).text;
+        if (ret == "return" || ret == "void" || ret == "throw" || ret == "delete" ||
+            ret == "new" || ret == "case" || ret == "goto" || ret == "co_return" ||
+            ret == "co_await" || ret == "co_yield")
+          continue;
+        // Start of the (possibly qualified) return type chain.
+        std::size_t cs = i - 1;
+        while (cs >= 2 && is(cs - 1, "::") && is_ident(cs - 2)) cs -= 2;
+        // Everything before the type must be declaration scenery.
+        std::size_t b = cs;
+        bool marked = false;
+        bool boundary = false;
+        while (b > 0) {
+          const Token& t = tok(b - 1);
+          const std::string& w = t.text;
+          if (t.kind == TokKind::kIdent) {
+            if (w == "nodiscard") marked = true;
+            else if (!is_specifier(w)) break;
+            --b;
+            continue;
+          }
+          if (w == "[" || w == "]") {
+            --b;
+            continue;
+          }
+          if (w == ">") {  // template <...> prefix
+            int depth = 0;
+            std::size_t g = b - 1;
+            while (g > 0) {
+              if (tok(g).text == ">") ++depth;
+              if (tok(g).text == "<" && --depth == 0) break;
+              --g;
+            }
+            if (g >= 1 && is_ident(g - 1) && tok(g - 1).text == "template") {
+              b = g - 1;
+              continue;
+            }
+            break;
+          }
+          if (w == ";" || w == "{" || w == "}" || w == ":" || t.kind == TokKind::kDirective) {
+            boundary = true;
+            break;
+          }
+          break;
+        }
+        if (b == 0) boundary = true;
+        if (!boundary || marked) continue;
+        add(Rule::kNodiscard, tok(i).line,
+            "factory function '" + tok(i).text + "' missing [[nodiscard]]");
       }
     }
   }
@@ -294,35 +347,241 @@ struct Scanner {
   // -- D5: header hygiene ---------------------------------------------------
   void check_header_hygiene() {
     if (!is_header(path)) return;
-    auto trimmed = [](const std::string& s) {
-      const std::size_t b = s.find_first_not_of(" \t");
-      return b == std::string::npos ? std::string() : s.substr(b);
-    };
     bool pragma_early = false;
-    std::size_t seen = 0;
-    for (const Line& l : lines) {
-      const std::string t = trimmed(l.code);
-      if (t.empty()) continue;
-      if (t.rfind("#pragma once", 0) == 0) {
-        pragma_early = true;
+    std::size_t lines_before = 0;
+    std::size_t last_line = 0;
+    for (const Token& t : lf.tokens) {
+      if (t.kind == TokKind::kDirective && strip_spaces(t.text) == "#pragmaonce") {
+        pragma_early = lines_before < 5;  // within the first 5 code lines
         break;
       }
-      if (++seen >= 5) break;  // must appear within the first 5 code lines
+      if (t.line != last_line) {
+        ++lines_before;
+        last_line = t.line;
+      }
+      if (lines_before >= 5) break;
     }
     bool has_namespace = false;
-    bool has_file_doc = false;
-    for (const Line& l : lines) {
-      if (!has_namespace && has_word(l.code, "namespace") &&
-          l.code.find("hpc") != std::string::npos)
-        has_namespace = true;
-      if (!has_file_doc && l.comment.find("\\file") != std::string::npos) has_file_doc = true;
+    for (std::size_t i = 0; i + 1 < ntok() && !has_namespace; ++i) {
+      if (!is_ident(i) || tok(i).text != "namespace") continue;
+      for (std::size_t j = i + 1; j < i + 5 && j < ntok(); ++j)
+        if (is_ident(j) && starts_with(tok(j).text, "hpc")) {
+          has_namespace = true;
+          break;
+        }
     }
+    bool has_file_doc = false;
+    for (const std::string& c : lf.line_comments)
+      if (c.find("\\file") != std::string::npos) {
+        has_file_doc = true;
+        break;
+      }
     if (!pragma_early)
-      add(Rule::kHeaderHygiene, 0, "header must start with '#pragma once'");
+      add(Rule::kHeaderHygiene, 1, "header must start with '#pragma once'");
     if (!has_namespace)
-      add(Rule::kHeaderHygiene, 0, "header must declare into the hpc:: namespace");
+      add(Rule::kHeaderHygiene, 1, "header must declare into the hpc:: namespace");
     if (!has_file_doc)
-      add(Rule::kHeaderHygiene, 0, "header must carry a '\\file' doc block");
+      add(Rule::kHeaderHygiene, 1, "header must carry a '\\file' doc block");
+  }
+
+  // -- D8: raw ==/!= between floating-point operands ------------------------
+  void check_float_eq() {
+    if (path.find("tests/") != std::string_view::npos || starts_with(path, "tests")) return;
+    // Identifiers this file declares with a plain double/float value type
+    // (pointers excluded: comparing pointers is exact and fine).
+    std::vector<std::string> float_vars;
+    for (std::size_t i = 0; i + 1 < ntok(); ++i) {
+      if (!is_ident(i) || (tok(i).text != "double" && tok(i).text != "float")) continue;
+      std::size_t j = i + 1;
+      while (is(j, "&")) ++j;  // reference to float still compares values
+      if (is(j, "*")) continue;
+      if (!is_ident(j)) continue;
+      if (is(j + 1, "(")) continue;  // function returning double, not a var
+      float_vars.push_back(tok(j).text);
+    }
+    std::sort(float_vars.begin(), float_vars.end());
+    auto is_float_var = [&](const std::string& w) {
+      return std::binary_search(float_vars.begin(), float_vars.end(), w);
+    };
+    auto float_operand = [&](std::size_t i) {
+      if (i >= ntok()) return false;
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kNumber) return is_float_literal(t.text);
+      if (t.kind == TokKind::kIdent) return is_float_var(t.text);
+      return false;
+    };
+    auto is_literal_text = [&](std::size_t i) {
+      return i < ntok() &&
+             (tok(i).kind == TokKind::kString || tok(i).kind == TokKind::kChar);
+    };
+    for (std::size_t i = 1; i + 1 < ntok(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != TokKind::kPunct || (t.text != "==" && t.text != "!=")) continue;
+      if (is_ident(i - 1) && tok(i - 1).text == "operator") continue;  // operator==
+      std::size_t rhs = i + 1;
+      if (is(rhs, "-") || is(rhs, "+")) ++rhs;  // unary sign on a literal
+      // A string/char literal on either side means this is not a float
+      // comparison, whatever same-named variables exist elsewhere in the
+      // file (the float_vars heuristic is name-based, not scope-based).
+      if (is_literal_text(i - 1) || is_literal_text(rhs)) continue;
+      if (float_operand(i - 1) || float_operand(rhs))
+        add(Rule::kFloatEq, t.line,
+            "raw floating-point '" + t.text +
+                "' comparison: compare against an explicit tolerance, or annotate "
+                "'archlint: allow(float-eq)' if exactness is intended");
+    }
+  }
+
+  // -- D9: mutable namespace-scope variables in src/ ------------------------
+  //
+  // A statement-level walk of namespace scope.  Brace bodies (functions,
+  // classes, initializers) are skipped wholesale; `namespace ... {` and
+  // `extern "C" {` just continue the walk, so a '}' seen between statements
+  // is always a namespace close and needs no stack.
+  void check_mutable_global() {
+    if (path.find("src/") == std::string_view::npos && !starts_with(path, "src")) return;
+
+    // j = index of '{'; returns index just past the matching '}'.
+    auto skip_braces = [&](std::size_t j) {
+      int depth = 0;
+      for (; j < ntok(); ++j) {
+        if (tok(j).kind != TokKind::kPunct) continue;
+        if (tok(j).text == "{") ++depth;
+        else if (tok(j).text == "}" && --depth == 0) return j + 1;
+      }
+      return j;
+    };
+
+    auto flag_variable = [&](std::size_t b, std::size_t name_end) {
+      std::string name = "variable";
+      for (std::size_t j = b; j < name_end; ++j) {
+        if (!is_ident(j)) continue;
+        const bool decl_pos = j + 1 >= name_end || is(j + 1, "=") || is(j + 1, "[") ||
+                              is(j + 1, ",") || is(j + 1, "{");
+        if (decl_pos) {
+          name = tok(j).text;
+          break;
+        }
+      }
+      add(Rule::kMutableGlobal, tok(b).line,
+          "mutable namespace-scope variable '" + name +
+              "': make it const/constexpr, or move the state into an explicit "
+              "context object (hidden globals break replayability)");
+    };
+
+    std::size_t i = 0;
+    while (i < ntok()) {
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kDirective || t.text == ";" || t.text == "}") {
+        ++i;
+        continue;
+      }
+      // Collect one namespace-scope statement up to a top-level ';' or '{'.
+      // Angle brackets count as nesting only left of a top-level '=' (they
+      // are template args in a declarator there; in an initializer they can
+      // be comparisons), and never right after `operator`.
+      const std::size_t b = i;
+      int depth = 0;
+      bool seen_eq = false;
+      std::size_t e = ntok();
+      char delim = '\0';
+      for (std::size_t j = i; j < ntok(); ++j) {
+        if (tok(j).kind != TokKind::kPunct) continue;
+        const std::string& w = tok(j).text;
+        const bool after_operator = j > b && is(j - 1, "operator");
+        if (w == "(" || w == "[") ++depth;
+        else if (w == ")" || w == "]") { if (depth > 0) --depth; }
+        else if (w == "=" && depth == 0) seen_eq = true;
+        else if (w == "<" && !seen_eq && !after_operator) ++depth;
+        else if (w == ">" && !seen_eq && !after_operator) { if (depth > 0) --depth; }
+        else if (w == ">>" && !seen_eq) { if (depth > 0) depth -= depth >= 2 ? 2 : 1; }
+        else if (depth == 0 && (w == ";" || w == "{" || w == "}")) {
+          e = j;
+          delim = w[0];
+          break;
+        }
+      }
+      if (e == ntok()) break;  // unterminated tail; nothing more to see
+      if (delim == '}') {      // stray close inside a malformed statement
+        i = e;
+        continue;
+      }
+
+      auto stmt_has = [&](std::string_view w) { return range_has_ident(b, e, w); };
+      const std::string& head = tok(b).text;
+      const bool has_const =
+          stmt_has("const") || stmt_has("constexpr") || stmt_has("constinit");
+      std::size_t eq = e;  // first top-level '='
+      {
+        int d = 0;
+        for (std::size_t j = b; j < e; ++j) {
+          const std::string& w = tok(j).text;
+          if (w == "(" || w == "[" || w == "<") ++d;
+          else if ((w == ")" || w == "]" || w == ">") && d > 0) --d;
+          else if (w == "=" && d == 0) {
+            eq = j;
+            break;
+          }
+        }
+      }
+
+      static constexpr std::string_view kSkipHeads[] = {
+          "using", "typedef", "template", "friend", "static_assert", "public",
+          "private", "protected", "concept", "asm", "export", "import", "module",
+          "requires"};
+      bool skip_head = false;
+      for (const std::string_view w : kSkipHeads) skip_head = skip_head || head == w;
+
+      if (head == "namespace" || (head == "extern" && delim == '{')) {
+        i = e + 1;  // enter the scope: still namespace scope inside
+        continue;
+      }
+      if (head == "extern" || skip_head) {  // declarations, not definitions
+        i = delim == '{' ? skip_braces(e) : e + 1;
+        continue;
+      }
+
+      if (delim == '{') {
+        if (eq != e) {
+          // `int x = {1};` / `auto v = std::vector<int>{...};`
+          if (!has_const) flag_variable(b, eq);
+          i = skip_braces(e);
+          if (i < ntok() && tok(i).text == ";") ++i;
+          continue;
+        }
+        const bool is_type =
+            stmt_has("class") || stmt_has("struct") || stmt_has("union") || stmt_has("enum");
+        i = skip_braces(e);
+        if (is_type) {
+          // `struct X { ... } instance;` — a non-empty tail declares variables.
+          const std::size_t tail = i;
+          while (i < ntok() && tok(i).text != ";" && tok(i).text != "{" && tok(i).text != "}")
+            ++i;
+          bool tail_has_call = false;
+          for (std::size_t k = tail; k < i; ++k) tail_has_call = tail_has_call || is(k, "(");
+          if (i < ntok() && tok(i).text == ";" && !has_const && !tail_has_call) {
+            for (std::size_t k = tail; k < i; ++k)
+              if (is_ident(k)) {
+                flag_variable(k, i);
+                break;
+              }
+          }
+          if (i < ntok() && tok(i).text == ";") ++i;
+        }
+        continue;
+      }
+
+      // ';' statements: filter out non-variable declarations.
+      i = e + 1;
+      if (e - b < 2) continue;
+      if (stmt_has("operator")) continue;
+      if (head == "class" || head == "struct" || head == "union" || head == "enum")
+        continue;  // forward declaration (`struct X a;` vars are idiomatically `X a;`)
+      bool has_call = false;  // a top-level '(' before '=' means a function
+      for (std::size_t j = b; j < eq; ++j) has_call = has_call || is(j, "(");
+      if (has_call || has_const) continue;
+      flag_variable(b, eq);
+    }
   }
 };
 
@@ -335,8 +594,24 @@ std::string_view id_of(Rule r) noexcept {
     case Rule::kRawTime: return "raw-time";
     case Rule::kNodiscard: return "nodiscard";
     case Rule::kHeaderHygiene: return "header-hygiene";
+    case Rule::kLayerViolation: return "layer-violation";
+    case Rule::kIncludeCycle: return "include-cycle";
+    case Rule::kFloatEq: return "float-eq";
+    case Rule::kMutableGlobal: return "mutable-global";
+    case Rule::kIoError: return "io-error";
   }
   return "unknown";
+}
+
+bool rule_from_id(std::string_view id, Rule& out) noexcept {
+  for (int i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    if (id_of(r) == id) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string format(const Finding& f) {
@@ -344,49 +619,149 @@ std::string format(const Finding& f) {
          f.message;
 }
 
-std::vector<Finding> lint_source(std::string_view path, std::string_view text) {
-  Scanner s{path, split_lines(text), {}};
+bool line_allows(const LexedFile& lf, Rule r, std::size_t line) {
+  if (line >= 1 && line <= lf.line_comments.size() &&
+      comment_allows(lf.line_comments[line - 1], r))
+    return true;
+  if (line >= 2 && line - 1 <= lf.line_comments.size() &&
+      comment_allows(lf.line_comments[line - 2], r))
+    return true;
+  return false;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                 const Options& opts) {
+  const LexedFile lf = lex(text);
+  Scanner s{path, lf, opts.rules, {}};
   s.check_ambient_rng();
   s.check_unordered();
   s.check_raw_time();
   s.check_nodiscard();
   s.check_header_hygiene();
+  s.check_float_eq();
+  s.check_mutable_global();
   return std::move(s.findings);
 }
 
-std::vector<Finding> lint_file(const std::filesystem::path& file) {
+std::vector<Finding> lint_source(std::string_view path, std::string_view text) {
+  return lint_source(path, text, Options{});
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& file, const Options& opts) {
   std::ifstream in(file, std::ios::binary);
   if (!in) {
-    return {Finding{Rule::kHeaderHygiene, file.generic_string(), 0, "cannot read file"}};
+    return {Finding{Rule::kIoError, file.generic_string(), 1, "cannot read file"}};
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return lint_source(file.generic_string(), buf.str());
+  return lint_source(file.generic_string(), buf.str(), opts);
 }
 
-std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots) {
-  std::vector<std::filesystem::path> files;
-  for (const std::filesystem::path& root : roots) {
-    if (!std::filesystem::exists(root)) continue;
-    for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+std::vector<Finding> lint_file(const std::filesystem::path& file) {
+  return lint_file(file, Options{});
+}
+
+namespace {
+
+void sort_findings(std::vector<Finding>& all) {
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+  });
+}
+
+}  // namespace
+
+std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
+                               const TreeOptions& opts) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (!fs::exists(root)) continue;
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
       if (!entry.is_regular_file()) continue;
       const std::string ext = entry.path().extension().string();
       if (ext != ".hpp" && ext != ".h" && ext != ".hh" && ext != ".cpp" && ext != ".cc")
         continue;
-      bool in_build = false;
+      // Skip build trees anywhere, and committed violation corpora below
+      // the scan root (a fixtures dir passed AS the root scans normally).
+      bool skip = false;
       for (const auto& part : entry.path())
-        if (part.string().rfind("build", 0) == 0) in_build = true;
-      if (!in_build) files.push_back(entry.path());
+        if (part.string().rfind("build", 0) == 0) skip = true;
+      const fs::path rel_to_root = entry.path().lexically_relative(root);
+      for (const auto& part : rel_to_root)
+        if (part.string() == "fixtures") skip = true;
+      if (!skip) files.push_back(entry.path());
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  Options file_opts{opts.rules};
   std::vector<Finding> all;
-  for (const std::filesystem::path& f : files) {
-    std::vector<Finding> one = lint_file(f);
-    all.insert(all.end(), std::make_move_iterator(one.begin()),
-               std::make_move_iterator(one.end()));
+  std::vector<FileIncludes> includes;
+  includes.reserve(files.size());
+  const bool graph_pass = !opts.layers_file.empty() &&
+                          (opts.rules.contains(Rule::kLayerViolation) ||
+                           opts.rules.contains(Rule::kIncludeCycle));
+  for (const fs::path& f : files) {
+    const std::string rel = opts.root.empty()
+                                ? f.generic_string()
+                                : f.lexically_relative(opts.root).generic_string();
+    const std::string report_path = rel.rfind("..", 0) == 0 ? f.generic_string() : rel;
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      all.push_back(Finding{Rule::kIoError, report_path, 1, "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const LexedFile lf = lex(text);
+    Scanner s{report_path, lf, file_opts.rules, {}};
+    s.check_ambient_rng();
+    s.check_unordered();
+    s.check_raw_time();
+    s.check_nodiscard();
+    s.check_header_hygiene();
+    s.check_float_eq();
+    s.check_mutable_global();
+    all.insert(all.end(), std::make_move_iterator(s.findings.begin()),
+               std::make_move_iterator(s.findings.end()));
+    if (graph_pass) includes.push_back(extract_includes(report_path, lf));
   }
+
+  if (graph_pass) {
+    LayerSpec spec;
+    std::string error;
+    if (!load_layers(opts.layers_file, spec, error)) {
+      all.push_back(Finding{Rule::kIoError, opts.layers_file.generic_string(), 1,
+                            "cannot load layering spec: " + error});
+    } else {
+      if (opts.rules.contains(Rule::kLayerViolation)) {
+        std::vector<Finding> d6 = check_layering(includes, spec);
+        all.insert(all.end(), std::make_move_iterator(d6.begin()),
+                   std::make_move_iterator(d6.end()));
+      }
+      if (opts.rules.contains(Rule::kIncludeCycle)) {
+        std::vector<Finding> d7 = check_cycles(includes);
+        all.insert(all.end(), std::make_move_iterator(d7.begin()),
+                   std::make_move_iterator(d7.end()));
+      }
+    }
+  }
+
+  sort_findings(all);
   return all;
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots) {
+  return lint_tree(roots, TreeOptions{});
 }
 
 }  // namespace hpc::lint

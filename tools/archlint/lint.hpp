@@ -1,16 +1,21 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lexer.hpp"
+
 /// \file lint.hpp
-/// archlint: Archipelago's determinism-contract static analyzer.
+/// archlint v2: Archipelago's determinism-contract static analyzer.
 ///
-/// A token/line-level scanner (no libclang) that enforces the project
-/// invariants the simulation kernel's reproducibility guarantee depends on:
+/// A multi-pass analyzer (no libclang) over a real C++ token stream (see
+/// lexer.hpp) plus a tree-level include-graph pass (see include_graph.hpp).
+/// It enforces the project invariants the simulation kernel's bit-for-bit
+/// reproducibility guarantee depends on:
 ///
 ///  - D1 `ambient-rng`      no ambient nondeterminism: `rand()`,
 ///                          `std::random_device`, `srand`, wall-clock reads
@@ -34,54 +39,126 @@
 ///  - D5 `header-hygiene`   every header starts with `#pragma once`, declares
 ///                          into the `hpc::` namespace, and carries a
 ///                          `\file` doc block.
+///  - D6 `layer-violation`  a module may `#include` only the modules its
+///                          entry in the layering spec (layers.txt) allows:
+///                          sim at the bottom, obs depending only on sim,
+///                          the archipelago substrates above.  Tree scans
+///                          only.
+///  - D7 `include-cycle`    the file-level include graph must be acyclic.
+///                          Tree scans only.
+///  - D8 `float-eq`         no raw `==`/`!=` between floating-point operands
+///                          outside `tests/`: exact comparison of computed
+///                          doubles is the classic silent cross-platform
+///                          reproducibility hazard.
+///  - D9 `mutable-global`   no non-const namespace-scope variables in `src/`:
+///                          hidden mutable state breaks replayability and
+///                          makes runs order-dependent.
+///  - `io-error`            not a style rule: a file that cannot be read
+///                          reports this (and only this) id, and it can be
+///                          neither disabled nor baselined away, so a
+///                          vanished file can never pass as "clean".
 ///
 /// Any rule can be suppressed for one line with an annotation on that line or
 /// the line above:
 ///
 ///     // archlint: allow(unordered-iter): scratch map, never iterated
 ///
-/// String literals and comments are stripped before pattern matching, so test
-/// fixtures that mention forbidden tokens inside strings do not trip the
-/// scanner.
+/// String literals, comments, and `#if 0` regions never produce findings:
+/// the lexer keeps them out of the token stream entirely.
 
 namespace hpc::lint {
 
 /// The enforced invariants (see file comment for semantics).
 enum class Rule : int {
-  kAmbientRng,     ///< D1: ambient randomness / wall-clock reads
-  kUnorderedIter,  ///< D2: iteration-order-unstable containers
-  kRawTime,        ///< D3: raw-typed `_ns` parameters in public APIs
-  kNodiscard,      ///< D4: missing [[nodiscard]] on accessors/factories
-  kHeaderHygiene,  ///< D5: pragma once / hpc:: namespace / \file block
+  kAmbientRng,      ///< D1: ambient randomness / wall-clock reads
+  kUnorderedIter,   ///< D2: iteration-order-unstable containers
+  kRawTime,         ///< D3: raw-typed `_ns` parameters in public APIs
+  kNodiscard,       ///< D4: missing [[nodiscard]] on accessors/factories
+  kHeaderHygiene,   ///< D5: pragma once / hpc:: namespace / \file block
+  kLayerViolation,  ///< D6: include crossing the declared layering spec
+  kIncludeCycle,    ///< D7: cycle in the file-level include graph
+  kFloatEq,         ///< D8: raw ==/!= between floating-point operands
+  kMutableGlobal,   ///< D9: non-const namespace-scope variable in src/
+  kIoError,         ///< unreadable input; never maskable
 };
+
+inline constexpr int kRuleCount = 10;
 
 /// Stable textual id used in reports and `allow(...)` annotations.
 [[nodiscard]] std::string_view id_of(Rule r) noexcept;
 
+/// Reverse of id_of().  Returns false for unknown ids.
+[[nodiscard]] bool rule_from_id(std::string_view id, Rule& out) noexcept;
+
+/// Which rules run.  `io-error` is reported regardless of the set: an
+/// unreadable file must never scan as clean.
+struct RuleSet {
+  std::uint32_t bits = (1u << kRuleCount) - 1;
+
+  [[nodiscard]] static RuleSet all() noexcept { return RuleSet{}; }
+  [[nodiscard]] static RuleSet none() noexcept { return RuleSet{0}; }
+  void enable(Rule r) noexcept { bits |= 1u << static_cast<int>(r); }
+  void disable(Rule r) noexcept { bits &= ~(1u << static_cast<int>(r)); }
+  [[nodiscard]] bool contains(Rule r) const noexcept {
+    return r == Rule::kIoError || (bits & (1u << static_cast<int>(r))) != 0;
+  }
+};
+
 /// One rule violation at a source location.
 struct Finding {
   Rule rule = Rule::kAmbientRng;
-  std::string path;     ///< as passed in (tree scans use repo-relative paths)
-  std::size_t line = 0; ///< 1-based
+  std::string path;     ///< repo-relative for tree scans with a root
+  std::size_t line = 1; ///< 1-based; whole-file findings point at line 1
   std::string message;
 };
 
 /// `path:line: [rule] message` — the canonical report line.
 [[nodiscard]] std::string format(const Finding& f);
 
+/// Per-file analysis options.
+struct Options {
+  RuleSet rules = RuleSet::all();
+};
+
+/// Tree-scan options.  D6/D7 run only when `layers_file` is set (they need
+/// the whole scanned set, not one file).
+struct TreeOptions {
+  RuleSet rules = RuleSet::all();
+  /// Repository root: findings and module names are reported relative to it.
+  /// Empty = report paths exactly as passed and skip module mapping.
+  std::filesystem::path root;
+  /// Layering spec (see tools/archlint/layers.txt).  Empty = skip D6/D7.
+  std::filesystem::path layers_file;
+};
+
+/// Does `archlint: allow(<rule>...)` on \p line or the line above cover \p r?
+/// Exposed for the include-graph pass; rule passes use it via their scanner.
+[[nodiscard]] bool line_allows(const LexedFile& lf, Rule r, std::size_t line);
+
 /// Lints one translation unit given its (possibly fake) path and full text.
 /// The path participates in rule scoping: D1 exempts `src/sim/rng.*`, D3/D5
 /// apply to `.hpp` files, D4 applies to headers under `src/sim` / `src/core`
-/// / `src/obs`.
+/// / `src/obs`, D8 skips `tests/`, D9 applies under `src/` only.  D6/D7 need
+/// a tree and do not run here.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                               const Options& opts);
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path, std::string_view text);
 
-/// Lints one file on disk.  Returns findings; IO failures produce a single
-/// finding on line 0 so a vanished file cannot pass silently.
+/// Lints one file on disk.  IO failures produce a single `io-error` finding
+/// so a vanished file cannot pass silently.
+[[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& file,
+                                             const Options& opts);
 [[nodiscard]] std::vector<Finding> lint_file(const std::filesystem::path& file);
 
-/// Recursively lints every `.hpp`/`.h`/`.cpp`/`.cc` file under each root,
-/// skipping any path with a `build*` component.  Findings are sorted by
-/// path, then line.
+/// Recursively lints every `.hpp`/`.h`/`.hh`/`.cpp`/`.cc` file under each
+/// root, skipping any path with a `build*` component and — below the given
+/// roots — any `fixtures` component (committed violation corpora are data,
+/// not code; pass such a directory as a root to scan it deliberately).
+/// Runs the per-file rules on every file plus, when `opts.layers_file` is
+/// set, the include-graph passes (D6/D7) over the whole set.  Findings are
+/// sorted by path, then line, then rule.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
+                                             const TreeOptions& opts);
 [[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots);
 
 }  // namespace hpc::lint

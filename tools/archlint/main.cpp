@@ -1,45 +1,154 @@
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lint.hpp"
+#include "report.hpp"
 
 /// \file main.cpp
-/// archlint CLI.  Usage:
+/// archlint CLI (v2 engine).  Usage:
 ///
-///     archlint [--root DIR] [PATH...]
+///     archlint [--root DIR] [--tree] [PATH...]
+///              [--format text|json|sarif] [--output FILE]
+///              [--baseline FILE] [--write-baseline FILE]
+///              [--layers FILE | --no-layers]
+///              [--enable RULE[,RULE...]] [--disable RULE[,RULE...]]
+///              [--check-sarif]
 ///
-/// PATHs (files or directories, default: src tests bench examples
-/// tools/benchjson tools/tracecat) are resolved against --root (default:
-/// current directory) and scanned for
-/// determinism-contract violations.  Exit status: 0 clean, 1 findings,
-/// 2 usage error.
+/// PATHs (files or directories, default: src tests bench examples tools)
+/// are resolved against --root (default: current directory) and scanned
+/// with the token-stream engine plus the include-graph passes (D6/D7,
+/// driven by the layering spec — default tools/archlint/layers.txt under
+/// the root when present).
+///
+///  --format/--output   report format and destination (default: text to
+///                      stderr; json/sarif default to stdout)
+///  --baseline          suppress the findings listed in FILE; stale entries
+///                      are reported so CI can insist the file shrinks
+///  --write-baseline    write the current findings as a baseline and exit 0
+///  --enable/--disable  rule selection by id (enable starts from an empty
+///                      set; io-error is always on)
+///  --check-sarif       render SARIF, re-parse it, and verify every finding
+///                      round-trips; exit 0 on success even with findings
+///
+/// Exit status: 0 clean (or baseline-suppressed), 1 findings, 2 usage error.
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: archlint [--root DIR] [--tree] [PATH...]\n"
+               "                [--format text|json|sarif] [--output FILE]\n"
+               "                [--baseline FILE] [--write-baseline FILE]\n"
+               "                [--layers FILE | --no-layers]\n"
+               "                [--enable RULES] [--disable RULES] [--check-sarif]\n");
+}
+
+bool split_rules(const std::string& list, std::vector<hpc::lint::Rule>& out) {
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) return true;
+    hpc::lint::Rule r;
+    if (!hpc::lint::rule_from_id(cur, r)) {
+      std::fprintf(stderr, "archlint: unknown rule '%s'\n", cur.c_str());
+      return false;
+    }
+    out.push_back(r);
+    cur.clear();
+    return true;
+  };
+  for (const char c : list) {
+    if (c == ',') {
+      if (!flush()) return false;
+    } else {
+      cur += c;
+    }
+  }
+  return flush();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   namespace fs = std::filesystem;
+  using namespace hpc::lint;
+
   fs::path root = ".";
   std::vector<std::string> paths;
+  Format format = Format::kText;
+  std::string output;
+  std::string baseline_file;
+  std::string write_baseline_file;
+  std::string layers_file;
+  bool no_layers = false;
+  bool check_sarif = false;
+  std::vector<Rule> enabled_rules;
+  std::vector<Rule> disabled_rules;
+
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "archlint: %s requires a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value_of = [&](std::string_view flag) -> std::string {
+      // --flag=value or --flag value
+      if (arg.size() > flag.size() && arg[flag.size()] == '=')
+        return arg.substr(flag.size() + 1);
+      const char* v = need_value(i, std::string(flag).c_str());
+      return v == nullptr ? std::string() : std::string(v);
+    };
     if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "archlint: --root requires a directory\n");
+      const char* v = need_value(i, "--root");
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (arg == "--tree") {
+      // Explicit alias for the default recursive scan mode.
+    } else if (arg == "--check-sarif") {
+      check_sarif = true;
+    } else if (arg == "--no-layers") {
+      no_layers = true;
+    } else if (arg.rfind("--format", 0) == 0) {
+      const std::string v = value_of("--format");
+      if (v.empty() || !format_from_name(v, format)) {
+        std::fprintf(stderr, "archlint: --format must be text, json, or sarif\n");
         return 2;
       }
-      root = argv[++i];
+    } else if (arg.rfind("--output", 0) == 0) {
+      output = value_of("--output");
+      if (output.empty()) return 2;
+    } else if (arg.rfind("--baseline", 0) == 0 && arg.rfind("--baseline-", 0) != 0) {
+      baseline_file = value_of("--baseline");
+      if (baseline_file.empty()) return 2;
+    } else if (arg.rfind("--write-baseline", 0) == 0) {
+      write_baseline_file = value_of("--write-baseline");
+      if (write_baseline_file.empty()) return 2;
+    } else if (arg.rfind("--layers", 0) == 0) {
+      layers_file = value_of("--layers");
+      if (layers_file.empty()) return 2;
+    } else if (arg.rfind("--enable", 0) == 0) {
+      if (!split_rules(value_of("--enable"), enabled_rules)) return 2;
+    } else if (arg.rfind("--disable", 0) == 0) {
+      if (!split_rules(value_of("--disable"), disabled_rules)) return 2;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: archlint [--root DIR] [PATH...]\n");
+      usage(stdout);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "archlint: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
       return 2;
     } else {
       paths.push_back(arg);
     }
   }
-  if (paths.empty())
-    paths = {"src", "tests", "bench", "examples", "tools/benchjson", "tools/tracecat"};
+  if (paths.empty()) paths = {"src", "tests", "bench", "examples", "tools"};
 
   // A missing scan path would silently scan nothing and exit 0 — in a CI
   // gate that reads as "clean", so treat it as a usage error instead.
@@ -58,12 +167,84 @@ int main(int argc, char** argv) {
     roots.push_back(std::move(full));
   }
 
-  const std::vector<hpc::lint::Finding> findings = hpc::lint::lint_tree(roots);
-  for (const hpc::lint::Finding& f : findings)
-    std::fprintf(stderr, "%s\n", hpc::lint::format(f).c_str());
-  if (!findings.empty()) {
-    std::fprintf(stderr, "archlint: %zu violation(s)\n", findings.size());
-    return 1;
+  TreeOptions opts;
+  opts.root = root;
+  if (!enabled_rules.empty()) {
+    opts.rules = RuleSet::none();
+    for (const Rule r : enabled_rules) opts.rules.enable(r);
   }
-  return 0;
+  for (const Rule r : disabled_rules) opts.rules.disable(r);
+  if (!no_layers) {
+    if (!layers_file.empty()) {
+      opts.layers_file = root / layers_file;
+      if (!fs::exists(opts.layers_file)) {
+        std::fprintf(stderr, "archlint: layers spec '%s' does not exist\n",
+                     opts.layers_file.string().c_str());
+        return 2;
+      }
+    } else if (fs::exists(root / "tools/archlint/layers.txt")) {
+      opts.layers_file = root / "tools/archlint/layers.txt";
+    }
+  }
+
+  std::vector<Finding> findings = lint_tree(roots, opts);
+
+  if (!write_baseline_file.empty()) {
+    const Baseline b = Baseline::from_findings(findings);
+    std::ofstream out(fs::path(root) / write_baseline_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "archlint: cannot write baseline '%s'\n",
+                   write_baseline_file.c_str());
+      return 2;
+    }
+    out << b.serialize();
+    std::fprintf(stderr, "archlint: wrote %zu baseline entr%s to %s\n", b.entries.size(),
+                 b.entries.size() == 1 ? "y" : "ies", write_baseline_file.c_str());
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  std::size_t stale = 0;
+  if (!baseline_file.empty()) {
+    Baseline b;
+    std::string error;
+    if (!Baseline::load(fs::path(root) / baseline_file, b, error)) {
+      std::fprintf(stderr, "archlint: %s\n", error.c_str());
+      return 2;
+    }
+    BaselineResult r = apply_baseline(std::move(findings), b);
+    findings = std::move(r.kept);
+    suppressed = r.suppressed;
+    stale = r.stale;
+  }
+
+  const std::string report = render(findings, format);
+  if (!output.empty()) {
+    std::ofstream out(output, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "archlint: cannot write output '%s'\n", output.c_str());
+      return 2;
+    }
+    out << report;
+  } else if (format == Format::kText) {
+    std::fputs(report.c_str(), stderr);
+  } else {
+    std::fputs(report.c_str(), stdout);
+  }
+
+  if (check_sarif) {
+    const std::string sarif = render(findings, Format::kSarif);
+    std::string error;
+    if (!check_sarif_roundtrip(findings, sarif, error)) {
+      std::fprintf(stderr, "archlint: SARIF self-check FAILED: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "archlint: SARIF self-check ok (%zu result%s round-tripped)\n",
+                 findings.size(), findings.size() == 1 ? "" : "s");
+    return 0;
+  }
+
+  std::fprintf(stderr, "archlint: %zu violation(s), %zu baseline-suppressed, %zu stale baseline entr%s\n",
+               findings.size(), suppressed, stale, stale == 1 ? "y" : "ies");
+  return findings.empty() ? 0 : 1;
 }

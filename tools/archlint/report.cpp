@@ -1,0 +1,308 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/jsonlite.hpp"
+
+/// \file report.cpp
+/// Format rendering, baseline IO, and the SARIF round-trip self-check.
+
+namespace hpc::lint {
+
+namespace obsj = hpc::obs::jsonlite;
+
+bool format_from_name(std::string_view name, Format& out) noexcept {
+  if (name == "text") out = Format::kText;
+  else if (name == "json") out = Format::kJson;
+  else if (name == "sarif") out = Format::kSarif;
+  else return false;
+  return true;
+}
+
+std::string_view rule_description(Rule r) noexcept {
+  switch (r) {
+    case Rule::kAmbientRng:
+      return "ambient randomness or wall-clock read outside the seeded sim::Rng";
+    case Rule::kUnorderedIter:
+      return "iteration-order-unstable container (std::unordered_map/set)";
+    case Rule::kRawTime:
+      return "raw-typed _ns parameter in a public API (use sim::TimeNs)";
+    case Rule::kNodiscard:
+      return "const accessor or factory missing [[nodiscard]]";
+    case Rule::kHeaderHygiene:
+      return "header missing #pragma once, hpc:: namespace, or \\file doc block";
+    case Rule::kLayerViolation:
+      return "include crossing the declared module layering (layers.txt)";
+    case Rule::kIncludeCycle:
+      return "cycle in the file-level include graph";
+    case Rule::kFloatEq:
+      return "raw ==/!= between floating-point operands";
+    case Rule::kMutableGlobal:
+      return "mutable namespace-scope variable (hidden replayability hazard)";
+    case Rule::kIoError:
+      return "input file could not be read (never maskable)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) out += format(f) + "\n";
+  return out;
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"tool\": \"archlint\",\n  \"version\": 2,\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": \"" + std::string(id_of(f.rule)) + "\", \"path\": \"" +
+           obsj::escape(f.path) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"message\": \"" + obsj::escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"count\": " + std::to_string(findings.size()) + "\n}\n";
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"archlint\",\n";
+  out += "          \"version\": \"2.0.0\",\n";
+  out += "          \"informationUri\": \"https://example.invalid/archipelago/archlint\",\n";
+  out += "          \"rules\": [";
+  for (int i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    out += i == 0 ? "\n" : ",\n";
+    out += "            {\"id\": \"" + std::string(id_of(r)) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           obsj::escape(rule_description(r)) + "\"}}";
+  }
+  out += "\n          ]\n        }\n      },\n";
+  out += "      \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "        {\"ruleId\": \"" + std::string(id_of(f.rule)) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" + obsj::escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+           obsj::escape(f.path) + "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+  }
+  out += findings.empty() ? "]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string render(const std::vector<Finding>& findings, Format format) {
+  switch (format) {
+    case Format::kText: return render_text(findings);
+    case Format::kJson: return render_json(findings);
+    case Format::kSarif: return render_sarif(findings);
+  }
+  return std::string();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+bool Baseline::load(const std::filesystem::path& file, Baseline& out, std::string& error) {
+  out.entries.clear();
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    error = "cannot read baseline '" + file.generic_string() + "'";
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 = t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      error = file.generic_string() + ":" + std::to_string(line_no) +
+              ": expected 'rule<TAB>path<TAB>line'";
+      return false;
+    }
+    Entry e;
+    if (!rule_from_id(line.substr(0, t1), e.rule)) {
+      error = file.generic_string() + ":" + std::to_string(line_no) + ": unknown rule '" +
+              line.substr(0, t1) + "'";
+      return false;
+    }
+    if (e.rule == Rule::kIoError) {
+      error = file.generic_string() + ":" + std::to_string(line_no) +
+              ": io-error findings cannot be baselined";
+      return false;
+    }
+    e.path = line.substr(t1 + 1, t2 - t1 - 1);
+    const std::string num = line.substr(t2 + 1);
+    e.line = 0;
+    for (const char c : num) {
+      if (c < '0' || c > '9') {
+        error = file.generic_string() + ":" + std::to_string(line_no) + ": bad line number '" +
+                num + "'";
+        return false;
+      }
+      e.line = e.line * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return true;
+}
+
+std::string Baseline::serialize() const {
+  std::vector<std::string> lines;
+  lines.reserve(entries.size());
+  for (const Entry& e : entries)
+    lines.push_back(std::string(id_of(e.rule)) + "\t" + e.path + "\t" + std::to_string(e.line));
+  std::sort(lines.begin(), lines.end());
+  std::string out =
+      "# archlint baseline: known findings suppressed during the transition to\n"
+      "# new rules.  Regenerate with `archlint --write-baseline <file>`; CI\n"
+      "# fails unless this file is empty or shrinking.  Format: rule\\tpath\\tline\n";
+  for (const std::string& l : lines) out += l + "\n";
+  return out;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  Baseline b;
+  for (const Finding& f : findings) {
+    if (f.rule == Rule::kIoError) continue;
+    b.entries.push_back(Entry{f.rule, f.path, f.line});
+  }
+  return b;
+}
+
+BaselineResult apply_baseline(std::vector<Finding> findings, const Baseline& baseline) {
+  // Each entry suppresses at most one matching finding (multiset match).
+  std::vector<std::pair<Baseline::Entry, bool>> pool;  // entry, used
+  pool.reserve(baseline.entries.size());
+  for (const Baseline::Entry& e : baseline.entries) pool.emplace_back(e, false);
+  BaselineResult out;
+  for (Finding& f : findings) {
+    bool matched = false;
+    if (f.rule != Rule::kIoError) {
+      for (auto& [e, used] : pool) {
+        if (used || e.rule != f.rule || e.line != f.line || e.path != f.path) continue;
+        used = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) ++out.suppressed;
+    else out.kept.push_back(std::move(f));
+  }
+  for (const auto& [e, used] : pool)
+    if (!used) ++out.stale;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF round-trip self-check
+// ---------------------------------------------------------------------------
+
+bool check_sarif_roundtrip(const std::vector<Finding>& findings, std::string_view sarif,
+                           std::string& error) {
+  obsj::Value doc;
+  if (!obsj::parse(sarif, doc, error)) {
+    error = "sarif is not strict JSON: " + error;
+    return false;
+  }
+  const obsj::Value* version = doc.find("version");
+  if (version == nullptr || !version->is_string() || version->string != "2.1.0") {
+    error = "sarif 'version' must be \"2.1.0\"";
+    return false;
+  }
+  const obsj::Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array() || runs->array.size() != 1) {
+    error = "sarif 'runs' must be a one-element array";
+    return false;
+  }
+  const obsj::Value& run = runs->array[0];
+  const obsj::Value* tool = run.find("tool");
+  const obsj::Value* driver = tool != nullptr ? tool->find("driver") : nullptr;
+  const obsj::Value* name = driver != nullptr ? driver->find("name") : nullptr;
+  if (name == nullptr || !name->is_string() || name->string != "archlint") {
+    error = "sarif tool.driver.name must be \"archlint\"";
+    return false;
+  }
+  const obsj::Value* rules = driver->find("rules");
+  if (rules == nullptr || !rules->is_array() || rules->array.size() != kRuleCount) {
+    error = "sarif driver.rules must list all " + std::to_string(kRuleCount) + " rules";
+    return false;
+  }
+  auto rule_listed = [&](std::string_view id) {
+    for (const obsj::Value& r : rules->array) {
+      const obsj::Value* rid = r.find("id");
+      if (rid != nullptr && rid->is_string() && rid->string == id) return true;
+    }
+    return false;
+  };
+  const obsj::Value* results = run.find("results");
+  if (results == nullptr || !results->is_array()) {
+    error = "sarif run.results must be an array";
+    return false;
+  }
+  if (results->array.size() != findings.size()) {
+    error = "sarif result count " + std::to_string(results->array.size()) +
+            " != finding count " + std::to_string(findings.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const obsj::Value& r = results->array[i];
+    const std::string at = "sarif results[" + std::to_string(i) + "]";
+    const obsj::Value* rule_id = r.find("ruleId");
+    if (rule_id == nullptr || !rule_id->is_string() || rule_id->string != id_of(f.rule)) {
+      error = at + ": ruleId mismatch";
+      return false;
+    }
+    if (!rule_listed(rule_id->string)) {
+      error = at + ": ruleId '" + rule_id->string + "' missing from driver.rules";
+      return false;
+    }
+    const obsj::Value* message = r.find("message");
+    const obsj::Value* text = message != nullptr ? message->find("text") : nullptr;
+    if (text == nullptr || !text->is_string() || text->string != f.message) {
+      error = at + ": message.text mismatch";
+      return false;
+    }
+    const obsj::Value* locations = r.find("locations");
+    if (locations == nullptr || !locations->is_array() || locations->array.size() != 1) {
+      error = at + ": locations must be a one-element array";
+      return false;
+    }
+    const obsj::Value* phys = locations->array[0].find("physicalLocation");
+    const obsj::Value* artifact = phys != nullptr ? phys->find("artifactLocation") : nullptr;
+    const obsj::Value* uri = artifact != nullptr ? artifact->find("uri") : nullptr;
+    if (uri == nullptr || !uri->is_string() || uri->string != f.path) {
+      error = at + ": artifactLocation.uri mismatch";
+      return false;
+    }
+    const obsj::Value* region = phys != nullptr ? phys->find("region") : nullptr;
+    const obsj::Value* start = region != nullptr ? region->find("startLine") : nullptr;
+    if (start == nullptr || !start->is_number() ||
+        static_cast<std::size_t>(start->number) != f.line) {
+      error = at + ": region.startLine mismatch";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hpc::lint

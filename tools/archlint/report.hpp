@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+/// \file report.hpp
+/// archlint's CI-grade reporting: output formats, baselines, and the SARIF
+/// self-check.
+///
+///  - **Formats** — `text` (the classic `path:line: [rule] message` lines),
+///    `json` (a small deterministic machine-readable document), and `sarif`
+///    (SARIF 2.1.0, the shape code-review UIs and upload actions ingest).
+///    All three are byte-deterministic for a given finding list.
+///  - **Baseline** — a committed file of known findings
+///    (`rule<TAB>path<TAB>line`, '#' comments allowed) lets a new rule land
+///    against an existing tree without a flag-day sweep: baselined findings
+///    are suppressed, and stale entries (matching nothing) are counted so CI
+///    can insist the baseline only ever shrinks.  `io-error` findings are
+///    never suppressed — a vanished file must fail even a fully-baselined
+///    run.
+///  - **SARIF self-check** — `check_sarif_roundtrip()` re-parses emitted
+///    SARIF with the strict obs jsonlite parser and verifies every finding
+///    round-trips (rule id, path, line, message, and a driver rule entry),
+///    in the spirit of tools/tracecat's artifact self-validation.
+
+namespace hpc::lint {
+
+enum class Format : int { kText, kJson, kSarif };
+
+/// "text" / "json" / "sarif" -> Format.  Returns false on unknown names.
+[[nodiscard]] bool format_from_name(std::string_view name, Format& out) noexcept;
+
+/// Renders the full report document for \p findings (trailing newline
+/// included; text format renders zero findings as an empty string).
+[[nodiscard]] std::string render(const std::vector<Finding>& findings, Format format);
+
+/// One-line human description of a rule (also embedded in SARIF driver
+/// metadata).
+[[nodiscard]] std::string_view rule_description(Rule r) noexcept;
+
+/// A committed suppression list: findings present here are reported as
+/// suppressed instead of failing the run.
+struct Baseline {
+  struct Entry {
+    Rule rule = Rule::kAmbientRng;
+    std::string path;
+    std::size_t line = 1;
+  };
+  std::vector<Entry> entries;
+
+  /// Loads a baseline file.  A missing file is an error (an empty committed
+  /// file is the way to say "no suppressions").
+  [[nodiscard]] static bool load(const std::filesystem::path& file, Baseline& out,
+                                 std::string& error);
+
+  /// Canonical serialization: sorted `rule<TAB>path<TAB>line` lines.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Baseline covering exactly \p findings (io-error findings excluded:
+  /// they must never be suppressible).
+  [[nodiscard]] static Baseline from_findings(const std::vector<Finding>& findings);
+};
+
+/// Result of subtracting a baseline from a finding list.
+struct BaselineResult {
+  std::vector<Finding> kept;    ///< still-failing findings
+  std::size_t suppressed = 0;   ///< findings swallowed by the baseline
+  std::size_t stale = 0;        ///< baseline entries that matched nothing
+};
+
+/// Applies \p baseline to \p findings.  Each entry suppresses at most one
+/// matching finding; `io-error` findings are always kept.
+[[nodiscard]] BaselineResult apply_baseline(std::vector<Finding> findings,
+                                            const Baseline& baseline);
+
+/// Verifies that \p sarif (as produced by render(kSarif)) parses as strict
+/// JSON and round-trips \p findings exactly.  On failure returns false and
+/// fills \p error.
+[[nodiscard]] bool check_sarif_roundtrip(const std::vector<Finding>& findings,
+                                         std::string_view sarif, std::string& error);
+
+}  // namespace hpc::lint
