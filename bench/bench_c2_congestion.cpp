@@ -37,7 +37,7 @@ Outcome run_incast(int elephants, net::CongestionControl cc, std::uint64_t seed)
   for (int i = 0; i < elephants; ++i)
     fsim.add_flow({h[static_cast<std::size_t>(7 * (i + 1) % h.size())], h[0], 20e9, 0, 0});
   // Victims: short flows between disjoint endpoint pairs.
-  sim::Rng rng(seed + 1);
+  sim::Rng rng = sim::Rng(seed).child("bench.c2.victims");
   for (int v = 0; v < 40; ++v) {
     const int src = static_cast<int>(rng.index(h.size() / 2)) * 2 + 1;
     int dst = static_cast<int>(rng.index(h.size() / 2)) * 2 + 1;

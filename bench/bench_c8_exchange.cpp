@@ -34,7 +34,7 @@ MarketSetup make_market(int providers, int consumers, bool with_traders,
                         std::uint64_t seed) {
   MarketSetup m;
   m.ex = market::Exchange(seed);
-  sim::Rng rng(seed + 1);
+  sim::Rng rng = sim::Rng(seed).child("bench.c8.population");
   for (int i = 0; i < providers; ++i) {
     const double cost = rng.uniform(0.5, 1.5);
     m.costs.push_back(cost);

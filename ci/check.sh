@@ -2,20 +2,21 @@
 # Full local CI gate: tier-1 build+tests, the archlint determinism-contract
 # scan, a -Werror warning wall, an ASan+UBSan instrumented test pass, a perf
 # smoke run that emits the BENCH_flowsim.json / BENCH_obs.json trajectory
-# artifacts, and an observability stage that validates an instrumented run's
-# trace with tools/tracecat.
+# artifacts, an observability stage that validates an instrumented run's
+# trace with tools/tracecat, and a co-simulation stage that pins the coupled
+# scenario's engine digest.
 # Run from the repository root:  ./ci/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/6] tier-1: default build + full test suite =="
+echo "== [1/7] tier-1: default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [2/6] archlint: determinism-contract static analysis (v2) =="
+echo "== [2/7] archlint: determinism-contract static analysis (v2) =="
 # Token-stream rules D1-D5/D8/D9 plus the include-graph passes (D6 layering
 # against tools/archlint/layers.txt, D7 cycles), machine-readable output,
 # and a SARIF artifact for upload.  The committed baseline is a ratchet:
@@ -48,16 +49,16 @@ if grep -vq '^\s*\(#\|$\)' "${BASELINE}"; then
 fi
 echo "archlint: SARIF artifact at ${LINT_DIR}/findings.sarif"
 
-echo "== [3/6] warning wall: -Wall -Wextra -Werror =="
+echo "== [3/7] warning wall: -Wall -Wextra -Werror =="
 cmake -B build-werror -S . -DARCHIPELAGO_WERROR=ON >/dev/null
 cmake --build build-werror -j "${JOBS}"
 
-echo "== [4/6] sanitizers: ASan+UBSan instrumented test suite =="
+echo "== [4/7] sanitizers: ASan+UBSan instrumented test suite =="
 cmake -B build-asan -S . -DARCHIPELAGO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "== [5/6] perf smoke: flowsim + observability overhead trajectories =="
+echo "== [5/7] perf smoke: flowsim + observability overhead trajectories =="
 # Short-run smoke (not a statistically stable measurement): proves the
 # benchmark binaries work end to end and regenerates the BENCH_*.json
 # artifacts.  Note: these google-benchmarks take a bare double (no "s"
@@ -69,7 +70,7 @@ BENCHJSON_OUT=BENCH_obs.json ./build/bench/bench_perf_obs \
   --benchmark_min_time=0.05
 ./build/tools/benchjson/benchjson_check BENCH_obs.json
 
-echo "== [6/6] obs: instrumented run + tracecat artifact validation =="
+echo "== [6/7] obs: instrumented run + tracecat artifact validation =="
 # Run the instrumented quickstart, then hold its exported artifacts to the
 # exporter's invariants: well-formed strict JSON, balanced spans, a valid
 # metrics snapshot.  Any violation is a hard failure.
@@ -79,5 +80,26 @@ mkdir -p "${OBS_DIR}"
 ./build/tools/tracecat/tracecat --check --metrics "${OBS_DIR}/metrics.json" \
   "${OBS_DIR}/trace.json"
 ./build/tools/tracecat/tracecat --top 5 "${OBS_DIR}/trace.json"
+
+echo "== [7/7] co-sim: coupled scenario determinism gate =="
+# Run the coupled archipelago example (jobs -> flows -> market clearing on
+# one sim::Engine), validate its flight-recorder artifacts, and hold the
+# engine's event digest to the committed expectation: any nondeterminism or
+# unreviewed behavior change in the coupled event stream fails CI.  After an
+# intentional change, regenerate with:
+#   ./build/examples/coupled_archipelago | grep '^engine digest:' \
+#     > ci/expected_coupled_digest.txt
+COSIM_DIR=build/cosim-ci
+mkdir -p "${COSIM_DIR}"
+./build/examples/coupled_archipelago "${COSIM_DIR}/trace.json" \
+  "${COSIM_DIR}/metrics.json" > "${COSIM_DIR}/stdout.txt"
+./build/tools/tracecat/tracecat --check --metrics "${COSIM_DIR}/metrics.json" \
+  "${COSIM_DIR}/trace.json"
+grep '^engine digest:' "${COSIM_DIR}/stdout.txt" > "${COSIM_DIR}/digest.txt"
+if ! diff -u ci/expected_coupled_digest.txt "${COSIM_DIR}/digest.txt"; then
+  echo "co-sim: engine digest drifted from ci/expected_coupled_digest.txt" >&2
+  exit 1
+fi
+echo "co-sim: digest matches $(cat "${COSIM_DIR}/digest.txt")"
 
 echo "All checks passed."

@@ -61,6 +61,7 @@ void System::pin_silo(TaskKind kind, int site) {
 
 void System::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics) {
   trace_ = trace;
+  metrics_ = metrics;
   if (trace_ != nullptr) {
     otrack_ = trace_->track("core");
     sid_task_ = trace_->intern("core.task");
@@ -232,6 +233,297 @@ WorkflowResult System::run(const Workflow& wf, PlacementPolicy policy) {
     result.total_energy_j += best.energy;
   }
   return result;
+}
+
+/// Workflow driver for run_coupled: tasks become events on the shared clock.
+///
+/// Lifecycle per task: task_ready (dependencies finished) plans a placement
+/// with the same candidate evaluation as the batch planner, then stages each
+/// non-local input as a *real* flow on the WAN fabric; task_staged (all
+/// transfers delivered) acquires nodes and commits; task_finished releases
+/// dependents and registers the output dataset.  The planner's staging
+/// estimate stays analytic — the point of the coupling is that *execution*
+/// sees contention the planner could not.
+struct System::CosimDriver final : public sim::Component {
+  System& sys;
+  const Workflow& wf;
+  PlacementPolicy policy;
+  const CosimConfig& cfg;
+  net::FlowSim& wan;
+  const std::vector<int>& site_ep;  ///< site id -> WAN endpoint vertex
+
+  NodePool pool;
+  data::TransferOracle oracle;
+  WorkflowResult result;
+  std::vector<int> waiting;                 ///< unfinished gating deps per task
+  std::vector<int> stage_left;              ///< outstanding staging flows per task
+  std::vector<std::vector<int>> inputs_of;  ///< resolved input dataset ids
+  std::vector<std::vector<int>> dependents;
+
+  CosimDriver(System& system, const Workflow& workflow, PlacementPolicy pol,
+              const CosimConfig& config, net::FlowSim& fabric,
+              const std::vector<int>& endpoints)
+      : sys(system), wf(workflow), policy(pol), cfg(config), wan(fabric),
+        site_ep(endpoints), pool(system.sites_),
+        oracle([&system](int from, int to, double gb) {
+          return system.transfer_ns(from, to, gb);
+        }) {}
+
+  [[nodiscard]] std::string_view component_name() const noexcept override {
+    return "core.cosim";
+  }
+
+  void on_attach(sim::Engine& engine) override {
+    const std::size_t n = wf.size();
+    result.outcomes.resize(n);
+    waiting.assign(n, 0);
+    stage_left.assign(n, 0);
+    inputs_of.assign(n, {});
+    dependents.assign(n, {});
+    for (const Task& t : wf.tasks()) {
+      // Readiness gate: explicit deps plus data-producing upstream tasks
+      // (input_tasks imply deps, but tolerate either being listed alone).
+      std::vector<int> gate = t.deps;
+      gate.insert(gate.end(), t.input_tasks.begin(), t.input_tasks.end());
+      std::sort(gate.begin(), gate.end());
+      gate.erase(std::unique(gate.begin(), gate.end()), gate.end());
+      waiting[static_cast<std::size_t>(t.id)] = static_cast<int>(gate.size());
+      for (const int d : gate) dependents[static_cast<std::size_t>(d)].push_back(t.id);
+      if (gate.empty())
+        engine.schedule_at(t.job.arrival, [this, tid = t.id] { task_ready(tid); });
+    }
+  }
+
+  void task_ready(int tid) {
+    const Task& task = wf.task(tid);
+    TaskOutcome& out = result.outcomes[static_cast<std::size_t>(tid)];
+    out.task = tid;
+    const sim::TimeNs ready = engine()->now();
+    out.ready = ready;
+
+    std::vector<int>& inputs = inputs_of[static_cast<std::size_t>(tid)];
+    inputs = task.input_datasets;
+    for (const int t : task.input_tasks) {
+      const int ds = result.outcomes[static_cast<std::size_t>(t)].output_dataset;
+      if (ds >= 0) inputs.push_back(ds);
+    }
+
+    std::vector<int> candidates;
+    if (policy == PlacementPolicy::kSiloed) {
+      candidates.push_back(sys.silo_of_kind_[static_cast<std::size_t>(task.kind)]);
+    } else {
+      for (const fed::Site& s : sys.sites_) candidates.push_back(s.id);
+    }
+
+    // Same evaluation as the batch planner; the analytic staging estimate
+    // orders candidates, the fabric decides what staging actually costs.
+    struct Option {
+      int site = -1;
+      int partition = -1;
+      sim::TimeNs finish = 0;
+      double staged_gb = 0.0;
+      double cost = 0.0;
+    };
+    Option best;
+    bool have = false;
+    for (const int sid : candidates) {
+      const fed::Site& site = sys.sites_[static_cast<std::size_t>(sid)];
+      double staging_ns = 0.0;
+      double staged_gb = 0.0;
+      bool feasible = true;
+      for (const int ds : inputs) {
+        const data::DatasetMeta& m = sys.catalog_.get(ds);
+        if (std::find(m.replica_sites.begin(), m.replica_sites.end(), sid) !=
+            m.replica_sites.end())
+          continue;
+        const auto choice =
+            sys.catalog_.cheapest_replica(ds, sid, site.admin_domain, oracle);
+        if (!choice) {
+          feasible = false;
+          break;
+        }
+        staging_ns += choice->transfer_ns;
+        staged_gb += m.size_gb;
+      }
+      if (!feasible) continue;
+
+      for (std::size_t p = 0; p < site.cluster.partitions.size(); ++p) {
+        const sched::Partition& part = site.cluster.partitions[p];
+        if (part.nodes < task.job.nodes) continue;
+        const double run_ns = sched::job_runtime_ns(task.job, part.device, task.job.nodes);
+        if (run_ns >= 1e17) continue;
+        const double noisy_ns = run_ns * (1.0 + site.noise_factor);
+        const auto data_ready = ready + static_cast<sim::TimeNs>(staging_ns);
+        const sim::TimeNs start =
+            pool.earliest(sid, static_cast<int>(p), task.job.nodes, data_ready);
+        if (start == std::numeric_limits<sim::TimeNs>::max()) continue;
+        const auto finish = start + static_cast<sim::TimeNs>(noisy_ns);
+        const double node_hours = noisy_ns * 1e-9 / 3600.0 * task.job.nodes;
+        const double cost = node_hours * site.price_per_node_hour;
+        const bool better = [&] {
+          if (!have) return true;
+          if (policy == PlacementPolicy::kCheapest)
+            // archlint: allow(float-eq): tie-break on identically-derived costs
+            return cost < best.cost || (cost == best.cost && finish < best.finish);
+          return finish < best.finish ||
+                 (finish == best.finish && staged_gb < best.staged_gb);
+        }();
+        if (better) {
+          best = Option{sid, static_cast<int>(p), finish, staged_gb, cost};
+          have = true;
+        }
+      }
+    }
+
+    if (!have) {
+      out.site = -1;
+      out.start = out.finish = ready;
+      if (sys.m_unplaced_ != nullptr) sys.m_unplaced_->inc();
+      task_finished(tid);  // degraded but non-blocking, as in the batch path
+      return;
+    }
+
+    out.site = best.site;
+    out.partition = best.partition;
+    out.staged_gb = best.staged_gb;
+
+    // Stage every non-local input as a real flow: cheapest governed replica
+    // picks the source, the fabric delivers under contention, and the two
+    // one-way WAN latencies ride on top of the fluid serialization (the same
+    // decomposition as fed::wan_transfer_ns).
+    int transfers = 0;
+    for (const int ds : inputs) {
+      const data::DatasetMeta& m = sys.catalog_.get(ds);
+      if (std::find(m.replica_sites.begin(), m.replica_sites.end(), best.site) !=
+          m.replica_sites.end())
+        continue;
+      const fed::Site& site = sys.sites_[static_cast<std::size_t>(best.site)];
+      const auto choice =
+          sys.catalog_.cheapest_replica(ds, best.site, site.admin_domain, oracle);
+      if (!choice) continue;  // plan found it feasible; belt and braces
+      const auto lat = static_cast<sim::TimeNs>(
+          sys.sites_[static_cast<std::size_t>(choice->from_site)].wan_latency_ns +
+          site.wan_latency_ns);
+      net::FlowSpec spec;
+      spec.src = site_ep[static_cast<std::size_t>(choice->from_site)];
+      spec.dst = site_ep[static_cast<std::size_t>(best.site)];
+      spec.bytes = m.size_gb * 1e9;
+      spec.tag = tid;
+      ++transfers;
+      wan.inject(spec, [this, tid, lat](const net::FlowResult&) {
+        engine()->schedule_in(lat, [this, tid] {
+          if (--stage_left[static_cast<std::size_t>(tid)] == 0) task_staged(tid);
+        });
+      });
+    }
+    stage_left[static_cast<std::size_t>(tid)] = transfers;
+    if (transfers == 0) task_staged(tid);
+  }
+
+  void task_staged(int tid) {
+    const Task& task = wf.task(tid);
+    TaskOutcome& out = result.outcomes[static_cast<std::size_t>(tid)];
+    const fed::Site& site = sys.sites_[static_cast<std::size_t>(out.site)];
+    const sched::Partition& part =
+        site.cluster.partitions[static_cast<std::size_t>(out.partition)];
+    const sim::TimeNs now = engine()->now();
+
+    const double run_ns = sched::job_runtime_ns(task.job, part.device, task.job.nodes);
+    const double noisy_ns = run_ns * (1.0 + site.noise_factor);
+    const sim::TimeNs start = pool.earliest(out.site, out.partition, task.job.nodes, now);
+    const auto finish = start + static_cast<sim::TimeNs>(noisy_ns);
+    pool.acquire(out.site, out.partition, task.job.nodes, finish);
+
+    const double node_hours = noisy_ns * 1e-9 / 3600.0 * task.job.nodes;
+    double cost = node_hours * site.price_per_node_hour;
+    if (cfg.price_fn) {
+      const double price = cfg.price_fn();
+      if (price > 0.0) cost *= price;  // market coupling: pay the cleared price
+    }
+    out.start = start;
+    out.finish = finish;
+    out.cost_usd = cost;
+    out.energy_j = sched::job_energy_j(task.job, part.device, task.job.nodes);
+
+    if (sys.trace_ != nullptr && sys.trace_->enabled()) {
+      sys.trace_->complete_span(sys.otrack_, sys.sid_task_, start, finish);
+      if (out.staged_gb > 0.0)
+        sys.trace_->instant(sys.otrack_, sys.sid_stage_, start, out.staged_gb);
+    }
+    if (sys.m_placed_ != nullptr) {
+      sys.m_placed_->inc();
+      sys.h_runtime_->record(static_cast<double>(finish - start));
+    }
+
+    // The transfers just landed: the inputs are replicas here from now on.
+    for (const int ds : inputs_of[static_cast<std::size_t>(tid)])
+      sys.catalog_.add_replica(ds, out.site);
+
+    engine()->schedule_at(finish, [this, tid] { task_finished(tid); });
+  }
+
+  void task_finished(int tid) {
+    const Task& task = wf.task(tid);
+    TaskOutcome& out = result.outcomes[static_cast<std::size_t>(tid)];
+    if (out.site >= 0) {
+      if (task.output_gb > 0.0) {
+        out.output_dataset = sys.catalog_.derive(
+            task.name + ".out", inputs_of[static_cast<std::size_t>(tid)],
+            std::string(name_of(task.kind)), task.output_gb, out.site,
+            sys.sites_[static_cast<std::size_t>(out.site)].admin_domain,
+            task.output_sensitivity, out.finish);
+      }
+      result.makespan = std::max(result.makespan, out.finish);
+      result.wan_gb_moved += out.staged_gb;
+      result.total_cost_usd += out.cost_usd;
+      result.total_energy_j += out.energy_j;
+    }
+    const sim::TimeNs now = engine()->now();
+    for (const int d : dependents[static_cast<std::size_t>(tid)]) {
+      if (--waiting[static_cast<std::size_t>(d)] == 0) {
+        const sim::TimeNs at = std::max(now, wf.task(d).job.arrival);
+        engine()->schedule_at(at, [this, d] { task_ready(d); });
+      }
+    }
+  }
+};
+
+CoupledResult System::run_coupled(const Workflow& wf, PlacementPolicy policy,
+                                  const CosimConfig& cfg) {
+  // WAN star: one endpoint per site, uplinked into a core switch at the
+  // site's uplink bandwidth/latency.  Concurrent staging transfers through
+  // the same uplink now share it max-min fairly instead of each assuming the
+  // full pipe (the analytic formula's blind spot).
+  net::Network wan_net;
+  std::vector<int> site_ep(sites_.size());
+  for (std::size_t s = 0; s < sites_.size(); ++s)
+    site_ep[s] = wan_net.add_node(net::NodeRole::kEndpoint, sites_[s].name);
+  const int core = wan_net.add_node(net::NodeRole::kSwitch, "wan.core");
+  for (std::size_t s = 0; s < sites_.size(); ++s)
+    wan_net.add_duplex_link(site_ep[s], core, net::LinkClass::kWan,
+                            sites_[s].wan_bandwidth_gbs, sites_[s].wan_latency_ns);
+  wan_net.build_routes();
+
+  sim::Engine engine(cfg.seed);
+  net::FlowSim wan(wan_net, cfg.wan_cc, net::Routing::kMinimal,
+                   engine.stream_seed("net.wan"));
+  wan.set_observer(trace_, metrics_);
+  for (sim::Component* c : cfg.extra) engine.attach(*c);
+  engine.attach(wan);
+  CosimDriver driver(*this, wf, policy, cfg, wan, site_ep);
+  engine.attach(driver);
+  engine.run();
+
+  CoupledResult res;
+  res.workflow = std::move(driver.result);
+  res.wan = wan.take_summary();
+  res.engine_digest = engine.digest();
+  res.events_executed = engine.events_executed();
+  res.end_time = engine.now();
+  engine.detach(driver);
+  engine.detach(wan);
+  for (sim::Component* c : cfg.extra) engine.detach(*c);
+  return res;
 }
 
 }  // namespace hpc::core

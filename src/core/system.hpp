@@ -1,14 +1,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
 #include "core/workflow.hpp"
 #include "data/catalog.hpp"
 #include "fed/site.hpp"
+#include "net/flowsim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
 /// \file system.hpp
@@ -54,6 +57,30 @@ struct WorkflowResult {
   double total_energy_j = 0.0;
 };
 
+/// Coupled co-simulation configuration (System::run_coupled).
+struct CosimConfig {
+  std::uint64_t seed = 1;  ///< engine seed; all substrate streams derive from it
+  net::CongestionControl wan_cc = net::CongestionControl::kFlowBased;
+  /// Optional market coupling: sampled when a task commits to run; the task's
+  /// dollar cost is multiplied by the sampled price when it returns > 0
+  /// (e.g. `[&ex] { return ex.last_price(); }` for an attached Exchange).
+  std::function<double()> price_fn;
+  /// Extra components to attach to the shared engine before the workflow
+  /// driver (e.g. a market::Exchange with periodic co-sim clearing).  Borrowed;
+  /// must outlive the run_coupled call.
+  std::vector<sim::Component*> extra;
+};
+
+/// Outcome of a coupled run: the workflow result plus the WAN fabric summary
+/// and the shared kernel's determinism witness.
+struct CoupledResult {
+  WorkflowResult workflow;
+  net::FlowRunSummary wan;
+  std::uint64_t engine_digest = 0;   ///< FNV-1a over the executed event stream
+  std::uint64_t events_executed = 0;
+  sim::TimeNs end_time = 0;          ///< shared clock at quiescence
+};
+
 /// The composed system.
 class System {
  public:
@@ -77,10 +104,23 @@ class System {
   /// Executes a workflow: tasks run in dependency order; each task is placed
   /// per \p policy, inputs are staged through the catalog's cheapest governed
   /// replica, outputs are registered as new datasets at the execution site.
+  /// Staging time is the *analytic* WAN formula (no contention between
+  /// concurrent transfers) — the batch planner.
   WorkflowResult run(const Workflow& wf, PlacementPolicy policy);
 
+  /// Executes a workflow as a coupled co-simulation on one shared clock:
+  /// task staging emits *real* flows on a WAN star topology simulated by
+  /// net::FlowSim (concurrent transfers contend for uplink bandwidth under
+  /// max-min fairness), task completion events release dependents, and any
+  /// extra components in \p cfg (e.g. a market exchange clearing
+  /// periodically) interleave on the same timeline.  The returned engine
+  /// digest is the scenario's single determinism witness.
+  CoupledResult run_coupled(const Workflow& wf, PlacementPolicy policy,
+                            const CosimConfig& cfg);
+
  private:
-  struct NodePool;  // per-partition node availability
+  struct NodePool;     // per-partition node availability
+  struct CosimDriver;  // workflow driver component for run_coupled
 
   [[nodiscard]] double transfer_ns(int from, int to, double gb) const;
 
@@ -91,6 +131,7 @@ class System {
 
   // Observability (optional, passive; see set_observer).
   obs::TraceRecorder* trace_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
   obs::TrackId otrack_ = 0;
   obs::StrId sid_task_ = 0;
   obs::StrId sid_stage_ = 0;

@@ -1,83 +1,105 @@
 #include "edge/stream_sim.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <functional>
 
 namespace hpc::edge {
 
-StreamResult run_stream(const InstrumentSpec& inst, const StationConfig& station,
-                        double duration_s, sim::Rng& rng) {
-  sim::Simulator sim;
-  StreamResult result;
-  sim::Sampler latency;
-  std::deque<sim::TimeNs> queue;  // arrival timestamps of buffered frames
-  int busy_engines = 0;
-  double busy_ns = 0.0;
-  const auto horizon = sim::from_seconds(duration_s);
+void StreamSim::start_service() {
+  const sim::TimeNs now = engine()->now();
+  while (busy_engines_ < station_.engines && !queue_.empty()) {
+    const sim::TimeNs arrived = queue_.front();
+    queue_.pop_front();
+    ++busy_engines_;
+    busy_ns_ += station_.service_ns;
+    const sim::TimeNs done = now + static_cast<sim::TimeNs>(station_.service_ns);
+    latency_.push(static_cast<double>(done - arrived));
+    engine()->schedule_at(done, [this] { finish_frame(); });
+  }
+}
 
-  std::function<void()> finish_frame;
-  auto start_service = [&]() {
-    while (busy_engines < station.engines && !queue.empty()) {
-      const sim::TimeNs arrived = queue.front();
-      queue.pop_front();
-      ++busy_engines;
-      busy_ns += station.service_ns;
-      const sim::TimeNs done = sim.now() + static_cast<sim::TimeNs>(station.service_ns);
-      latency.push(static_cast<double>(done - arrived));
-      sim.schedule_at(done, [&] { finish_frame(); });
-    }
-  };
-  finish_frame = [&] {
-    --busy_engines;
-    ++result.frames_served;
+void StreamSim::finish_frame() {
+  // Past-horizon events only exist when a shared engine runs longer than
+  // this station's window; the batch wrapper stops at the horizon, so the
+  // gate preserves its exact accounting.
+  if (engine()->now() > horizon_) return;
+  --busy_engines_;
+  ++result_.frames_served;
+  start_service();
+}
+
+void StreamSim::frame_arrives() {
+  ++result_.frames_offered;
+  if (static_cast<int>(queue_.size()) >= station_.queue_capacity) {
+    ++result_.frames_dropped;
+  } else {
+    queue_.push_back(engine()->now());
     start_service();
-  };
+  }
+}
 
-  auto frame_arrives = [&]() {
-    ++result.frames_offered;
-    if (static_cast<int>(queue.size()) >= station.queue_capacity) {
-      ++result.frames_dropped;
-    } else {
-      queue.push_back(sim.now());
-      start_service();
-    }
-  };
+void StreamSim::arrival_chain(sim::TimeNs window_end) {
+  const sim::TimeNs now = engine()->now();
+  if (now >= horizon_ || now >= window_end) return;
+  frame_arrives();
+  const double mean_gap_ns = 1e9 / inst_.frames_per_s;
+  const auto gap = static_cast<sim::TimeNs>(std::max(1.0, rng_->exponential(mean_gap_ns)));
+  engine()->schedule_in(gap, [this, window_end] { arrival_chain(window_end); });
+}
+
+void StreamSim::on_attach(sim::Engine& engine) {
+  queue_.clear();
+  busy_engines_ = 0;
+  busy_ns_ = 0.0;
+  latency_ = sim::Sampler{};
+  result_ = StreamResult{};
+  const sim::TimeNs start = engine.now();
+  horizon_ = start + sim::from_seconds(duration_s_);
 
   // Deterministic burst windows (100 ms on, idle sized by the duty cycle);
   // Poisson arrivals within each window.
   const double burst_ns = 100e6;
   const double idle_ns =
-      inst.burst_duty >= 1.0 ? 0.0 : burst_ns * (1.0 - inst.burst_duty) / inst.burst_duty;
-  const double mean_gap_ns = 1e9 / inst.frames_per_s;
+      inst_.burst_duty >= 1.0 ? 0.0 : burst_ns * (1.0 - inst_.burst_duty) / inst_.burst_duty;
+  const double mean_gap_ns = 1e9 / inst_.frames_per_s;
+  const auto window_span = static_cast<double>(horizon_ - start);
 
-  std::function<void(sim::TimeNs)> arrival_chain = [&](sim::TimeNs window_end) {
-    if (sim.now() >= horizon || sim.now() >= window_end) return;
-    frame_arrives();
-    const auto gap = static_cast<sim::TimeNs>(std::max(1.0, rng.exponential(mean_gap_ns)));
-    sim.schedule_in(gap, [&, window_end] { arrival_chain(window_end); });
-  };
-
-  for (double t = 0.0; t < static_cast<double>(horizon); t += burst_ns + idle_ns) {
-    const auto window_start = static_cast<sim::TimeNs>(t);
+  for (double t = 0.0; t < window_span; t += burst_ns + idle_ns) {
+    const auto window_start = start + static_cast<sim::TimeNs>(t);
     const auto window_end =
-        std::min(horizon, window_start + static_cast<sim::TimeNs>(burst_ns));
+        std::min(horizon_, window_start + static_cast<sim::TimeNs>(burst_ns));
     const auto first =
-        window_start + static_cast<sim::TimeNs>(rng.exponential(mean_gap_ns));
-    sim.schedule_at(first, [&, window_end] { arrival_chain(window_end); });
-    if (idle_ns <= 0.0 && burst_ns >= static_cast<double>(horizon)) break;
+        window_start + static_cast<sim::TimeNs>(rng_->exponential(mean_gap_ns));
+    engine.schedule_at(first, [this, window_end] { arrival_chain(window_end); });
+    if (idle_ns <= 0.0 && burst_ns >= window_span) break;
   }
-  sim.run_until(horizon);
+}
 
+StreamResult StreamSim::take_result() {
+  StreamResult result = result_;
   result.drop_fraction =
       result.frames_offered > 0
           ? static_cast<double>(result.frames_dropped) / result.frames_offered
           : 0.0;
-  result.mean_latency_ns = latency.mean();
-  result.p99_latency_ns = latency.p99();
-  const double engine_ns = duration_s * 1e9 * station.engines;
-  result.utilization = engine_ns > 0.0 ? std::min(1.0, busy_ns / engine_ns) : 0.0;
+  result.mean_latency_ns = latency_.mean();
+  result.p99_latency_ns = latency_.p99();
+  const double engine_ns = duration_s_ * 1e9 * station_.engines;
+  result.utilization = engine_ns > 0.0 ? std::min(1.0, busy_ns_ / engine_ns) : 0.0;
+  queue_.clear();
+  busy_engines_ = 0;
+  busy_ns_ = 0.0;
+  latency_ = sim::Sampler{};
+  result_ = StreamResult{};
   return result;
+}
+
+StreamResult run_stream(const InstrumentSpec& inst, const StationConfig& station,
+                        double duration_s, sim::Rng& rng) {
+  sim::Engine engine(rng.seed());
+  StreamSim stream(inst, station, duration_s, rng);
+  engine.attach(stream);
+  engine.run_until(stream.horizon());
+  engine.detach(stream);
+  return stream.take_result();
 }
 
 }  // namespace hpc::edge

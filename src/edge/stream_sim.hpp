@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 
 #include "edge/instrument.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -16,6 +18,11 @@
 /// when the queue overflows, and per-frame latency percentiles — the queueing
 /// behaviour a real "second wave" edge deployment must be provisioned for
 /// (paper Section III.B).
+///
+/// StreamSim is a sim::Component: attach it to a shared sim::Engine to run
+/// the station alongside other substrates on one clock.  The `run_stream`
+/// convenience wrapper constructs a private Engine and drives it to the
+/// horizon — bit-identical to the historical free-standing simulator.
 
 namespace hpc::edge {
 
@@ -35,6 +42,51 @@ struct StreamResult {
   double mean_latency_ns = 0.0;    ///< arrival -> verdict (queue + service)
   double p99_latency_ns = 0.0;
   double utilization = 0.0;        ///< busy engine-time / total engine-time
+};
+
+/// Edge station component: frames from \p inst flow through k engines on the
+/// shared clock, for \p duration_s of simulated time past attach.  Frames
+/// still in service at the horizon are not counted as served.
+class StreamSim final : public sim::Component {
+ public:
+  /// \p rng is borrowed (callers often share one generator across sweeps);
+  /// it must outlive the component.
+  StreamSim(const InstrumentSpec& inst, const StationConfig& station, double duration_s,
+            sim::Rng& rng)
+      : inst_(inst), station_(station), duration_s_(duration_s), rng_(&rng) {}
+
+  // sim::Component contract.
+  [[nodiscard]] std::string_view component_name() const noexcept override {
+    return "edge.stream";
+  }
+  /// Schedules the deterministic burst windows (100 ms on, idle sized by the
+  /// duty cycle) with Poisson arrivals within each window.
+  void on_attach(sim::Engine& engine) override;
+
+  /// Absolute shared time the station stops accepting/serving work.
+  [[nodiscard]] sim::TimeNs horizon() const noexcept { return horizon_; }
+
+  /// Final counters and latency percentiles; resets per-session state.
+  [[nodiscard]] StreamResult take_result();
+
+ private:
+  void start_service();
+  void finish_frame();
+  void frame_arrives();
+  void arrival_chain(sim::TimeNs window_end);
+
+  InstrumentSpec inst_;
+  StationConfig station_;
+  double duration_s_;
+  sim::Rng* rng_;
+
+  // Session state (between on_attach and take_result).
+  sim::TimeNs horizon_ = 0;
+  std::deque<sim::TimeNs> queue_;  ///< arrival timestamps of buffered frames
+  int busy_engines_ = 0;
+  double busy_ns_ = 0.0;
+  sim::Sampler latency_;
+  StreamResult result_;
 };
 
 /// Simulates \p duration_s of frames from \p inst through the station.

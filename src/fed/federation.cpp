@@ -175,228 +175,251 @@ int FederationSim::choose_site(const FedJob& fj, sim::TimeNs now,
   return best_site;
 }
 
-FederationResult FederationSim::run() {
+void FederationSim::on_attach(sim::Engine& engine) {
   const std::size_t nj = jobs_.size();
-  FederationResult result;
-  result.placements.resize(nj);
+  st_ = Session{};
+  st_.result.placements.resize(nj);
   dead_.assign(sites_.size(), false);
-  bool failure_pending = cfg_.fail_site >= 0 &&
-                         cfg_.fail_site < static_cast<int>(sites_.size());
+  st_.failure_pending =
+      cfg_.fail_site >= 0 && cfg_.fail_site < static_cast<int>(sites_.size());
 
   // Submission order.
-  std::vector<int> order(nj);
-  for (std::size_t i = 0; i < nj; ++i) order[i] = static_cast<int>(i);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+  st_.order.resize(nj);
+  for (std::size_t i = 0; i < nj; ++i) st_.order[i] = static_cast<int>(i);
+  std::stable_sort(st_.order.begin(), st_.order.end(), [&](int a, int b) {
     return jobs_[static_cast<std::size_t>(a)].job.arrival <
            jobs_[static_cast<std::size_t>(b)].job.arrival;
   });
 
-  std::vector<std::vector<int>> free(sites_.size());
+  st_.free.resize(sites_.size());
   for (std::size_t s = 0; s < sites_.size(); ++s) {
-    free[s].resize(sites_[s].cluster.partitions.size());
-    for (std::size_t p = 0; p < free[s].size(); ++p)
-      free[s][p] = sites_[s].cluster.partitions[p].nodes;
+    st_.free[s].resize(sites_[s].cluster.partitions.size());
+    for (std::size_t p = 0; p < st_.free[s].size(); ++p)
+      st_.free[s][p] = sites_[s].cluster.partitions[p].nodes;
   }
 
-  std::vector<std::vector<int>> queues(sites_.size());  // job indices
-  std::vector<sim::TimeNs> data_ready(nj, 0);
-  std::vector<int> dest(nj, -1);
-  // Site uplinks serialize staging transfers: a transfer may only start when
-  // both endpoints' WAN uplinks are free (simple full-serialization model of
-  // WAN contention; finer-grained sharing belongs in hpc::net).
-  std::vector<sim::TimeNs> uplink_busy(sites_.size(), 0);
-  std::vector<Running> running;
-  std::size_t next_submit = 0;
-  sim::TimeNs now = 0;
+  st_.queues.resize(sites_.size());
+  st_.data_ready.assign(nj, 0);
+  st_.dest.assign(nj, -1);
+  st_.uplink_busy.assign(sites_.size(), 0);
 
-  auto start_ready_jobs = [&]() {
-    for (std::size_t sid = 0; sid < sites_.size(); ++sid) {
-      if (dead_[sid]) continue;
-      Site& site = sites_[sid];
-      auto& q = queues[sid];
-      for (std::size_t w = 0; w < q.size();) {
-        const int ji = q[w];
-        const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
-        if (data_ready[static_cast<std::size_t>(ji)] > now) {
-          ++w;
-          continue;
-        }
-        // Fastest feasible partition with free capacity.
-        int pick = -1;
-        double pick_t = std::numeric_limits<double>::infinity();
-        for (std::size_t p = 0; p < site.cluster.partitions.size(); ++p) {
-          if (free[sid][p] < fj.job.nodes) continue;
-          const double t = runtime_at(site, fj.job, static_cast<int>(p));
-          if (t < 1e17 && t < pick_t) {
-            pick_t = t;
-            pick = static_cast<int>(p);
-          }
-        }
-        if (pick < 0) {
-          ++w;
-          continue;
-        }
-        // Interference: sample the actual slowdown at noisy (cloud) sites.
-        double slowdown = 1.0;
-        if (site.noise_factor > 0.0)
-          slowdown = 1.0 + rng_.exponential(site.noise_factor);
-        const double actual_ns = pick_t * slowdown;
-        const auto finish = now + static_cast<sim::TimeNs>(actual_ns);
-        free[sid][static_cast<std::size_t>(pick)] -= fj.job.nodes;
-        running.push_back(Running{ji, static_cast<int>(sid), pick, finish, fj.job.nodes});
+  if (!jobs_.empty()) engine.schedule_at(engine.now(), [this] { step(); });
+}
 
-        FedPlacement& pl = result.placements[static_cast<std::size_t>(ji)];
-        pl.site = static_cast<int>(sid);
-        pl.partition = pick;
-        pl.start = now;
-        pl.finish = finish;
-        const double node_hours = actual_ns * 1e-9 / 3600.0 * fj.job.nodes;
-        pl.cost_usd = node_hours * site.price_per_node_hour;
+void FederationSim::admit(sim::TimeNs now) {
+  // Admit submissions due now: route, start staging, queue at destination.
+  const std::size_t nj = jobs_.size();
+  while (st_.next_submit < nj &&
+         jobs_[static_cast<std::size_t>(st_.order[st_.next_submit])].job.arrival <= now) {
+    const int ji = st_.order[st_.next_submit++];
+    const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
+    FedPlacement& pl = st_.result.placements[static_cast<std::size_t>(ji)];
+    pl.job_id = fj.job.id;
+    pl.submitted = fj.job.arrival;
 
-        UsageRecord rec;
-        rec.job_id = fj.job.id;
-        rec.consumer_site = fj.home_site;
-        rec.provider_site = static_cast<int>(sid);
-        rec.node_hours = node_hours;
-        rec.cost_usd = pl.cost_usd;
-        rec.wan_gb = pl.transfer_gb;
-        rec.start = pl.start;
-        rec.finish = pl.finish;
-        result.ledger.record(rec);
-
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(w));
-      }
-    }
-  };
-
-  auto queued_jobs = [&] {
-    std::size_t n = 0;
-    for (const auto& q : queues) n += q.size();
-    return n;
-  };
-
-  while (next_submit < nj || !running.empty() || queued_jobs() > 0) {
-    // Admit submissions due now: route, start staging, queue at destination.
-    while (next_submit < nj &&
-           jobs_[static_cast<std::size_t>(order[next_submit])].job.arrival <= now) {
-      const int ji = order[next_submit++];
-      const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
-      FedPlacement& pl = result.placements[static_cast<std::size_t>(ji)];
-      pl.job_id = fj.job.id;
-      pl.submitted = fj.job.arrival;
-
-      const int sid = choose_site(fj, now, running, queues);
-      if (sid < 0) continue;  // counted as dropped in the final aggregation
-      dest[static_cast<std::size_t>(ji)] = sid;
-      if (sid != fj.home_site) {
-        if (trace_ != nullptr && trace_->enabled())
-          trace_->instant(otrack_, sid_burst_, now, static_cast<double>(sid));
-        if (m_burst_ != nullptr) m_burst_->inc();
-      }
-      const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
-      const Site& from = sites_[static_cast<std::size_t>(data_site)];
-      const Site& to = sites_[static_cast<std::size_t>(sid)];
-      if (data_site != sid && fj.job.dataset_gb > 0.0) {
-        const double xfer_ns =
-            wan_transfer_ns(from, to, fj.job.dataset_gb) * transfer_penalty(from, to);
-        pl.transfer_gb = fj.job.dataset_gb;
-        result.wan_gb_moved += fj.job.dataset_gb;
-        const sim::TimeNs start =
-            std::max({now, uplink_busy[static_cast<std::size_t>(data_site)],
-                      uplink_busy[static_cast<std::size_t>(sid)]});
-        const auto finish = start + static_cast<sim::TimeNs>(xfer_ns);
-        uplink_busy[static_cast<std::size_t>(data_site)] = finish;
-        uplink_busy[static_cast<std::size_t>(sid)] = finish;
-        data_ready[static_cast<std::size_t>(ji)] = finish;
-      } else {
-        data_ready[static_cast<std::size_t>(ji)] = now;
-      }
-      pl.data_ready = data_ready[static_cast<std::size_t>(ji)];
-      queues[static_cast<std::size_t>(sid)].push_back(ji);
-    }
-
-    start_ready_jobs();
-
-    // Next event: submission, data-ready, completion, or site failure.
-    sim::TimeNs next = std::numeric_limits<sim::TimeNs>::max();
-    if (failure_pending) next = cfg_.fail_at;
-    if (next_submit < nj)
-      next = std::min(next, jobs_[static_cast<std::size_t>(order[next_submit])].job.arrival);
-    for (const auto& q : queues)
-      for (const int ji : q)
-        if (data_ready[static_cast<std::size_t>(ji)] > now)
-          next = std::min(next, data_ready[static_cast<std::size_t>(ji)]);
-    for (const Running& r : running) next = std::min(next, r.finish);
-    if (next == std::numeric_limits<sim::TimeNs>::max()) {
-      // No future event: remaining queued jobs (if any) can never start.
-      break;
-    }
-    // Jobs whose data is ready but whose partition is full wait for the next
-    // completion; if nothing is running either, they can never start.
-    now = std::max(now + 1, next);
-
-    // Site failure: kill everything at the site and reroute it.
-    if (failure_pending && now >= cfg_.fail_at) {
-      failure_pending = false;
-      const auto dead_site = static_cast<std::size_t>(cfg_.fail_site);
-      dead_[dead_site] = true;
+    const int sid = choose_site(fj, now, st_.running, st_.queues);
+    if (sid < 0) continue;  // counted as dropped in the final aggregation
+    st_.dest[static_cast<std::size_t>(ji)] = sid;
+    if (sid != fj.home_site) {
       if (trace_ != nullptr && trace_->enabled())
-        trace_->instant(otrack_, sid_failure_, now, static_cast<double>(cfg_.fail_site));
-      std::vector<int> displaced;
-      for (std::size_t i = 0; i < running.size();) {
-        if (running[i].site == cfg_.fail_site) {
-          displaced.push_back(running[i].job_index);
-          running[i] = running.back();
-          running.pop_back();
-        } else {
-          ++i;
-        }
-      }
-      for (int ji : queues[dead_site]) displaced.push_back(ji);
-      queues[dead_site].clear();
-      for (const int ji : displaced) {
-        const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
-        FedPlacement& pl = result.placements[static_cast<std::size_t>(ji)];
-        result.ledger.void_job(fj.job.id);  // in-flight usage is voided
-        pl = FedPlacement{};
-        pl.job_id = fj.job.id;
-        pl.submitted = fj.job.arrival;
-        const int sid = choose_site(fj, now, running, queues);
-        if (sid < 0) continue;  // nowhere left: dropped
-        ++result.jobs_rerouted;
-        if (trace_ != nullptr && trace_->enabled())
-          trace_->instant(otrack_, sid_reroute_, now, static_cast<double>(sid));
-        if (m_reroute_ != nullptr) m_reroute_->inc();
-        const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
-        const Site& from = sites_[static_cast<std::size_t>(data_site)];
-        const Site& to = sites_[static_cast<std::size_t>(sid)];
-        double xfer_ns = 0.0;
-        if (data_site != sid && fj.job.dataset_gb > 0.0) {
-          xfer_ns = wan_transfer_ns(from, to, fj.job.dataset_gb) * transfer_penalty(from, to);
-          pl.transfer_gb = fj.job.dataset_gb;
-          result.wan_gb_moved += fj.job.dataset_gb;
-        }
-        data_ready[static_cast<std::size_t>(ji)] = now + static_cast<sim::TimeNs>(xfer_ns);
-        pl.data_ready = data_ready[static_cast<std::size_t>(ji)];
-        queues[static_cast<std::size_t>(sid)].push_back(ji);
-      }
+        trace_->instant(otrack_, sid_burst_, now, static_cast<double>(sid));
+      if (m_burst_ != nullptr) m_burst_->inc();
     }
+    const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
+    const Site& from = sites_[static_cast<std::size_t>(data_site)];
+    const Site& to = sites_[static_cast<std::size_t>(sid)];
+    if (data_site != sid && fj.job.dataset_gb > 0.0) {
+      const double xfer_ns =
+          wan_transfer_ns(from, to, fj.job.dataset_gb) * transfer_penalty(from, to);
+      pl.transfer_gb = fj.job.dataset_gb;
+      st_.result.wan_gb_moved += fj.job.dataset_gb;
+      const sim::TimeNs start =
+          std::max({now, st_.uplink_busy[static_cast<std::size_t>(data_site)],
+                    st_.uplink_busy[static_cast<std::size_t>(sid)]});
+      const auto finish = start + static_cast<sim::TimeNs>(xfer_ns);
+      st_.uplink_busy[static_cast<std::size_t>(data_site)] = finish;
+      st_.uplink_busy[static_cast<std::size_t>(sid)] = finish;
+      st_.data_ready[static_cast<std::size_t>(ji)] = finish;
+    } else {
+      st_.data_ready[static_cast<std::size_t>(ji)] = now;
+    }
+    pl.data_ready = st_.data_ready[static_cast<std::size_t>(ji)];
+    st_.queues[static_cast<std::size_t>(sid)].push_back(ji);
+  }
+}
 
-    for (std::size_t i = 0; i < running.size();) {
-      if (running[i].finish <= now) {
-        free[static_cast<std::size_t>(running[i].site)]
-            [static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
-        running[i] = running.back();
-        running.pop_back();
-      } else {
-        ++i;
+void FederationSim::start_ready_jobs(sim::TimeNs now) {
+  for (std::size_t sid = 0; sid < sites_.size(); ++sid) {
+    if (dead_[sid]) continue;
+    Site& site = sites_[sid];
+    auto& q = st_.queues[sid];
+    for (std::size_t w = 0; w < q.size();) {
+      const int ji = q[w];
+      const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
+      if (st_.data_ready[static_cast<std::size_t>(ji)] > now) {
+        ++w;
+        continue;
       }
+      // Fastest feasible partition with free capacity.
+      int pick = -1;
+      double pick_t = std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < site.cluster.partitions.size(); ++p) {
+        if (st_.free[sid][p] < fj.job.nodes) continue;
+        const double t = runtime_at(site, fj.job, static_cast<int>(p));
+        if (t < 1e17 && t < pick_t) {
+          pick_t = t;
+          pick = static_cast<int>(p);
+        }
+      }
+      if (pick < 0) {
+        ++w;
+        continue;
+      }
+      // Interference: sample the actual slowdown at noisy (cloud) sites.
+      double slowdown = 1.0;
+      if (site.noise_factor > 0.0)
+        slowdown = 1.0 + rng_.exponential(site.noise_factor);
+      const double actual_ns = pick_t * slowdown;
+      const auto finish = now + static_cast<sim::TimeNs>(actual_ns);
+      st_.free[sid][static_cast<std::size_t>(pick)] -= fj.job.nodes;
+      st_.running.push_back(Running{ji, static_cast<int>(sid), pick, finish, fj.job.nodes});
+
+      FedPlacement& pl = st_.result.placements[static_cast<std::size_t>(ji)];
+      pl.site = static_cast<int>(sid);
+      pl.partition = pick;
+      pl.start = now;
+      pl.finish = finish;
+      const double node_hours = actual_ns * 1e-9 / 3600.0 * fj.job.nodes;
+      pl.cost_usd = node_hours * site.price_per_node_hour;
+
+      UsageRecord rec;
+      rec.job_id = fj.job.id;
+      rec.consumer_site = fj.home_site;
+      rec.provider_site = static_cast<int>(sid);
+      rec.node_hours = node_hours;
+      rec.cost_usd = pl.cost_usd;
+      rec.wan_gb = pl.transfer_gb;
+      rec.start = pl.start;
+      rec.finish = pl.finish;
+      st_.result.ledger.record(rec);
+
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(w));
     }
   }
+}
 
+void FederationSim::handle_failure(sim::TimeNs now) {
+  // Site failure: kill everything at the site and reroute it.
+  if (!st_.failure_pending || now < cfg_.fail_at) return;
+  st_.failure_pending = false;
+  const auto dead_site = static_cast<std::size_t>(cfg_.fail_site);
+  dead_[dead_site] = true;
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->instant(otrack_, sid_failure_, now, static_cast<double>(cfg_.fail_site));
+  std::vector<int> displaced;
+  std::vector<Running>& running = st_.running;
+  for (std::size_t i = 0; i < running.size();) {
+    if (running[i].site == cfg_.fail_site) {
+      displaced.push_back(running[i].job_index);
+      running[i] = running.back();
+      running.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  for (int ji : st_.queues[dead_site]) displaced.push_back(ji);
+  st_.queues[dead_site].clear();
+  for (const int ji : displaced) {
+    const FedJob& fj = jobs_[static_cast<std::size_t>(ji)];
+    FedPlacement& pl = st_.result.placements[static_cast<std::size_t>(ji)];
+    st_.result.ledger.void_job(fj.job.id);  // in-flight usage is voided
+    pl = FedPlacement{};
+    pl.job_id = fj.job.id;
+    pl.submitted = fj.job.arrival;
+    const int sid = choose_site(fj, now, running, st_.queues);
+    if (sid < 0) continue;  // nowhere left: dropped
+    ++st_.result.jobs_rerouted;
+    if (trace_ != nullptr && trace_->enabled())
+      trace_->instant(otrack_, sid_reroute_, now, static_cast<double>(sid));
+    if (m_reroute_ != nullptr) m_reroute_->inc();
+    const int data_site = fj.job.data_site >= 0 ? fj.job.data_site : fj.home_site;
+    const Site& from = sites_[static_cast<std::size_t>(data_site)];
+    const Site& to = sites_[static_cast<std::size_t>(sid)];
+    double xfer_ns = 0.0;
+    if (data_site != sid && fj.job.dataset_gb > 0.0) {
+      xfer_ns = wan_transfer_ns(from, to, fj.job.dataset_gb) * transfer_penalty(from, to);
+      pl.transfer_gb = fj.job.dataset_gb;
+      st_.result.wan_gb_moved += fj.job.dataset_gb;
+    }
+    st_.data_ready[static_cast<std::size_t>(ji)] = now + static_cast<sim::TimeNs>(xfer_ns);
+    pl.data_ready = st_.data_ready[static_cast<std::size_t>(ji)];
+    st_.queues[static_cast<std::size_t>(sid)].push_back(ji);
+  }
+}
+
+void FederationSim::retire(sim::TimeNs now) {
+  std::vector<Running>& running = st_.running;
+  for (std::size_t i = 0; i < running.size();) {
+    if (running[i].finish <= now) {
+      st_.free[static_cast<std::size_t>(running[i].site)]
+              [static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
+      running[i] = running.back();
+      running.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::size_t FederationSim::queued_jobs() const {
+  std::size_t n = 0;
+  for (const auto& q : st_.queues) n += q.size();
+  return n;
+}
+
+void FederationSim::step() {
+  const sim::TimeNs now = engine()->now();
+  const std::size_t nj = jobs_.size();
+  if (st_.started) {
+    // Tail of the historical loop iteration that advanced the clock here:
+    // the failure instant fires and completions retire before new admits.
+    handle_failure(now);
+    retire(now);
+    if (st_.next_submit >= nj && st_.running.empty() && queued_jobs() == 0)
+      return;  // session quiescent
+  } else {
+    st_.started = true;
+  }
+
+  admit(now);
+  start_ready_jobs(now);
+
+  // Next event: submission, data-ready, completion, or site failure.
+  sim::TimeNs next = std::numeric_limits<sim::TimeNs>::max();
+  if (st_.failure_pending) next = cfg_.fail_at;
+  if (st_.next_submit < nj)
+    next = std::min(next,
+                    jobs_[static_cast<std::size_t>(st_.order[st_.next_submit])].job.arrival);
+  for (const auto& q : st_.queues)
+    for (const int ji : q)
+      if (st_.data_ready[static_cast<std::size_t>(ji)] > now)
+        next = std::min(next, st_.data_ready[static_cast<std::size_t>(ji)]);
+  for (const Running& r : st_.running) next = std::min(next, r.finish);
+  if (next == std::numeric_limits<sim::TimeNs>::max()) {
+    // No future event: remaining queued jobs (if any) can never start.
+    return;
+  }
+  // Jobs whose data is ready but whose partition is full wait for the next
+  // completion; if nothing is running either, they can never start.  The +1
+  // keeps the step strictly advancing (historical tie-break semantics).
+  engine()->schedule_at(std::max(now + 1, next), [this] { step(); });
+}
+
+FederationResult FederationSim::take_result() {
+  FederationResult result = std::move(st_.result);
   // Aggregate.
   sim::Sampler completion;
-  for (std::size_t i = 0; i < nj; ++i) {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
     const FedPlacement& pl = result.placements[i];
     if (pl.site < 0) {
       ++result.jobs_dropped;
@@ -409,7 +432,16 @@ FederationResult FederationSim::run() {
   }
   result.mean_completion_s = completion.mean();
   result.p95_completion_s = completion.percentile(95.0);
+  st_ = Session{};
   return result;
+}
+
+FederationResult FederationSim::run() {
+  sim::Engine engine(cfg_.seed);
+  engine.attach(*this);
+  engine.run();
+  engine.detach(*this);
+  return take_result();
 }
 
 }  // namespace hpc::fed

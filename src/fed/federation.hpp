@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
 /// \file federation.hpp
@@ -89,10 +90,10 @@ struct FederationResult {
   Ledger ledger;
 };
 
-/// Event-driven federated scheduling simulation.  Each site schedules its
-/// local queue with heterogeneity-affinity placement; the meta-scheduler
-/// routes jobs to sites per policy/stage at submission time.
-class FederationSim {
+/// Event-driven federated scheduling simulation (a sim::Component).  Each
+/// site schedules its local queue with heterogeneity-affinity placement; the
+/// meta-scheduler routes jobs to sites per policy/stage at submission time.
+class FederationSim final : public sim::Component {
  public:
   FederationSim(std::vector<Site> sites, FederationConfig cfg);
 
@@ -109,7 +110,18 @@ class FederationSim {
   /// reroutes.  Passive: results are identical either way.
   void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
 
+  /// Batch wrapper: private Engine, attach, run to quiescence, aggregate.
   FederationResult run();
+
+  // sim::Component contract.
+  [[nodiscard]] std::string_view component_name() const noexcept override {
+    return "fed.federation";
+  }
+  /// Starts a federation session on the shared clock.
+  void on_attach(sim::Engine& engine) override;
+
+  /// Aggregate result of the last completed session.
+  [[nodiscard]] FederationResult take_result();
 
  private:
   struct Running {
@@ -119,6 +131,33 @@ class FederationSim {
     sim::TimeNs finish;
     int nodes;
   };
+
+  /// Transient state of one federation session.
+  struct Session {
+    bool started = false;        ///< first step ran (failure/retire gate)
+    bool failure_pending = false;
+    std::vector<int> order;      ///< job indices in submission order
+    std::vector<std::vector<int>> free;      ///< free nodes per site/partition
+    std::vector<std::vector<int>> queues;    ///< queued job indices per site
+    std::vector<sim::TimeNs> data_ready;
+    std::vector<int> dest;
+    /// Site uplinks serialize staging transfers: a transfer may only start
+    /// when both endpoints' WAN uplinks are free (simple full-serialization
+    /// model of WAN contention; finer-grained sharing lives in hpc::net and
+    /// is used instead when co-simulating — see core::System).
+    std::vector<sim::TimeNs> uplink_busy;
+    std::vector<Running> running;
+    std::size_t next_submit = 0;
+    FederationResult result;
+  };
+
+  /// One meta-scheduling step on the shared clock.
+  void step();
+  void admit(sim::TimeNs now);
+  void start_ready_jobs(sim::TimeNs now);
+  void handle_failure(sim::TimeNs now);
+  void retire(sim::TimeNs now);
+  std::size_t queued_jobs() const;
 
   /// Estimated queue wait at a site: outstanding node-seconds / capacity.
   double est_wait_s(int site, sim::TimeNs now, const std::vector<Running>& running,
@@ -137,7 +176,8 @@ class FederationSim {
   FederationConfig cfg_;
   sim::Rng rng_;
   std::vector<FedJob> jobs_;
-  std::vector<bool> dead_;  ///< per-site failure state during run()
+  std::vector<bool> dead_;  ///< per-site failure state during a session
+  Session st_;
 
   // Observability (optional, passive; see set_observer).
   obs::TraceRecorder* trace_ = nullptr;

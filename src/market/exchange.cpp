@@ -55,43 +55,67 @@ void Exchange::set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metr
   }
 }
 
-void Exchange::run_rounds(int rounds) {
-  for (int r = 0; r < rounds; ++r) {
-    // Random activation order each round (no structural advantage).
-    std::vector<int> order(agents_.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::shuffle(order.begin(), order.end(), rng_.engine());
-    for (const int id : order) agents_[static_cast<std::size_t>(id)]->step(*this, rng_);
+void Exchange::step_round() {
+  // Random activation order each round (no structural advantage).
+  std::vector<int> order(agents_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng_.engine());
+  for (const int id : order) agents_[static_cast<std::size_t>(id)]->step(*this, rng_);
 
-    // Settle the round's fills.  Logical time for trace events is the
-    // cumulative round index (the exchange has no simulated clock).
-    const auto round_ts = static_cast<sim::TimeNs>(round_prices_.size());
-    const bool tracing = trace_ != nullptr && trace_->enabled();
-    const std::vector<Trade> trades = book_.take_trades();
-    double volume = 0.0;
-    double notional = 0.0;
-    for (const Trade& t : trades) {
-      agents_[static_cast<std::size_t>(t.buyer)]->on_fill(t, true);
-      agents_[static_cast<std::size_t>(t.seller)]->on_fill(t, false);
-      volume += t.quantity;
-      notional += t.quantity * t.price;
-      all_trades_.push_back(t);
-      if (tracing) trace_->instant(otrack_, sid_match_, round_ts, t.price);
-      if (m_trades_ != nullptr) {
-        m_trades_->inc();
-        h_price_->record(t.price);
-      }
-    }
-    total_volume_ += volume;
-    const double price = volume > 0.0 ? notional / volume
-                                      : (round_prices_.empty() ? 0.0 : round_prices_.back());
-    round_prices_.push_back(price);
-    round_volumes_.push_back(volume);
-    if (tracing) {
-      trace_->instant(otrack_, sid_clear_, round_ts, price);
-      trace_->counter(otrack_, sid_volume_, round_ts, volume);
+  // Settle the round's fills.  Logical time for trace events is the
+  // cumulative round index (stable across batch and co-sim clocks).
+  const auto round_ts = static_cast<sim::TimeNs>(round_prices_.size());
+  const bool tracing = trace_ != nullptr && trace_->enabled();
+  const std::vector<Trade> trades = book_.take_trades();
+  double volume = 0.0;
+  double notional = 0.0;
+  for (const Trade& t : trades) {
+    agents_[static_cast<std::size_t>(t.buyer)]->on_fill(t, true);
+    agents_[static_cast<std::size_t>(t.seller)]->on_fill(t, false);
+    volume += t.quantity;
+    notional += t.quantity * t.price;
+    all_trades_.push_back(t);
+    if (tracing) trace_->instant(otrack_, sid_match_, round_ts, t.price);
+    if (m_trades_ != nullptr) {
+      m_trades_->inc();
+      h_price_->record(t.price);
     }
   }
+  total_volume_ += volume;
+  const double price = volume > 0.0 ? notional / volume
+                                    : (round_prices_.empty() ? 0.0 : round_prices_.back());
+  round_prices_.push_back(price);
+  round_volumes_.push_back(volume);
+  if (tracing) {
+    trace_->instant(otrack_, sid_clear_, round_ts, price);
+    trace_->counter(otrack_, sid_volume_, round_ts, volume);
+  }
+}
+
+void Exchange::round_event() {
+  step_round();
+  if (--rounds_left_ <= 0) return;
+  engine()->schedule_in(cosim_period_ > 0 ? cosim_period_ : 1, [this] { round_event(); });
+}
+
+void Exchange::on_attach(sim::Engine& engine) {
+  if (rounds_left_ <= 0) return;
+  if (cosim_period_ > 0) {
+    engine.schedule_in(cosim_period_, [this] { round_event(); });
+  } else {
+    engine.schedule_at(engine.now(), [this] { round_event(); });
+  }
+}
+
+void Exchange::run_rounds(int rounds) {
+  const sim::TimeNs saved_period = cosim_period_;
+  cosim_period_ = 0;
+  rounds_left_ = rounds;
+  sim::Engine engine(rng_.seed());
+  engine.attach(*this);
+  engine.run();
+  engine.detach(*this);
+  cosim_period_ = saved_period;
 }
 
 double Exchange::cash_imbalance() const {

@@ -7,6 +7,7 @@
 #include "market/orderbook.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
@@ -32,8 +33,15 @@ struct EquilibriumPoint {
 EquilibriumPoint competitive_equilibrium(std::vector<double> supply_costs,
                                          std::vector<double> demand_values);
 
-/// Market session driver.
-class Exchange {
+/// Market session driver (a sim::Component).
+///
+/// Historically the exchange had no simulated clock — rounds were a plain
+/// counter.  On a sim::Engine each round is a kernel event: batch
+/// `run_rounds(n)` wraps a private Engine with one event per round (kernel
+/// time = round index), and co-simulation attaches the exchange to a shared
+/// Engine with `set_cosim_clearing(period, rounds)` so clearing rounds
+/// interleave with the other substrates on one timeline.
+class Exchange final : public sim::Component {
  public:
   explicit Exchange(std::uint64_t seed = 7);
 
@@ -56,8 +64,24 @@ class Exchange {
   void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
 
   /// Runs \p rounds trading rounds: each round steps agents in a random
-  /// order, then routes fills to both counterparties.
+  /// order, then routes fills to both counterparties.  Batch wrapper around
+  /// a private Engine (one kernel event per round).
   void run_rounds(int rounds);
+
+  // sim::Component contract.
+  [[nodiscard]] std::string_view component_name() const noexcept override {
+    return "market.exchange";
+  }
+  /// Schedules the pending clearing rounds (batch: back-to-back kernel
+  /// events; co-sim: every `period` ns of shared time).
+  void on_attach(sim::Engine& engine) override;
+
+  /// Configures periodic clearing for co-simulation: after attach, one
+  /// clearing round runs every \p period ns of shared time, \p rounds times.
+  void set_cosim_clearing(sim::TimeNs period, int rounds) {
+    cosim_period_ = period;
+    rounds_left_ = rounds;
+  }
 
   /// Volume-weighted mean trade price of each completed round (rounds with
   /// no trades repeat the previous price; leading empty rounds record 0).
@@ -79,6 +103,14 @@ class Exchange {
   const std::vector<Trade>& all_trades() const noexcept { return all_trades_; }
 
  private:
+  /// One clearing round: step agents in random order, settle fills.
+  void step_round();
+  /// Kernel event wrapper: run a round, chain the next one.
+  void round_event();
+
+  sim::TimeNs cosim_period_ = 0;  ///< 0: batch (rounds back to back)
+  int rounds_left_ = 0;
+
   OrderBook book_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<double> round_prices_;

@@ -1,6 +1,7 @@
 #include "net/flowsim.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -158,140 +159,214 @@ void FlowSim::compute_rates(std::vector<ActiveFlow*>& active) {
   }
 }
 
-FlowRunSummary FlowSim::run() {
+void FlowSim::activate_due(double t) {
+  while (next_arrival_ < pending_.size() &&
+         static_cast<double>(pending_[next_arrival_].start) <= t + 1e-9) {
+    const FlowSpec& spec = pending_[next_arrival_++];
+    storage_.push_back(ActiveFlow{spec, pick_path(spec.src, spec.dst), spec.bytes, 0.0,
+                                  static_cast<double>(spec.start), nullptr});
+    ActiveFlow& flow = storage_.back();
+    active_.push_back(&flow);
+    if (flow.path.empty()) {
+      // Zero-hop flows touch no shared constraint: the standing rates stay
+      // valid, so don't dirty them — just flag the immediate completion.
+      flow.rate = std::numeric_limits<double>::infinity();
+      has_inf_rate_ = true;
+    } else {
+      track_links(flow.path, +1);
+      rates_dirty_ = true;
+    }
+    total_bytes_ += spec.bytes;
+  }
+}
+
+void FlowSim::on_attach(sim::Engine& engine) {
   std::sort(pending_.begin(), pending_.end(),
             [](const FlowSpec& a, const FlowSpec& b) { return a.start < b.start; });
-
-  FlowRunSummary summary;
-  std::vector<ActiveFlow> storage;
-  storage.reserve(pending_.size());
-  std::vector<ActiveFlow*> active;
-  std::size_t next_arrival = 0;
-  double now = 0.0;
-  double total_bytes = 0.0;
+  storage_.clear();
+  active_.clear();
+  next_arrival_ = 0;
+  now_ = static_cast<double>(engine.now());
+  total_bytes_ = 0.0;
+  summary_ = FlowRunSummary{};
   rates_dirty_ = true;
   has_inf_rate_ = false;
   min_completion_dt_ = std::numeric_limits<double>::infinity();
 
-  auto activate_due = [&](double t) {
-    while (next_arrival < pending_.size() &&
-           static_cast<double>(pending_[next_arrival].start) <= t + 1e-9) {
-      const FlowSpec& spec = pending_[next_arrival++];
-      storage.push_back(ActiveFlow{spec, pick_path(spec.src, spec.dst), spec.bytes, 0.0,
-                                   static_cast<double>(spec.start)});
-      ActiveFlow& flow = storage.back();
-      active.push_back(&flow);
-      if (flow.path.empty()) {
-        // Zero-hop flows touch no shared constraint: the standing rates stay
-        // valid, so don't dirty them — just flag the immediate completion.
-        flow.rate = std::numeric_limits<double>::infinity();
-        has_inf_rate_ = true;
-      } else {
-        track_links(flow.path, +1);
-        rates_dirty_ = true;
-      }
-      total_bytes += spec.bytes;
-    }
-  };
+  activate_due(now_);
+  arm();
+}
 
-  activate_due(0.0);
-
-  while (!active.empty() || next_arrival < pending_.size()) {
-    if (active.empty()) {
-      now = static_cast<double>(pending_[next_arrival].start);
-      activate_due(now);
-      continue;
-    }
-    // Recompute-skip invariant: rates (and the fused completion min) remain
-    // valid as long as no path-carrying flow joined or left the active set
-    // and the survivors' relative order is unchanged — exactly the events
-    // the dirty flag tracks below.
-    if (rates_dirty_) {
-      const bool tracing = trace_ != nullptr && trace_->enabled();
-      const auto ts = static_cast<sim::TimeNs>(now);
-      if (tracing) {
-        trace_->counter(otrack_, sid_active_, ts, static_cast<double>(active.size()));
-        trace_->begin_span(otrack_, sid_solve_, ts);
-      }
-      compute_rates(active);
-      if (tracing) {
-        trace_->end_span(otrack_, sid_solve_, ts);
-        if (last_congesting_ > 0)
-          trace_->instant(otrack_, sid_backpressure_, ts,
-                          static_cast<double>(last_congesting_));
-      }
-      if (m_solves_ != nullptr) {
-        m_solves_->inc();
-        if (last_congesting_ > 0) m_backpressure_->inc();
-      }
-      rates_dirty_ = false;
-    } else if (m_skips_ != nullptr) {
-      m_skips_->inc();
-    }
-
-    const double next_completion =
-        has_inf_rate_ ? now
-                      : (std::isinf(min_completion_dt_)
-                             ? std::numeric_limits<double>::infinity()
-                             : now + min_completion_dt_);
-    const double next_arrival_t = next_arrival < pending_.size()
-                                      ? static_cast<double>(pending_[next_arrival].start)
-                                      : std::numeric_limits<double>::infinity();
-    double t_next = std::min(next_completion, next_arrival_t);
-    if (!std::isfinite(t_next)) {
-      // No flow can make progress and nothing arrives: numerically stalled
-      // (should be unreachable; kept as a hard safety net against hangs).
-      for (ActiveFlow* f : active) f->remaining = 0.0;
-      t_next = now;
-    }
-    const double dt = std::max(0.0, t_next - now);
-    now = t_next;
-
-    // Fused pass: drain bytes, sweep completions, and track the next
-    // completion min for the skip path — one walk instead of three.
-    has_inf_rate_ = false;
-    min_completion_dt_ = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < active.size();) {
-      ActiveFlow* f = active[i];
-      if (std::isinf(f->rate)) {
-        f->remaining = 0.0;
-      } else {
-        f->remaining -= f->rate * dt;
-      }
-      // Sub-byte residues are floating-point dust; at large simulated times
-      // now + residue/rate can equal now in double precision, so they must
-      // count as complete or the loop never advances.
-      if (f->remaining <= 0.1) {
-        FlowResult r;
-        r.spec = f->spec;
-        r.finish_ns = now;
-        r.fct_ns = now - f->started_ns;
-        r.mean_rate_gbs = r.fct_ns > 0.0 ? f->spec.bytes / r.fct_ns : 0.0;
-        summary.flows.push_back(r);
-        if (!f->path.empty()) {
-          track_links(f->path, -1);
-          rates_dirty_ = true;
-        } else if (i + 1 != active.size()) {
-          // Swap-erase reorders the survivors, which changes the solver's
-          // floating-point accumulation order: recompute to stay identical.
-          rates_dirty_ = true;
-        }
-        active[i] = active.back();
-        active.pop_back();
-        // The element swapped into slot i has not been drained yet; the next
-        // loop round processes it at this same index.
-      } else {
-        if (f->rate > 0.0)
-          min_completion_dt_ = std::min(min_completion_dt_, f->remaining / f->rate);
-        ++i;
-      }
-    }
-    activate_due(now);
+void FlowSim::arm() {
+  if (active_.empty()) {
+    if (next_arrival_ >= pending_.size()) return;  // session quiescent
+    // Idle fabric: jump straight to the next queued arrival.
+    next_target_ = static_cast<double>(pending_[next_arrival_].start);
+    const std::uint64_t gen = gen_;
+    engine()->schedule_at(static_cast<sim::TimeNs>(next_target_), [this, gen] {
+      if (gen != gen_) return;  // superseded by an inject()
+      now_ = next_target_;
+      activate_due(now_);
+      arm();
+    });
+    return;
   }
 
-  summary.makespan_ns = now;
-  summary.aggregate_throughput_gbs = now > 0.0 ? total_bytes / now : 0.0;
-  return summary;
+  // Recompute-skip invariant: rates (and the fused completion min) remain
+  // valid as long as no path-carrying flow joined or left the active set
+  // and the survivors' relative order is unchanged — exactly the events
+  // the dirty flag tracks in the drain pass and activate_due.
+  if (rates_dirty_) {
+    const bool tracing = trace_ != nullptr && trace_->enabled();
+    const auto ts = static_cast<sim::TimeNs>(now_);
+    if (tracing) {
+      trace_->counter(otrack_, sid_active_, ts, static_cast<double>(active_.size()));
+      trace_->begin_span(otrack_, sid_solve_, ts);
+    }
+    compute_rates(active_);
+    if (tracing) {
+      trace_->end_span(otrack_, sid_solve_, ts);
+      if (last_congesting_ > 0)
+        trace_->instant(otrack_, sid_backpressure_, ts,
+                        static_cast<double>(last_congesting_));
+    }
+    if (m_solves_ != nullptr) {
+      m_solves_->inc();
+      if (last_congesting_ > 0) m_backpressure_->inc();
+    }
+    rates_dirty_ = false;
+  } else if (m_skips_ != nullptr) {
+    m_skips_->inc();
+  }
+
+  const double next_completion =
+      has_inf_rate_ ? now_
+                    : (std::isinf(min_completion_dt_)
+                           ? std::numeric_limits<double>::infinity()
+                           : now_ + min_completion_dt_);
+  const double next_arrival_t = next_arrival_ < pending_.size()
+                                    ? static_cast<double>(pending_[next_arrival_].start)
+                                    : std::numeric_limits<double>::infinity();
+  double t_next = std::min(next_completion, next_arrival_t);
+  if (!std::isfinite(t_next)) {
+    // No flow can make progress and nothing arrives: numerically stalled
+    // (should be unreachable; kept as a hard safety net against hangs).
+    for (ActiveFlow* f : active_) f->remaining = 0.0;
+    t_next = now_;
+  }
+  next_target_ = t_next;
+  const std::uint64_t gen = gen_;
+  engine()->schedule_at(static_cast<sim::TimeNs>(next_target_), [this, gen] {
+    if (gen != gen_) return;  // superseded by an inject()
+    tick();
+  });
+}
+
+void FlowSim::tick() {
+  const double dt = std::max(0.0, next_target_ - now_);
+  now_ = next_target_;
+
+  // Fused pass: drain bytes, sweep completions, and track the next
+  // completion min for the skip path — one walk instead of three.
+  std::vector<std::pair<FlowDone, FlowResult>> fired;
+  has_inf_rate_ = false;
+  min_completion_dt_ = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < active_.size();) {
+    ActiveFlow* f = active_[i];
+    if (std::isinf(f->rate)) {
+      f->remaining = 0.0;
+    } else {
+      f->remaining -= f->rate * dt;
+    }
+    // Sub-byte residues are floating-point dust; at large simulated times
+    // now + residue/rate can equal now in double precision, so they must
+    // count as complete or the loop never advances.
+    if (f->remaining <= 0.1) {
+      FlowResult r;
+      r.spec = f->spec;
+      r.finish_ns = now_;
+      r.fct_ns = now_ - f->started_ns;
+      r.mean_rate_gbs = r.fct_ns > 0.0 ? f->spec.bytes / r.fct_ns : 0.0;
+      summary_.flows.push_back(r);
+      if (f->on_done) fired.emplace_back(std::move(f->on_done), r);
+      if (!f->path.empty()) {
+        track_links(f->path, -1);
+        rates_dirty_ = true;
+      } else if (i + 1 != active_.size()) {
+        // Swap-erase reorders the survivors, which changes the solver's
+        // floating-point accumulation order: recompute to stay identical.
+        rates_dirty_ = true;
+      }
+      active_[i] = active_.back();
+      active_.pop_back();
+      // The element swapped into slot i has not been drained yet; the next
+      // loop round processes it at this same index.
+    } else {
+      if (f->rate > 0.0)
+        min_completion_dt_ = std::min(min_completion_dt_, f->remaining / f->rate);
+      ++i;
+    }
+  }
+  activate_due(now_);
+
+  // Completion callbacks fire after the fabric state is consistent.  A
+  // callback may inject() re-entrantly; that bumps gen_ and re-arms, in
+  // which case this tick must not arm a duplicate.
+  const std::uint64_t gen = gen_;
+  for (auto& [cb, res] : fired) cb(res);
+  if (gen == gen_) arm();
+}
+
+void FlowSim::inject(FlowSpec spec, FlowDone on_done) {
+  assert(attached() && "net::FlowSim: inject() requires an attached engine");
+  const double t = static_cast<double>(engine()->now());
+  if (t > now_) {
+    // Catch the fluid clock up to the shared clock: drain active flows over
+    // the elapsed interval (no completion can be due — the armed tick for it
+    // lies at or beyond this instant — so survivors only lose bytes).
+    const double dt = t - now_;
+    for (ActiveFlow* f : active_)
+      if (!std::isinf(f->rate)) f->remaining -= f->rate * dt;
+    now_ = t;
+  }
+
+  spec.start = static_cast<sim::TimeNs>(now_);
+  storage_.push_back(ActiveFlow{spec, pick_path(spec.src, spec.dst), spec.bytes, 0.0,
+                                now_, std::move(on_done)});
+  ActiveFlow& flow = storage_.back();
+  active_.push_back(&flow);
+  if (flow.path.empty()) {
+    flow.rate = std::numeric_limits<double>::infinity();
+    has_inf_rate_ = true;
+  } else {
+    track_links(flow.path, +1);
+    rates_dirty_ = true;
+  }
+  total_bytes_ += spec.bytes;
+
+  ++gen_;  // invalidate the armed tick: the rate landscape changed now
+  arm();
+}
+
+FlowRunSummary FlowSim::take_summary() {
+  summary_.makespan_ns = now_;
+  summary_.aggregate_throughput_gbs = now_ > 0.0 ? total_bytes_ / now_ : 0.0;
+  FlowRunSummary out = std::move(summary_);
+  summary_ = FlowRunSummary{};
+  storage_.clear();
+  active_.clear();
+  next_arrival_ = 0;
+  now_ = 0.0;
+  total_bytes_ = 0.0;
+  return out;
+}
+
+FlowRunSummary FlowSim::run() {
+  sim::Engine engine(rng_.seed());
+  engine.attach(*this);
+  engine.run();
+  engine.detach(*this);
+  return take_summary();
 }
 
 }  // namespace hpc::net

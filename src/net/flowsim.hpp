@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <vector>
 
 #include "net/maxmin.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -82,9 +85,19 @@ struct FlowRunSummary {
   sim::Sampler fct_sampler(int tag = -1) const;
 };
 
-/// Fluid flow simulator over a Network.
-class FlowSim {
+/// Fluid flow simulator over a Network (a sim::Component).
+///
+/// The fluid solver tracks time at fractional-nanosecond precision in a
+/// double; that precise clock is component state, while every *scheduling*
+/// decision goes through the shared kernel (truncated to integer ns — the
+/// exact target time rides along in next_target_, so precision is never
+/// lost).  Batch `run()` wraps a private Engine; co-simulation attaches the
+/// FlowSim to a shared Engine and feeds it flows via `inject()`.
+class FlowSim final : public sim::Component {
  public:
+  /// Completion callback for injected flows (co-simulation coupling).
+  using FlowDone = std::function<void(const FlowResult&)>;
+
   /// \param tree_degradation  fraction of a congesting flow's excess demand
   ///        that poisons each upstream link it crosses (kNone mode only).
   FlowSim(const Network& net, CongestionControl cc = CongestionControl::kFlowBased,
@@ -103,8 +116,29 @@ class FlowSim {
   /// bit-identical with and without an observer attached.
   void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
 
-  /// Runs to completion of all flows and returns per-flow results.
+  /// Batch wrapper: private Engine, attach, run all queued flows, summarize.
   FlowRunSummary run();
+
+  // sim::Component contract.
+  [[nodiscard]] std::string_view component_name() const noexcept override {
+    return "net.flowsim";
+  }
+  /// Starts a fluid session on the shared clock: sorts queued flows,
+  /// activates those due at the current time, and arms the first tick.
+  void on_attach(sim::Engine& engine) override;
+
+  /// Starts \p spec at the engine's current time (spec.start is overridden).
+  /// Active flows first drain to now, so the new flow contends from this
+  /// instant on.  \p on_done (optional) fires when the flow completes —
+  /// this is the co-simulation coupling point: stage a transfer, get called
+  /// back on the shared clock when the fabric delivered it.  Requires an
+  /// attached engine.
+  void inject(FlowSpec spec, FlowDone on_done = nullptr);
+
+  /// Summary of the session so far (makespan = precise internal clock);
+  /// resets per-session state.  Queued flow specs are retained, matching the
+  /// historical re-runnable batch semantics.
+  [[nodiscard]] FlowRunSummary take_summary();
 
  private:
   struct ActiveFlow {
@@ -113,7 +147,16 @@ class FlowSim {
     double remaining = 0.0;
     double rate = 0.0;         // GB/s == bytes/ns
     double started_ns = 0.0;
+    FlowDone on_done;          // null for batch flows
   };
+
+  /// Activates queued flows with start <= t (+tolerance).
+  void activate_due(double t);
+  /// Solves (or skip-counts) at the current instant and schedules the next
+  /// tick; quiescent when nothing is active or queued.
+  void arm();
+  /// One fluid event: advance to next_target_, drain/complete, activate, re-arm.
+  void tick();
 
   std::vector<int> pick_path(int src, int dst);
   /// Recomputes max-min rates for the active set and refreshes the fused
@@ -132,6 +175,17 @@ class FlowSim {
   sim::Rng rng_;
   double tree_degradation_;
   std::vector<FlowSpec> pending_;
+
+  // Session state (between on_attach and take_summary).  storage_ is a deque
+  // so ActiveFlow pointers stay stable when inject() grows it mid-session.
+  std::deque<ActiveFlow> storage_;
+  std::vector<ActiveFlow*> active_;
+  std::size_t next_arrival_ = 0;
+  double now_ = 0.0;          ///< precise fluid clock (fractional ns)
+  double next_target_ = 0.0;  ///< precise time of the armed tick
+  double total_bytes_ = 0.0;
+  std::uint64_t gen_ = 0;     ///< bumped by inject(); stale armed ticks no-op
+  FlowRunSummary summary_;
 
   // Persistent per-fabric state, sized once in the constructor.
   std::vector<int> switches_;      ///< switch vertex ids (Valiant/adaptive mid picks)

@@ -86,174 +86,184 @@ int ClusterSim::best_partition(const Job& job) const {
   return -1;
 }
 
-ScheduleResult ClusterSim::run() {
+void ClusterSim::on_attach(sim::Engine& engine) {
+  st_ = Session{};
   // Arrival order, stable on id for determinism.
-  std::vector<int> order(jobs_.size());
-  for (std::size_t i = 0; i < jobs_.size(); ++i) order[i] = static_cast<int>(i);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+  st_.order.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) st_.order[i] = static_cast<int>(i);
+  std::stable_sort(st_.order.begin(), st_.order.end(), [&](int a, int b) {
     return jobs_[static_cast<std::size_t>(a)].arrival < jobs_[static_cast<std::size_t>(b)].arrival;
   });
 
-  std::vector<int> free(cluster_.partitions.size());
-  for (std::size_t p = 0; p < free.size(); ++p) free[p] = cluster_.partitions[p].nodes;
+  st_.free.resize(cluster_.partitions.size());
+  for (std::size_t p = 0; p < st_.free.size(); ++p) st_.free[p] = cluster_.partitions[p].nodes;
 
-  std::vector<Running> running;
-  std::vector<int> waiting;  // job indices, FCFS order
-  std::size_t next_arrival = 0;
-  sim::TimeNs now = 0;
-
-  ScheduleResult result;
-  result.placements.resize(jobs_.size());
+  st_.result.placements.resize(jobs_.size());
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    result.placements[i].job_id = jobs_[i].id;
-    result.placements[i].arrival = jobs_[i].arrival;
+    st_.result.placements[i].job_id = jobs_[i].id;
+    st_.result.placements[i].arrival = jobs_[i].arrival;
   }
-  double busy_node_ns = 0.0;
 
-  auto start_job = [&](int ji, int p) {
-    const Job& job = jobs_[static_cast<std::size_t>(ji)];
-    const double rt = job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device,
-                                     job.nodes);
-    const auto finish = now + static_cast<sim::TimeNs>(rt);
-    free[static_cast<std::size_t>(p)] -= job.nodes;
-    running.push_back(Running{ji, p, finish, job.nodes});
-    Placement& pl = result.placements[static_cast<std::size_t>(ji)];
-    pl.partition = p;
-    pl.start = now;
-    pl.finish = finish;
-    pl.energy_j = job_energy_j(job, cluster_.partitions[static_cast<std::size_t>(p)].device,
-                               job.nodes);
-    busy_node_ns += rt * job.nodes;
-    if (trace_ != nullptr && trace_->enabled())
-      trace_->complete_span(otrack_, sid_wait_, job.arrival, now);
-    if (m_started_ != nullptr) {
-      m_started_->inc();
-      h_wait_->record(static_cast<double>(now - job.arrival));
-    }
-  };
+  if (!jobs_.empty()) engine.schedule_at(engine.now(), [this] { step(); });
+}
 
-  auto try_start = [&]() {
-    if (policy_ == Policy::kFcfsBlocking) {
-      while (!waiting.empty()) {
-        const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting.front())], free);
-        if (p < 0) break;
-        start_job(waiting.front(), p);
-        waiting.erase(waiting.begin());
-      }
-      return;
+void ClusterSim::start_job(int ji, int p, sim::TimeNs now) {
+  const Job& job = jobs_[static_cast<std::size_t>(ji)];
+  const double rt =
+      job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device, job.nodes);
+  const auto finish = now + static_cast<sim::TimeNs>(rt);
+  st_.free[static_cast<std::size_t>(p)] -= job.nodes;
+  st_.running.push_back(Running{ji, p, finish, job.nodes});
+  Placement& pl = st_.result.placements[static_cast<std::size_t>(ji)];
+  pl.partition = p;
+  pl.start = now;
+  pl.finish = finish;
+  pl.energy_j =
+      job_energy_j(job, cluster_.partitions[static_cast<std::size_t>(p)].device, job.nodes);
+  st_.busy_node_ns += rt * job.nodes;
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->complete_span(otrack_, sid_wait_, job.arrival, now);
+  if (m_started_ != nullptr) {
+    m_started_->inc();
+    h_wait_->record(static_cast<double>(now - job.arrival));
+  }
+}
+
+void ClusterSim::try_start(sim::TimeNs now) {
+  std::vector<int>& waiting = st_.waiting;
+  std::vector<int>& free = st_.free;
+  if (policy_ == Policy::kFcfsBlocking) {
+    while (!waiting.empty()) {
+      const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting.front())], free);
+      if (p < 0) break;
+      start_job(waiting.front(), p, now);
+      waiting.erase(waiting.begin());
     }
-    if (policy_ == Policy::kEasyBackfill) {
-      // Start head jobs while possible.
-      while (!waiting.empty()) {
-        const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting.front())], free);
-        if (p < 0) break;
-        start_job(waiting.front(), p);
-        waiting.erase(waiting.begin());
-      }
-      if (waiting.empty()) return;
-      // Shadow time: earliest moment the head could start on its first
-      // feasible partition as running jobs drain.
-      const Job& head = jobs_[static_cast<std::size_t>(waiting.front())];
-      const int hp = best_partition(head);
-      if (hp < 0) return;  // head can never run; handled by caller
-      std::vector<Running> drains = running;
-      std::sort(drains.begin(), drains.end(),
-                [](const Running& a, const Running& b) { return a.finish < b.finish; });
-      int avail = free[static_cast<std::size_t>(hp)];
-      sim::TimeNs shadow = now;
-      for (const Running& r : drains) {
-        if (avail >= head.nodes) break;
-        if (r.partition == hp) {
-          avail += r.nodes;
-          shadow = r.finish;
-        }
-      }
-      if (avail < head.nodes) return;  // cannot ever start — caller handles
-      // Backfill: any later job that fits now and finishes by the shadow.
-      for (std::size_t w = 1; w < waiting.size();) {
-        const Job& job = jobs_[static_cast<std::size_t>(waiting[w])];
-        const int p = pick_partition(job, free);
-        if (p >= 0) {
-          const double rt =
-              job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device, job.nodes);
-          const bool harmless =
-              p != hp || now + static_cast<sim::TimeNs>(rt) <= shadow;
-          if (harmless) {
-            start_job(waiting[w], p);
-            waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
-            continue;
-          }
-        }
-        ++w;
-      }
-      return;
+    return;
+  }
+  if (policy_ == Policy::kEasyBackfill) {
+    // Start head jobs while possible.
+    while (!waiting.empty()) {
+      const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting.front())], free);
+      if (p < 0) break;
+      start_job(waiting.front(), p, now);
+      waiting.erase(waiting.begin());
     }
-    // Skip-style policies: start anything that fits.  Priority is FCFS,
-    // except deadline-aware which serves earliest-deadline-first (jobs
-    // without a deadline go last, FCFS among themselves).
-    if (policy_ == Policy::kDeadlineAware) {
-      std::stable_sort(waiting.begin(), waiting.end(), [&](int a, int b) {
-        const sim::TimeNs da = jobs_[static_cast<std::size_t>(a)].deadline;
-        const sim::TimeNs db = jobs_[static_cast<std::size_t>(b)].deadline;
-        if ((da == 0) != (db == 0)) return db == 0;  // deadlines before none
-        return da < db;
-      });
+    if (waiting.empty()) return;
+    // Shadow time: earliest moment the head could start on its first
+    // feasible partition as running jobs drain.
+    const Job& head = jobs_[static_cast<std::size_t>(waiting.front())];
+    const int hp = best_partition(head);
+    if (hp < 0) return;  // head can never run; handled by caller
+    std::vector<Running> drains = st_.running;
+    std::sort(drains.begin(), drains.end(),
+              [](const Running& a, const Running& b) { return a.finish < b.finish; });
+    int avail = free[static_cast<std::size_t>(hp)];
+    sim::TimeNs shadow = now;
+    for (const Running& r : drains) {
+      if (avail >= head.nodes) break;
+      if (r.partition == hp) {
+        avail += r.nodes;
+        shadow = r.finish;
+      }
     }
-    for (std::size_t w = 0; w < waiting.size();) {
-      const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting[w])], free);
+    if (avail < head.nodes) return;  // cannot ever start — caller handles
+    // Backfill: any later job that fits now and finishes by the shadow.
+    for (std::size_t w = 1; w < waiting.size();) {
+      const Job& job = jobs_[static_cast<std::size_t>(waiting[w])];
+      const int p = pick_partition(job, free);
       if (p >= 0) {
-        start_job(waiting[w], p);
-        waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
-      } else {
-        ++w;
-      }
-    }
-  };
-
-  while (next_arrival < order.size() || !running.empty() || !waiting.empty()) {
-    // Admit arrivals at `now`.
-    while (next_arrival < order.size() &&
-           jobs_[static_cast<std::size_t>(order[next_arrival])].arrival <= now) {
-      waiting.push_back(order[next_arrival]);
-      ++next_arrival;
-    }
-    try_start();
-    if (trace_ != nullptr && trace_->enabled())
-      trace_->counter(otrack_, sid_queue_, now, static_cast<double>(waiting.size()));
-
-    // Drop jobs that can never run anywhere (misconfigured workloads).
-    waiting.erase(std::remove_if(waiting.begin(), waiting.end(),
-                                 [&](int ji) {
-                                   return best_partition(jobs_[static_cast<std::size_t>(ji)]) < 0;
-                                 }),
-                  waiting.end());
-
-    // Advance to the next event.
-    sim::TimeNs next = std::numeric_limits<sim::TimeNs>::max();
-    if (next_arrival < order.size())
-      next = jobs_[static_cast<std::size_t>(order[next_arrival])].arrival;
-    for (const Running& r : running) next = std::min(next, r.finish);
-    if (next == std::numeric_limits<sim::TimeNs>::max()) break;
-    now = std::max(now, next);
-
-    // Retire completions at `now`.
-    for (std::size_t i = 0; i < running.size();) {
-      if (running[i].finish <= now) {
-        if (trace_ != nullptr && trace_->enabled()) {
-          const Placement& pl =
-              result.placements[static_cast<std::size_t>(running[i].job_index)];
-          trace_->complete_span(otrack_, sid_run_, pl.start, running[i].finish);
+        const double rt =
+            job_runtime_ns(job, cluster_.partitions[static_cast<std::size_t>(p)].device, job.nodes);
+        const bool harmless = p != hp || now + static_cast<sim::TimeNs>(rt) <= shadow;
+        if (harmless) {
+          start_job(waiting[w], p, now);
+          waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
+          continue;
         }
-        if (m_finished_ != nullptr) m_finished_->inc();
-        free[static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
-        running[i] = running.back();
-        running.pop_back();
-      } else {
-        ++i;
       }
+      ++w;
+    }
+    return;
+  }
+  // Skip-style policies: start anything that fits.  Priority is FCFS,
+  // except deadline-aware which serves earliest-deadline-first (jobs
+  // without a deadline go last, FCFS among themselves).
+  if (policy_ == Policy::kDeadlineAware) {
+    std::stable_sort(waiting.begin(), waiting.end(), [&](int a, int b) {
+      const sim::TimeNs da = jobs_[static_cast<std::size_t>(a)].deadline;
+      const sim::TimeNs db = jobs_[static_cast<std::size_t>(b)].deadline;
+      if ((da == 0) != (db == 0)) return db == 0;  // deadlines before none
+      return da < db;
+    });
+  }
+  for (std::size_t w = 0; w < waiting.size();) {
+    const int p = pick_partition(jobs_[static_cast<std::size_t>(waiting[w])], free);
+    if (p >= 0) {
+      start_job(waiting[w], p, now);
+      waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(w));
+    } else {
+      ++w;
     }
   }
+}
 
+void ClusterSim::retire(sim::TimeNs now) {
+  std::vector<Running>& running = st_.running;
+  for (std::size_t i = 0; i < running.size();) {
+    if (running[i].finish <= now) {
+      if (trace_ != nullptr && trace_->enabled()) {
+        const Placement& pl =
+            st_.result.placements[static_cast<std::size_t>(running[i].job_index)];
+        trace_->complete_span(otrack_, sid_run_, pl.start, running[i].finish);
+      }
+      if (m_finished_ != nullptr) m_finished_->inc();
+      st_.free[static_cast<std::size_t>(running[i].partition)] += running[i].nodes;
+      running[i] = running.back();
+      running.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ClusterSim::step() {
+  const sim::TimeNs now = engine()->now();
+  // Retire completions at `now` (this was the tail of the historical loop
+  // iteration that advanced the clock here).
+  retire(now);
+  if (st_.next_arrival >= st_.order.size() && st_.running.empty() && st_.waiting.empty())
+    return;  // session quiescent
+
+  // Admit arrivals at `now`.
+  while (st_.next_arrival < st_.order.size() &&
+         jobs_[static_cast<std::size_t>(st_.order[st_.next_arrival])].arrival <= now) {
+    st_.waiting.push_back(st_.order[st_.next_arrival]);
+    ++st_.next_arrival;
+  }
+  try_start(now);
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->counter(otrack_, sid_queue_, now, static_cast<double>(st_.waiting.size()));
+
+  // Drop jobs that can never run anywhere (misconfigured workloads).
+  st_.waiting.erase(
+      std::remove_if(st_.waiting.begin(), st_.waiting.end(),
+                     [&](int ji) {
+                       return best_partition(jobs_[static_cast<std::size_t>(ji)]) < 0;
+                     }),
+      st_.waiting.end());
+
+  // Schedule the next step at the next arrival/completion instant.
+  sim::TimeNs next = std::numeric_limits<sim::TimeNs>::max();
+  if (st_.next_arrival < st_.order.size())
+    next = jobs_[static_cast<std::size_t>(st_.order[st_.next_arrival])].arrival;
+  for (const Running& r : st_.running) next = std::min(next, r.finish);
+  if (next == std::numeric_limits<sim::TimeNs>::max()) return;
+  engine()->schedule_at(std::max(now, next), [this] { step(); });
+}
+
+ScheduleResult ClusterSim::take_result() {
+  ScheduleResult result = std::move(st_.result);
   // Aggregate metrics.
   sim::Sampler waits;
   sim::Sampler slowdowns;
@@ -275,10 +285,19 @@ ScheduleResult ClusterSim::run() {
   result.mean_slowdown = slowdowns.mean();
   const double total_node_ns =
       static_cast<double>(result.makespan) * cluster_.total_nodes();
-  result.utilization = total_node_ns > 0.0 ? busy_node_ns / total_node_ns : 0.0;
+  result.utilization = total_node_ns > 0.0 ? st_.busy_node_ns / total_node_ns : 0.0;
   result.throughput_jobs_per_s =
       result.makespan > 0 ? completed / sim::to_seconds(result.makespan) : 0.0;
+  st_ = Session{};
   return result;
+}
+
+ScheduleResult ClusterSim::run() {
+  sim::Engine engine(rng_.seed());
+  engine.attach(*this);
+  engine.run();
+  engine.detach(*this);
+  return take_result();
 }
 
 }  // namespace hpc::sched

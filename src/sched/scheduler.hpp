@@ -7,6 +7,7 @@
 #include "obs/trace.hpp"
 #include "sched/cluster.hpp"
 #include "sched/job.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -17,6 +18,12 @@
 /// heterogeneity-affinity placement the paper's meta-scheduler vision needs
 /// (Section III.F).  Multi-site/federated scheduling builds on this in
 /// hpc::fed.
+///
+/// ClusterSim is a sim::Component: it runs on a shared sim::Engine clock
+/// (one scheduling step per kernel event).  The batch `run()` API is a
+/// convenience wrapper that constructs a private Engine, attaches the
+/// simulator, and drives it to quiescence — bit-identical to the historical
+/// substrate-owned loop (pinned by tests/test_cosim_golden.cpp).
 
 namespace hpc::sched {
 
@@ -56,8 +63,8 @@ struct ScheduleResult {
   double throughput_jobs_per_s = 0.0;
 };
 
-/// Event-driven scheduling simulation.
-class ClusterSim {
+/// Event-driven scheduling simulation (a sim::Component).
+class ClusterSim final : public sim::Component {
  public:
   ClusterSim(Cluster cluster, Policy policy, std::uint64_t seed = 1);
 
@@ -71,8 +78,20 @@ class ClusterSim {
   /// a wait-time histogram.  Passive: results are identical either way.
   void set_observer(obs::TraceRecorder* trace, obs::MetricRegistry* metrics = nullptr);
 
-  /// Runs all jobs to completion and returns the aggregate result.
+  /// Batch wrapper: private Engine, attach, run to quiescence, aggregate.
   ScheduleResult run();
+
+  // sim::Component contract.
+  [[nodiscard]] std::string_view component_name() const noexcept override {
+    return "sched.cluster";
+  }
+  /// Starts a scheduling session on the shared clock: resets session state
+  /// and schedules the first scheduling step (nothing to do if no jobs).
+  void on_attach(sim::Engine& engine) override;
+
+  /// Aggregate result of the last completed session (valid after the engine
+  /// ran to quiescence; consumed by the batch `run()` wrapper).
+  [[nodiscard]] ScheduleResult take_result();
 
  private:
   struct Running {
@@ -81,6 +100,25 @@ class ClusterSim {
     sim::TimeNs finish;
     int nodes;
   };
+
+  /// Transient state of one scheduling session.
+  struct Session {
+    std::vector<int> order;     ///< job indices in arrival order
+    std::vector<int> free;      ///< free nodes per partition
+    std::vector<Running> running;
+    std::vector<int> waiting;   ///< job indices, FCFS order
+    std::size_t next_arrival = 0;
+    double busy_node_ns = 0.0;
+    ScheduleResult result;
+  };
+
+  /// One scheduling step on the shared clock: retire completions due now,
+  /// admit arrivals, start whatever the policy allows, then schedule the
+  /// next step at the next arrival/completion instant.
+  void step();
+  void retire(sim::TimeNs now);
+  void start_job(int ji, int p, sim::TimeNs now);
+  void try_start(sim::TimeNs now);
 
   /// Picks a partition for \p job with free capacity per policy; -1 if none.
   int pick_partition(const Job& job, const std::vector<int>& free) const;
@@ -91,6 +129,7 @@ class ClusterSim {
   Policy policy_;
   mutable sim::Rng rng_;
   std::vector<Job> jobs_;
+  Session st_;
 
   // Observability (optional, passive; see set_observer).
   obs::TraceRecorder* trace_ = nullptr;

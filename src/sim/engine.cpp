@@ -1,0 +1,38 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace hpc::sim {
+
+Component::~Component() {
+  // A component must not die attached: its queued handlers would dangle.
+  // Detach defensively (without the virtual on_detach, which is gone by now).
+  if (engine_ != nullptr) engine_->detach(*this);
+}
+
+void Component::on_detach(Engine& engine) { (void)engine; }
+
+Engine::~Engine() {
+  // Reverse attach order, mirroring construction/teardown conventions.
+  while (!components_.empty()) detach(*components_.back());
+}
+
+void Engine::attach(Component& component) {
+  assert(component.engine_ == nullptr && "sim::Engine: component already attached");
+  if (component.engine_ != nullptr) return;
+  component.engine_ = this;
+  components_.push_back(&component);
+  component.on_attach(*this);
+}
+
+void Engine::detach(Component& component) {
+  if (component.engine_ != this) return;
+  const auto it = std::find(components_.begin(), components_.end(), &component);
+  if (it != components_.end()) {
+    component.on_detach(*this);
+    components_.erase(it);
+  }
+  component.engine_ = nullptr;
+}
+
+}  // namespace hpc::sim

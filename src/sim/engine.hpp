@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+/// \file engine.hpp
+/// Co-simulation layer: one shared clock for every substrate.
+///
+/// The paper's archipelago is *tightly connected* islands; before this layer
+/// each substrate (sched::ClusterSim, fed::FederationSim, net::FlowSim,
+/// market::Exchange, edge::StreamSim) simulated its island on a private batch
+/// loop with an ad-hoc clock, so no cross-substrate experiment could exchange
+/// events on one timeline.  `Engine` owns exactly one `Simulator` — the one
+/// clock — and `Component` is the contract a substrate implements to run on
+/// it:
+///
+///  - **Clock ownership.**  The Engine's kernel is the only clock.  A
+///    component never advances time itself; it schedules handlers and reads
+///    `now()`.  Components that internally track fractional-nanosecond time
+///    (FlowSim's fluid solver) keep the precise value as component state but
+///    must only *schedule* through the kernel — and never into the past
+///    (enforced by a debug assert in schedule_at; the release kernel clamps).
+///  - **RNG stream tree.**  Each component draws from named child streams of
+///    the engine seed (`rng("fed.site.3")`), so adding or reordering one
+///    component's draws can never perturb another's stream.
+///  - **Composition.**  Attach any number of components, then `run()` to
+///    quiescence (or `run_until` a horizon).  The kernel's FNV-1a event
+///    digest doubles as the coupled scenario's determinism witness, and any
+///    `obs::SimulatorProbe` attached to the kernel observes every substrate
+///    for free.
+///
+/// Batch compatibility: every substrate keeps its `run()` API as a thin
+/// wrapper that constructs a private Engine, attaches itself, and drives it —
+/// bit-identical to the retired substrate-owned loops (pinned by
+/// tests/test_cosim_golden.cpp).
+
+namespace hpc::sim {
+
+class Engine;
+
+/// A simulation substrate that runs on a shared Engine.
+///
+/// Lifecycle: `Engine::attach` wires the back-pointer and calls `on_attach`,
+/// where the component schedules its initial events; `Engine::detach` (or
+/// Engine destruction) calls `on_detach`.  Handlers a component schedules
+/// must not outlive it: detach before destroying a component whose events
+/// may still be queued, or drain the engine first.
+class Component {
+ public:
+  Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+  virtual ~Component();
+
+  /// Stable identity of this component: names its obs tracks and its child
+  /// RNG streams (e.g. "net.flowsim").
+  [[nodiscard]] virtual std::string_view component_name() const noexcept = 0;
+
+  /// Called by Engine::attach after the back-pointer is set.  Schedule the
+  /// component's initial events here.
+  virtual void on_attach(Engine& engine) = 0;
+
+  /// Called by Engine::detach (and Engine teardown) before the back-pointer
+  /// is cleared.  Default: nothing.
+  virtual void on_detach(Engine& engine);
+
+  /// Engine this component is attached to (nullptr when detached).
+  [[nodiscard]] Engine* engine() const noexcept { return engine_; }
+  [[nodiscard]] bool attached() const noexcept { return engine_ != nullptr; }
+
+ protected:
+  /// Moves are permitted only while detached: an attached component's address
+  /// is registered with its engine and queued handlers capture it.
+  Component(Component&& other) noexcept {
+    assert(other.engine_ == nullptr && "sim::Component: cannot move while attached");
+    (void)other;
+  }
+  Component& operator=(Component&& other) noexcept {
+    assert(engine_ == nullptr && other.engine_ == nullptr &&
+           "sim::Component: cannot move while attached");
+    (void)other;
+    return *this;
+  }
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+};
+
+/// Owns the one shared discrete-event kernel and the attached components.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1) : root_(seed) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// The shared kernel.  Exposed for probes (`kernel().set_probe(...)`) and
+  /// read-only inspection; components should schedule through the Engine so
+  /// the no-past contract is checked.
+  [[nodiscard]] Simulator& kernel() noexcept { return sim_; }
+  [[nodiscard]] const Simulator& kernel() const noexcept { return sim_; }
+
+  /// Current shared simulated time.
+  [[nodiscard]] TimeNs now() const noexcept { return sim_.now(); }
+
+  /// Seed at the root of the engine's RNG stream tree.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return root_.seed(); }
+
+  /// Independent generator for the named child stream of the engine seed.
+  /// Stable: a function of (seed, label) only — see Rng::child_seed.
+  [[nodiscard]] Rng rng(std::string_view stream) const { return root_.child(stream); }
+
+  /// Seed of the named child stream (for substrates that take a raw seed).
+  [[nodiscard]] std::uint64_t stream_seed(std::string_view stream) const {
+    return root_.child_seed(stream);
+  }
+
+  /// Attaches \p component and calls its on_attach.  The component is not
+  /// owned and must stay alive until detached (or the engine is destroyed).
+  void attach(Component& component);
+
+  /// Detaches \p component (no-op if it is not attached to this engine).
+  void detach(Component& component);
+
+  [[nodiscard]] const std::vector<Component*>& components() const noexcept {
+    return components_;
+  }
+
+  /// Schedules \p fn at absolute shared time \p at.  Scheduling into the
+  /// past is a component bug: debug builds assert, release builds clamp to
+  /// now (the kernel's monotonicity guarantee).
+  void schedule_at(TimeNs at, Simulator::Handler fn) {
+    assert(at >= sim_.now() && "sim::Engine: component scheduled into the past");
+    sim_.schedule_at(at, std::move(fn));
+  }
+
+  /// Schedules \p fn \p delay nanoseconds from now.
+  void schedule_in(TimeNs delay, Simulator::Handler fn) {
+    sim_.schedule_in(delay, std::move(fn));
+  }
+
+  /// Runs the shared kernel to quiescence (empty queue or stop()).
+  void run() { sim_.run(); }
+
+  /// Runs until shared time reaches \p until; later events stay queued.
+  void run_until(TimeNs until) { sim_.run_until(until); }
+
+  /// Kernel determinism digest over the executed event stream — the coupled
+  /// scenario's single determinism witness.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return sim_.event_digest(); }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return sim_.events_executed();
+  }
+
+ private:
+  Simulator sim_;
+  Rng root_;  ///< never drawn from directly; only child streams are handed out
+  std::vector<Component*> components_;
+};
+
+}  // namespace hpc::sim

@@ -5,6 +5,27 @@
 
 namespace hpc::sim {
 
+std::uint64_t Rng::child_seed(std::string_view label) const noexcept {
+  // FNV-1a over the root seed's eight bytes, then the label bytes.
+  std::uint64_t h = 14695981039346656037ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (seed_ >> (8 * i)) & 0xffULL;
+    h *= kPrime;
+  }
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  // splitmix64 finalizer: spreads the hash over the full 64-bit space so
+  // sibling labels ("site.1" vs "site.2") land in uncorrelated mt19937_64
+  // seedings.
+  std::uint64_t z = h + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 double Rng::pareto(double xm, double alpha) {
   // Inverse CDF: xm / U^{1/alpha}.
   const double u = std::max(uniform(0.0, 1.0), 1e-300);

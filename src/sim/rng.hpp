@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <string_view>
 #include <vector>
 
 /// \file rng.hpp
@@ -17,7 +18,11 @@ namespace hpc::sim {
 /// Seeded pseudo-random generator with the distributions the simulators need.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : seed_(seed), engine_(seed) {}
+
+  /// The seed this generator was constructed with (not the current engine
+  /// state): the root of its named child-stream tree.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0) {
@@ -69,10 +74,22 @@ class Rng {
   /// Returns an independent generator forked from this one (stable stream split).
   Rng fork() { return Rng(engine_()); }
 
+  /// Seed of the named child stream \p label: FNV-1a over the construction
+  /// seed and the label bytes, finalized with a splitmix64 mix.  Purely a
+  /// function of (seed, label) — never of how many variates have been drawn —
+  /// so a substream named "fed.site.3" stays bit-stable no matter how the
+  /// surrounding code reorders its own draws.  This is the sanctioned
+  /// replacement for ad-hoc `seed + k` constructions.
+  [[nodiscard]] std::uint64_t child_seed(std::string_view label) const noexcept;
+
+  /// Independent generator for the named child stream (see child_seed).
+  [[nodiscard]] Rng child(std::string_view label) const { return Rng(child_seed(label)); }
+
   /// Underlying engine access for std distributions not wrapped here.
   std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
   // Cached Zipf table for the last (n, s) pair requested.
   std::size_t zipf_n_ = 0;

@@ -442,17 +442,24 @@ TEST(ArchlintFixtureCorpus, EveryGraphAndTokenRuleFires) {
   opts.root = corpus;
   opts.layers_file = corpus / "layers.txt";
   const std::vector<Finding> fs_found = lint_tree({corpus / "src"}, opts);
-  ASSERT_EQ(fs_found.size(), 4u);
-  EXPECT_EQ(count_rule(fs_found, Rule::kLayerViolation), 1u);
+  ASSERT_EQ(fs_found.size(), 5u);
+  EXPECT_EQ(count_rule(fs_found, Rule::kLayerViolation), 2u);
   EXPECT_EQ(count_rule(fs_found, Rule::kIncludeCycle), 1u);
   EXPECT_EQ(count_rule(fs_found, Rule::kFloatEq), 1u);
   EXPECT_EQ(count_rule(fs_found, Rule::kMutableGlobal), 1u);
   for (const Finding& f : fs_found) {
-    if (f.rule == Rule::kLayerViolation || f.rule == Rule::kIncludeCycle)
+    if (f.rule == Rule::kLayerViolation)
+      EXPECT_TRUE(f.path == "src/alpha/a.hpp" || f.path == "src/delta/d.hpp") << format(f);
+    else if (f.rule == Rule::kIncludeCycle)
       EXPECT_EQ(f.path, "src/alpha/a.hpp") << format(f);
     else
       EXPECT_EQ(f.path, "src/gamma/g.cpp") << format(f);
   }
+  // The lateral substrate edge fires on the including file, not on gamma.
+  bool delta_fired = false;
+  for (const Finding& f : fs_found)
+    if (f.rule == Rule::kLayerViolation && f.path == "src/delta/d.hpp") delta_fired = true;
+  EXPECT_TRUE(delta_fired);
 }
 
 TEST(ArchlintFixtureCorpus, FixturesAreSkippedBelowAScanRoot) {

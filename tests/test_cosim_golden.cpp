@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "edge/stream_sim.hpp"
+#include "fed/federation.hpp"
+#include "market/agents.hpp"
+#include "market/exchange.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+/// \file test_cosim_golden.cpp
+/// Pre/post-refactor golden digests for the kernel-unification refactor.
+///
+/// Each scenario below was run against the pre-Engine batch `run()` loops
+/// (ClusterSim, FederationSim, Exchange, edge run_stream) and its complete
+/// observable output folded into an FNV-1a digest; the constants pin those
+/// digests bit-exactly.  The Engine migration (sim/engine.hpp) must keep
+/// every one of them green: the batch wrappers are required to produce
+/// results byte-identical to the retired substrate-owned event loops.
+/// FlowSim is pinned separately against the frozen oracle in
+/// tests/test_net_flowsim_golden.cpp.
+
+namespace hpc {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Running FNV-1a digest over 64-bit words (same fold as sim::Simulator).
+class Digest {
+ public:
+  void fold(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffULL;
+      h_ *= kFnvPrime;
+    }
+  }
+  void fold(int v) noexcept { fold(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void fold(std::int64_t v) noexcept { fold(static_cast<std::uint64_t>(v)); }
+  void fold(double v) noexcept { fold(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+std::vector<sched::Job> golden_workload(int jobs, double deadline_slack = 0.0) {
+  sched::WorkloadConfig cfg;
+  cfg.jobs = jobs;
+  cfg.mean_interarrival_s = 20.0;
+  cfg.deadline_slack = deadline_slack;
+  sim::Rng rng(42);
+  return sched::generate_workload(cfg, rng);
+}
+
+std::uint64_t cluster_digest(sched::Policy policy) {
+  sched::ClusterSim sim(sched::make_diversified_cluster(16, 8, 4, 4, 2), policy,
+                        /*seed=*/7);
+  sim.add_jobs(golden_workload(120, policy == sched::Policy::kDeadlineAware ? 2.0 : 0.0));
+  const sched::ScheduleResult r = sim.run();
+  Digest d;
+  for (const sched::Placement& p : r.placements) {
+    d.fold(p.job_id);
+    d.fold(p.partition);
+    d.fold(p.start);
+    d.fold(p.finish);
+    d.fold(p.arrival);
+    d.fold(p.energy_j);
+  }
+  d.fold(r.makespan);
+  d.fold(r.mean_wait_ns);
+  d.fold(r.p95_wait_ns);
+  d.fold(r.mean_slowdown);
+  d.fold(r.utilization);
+  d.fold(r.sla_violations);
+  d.fold(r.total_energy_j);
+  d.fold(r.throughput_jobs_per_s);
+  return d.value();
+}
+
+std::vector<fed::Site> golden_sites() {
+  fed::Site a = fed::make_onprem_site(0, "campus", 8, 4);
+  fed::Site b = fed::make_supercomputer_site(1, "leadership", 64);
+  b.admin_domain = 0;
+  fed::Site c = fed::make_cloud_site(2, "cloud", 48);
+  return {a, b, c};
+}
+
+std::uint64_t federation_digest(const fed::FederationConfig& cfg) {
+  fed::FederationSim sim(golden_sites(), cfg);
+  const std::vector<sched::Job> jobs = golden_workload(80);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    sched::Job j = jobs[i];
+    j.data_site = static_cast<int>(i % 3);
+    sim.submit(j, static_cast<int>((i * 7) % 3));
+  }
+  const fed::FederationResult r = sim.run();
+  Digest d;
+  for (const fed::FedPlacement& p : r.placements) {
+    d.fold(p.job_id);
+    d.fold(p.site);
+    d.fold(p.partition);
+    d.fold(p.submitted);
+    d.fold(p.data_ready);
+    d.fold(p.start);
+    d.fold(p.finish);
+    d.fold(p.transfer_gb);
+    d.fold(p.cost_usd);
+  }
+  d.fold(r.makespan);
+  d.fold(r.mean_completion_s);
+  d.fold(r.p95_completion_s);
+  d.fold(r.total_cost_usd);
+  d.fold(r.wan_gb_moved);
+  d.fold(r.jobs_completed);
+  d.fold(r.jobs_dropped);
+  d.fold(r.jobs_rerouted);
+  for (const fed::UsageRecord& u : r.ledger.records()) {
+    d.fold(u.job_id);
+    d.fold(u.consumer_site);
+    d.fold(u.provider_site);
+    d.fold(u.node_hours);
+    d.fold(u.cost_usd);
+    d.fold(u.start);
+    d.fold(u.finish);
+  }
+  return d.value();
+}
+
+std::uint64_t exchange_digest() {
+  market::Exchange ex(17);
+  sim::Rng pop(18);
+  for (int i = 0; i < 20; ++i)
+    ex.add_agent(std::make_unique<market::ProviderAgent>(
+        "prov" + std::to_string(i), pop.uniform(0.5, 1.5), 1.0));
+  for (int i = 0; i < 30; ++i)
+    ex.add_agent(std::make_unique<market::ConsumerAgent>(
+        "cons" + std::to_string(i), pop.uniform(0.8, 2.5), 1.0));
+  ex.add_agent(std::make_unique<market::BrokerAgent>("broker"));
+  ex.add_agent(std::make_unique<market::SpeculatorAgent>("spec"));
+  ex.run_rounds(60);
+
+  Digest d;
+  for (const double p : ex.round_prices()) d.fold(p);
+  for (const double v : ex.round_volumes()) d.fold(v);
+  for (const market::Trade& t : ex.all_trades()) {
+    d.fold(t.buyer);
+    d.fold(t.seller);
+    d.fold(t.price);
+    d.fold(t.quantity);
+    d.fold(t.seq);
+  }
+  d.fold(ex.total_volume());
+  d.fold(ex.cash_imbalance());
+  return d.value();
+}
+
+std::uint64_t edge_digest() {
+  const edge::InstrumentSpec inst = edge::light_source_upgrade_spec();
+  edge::StationConfig station;
+  station.engines = 6;
+  station.service_ns = 350e3;
+  station.queue_capacity = 48;
+  sim::Rng rng(23);
+  const edge::StreamResult r = edge::run_stream(inst, station, /*duration_s=*/0.5, rng);
+  Digest d;
+  d.fold(r.frames_offered);
+  d.fold(r.frames_served);
+  d.fold(r.frames_dropped);
+  d.fold(r.drop_fraction);
+  d.fold(r.mean_latency_ns);
+  d.fold(r.p99_latency_ns);
+  d.fold(r.utilization);
+  return d.value();
+}
+
+// -- Pinned pre-refactor digests --------------------------------------------
+
+TEST(CosimGolden, ClusterSimFcfsBlocking) {
+  EXPECT_EQ(cluster_digest(sched::Policy::kFcfsBlocking), 5328295899566122597ULL);
+}
+
+TEST(CosimGolden, ClusterSimFcfsSkip) {
+  EXPECT_EQ(cluster_digest(sched::Policy::kFcfsSkip), 1720568156168360443ULL);
+}
+
+TEST(CosimGolden, ClusterSimEasyBackfill) {
+  EXPECT_EQ(cluster_digest(sched::Policy::kEasyBackfill), 4788916846970041396ULL);
+}
+
+TEST(CosimGolden, ClusterSimHeteroAffinity) {
+  EXPECT_EQ(cluster_digest(sched::Policy::kHeteroAffinity), 5110404862658624499ULL);
+}
+
+TEST(CosimGolden, ClusterSimRandomPlacement) {
+  EXPECT_EQ(cluster_digest(sched::Policy::kRandomPlacement), 10271502154594506186ULL);
+}
+
+TEST(CosimGolden, ClusterSimDeadlineAware) {
+  EXPECT_EQ(cluster_digest(sched::Policy::kDeadlineAware), 1128174391826264918ULL);
+}
+
+TEST(CosimGolden, FederationGridDataGravity) {
+  fed::FederationConfig cfg;
+  cfg.stage = fed::FederationStage::kGrid;
+  cfg.policy = fed::MetaPolicy::kDataGravity;
+  cfg.seed = 5;
+  EXPECT_EQ(federation_digest(cfg), 13874465863557560047ULL);
+}
+
+TEST(CosimGolden, FederationBursting) {
+  fed::FederationConfig cfg;
+  cfg.stage = fed::FederationStage::kBursting;
+  cfg.policy = fed::MetaPolicy::kComputeOnly;
+  cfg.burst_site = 1;
+  cfg.burst_queue_threshold_s = 60.0;
+  cfg.seed = 5;
+  EXPECT_EQ(federation_digest(cfg), 422257991878826856ULL);
+}
+
+TEST(CosimGolden, FederationExchangeCheapest) {
+  fed::FederationConfig cfg;
+  cfg.stage = fed::FederationStage::kExchange;
+  cfg.policy = fed::MetaPolicy::kCheapest;
+  cfg.seed = 5;
+  EXPECT_EQ(federation_digest(cfg), 16436865242536713816ULL);
+}
+
+TEST(CosimGolden, FederationSiteFailureReroute) {
+  fed::FederationConfig cfg;
+  cfg.stage = fed::FederationStage::kGrid;
+  cfg.policy = fed::MetaPolicy::kDataGravity;
+  cfg.seed = 5;
+  cfg.fail_site = 1;
+  cfg.fail_at = sim::from_seconds(400.0);
+  EXPECT_EQ(federation_digest(cfg), 11792600980729147186ULL);
+}
+
+TEST(CosimGolden, ExchangeClearing) { EXPECT_EQ(exchange_digest(), 6408783572886254077ULL); }
+
+TEST(CosimGolden, EdgeStream) { EXPECT_EQ(edge_digest(), 3479997523809023418ULL); }
+
+}  // namespace
+}  // namespace hpc

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "alpha/a.hpp"
+#include "gamma/g.hpp"
+
+/// \file d.hpp
+/// Fixture: a *sibling substrate* reach-around — delta may use alpha
+/// (`delta: alpha`) but includes gamma too, the lateral edge the main
+/// tree's "no substrate includes another substrate" rule forbids.  The
+/// alpha include is legal and must not fire.
+
+namespace hpc::fixture_delta {
+
+inline int delta_value() { return 4; }
+
+}  // namespace hpc::fixture_delta

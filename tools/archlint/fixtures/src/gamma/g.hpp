@@ -1,0 +1,12 @@
+#pragma once
+
+/// \file g.hpp
+/// Fixture: a deliberately rule-clean gamma header; it exists so delta's
+/// lateral `gamma/g.hpp` include resolves inside the corpus and the D6
+/// edge fires on delta, not on a dangling include.
+
+namespace hpc::fixture_gamma {
+
+inline int gamma_value() { return 3; }
+
+}  // namespace hpc::fixture_gamma
