@@ -16,34 +16,70 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [2/7] archlint: determinism-contract static analysis (v2) =="
-# Token-stream rules D1-D5/D8/D9 plus the include-graph passes (D6 layering
-# against tools/archlint/layers.txt, D7 cycles), machine-readable output,
-# and a SARIF artifact for upload.  The committed baseline is a ratchet:
-# it may only ever be empty or shrink.
+echo "== [2/7] archlint: determinism-contract static analysis (v3) =="
+# Token-stream rules D1-D5/D8/D9, the include-graph passes (D6 layering
+# against tools/archlint/layers.txt, D7 cycles), and the cross-TU semantic
+# pass (D10-D14, allowlists in tools/archlint/semantics.txt which the
+# scanner discovers automatically under --root).  Machine-readable output
+# plus a SARIF artifact for upload.
 LINT_DIR=build/archlint-ci
 mkdir -p "${LINT_DIR}"
-./build/tools/archlint/archlint --root . \
+./build/tools/archlint/archlint --root . --jobs "${JOBS}" \
   --layers tools/archlint/layers.txt \
   --baseline tools/archlint/baseline.txt \
   --format json --output "${LINT_DIR}/findings.json" \
   src tests bench examples tools
-./build/tools/archlint/archlint --root . \
+./build/tools/archlint/archlint --root . --jobs "${JOBS}" \
   --layers tools/archlint/layers.txt \
+  --baseline tools/archlint/baseline.txt \
   --format sarif --output "${LINT_DIR}/findings.sarif" --check-sarif \
   src tests bench examples tools
-# Baseline ratchet: if the committed baseline still lists findings, a run
-# that fails to retire at least one entry means the debt is not shrinking.
+
+# SARIF rule metadata is a published contract: the driver's rule table must
+# match ci/expected_sarif_rules.txt exactly.  A new rule lands by updating
+# the committed list in the same change.
+grep -o '"id": "[a-z-]*"' "${LINT_DIR}/findings.sarif" \
+  | sed 's/.*"id": "\(.*\)"/\1/' | sort -u > "${LINT_DIR}/sarif_rules.txt"
+if ! diff -u ci/expected_sarif_rules.txt "${LINT_DIR}/sarif_rules.txt"; then
+  echo "archlint: SARIF rule metadata drifted from ci/expected_sarif_rules.txt" >&2
+  echo "archlint: new rules must update the committed list in the same change" >&2
+  exit 1
+fi
+
+# Baseline ratchet, HEAD-relative: a brand-new rule may land with its initial
+# debt baselined (that is how dead-public-api ratchets in), but for any rule
+# that already existed at HEAD (listed in HEAD's ci/expected_sarif_rules.txt)
+# the baseline may only shrink — no new entries.  Stale entries (suppressions
+# that no longer match a live finding) are forbidden outright.
 BASELINE=tools/archlint/baseline.txt
-if grep -vq '^\s*\(#\|$\)' "${BASELINE}"; then
-  ./build/tools/archlint/archlint --root . \
-    --layers tools/archlint/layers.txt \
-    --write-baseline "${LINT_DIR}/baseline.regen" \
-    src tests bench examples tools 2>/dev/null
-  if diff -q <(grep -v '^#' "${BASELINE}") \
-             <(grep -v '^#' "${LINT_DIR}/baseline.regen") >/dev/null; then
-    echo "archlint: baseline ${BASELINE} is non-empty and did not shrink" >&2
-    echo "archlint: retire at least one entry (fix the finding) per change" >&2
+./build/tools/archlint/archlint --root . --jobs "${JOBS}" \
+  --layers tools/archlint/layers.txt \
+  --write-baseline "${LINT_DIR}/baseline.regen" \
+  src tests bench examples tools 2>/dev/null
+grep -v '^\s*\(#\|$\)' "${BASELINE}" | sort > "${LINT_DIR}/baseline.flat" || true
+grep -v '^\s*\(#\|$\)' "${LINT_DIR}/baseline.regen" | sort > "${LINT_DIR}/regen.flat" || true
+STALE="$(comm -23 "${LINT_DIR}/baseline.flat" "${LINT_DIR}/regen.flat")"
+if [ -n "${STALE}" ]; then
+  echo "archlint: stale baseline entries (no matching finding) — delete them:" >&2
+  echo "${STALE}" >&2
+  exit 1
+fi
+if git cat-file -e HEAD:ci/expected_sarif_rules.txt 2>/dev/null; then
+  git show HEAD:ci/expected_sarif_rules.txt > "${LINT_DIR}/head_rules.txt"
+  if git cat-file -e "HEAD:${BASELINE}" 2>/dev/null; then
+    git show "HEAD:${BASELINE}" | grep -v '^\s*\(#\|$\)' | sort \
+      > "${LINT_DIR}/head_baseline.flat" || true
+  else
+    : > "${LINT_DIR}/head_baseline.flat"
+  fi
+  comm -23 "${LINT_DIR}/baseline.flat" "${LINT_DIR}/head_baseline.flat" \
+    > "${LINT_DIR}/baseline.new"
+  NEW_DEBT="$(cut -f1 "${LINT_DIR}/baseline.new" | sort -u \
+    | grep -Fx -f "${LINT_DIR}/head_rules.txt" || true)"
+  if [ -n "${NEW_DEBT}" ]; then
+    echo "archlint: baseline grew for rules that already existed at HEAD:" >&2
+    echo "${NEW_DEBT}" >&2
+    echo "archlint: fix the findings instead of baselining them" >&2
     exit 1
   fi
 fi
@@ -59,15 +95,17 @@ cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
 echo "== [5/7] perf smoke: flowsim + observability overhead trajectories =="
-# Short-run smoke (not a statistically stable measurement): proves the
-# benchmark binaries work end to end and regenerates the BENCH_*.json
-# artifacts.  Note: these google-benchmarks take a bare double (no "s"
-# suffix).
+# flowsim: short-run smoke (not a statistically stable measurement) — proves
+# the binary works end to end.  Its slowest rows are genuinely single-shot at
+# this budget, so the validator runs with the explicit --min-iters 1 opt-out.
+# Note: these google-benchmarks take a bare double (no "s" suffix).
 BENCHJSON_OUT=BENCH_flowsim.json ./build/bench/bench_perf_flowsim \
   --benchmark_min_time=0.05
-./build/tools/benchjson/benchjson_check BENCH_flowsim.json
-BENCHJSON_OUT=BENCH_obs.json ./build/bench/bench_perf_obs \
-  --benchmark_min_time=0.05
+./build/tools/benchjson/benchjson_check --min-iters 1 BENCH_flowsim.json
+# obs: the overhead baseline people actually quote, so it runs its built-in
+# fixed 5 iterations + warmup (no min_time override) and must satisfy the
+# default min-iters 3 gate.
+BENCHJSON_OUT=BENCH_obs.json ./build/bench/bench_perf_obs
 ./build/tools/benchjson/benchjson_check BENCH_obs.json
 
 echo "== [6/7] obs: instrumented run + tracecat artifact validation =="

@@ -68,7 +68,10 @@ Mlp read_text(std::istream& is) {
   sizes.push_back(ins.front());
   for (std::size_t l = 0; l < layer_count; ++l) sizes.push_back(outs[l]);
 
-  sim::Rng scratch(0);  // initialization is immediately overwritten
+  // The Mlp ctor needs an Rng to initialize weights; the loop below then
+  // overwrites every one of them from disk, so this stream never leaks.
+  // archlint: allow(rng-discipline): placeholder stream, output overwritten
+  sim::Rng scratch(0);
   Mlp model(sizes, static_cast<Activation>(activation), static_cast<Loss>(loss), scratch);
   auto& layers = model.mutable_layers();
   for (std::size_t l = 0; l < layer_count; ++l) {

@@ -1,0 +1,391 @@
+#include "lexer.hpp"
+#include "lint.hpp"
+#include "report.hpp"
+#include "semantic.hpp"
+#include "symbols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Symbol-indexer and semantic-pass (D10-D14) tests.  Like test_archlint.cpp,
+// every fixture spells its violations inside ordinary string literals, so
+// this file stays clean under the archlint_tree gate while the in-memory
+// corpora exercise the extractor and every semantic rule.
+
+namespace hpc::lint {
+namespace {
+
+std::size_t count_rule(const std::vector<Finding>& fs, Rule r) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(), [r](const Finding& f) { return f.rule == r; }));
+}
+
+bool has_rule(const std::vector<Finding>& fs, Rule r) { return count_rule(fs, r) > 0; }
+
+FileSymbols extract(const char* path, const char* text) {
+  return extract_symbols(path, lex(text));
+}
+
+SymbolIndex make_index(std::vector<std::pair<const char*, const char*>> files) {
+  std::vector<FileSymbols> fs;
+  fs.reserve(files.size());
+  for (const auto& [path, text] : files) fs.push_back(extract(path, text));
+  return SymbolIndex::build(std::move(fs));
+}
+
+std::vector<Finding> judge(std::vector<std::pair<const char*, const char*>> files) {
+  return check_semantics(make_index(std::move(files)), RuleSet::all(), SemanticConfig{});
+}
+
+const FileSymbols::Func* find_fn(const FileSymbols& fs, std::string_view name) {
+  for (const FileSymbols::Func& f : fs.functions)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+// ------------------------------------------------------------ extraction ----
+
+TEST(ArchlintSymbols, FreeFunctionDeclAndDef) {
+  const FileSymbols fs = extract("src/core/a.cpp",
+                                 "namespace hpc::core {\n"
+                                 "int parse_flags(int argc);\n"
+                                 "int parse_flags(int argc) { return argc; }\n"
+                                 "}\n");
+  ASSERT_EQ(fs.functions.size(), 2u);
+  EXPECT_EQ(fs.functions[0].name, "parse_flags");
+  EXPECT_EQ(fs.functions[0].scope, "hpc::core");
+  EXPECT_EQ(fs.functions[0].line, 2u);
+  EXPECT_FALSE(fs.functions[0].is_definition);
+  EXPECT_TRUE(fs.functions[1].is_definition);
+  EXPECT_EQ(fs.functions[1].line, 3u);
+}
+
+TEST(ArchlintSymbols, OutOfLineMemberDefinitionGetsQualifiedScope) {
+  const FileSymbols fs = extract("src/sim/e.cpp",
+                                 "namespace hpc::sim {\n"
+                                 "TimeNs Engine::now() const { return now_; }\n"
+                                 "void Engine::step(int n) { n_ += n; }\n"
+                                 "}\n");
+  ASSERT_EQ(fs.functions.size(), 2u);
+  EXPECT_EQ(fs.functions[0].name, "now");
+  EXPECT_EQ(fs.functions[0].scope, "hpc::sim::Engine");
+  EXPECT_TRUE(fs.functions[0].is_definition);
+  EXPECT_EQ(fs.functions[1].name, "step");
+  EXPECT_EQ(fs.functions[1].scope, "hpc::sim::Engine");
+}
+
+TEST(ArchlintSymbols, ClassMembersTemplatesAndOperators) {
+  const FileSymbols fs = extract("src/core/w.hpp",
+                                 "namespace hpc::core {\n"
+                                 "template <typename T>\n"
+                                 "struct Slot {\n"
+                                 "  Slot() = default;\n"
+                                 "  ~Slot();\n"
+                                 "  T get() const;\n"
+                                 "  bool operator==(const Slot& o) const;\n"
+                                 "};\n"
+                                 "template <typename T>\n"
+                                 "T Slot<T>::get() const { return T{}; }\n"
+                                 "}\n");
+  ASSERT_EQ(fs.types.size(), 1u);
+  EXPECT_EQ(fs.types[0].name, "Slot");
+
+  const FileSymbols::Func* ctor = find_fn(fs, "Slot");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_TRUE(ctor->is_defaulted);
+  EXPECT_EQ(ctor->scope, "hpc::core::Slot");
+
+  const FileSymbols::Func* dtor = find_fn(fs, "~Slot");
+  ASSERT_NE(dtor, nullptr);
+  EXPECT_FALSE(dtor->is_definition);
+
+  const FileSymbols::Func* eq = find_fn(fs, "operator==");
+  ASSERT_NE(eq, nullptr);
+  EXPECT_TRUE(eq->is_operator);
+
+  // Both the in-class declaration and the out-of-line template definition.
+  std::size_t gets = 0;
+  for (const FileSymbols::Func& f : fs.functions)
+    if (f.name == "get") ++gets;
+  EXPECT_EQ(gets, 2u);
+}
+
+TEST(ArchlintSymbols, RawStringRedHerringIsInvisible) {
+  const FileSymbols fs = extract("src/core/r.cpp",
+                                 "const char* kDoc = R\"(int fake_fn(int);)\";\n"
+                                 "int real_fn();\n");
+  EXPECT_EQ(find_fn(fs, "fake_fn"), nullptr);
+  EXPECT_NE(find_fn(fs, "real_fn"), nullptr);
+  ASSERT_EQ(fs.globals.size(), 1u);
+  EXPECT_EQ(fs.globals[0].name, "kDoc");
+  EXPECT_TRUE(fs.globals[0].init_literal_only);  // a string literal is static
+}
+
+TEST(ArchlintSymbols, MultiLineDeclarationAndCtorInitList) {
+  const FileSymbols fs = extract("src/net/m.cpp",
+                                 "namespace hpc::net {\n"
+                                 "std::vector<int>\n"
+                                 "collect_widget_ids(\n"
+                                 "    const Registry& reg,\n"
+                                 "    int limit);\n"
+                                 "Router::Router(int ports)\n"
+                                 "    : ports_{ports}, name_(\"r\") {\n"
+                                 "  rebuild();\n"
+                                 "}\n"
+                                 "int after_ctor();\n"
+                                 "}\n");
+  const FileSymbols::Func* multi = find_fn(fs, "collect_widget_ids");
+  ASSERT_NE(multi, nullptr);
+  EXPECT_EQ(multi->line, 3u);  // the declarator line, not the type's
+
+  const FileSymbols::Func* ctor = find_fn(fs, "Router");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_EQ(ctor->scope, "hpc::net::Router");
+  EXPECT_TRUE(ctor->is_definition);
+
+  // The walker resynchronized after the brace-init-heavy ctor body.
+  EXPECT_NE(find_fn(fs, "after_ctor"), nullptr);
+}
+
+TEST(ArchlintSymbols, GlobalQualifiersAndInitializerClasses) {
+  const FileSymbols fs = extract("src/app/g.cpp",
+                                 "namespace app {\n"
+                                 "int counter = 3;\n"
+                                 "const std::string kName = make_name();\n"
+                                 "constexpr int kTwo = 2;\n"
+                                 "extern int shared;\n"
+                                 "}\n");
+  ASSERT_EQ(fs.globals.size(), 4u);
+  EXPECT_EQ(fs.globals[0].name, "counter");
+  EXPECT_TRUE(fs.globals[0].init_literal_only);
+  EXPECT_EQ(fs.globals[1].name, "kName");
+  EXPECT_TRUE(fs.globals[1].is_const);
+  EXPECT_TRUE(fs.globals[1].has_initializer);
+  EXPECT_FALSE(fs.globals[1].init_literal_only);
+  EXPECT_TRUE(fs.globals[2].is_constexpr);
+  EXPECT_TRUE(fs.globals[3].is_extern_decl);
+}
+
+TEST(ArchlintSymbols, IndexMergesMentionsAcrossFiles) {
+  const SymbolIndex idx = make_index({
+      {"src/core/api.hpp", "int used_fn();\nint unused_fn();\n"},
+      {"src/core/api.cpp",
+       "int used_fn() { return 1; }\nint caller() { return used_fn(); }\n"},
+  });
+  EXPECT_EQ(idx.uses_of("used_fn"), 1u);    // the call site in caller()
+  EXPECT_EQ(idx.uses_of("unused_fn"), 0u);  // declaration only
+  EXPECT_EQ(idx.uses_of("no_such_name"), 0u);
+}
+
+// ------------------------------------------------------------------ D10 -----
+
+TEST(ArchlintSemanticD10, UnorderedAndPointerKeyedFire) {
+  const std::vector<Finding> fs = judge({{"src/hw/c.cpp",
+                                          "std::unordered_multimap<int, int> m;\n"
+                                          "std::map<const Device*, int> order;\n"
+                                          "std::map<std::string, int> by_name;\n"
+                                          "std::set<Dev<int>*> s;\n"}});
+  EXPECT_EQ(count_rule(fs, Rule::kNondetContainer), 3u);  // by_name is clean
+}
+
+TEST(ArchlintSemanticD10, NestedPointerDoesNotPoisonValueKey) {
+  const std::vector<Finding> fs = judge(
+      {{"src/hw/c.cpp", "std::map<std::string, const Device*> owners;\n"}});
+  EXPECT_FALSE(has_rule(fs, Rule::kNondetContainer));
+}
+
+TEST(ArchlintSemanticD10, AllowAnnotationSuppresses) {
+  const std::vector<Finding> fs = judge(
+      {{"src/hw/c.cpp",
+        "// archlint: allow(nondet-container): scratch set, never iterated\n"
+        "std::unordered_multiset<int> scratch;\n"}});
+  EXPECT_FALSE(has_rule(fs, Rule::kNondetContainer));
+}
+
+// ------------------------------------------------------------------ D11 -----
+
+TEST(ArchlintSemanticD11, EntropyFiresOnlyUnderSrc) {
+  const char* src = "int f() { return std::getenv(\"X\") != nullptr; }\n";
+  EXPECT_TRUE(has_rule(judge({{"src/fed/e.cpp", src}}), Rule::kEntropySource));
+  EXPECT_FALSE(has_rule(judge({{"bench/e.cpp", src}}), Rule::kEntropySource));
+  EXPECT_FALSE(has_rule(judge({{"tools/e.cpp", src}}), Rule::kEntropySource));
+}
+
+TEST(ArchlintSemanticD11, ClockNowAndTimeCallsFire) {
+  const std::vector<Finding> fs = judge(
+      {{"src/fed/t.cpp",
+        "long a() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n"
+        "long b() { return time(nullptr); }\n"
+        "long c(Stamp s) { return s.time(); }\n"}});  // accessor: not entropy
+  EXPECT_EQ(count_rule(fs, Rule::kEntropySource), 2u);
+}
+
+TEST(ArchlintSemanticD11, ConfiguredAllowlistSkipsFile) {
+  const SymbolIndex idx = make_index(
+      {{"src/hw/probe.cpp", "int f() { return std::getenv(\"X\") != nullptr; }\n"}});
+  SemanticConfig cfg;
+  EXPECT_TRUE(has_rule(check_semantics(idx, RuleSet::all(), cfg), Rule::kEntropySource));
+  cfg.entropy_allow.push_back("src/hw/probe.");
+  EXPECT_FALSE(has_rule(check_semantics(idx, RuleSet::all(), cfg), Rule::kEntropySource));
+}
+
+// ------------------------------------------------------------------ D12 -----
+
+TEST(ArchlintSemanticD12, AdHocRootFiresOutsideSimOnly) {
+  const char* src = "void f(unsigned base) { sim::Rng bad(base); }\n";
+  EXPECT_TRUE(has_rule(judge({{"src/hw/r.cpp", src}}), Rule::kRngDiscipline));
+  EXPECT_FALSE(has_rule(judge({{"src/sim/r.cpp", src}}), Rule::kRngDiscipline));
+}
+
+TEST(ArchlintSemanticD12, ChildDerivationIsClean) {
+  const std::vector<Finding> fs = judge(
+      {{"src/hw/r.cpp",
+        "void f(sim::Rng& parent) { auto stream = parent.child(\"hw\"); }\n"}});
+  EXPECT_FALSE(has_rule(fs, Rule::kRngDiscipline));
+}
+
+TEST(ArchlintSemanticD12, SeedArithmeticFires) {
+  const std::vector<Finding> fs = judge(
+      {{"src/hw/r.cpp", "unsigned mix(unsigned seed) { return seed ^ 17u; }\n"}});
+  EXPECT_EQ(count_rule(fs, Rule::kRngDiscipline), 1u);
+}
+
+// ------------------------------------------------------------------ D13 -----
+
+TEST(ArchlintSemanticD13, DynamicInitFiresLiteralAndConstexprDoNot) {
+  const std::vector<Finding> fs = judge(
+      {{"src/app/g.cpp",
+        "namespace app {\n"
+        "const std::string kBanner = make_banner();\n"  // fires: runs code
+        "const Registry kReg;\n"                        // fires: default ctor
+        "constexpr int kOk = 2;\n"
+        "const double kPi = 3.14;\n"
+        "extern int shared;\n"
+        "}\n"}});
+  EXPECT_EQ(count_rule(fs, Rule::kDynamicInitGlobal), 2u);
+}
+
+TEST(ArchlintSemanticD13, OnlySrcIsJudged) {
+  const char* src = "const std::string kBanner = make_banner();\n";
+  EXPECT_TRUE(has_rule(judge({{"src/app/g.cpp", src}}), Rule::kDynamicInitGlobal));
+  EXPECT_FALSE(has_rule(judge({{"tests/g.cpp", src}}), Rule::kDynamicInitGlobal));
+}
+
+// ------------------------------------------------------------------ D14 -----
+
+TEST(ArchlintSemanticD14, OrphanHeaderFunctionFires) {
+  const std::vector<Finding> fs = judge({
+      {"src/core/api.hpp", "int used_fn();\nint unused_fn();\n"},
+      {"src/core/api.cpp",
+       "int used_fn() { return 1; }\nint caller() { return used_fn(); }\n"},
+  });
+  ASSERT_EQ(count_rule(fs, Rule::kDeadPublicApi), 1u);
+  for (const Finding& f : fs)
+    if (f.rule == Rule::kDeadPublicApi) {
+      EXPECT_EQ(f.path, "src/core/api.hpp");
+      EXPECT_EQ(f.line, 2u);
+    }
+}
+
+TEST(ArchlintSemanticD14, CtorsOperatorsMainAndCppFilesAreExempt) {
+  const std::vector<Finding> fs = judge({
+      {"src/core/t.hpp",
+       "struct Widget {\n"
+       "  Widget();\n"                              // ctor: exempt
+       "  bool operator<(const Widget&) const;\n"   // operator: exempt
+       "};\n"
+       "int main();\n"},                            // main: exempt
+      {"src/core/t.cpp", "int cpp_only_helper() { return 0; }\n"},  // not a header
+  });
+  EXPECT_FALSE(has_rule(fs, Rule::kDeadPublicApi));
+}
+
+TEST(ArchlintSemanticD14, AllowAnnotationSuppresses) {
+  const std::vector<Finding> fs = judge(
+      {{"src/core/t.hpp",
+        "// archlint: allow(dead-public-api): public extension point\n"
+        "int plugin_hook();\n"}});
+  EXPECT_FALSE(has_rule(fs, Rule::kDeadPublicApi));
+}
+
+// ------------------------------------------------------- config / plumbing --
+
+TEST(ArchlintSemanticConfig, ParseReplacesDefaultsPerKey) {
+  SemanticConfig cfg;
+  std::string error;
+  ASSERT_TRUE(parse_semantics("# comment\nentropy-allow: src/a/ src/b/\n", cfg, error))
+      << error;
+  ASSERT_EQ(cfg.entropy_allow.size(), 2u);
+  EXPECT_EQ(cfg.entropy_allow[0], "src/a/");
+  // rng-allow untouched: still the built-in default.
+  ASSERT_EQ(cfg.rng_allow.size(), 1u);
+  EXPECT_EQ(cfg.rng_allow[0], "src/sim/");
+}
+
+TEST(ArchlintSemanticConfig, UnknownKeyIsAnError) {
+  SemanticConfig cfg;
+  std::string error;
+  EXPECT_FALSE(parse_semantics("entropy-alow: src/a/\n", cfg, error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+}
+
+TEST(ArchlintRuleIds, DNumberAliasesResolve) {
+  Rule r = Rule::kAmbientRng;
+  EXPECT_TRUE(rule_from_id("D10", r));
+  EXPECT_EQ(r, Rule::kNondetContainer);
+  EXPECT_TRUE(rule_from_id("d14", r));
+  EXPECT_EQ(r, Rule::kDeadPublicApi);
+  EXPECT_TRUE(rule_from_id("D1", r));
+  EXPECT_EQ(r, Rule::kAmbientRng);
+  EXPECT_FALSE(rule_from_id("D0", r));
+  EXPECT_FALSE(rule_from_id("D15", r));  // io-error has no D number
+  EXPECT_FALSE(rule_from_id("Dx", r));
+}
+
+TEST(ArchlintExitCodes, IoErrorDominatesRuleFindings) {
+  EXPECT_EQ(exit_code_for({}), 0);
+  const Finding rule_hit{Rule::kFloatEq, "src/x.cpp", 3, "m"};
+  const Finding io_hit{Rule::kIoError, "src/gone.cpp", 1, "m"};
+  EXPECT_EQ(exit_code_for({rule_hit}), 1);
+  EXPECT_EQ(exit_code_for({rule_hit, io_hit}), 3);
+  EXPECT_EQ(exit_code_for({io_hit}), 3);
+}
+
+// ------------------------------------------------------- fixture corpus -----
+
+TEST(ArchlintSemanticFixtures, CorpusFiresEveryRuleExactly) {
+  const std::filesystem::path root = ARCHLINT_FIXTURES_DIR;
+  TreeOptions opts;
+  opts.root = root;
+  opts.layers_file = root / "layers.txt";
+  const std::vector<Finding> fs = lint_tree({root / "src"}, opts);
+  EXPECT_EQ(count_rule(fs, Rule::kNondetContainer), 2u);
+  EXPECT_EQ(count_rule(fs, Rule::kEntropySource), 1u);
+  EXPECT_EQ(count_rule(fs, Rule::kRngDiscipline), 2u);
+  EXPECT_EQ(count_rule(fs, Rule::kDynamicInitGlobal), 1u);
+  EXPECT_EQ(count_rule(fs, Rule::kDeadPublicApi), 1u);
+  EXPECT_FALSE(has_rule(fs, Rule::kIoError));
+  EXPECT_EQ(fs.size(), 12u);  // the README table, exactly
+}
+
+TEST(ArchlintSemanticFixtures, JobCountDoesNotChangeOutput) {
+  const std::filesystem::path root = ARCHLINT_FIXTURES_DIR;
+  TreeOptions serial;
+  serial.root = root;
+  serial.layers_file = root / "layers.txt";
+  TreeOptions parallel = serial;
+  parallel.jobs = 4;
+  const std::vector<Finding> a = lint_tree({root / "src"}, serial);
+  const std::vector<Finding> b = lint_tree({root / "src"}, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(format(a[i]), format(b[i]));
+}
+
+}  // namespace
+}  // namespace hpc::lint

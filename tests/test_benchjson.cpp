@@ -81,6 +81,20 @@ TEST_F(BenchJsonTest, NonPositiveTimesAreRejected) {
   EXPECT_NE(validate_file(path_), "");
 }
 
+TEST_F(BenchJsonTest, MinIterationsThresholdIsEnforced) {
+  ASSERT_TRUE(write_file(path_, "obs", {{"probe/hot", 12.5, 5}, {"probe/cold", 80.0, 1}}));
+  // Default threshold of 1 accepts single-iteration rows.
+  EXPECT_EQ(validate_file(path_), "");
+  // A committed-baseline check at 3 rejects the single-iteration row and
+  // names it in the error.
+  const std::string error = validate_file(path_, 3);
+  EXPECT_NE(error, "");
+  EXPECT_NE(error.find("probe/cold"), std::string::npos);
+  EXPECT_NE(error.find(">= 3"), std::string::npos);
+  // Thresholds below 1 clamp to the zero/negative guard only.
+  EXPECT_EQ(validate_file(path_, -7), "");
+}
+
 TEST_F(BenchJsonTest, MissingFileIsRejected) {
   EXPECT_NE(validate_file(::testing::TempDir() + "does_not_exist.json"), "");
 }

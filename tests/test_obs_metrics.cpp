@@ -31,6 +31,7 @@ TEST(Metrics, CounterAndGaugeSemantics) {
   EXPECT_EQ(g.min(), -1.0);
   EXPECT_EQ(g.max(), 3.0);
   EXPECT_EQ(g.samples(), 3u);
+  EXPECT_EQ(reg.gauge_count(), 1u);
 }
 
 TEST(Metrics, ReferencesSurviveRegistryGrowth) {
@@ -50,6 +51,7 @@ TEST(Metrics, HistogramPercentilesTrackLogBins) {
   Histogram& h = reg.histogram("lat");
   for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
   EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(reg.histogram_count(), 1u);
   EXPECT_DOUBLE_EQ(h.min(), 1.0);
   EXPECT_DOUBLE_EQ(h.max(), 1000.0);
   EXPECT_NEAR(h.mean(), 500.5, 1e-9);

@@ -44,6 +44,7 @@ TEST(TraceRecorder, InterningIsStableAndDeduplicated) {
   rec.clear();
   EXPECT_EQ(rec.intern("alpha"), a);
   EXPECT_EQ(rec.track("sim"), rec.track("sim"));
+  EXPECT_EQ(rec.track_count(), 1u);
 }
 
 TEST(TraceRecorder, RingWrapsOverwritingOldest) {

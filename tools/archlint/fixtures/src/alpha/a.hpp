@@ -9,6 +9,7 @@
 
 namespace hpc::fixture_alpha {
 
+// archlint: allow(dead-public-api): corpus filler, deliberately uncalled
 inline int alpha_value() { return 1; }
 
 }  // namespace hpc::fixture_alpha

@@ -8,6 +8,7 @@
 
 namespace hpc::fixture_beta {
 
+// archlint: allow(dead-public-api): corpus filler, deliberately uncalled
 inline int beta_value() { return 2; }
 
 }  // namespace hpc::fixture_beta

@@ -11,6 +11,7 @@
 
 namespace hpc::fixture_delta {
 
+// archlint: allow(dead-public-api): corpus filler, deliberately uncalled
 inline int delta_value() { return 4; }
 
 }  // namespace hpc::fixture_delta

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file e.hpp
+/// Fixture: semantic-pass (cross-TU) violations — a pointer-keyed std::map
+/// and a hash-ordered std::unordered_multiset (both D10: iteration order
+/// derives from addresses/hashes, which differ run to run), plus a public
+/// function nothing in the corpus ever calls (D14).  unordered_multiset is
+/// chosen deliberately: D2 matches only unordered_map/unordered_set, so the
+/// finding here is unambiguously the semantic rule's.  No std includes:
+/// fixtures are scanned, never compiled, and `#include <map>` style lines
+/// would add D2 noise on top of the findings this file pins.
+
+namespace hpc::fixture_epsilon {
+
+struct Device {
+  int id = 0;
+};
+
+/// D10: ordered map keyed on allocation addresses.
+using DeviceOrder = std::map<const Device*, int>;
+
+/// D10: hash-ordered container.
+using DeviceBag = std::unordered_multiset<int>;
+
+/// D14: declared in a src/ header with zero call/use sites anywhere.
+int orphan_api(int value);
+
+}  // namespace hpc::fixture_epsilon

@@ -1,0 +1,36 @@
+#include "epsilon/e.hpp"
+
+/// \file e_impl.cpp
+/// Fixture: the entropy/RNG/SIOF half of the semantic corpus —
+///
+///  - D11 `entropy-source`       `std::getenv` (deliberately a source D1's
+///                               token rule does not cover, so the finding
+///                               is unambiguously D11's);
+///  - D12 `rng-discipline`       an ad-hoc `Rng` root minted from seed
+///                               arithmetic (two findings on one line:
+///                               the construction and the `seed + k`);
+///  - D13 `dynamic-init-global`  a *const* namespace-scope object whose
+///                               initializer runs code before main() — D9
+///                               is silent because it is const, which is
+///                               exactly the gap D13 closes.
+
+namespace hpc::fixture_epsilon {
+
+std::string site_banner();
+
+/// D13: const (so D9 stays quiet) but dynamically initialized.
+const std::string kBanner = site_banner();
+
+int read_site(int fallback) {
+  const char* site = std::getenv("ARCHIPELAGO_SITE");  // D11
+  return site != nullptr ? fallback + 1 : fallback;
+}
+
+int make_stream(unsigned seed, int k) {
+  sim::Rng rng(seed + k);  // D12: ad-hoc root + seed arithmetic
+  return k + rng_mark();
+}
+
+int rng_mark() { return 0; }
+
+}  // namespace hpc::fixture_epsilon

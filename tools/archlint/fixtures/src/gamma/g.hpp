@@ -7,6 +7,7 @@
 
 namespace hpc::fixture_gamma {
 
+// archlint: allow(dead-public-api): corpus filler, deliberately uncalled
 inline int gamma_value() { return 3; }
 
 }  // namespace hpc::fixture_gamma

@@ -1,10 +1,14 @@
 #include "lint.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "include_graph.hpp"
+#include "semantic.hpp"
+#include "symbols.hpp"
 
 namespace hpc::lint {
 
@@ -598,6 +602,11 @@ std::string_view id_of(Rule r) noexcept {
     case Rule::kIncludeCycle: return "include-cycle";
     case Rule::kFloatEq: return "float-eq";
     case Rule::kMutableGlobal: return "mutable-global";
+    case Rule::kNondetContainer: return "nondet-container";
+    case Rule::kEntropySource: return "entropy-source";
+    case Rule::kRngDiscipline: return "rng-discipline";
+    case Rule::kDynamicInitGlobal: return "dynamic-init-global";
+    case Rule::kDeadPublicApi: return "dead-public-api";
     case Rule::kIoError: return "io-error";
   }
   return "unknown";
@@ -608,6 +617,19 @@ bool rule_from_id(std::string_view id, Rule& out) noexcept {
     const Rule r = static_cast<Rule>(i);
     if (id_of(r) == id) {
       out = r;
+      return true;
+    }
+  }
+  // "D1".."D14" shorthand, matching the docs.  io-error has no number: it is
+  // not a style rule and cannot be toggled.
+  if (id.size() >= 2 && (id[0] == 'D' || id[0] == 'd')) {
+    int n = 0;
+    for (std::size_t i = 1; i < id.size(); ++i) {
+      if (id[i] < '0' || id[i] > '9') return false;
+      n = n * 10 + (id[i] - '0');
+    }
+    if (n >= 1 && n <= kRuleCount - 1) {
+      out = static_cast<Rule>(n - 1);
       return true;
     }
   }
@@ -703,21 +725,36 @@ std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
   Options file_opts{opts.rules};
-  std::vector<Finding> all;
-  std::vector<FileIncludes> includes;
-  includes.reserve(files.size());
   const bool graph_pass = !opts.layers_file.empty() &&
                           (opts.rules.contains(Rule::kLayerViolation) ||
                            opts.rules.contains(Rule::kIncludeCycle));
-  for (const fs::path& f : files) {
+  const bool semantic_pass = opts.rules.contains(Rule::kNondetContainer) ||
+                             opts.rules.contains(Rule::kEntropySource) ||
+                             opts.rules.contains(Rule::kRngDiscipline) ||
+                             opts.rules.contains(Rule::kDynamicInitGlobal) ||
+                             opts.rules.contains(Rule::kDeadPublicApi);
+
+  // Phase 1: read + lex + per-file rules + indexing.  One pre-sized slot per
+  // file, claimed off an atomic counter, so the merged result is identical
+  // at any job count — parallelism changes wall-clock only, never output.
+  struct Slot {
+    std::vector<Finding> findings;
+    FileIncludes includes;
+    FileSymbols symbols;
+    bool readable = false;
+  };
+  std::vector<Slot> slots(files.size());
+  const auto scan_one = [&](std::size_t i) {
+    const fs::path& f = files[i];
     const std::string rel = opts.root.empty()
                                 ? f.generic_string()
                                 : f.lexically_relative(opts.root).generic_string();
     const std::string report_path = rel.rfind("..", 0) == 0 ? f.generic_string() : rel;
+    Slot& slot = slots[i];
     std::ifstream in(f, std::ios::binary);
     if (!in) {
-      all.push_back(Finding{Rule::kIoError, report_path, 1, "cannot read file"});
-      continue;
+      slot.findings.push_back(Finding{Rule::kIoError, report_path, 1, "cannot read file"});
+      return;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
@@ -731,9 +768,55 @@ std::vector<Finding> lint_tree(const std::vector<std::filesystem::path>& roots,
     s.check_header_hygiene();
     s.check_float_eq();
     s.check_mutable_global();
-    all.insert(all.end(), std::make_move_iterator(s.findings.begin()),
-               std::make_move_iterator(s.findings.end()));
-    if (graph_pass) includes.push_back(extract_includes(report_path, lf));
+    slot.findings = std::move(s.findings);
+    slot.readable = true;
+    if (graph_pass) slot.includes = extract_includes(report_path, lf);
+    if (semantic_pass) slot.symbols = extract_symbols(report_path, lf);
+  };
+
+  const std::size_t jobs =
+      std::min<std::size_t>(std::max(opts.jobs, 1), std::max<std::size_t>(files.size(), 1));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) scan_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (std::size_t w = 0; w < jobs; ++w)
+      workers.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < files.size(); i = next.fetch_add(1))
+          scan_one(i);
+      });
+    for (std::thread& t : workers) t.join();
+  }
+
+  // Barrier: merge per-file results in file order, then run the tree-level
+  // passes over the deterministic merged views.
+  std::vector<Finding> all;
+  std::vector<FileIncludes> includes;
+  std::vector<FileSymbols> symbols;
+  if (graph_pass) includes.reserve(files.size());
+  if (semantic_pass) symbols.reserve(files.size());
+  for (Slot& slot : slots) {
+    all.insert(all.end(), std::make_move_iterator(slot.findings.begin()),
+               std::make_move_iterator(slot.findings.end()));
+    if (!slot.readable) continue;
+    if (graph_pass) includes.push_back(std::move(slot.includes));
+    if (semantic_pass) symbols.push_back(std::move(slot.symbols));
+  }
+
+  if (semantic_pass) {
+    SemanticConfig cfg;
+    std::string error;
+    if (!opts.semantics_file.empty() && !load_semantics(opts.semantics_file, cfg, error)) {
+      all.push_back(Finding{Rule::kIoError, opts.semantics_file.generic_string(), 1,
+                            "cannot load semantics config: " + error});
+    } else {
+      const SymbolIndex index = SymbolIndex::build(std::move(symbols));
+      std::vector<Finding> sem = check_semantics(index, opts.rules, cfg);
+      all.insert(all.end(), std::make_move_iterator(sem.begin()),
+                 std::make_move_iterator(sem.end()));
+    }
   }
 
   if (graph_pass) {

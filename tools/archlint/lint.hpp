@@ -53,10 +53,41 @@
 ///  - D9 `mutable-global`   no non-const namespace-scope variables in `src/`:
 ///                          hidden mutable state breaks replayability and
 ///                          makes runs order-dependent.
+///
+/// On top of the per-file passes, tree scans run a cross-TU *semantic* pass
+/// (see symbols.hpp / semantic.hpp): every file is lexed and indexed first
+/// (declarations, definitions, globals, type names, use sites), then five
+/// determinism-contract rules judge the whole project index at once:
+///
+///  - D10 `nondet-container`    any `std::unordered_*` container use, or a
+///                              `std::map`/`std::set` keyed on a pointer
+///                              type — iteration order depends on addresses,
+///                              which differ run to run.
+///  - D11 `entropy-source`      `std::random_device`, `*_clock::now`,
+///                              `time(`, `rand(`, `getenv` anywhere under
+///                              `src/` outside the configured allowlist
+///                              (tools/archlint/semantics.txt).
+///  - D12 `rng-discipline`      `sim::Rng` construction or seed arithmetic
+///                              outside `src/sim/`: substrates must derive
+///                              their streams via `Rng::child`, never mint
+///                              ad-hoc roots like `Rng(seed + k)`.
+///  - D13 `dynamic-init-global` namespace-scope objects in `src/` with
+///                              dynamic initializers and no
+///                              `constexpr`/`constinit` guarantee — the
+///                              classic static-init-order hazard, extending
+///                              D9 to const-but-runtime-initialized state.
+///  - D14 `dead-public-api`     functions declared in a `src/` header with
+///                              zero call/use sites across the entire
+///                              scanned tree.  Baseline-suppressed in CI so
+///                              existing debt ratchets down instead of
+///                              blocking.
+///
 ///  - `io-error`            not a style rule: a file that cannot be read
 ///                          reports this (and only this) id, and it can be
 ///                          neither disabled nor baselined away, so a
-///                          vanished file can never pass as "clean".
+///                          vanished file can never pass as "clean".  The
+///                          CLI exits 3 (not 1) when any is present, so CI
+///                          can tell "tree is dirty" from "scan is broken".
 ///
 /// Any rule can be suppressed for one line with an annotation on that line or
 /// the line above:
@@ -77,17 +108,24 @@ enum class Rule : int {
   kHeaderHygiene,   ///< D5: pragma once / hpc:: namespace / \file block
   kLayerViolation,  ///< D6: include crossing the declared layering spec
   kIncludeCycle,    ///< D7: cycle in the file-level include graph
-  kFloatEq,         ///< D8: raw ==/!= between floating-point operands
-  kMutableGlobal,   ///< D9: non-const namespace-scope variable in src/
-  kIoError,         ///< unreadable input; never maskable
+  kFloatEq,           ///< D8: raw ==/!= between floating-point operands
+  kMutableGlobal,     ///< D9: non-const namespace-scope variable in src/
+  kNondetContainer,   ///< D10: unordered container / pointer-keyed map or set
+  kEntropySource,     ///< D11: entropy source under src/ (getenv, ::now, ...)
+  kRngDiscipline,     ///< D12: ad-hoc Rng root or seed arithmetic outside src/sim
+  kDynamicInitGlobal, ///< D13: dynamic initializer at namespace scope in src/
+  kDeadPublicApi,     ///< D14: src/ header function with zero use sites
+  kIoError,           ///< unreadable input; never maskable
 };
 
-inline constexpr int kRuleCount = 10;
+inline constexpr int kRuleCount = 15;
 
 /// Stable textual id used in reports and `allow(...)` annotations.
 [[nodiscard]] std::string_view id_of(Rule r) noexcept;
 
-/// Reverse of id_of().  Returns false for unknown ids.
+/// Reverse of id_of().  Accepts both the textual ids ("dead-public-api")
+/// and the short rule numbers ("D14"), so `--enable D10,D11` works the way
+/// the docs spell the rules.  Returns false for unknown ids.
 [[nodiscard]] bool rule_from_id(std::string_view id, Rule& out) noexcept;
 
 /// Which rules run.  `io-error` is reported regardless of the set: an
@@ -121,7 +159,8 @@ struct Options {
 };
 
 /// Tree-scan options.  D6/D7 run only when `layers_file` is set (they need
-/// the whole scanned set, not one file).
+/// the whole scanned set, not one file); D10-D14 run whenever enabled (the
+/// index is built from the scanned set itself).
 struct TreeOptions {
   RuleSet rules = RuleSet::all();
   /// Repository root: findings and module names are reported relative to it.
@@ -129,6 +168,14 @@ struct TreeOptions {
   std::filesystem::path root;
   /// Layering spec (see tools/archlint/layers.txt).  Empty = skip D6/D7.
   std::filesystem::path layers_file;
+  /// Semantic-pass allowlist config (see tools/archlint/semantics.txt).
+  /// Empty = the built-in defaults (src/sim/rng.* may read entropy,
+  /// src/sim/ may construct Rng roots).
+  std::filesystem::path semantics_file;
+  /// Worker threads for phase 1 (read + lex + per-file rules + indexing).
+  /// Findings are merged and sorted after the barrier, so the report is
+  /// byte-identical at any job count.  Values < 2 scan serially.
+  int jobs = 1;
 };
 
 /// Does `archlint: allow(<rule>...)` on \p line or the line above cover \p r?

@@ -9,32 +9,43 @@
 #include "report.hpp"
 
 /// \file main.cpp
-/// archlint CLI (v2 engine).  Usage:
+/// archlint CLI (v3 engine).  Usage:
 ///
 ///     archlint [--root DIR] [--tree] [PATH...]
 ///              [--format text|json|sarif] [--output FILE]
 ///              [--baseline FILE] [--write-baseline FILE]
 ///              [--layers FILE | --no-layers]
+///              [--semantics FILE | --no-semantics-config]
 ///              [--enable RULE[,RULE...]] [--disable RULE[,RULE...]]
-///              [--check-sarif]
+///              [--jobs N] [--check-sarif]
 ///
 /// PATHs (files or directories, default: src tests bench examples tools)
 /// are resolved against --root (default: current directory) and scanned
-/// with the token-stream engine plus the include-graph passes (D6/D7,
-/// driven by the layering spec — default tools/archlint/layers.txt under
-/// the root when present).
+/// with the token-stream engine, the include-graph passes (D6/D7, driven by
+/// the layering spec — default tools/archlint/layers.txt under the root when
+/// present), and the cross-TU semantic pass (D10-D14: every file is indexed
+/// first, then the merged index is judged at once).
 ///
 ///  --format/--output   report format and destination (default: text to
 ///                      stderr; json/sarif default to stdout)
 ///  --baseline          suppress the findings listed in FILE; stale entries
 ///                      are reported so CI can insist the file shrinks
 ///  --write-baseline    write the current findings as a baseline and exit 0
-///  --enable/--disable  rule selection by id (enable starts from an empty
-///                      set; io-error is always on)
+///  --semantics         D11/D12 allowlist config (default:
+///                      tools/archlint/semantics.txt under the root when
+///                      present; --no-semantics-config forces the built-ins)
+///  --enable/--disable  rule selection by textual id or "D10" shorthand
+///                      (enable starts from an empty set; io-error is
+///                      always on)
+///  --jobs N            phase-1 worker threads (read/lex/per-file rules/
+///                      indexing); output is byte-identical at any N
 ///  --check-sarif       render SARIF, re-parse it, and verify every finding
 ///                      round-trips; exit 0 on success even with findings
 ///
-/// Exit status: 0 clean (or baseline-suppressed), 1 findings, 2 usage error.
+/// Exit status: 0 clean (or baseline-suppressed), 1 rule findings, 2 usage
+/// error, 3 when any io-error finding is present (the scan itself is broken
+/// — an unreadable file or config must not read as "tree is dirty", and can
+/// never be baselined into "clean").
 
 namespace {
 
@@ -44,7 +55,9 @@ void usage(std::FILE* to) {
                "                [--format text|json|sarif] [--output FILE]\n"
                "                [--baseline FILE] [--write-baseline FILE]\n"
                "                [--layers FILE | --no-layers]\n"
-               "                [--enable RULES] [--disable RULES] [--check-sarif]\n");
+               "                [--semantics FILE | --no-semantics-config]\n"
+               "                [--enable RULES] [--disable RULES]\n"
+               "                [--jobs N] [--check-sarif]\n");
 }
 
 bool split_rules(const std::string& list, std::vector<hpc::lint::Rule>& out) {
@@ -83,7 +96,10 @@ int main(int argc, char** argv) {
   std::string baseline_file;
   std::string write_baseline_file;
   std::string layers_file;
+  std::string semantics_file;
   bool no_layers = false;
+  bool no_semantics_config = false;
+  int jobs = 1;
   bool check_sarif = false;
   std::vector<Rule> enabled_rules;
   std::vector<Rule> disabled_rules;
@@ -115,6 +131,25 @@ int main(int argc, char** argv) {
       check_sarif = true;
     } else if (arg == "--no-layers") {
       no_layers = true;
+    } else if (arg == "--no-semantics-config") {
+      no_semantics_config = true;
+    } else if (arg.rfind("--semantics", 0) == 0) {
+      semantics_file = value_of("--semantics");
+      if (semantics_file.empty()) return 2;
+    } else if (arg.rfind("--jobs", 0) == 0) {
+      const std::string v = value_of("--jobs");
+      jobs = 0;
+      for (const char c : v) {
+        if (c < '0' || c > '9') {
+          jobs = 0;
+          break;
+        }
+        jobs = jobs * 10 + (c - '0');
+      }
+      if (jobs < 1 || jobs > 256) {
+        std::fprintf(stderr, "archlint: --jobs must be an integer in [1, 256]\n");
+        return 2;
+      }
     } else if (arg.rfind("--format", 0) == 0) {
       const std::string v = value_of("--format");
       if (v.empty() || !format_from_name(v, format)) {
@@ -186,6 +221,19 @@ int main(int argc, char** argv) {
       opts.layers_file = root / "tools/archlint/layers.txt";
     }
   }
+  if (!no_semantics_config) {
+    if (!semantics_file.empty()) {
+      opts.semantics_file = root / semantics_file;
+      if (!fs::exists(opts.semantics_file)) {
+        std::fprintf(stderr, "archlint: semantics config '%s' does not exist\n",
+                     opts.semantics_file.string().c_str());
+        return 2;
+      }
+    } else if (fs::exists(root / "tools/archlint/semantics.txt")) {
+      opts.semantics_file = root / "tools/archlint/semantics.txt";
+    }
+  }
+  opts.jobs = jobs;
 
   std::vector<Finding> findings = lint_tree(roots, opts);
 
@@ -246,5 +294,5 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "archlint: %zu violation(s), %zu baseline-suppressed, %zu stale baseline entr%s\n",
                findings.size(), suppressed, stale, stale == 1 ? "y" : "ies");
-  return findings.empty() ? 0 : 1;
+  return exit_code_for(findings);
 }

@@ -41,6 +41,16 @@ std::string_view rule_description(Rule r) noexcept {
       return "raw ==/!= between floating-point operands";
     case Rule::kMutableGlobal:
       return "mutable namespace-scope variable (hidden replayability hazard)";
+    case Rule::kNondetContainer:
+      return "container iterating in address/hash order (unordered_* or pointer-keyed map/set)";
+    case Rule::kEntropySource:
+      return "entropy source under src/ (random_device, *_clock::now, time(, rand(, getenv)";
+    case Rule::kRngDiscipline:
+      return "ad-hoc Rng root or seed arithmetic outside src/sim (use Rng::child)";
+    case Rule::kDynamicInitGlobal:
+      return "namespace-scope object with a dynamic initializer (static-init-order hazard)";
+    case Rule::kDeadPublicApi:
+      return "src/ header function with zero call/use sites in the scanned tree";
     case Rule::kIoError:
       return "input file could not be read (never maskable)";
   }
@@ -56,7 +66,7 @@ std::string render_text(const std::vector<Finding>& findings) {
 }
 
 std::string render_json(const std::vector<Finding>& findings) {
-  std::string out = "{\n  \"tool\": \"archlint\",\n  \"version\": 2,\n  \"findings\": [";
+  std::string out = "{\n  \"tool\": \"archlint\",\n  \"version\": 3,\n  \"findings\": [";
   for (std::size_t i = 0; i < findings.size(); ++i) {
     const Finding& f = findings[i];
     out += i == 0 ? "\n" : ",\n";
@@ -77,7 +87,7 @@ std::string render_sarif(const std::vector<Finding>& findings) {
   out += "  \"runs\": [\n    {\n";
   out += "      \"tool\": {\n        \"driver\": {\n";
   out += "          \"name\": \"archlint\",\n";
-  out += "          \"version\": \"2.0.0\",\n";
+  out += "          \"version\": \"3.0.0\",\n";
   out += "          \"informationUri\": \"https://example.invalid/archipelago/archlint\",\n";
   out += "          \"rules\": [";
   for (int i = 0; i < kRuleCount; ++i) {
@@ -174,9 +184,19 @@ std::string Baseline::serialize() const {
   std::string out =
       "# archlint baseline: known findings suppressed during the transition to\n"
       "# new rules.  Regenerate with `archlint --write-baseline <file>`; CI\n"
-      "# fails unless this file is empty or shrinking.  Format: rule\\tpath\\tline\n";
+      "# forbids stale entries and new debt for rules that existed at HEAD,\n"
+      "# so this file only ever ratchets down.  Format: rule\\tpath\\tline\n";
   for (const std::string& l : lines) out += l + "\n";
   return out;
+}
+
+int exit_code_for(const std::vector<Finding>& findings) noexcept {
+  bool any = false;
+  for (const Finding& f : findings) {
+    if (f.rule == Rule::kIoError) return 3;
+    any = true;
+  }
+  return any ? 1 : 0;
 }
 
 Baseline Baseline::from_findings(const std::vector<Finding>& findings) {

@@ -78,6 +78,12 @@ struct BaselineResult {
 [[nodiscard]] BaselineResult apply_baseline(std::vector<Finding> findings,
                                             const Baseline& baseline);
 
+/// CLI exit code for a finding list (after baseline subtraction): 0 clean,
+/// 1 rule findings, 3 when any `io-error` finding is present — an unreadable
+/// input means the *scan* is broken, which CI must distinguish from "the
+/// tree is dirty".  (2 is reserved for usage errors.)
+[[nodiscard]] int exit_code_for(const std::vector<Finding>& findings) noexcept;
+
 /// Verifies that \p sarif (as produced by render(kSarif)) parses as strict
 /// JSON and round-trips \p findings exactly.  On failure returns false and
 /// fills \p error.

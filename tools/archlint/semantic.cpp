@@ -1,0 +1,220 @@
+#include "semantic.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hpc::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+[[nodiscard]] bool under_src(std::string_view path) { return starts_with(path, "src/"); }
+
+[[nodiscard]] bool is_header(std::string_view path) {
+  return path.size() >= 2 &&
+         (path.ends_with(".hpp") || path.ends_with(".h") || path.ends_with(".hh"));
+}
+
+[[nodiscard]] bool allowed_prefix(const std::vector<std::string>& prefixes,
+                                  std::string_view path) {
+  for (const std::string& p : prefixes)
+    if (starts_with(path, p)) return true;
+  return false;
+}
+
+[[nodiscard]] std::string trim(std::string s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  const auto e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  return s.substr(b, e - b + 1);
+}
+
+/// Is the joined type head composed only of builtin-arithmetic / size-type /
+/// pointer tokens?  Such globals have constant (or zero) initialization when
+/// their initializer is literal-only, so D13 leaves them to D9.
+[[nodiscard]] bool fundamental_type_head(const std::string& head) {
+  std::istringstream in(head);
+  std::string w;
+  bool any = false;
+  while (in >> w) {
+    any = true;
+    static const std::string_view kOk[] = {
+        "const",    "constexpr", "constinit", "volatile", "unsigned", "signed",
+        "int",      "long",      "short",     "char",     "bool",     "float",
+        "double",   "void",      "wchar_t",   "char8_t",  "char16_t", "char32_t",
+        "std",      "size_t",    "ptrdiff_t", "int8_t",   "int16_t",  "int32_t",
+        "int64_t",  "uint8_t",   "uint16_t",  "uint32_t", "uint64_t", "uintptr_t",
+        "intptr_t", "uintmax_t", "intmax_t",  "*",        "&",        "::"};
+    bool ok = false;
+    for (const std::string_view k : kOk)
+      if (w == k) {
+        ok = true;
+        break;
+      }
+    if (!ok) return false;
+  }
+  return any;
+}
+
+void check_containers(const FileSymbols& f, std::vector<Finding>& out) {
+  for (const FileSymbols::ContainerUse& u : f.containers) {
+    if (u.allowed) continue;
+    if (u.unordered) {
+      out.push_back({Rule::kNondetContainer, f.path, u.line,
+                     "std::" + u.container +
+                         " iterates in hash/address order, which differs run to run; use the "
+                         "ordered std:: equivalent or a sorted vector"});
+    } else if (u.key_pointer) {
+      out.push_back({Rule::kNondetContainer, f.path, u.line,
+                     "std::" + u.container + " keyed on pointer type '" + u.key +
+                         "': iteration order depends on allocation addresses; key on a stable "
+                         "id instead"});
+    }
+  }
+}
+
+void check_entropy(const FileSymbols& f, const SemanticConfig& cfg,
+                   std::vector<Finding>& out) {
+  if (!under_src(f.path) || allowed_prefix(cfg.entropy_allow, f.path)) return;
+  for (const FileSymbols::EntropyUse& u : f.entropy) {
+    if (u.allowed) continue;
+    out.push_back({Rule::kEntropySource, f.path, u.line,
+                   "'" + u.what +
+                       "' reads ambient entropy; simulation code takes randomness from "
+                       "sim::Rng and time from the simulated clock"});
+  }
+}
+
+void check_rng(const FileSymbols& f, const SemanticConfig& cfg, std::vector<Finding>& out) {
+  if (!under_src(f.path) || allowed_prefix(cfg.rng_allow, f.path)) return;
+  for (const FileSymbols::RngUse& u : f.rng) {
+    if (u.allowed) continue;
+    out.push_back({Rule::kRngDiscipline, f.path, u.line,
+                   u.what +
+                       " outside src/sim/: derive substreams with Rng::child(label) instead "
+                       "of minting ad-hoc roots"});
+  }
+}
+
+void check_globals(const FileSymbols& f, std::vector<Finding>& out) {
+  if (!under_src(f.path)) return;
+  for (const FileSymbols::Global& g : f.globals) {
+    if (g.allowed || g.is_constexpr || g.is_extern_decl) continue;
+    const bool fundamental = fundamental_type_head(g.type_head);
+    const bool dynamic_init =
+        !fundamental || (g.has_initializer && !g.init_literal_only);
+    if (!dynamic_init) continue;
+    out.push_back({Rule::kDynamicInitGlobal, f.path, g.line,
+                   "namespace-scope '" + g.name +
+                       "' runs a dynamic initializer before main() (static-init-order "
+                       "hazard); make it constexpr/constinit or a function-local static"});
+  }
+}
+
+void check_dead_api(const SymbolIndex& index, std::vector<Finding>& out) {
+  for (const FileSymbols& f : index.files) {
+    if (!under_src(f.path) || !is_header(f.path)) continue;
+    for (const FileSymbols::Func& fn : f.functions) {
+      if (fn.allowed || fn.is_operator || fn.is_defaulted) continue;
+      if (fn.name.empty() || fn.name == "main") continue;
+      if (fn.name[0] == '~') continue;                       // destructor
+      if (index.type_names.count(fn.name) != 0) continue;    // constructor
+      if (index.uses_of(fn.name) != 0) continue;
+      const std::string qual =
+          fn.scope.empty() ? fn.name : fn.scope + "::" + fn.name;
+      out.push_back({Rule::kDeadPublicApi, f.path, fn.line,
+                     "'" + qual +
+                         "' is declared in a src/ header but has no call/use site anywhere "
+                         "in the scanned tree; remove it or add a caller/test"});
+    }
+  }
+}
+
+}  // namespace
+
+bool parse_semantics(std::string_view text, SemanticConfig& out, std::string& error) {
+  std::vector<std::string> entropy;
+  std::vector<std::string> rng;
+  bool have_entropy = false;
+  bool have_rng = false;
+
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string line(text.substr(pos, nl == std::string_view::npos ? nl : nl - pos));
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(std::move(line));
+    if (line.empty()) continue;
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      error = "line " + std::to_string(lineno) + ": expected 'key: values'";
+      return false;
+    }
+    const std::string key = trim(line.substr(0, colon));
+    std::istringstream values(line.substr(colon + 1));
+    std::vector<std::string>* target = nullptr;
+    if (key == "entropy-allow") {
+      target = &entropy;
+      have_entropy = true;
+    } else if (key == "rng-allow") {
+      target = &rng;
+      have_rng = true;
+    } else {
+      error = "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
+      return false;
+    }
+    std::string v;
+    while (values >> v) target->push_back(v);
+  }
+
+  if (have_entropy) out.entropy_allow = std::move(entropy);
+  if (have_rng) out.rng_allow = std::move(rng);
+  return true;
+}
+
+bool load_semantics(const std::filesystem::path& file, SemanticConfig& out,
+                    std::string& error) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(file, ec) || ec) {
+    // Opening a directory with ifstream "succeeds" on Linux and reads as
+    // empty, which would silently swallow the whole config.
+    error = "semantics file '" + file.string() + "' is not a readable file";
+    return false;
+  }
+  std::ifstream in(file);
+  if (!in) {
+    error = "cannot open semantics file '" + file.string() + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    error = "read error on semantics file '" + file.string() + "'";
+    return false;
+  }
+  return parse_semantics(buf.str(), out, error);
+}
+
+std::vector<Finding> check_semantics(const SymbolIndex& index, const RuleSet& rules,
+                                     const SemanticConfig& config) {
+  std::vector<Finding> out;
+  for (const FileSymbols& f : index.files) {
+    if (rules.contains(Rule::kNondetContainer)) check_containers(f, out);
+    if (rules.contains(Rule::kEntropySource)) check_entropy(f, config, out);
+    if (rules.contains(Rule::kRngDiscipline)) check_rng(f, config, out);
+    if (rules.contains(Rule::kDynamicInitGlobal)) check_globals(f, out);
+  }
+  if (rules.contains(Rule::kDeadPublicApi)) check_dead_api(index, out);
+  return out;
+}
+
+}  // namespace hpc::lint

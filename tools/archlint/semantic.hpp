@@ -1,0 +1,86 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+#include "symbols.hpp"
+
+/// \file semantic.hpp
+/// archlint v3's determinism-contract rules D10-D14, judged over the merged
+/// cross-TU SymbolIndex (symbols.hpp) instead of one file's token stream:
+///
+///  - D10 `nondet-container`    any `std::unordered_*` associative container,
+///                              or a `std::map`/`std::set`/`multi*` keyed on
+///                              a pointer type.  Both iterate in an order
+///                              derived from addresses, which differ run to
+///                              run — the exact hazard the engine digest
+///                              guarantee cannot survive.
+///  - D11 `entropy-source`      `std::random_device`, `system_clock` /
+///                              `steady_clock` / `high_resolution_clock`
+///                              `::now`, `time(`, `rand(`/`srand(`, `getenv`
+///                              anywhere under `src/`.  Simulation code gets
+///                              randomness from `sim::Rng` and time from the
+///                              simulated clock; the host environment is not
+///                              an input.
+///  - D12 `rng-discipline`      `Rng` construction or seed arithmetic
+///                              (`seed + k` style) outside `src/sim/`.
+///                              Substrates must derive their streams with
+///                              `Rng::child(label)` so stream identity is
+///                              structural, not positional.
+///  - D13 `dynamic-init-global` namespace-scope objects under `src/` whose
+///                              initializer runs code before main() without a
+///                              `constexpr`/`constinit` guarantee — the
+///                              static-initialization-order hazard D9 does
+///                              not see when the global is `const`.
+///  - D14 `dead-public-api`     functions declared in a `src/` header with
+///                              zero call/use sites across the whole scanned
+///                              tree.  Judged from the index's mention
+///                              counts; every heuristic errs toward "alive"
+///                              (operators, constructors, `main`, defaulted
+///                              members are never flagged).  Intended to be
+///                              baseline-ratcheted, not zero from day one.
+///
+/// D11/D12 take path-prefix allowlists from a layers.txt-style config file
+/// (tools/archlint/semantics.txt); the built-in defaults match the repo
+/// layout (`src/sim/rng.*` may read entropy, `src/sim/` may mint Rng roots).
+
+namespace hpc::lint {
+
+/// Path-prefix allowlists for the semantic pass.  Prefixes are compared
+/// against the repo-relative path with '/' separators, so `src/sim/` covers
+/// the module and `src/sim/rng.` covers exactly rng.hpp/rng.cpp.
+struct SemanticConfig {
+  /// Files allowed to read ambient entropy (D11 skips them).
+  std::vector<std::string> entropy_allow = {"src/sim/rng."};
+  /// Files allowed to construct Rng roots / do seed arithmetic (D12).
+  std::vector<std::string> rng_allow = {"src/sim/"};
+};
+
+/// Parses semantics.txt text:
+///
+///     # comment
+///     entropy-allow: src/sim/rng.
+///     rng-allow: src/sim/ tools/archlint/fixtures/
+///
+/// A key that appears replaces that built-in default (empty value list =
+/// allow nothing).  Unknown keys are errors so typos cannot silently widen
+/// the contract.
+[[nodiscard]] bool parse_semantics(std::string_view text, SemanticConfig& out,
+                                   std::string& error);
+
+/// Loads and parses a semantics file from disk.
+[[nodiscard]] bool load_semantics(const std::filesystem::path& file, SemanticConfig& out,
+                                  std::string& error);
+
+/// Runs D10-D14 over the merged index.  Only rules present in \p rules fire;
+/// per-site `archlint: allow(...)` annotations were already resolved by the
+/// extractor (the `allowed` flags).  Findings come back unsorted; the tree
+/// scan sorts the combined set.
+[[nodiscard]] std::vector<Finding> check_semantics(const SymbolIndex& index,
+                                                   const RuleSet& rules,
+                                                   const SemanticConfig& config);
+
+}  // namespace hpc::lint

@@ -1,0 +1,631 @@
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lint.hpp"
+
+/// \file symbols.cpp
+/// The cross-TU symbol extractor: a scope-aware, type-unaware walk of the
+/// lexed token stream.  Three passes per file:
+///
+///  1. mention counting — every identifier token (directives excluded);
+///  2. pattern uses — std:: container instantiations, entropy reads, Rng
+///     construction and seed arithmetic (flat scan, no scope needed);
+///  3. structural walk — namespace/class scopes, statement splitting with
+///     constructor-initializer-list awareness, classification of each
+///     declaration-scope statement as namespace / type / function /
+///     variable.
+///
+/// Heuristics err toward recording *less*: a statement that does not look
+/// like a declaration contributes mentions only, which can only keep an API
+/// alive (D14) or leave a global unflagged — never invent a finding.
+
+namespace hpc::lint {
+
+namespace {
+
+bool word_in(const std::string& w, std::initializer_list<std::string_view> set) {
+  for (const std::string_view s : set)
+    if (w == s) return true;
+  return false;
+}
+
+/// Declaration scenery that may precede a type or declarator.
+bool is_specifier(const std::string& w) {
+  return word_in(w, {"inline", "static", "constexpr", "constinit", "consteval", "extern",
+                     "virtual", "explicit", "friend", "typename", "mutable", "thread_local",
+                     "export", "register", "volatile"});
+}
+
+/// Words that can never be a declared function's name.
+bool is_reserved_name(const std::string& w) {
+  return word_in(w, {"if",       "for",     "while",    "switch",   "return",  "sizeof",
+                     "alignof",  "alignas", "decltype", "noexcept", "catch",   "new",
+                     "delete",   "throw",   "co_await", "co_return", "co_yield", "requires",
+                     "static_assert", "case", "do", "else", "goto", "int", "long", "short",
+                     "char", "bool", "float", "double", "void", "unsigned", "signed", "auto",
+                     "wchar_t", "char8_t", "char16_t", "char32_t", "const", "constexpr"});
+}
+
+bool is_container_word(const std::string& w) {
+  return word_in(w, {"map", "set", "multimap", "multiset", "unordered_map", "unordered_set",
+                     "unordered_multimap", "unordered_multiset"});
+}
+
+bool contains_seed(const std::string& w) {
+  std::string low;
+  low.reserve(w.size());
+  for (const char c : w) low += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  return low.find("seed") != std::string::npos;
+}
+
+bool is_arith_punct(const std::string& w) {
+  return word_in(w, {"+", "-", "*", "^", "%", "<<", ">>", "+=", "-=", "*=", "^=", "%="});
+}
+
+class Extractor {
+ public:
+  Extractor(std::string path, const LexedFile& lf) : lf_(lf) { out_.path = std::move(path); }
+
+  FileSymbols run() {
+    collect_mentions();
+    collect_uses();
+    walk();
+    return std::move(out_);
+  }
+
+ private:
+  struct Frame {
+    enum Kind { kNamespace, kType, kExtern } kind = kNamespace;
+    std::string name;
+  };
+
+  const LexedFile& lf_;
+  FileSymbols out_;
+  std::vector<Frame> stack_;
+
+  [[nodiscard]] std::size_t ntok() const noexcept { return lf_.tokens.size(); }
+  [[nodiscard]] const Token& tok(std::size_t i) const noexcept { return lf_.tokens[i]; }
+  [[nodiscard]] bool is(std::size_t i, std::string_view text) const noexcept {
+    return i < ntok() && tok(i).text == text;
+  }
+  [[nodiscard]] bool is_ident(std::size_t i) const noexcept {
+    return i < ntok() && tok(i).kind == TokKind::kIdent;
+  }
+
+  [[nodiscard]] std::string current_scope() const {
+    std::string s;
+    for (const Frame& f : stack_) {
+      if (f.name.empty()) continue;
+      if (!s.empty()) s += "::";
+      s += f.name;
+    }
+    return s;
+  }
+
+  // -- pass 1: mentions ------------------------------------------------------
+
+  void collect_mentions() {
+    std::map<std::string, std::size_t> counts;
+    for (const Token& t : lf_.tokens)
+      if (t.kind == TokKind::kIdent) ++counts[t.text];
+    out_.mentions.assign(counts.begin(), counts.end());
+  }
+
+  // -- pass 2: pattern uses --------------------------------------------------
+
+  void add_entropy(std::string what, std::size_t line) {
+    out_.entropy.push_back(
+        {std::move(what), line, line_allows(lf_, Rule::kEntropySource, line)});
+  }
+
+  void add_rng(std::string what, std::size_t line) {
+    out_.rng.push_back({std::move(what), line, line_allows(lf_, Rule::kRngDiscipline, line)});
+  }
+
+  /// Parses the first template argument after the '<' at \p open into \p u.
+  void parse_first_arg(std::size_t open, FileSymbols::ContainerUse& u) const {
+    int angle = 0;
+    int depth = 0;
+    for (std::size_t j = open; j < ntok(); ++j) {
+      const std::string& w = tok(j).text;
+      if (tok(j).kind == TokKind::kPunct) {
+        if (w == "<") {
+          ++angle;
+          if (angle == 1) continue;  // the container's own '<'
+        } else if (w == ">") {
+          if (--angle <= 0) break;
+        } else if (w == ">>") {
+          angle -= 2;
+          if (angle <= 0) break;
+        } else if (w == "(" || w == "[") {
+          ++depth;
+        } else if (w == ")" || w == "]") {
+          if (depth > 0) --depth;
+        } else if (w == "," && angle == 1 && depth == 0) {
+          break;  // end of the key argument
+        }
+        if (w == "*" && angle == 1 && depth == 0) u.key_pointer = true;
+      }
+      if (!u.key.empty()) u.key += ' ';
+      u.key += w;
+    }
+  }
+
+  void collect_uses() {
+    for (std::size_t i = 0; i < ntok(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != TokKind::kIdent) continue;
+      const std::string& w = t.text;
+
+      if (is_container_word(w) && i >= 2 && is(i - 1, "::") && is_ident(i - 2) &&
+          tok(i - 2).text == "std") {
+        FileSymbols::ContainerUse u;
+        u.container = w;
+        u.line = t.line;
+        u.unordered = w.rfind("unordered_", 0) == 0;
+        if (is(i + 1, "<")) parse_first_arg(i + 1, u);
+        u.allowed = line_allows(lf_, Rule::kNondetContainer, t.line);
+        out_.containers.push_back(std::move(u));
+        continue;
+      }
+
+      // `obj.time(...)`, `Clock::time(...)`, `~Rng()` are member access /
+      // destructors, not entropy reads or root minting — but a leading
+      // `std::` is qualification of the real thing and must still count.
+      const bool member_access =
+          i > 0 &&
+          (is(i - 1, ".") || is(i - 1, "->") || is(i - 1, "~") ||
+           (is(i - 1, "::") && !(i >= 2 && is_ident(i - 2) && tok(i - 2).text == "std")));
+      if (w == "random_device") {
+        add_entropy("std::random_device", t.line);
+      } else if (w == "getenv" || w == "secure_getenv") {
+        add_entropy(w, t.line);
+      } else if ((w == "rand" || w == "srand") && is(i + 1, "(") && !member_access) {
+        add_entropy(w + "()", t.line);
+      } else if (w == "time" && is(i + 1, "(") && !is(i + 2, ")") && !member_access) {
+        add_entropy("time()", t.line);
+      } else if (w == "system_clock" || w == "steady_clock" || w == "high_resolution_clock") {
+        if (is(i + 1, "::") && is_ident(i + 2) && tok(i + 2).text == "now")
+          add_entropy(w + "::now", t.line);
+        else
+          add_entropy(w, t.line);
+      }
+
+      // For Rng the qualified spelling (`sim::Rng(...)`) is the canonical
+      // violation, so only a destructor tilde suppresses the pattern;
+      // `Rng::child(...)` never matches (next token is "::", not a call).
+      const bool dtor_tilde = i > 0 && is(i - 1, "~");
+      if (w == "Rng" && !dtor_tilde) {
+        if (is(i + 1, "(") || is(i + 1, "{")) {
+          add_rng("Rng(...) construction", t.line);
+        } else if (is_ident(i + 1) && (is(i + 2, "(") || is(i + 2, "{")) && !is(i + 3, ")") &&
+                   !is(i + 3, "}")) {
+          add_rng("Rng " + tok(i + 1).text + "(...) construction", t.line);
+        }
+      }
+      if (contains_seed(w)) {
+        const bool prev_arith = i > 0 && tok(i - 1).kind == TokKind::kPunct &&
+                                is_arith_punct(tok(i - 1).text);
+        const bool next_arith = i + 1 < ntok() && tok(i + 1).kind == TokKind::kPunct &&
+                                is_arith_punct(tok(i + 1).text);
+        if (prev_arith || next_arith) add_rng("seed arithmetic ('" + w + "')", t.line);
+      }
+    }
+  }
+
+  // -- pass 3: structural walk -----------------------------------------------
+
+  /// \p j indexes a '{'; returns the index just past its matching '}'.
+  [[nodiscard]] std::size_t skip_braces(std::size_t j) const {
+    int depth = 0;
+    for (; j < ntok(); ++j) {
+      if (tok(j).kind != TokKind::kPunct) continue;
+      if (tok(j).text == "{") ++depth;
+      else if (tok(j).text == "}" && --depth == 0) return j + 1;
+    }
+    return j;
+  }
+
+  /// \p j indexes the first '[' of an attribute; returns the index past it.
+  [[nodiscard]] std::size_t skip_attr(std::size_t j) const {
+    int depth = 0;
+    for (; j < ntok(); ++j) {
+      if (tok(j).text == "[") ++depth;
+      else if (tok(j).text == "]" && --depth == 0) return j + 1;
+    }
+    return j;
+  }
+
+  /// \p j indexes a '('; returns the index just past its matching ')'.
+  [[nodiscard]] std::size_t skip_parens(std::size_t j) const {
+    int depth = 0;
+    for (; j < ntok(); ++j) {
+      if (tok(j).text == "(") ++depth;
+      else if (tok(j).text == ")" && --depth == 0) return j + 1;
+    }
+    return j;
+  }
+
+  /// \p j indexes a '<'; returns the index just past its matching '>'.
+  [[nodiscard]] std::size_t skip_angles(std::size_t j) const {
+    int depth = 0;
+    for (; j < ntok(); ++j) {
+      const std::string& w = tok(j).text;
+      if (w == "<") ++depth;
+      else if (w == ">") {
+        if (--depth == 0) return j + 1;
+      } else if (w == ">>") {
+        depth -= 2;
+        if (depth <= 0) return j + 1;
+      }
+    }
+    return j;
+  }
+
+  /// Finds the end of the declaration-scope statement starting at \p b.
+  /// Sets \p delim to the terminating token (';', '{', or '}') and returns
+  /// its index; returns ntok() when the tail is unterminated.  Constructor
+  /// member-initializer brace-inits (`Foo() : a_{1} {`) are treated as
+  /// nested so the function-body '{' is the one that terminates.
+  [[nodiscard]] std::size_t statement_end(std::size_t b, char& delim) const {
+    int depth = 0;           // () and []
+    bool seen_close = false;  // a parameter list closed at top level
+    bool init_list = false;   // past `) :` — constructor initializers
+    for (std::size_t j = b; j < ntok(); ++j) {
+      const Token& t = tok(j);
+      if (t.kind != TokKind::kPunct) continue;
+      const std::string& w = t.text;
+      if (w == "(" || w == "[") {
+        ++depth;
+      } else if (w == ")") {
+        if (depth > 0 && --depth == 0) seen_close = true;
+      } else if (w == "]") {
+        if (depth > 0) --depth;
+      } else if (w == ":" && depth == 0 && seen_close) {
+        init_list = true;
+      } else if (depth == 0 && (w == ";" || w == "}")) {
+        delim = w[0];
+        return j;
+      } else if (w == "{" && depth == 0) {
+        if (init_list && j > b &&
+            (is_ident(j - 1) || is(j - 1, ",") || is(j - 1, ":") || is(j - 1, ">"))) {
+          // member brace-init inside the ctor-init list: skip it inline
+          std::size_t close = skip_braces(j);
+          if (close == 0 || close <= j) break;
+          j = close - 1;
+          continue;
+        }
+        delim = '{';
+        return j;
+      }
+    }
+    delim = '\0';
+    return ntok();
+  }
+
+  void walk() {
+    std::size_t i = 0;
+    while (i < ntok()) {
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kDirective || (t.kind == TokKind::kPunct && t.text == ";")) {
+        ++i;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        if (!stack_.empty()) stack_.pop_back();
+        ++i;
+        continue;
+      }
+      char delim = '\0';
+      const std::size_t e = statement_end(i, delim);
+      if (e >= ntok()) break;  // unterminated tail
+      if (delim == '}') {      // malformed fragment; resync at the close
+        i = e;
+        continue;
+      }
+      i = classify(i, e, delim);
+    }
+  }
+
+  /// Consumes a statement nothing should be extracted from.
+  [[nodiscard]] std::size_t skip_statement(std::size_t e, char delim) const {
+    return delim == '{' ? skip_braces(e) : e + 1;
+  }
+
+  [[nodiscard]] std::size_t classify(std::size_t b, std::size_t e, char delim) {
+    // `public:` / `private:` / `protected:` prefixes inside class bodies.
+    while (b + 1 < e && is_ident(b) &&
+           word_in(tok(b).text, {"public", "private", "protected"}) && is(b + 1, ":"))
+      b += 2;
+    if (b >= e) return e + 1;
+
+    const std::string& head = tok(b).text;
+    if (head == "extern" && delim == '{' && b + 1 < e &&
+        tok(b + 1).kind == TokKind::kString) {
+      stack_.push_back(Frame{Frame::kExtern, ""});  // extern "C" { ... }
+      return e + 1;
+    }
+    if (word_in(head, {"using", "typedef", "static_assert", "friend", "asm", "concept",
+                       "import", "module", "goto"}))
+      return skip_statement(e, delim);
+
+    // `template <...>` prefix: classify what follows it.
+    std::size_t p = b;
+    if (head == "template" && is(b + 1, "<")) {
+      p = skip_angles(b + 1);
+      if (p >= e) return skip_statement(e, delim);
+    }
+
+    // Strip declaration scenery; a friend declaration is never extracted.
+    bool saw_friend = false;
+    while (p < e) {
+      if (is_ident(p) && is_specifier(tok(p).text)) {
+        saw_friend = saw_friend || tok(p).text == "friend";
+        ++p;
+        continue;
+      }
+      if (is(p, "[") && is(p + 1, "[")) {
+        p = skip_attr(p);
+        continue;
+      }
+      if (is_ident(p) && tok(p).text == "alignas" && is(p + 1, "(")) {
+        p = skip_parens(p + 1);
+        continue;
+      }
+      break;
+    }
+    if (p >= e) return skip_statement(e, delim);
+    if (saw_friend) return skip_statement(e, delim);
+
+    const std::string& key = tok(p).text;
+    if (key == "namespace") return enter_namespace(p, e, delim);
+    if (key == "class" || key == "struct" || key == "union" || key == "enum")
+      return enter_type(p, e, delim);
+
+    std::size_t name_idx = e;
+    const std::size_t paren = find_fn_paren(p, e, name_idx);
+    if (paren < e) return record_function(b, p, name_idx, paren, e, delim);
+    return record_variable(b, p, e, delim);
+  }
+
+  [[nodiscard]] std::size_t enter_namespace(std::size_t p, std::size_t e, char delim) {
+    if (delim != '{') return e + 1;  // alias (`namespace a = b;`) or malformed
+    std::string name;
+    for (std::size_t j = p + 1; j < e; ++j)
+      if (is_ident(j)) {
+        if (!name.empty()) name += "::";
+        name += tok(j).text;
+      }
+    stack_.push_back(Frame{Frame::kNamespace, std::move(name)});
+    return e + 1;
+  }
+
+  [[nodiscard]] std::size_t enter_type(std::size_t p, std::size_t e, char delim) {
+    const std::string key = tok(p).text;
+    std::size_t q = p + 1;
+    if (key == "enum" && q < e && is_ident(q) &&
+        (tok(q).text == "class" || tok(q).text == "struct"))
+      ++q;
+    while (q < e && is(q, "[") && is(q + 1, "[")) q = skip_attr(q);
+    std::string name;
+    std::size_t name_line = tok(p).line;
+    if (q < e && is_ident(q)) {
+      name = tok(q).text;
+      name_line = tok(q).line;
+    }
+    if (!name.empty()) out_.types.push_back({name, name_line});
+    if (delim != '{') return e + 1;  // forward declaration / member pointer decl
+    if (key == "enum") return skip_braces(e);  // enumerators are not indexed
+    stack_.push_back(Frame{Frame::kType, std::move(name)});
+    return e + 1;  // walk the members
+  }
+
+  /// Finds the declarator '(' at nesting level 0 in [p, e).  On success
+  /// returns its index and sets \p name_idx to the function-name token
+  /// (the ident, or the punctuator of an `operator<` style name).  Stops at
+  /// a top-level '=' (everything past it is an initializer, so a '(' there
+  /// is a call).  Returns \p e when the statement is not a function.
+  [[nodiscard]] std::size_t find_fn_paren(std::size_t p, std::size_t e,
+                                          std::size_t& name_idx) const {
+    int depth = 0;  // (), [], and best-effort <>
+    for (std::size_t j = p; j < e; ++j) {
+      const Token& t = tok(j);
+      if (t.kind != TokKind::kPunct) continue;
+      const std::string& w = t.text;
+      const bool after_operator = j > p && is_ident(j - 1) && tok(j - 1).text == "operator";
+      if (w == "(") {
+        if (depth == 0 && j > p) {
+          if (is_ident(j - 1)) {
+            const std::string& cand = tok(j - 1).text;
+            if (cand == "operator" || !is_reserved_name(cand)) {
+              name_idx = j - 1;
+              return j;
+            }
+          } else if (j >= 2 && is_ident(j - 2) && tok(j - 2).text == "operator") {
+            name_idx = j - 1;  // operator== and friends: the punct token
+            return j;
+          }
+        }
+        ++depth;
+      } else if (w == ")" || w == "]") {
+        if (depth > 0) --depth;
+      } else if (w == "[") {
+        ++depth;
+      } else if (w == "=" && depth == 0) {
+        return e;  // initializer follows; not a function declaration
+      } else if (w == "<" && !after_operator) {
+        ++depth;
+      } else if (w == ">" && !after_operator) {
+        if (depth > 0) --depth;
+      } else if (w == ">>" && !after_operator) {
+        depth -= depth >= 2 ? 2 : depth;
+      }
+    }
+    return e;
+  }
+
+  [[nodiscard]] std::size_t record_function(std::size_t b, std::size_t p, std::size_t name_idx,
+                                            std::size_t paren, std::size_t e, char delim) {
+    FileSymbols::Func fn;
+    fn.line = tok(name_idx).line;
+
+    // Name: ident, `operator<punct>`, conversion operator, or destructor.
+    if (is_ident(name_idx) && tok(name_idx).text == "operator") {
+      fn.name = "operator()";
+      fn.is_operator = true;
+    } else if (!is_ident(name_idx)) {
+      fn.name = "operator" + tok(name_idx).text;
+      fn.is_operator = true;
+    } else {
+      fn.name = tok(name_idx).text;
+      if (name_idx >= 1 && is(name_idx - 1, "~")) fn.name = "~" + fn.name;
+      if (name_idx >= 1 && is_ident(name_idx - 1) && tok(name_idx - 1).text == "operator")
+        fn.is_operator = true;  // conversion operator: `operator TimeNs()`
+    }
+
+    // Qualified prefix: walk `A::B::` (and `A<T>::`) chains leftward.
+    std::string prefix;
+    std::size_t k = name_idx;
+    if (k >= 1 && is(k - 1, "~")) --k;
+    while (k >= 2 && is(k - 1, "::")) {
+      std::size_t q = k - 2;
+      if (is(q, ">")) {  // templated qualifier: `Foo<T>::bar`
+        int d = 0;
+        while (q > p) {
+          if (is(q, ">")) ++d;
+          if (is(q, "<") && --d == 0) break;
+          --q;
+        }
+        if (q <= p || !is_ident(q - 1)) break;
+        --q;
+      } else if (!is_ident(q)) {
+        break;
+      }
+      prefix = tok(q).text + (prefix.empty() ? "" : "::" + prefix);
+      k = q;
+    }
+    fn.scope = current_scope();
+    if (!prefix.empty()) fn.scope += (fn.scope.empty() ? "" : "::") + prefix;
+
+    fn.is_definition = delim == '{';
+    if (delim == ';') {
+      // `= default;` / `= delete;` after the parameter list.
+      const std::size_t close = skip_parens(paren);
+      for (std::size_t j = close; j + 1 < e; ++j)
+        if (is(j, "=") && is_ident(j + 1) &&
+            (tok(j + 1).text == "default" || tok(j + 1).text == "delete")) {
+          fn.is_defaulted = true;
+          fn.is_definition = true;
+          break;
+        }
+    }
+    fn.allowed = line_allows(lf_, Rule::kDeadPublicApi, fn.line);
+    (void)b;
+    out_.functions.push_back(std::move(fn));
+    return skip_statement(e, delim);
+  }
+
+  [[nodiscard]] std::size_t record_variable(std::size_t b, std::size_t p, std::size_t e,
+                                            char delim) {
+    const bool ns_scope = stack_.empty() || stack_.back().kind != Frame::kType;
+    if (!ns_scope) return skip_statement(e, delim);  // class members: not globals
+
+    // Declarator name: first level-0 ident followed by '=', '[', ',', the
+    // end of the statement, or the brace initializer.
+    int depth = 0;
+    std::size_t name_idx = e;
+    std::size_t eq = e;  // first top-level '='
+    for (std::size_t j = p; j < e; ++j) {
+      const Token& t = tok(j);
+      if (t.kind == TokKind::kPunct) {
+        const std::string& w = t.text;
+        if (w == "(" || w == "[" || w == "<") ++depth;
+        else if ((w == ")" || w == "]" || w == ">") && depth > 0) --depth;
+        else if (w == ">>" && depth > 0) depth -= depth >= 2 ? 2 : depth;
+        else if (w == "=" && depth == 0 && eq == e) eq = j;
+        continue;
+      }
+      if (depth != 0 || !is_ident(j) || name_idx != e) continue;
+      const bool at_end = j + 1 >= e;
+      if (at_end || is(j + 1, "=") || is(j + 1, "[") || is(j + 1, ",") || is(j + 1, "{"))
+        name_idx = j;
+    }
+    if (name_idx >= e || name_idx <= p) return skip_statement(e, delim);
+    if (eq != e && name_idx > eq) return skip_statement(e, delim);  // ident inside initializer
+
+    FileSymbols::Global g;
+    g.name = tok(name_idx).text;
+    g.line = tok(name_idx).line;
+    for (std::size_t j = b; j < name_idx; ++j) {
+      if (!is_ident(j)) continue;
+      const std::string& w = tok(j).text;
+      if (w == "const") g.is_const = true;
+      if (w == "constexpr" || w == "constinit" || w == "consteval") g.is_constexpr = true;
+    }
+    bool is_extern = false;
+    for (std::size_t j = b; j < name_idx; ++j)
+      if (is_ident(j) && tok(j).text == "extern") is_extern = true;
+    for (std::size_t j = p; j < name_idx; ++j) {
+      if (is_ident(j) && is_specifier(tok(j).text)) continue;
+      if (!g.type_head.empty()) g.type_head += ' ';
+      g.type_head += tok(j).text;
+    }
+    if (g.type_head.empty()) return skip_statement(e, delim);  // `struct {...} x;` tails etc.
+
+    g.has_initializer = eq != e || delim == '{';
+    g.is_extern_decl = is_extern && !g.has_initializer;
+
+    // Initializer classification: literals, signs, and braces only?
+    g.init_literal_only = g.has_initializer;
+    auto classify_init_token = [&](const Token& t) {
+      if (t.kind == TokKind::kNumber || t.kind == TokKind::kString || t.kind == TokKind::kChar)
+        return;
+      if (t.kind == TokKind::kIdent) {
+        if (!word_in(t.text, {"true", "false", "nullptr"})) g.init_literal_only = false;
+        return;
+      }
+      if (!word_in(t.text, {"-", "+", "{", "}", ","})) g.init_literal_only = false;
+    };
+    if (eq != e)
+      for (std::size_t j = eq + 1; j < e; ++j) classify_init_token(tok(j));
+    if (delim == '{') {
+      const std::size_t close = skip_braces(e);
+      for (std::size_t j = e + 1; j + 1 < close; ++j) classify_init_token(tok(j));
+    }
+
+    g.allowed = line_allows(lf_, Rule::kDynamicInitGlobal, g.line);
+    out_.globals.push_back(std::move(g));
+    return skip_statement(e, delim);
+  }
+};
+
+}  // namespace
+
+FileSymbols extract_symbols(std::string path, const LexedFile& lf) {
+  return Extractor(std::move(path), lf).run();
+}
+
+SymbolIndex SymbolIndex::build(std::vector<FileSymbols> files) {
+  SymbolIndex idx;
+  std::sort(files.begin(), files.end(),
+            [](const FileSymbols& a, const FileSymbols& b) { return a.path < b.path; });
+  for (const FileSymbols& f : files) {
+    for (const auto& [name, count] : f.mentions) idx.mentions[name] += count;
+    for (const FileSymbols::Func& fn : f.functions) ++idx.decl_mentions[fn.name];
+    for (const FileSymbols::Type& t : f.types) idx.type_names.insert(t.name);
+  }
+  idx.files = std::move(files);
+  return idx;
+}
+
+std::size_t SymbolIndex::uses_of(std::string_view name) const {
+  const auto it = mentions.find(std::string(name));
+  if (it == mentions.end()) return 0;
+  const auto d = decl_mentions.find(std::string(name));
+  const std::size_t declared = d == decl_mentions.end() ? 0 : d->second;
+  return it->second > declared ? it->second - declared : 0;
+}
+
+}  // namespace hpc::lint

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+/// \file symbols.hpp
+/// archlint's cross-TU symbol indexer (the v3 semantic layer).
+///
+/// The token-stream rules (lint.hpp D1-D9) judge one file at a time; the
+/// determinism-contract rules D10-D14 (semantic.hpp) need to see the whole
+/// project at once — "is this header function ever called?", "who constructs
+/// RNG roots?".  This indexer walks each file's existing token stream (no
+/// second parse, no libclang) and extracts a deterministic per-file record:
+///
+///  - **functions** — free and member declarations *and* definitions,
+///    including out-of-line `Type::name(...)` bodies, template functions,
+///    constructors/destructors and operators, each keyed by file:line with
+///    its enclosing `namespace::Type` scope chain;
+///  - **globals** — namespace-scope variable definitions with their
+///    cv/constexpr qualifiers and an initializer classification (literal-only
+///    vs. runs-code), which is what D13 judges;
+///  - **types** — class/struct/union/enum names (used to recognize
+///    constructors so D14 never flags them);
+///  - **use sites** — qualified container instantiations (`std::map<K*, V>`),
+///    entropy reads (`getenv`, `steady_clock::now`, ...), `sim::Rng`
+///    construction / seed arithmetic, and a per-identifier mention count that
+///    makes "zero call/use sites anywhere" decidable without a type system.
+///
+/// `SymbolIndex::build` merges per-file records into the project-wide index:
+/// files sorted by path, mention counts accumulated, so the index — and every
+/// rule verdict derived from it — is byte-deterministic for a given tree no
+/// matter how many indexing threads produced the records.
+///
+/// The extractor is scope-aware but type-unaware: it tracks namespace /
+/// class / enum nesting and constructor-initializer lists, skips function
+/// bodies structurally (mention counting still sees every token), and
+/// degrades to "record nothing" rather than guessing when a statement does
+/// not look like a declaration.  Every heuristic errs toward *not* flagging:
+/// an unrecognized construct becomes an extra mention (keeping an API
+/// "alive"), never a phantom declaration.
+
+namespace hpc::lint {
+
+/// Everything extracted from one translation unit.
+struct FileSymbols {
+  std::string path;  ///< as reported (repo-relative in tree scans)
+
+  /// One function declaration or definition.
+  struct Func {
+    std::string name;       ///< unqualified; "operator==", "~X" kept verbatim
+    std::string scope;      ///< enclosing qualification, e.g. "hpc::net::FlowSim"
+    std::size_t line = 1;
+    bool is_definition = false;    ///< has a body (or = default / = delete)
+    bool is_defaulted = false;     ///< `= default` / `= delete`
+    bool is_operator = false;      ///< operator overload or conversion
+    bool allowed = false;          ///< archlint: allow(dead-public-api) on site
+  };
+  std::vector<Func> functions;
+
+  /// One namespace-scope variable definition (or extern declaration).
+  struct Global {
+    std::string name;
+    std::string type_head;  ///< declaration tokens left of the name, joined
+    std::size_t line = 1;
+    bool is_const = false;
+    bool is_constexpr = false;     ///< constexpr / constinit / consteval
+    bool is_extern_decl = false;   ///< `extern` without an initializer
+    bool has_initializer = false;
+    bool init_literal_only = false;  ///< initializer is literals/signs only
+    bool allowed = false;            ///< allow(dynamic-init-global) on site
+  };
+  std::vector<Global> globals;
+
+  /// One class/struct/union/enum name introduction.
+  struct Type {
+    std::string name;
+    std::size_t line = 1;
+  };
+  std::vector<Type> types;
+
+  /// One `std::` associative-container use site.
+  struct ContainerUse {
+    std::string container;   ///< "map", "unordered_multiset", ...
+    std::string key;         ///< first template argument, "" when absent
+    std::size_t line = 1;
+    bool unordered = false;  ///< any std::unordered_* family member
+    bool key_pointer = false;  ///< first template argument is a pointer type
+    bool allowed = false;      ///< allow(nondet-container) on site
+  };
+  std::vector<ContainerUse> containers;
+
+  /// One entropy-source read (D11's evidence).
+  struct EntropyUse {
+    std::string what;  ///< "getenv", "steady_clock::now", ...
+    std::size_t line = 1;
+    bool allowed = false;  ///< allow(entropy-source) on site
+  };
+  std::vector<EntropyUse> entropy;
+
+  /// One ad-hoc RNG root or seed-arithmetic site (D12's evidence).
+  struct RngUse {
+    std::string what;  ///< "Rng construction" or "seed arithmetic"
+    std::size_t line = 1;
+    bool allowed = false;  ///< allow(rng-discipline) on site
+  };
+  std::vector<RngUse> rng;
+
+  /// Identifier -> number of occurrences in this file's token stream
+  /// (directives excluded), sorted by name.  The raw material for D14.
+  std::vector<std::pair<std::string, std::size_t>> mentions;
+};
+
+/// Indexes one lexed file.  Never fails: unrecognizable constructs are
+/// skipped conservatively (see file comment).
+[[nodiscard]] FileSymbols extract_symbols(std::string path, const LexedFile& lf);
+
+/// The merged project-wide index.
+struct SymbolIndex {
+  std::vector<FileSymbols> files;  ///< sorted by path
+
+  std::map<std::string, std::size_t> mentions;       ///< ident -> total count
+  std::map<std::string, std::size_t> decl_mentions;  ///< func name -> decl/def records
+  std::set<std::string> type_names;                  ///< all type introductions
+
+  /// Builds the index: sorts \p files by path (ties broken arbitrarily but
+  /// the scan never feeds duplicates) and accumulates the global maps.
+  [[nodiscard]] static SymbolIndex build(std::vector<FileSymbols> files);
+
+  /// Mentions of \p name beyond its own declarations/definitions — the
+  /// number of places that *use* the function.  0 for unknown names.
+  [[nodiscard]] std::size_t uses_of(std::string_view name) const;
+};
+
+}  // namespace hpc::lint

@@ -247,17 +247,22 @@ bool read_file(const std::string& path, std::string& bench_name,
   return parser.parse_object_into(bench_name, entries, error);
 }
 
-std::string validate_file(const std::string& path) {
+std::string validate_file(const std::string& path, std::int64_t min_iterations) {
   std::string bench;
   std::vector<Entry> entries;
   std::string error;
   if (!read_file(path, bench, entries, error)) return error;
   if (bench.empty()) return "missing bench name";
   if (entries.empty()) return "no benchmark results recorded";
+  if (min_iterations < 1) min_iterations = 1;
   for (const Entry& e : entries) {
     if (!std::isfinite(e.ns_per_op) || e.ns_per_op <= 0.0)
       return "entry '" + e.name + "' has non-positive ns_per_op";
     if (e.iterations <= 0) return "entry '" + e.name + "' has no iterations";
+    if (e.iterations < min_iterations)
+      return "entry '" + e.name + "' ran only " + std::to_string(e.iterations) +
+             " iteration(s), need >= " + std::to_string(min_iterations) +
+             " for a trustworthy baseline";
   }
   return {};
 }

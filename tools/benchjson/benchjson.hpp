@@ -54,9 +54,15 @@ bool write_file(const std::string& path, const std::string& bench_name,
                 const std::vector<Entry>& entries);
 
 /// Validates a BENCH_*.json file: parses the JSON, checks the v1 schema, and
-/// requires a non-empty result list with finite positive ns/op values.
+/// requires a non-empty result list with finite positive ns/op values and at
+/// least \p min_iterations iterations per entry.  Single-iteration rows are
+/// noise-level (the BENCH_obs.json "+17% disabled-probe overhead" artifact
+/// came from exactly that), so committed baselines should be checked with
+/// min_iterations >= 3; the default of 1 only guards against zero/negative
+/// counts for suites whose slowest rows are genuinely single-shot.
 /// Returns an empty string when valid, else a human-readable error.
-[[nodiscard]] std::string validate_file(const std::string& path);
+[[nodiscard]] std::string validate_file(const std::string& path,
+                                        std::int64_t min_iterations = 1);
 
 /// Parses a BENCH_*.json file previously written by write_file.  Returns
 /// true and fills the out-params on success (used by validate_file and by

@@ -1,3 +1,4 @@
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -6,25 +7,54 @@
 /// \file check_main.cpp
 /// benchjson_check CLI: validates BENCH_*.json perf-baseline files.
 ///
-///     benchjson_check FILE...
+///     benchjson_check [--min-iters N] FILE...
+///
+/// By default every entry must have run >= 3 iterations: single-iteration
+/// rows are noise-level measurements that have already produced a bogus
+/// baseline delta once (BENCH_obs.json's "+17% disabled probes" artifact).
+/// `--min-iters 1` is the explicit opt-out for suites whose slowest rows are
+/// genuinely single-shot (e.g. the 0.5 s/op flowsim none_minimal rows) —
+/// their numbers are trajectory hints, not gates, and ROADMAP says so.
 ///
 /// Exit status: 0 if every file parses and satisfies the
 /// archipelago-bench-v1 schema, 1 on the first invalid file, 2 on usage
-/// error.  ci/check.sh stage [5/5] runs this on the freshly emitted
-/// BENCH_flowsim.json so a broken emitter can never publish a baseline.
+/// error.  ci/check.sh stage [5/7] runs this on the freshly emitted
+/// BENCH_*.json files so a broken emitter can never publish a baseline.
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: benchjson_check FILE...\n");
+  std::int64_t min_iters = 3;
+  int first_file = 1;
+  if (argc >= 2 && std::string(argv[1]) == "--min-iters") {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: benchjson_check [--min-iters N] FILE...\n");
+      return 2;
+    }
+    min_iters = 0;
+    for (const char* p = argv[2]; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9') {
+        std::fprintf(stderr, "benchjson_check: --min-iters must be a positive integer\n");
+        return 2;
+      }
+      min_iters = min_iters * 10 + (*p - '0');
+    }
+    if (min_iters < 1) {
+      std::fprintf(stderr, "benchjson_check: --min-iters must be >= 1\n");
+      return 2;
+    }
+    first_file = 3;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: benchjson_check [--min-iters N] FILE...\n");
     return 2;
   }
-  for (int i = 1; i < argc; ++i) {
-    const std::string error = hpc::benchjson::validate_file(argv[i]);
+  for (int i = first_file; i < argc; ++i) {
+    const std::string error = hpc::benchjson::validate_file(argv[i], min_iters);
     if (!error.empty()) {
       std::fprintf(stderr, "benchjson_check: %s: %s\n", argv[i], error.c_str());
       return 1;
     }
-    std::printf("benchjson_check: %s: ok\n", argv[i]);
+    std::printf("benchjson_check: %s: ok (min-iters %lld)\n", argv[i],
+                static_cast<long long>(min_iters));
   }
   return 0;
 }
