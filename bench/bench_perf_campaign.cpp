@@ -1,0 +1,219 @@
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchjson.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "exec/policy.hpp"
+
+/// \file bench_perf_campaign.cpp
+/// Campaign throughput benchmark — replicas/sec under SerialPolicy vs
+/// ThreadPoolPolicy{2,4} — plus an in-bench assertion that the thread-pool
+/// runs produce byte-identical artifacts to the serial reference.
+///
+/// Two row families, because executor speedup has two distinct sources:
+///
+///   federation/12r/*      — 12 coupled-co-sim replicas (the real workload).
+///                           CPU-bound, so the speedup here is the host's
+///                           spare *cores*: ~Nx on an N-core machine, ~1x on
+///                           a single-core container.
+///   latency_hiding/16r/*  — 16 replicas that each block for a fixed 25 ms
+///                           (standing in for replicas gated on I/O, remote
+///                           data, or a busy queue — the archipelago's normal
+///                           operating mode).  The pool overlaps the waits,
+///                           so the speedup here measures pure executor
+///                           concurrency and reaches ~min(N, workers)x even
+///                           with one core.
+///
+/// Both families go into BENCH_campaign.json (>= 3 fixed iterations per
+/// row, self-validated like BENCH_obs.json).  The committed baseline from a
+/// single-core CI container therefore shows ~1x on the federation rows and
+/// >= 3x at 4 workers on the latency-hiding rows; on a multicore host the
+/// federation rows scale too.  The determinism cross-check below is
+/// unconditional: whatever the speedup, serial and 4-thread campaigns must
+/// agree byte-for-byte on digests, merged metrics, and the cell aggregate.
+
+namespace {
+
+using hpc::campaign::CampaignOptions;
+using hpc::campaign::CampaignResult;
+using hpc::campaign::ReplicaResult;
+using hpc::campaign::ReplicaSpec;
+using hpc::campaign::ScenarioFn;
+using hpc::campaign::ScenarioMatrix;
+
+/// 2 topologies x 1 mix x 3 policies x 2 seeds = 12 coupled-sim replicas.
+ScenarioMatrix federation_matrix() {
+  ScenarioMatrix m;
+  m.topologies = {"wan-10g", "wan-100g"};
+  m.device_mixes = {"baseline"};
+  m.policies = {"siloed", "gravity", "cheapest"};
+  m.seeds = {1, 2};
+  return m;
+}
+
+/// 16 replicas on one synthetic axis set; the scenario blocks 25 ms each.
+ScenarioMatrix blocking_matrix() {
+  ScenarioMatrix m;
+  m.topologies = {"wan-10g"};
+  m.device_mixes = {"baseline"};
+  m.policies = {"blocked"};
+  m.seeds = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  return m;
+}
+
+/// Stand-in for a replica gated on an external wait: a fixed deterministic
+/// sleep plus a trivial digest.  Wall-time only — the sleep length never
+/// enters any artifact, so determinism is unaffected.
+ReplicaResult blocking_scenario(const ReplicaSpec& spec, std::uint64_t engine_seed) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  ReplicaResult r;
+  r.digest = engine_seed;
+  r.events = 1;
+  r.latency_ns = 1.0;
+  r.work = 1.0;
+  r.metrics.counter("blocked.replicas").inc();
+  (void)spec;
+  return r;
+}
+
+void run_campaign_rows(benchmark::State& state, const ScenarioMatrix& matrix,
+                       const ScenarioFn& scenario, int workers) {
+  CampaignOptions options;
+  options.seed = 2026;
+  std::uint64_t digest = 0;
+  for (auto _ : state) {
+    CampaignResult result;
+    if (workers > 0) {
+      hpc::exec::ThreadPoolPolicy policy(workers);
+      result = run_campaign(matrix, scenario, policy, options);
+    } else {
+      hpc::exec::SerialPolicy policy;
+      result = run_campaign(matrix, scenario, policy, options);
+    }
+    digest = result.campaign_digest;
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(matrix.size()));
+}
+
+void register_all() {
+  struct Row {
+    const char* name;
+    bool federation;
+    int workers;  ///< 0 = SerialPolicy
+  };
+  constexpr Row kRows[] = {
+      {"federation/12r/serial", true, 0},
+      {"federation/12r/threads2", true, 2},
+      {"federation/12r/threads4", true, 4},
+      {"latency_hiding/16r/serial", false, 0},
+      {"latency_hiding/16r/threads2", false, 2},
+      {"latency_hiding/16r/threads4", false, 4},
+  };
+  for (const Row& row : kRows) {
+    benchmark::RegisterBenchmark(
+        row.name,
+        [row](benchmark::State& state) {
+          if (row.federation) {
+            run_campaign_rows(state, federation_matrix(),
+                              hpc::campaign::make_federation_scenario(), row.workers);
+          } else {
+            run_campaign_rows(state, blocking_matrix(), blocking_scenario, row.workers);
+          }
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+}
+
+/// Strip google-benchmark's "/iterations:N" name suffix (same convention as
+/// bench_perf_obs) so baseline row names stay stable.
+std::vector<hpc::benchjson::Entry> stable_names(
+    std::vector<hpc::benchjson::Entry> entries) {
+  const std::string marker = "/iterations:";
+  for (hpc::benchjson::Entry& e : entries) {
+    const std::size_t at = e.name.rfind(marker);
+    if (at != std::string::npos &&
+        e.name.find_first_not_of("0123456789", at + marker.size()) == std::string::npos)
+      e.name.erase(at);
+  }
+  return entries;
+}
+
+double entry_ns(const std::vector<hpc::benchjson::Entry>& entries,
+                const std::string& name) {
+  for (const hpc::benchjson::Entry& e : entries)
+    if (e.name == name) return e.ns_per_op;
+  return 0.0;
+}
+
+/// The acceptance cross-check: serial and 4-thread campaigns over the
+/// federation matrix must agree byte-for-byte on every aggregate.
+bool check_determinism() {
+  const ScenarioMatrix matrix = federation_matrix();
+  const ScenarioFn scenario = hpc::campaign::make_federation_scenario();
+  CampaignOptions options;
+  options.seed = 2026;
+  hpc::exec::SerialPolicy serial;
+  hpc::exec::ThreadPoolPolicy threads(4);
+  const CampaignResult a = run_campaign(matrix, scenario, serial, options);
+  const CampaignResult b = run_campaign(matrix, scenario, threads, options);
+  if (a.campaign_digest != b.campaign_digest ||
+      a.digests_text() != b.digests_text() ||
+      a.merged.snapshot_json() != b.merged.snapshot_json() ||
+      a.cells_bench_json() != b.cells_bench_json()) {
+    std::fprintf(stderr,
+                 "bench_perf_campaign: serial and 4-thread artifacts differ — "
+                 "execution policy leaked into results\n");
+    return false;
+  }
+  std::printf("bench_perf_campaign: serial == threads4 artifacts (digest %016llx)\n",
+              static_cast<unsigned long long>(a.campaign_digest));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  hpc::benchjson::Recorder recorder;
+  benchmark::RunSpecifiedBenchmarks(&recorder);
+  benchmark::Shutdown();
+
+  if (!check_determinism()) return 1;
+
+  const char* out_env = std::getenv("BENCHJSON_OUT");
+  const std::string out = out_env != nullptr ? out_env : "BENCH_campaign.json";
+  const std::vector<hpc::benchjson::Entry> entries = stable_names(recorder.entries());
+  if (!hpc::benchjson::write_file(out, "campaign", entries)) {
+    std::fprintf(stderr, "bench_perf_campaign: failed to write %s\n", out.c_str());
+    return 1;
+  }
+  const std::string error = hpc::benchjson::validate_file(out, /*min_iterations=*/3);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_perf_campaign: emitted %s is invalid: %s\n",
+                 out.c_str(), error.c_str());
+    return 1;
+  }
+
+  for (const char* family : {"federation/12r", "latency_hiding/16r"}) {
+    const double serial = entry_ns(entries, std::string(family) + "/serial");
+    const double t2 = entry_ns(entries, std::string(family) + "/threads2");
+    const double t4 = entry_ns(entries, std::string(family) + "/threads4");
+    if (serial > 0.0 && t2 > 0.0 && t4 > 0.0)
+      std::printf("bench_perf_campaign: %s speedup  x2: %.2f  x4: %.2f\n", family,
+                  serial / t2, serial / t4);
+  }
+  std::printf("bench_perf_campaign: wrote %s (%zu rows)\n", out.c_str(), entries.size());
+  return 0;
+}

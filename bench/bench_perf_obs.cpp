@@ -37,7 +37,7 @@
 /// ~0.5 s/op scenario) produced a bogus "+17% disabled overhead" baseline
 /// from a cold first run.  The emitted file is self-validated with
 /// min_iterations = 3 so a regression back to single-shot timing cannot
-/// publish a baseline, and ci/check.sh stage [5/7] re-checks the artifact
+/// publish a baseline, and ci/check.sh stage [5/8] re-checks the artifact
 /// with benchjson_check's default threshold.
 
 namespace {

@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
 # Full local CI gate: tier-1 build+tests, the archlint determinism-contract
 # scan, a -Werror warning wall, an ASan+UBSan instrumented test pass, a perf
-# smoke run that emits the BENCH_flowsim.json / BENCH_obs.json trajectory
-# artifacts, an observability stage that validates an instrumented run's
-# trace with tools/tracecat, and a co-simulation stage that pins the coupled
-# scenario's engine digest.
+# smoke run that emits the BENCH_flowsim.json / BENCH_obs.json /
+# BENCH_campaign.json trajectory artifacts, an observability stage that
+# validates an instrumented run's trace with tools/tracecat, a co-simulation
+# stage that pins the coupled scenario's engine digest, and a campaign stage
+# that runs the same sweep under two execution policies and byte-diffs every
+# aggregate artifact.
 # Run from the repository root:  ./ci/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/7] tier-1: default build + full test suite =="
+echo "== [1/8] tier-1: default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-echo "== [2/7] archlint: determinism-contract static analysis (v3) =="
+echo "== [2/8] archlint: determinism-contract static analysis (v3) =="
 # Token-stream rules D1-D5/D8/D9, the include-graph passes (D6 layering
 # against tools/archlint/layers.txt, D7 cycles), and the cross-TU semantic
 # pass (D10-D14, allowlists in tools/archlint/semantics.txt which the
@@ -85,30 +87,36 @@ if git cat-file -e HEAD:ci/expected_sarif_rules.txt 2>/dev/null; then
 fi
 echo "archlint: SARIF artifact at ${LINT_DIR}/findings.sarif"
 
-echo "== [3/7] warning wall: -Wall -Wextra -Werror =="
+echo "== [3/8] warning wall: -Wall -Wextra -Werror =="
 cmake -B build-werror -S . -DARCHIPELAGO_WERROR=ON >/dev/null
 cmake --build build-werror -j "${JOBS}"
 
-echo "== [4/7] sanitizers: ASan+UBSan instrumented test suite =="
+echo "== [4/8] sanitizers: ASan+UBSan instrumented test suite =="
 cmake -B build-asan -S . -DARCHIPELAGO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 
-echo "== [5/7] perf smoke: flowsim + observability overhead trajectories =="
+echo "== [5/8] perf smoke: flowsim + obs + campaign trajectories =="
 # flowsim: short-run smoke (not a statistically stable measurement) — proves
-# the binary works end to end.  Its slowest rows are genuinely single-shot at
-# this budget, so the validator runs with the explicit --min-iters 1 opt-out.
+# the binary works end to end.  The slow none_minimal rows are pinned to 3
+# fixed iterations in the binary itself, so every row clears the default
+# min-iters 3 gate — the old --min-iters 1 opt-out is gone.
 # Note: these google-benchmarks take a bare double (no "s" suffix).
 BENCHJSON_OUT=BENCH_flowsim.json ./build/bench/bench_perf_flowsim \
   --benchmark_min_time=0.05
-./build/tools/benchjson/benchjson_check --min-iters 1 BENCH_flowsim.json
+./build/tools/benchjson/benchjson_check BENCH_flowsim.json
 # obs: the overhead baseline people actually quote, so it runs its built-in
 # fixed 5 iterations + warmup (no min_time override) and must satisfy the
 # default min-iters 3 gate.
 BENCHJSON_OUT=BENCH_obs.json ./build/bench/bench_perf_obs
 ./build/tools/benchjson/benchjson_check BENCH_obs.json
+# campaign: replicas/sec serial vs thread-pool (fixed 3 iterations per row);
+# the binary also cross-checks that serial and 4-thread campaigns produce
+# byte-identical artifacts before it will emit a baseline.
+BENCHJSON_OUT=BENCH_campaign.json ./build/bench/bench_perf_campaign
+./build/tools/benchjson/benchjson_check BENCH_campaign.json
 
-echo "== [6/7] obs: instrumented run + tracecat artifact validation =="
+echo "== [6/8] obs: instrumented run + tracecat artifact validation =="
 # Run the instrumented quickstart, then hold its exported artifacts to the
 # exporter's invariants: well-formed strict JSON, balanced spans, a valid
 # metrics snapshot.  Any violation is a hard failure.
@@ -119,7 +127,7 @@ mkdir -p "${OBS_DIR}"
   "${OBS_DIR}/trace.json"
 ./build/tools/tracecat/tracecat --top 5 "${OBS_DIR}/trace.json"
 
-echo "== [7/7] co-sim: coupled scenario determinism gate =="
+echo "== [7/8] co-sim: coupled scenario determinism gate =="
 # Run the coupled archipelago example (jobs -> flows -> market clearing on
 # one sim::Engine), validate its flight-recorder artifacts, and hold the
 # engine's event digest to the committed expectation: any nondeterminism or
@@ -139,5 +147,39 @@ if ! diff -u ci/expected_coupled_digest.txt "${COSIM_DIR}/digest.txt"; then
   exit 1
 fi
 echo "co-sim: digest matches $(cat "${COSIM_DIR}/digest.txt")"
+
+echo "== [8/8] campaign: execution-policy invariance + digest gate =="
+# Run the federation sweep twice — SerialPolicy and ThreadPoolPolicy{2} —
+# and require the two artifact trees to match byte for byte: per-replica
+# metrics snapshots, the digest listing, the merged archipelago-metrics-v1
+# aggregate, the per-cell bench aggregate, and the summary report.  Then
+# hold the campaign digest to the committed expectation.  After an
+# intentional scenario change, regenerate with:
+#   ./build/examples/campaign_sweep 0 /tmp/campaign | grep '^campaign digest:' \
+#     > ci/expected_campaign_digest.txt
+CAMPAIGN_DIR=build/campaign-ci
+rm -rf "${CAMPAIGN_DIR}"
+mkdir -p "${CAMPAIGN_DIR}"
+./build/examples/campaign_sweep 0 "${CAMPAIGN_DIR}/serial" \
+  > "${CAMPAIGN_DIR}/serial.txt"
+./build/examples/campaign_sweep 2 "${CAMPAIGN_DIR}/threads" \
+  > "${CAMPAIGN_DIR}/threads.txt"
+if ! diff -r "${CAMPAIGN_DIR}/serial" "${CAMPAIGN_DIR}/threads"; then
+  echo "campaign: serial and 2-thread artifact trees differ — execution" >&2
+  echo "campaign: policy leaked into results" >&2
+  exit 1
+fi
+# The per-cell aggregate is a well-formed archipelago-bench-v1 document, and
+# the new compare mode agrees the two runs match exactly (tolerance 0).
+./build/tools/benchjson/benchjson_check "${CAMPAIGN_DIR}/serial/cells.json"
+./build/tools/benchjson/benchjson_check --compare \
+  "${CAMPAIGN_DIR}/serial/cells.json" "${CAMPAIGN_DIR}/threads/cells.json"
+grep '^campaign digest:' "${CAMPAIGN_DIR}/serial/report.txt" \
+  > "${CAMPAIGN_DIR}/digest.txt"
+if ! diff -u ci/expected_campaign_digest.txt "${CAMPAIGN_DIR}/digest.txt"; then
+  echo "campaign: digest drifted from ci/expected_campaign_digest.txt" >&2
+  exit 1
+fi
+echo "campaign: digest matches $(cat "${CAMPAIGN_DIR}/digest.txt")"
 
 echo "All checks passed."

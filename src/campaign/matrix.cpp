@@ -1,0 +1,37 @@
+#include "campaign/matrix.hpp"
+
+namespace hpc::campaign {
+
+std::size_t ScenarioMatrix::size() const noexcept {
+  // archlint: allow(rng-discipline): matrix cardinality, not seed math
+  return topologies.size() * device_mixes.size() * policies.size() * seeds.size();
+}
+
+std::string ReplicaSpec::cell() const {
+  return topology + "/" + device_mix + "/" + policy;
+}
+
+std::string ReplicaSpec::stream() const {
+  return "campaign/" + topology + "/" + device_mix + "/" + policy +
+         "/seed=" + std::to_string(seed);
+}
+
+std::vector<ReplicaSpec> expand(const ScenarioMatrix& matrix) {
+  std::vector<ReplicaSpec> out;
+  out.reserve(matrix.size());
+  for (const std::string& topo : matrix.topologies)
+    for (const std::string& mix : matrix.device_mixes)
+      for (const std::string& policy : matrix.policies)
+        for (const std::uint64_t seed : matrix.seeds) {
+          ReplicaSpec spec;
+          spec.index = out.size();
+          spec.topology = topo;
+          spec.device_mix = mix;
+          spec.policy = policy;
+          spec.seed = seed;
+          out.push_back(std::move(spec));
+        }
+  return out;
+}
+
+}  // namespace hpc::campaign

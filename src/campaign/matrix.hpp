@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file matrix.hpp
+/// `hpc::campaign` — declarative scenario matrices for design-space sweeps.
+///
+/// The paper's central argument is that extreme heterogeneity forces
+/// *campaigns* of experiments across device mixes, interconnects, and
+/// resource-allocation policies — not one big run.  A `ScenarioMatrix` is
+/// the declarative form of such a campaign: four axes
+/// (topology × device mix × policy × seed) whose cross product expands into
+/// independent replicas, each a self-contained `sim::Engine` run.
+///
+/// Determinism by construction:
+///
+///  - **Expansion order is pinned**: row-major with topology outermost and
+///    seed innermost, so replica index `i` means the same cell content in
+///    every run of the same matrix.
+///  - **Stream labels are content-addressed**: a replica's RNG stream label
+///    is a pure function of its axis *values*
+///    (`campaign/<topology>/<device_mix>/<policy>/seed=<seed>`), never of
+///    its position.  Reordering or extending the matrix therefore cannot
+///    perturb the random streams — and hence the results — of replicas
+///    whose cells it did not change (pinned by tests/test_campaign.cpp).
+
+namespace hpc::campaign {
+
+/// The four campaign axes.  Empty axes make the matrix empty; duplicated
+/// values are kept as distinct replicas (they share a stream label, which
+/// is almost never what you want — keep values unique).
+struct ScenarioMatrix {
+  std::vector<std::string> topologies;
+  std::vector<std::string> device_mixes;
+  std::vector<std::string> policies;
+  std::vector<std::uint64_t> seeds;
+
+  /// Number of replicas the matrix expands into (the axis-size product).
+  [[nodiscard]] std::size_t size() const noexcept;
+};
+
+/// One expanded replica: its cell coordinates plus its pinned index.
+struct ReplicaSpec {
+  std::size_t index = 0;  ///< position in the pinned expansion order
+  std::string topology;
+  std::string device_mix;
+  std::string policy;
+  std::uint64_t seed = 0;
+
+  /// Cell key "topology/device_mix/policy" — replicas differing only by
+  /// seed share a cell, which is the aggregation unit of the report.
+  [[nodiscard]] std::string cell() const;
+
+  /// Content-addressed RNG stream label
+  /// "campaign/<topology>/<device_mix>/<policy>/seed=<seed>".  Feed it to
+  /// `sim::Rng::child_seed(campaign_seed, label)` for the replica's engine
+  /// seed; being position-independent, it is stable across matrix
+  /// reordering.
+  [[nodiscard]] std::string stream() const;
+};
+
+/// Expands the matrix in the pinned row-major order (topology outermost,
+/// then device mix, then policy, then seed).
+[[nodiscard]] std::vector<ReplicaSpec> expand(const ScenarioMatrix& matrix);
+
+}  // namespace hpc::campaign

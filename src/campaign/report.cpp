@@ -1,0 +1,134 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "exec/policy.hpp"
+#include "sim/report.hpp"
+
+namespace hpc::campaign {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xfULL];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Per-cell data gathered in replica index order.
+struct CellData {
+  std::uint64_t digest = kFnvOffset;
+  std::uint64_t replicas = 0;
+  std::uint64_t failed = 0;
+  std::vector<double> latencies_ns;  ///< index order; sorted only for percentiles
+  double work_sum = 0.0;
+  double latency_sum_ns = 0.0;
+  double cost_sum = 0.0;
+};
+
+/// Exact percentile over a sorted sample set (nearest-rank).
+double pct(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+std::string make_report(const CampaignResult& campaign) {
+  std::map<std::string, CellData, std::less<>> cells;
+  for (std::size_t i = 0; i < campaign.replicas.size(); ++i) {
+    CellData& cell = cells[campaign.replicas[i].cell()];
+    const ReplicaResult& r = campaign.results[i];
+    ++cell.replicas;
+    if (!r.error.empty()) {
+      ++cell.failed;
+      continue;
+    }
+    cell.digest = fold_u64(cell.digest, r.digest);
+    cell.latencies_ns.push_back(r.latency_ns);
+    cell.latency_sum_ns += r.latency_ns;
+    cell.work_sum += r.work;
+    cell.cost_sum += r.cost_usd;
+  }
+
+  std::string out = "campaign summary\n================\n";
+  out += "replicas:         " + std::to_string(campaign.replicas.size()) + "\n";
+  out += "cells:            " + std::to_string(cells.size()) + "\n";
+  out += "campaign digest:  " + hex16(campaign.campaign_digest) + "\n";
+  // Advisory only: the host's thread-pool sizing default.  Recorded so a
+  // reader knows what ThreadPoolPolicy{0} would have meant here; identical
+  // across execution policies on a given host and never an input to any
+  // simulation.
+  out += "host worker hint: " + std::to_string(exec::hardware_worker_hint()) + "\n\n";
+
+  sim::Table digests({"cell", "replicas", "failed", "cell digest"});
+  for (const auto& [name, cell] : cells)
+    digests.add_row({name, std::to_string(cell.replicas), std::to_string(cell.failed),
+                     hex16(cell.digest)});
+  out += digests.to_string() + "\n";
+
+  sim::Table latency(
+      {"cell", "lat p50", "lat p90", "lat p99", "throughput (work/s)", "cost ($)"});
+  for (auto& [name, cell] : cells) {
+    std::vector<double> sorted = cell.latencies_ns;
+    std::sort(sorted.begin(), sorted.end());
+    const double sim_seconds = cell.latency_sum_ns / 1e9;
+    const double throughput = sim_seconds > 0.0 ? cell.work_sum / sim_seconds : 0.0;
+    latency.add_row({name, sim::fmt_time_ns(pct(sorted, 50.0)),
+                     sim::fmt_time_ns(pct(sorted, 90.0)), sim::fmt_time_ns(pct(sorted, 99.0)),
+                     sim::fmt(throughput), sim::fmt(cell.cost_sum)});
+  }
+  out += latency.to_string() + "\n";
+
+  // Best policy per topology × device-mix group: lowest mean latency over
+  // the group's successful replicas; ties break to the lexicographically
+  // first policy (cells iterate sorted, so "first seen wins" is that).
+  struct Best {
+    std::string policy;
+    double mean_latency_ns = 0.0;
+    bool set = false;
+  };
+  std::map<std::string, Best, std::less<>> best;
+  for (const auto& [name, cell] : cells) {
+    if (cell.latencies_ns.empty()) continue;
+    const std::size_t cut = name.rfind('/');
+    const std::string group = name.substr(0, cut);
+    const std::string policy = name.substr(cut + 1);
+    const double mean = cell.latency_sum_ns / static_cast<double>(cell.latencies_ns.size());
+    Best& b = best[group];
+    if (!b.set || mean < b.mean_latency_ns) {
+      b.policy = policy;
+      b.mean_latency_ns = mean;
+      b.set = true;
+    }
+  }
+  sim::Table winners({"topology/device mix", "best policy", "mean latency"});
+  for (const auto& [group, b] : best)
+    winners.add_row({group, b.policy, sim::fmt_time_ns(b.mean_latency_ns)});
+  out += winners.to_string();
+
+  return out;
+}
+
+}  // namespace hpc::campaign

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "campaign/runner.hpp"
+
+/// \file report.hpp
+/// Human-readable campaign summary: per-cell digests, latency/throughput
+/// percentiles, and a best-policy-per-cell table.
+///
+/// The report is part of the byte-diffed artifact set, so it must be a pure
+/// function of the campaign *results* — it never mentions which execution
+/// policy ran the campaign or how many workers it used.  The one piece of
+/// host information it records is `exec::hardware_worker_hint()`, the
+/// default-only sizing hint the thread pool consults when constructed with
+/// workers=0; it is identical for every policy on a given host and never
+/// affects simulation output (archlint rule D11 allowlists it for exactly
+/// this advisory role).
+
+namespace hpc::campaign {
+
+/// Renders the summary report:
+///
+///  1. header — replica/cell counts, campaign digest, host worker hint;
+///  2. per-cell digest table (cell digest = FNV-1a fold of its replicas'
+///     digests in replica-index order);
+///  3. per-cell latency percentiles (exact, over the per-replica latency
+///     scalars) and mean throughput (work per simulated second);
+///  4. best-policy-per-cell: for each topology × device-mix group, the
+///     policy with the lowest mean latency (ties break lexicographically).
+[[nodiscard]] std::string make_report(const CampaignResult& campaign);
+
+}  // namespace hpc::campaign

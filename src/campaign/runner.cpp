@@ -1,0 +1,178 @@
+#include "campaign/runner.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "campaign/report.hpp"
+#include "obs/jsonlite.hpp"
+#include "sim/rng.hpp"
+
+namespace hpc::campaign {
+
+namespace {
+
+/// FNV-1a fold of the per-replica digests, index order.  Same primes as the
+/// kernel's event digest, so one constant family witnesses the whole tree.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (byte * 8)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xfULL];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string pad4(std::size_t i) {
+  std::string digits = std::to_string(i);
+  if (digits.size() < 4) digits.insert(0, 4 - digits.size(), '0');
+  return digits;
+}
+
+void write_text_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary);
+  if (f) f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!f) throw std::runtime_error("campaign: cannot write artifact '" + path.string() + "'");
+}
+
+/// Per-cell accumulation for cells_bench_json (std::map: sorted, rule D2).
+struct CellAgg {
+  std::uint64_t replicas = 0;
+  double latency_sum = 0.0;
+};
+
+}  // namespace
+
+std::string CampaignResult::digests_text() const {
+  std::string out;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    out += pad4(i);
+    out += ' ';
+    if (!results[i].error.empty()) {
+      out += "error " + results[i].error;
+    } else {
+      out += hex16(results[i].digest);
+    }
+    out += ' ';
+    out += replicas[i].stream();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CampaignResult::cells_bench_json() const {
+  std::map<std::string, CellAgg, std::less<>> cells;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (!results[i].error.empty()) continue;
+    CellAgg& agg = cells[replicas[i].cell()];
+    ++agg.replicas;
+    agg.latency_sum += results[i].latency_ns;
+  }
+
+  // archipelago-bench-v1, emitted directly (src/ cannot link tools/, so this
+  // mirrors benchjson::write_file byte for byte): name = cell key,
+  // ns_per_op = mean replica latency, iterations = successful replica count.
+  // The strict benchjson parser admits exactly these three entry keys, which
+  // is why the richer per-cell data (cost, work) lives in report.txt instead.
+  std::string out = "{\n  \"schema\": \"archipelago-bench-v1\",\n";
+  out += "  \"bench\": \"campaign\",\n  \"unit\": \"ns_per_op\",\n  \"results\": [\n";
+  bool first = true;
+  for (const auto& [cell, agg] : cells) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.3f",
+                  agg.latency_sum / static_cast<double>(agg.replicas));
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"" + obs::jsonlite::escape(cell) +
+           "\", \"ns_per_op\": " + num +
+           ", \"iterations\": " + std::to_string(agg.replicas) + "}";
+  }
+  out += first ? "  ]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+CampaignResult run_campaign(const ScenarioMatrix& matrix, const ScenarioFn& scenario,
+                            exec::ExecutionPolicy& policy, const CampaignOptions& options) {
+  CampaignResult campaign;
+  campaign.replicas = expand(matrix);
+  campaign.results.resize(campaign.replicas.size());
+
+  // Engine seeds are derived up front, on the calling thread, purely from
+  // the campaign seed and each replica's content-addressed stream label.
+  std::vector<std::uint64_t> engine_seeds;
+  engine_seeds.reserve(campaign.replicas.size());
+  for (const ReplicaSpec& spec : campaign.replicas)
+    engine_seeds.push_back(sim::Rng::child_seed(options.seed, spec.stream()));
+
+  // Parallel phase: each task touches only its own pre-allocated slot, so
+  // no synchronisation is needed beyond the policy's join.
+  policy.run(campaign.replicas.size(), [&](std::size_t i) {
+    try {
+      campaign.results[i] = scenario(campaign.replicas[i], engine_seeds[i]);
+    } catch (const std::exception& e) {
+      campaign.results[i].error = e.what();
+    } catch (...) {
+      campaign.results[i].error = "unknown scenario failure";
+    }
+  });
+
+  // Sequential aggregation phase, replica index order — never completion
+  // order.  Everything below is execution-policy independent.
+  campaign.campaign_digest = kFnvOffset;
+  for (std::size_t i = 0; i < campaign.results.size(); ++i) {
+    const ReplicaResult& r = campaign.results[i];
+    campaign.campaign_digest = fold_u64(campaign.campaign_digest, r.digest);
+    campaign.merged.merge_from(r.metrics);
+  }
+
+  {
+    auto& ok = campaign.merged.counter("campaign.replicas_ok");
+    auto& failed = campaign.merged.counter("campaign.replicas_failed");
+    auto& latency = campaign.merged.histogram("campaign.replica_latency_ns");
+    auto& cost = campaign.merged.histogram("campaign.replica_cost_usd");
+    for (const ReplicaResult& r : campaign.results) {
+      if (!r.error.empty()) {
+        failed.inc();
+        continue;
+      }
+      ok.inc();
+      if (r.latency_ns > 0.0) latency.record(r.latency_ns);
+      if (r.cost_usd > 0.0) cost.record(r.cost_usd);
+    }
+  }
+
+  if (!options.artifact_dir.empty()) {
+    const std::filesystem::path dir(options.artifact_dir);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+      throw std::runtime_error("campaign: cannot create artifact dir '" +
+                               options.artifact_dir + "': " + ec.message());
+    for (std::size_t i = 0; i < campaign.results.size(); ++i)
+      write_text_file(dir / ("replica-" + pad4(i) + ".json"),
+                      campaign.results[i].metrics.snapshot_json());
+    write_text_file(dir / "digests.txt", campaign.digests_text());
+    write_text_file(dir / "metrics.json", campaign.merged.snapshot_json());
+    write_text_file(dir / "cells.json", campaign.cells_bench_json());
+    write_text_file(dir / "report.txt", make_report(campaign));
+  }
+
+  return campaign;
+}
+
+}  // namespace hpc::campaign

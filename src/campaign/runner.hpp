@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/matrix.hpp"
+#include "exec/policy.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+/// \file runner.hpp
+/// The campaign driver: expands a `ScenarioMatrix`, executes every replica
+/// as an independent simulation under a pluggable `exec::ExecutionPolicy`,
+/// and aggregates deterministically.
+///
+/// The aggregation contract — the whole point of the module — is that every
+/// produced artifact is **byte-identical regardless of the execution policy**
+/// (serial, 2 threads, 64 threads):
+///
+///  - each replica runs in isolation (own `sim::Engine`, own seed derived
+///    from its content-addressed stream label, own `obs::MetricRegistry`)
+///    and writes only its pre-allocated result slot;
+///  - per-replica digests, the merged metrics registry, and the campaign
+///    digest are folded in **replica index order** after all replicas
+///    finish — never in completion order;
+///  - artifacts (per-replica metrics snapshots, digest list, merged
+///    snapshot, per-cell aggregate) are written sequentially, post-run.
+///
+/// CI runs a small campaign twice (serial and 2-thread) and byte-diffs the
+/// artifact trees; tests/test_campaign.cpp pins the same property for
+/// {1, 2, 4}-worker pools.
+
+namespace hpc::campaign {
+
+/// Outcome of one replica.  `metrics` is the replica's private registry
+/// (its obs artifact); the scalar fields feed the report's percentile and
+/// best-policy tables.
+struct ReplicaResult {
+  std::uint64_t digest = 0;    ///< engine event digest — determinism witness
+  std::uint64_t events = 0;    ///< kernel events executed
+  sim::TimeNs end_time = 0;    ///< simulated clock at quiescence
+  double latency_ns = 0.0;     ///< scenario-defined latency (e.g. makespan)
+  double cost_usd = 0.0;       ///< scenario-defined dollar cost
+  double work = 0.0;           ///< scenario-defined work units completed
+  obs::MetricRegistry metrics; ///< per-replica instruments
+  std::string error;           ///< non-empty: replica failed (deterministic text)
+};
+
+/// Runs one replica: spec plus the engine seed already derived from the
+/// spec's stream label.  Must be thread-safe across distinct replicas
+/// (build all state locally; no globals) and deterministic in
+/// (spec, engine_seed).
+using ScenarioFn = std::function<ReplicaResult(const ReplicaSpec& spec,
+                                               std::uint64_t engine_seed)>;
+
+struct CampaignOptions {
+  /// Root of the campaign's seed tree; replica engine seeds are
+  /// `sim::Rng::child_seed(seed, spec.stream())`.
+  std::uint64_t seed = 1;
+  /// When non-empty, artifacts are written here (directory is created):
+  /// replica-NNNN.json (per-replica metrics snapshots), digests.txt,
+  /// metrics.json (merged snapshot), cells.json (per-cell aggregate in
+  /// archipelago-bench-v1 form, so tools/benchjson can check and diff it).
+  std::string artifact_dir;
+};
+
+/// A finished campaign, index-aligned: replicas[i] produced results[i].
+struct CampaignResult {
+  std::vector<ReplicaSpec> replicas;
+  std::vector<ReplicaResult> results;
+  /// All replica registries folded in index order, plus the runner's own
+  /// campaign.* instruments (replica counts, latency/cost histograms).
+  obs::MetricRegistry merged;
+  /// FNV-1a over the per-replica digests in index order — one number that
+  /// witnesses every replica's event stream.  Execution-policy independent;
+  /// CI pins it in ci/expected_campaign_digest.txt.
+  std::uint64_t campaign_digest = 0;
+
+  /// Deterministic digest listing, one line per replica:
+  /// "NNNN <digest-hex-16> <stream-label>" (or "error <text>").
+  [[nodiscard]] std::string digests_text() const;
+
+  /// Per-cell aggregate in archipelago-bench-v1 JSON: one entry per cell,
+  /// name = cell key, ns_per_op = mean replica latency, iterations =
+  /// replica count.  Self-contained emission (src/ cannot depend on
+  /// tools/), but schema-compatible with tools/benchjson, so
+  /// `benchjson_check` validates it and `benchjson_check --compare` diffs
+  /// two campaigns' aggregates like any BENCH baseline.
+  [[nodiscard]] std::string cells_bench_json() const;
+};
+
+/// Expands \p matrix, runs every replica through \p scenario under
+/// \p policy, and aggregates in index order.  A throwing scenario is
+/// captured into the replica's `error` field (the run continues); artifact
+/// writing happens post-run on the calling thread.  Throws
+/// std::runtime_error only when artifacts were requested but cannot be
+/// written.
+[[nodiscard]] CampaignResult run_campaign(const ScenarioMatrix& matrix,
+                                          const ScenarioFn& scenario,
+                                          exec::ExecutionPolicy& policy,
+                                          const CampaignOptions& options);
+
+}  // namespace hpc::campaign

@@ -1,0 +1,165 @@
+#include "campaign/scenario.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/system.hpp"
+#include "fed/site.hpp"
+#include "sim/rng.hpp"
+
+namespace hpc::campaign {
+
+namespace {
+
+/// Every site's uplink bandwidth for the topology axis, in GB/s.
+double topology_bandwidth_gbs(const std::string& topology) {
+  if (topology == "wan-10g") return 1.25;
+  if (topology == "wan-100g") return 12.5;
+  throw std::invalid_argument("campaign: unknown topology '" + topology + "'");
+}
+
+/// Site roster for the device-mix axis.  All mixes keep the same three
+/// roles (campus / center / cloud) so the siloed pins below stay valid;
+/// only capacities shift.
+std::vector<hpc::fed::Site> make_sites(const std::string& device_mix) {
+  using namespace hpc;
+  std::vector<fed::Site> sites;
+  if (device_mix == "baseline") {
+    sites.push_back(fed::make_onprem_site(0, "campus", 12, 4));
+    sites.push_back(fed::make_supercomputer_site(1, "center", 48));
+    sites.push_back(fed::make_cloud_site(2, "cloud", 48));
+  } else if (device_mix == "cloud-heavy") {
+    sites.push_back(fed::make_onprem_site(0, "campus", 8, 2));
+    sites.push_back(fed::make_supercomputer_site(1, "center", 24));
+    sites.push_back(fed::make_cloud_site(2, "cloud", 96));
+  } else {
+    throw std::invalid_argument("campaign: unknown device mix '" + device_mix + "'");
+  }
+  // One governance domain: the campaign measures placement and WAN
+  // behaviour, not policy walls.
+  for (fed::Site& site : sites) site.admin_domain = 0;
+  return sites;
+}
+
+hpc::core::PlacementPolicy placement_of(const std::string& policy) {
+  using hpc::core::PlacementPolicy;
+  if (policy == "siloed") return PlacementPolicy::kSiloed;
+  if (policy == "gravity") return PlacementPolicy::kGravityAware;
+  if (policy == "cheapest") return PlacementPolicy::kCheapest;
+  throw std::invalid_argument("campaign: unknown policy '" + policy + "'");
+}
+
+/// Uniform draw in [0.9, 1.1) from the replica's named child stream — the
+/// seed axis perturbs the *sampled workload* (shard sizes, task demands),
+/// the standard campaign idiom for exploring a design point under input
+/// variation.  Streams are minted only through `Rng::child_seed` (rule D12:
+/// no ad-hoc RNG roots outside the sim kernel).
+double workload_jitter(std::uint64_t engine_seed, const std::string& label) {
+  const std::uint64_t h = hpc::sim::Rng::child_seed(engine_seed, label);
+  return 0.9 + 0.2 * static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The C7-style sharded campaign, scaled by \p shards: parallel analysis
+/// tasks (own ~60 GB shard + shared 40 GB reference each) fanned into a
+/// training task and a final inference deployment.  Dataset sizes and task
+/// demands are jittered per replica from \p engine_seed (see
+/// workload_jitter), so the seed axis yields genuinely distinct runs.
+hpc::core::Workflow make_workflow(hpc::core::System& system, int shards,
+                                  std::uint64_t engine_seed) {
+  using namespace hpc;
+  std::vector<int> shard_ds;
+  for (int s = 0; s < shards; ++s)
+    shard_ds.push_back(system.catalog().add(
+        "shard-" + std::to_string(s),
+        60.0 * workload_jitter(engine_seed, "workload/shard-" + std::to_string(s)),
+        /*home_site=*/0, /*admin_domain=*/0, data::Sensitivity::kInternal,
+        "survey frames, shard " + std::to_string(s)));
+  const int reference = system.catalog().add(
+      "reference-catalog", 40.0, /*home_site=*/0, /*admin_domain=*/0,
+      data::Sensitivity::kPublic, "calibration reference");
+
+  core::Workflow wf;
+  std::vector<int> shard_tasks;
+  for (int s = 0; s < shards; ++s) {
+    core::Task analyze;
+    analyze.name = "analyze-" + std::to_string(s);
+    analyze.kind = core::TaskKind::kAnalyze;
+    analyze.input_datasets = {shard_ds[static_cast<std::size_t>(s)], reference};
+    analyze.output_gb = 8.0;
+    analyze.job.nodes = 8;
+    analyze.job.total_gflop =
+        3e5 * workload_jitter(engine_seed, "workload/analyze-" + std::to_string(s));
+    shard_tasks.push_back(wf.add(analyze));
+  }
+  core::Task train;
+  train.name = "train-surrogate";
+  train.kind = core::TaskKind::kTrain;
+  train.deps = shard_tasks;
+  train.input_tasks = shard_tasks;
+  train.output_gb = 2.0;
+  train.job.nodes = 16;
+  train.job.total_gflop = 8e5 * workload_jitter(engine_seed, "workload/train");
+  const int t_train = wf.add(train);
+
+  core::Task deploy;
+  deploy.name = "deploy-inference";
+  deploy.kind = core::TaskKind::kInfer;
+  deploy.deps = {t_train};
+  deploy.input_tasks = {t_train};
+  deploy.job.nodes = 1;
+  deploy.job.total_gflop = 5e2;
+  wf.add(deploy);
+  return wf;
+}
+
+}  // namespace
+
+ScenarioFn make_federation_scenario(const FederationOptions& options) {
+  const int shards = options.shards;
+  return [shards](const ReplicaSpec& spec, std::uint64_t engine_seed) {
+    using namespace hpc;
+    const double bandwidth = topology_bandwidth_gbs(spec.topology);
+    std::vector<fed::Site> sites = make_sites(spec.device_mix);
+    for (fed::Site& site : sites) site.wan_bandwidth_gbs = bandwidth;
+    const core::PlacementPolicy placement = placement_of(spec.policy);
+
+    core::System system(std::move(sites), engine_seed);
+    system.pin_silo(core::TaskKind::kAnalyze, 0);
+    system.pin_silo(core::TaskKind::kTrain, 1);
+    system.pin_silo(core::TaskKind::kInfer, 2);
+
+    obs::MetricRegistry metrics;
+    system.set_observer(nullptr, &metrics);
+
+    const core::Workflow wf = make_workflow(system, shards, engine_seed);
+    core::CosimConfig cfg;
+    cfg.seed = engine_seed;
+    const core::CoupledResult coupled = system.run_coupled(wf, placement, cfg);
+
+    ReplicaResult result;
+    result.digest = coupled.engine_digest;
+    result.events = coupled.events_executed;
+    result.end_time = coupled.end_time;
+    result.latency_ns = static_cast<double>(coupled.workflow.makespan);
+    result.cost_usd = coupled.workflow.total_cost_usd;
+    result.work = static_cast<double>(coupled.workflow.outcomes.size());
+    metrics.gauge("scenario.makespan_ns").set(result.latency_ns);
+    metrics.gauge("scenario.wan_gb_moved").set(coupled.workflow.wan_gb_moved);
+    result.metrics = std::move(metrics);
+    return result;
+  };
+}
+
+ScenarioMatrix default_federation_matrix(int seeds) {
+  ScenarioMatrix matrix;
+  matrix.topologies = {"wan-10g", "wan-100g"};
+  matrix.device_mixes = {"baseline", "cloud-heavy"};
+  matrix.policies = {"siloed", "gravity", "cheapest"};
+  for (int s = 0; s < seeds; ++s)
+    matrix.seeds.push_back(static_cast<std::uint64_t>(s + 1));
+  return matrix;
+}
+
+}  // namespace hpc::campaign

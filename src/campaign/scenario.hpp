@@ -1,0 +1,41 @@
+#pragma once
+
+#include "campaign/runner.hpp"
+
+/// \file scenario.hpp
+/// The built-in federation scenario: maps campaign axis values onto a small
+/// C7-style sharded-analysis federation (the coupled_archipelago setup,
+/// scaled down) and runs it as one `core::System::run_coupled` co-simulation
+/// per replica.
+///
+/// Axis vocabulary (unknown values throw, which the runner captures as a
+/// deterministic per-replica error):
+///
+///   topology    "wan-10g" | "wan-100g"      — every site's uplink bandwidth
+///   device_mix  "baseline" | "cloud-heavy"  — node counts per site class
+///   policy      "siloed" | "gravity" | "cheapest" — placement policy
+///   seed        any                          — CosimConfig seed material
+///
+/// Each replica builds its own System (sites, catalog, workflow) from
+/// scratch, so replicas share no mutable state and are safe to run under
+/// any execution policy.  The replica's engine seed — already derived by
+/// the runner from the campaign seed and the content-addressed stream
+/// label — becomes the CosimConfig seed, so every replica owns a named,
+/// collision-free slice of the campaign's seed tree.
+
+namespace hpc::campaign {
+
+struct FederationOptions {
+  /// Parallel analysis shards in the workflow (each stages its own dataset
+  /// over the contended WAN).  4 keeps tests and CI fast; the example and
+  /// bench raise it.
+  int shards = 4;
+};
+
+/// Builds the scenario function.  Thread-safe and reusable across runs.
+[[nodiscard]] ScenarioFn make_federation_scenario(const FederationOptions& options = {});
+
+/// The default sweep: 2 topologies x 2 device mixes x 3 policies x N seeds.
+[[nodiscard]] ScenarioMatrix default_federation_matrix(int seeds = 2);
+
+}  // namespace hpc::campaign

@@ -1,0 +1,87 @@
+#include "exec/policy.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace hpc::exec {
+
+ExecutionPolicy::~ExecutionPolicy() = default;
+
+namespace {
+
+/// Per-worker error capture: the exception (if any) plus the task index it
+/// came from, so run() can rethrow the lowest-index failure regardless of
+/// wall-clock interleaving.
+struct WorkerError {
+  std::exception_ptr error;
+  std::size_t index = 0;
+};
+
+/// Runs worker \p w's static slice {i : i % stride == w} in ascending order,
+/// stopping the slice at the first throwing task.
+void run_slice(std::size_t w, std::size_t stride, std::size_t n, const TaskFn& task,
+               WorkerError& out) {
+  for (std::size_t i = w; i < n; i += stride) {
+    try {
+      task(i);
+    } catch (...) {
+      out.error = std::current_exception();
+      out.index = i;
+      return;
+    }
+  }
+}
+
+/// Rethrows the captured exception with the lowest task index, if any.
+void rethrow_first_by_index(const std::vector<WorkerError>& errors) {
+  const WorkerError* first = nullptr;
+  for (const WorkerError& e : errors) {
+    if (e.error == nullptr) continue;
+    if (first == nullptr || e.index < first->index) first = &e;
+  }
+  if (first != nullptr) std::rethrow_exception(first->error);
+}
+
+}  // namespace
+
+void SerialPolicy::run(std::size_t n, const TaskFn& task) {
+  std::vector<WorkerError> errors(1);
+  run_slice(0, 1, n, task, errors[0]);
+  rethrow_first_by_index(errors);
+}
+
+ThreadPoolPolicy::ThreadPoolPolicy(int workers)
+    : workers_(workers > 0 ? workers : hardware_worker_hint()) {}
+
+void ThreadPoolPolicy::run(std::size_t n, const TaskFn& task) {
+  if (n == 0) return;
+  // Excess workers beyond n would idle; the assignment below is unchanged
+  // for the workers that do run, so clamping cannot alter any schedule.
+  const std::size_t stride = std::min(static_cast<std::size_t>(workers_), n);
+  std::vector<WorkerError> errors(stride);
+  if (stride <= 1) {
+    run_slice(0, 1, n, task, errors[0]);
+    rethrow_first_by_index(errors);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(stride - 1);
+  for (std::size_t w = 1; w < stride; ++w)
+    threads.emplace_back([w, stride, n, &task, &errors] {
+      run_slice(w, stride, n, task, errors[w]);
+    });
+  run_slice(0, stride, n, task, errors[0]);  // worker 0 is the calling thread
+  for (std::thread& t : threads) t.join();
+  rethrow_first_by_index(errors);
+}
+
+int hardware_worker_hint() noexcept {
+  // Default-only sizing hint (see header); allowlisted for archlint D11 in
+  // tools/archlint/semantics.txt — the one sanctioned read in src/.
+  const unsigned hint = std::thread::hardware_concurrency();
+  return hint == 0 ? 1 : static_cast<int>(hint);
+}
+
+}  // namespace hpc::exec

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+/// \file policy.hpp
+/// `hpc::exec` — pluggable execution policies for fanning independent work
+/// items across host resources.
+///
+/// The simulation kernel is single-threaded *by design*: its determinism
+/// witness is a serial event digest, so the next order of magnitude comes
+/// from scaling **across** simulations, not inside one.  An
+/// `ExecutionPolicy` executes `n` independent tasks (campaign replicas,
+/// each owning its private `sim::Engine`) and promises a scheduling
+/// contract strong enough that *no output artifact can depend on the
+/// policy chosen*:
+///
+///  - every index in [0, n) is executed exactly once;
+///  - the replica→worker assignment is a pure function of (index, worker
+///    count): worker `w` executes the indices `{i : i % workers == w}` in
+///    increasing order.  There is **no work stealing** and no shared run
+///    queue, so which thread runs a task — and the order of tasks within a
+///    worker — never depends on timing;
+///  - tasks communicate results only through their own pre-allocated slot,
+///    so no synchronization order is observable.
+///
+/// Policies: `SerialPolicy` (the reference executor — plain index order on
+/// the calling thread) and `ThreadPoolPolicy` (a fixed worker count over
+/// the static assignment above).  `hardware_worker_hint()` exposes
+/// `std::thread::hardware_concurrency` as a *default-only* sizing hint: it
+/// is recorded in campaign reports for provenance but must never steer
+/// simulation output (archlint's entropy rule D11 enforces that it cannot
+/// be read anywhere else in src/).
+///
+/// This is the zpc/lgrtk host-policy idiom (serial / thread-pool / device
+/// policies behind one interface) specialized to deterministic campaign
+/// fan-out.
+
+namespace hpc::exec {
+
+/// One independent work item, identified by its index in [0, n).
+using TaskFn = std::function<void(std::size_t)>;
+
+/// Abstract executor for n independent tasks (see file comment for the
+/// determinism contract every implementation must honor).
+class ExecutionPolicy {
+ public:
+  ExecutionPolicy() = default;
+  ExecutionPolicy(const ExecutionPolicy&) = delete;
+  ExecutionPolicy& operator=(const ExecutionPolicy&) = delete;
+  virtual ~ExecutionPolicy();
+
+  /// Policy family name ("serial", "threads") for logs and bench rows.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Number of workers this policy fans across (1 for serial).
+  [[nodiscard]] virtual int workers() const noexcept = 0;
+
+  /// Executes task(0) .. task(n-1), each exactly once, under the policy's
+  /// static assignment.  If a task throws, the remaining tasks on that
+  /// worker's slice are skipped and, after all workers finish, the pending
+  /// exception with the **lowest task index** is rethrown — deterministic
+  /// regardless of which worker hit its error first.
+  virtual void run(std::size_t n, const TaskFn& task) = 0;
+};
+
+/// Reference executor: index order, calling thread.
+class SerialPolicy final : public ExecutionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "serial"; }
+  [[nodiscard]] int workers() const noexcept override { return 1; }
+  void run(std::size_t n, const TaskFn& task) override;
+};
+
+/// Fixed-size thread pool with static round-robin assignment (worker w runs
+/// indices i with i % workers == w, ascending).  Work-stealing-free: the
+/// schedule is a pure function of (n, workers), so artifacts can never
+/// encode a thread race.  Threads are spawned per run() call — campaign
+/// replicas are long (milliseconds and up), so pool reuse is not worth a
+/// persistent-thread lifecycle.
+class ThreadPoolPolicy final : public ExecutionPolicy {
+ public:
+  /// \param workers  fixed worker count; 0 means hardware_worker_hint().
+  explicit ThreadPoolPolicy(int workers = 0);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "threads"; }
+  [[nodiscard]] int workers() const noexcept override { return workers_; }
+  void run(std::size_t n, const TaskFn& task) override;
+
+ private:
+  int workers_;
+};
+
+/// Default worker count: std::thread::hardware_concurrency(), clamped to at
+/// least 1.  A *hint only*: campaign reports record it for provenance, but
+/// nothing derived from it may influence simulation results — passing an
+/// explicit worker count must produce byte-identical artifacts on every
+/// machine.
+[[nodiscard]] int hardware_worker_hint() noexcept;
+
+}  // namespace hpc::exec

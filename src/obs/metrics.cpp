@@ -19,9 +19,26 @@ void Gauge::set(double v) noexcept {
   ++samples_;
 }
 
+void Gauge::merge(const Gauge& other) noexcept {
+  if (other.samples_ == 0) return;
+  if (samples_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  samples_ += other.samples_;
+  value_ = other.value_;
+}
+
 void Histogram::record(double value) {
   bins_.record(value);
   stats_.push(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  bins_.merge(other.bins_);
+  stats_.merge(other.stats_);
 }
 
 Counter& MetricRegistry::counter(std::string_view name) {
@@ -40,6 +57,13 @@ Histogram& MetricRegistry::histogram(std::string_view name, int bins_per_decade)
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(std::string(name), Histogram(bins_per_decade)).first->second;
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).merge(g);
+  for (const auto& [name, h] : other.histograms_)
+    histogram(name, h.bins_per_decade()).merge(h);
 }
 
 std::string MetricRegistry::snapshot_json() const {

@@ -57,6 +57,10 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept;
+  /// Folds \p other in: min/max widen, samples add, and other's last value
+  /// wins when it observed anything (merge order decides "last", so merging
+  /// replicas in index order is deterministic).
+  void merge(const Gauge& other) noexcept;
   [[nodiscard]] double value() const noexcept { return value_; }
   [[nodiscard]] double min() const noexcept { return samples_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return samples_ ? max_ : 0.0; }
@@ -75,6 +79,10 @@ class Histogram {
   explicit Histogram(int bins_per_decade = 20) : bins_(bins_per_decade) {}
 
   void record(double value);
+  /// Folds \p other in: exact for the streaming moments, bin-exact when the
+  /// two histograms share a resolution (see sim::LogHistogram::merge).
+  void merge(const Histogram& other);
+  [[nodiscard]] int bins_per_decade() const noexcept { return bins_.bins_per_decade(); }
   [[nodiscard]] std::uint64_t count() const noexcept { return bins_.count(); }
   [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
   [[nodiscard]] double min() const noexcept { return stats_.min(); }
@@ -96,6 +104,15 @@ class MetricRegistry {
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Histogram& histogram(std::string_view name, int bins_per_decade = 20);
+
+  /// Folds every instrument of \p other into this registry by name:
+  /// counters add, gauges widen (other's last value wins), histograms merge
+  /// bin-wise; instruments missing here are created.  Merging N per-replica
+  /// registries into a fresh one in replica-index order yields the same
+  /// registry — and therefore a byte-identical snapshot_json() — no matter
+  /// which execution policy produced the replicas (the campaign layer's
+  /// aggregate-determinism contract).
+  void merge_from(const MetricRegistry& other);
 
   [[nodiscard]] std::size_t counter_count() const noexcept { return counters_.size(); }
   [[nodiscard]] std::size_t gauge_count() const noexcept { return gauges_.size(); }

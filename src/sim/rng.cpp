@@ -5,12 +5,12 @@
 
 namespace hpc::sim {
 
-std::uint64_t Rng::child_seed(std::string_view label) const noexcept {
+std::uint64_t Rng::child_seed(std::uint64_t base_seed, std::string_view label) noexcept {
   // FNV-1a over the root seed's eight bytes, then the label bytes.
   std::uint64_t h = 14695981039346656037ULL;
   constexpr std::uint64_t kPrime = 1099511628211ULL;
   for (int i = 0; i < 8; ++i) {
-    h ^= (seed_ >> (8 * i)) & 0xffULL;
+    h ^= (base_seed >> (8 * i)) & 0xffULL;
     h *= kPrime;
   }
   for (const char c : label) {
@@ -24,6 +24,10 @@ std::uint64_t Rng::child_seed(std::string_view label) const noexcept {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::child_seed(std::string_view label) const noexcept {
+  return child_seed(seed_, label);
 }
 
 double Rng::pareto(double xm, double alpha) {

@@ -82,6 +82,14 @@ class Rng {
   /// replacement for ad-hoc `seed + k` constructions.
   [[nodiscard]] std::uint64_t child_seed(std::string_view label) const noexcept;
 
+  /// Static form of child_seed: the named child stream of an arbitrary base
+  /// seed, without constructing a generator.  This is how code outside
+  /// src/sim (which archlint rule D12 bars from minting Rng roots) derives
+  /// per-replica engine seeds — e.g. the campaign runner maps each replica's
+  /// content-addressed stream label to `child_seed(campaign_seed, label)`.
+  [[nodiscard]] static std::uint64_t child_seed(std::uint64_t base_seed,
+                                                std::string_view label) noexcept;
+
   /// Independent generator for the named child stream (see child_seed).
   [[nodiscard]] Rng child(std::string_view label) const { return Rng(child_seed(label)); }
 

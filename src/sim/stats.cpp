@@ -83,6 +83,33 @@ void LogHistogram::record(double value) {
   sum_ += value;
 }
 
+void LogHistogram::merge(const LogHistogram& other) {
+  const bool same_binning = bins_per_decade_ == other.bins_per_decade_ &&
+                            counts_.size() == other.counts_.size() &&
+                            // archlint: allow(float-eq): comparing stored
+                            // constructor parameters, not computed values
+                            min_value_ == other.min_value_;
+  if (same_binning) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    return;
+  }
+  // Mismatched binning: re-bin each of other's bins at its representative
+  // value (geometric midpoint, matching percentile()'s reconstruction).
+  // The exact running sum carries over unchanged, so count/mean stay exact
+  // and only percentiles degrade to bin resolution.
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] == 0) continue;
+    const double lo = other.bin_lower(i);
+    const double hi = other.bin_lower(i + 1);
+    const double rep = lo > 0.0 ? std::sqrt(lo * hi) : hi / 2.0;
+    counts_[bin_for(rep)] += other.counts_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
 double LogHistogram::percentile(double p) const {
   if (total_ == 0) return 0.0;
   const auto target = static_cast<std::uint64_t>(

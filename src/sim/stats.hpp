@@ -75,7 +75,17 @@ class LogHistogram {
                         double max_value = 1e18);
 
   void record(double value);
+
+  /// Folds \p other into this histogram.  With identical binning (same
+  /// bins_per_decade and value range) the merge is exact — bin counts add —
+  /// and merging per-replica histograms in a fixed order is deterministic.
+  /// With mismatched binning it degrades gracefully: other's bins are
+  /// re-recorded at their representative (geometric-midpoint) values, which
+  /// keeps count/mean exact and percentiles within bin resolution.
+  void merge(const LogHistogram& other);
+
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] int bins_per_decade() const noexcept { return bins_per_decade_; }
   [[nodiscard]] double mean() const noexcept {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
   }

@@ -99,5 +99,82 @@ TEST_F(BenchJsonTest, MissingFileIsRejected) {
   EXPECT_NE(validate_file(::testing::TempDir() + "does_not_exist.json"), "");
 }
 
+TEST_F(BenchJsonTest, MergePreservesOrderAndRejectsDuplicates) {
+  const std::string a = ::testing::TempDir() + "merge_a.json";
+  const std::string b = ::testing::TempDir() + "merge_b.json";
+  const std::string out = ::testing::TempDir() + "merge_out.json";
+  ASSERT_TRUE(write_file(a, "flowsim", {{"f/one", 1.0, 3}, {"f/two", 2.0, 3}}));
+  ASSERT_TRUE(write_file(b, "campaign", {{"c/one", 3.0, 5}}));
+
+  EXPECT_EQ(merge_files({a, b}, out, "merged"), "");
+  std::string bench, error;
+  std::vector<Entry> got;
+  ASSERT_TRUE(read_file(out, bench, got, error)) << error;
+  EXPECT_EQ(bench, "merged");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].name, "f/one");
+  EXPECT_EQ(got[1].name, "f/two");
+  EXPECT_EQ(got[2].name, "c/one");
+
+  // A row name colliding across inputs is a data error.
+  ASSERT_TRUE(write_file(b, "campaign", {{"f/one", 3.0, 5}}));
+  const std::string dup = merge_files({a, b}, out, "merged");
+  EXPECT_NE(dup, "");
+  EXPECT_NE(dup.find("f/one"), std::string::npos);
+
+  EXPECT_NE(merge_files({}, out, "merged"), "");
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(out.c_str());
+}
+
+TEST_F(BenchJsonTest, CompareExactAndTolerantModes) {
+  const std::string base = ::testing::TempDir() + "cmp_base.json";
+  const std::string cur = ::testing::TempDir() + "cmp_cur.json";
+  ASSERT_TRUE(write_file(base, "campaign", {{"cell/a", 100.0, 2}, {"cell/b", 50.0, 2}}));
+  ASSERT_TRUE(write_file(cur, "campaign", {{"cell/a", 100.0, 2}, {"cell/b", 50.0, 2}}));
+
+  std::vector<CompareRow> rows;
+  // Identical files pass exact mode (tolerance 0).
+  EXPECT_EQ(compare_files(base, cur, 0.0, rows), "");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "cell/a");
+  EXPECT_EQ(rows[0].delta_pct, 0.0);
+
+  // A 4% move fails exact mode but passes a 10% tolerance.
+  ASSERT_TRUE(write_file(cur, "campaign", {{"cell/a", 104.0, 2}, {"cell/b", 50.0, 2}}));
+  const std::string exact = compare_files(base, cur, 0.0, rows);
+  EXPECT_NE(exact, "");
+  EXPECT_NE(exact.find("cell/a"), std::string::npos);
+  EXPECT_EQ(compare_files(base, cur, 10.0, rows), "");
+  EXPECT_NEAR(rows[0].delta_pct, 4.0, 1e-9);
+
+  std::remove(base.c_str());
+  std::remove(cur.c_str());
+}
+
+TEST_F(BenchJsonTest, CompareRejectsRowSetDrift) {
+  const std::string base = ::testing::TempDir() + "cmp_base2.json";
+  const std::string cur = ::testing::TempDir() + "cmp_cur2.json";
+  std::vector<CompareRow> rows;
+
+  // Row missing from current.
+  ASSERT_TRUE(write_file(base, "x", {{"a", 1.0, 2}, {"b", 2.0, 2}}));
+  ASSERT_TRUE(write_file(cur, "x", {{"a", 1.0, 2}}));
+  std::string error = compare_files(base, cur, 100.0, rows);
+  EXPECT_NE(error.find("'b'"), std::string::npos);
+
+  // Extra row in current.
+  ASSERT_TRUE(write_file(cur, "x", {{"a", 1.0, 2}, {"b", 2.0, 2}, {"c", 3.0, 2}}));
+  error = compare_files(base, cur, 100.0, rows);
+  EXPECT_NE(error.find("'c'"), std::string::npos);
+
+  // Unreadable input is reported, not swallowed.
+  EXPECT_NE(compare_files(base, ::testing::TempDir() + "nope.json", 0.0, rows), "");
+
+  std::remove(base.c_str());
+  std::remove(cur.c_str());
+}
+
 }  // namespace
 }  // namespace hpc::benchjson

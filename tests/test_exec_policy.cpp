@@ -1,0 +1,146 @@
+#include "exec/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+/// Pins the `hpc::exec` execution-policy contract: every index exactly once,
+/// static round-robin assignment (no stealing), deterministic exception
+/// selection — the properties that let campaign artifacts be byte-identical
+/// whatever policy runs them.
+
+namespace {
+
+using hpc::exec::ExecutionPolicy;
+using hpc::exec::SerialPolicy;
+using hpc::exec::ThreadPoolPolicy;
+
+TEST(SerialPolicy, RunsEveryIndexInOrderOnCallingThread) {
+  SerialPolicy policy;
+  EXPECT_EQ(policy.name(), "serial");
+  EXPECT_EQ(policy.workers(), 1);
+
+  std::vector<std::size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  policy.run(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SerialPolicy, ZeroTasksIsANoop) {
+  SerialPolicy policy;
+  int calls = 0;
+  policy.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolPolicy, EveryIndexExactlyOnce) {
+  ThreadPoolPolicy policy(4);
+  EXPECT_EQ(policy.name(), "threads");
+  EXPECT_EQ(policy.workers(), 4);
+
+  constexpr std::size_t kN = 103;  // deliberately not a multiple of 4
+  std::vector<std::atomic<int>> hits(kN);
+  policy.run(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolPolicy, StaticRoundRobinAssignmentNoStealing) {
+  // Record which thread ran each index and in what per-thread order; the
+  // contract is i % workers == slot, ascending within each worker, even when
+  // slices are wildly unbalanced (index 0 sleeps).
+  ThreadPoolPolicy policy(3);
+  constexpr std::size_t kN = 31;
+  std::mutex mu;
+  std::map<std::thread::id, std::vector<std::size_t>> by_thread;
+  policy.run(kN, [&](std::size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::lock_guard<std::mutex> lock(mu);
+    by_thread[std::this_thread::get_id()].push_back(i);
+  });
+
+  ASSERT_LE(by_thread.size(), 3u);
+  for (const auto& [tid, indices] : by_thread) {
+    ASSERT_FALSE(indices.empty());
+    const std::size_t slot = indices.front() % 3;
+    std::size_t expect = slot;
+    for (const std::size_t i : indices) {
+      EXPECT_EQ(i % 3, slot) << "stolen index " << i;
+      EXPECT_EQ(i, expect) << "out-of-order index within worker slice";
+      expect += 3;
+    }
+  }
+}
+
+TEST(ThreadPoolPolicy, MoreWorkersThanTasks) {
+  ThreadPoolPolicy policy(8);
+  std::vector<std::atomic<int>> hits(3);
+  policy.run(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolPolicy, ZeroWorkerCountUsesHardwareHint) {
+  ThreadPoolPolicy policy(0);
+  EXPECT_GE(policy.workers(), 1);
+  EXPECT_EQ(policy.workers(), hpc::exec::hardware_worker_hint());
+}
+
+TEST(ThreadPoolPolicy, LowestIndexExceptionWinsDeterministically) {
+  // Indices 2 and 9 both throw; whichever worker finishes first, the rethrow
+  // must be index 2's.  Later tasks on throwing workers are skipped.
+  ThreadPoolPolicy policy(4);
+  std::vector<std::atomic<int>> hits(12);
+  try {
+    policy.run(12, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 9) throw std::runtime_error("error at 9");
+      if (i == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        throw std::runtime_error("error at 2");
+      }
+    });
+    FAIL() << "expected run() to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "error at 2");
+  }
+  // Worker 2's slice is {2, 6, 10}; the throw at 2 skips the rest of it.
+  EXPECT_EQ(hits[2].load(), 1);
+  EXPECT_EQ(hits[6].load(), 0);
+  EXPECT_EQ(hits[10].load(), 0);
+}
+
+TEST(SerialPolicy, ExceptionPropagatesAndStops) {
+  SerialPolicy policy;
+  std::vector<std::size_t> ran;
+  EXPECT_THROW(policy.run(5,
+                          [&](std::size_t i) {
+                            ran.push_back(i);
+                            if (i == 2) throw std::runtime_error("boom");
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(HardwareWorkerHint, AtLeastOne) {
+  EXPECT_GE(hpc::exec::hardware_worker_hint(), 1);
+}
+
+TEST(ExecutionPolicy, PolymorphicUseThroughBase) {
+  SerialPolicy serial;
+  ThreadPoolPolicy threads(2);
+  for (ExecutionPolicy* policy : {static_cast<ExecutionPolicy*>(&serial),
+                                  static_cast<ExecutionPolicy*>(&threads)}) {
+    std::vector<std::atomic<int>> hits(10);
+    policy->run(10, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,20 @@
+/// \file z.cpp
+/// Fixture: D11 `entropy-source` via `std::thread::hardware_concurrency()`.
+///
+/// Host topology is ambient state just like a clock or an env var: sizing a
+/// *result* (rather than an executor) from the core count makes simulation
+/// output vary across machines.  The main tree allows exactly one reader —
+/// src/exec/policy.cpp, where the value is a default-only worker hint — via
+/// the `entropy-allow` list in tools/archlint/semantics.txt; this corpus
+/// has no semantics.txt, so the built-in default applies and the call below
+/// must fire.  Everything else in the file is deliberately rule-clean, and
+/// the function lives in a .cpp (not a src/ header) so D14 stays quiet.
+
+namespace hpc::fixture_zeta {
+
+int default_shard_count(int fallback) {
+  const unsigned n = std::thread::hardware_concurrency();  // D11
+  return n > 0 ? static_cast<int>(n) : fallback;
+}
+
+}  // namespace hpc::fixture_zeta

@@ -191,6 +191,13 @@ class Extractor {
           add_entropy(w + "::now", t.line);
         else
           add_entropy(w, t.line);
+      } else if (w == "hardware_concurrency") {
+        // Host topology is ambient state too: a core count feeding anything
+        // but executor sizing makes output vary across machines.  The name is
+        // distinctive enough that the member-access guard would only hide the
+        // canonical `std::thread::hardware_concurrency()` spelling, so it is
+        // deliberately not applied here.
+        add_entropy("hardware_concurrency", t.line);
       }
 
       // For Rng the qualified spelling (`sim::Rng(...)`) is the canonical

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
 namespace hpc::benchjson {
@@ -245,6 +247,76 @@ bool read_file(const std::string& path, std::string& bench_name,
   const std::string text = buf.str();
   Parser parser(text);
   return parser.parse_object_into(bench_name, entries, error);
+}
+
+std::string merge_files(const std::vector<std::string>& inputs,
+                        const std::string& out_path, const std::string& bench_name) {
+  if (inputs.empty()) return "no input files to merge";
+  std::vector<Entry> merged;
+  std::set<std::string> seen;
+  for (const std::string& path : inputs) {
+    std::string bench;
+    std::vector<Entry> entries;
+    std::string error;
+    if (!read_file(path, bench, entries, error)) return path + ": " + error;
+    for (Entry& e : entries) {
+      if (!seen.insert(e.name).second)
+        return path + ": duplicate row '" + e.name + "' across merge inputs";
+      merged.push_back(std::move(e));
+    }
+  }
+  if (!write_file(out_path, bench_name, merged))
+    return "cannot write '" + out_path + "'";
+  return {};
+}
+
+std::string compare_files(const std::string& baseline_path,
+                          const std::string& current_path, double tolerance_pct,
+                          std::vector<CompareRow>& rows) {
+  std::string bench_a, bench_b, error;
+  std::vector<Entry> base, cur;
+  if (!read_file(baseline_path, bench_a, base, error))
+    return baseline_path + ": " + error;
+  if (!read_file(current_path, bench_b, cur, error))
+    return current_path + ": " + error;
+
+  std::map<std::string, const Entry*> by_name;
+  for (const Entry& e : cur) {
+    if (!by_name.emplace(e.name, &e).second)
+      return current_path + ": duplicate row '" + e.name + "'";
+  }
+  rows.clear();
+  for (const Entry& b : base) {
+    const auto it = by_name.find(b.name);
+    if (it == by_name.end())
+      return "row '" + b.name + "' present in baseline but missing from " +
+             current_path;
+    CompareRow row;
+    row.name = b.name;
+    row.baseline_ns = b.ns_per_op;
+    row.current_ns = it->second->ns_per_op;
+    row.delta_pct = b.ns_per_op > 0.0
+                        ? (it->second->ns_per_op / b.ns_per_op - 1.0) * 100.0
+                        : 0.0;
+    rows.push_back(std::move(row));
+    by_name.erase(it);
+  }
+  if (!by_name.empty())
+    return "row '" + by_name.begin()->first + "' present in " + current_path +
+           " but missing from baseline";
+  for (const CompareRow& row : rows) {
+    const bool exact_mode = tolerance_pct <= 0.0;
+    if (exact_mode ? row.current_ns != row.baseline_ns  // archlint: allow(float-eq)
+                   : std::fabs(row.delta_pct) > tolerance_pct) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%+.2f%%", row.delta_pct);
+      return "row '" + row.name + "' moved " + buf + " (baseline " +
+             std::to_string(row.baseline_ns) + " ns, current " +
+             std::to_string(row.current_ns) + " ns, tolerance " +
+             std::to_string(tolerance_pct) + "%)";
+    }
+  }
+  return {};
 }
 
 std::string validate_file(const std::string& path, std::int64_t min_iterations) {

@@ -27,7 +27,7 @@
 ///     }
 ///
 /// and `validate_file` re-parses an emitted file and checks the schema
-/// (ci/check.sh stage [5/5] runs it via the `benchjson_check` binary, so a
+/// (ci/check.sh stage [5/8] runs it via the `benchjson_check` binary, so a
 /// truncated or hand-mangled baseline fails CI instead of silently passing).
 namespace hpc::benchjson {
 
@@ -69,5 +69,35 @@ bool write_file(const std::string& path, const std::string& bench_name,
 /// future regression tooling that diffs two baselines).
 bool read_file(const std::string& path, std::string& bench_name,
                std::vector<Entry>& entries, std::string& error);
+
+/// Merges several archipelago-bench-v1 files into \p out_path under
+/// \p bench_name, preserving input order.  Row names must be unique across
+/// the inputs (two suites publishing the same row is a data error, not a
+/// merge policy decision).  Returns an empty string on success, else an
+/// error naming the offending file or row.
+[[nodiscard]] std::string merge_files(const std::vector<std::string>& inputs,
+                                      const std::string& out_path,
+                                      const std::string& bench_name);
+
+/// One row of a baseline comparison.
+struct CompareRow {
+  std::string name;
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  double delta_pct = 0.0;  ///< (current / baseline - 1) * 100
+};
+
+/// Compares two archipelago-bench-v1 files row by row.  The files must
+/// contain exactly the same row names (a vanished or new row is a schema
+/// change the caller must acknowledge, not a perf delta).  Fills \p rows in
+/// the baseline's order and returns an empty string when every |delta| is
+/// within \p tolerance_pct; otherwise returns an error naming the first
+/// offending row.  tolerance_pct = 0 demands exact ns/op equality — the
+/// mode campaign cell aggregates use, since those are deterministic
+/// simulated quantities, not wall-clock noise.
+[[nodiscard]] std::string compare_files(const std::string& baseline_path,
+                                        const std::string& current_path,
+                                        double tolerance_pct,
+                                        std::vector<CompareRow>& rows);
 
 }  // namespace hpc::benchjson

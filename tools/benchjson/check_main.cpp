@@ -1,32 +1,104 @@
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "benchjson.hpp"
 
 /// \file check_main.cpp
-/// benchjson_check CLI: validates BENCH_*.json perf-baseline files.
+/// benchjson_check CLI: validates, merges, and compares archipelago-bench-v1
+/// files (BENCH_*.json perf baselines and campaign cell aggregates).
 ///
 ///     benchjson_check [--min-iters N] FILE...
+///     benchjson_check --merge OUT FILE...
+///     benchjson_check --compare BASELINE CURRENT [--tolerance PCT]
 ///
-/// By default every entry must have run >= 3 iterations: single-iteration
-/// rows are noise-level measurements that have already produced a bogus
-/// baseline delta once (BENCH_obs.json's "+17% disabled probes" artifact).
-/// `--min-iters 1` is the explicit opt-out for suites whose slowest rows are
-/// genuinely single-shot (e.g. the 0.5 s/op flowsim none_minimal rows) —
-/// their numbers are trajectory hints, not gates, and ROADMAP says so.
+/// Validate mode: by default every entry must have run >= 3 iterations —
+/// single-iteration rows are noise-level measurements that have already
+/// produced a bogus baseline delta once (BENCH_obs.json's "+17% disabled
+/// probes" artifact).  `--min-iters 1` remains the explicit opt-out for
+/// suites whose slowest rows are genuinely single-shot.
 ///
-/// Exit status: 0 if every file parses and satisfies the
-/// archipelago-bench-v1 schema, 1 on the first invalid file, 2 on usage
-/// error.  ci/check.sh stage [5/7] runs this on the freshly emitted
-/// BENCH_*.json files so a broken emitter can never publish a baseline.
+/// Merge mode: concatenates several suites into one file (bench name
+/// "merged"); row names must stay unique across inputs.
+///
+/// Compare mode: diffs two files row by row.  Both must contain exactly the
+/// same row names; any row whose ns/op moved more than PCT percent fails.
+/// `--tolerance 0` (the default) demands exact equality — what campaign
+/// cell aggregates use, since those are deterministic simulated quantities,
+/// not wall-clock noise (ci/check.sh stage [8/8] gates on it).
+///
+/// Exit status: 0 on success, 1 on the first invalid/mismatching file, 2 on
+/// usage error.
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: benchjson_check [--min-iters N] FILE...\n"
+    "       benchjson_check --merge OUT FILE...\n"
+    "       benchjson_check --compare BASELINE CURRENT [--tolerance PCT]\n";
+
+int run_merge(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  std::vector<std::string> inputs;
+  for (int i = 3; i < argc; ++i) inputs.emplace_back(argv[i]);
+  const std::string error = hpc::benchjson::merge_files(inputs, argv[2], "merged");
+  if (!error.empty()) {
+    std::fprintf(stderr, "benchjson_check: merge: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("benchjson_check: merged %zu file(s) into %s\n", inputs.size(), argv[2]);
+  return 0;
+}
+
+int run_compare(int argc, char** argv) {
+  if (argc != 4 && argc != 6) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  double tolerance = 0.0;
+  if (argc == 6) {
+    if (std::string(argv[4]) != "--tolerance") {
+      std::fprintf(stderr, "%s", kUsage);
+      return 2;
+    }
+    char* end = nullptr;
+    tolerance = std::strtod(argv[5], &end);
+    if (end == argv[5] || *end != '\0' || tolerance < 0.0) {
+      std::fprintf(stderr, "benchjson_check: --tolerance must be a non-negative number\n");
+      return 2;
+    }
+  }
+  std::vector<hpc::benchjson::CompareRow> rows;
+  const std::string error =
+      hpc::benchjson::compare_files(argv[2], argv[3], tolerance, rows);
+  for (const hpc::benchjson::CompareRow& row : rows)
+    std::printf("benchjson_check: %-48s %12.3f -> %12.3f  %+.2f%%\n",
+                row.name.c_str(), row.baseline_ns, row.current_ns, row.delta_pct);
+  if (!error.empty()) {
+    std::fprintf(stderr, "benchjson_check: compare: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("benchjson_check: %s vs %s: %zu row(s) within %.2f%%\n", argv[2],
+              argv[3], rows.size(), tolerance);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--merge") return run_merge(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "--compare") return run_compare(argc, argv);
+
   std::int64_t min_iters = 3;
   int first_file = 1;
   if (argc >= 2 && std::string(argv[1]) == "--min-iters") {
     if (argc < 4) {
-      std::fprintf(stderr, "usage: benchjson_check [--min-iters N] FILE...\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
     min_iters = 0;
@@ -44,7 +116,7 @@ int main(int argc, char** argv) {
     first_file = 3;
   }
   if (first_file >= argc) {
-    std::fprintf(stderr, "usage: benchjson_check [--min-iters N] FILE...\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   for (int i = first_file; i < argc; ++i) {
